@@ -1,0 +1,65 @@
+//! Cache-hierarchy microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obfusmem_cache::cache::{Cache, CacheOp};
+use obfusmem_cache::config::{CacheConfig, HierarchyConfig};
+use obfusmem_cache::hierarchy::CacheHierarchy;
+use obfusmem_cache::mesi::Directory;
+use obfusmem_sim::rng::SplitMix64;
+
+fn bench_single_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1());
+        cache.access(0x40, CacheOp::Read);
+        b.iter(|| std::hint::black_box(cache.access(0x40, CacheOp::Read).hit))
+    });
+    group.bench_function("l3_random_mix", |b| {
+        let mut cache = Cache::new(CacheConfig::l3());
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let addr = rng.below(1 << 26);
+            std::hint::black_box(cache.access(addr, CacheOp::Read).hit)
+        })
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hot_set_access", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::table2());
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| {
+            let addr = rng.below(256) * 64;
+            std::hint::black_box(h.access(0, addr, CacheOp::Read).latency_cycles)
+        })
+    });
+    group.bench_function("streaming_access", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::table2());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 64;
+            std::hint::black_box(h.access(0, i, CacheOp::Read).latency_cycles)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mesi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesi");
+    group.bench_function("four_core_ping_pong", |b| {
+        let mut d = Directory::new(4);
+        let mut core = 0usize;
+        b.iter(|| {
+            core = (core + 1) % 4;
+            std::hint::black_box(d.write(core, 0x40).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cache, bench_hierarchy, bench_mesi);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! ObfusMem engine microbenchmarks: the per-request cost of obfuscation,
+//! across the §3.3/§3.5 design alternatives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obfusmem_core::busmsg::RequestHeader;
+use obfusmem_core::config::{DummyAddressPolicy, MacScheme, ObfusMemConfig, SecurityLevel};
+use obfusmem_core::memside::engines_for_test;
+use obfusmem_mem::request::AccessKind;
+use obfusmem_sim::time::Time;
+
+fn bench_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_round_trip");
+    group.throughput(Throughput::Elements(1));
+
+    for (label, cfg) in [
+        ("obfuscate", ObfusMemConfig {
+            security: SecurityLevel::Obfuscate,
+            ..ObfusMemConfig::paper_default()
+        }),
+        ("encrypt_and_mac", ObfusMemConfig::paper_default()),
+        ("encrypt_then_mac", ObfusMemConfig {
+            mac_scheme: MacScheme::EncryptThenMac,
+            ..ObfusMemConfig::paper_default()
+        }),
+    ] {
+        group.bench_function(format!("read_{label}"), |b| {
+            let (mut proc, mut mems) = engines_for_test(cfg, 1);
+            let mut mem = mems.remove(0);
+            let mut i = 0u64;
+            b.iter(|| {
+                let header =
+                    RequestHeader { kind: AccessKind::Read, addr: (i % 4096) * 64 };
+                i += 1;
+                let pair = proc.obfuscate(Time::ZERO, 0, header, None).unwrap();
+                let (decoded, _) = mem.receive_pair(&pair.real, &pair.dummy).unwrap();
+                std::hint::black_box(decoded.header.addr)
+            })
+        });
+    }
+
+    group.bench_function("write_with_data", |b| {
+        let (mut proc, mut mems) = engines_for_test(ObfusMemConfig::paper_default(), 1);
+        let mut mem = mems.remove(0);
+        let data = [0x77u8; 64];
+        let mut i = 0u64;
+        b.iter(|| {
+            let header = RequestHeader { kind: AccessKind::Write, addr: (i % 4096) * 64 };
+            i += 1;
+            let pair = proc.obfuscate(Time::ZERO, 0, header, Some(&data)).unwrap();
+            let (decoded, _) = mem.receive_pair(&pair.real, &pair.dummy).unwrap();
+            std::hint::black_box(decoded.data)
+        })
+    });
+    group.finish();
+}
+
+fn bench_dummy_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dummy_policy");
+    for policy in
+        [DummyAddressPolicy::Fixed, DummyAddressPolicy::Original, DummyAddressPolicy::Random]
+    {
+        let cfg = ObfusMemConfig { dummy_policy: policy, ..ObfusMemConfig::paper_default() };
+        group.bench_function(format!("{policy:?}"), |b| {
+            let (mut proc, mut mems) = engines_for_test(cfg, 1);
+            let mut mem = mems.remove(0);
+            b.iter(|| {
+                let header = RequestHeader { kind: AccessKind::Read, addr: 0x4000 };
+                let pair = proc.obfuscate(Time::ZERO, 0, header, None).unwrap();
+                let (_, dummy) = mem.receive_pair(&pair.real, &pair.dummy).unwrap();
+                std::hint::black_box(dummy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_trip, bench_dummy_policies);
+criterion_main!(benches);

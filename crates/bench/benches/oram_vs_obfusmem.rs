@@ -1,0 +1,94 @@
+//! The headline comparison at the access level: one protected memory
+//! access under ObfusMem vs one Path ORAM access (which moves ~100 blocks
+//! at the paper's geometry). The measured *simulator* cost per access also
+//! tracks the real bandwidth amplification — moving 50× the blocks costs
+//! ~50× the work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use obfusmem_core::backend::ObfusMemBackend;
+use obfusmem_core::config::ObfusMemConfig;
+use obfusmem_cpu::core::MemoryBackend;
+use obfusmem_mem::config::MemConfig;
+use obfusmem_mem::request::BlockAddr;
+use obfusmem_oram::path_oram::{OramConfig, PathOram};
+use obfusmem_sim::rng::SplitMix64;
+use obfusmem_sim::time::Time;
+
+fn bench_access_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protected_access");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("obfusmem_read", |b| {
+        let mut backend =
+            ObfusMemBackend::new(ObfusMemConfig::paper_default(), MemConfig::table2(), 1);
+        let mut rng = SplitMix64::new(2);
+        let mut t = Time::ZERO;
+        b.iter(|| {
+            t = backend.read(t, BlockAddr::from_index(rng.below(1 << 20)));
+            std::hint::black_box(t)
+        })
+    });
+
+    for levels in [8u32, 12, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("path_oram_read", levels),
+            &levels,
+            |b, &levels| {
+                let blocks = (4u64 << levels) / 2;
+                let mut oram = PathOram::new(
+                    OramConfig { levels, bucket_size: 4, blocks },
+                    3,
+                )
+                .expect("valid geometry");
+                let mut rng = SplitMix64::new(4);
+                b.iter(|| std::hint::black_box(oram.read(rng.below(blocks)).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_oram_write_amplification(c: &mut Criterion) {
+    // Not a speed benchmark per se: demonstrates that ORAM cost scales
+    // with tree depth while ObfusMem cost does not depend on memory size.
+    let mut group = c.benchmark_group("oram_depth_scaling");
+    group.sample_size(20);
+    for levels in [6u32, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("levels", levels), &levels, |b, &levels| {
+            let blocks = (4u64 << levels) / 2;
+            let mut oram =
+                PathOram::new(OramConfig { levels, bucket_size: 4, blocks }, 5).unwrap();
+            let mut rng = SplitMix64::new(6);
+            b.iter(|| std::hint::black_box(oram.read(rng.below(blocks)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_oram_variants(c: &mut Criterion) {
+    use obfusmem_oram::recursion::RecursiveOram;
+    use obfusmem_oram::ring_oram::{RingConfig, RingOram};
+    let mut group = c.benchmark_group("oram_variants");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("ring_oram_read", |b| {
+        let mut oram = RingOram::new(RingConfig::ren_style(10, 2000), 7).unwrap();
+        let mut rng = SplitMix64::new(8);
+        b.iter(|| std::hint::black_box(oram.read(rng.below(2000)).unwrap()))
+    });
+
+    group.bench_function("recursive_oram_read", |b| {
+        let mut oram = RecursiveOram::new(12, 8192, 9).unwrap();
+        let mut rng = SplitMix64::new(10);
+        b.iter(|| std::hint::black_box(oram.read(rng.below(8192)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_access_cost,
+    bench_oram_write_amplification,
+    bench_oram_variants
+);
+criterion_main!(benches);

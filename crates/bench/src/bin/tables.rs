@@ -1,0 +1,138 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]
+//!
+//! experiments: config table1 table3 fig4 fig5 energy table4
+//!              ablation-dummy ablation-mac ablation-stash all
+//! ```
+
+use obfusmem_bench::{experiments, render, DEFAULT_INSTRUCTIONS, DEFAULT_SEED};
+
+fn main() {
+    let mut instructions = DEFAULT_INSTRUCTIONS;
+    let mut seed = DEFAULT_SEED;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-n" => {
+                instructions = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid value for -n"));
+            }
+            "-s" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid value for -s"));
+            }
+            "-h" | "--help" => usage(""),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ["config", "table1", "table3", "fig4", "fig5", "energy", "table4",
+            "oram-variants", "oram-detailed", "ablation-dummy", "ablation-mac", "ablation-pairing", "ablation-mapping", "ablation-typehiding", "ablation-stash"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    eprintln!("# instructions per run: {instructions}, seed: {seed}");
+    for exp in wanted {
+        match exp.as_str() {
+            "config" => print_config(),
+            "table1" => println!("{}", render::table1(&experiments::table1(instructions, seed))),
+            "table3" => println!("{}", render::table3(&experiments::table3(instructions, seed))),
+            "fig4" => {
+                let rows = experiments::fig4(instructions, seed);
+                let avg = experiments::fig4_average(&rows);
+                println!("{}", render::fig4(&rows, &avg));
+            }
+            "fig5" => println!("{}", render::fig5(&experiments::fig5(instructions, seed))),
+            "energy" => println!("{}", render::energy(&experiments::energy(seed))),
+            "table4" => {
+                let (oram, obfus) = experiments::table4();
+                println!("{}", render::table4(&oram, &obfus));
+            }
+            "oram-variants" => {
+                println!("{}", render::oram_variants(&experiments::oram_variants(seed)))
+            }
+            "oram-detailed" => {
+                println!("{}", render::oram_detailed(&experiments::oram_detailed(seed)))
+            }
+            "ablation-dummy" => println!(
+                "{}",
+                render::ablation_dummy(&experiments::ablation_dummy_policy(instructions, seed))
+            ),
+            "ablation-mac" => println!(
+                "{}",
+                render::ablation_mac(&experiments::ablation_mac_scheme(instructions, seed))
+            ),
+            "ablation-pairing" => println!(
+                "{}",
+                render::ablation_pairing(&experiments::ablation_pairing(instructions, seed))
+            ),
+            "ablation-mapping" => println!(
+                "{}",
+                render::ablation_mapping(&experiments::ablation_mapping(instructions, seed))
+            ),
+            "ablation-typehiding" => println!(
+                "{}",
+                render::ablation_type_hiding(&experiments::ablation_type_hiding(
+                    instructions,
+                    seed
+                ))
+            ),
+            "ablation-stash" => {
+                println!("{}", render::ablation_stash(&experiments::ablation_oram_stash(seed)))
+            }
+            other => usage(&format!("unknown experiment {other:?}")),
+        }
+    }
+}
+
+fn print_config() {
+    let mem = obfusmem_mem::config::MemConfig::table2();
+    let hier = obfusmem_cache::config::HierarchyConfig::table2();
+    println!("Table 2: simulated machine configuration");
+    println!("  cores           : {} x 2 GHz (trace-driven)", hier.cores);
+    println!(
+        "  L1 / L2 / L3    : {} KB / {} KB / {} MB, all 8-way, 64 B blocks",
+        hier.l1.size_bytes >> 10,
+        hier.l2.size_bytes >> 10,
+        hier.l3.size_bytes >> 20
+    );
+    println!(
+        "  memory          : {} GB PCM, {} channel(s) x 12.8 GB/s",
+        mem.capacity_bytes >> 30,
+        mem.channels
+    );
+    println!(
+        "  PCM timing      : tRCD {} ns, tRP {} ns, tCL {} ns, tBURST {} ns",
+        mem.t_rcd.as_ns(),
+        mem.t_rp.as_ns(),
+        mem.t_cl.as_ns_f64(),
+        mem.t_burst.as_ns()
+    );
+    println!("  organization    : {} ranks/channel, {} banks/rank, 1 KB rows, RoRaBaChCo",
+        mem.ranks_per_channel, mem.banks_per_rank);
+    println!("  counter cache   : 256 KB, 8-way, 5 cycles");
+    println!("  AES (45nm synth): 24-cycle pipeline @ 4 ns, 128-bit pad/cycle");
+    println!("  MD5             : 64-stage pipeline\n");
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]\n\
+         experiments: config table1 table3 fig4 fig5 energy table4 oram-variants oram-detailed\n\
+         \u{20}            ablation-dummy ablation-mac ablation-pairing ablation-mapping\n\u{20}            ablation-typehiding ablation-stash all"
+    );
+    std::process::exit(2);
+}

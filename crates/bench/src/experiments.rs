@@ -1,0 +1,825 @@
+//! The experiment runners, one per paper artifact.
+
+use obfusmem_core::backend::ObfusMemBackend;
+use obfusmem_core::config::{
+    ChannelStrategy, DummyAddressPolicy, MacScheme, ObfusMemConfig, SecurityLevel, TypeHiding,
+};
+use obfusmem_core::system::{System, SystemConfig};
+use obfusmem_cpu::core::{MemoryBackend, TraceDrivenCore};
+use obfusmem_cpu::workload::{by_name, table1_workloads, WorkloadSpec};
+use obfusmem_mem::config::MemConfig;
+use obfusmem_mem::energy::EnergyModel;
+use obfusmem_oram::model::OramModel;
+use obfusmem_oram::path_oram::{OramConfig, PathOram};
+use obfusmem_sec::table4::{measure_obfusmem, measure_oram, SchemeColumn};
+use obfusmem_sim::rng::SplitMix64;
+
+/// Published Table 1 rows: `(name, ipc, mpki, gap_ns)`.
+pub const PAPER_TABLE1: [(&str, f64, f64, f64); 15] = [
+    ("bwaves", 0.59, 18.23, 44.32),
+    ("mcf", 0.17, 24.82, 74.95),
+    ("lbm", 0.35, 6.94, 67.97),
+    ("zeus", 0.53, 4.81, 63.56),
+    ("milc", 0.42, 15.56, 51.54),
+    ("xalan", 0.52, 0.97, 945.62),
+    ("omnetpp", 4.30, 0.10, 1104.74),
+    ("soplex", 0.25, 23.11, 69.06),
+    ("libquantum", 0.33, 5.56, 146.82),
+    ("sjeng", 0.95, 0.36, 1382.13),
+    ("leslie3d", 0.49, 9.85, 58.91),
+    ("astar", 0.70, 0.13, 5660.18),
+    ("hmmer", 1.39, 0.02, 2687.60),
+    ("cactus", 1.05, 1.91, 128.09),
+    ("gems", 0.40, 11.66, 66.25),
+];
+
+/// Published Table 3 rows: `(name, oram_overhead_%, obfus_auth_overhead_%, speedup_x)`.
+pub const PAPER_TABLE3: [(&str, f64, f64, f64); 15] = [
+    ("bwaves", 1561.0, 18.9, 14.0),
+    ("mcf", 1133.3, 32.1, 9.3),
+    ("lbm", 1298.6, 12.5, 12.4),
+    ("zeus", 1644.3, 14.9, 15.2),
+    ("milc", 1846.6, 28.4, 15.2),
+    ("xalan", 137.7, 0.8, 2.4),
+    ("omnetpp", 64.96, 1.2, 1.6),
+    ("soplex", 1878.6, 15.7, 17.1),
+    ("libquantum", 604.8, 2.9, 6.8),
+    ("sjeng", 152.5, 1.1, 2.5),
+    ("leslie3d", 1626.6, 15.1, 15.0),
+    ("astar", 30.7, 0.1, 1.3),
+    ("hmmer", 86.6, 0.0, 1.9),
+    ("cactus", 784.8, 5.2, 8.4),
+    ("gems", 1340.9, 14.3, 12.6),
+];
+
+/// Paper Figure 4 averages: encryption-only 2.2%, ObfusMem 8.3%,
+/// ObfusMem+Auth 10.9%.
+pub const PAPER_FIG4_AVG: (f64, f64, f64) = (2.2, 8.3, 10.9);
+
+/// One Table 1 row, measured.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Measured IPC on the unprotected machine.
+    pub ipc: f64,
+    /// LLC MPKI (generator input, included for completeness).
+    pub mpki: f64,
+    /// Measured average gap between memory requests, ns.
+    pub gap_ns: f64,
+    /// Published `(ipc, mpki, gap)` for side-by-side rendering.
+    pub paper: (f64, f64, f64),
+}
+
+/// Runs Table 1: characteristics of the 15 workloads on the unprotected
+/// machine.
+pub fn table1(instructions: u64, seed: u64) -> Vec<Table1Row> {
+    table1_workloads()
+        .into_iter()
+        .map(|spec| {
+            let mut sys = System::new(SystemConfig {
+                security: SecurityLevel::Unprotected,
+                ..SystemConfig::default()
+            });
+            let r = sys.run(&spec, instructions, seed);
+            let paper = PAPER_TABLE1
+                .iter()
+                .find(|(n, ..)| *n == spec.name)
+                .map(|&(_, i, m, g)| (i, m, g))
+                .expect("workload present in paper table");
+            Table1Row {
+                name: spec.name,
+                ipc: r.ipc,
+                mpki: spec.llc_mpki,
+                gap_ns: r.avg_request_gap_ns,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// One Table 3 row, measured.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// ORAM execution-time overhead over unprotected, %.
+    pub oram_overhead: f64,
+    /// ObfusMem+Auth overhead over unprotected, %.
+    pub obfus_overhead: f64,
+    /// Speedup of ObfusMem+Auth over ORAM.
+    pub speedup: f64,
+    /// Published `(oram, obfus, speedup)`.
+    pub paper: (f64, f64, f64),
+}
+
+/// Runs one workload against unprotected / ObfusMem+Auth / fixed-latency
+/// ORAM and returns the Table 3 row.
+pub fn table3_row(spec: &WorkloadSpec, instructions: u64, seed: u64) -> Table3Row {
+    let mut base = System::new(SystemConfig {
+        security: SecurityLevel::Unprotected,
+        ..SystemConfig::default()
+    });
+    let r_base = base.run(spec, instructions, seed);
+
+    let mut obfus = System::new(SystemConfig {
+        security: SecurityLevel::ObfuscateAuth,
+        ..SystemConfig::default()
+    });
+    let r_obfus = obfus.run(spec, instructions, seed);
+
+    let core = TraceDrivenCore::new();
+    let mut oram = OramModel::paper();
+    let r_oram = core.run(spec, instructions, &mut oram, seed);
+
+    let paper = PAPER_TABLE3
+        .iter()
+        .find(|(n, ..)| *n == spec.name)
+        .map(|&(_, o, b, s)| (o, b, s))
+        .unwrap_or((0.0, 0.0, 0.0));
+    Table3Row {
+        name: spec.name,
+        oram_overhead: r_oram.overhead_vs(&r_base),
+        obfus_overhead: r_obfus.overhead_vs(&r_base),
+        speedup: r_oram.exec_time.as_ps() as f64 / r_obfus.exec_time.as_ps() as f64,
+        paper,
+    }
+}
+
+/// Runs the full Table 3.
+pub fn table3(instructions: u64, seed: u64) -> Vec<Table3Row> {
+    table1_workloads().iter().map(|w| table3_row(w, instructions, seed)).collect()
+}
+
+/// One Figure 4 bar group, measured.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Encryption-only overhead, %.
+    pub encrypt_only: f64,
+    /// ObfusMem (no auth) overhead, %.
+    pub obfusmem: f64,
+    /// ObfusMem+Auth overhead, %.
+    pub obfusmem_auth: f64,
+}
+
+/// Runs Figure 4: overhead breakdown by security level.
+pub fn fig4(instructions: u64, seed: u64) -> Vec<Fig4Row> {
+    table1_workloads()
+        .iter()
+        .map(|spec| {
+            let run = |security| {
+                let mut sys =
+                    System::new(SystemConfig { security, ..SystemConfig::default() });
+                sys.run(spec, instructions, seed)
+            };
+            let base = run(SecurityLevel::Unprotected);
+            Fig4Row {
+                name: spec.name,
+                encrypt_only: run(SecurityLevel::EncryptOnly).overhead_vs(&base),
+                obfusmem: run(SecurityLevel::Obfuscate).overhead_vs(&base),
+                obfusmem_auth: run(SecurityLevel::ObfuscateAuth).overhead_vs(&base),
+            }
+        })
+        .collect()
+}
+
+/// Arithmetic-mean summary of Figure 4 rows.
+pub fn fig4_average(rows: &[Fig4Row]) -> Fig4Row {
+    let n = rows.len().max(1) as f64;
+    Fig4Row {
+        name: "Avg",
+        encrypt_only: rows.iter().map(|r| r.encrypt_only).sum::<f64>() / n,
+        obfusmem: rows.iter().map(|r| r.obfusmem).sum::<f64>() / n,
+        obfusmem_auth: rows.iter().map(|r| r.obfusmem_auth).sum::<f64>() / n,
+    }
+}
+
+/// One Figure 5 data point.
+#[derive(Debug, Clone)]
+pub struct Fig5Point {
+    /// Channel count (1, 2, 4, 8).
+    pub channels: usize,
+    /// Injection strategy.
+    pub strategy: ChannelStrategy,
+    /// With communication authentication?
+    pub auth: bool,
+    /// Execution-time overhead vs the unprotected machine with the same
+    /// channel count, %.
+    pub overhead: f64,
+}
+
+/// The memory-intensive workloads averaged in the channel sweep.
+pub fn fig5_mix() -> Vec<WorkloadSpec> {
+    ["bwaves", "mcf", "milc", "soplex", "lbm", "leslie3d", "gems"]
+        .iter()
+        .map(|n| by_name(n).expect("Table 1 workload"))
+        .collect()
+}
+
+/// Runs Figure 5: channel-count sweep × injection strategy × auth.
+///
+/// Each point is the mean overhead of the memory-intensive workloads
+/// (run per-core, as the paper runs SPEC) on an N-channel machine,
+/// relative to the unprotected machine with the same channel count.
+pub fn fig5(instructions: u64, seed: u64) -> Vec<Fig5Point> {
+    let mix = fig5_mix();
+    let mut points = Vec::new();
+    for &channels in &[1usize, 2, 4, 8] {
+        let mem = MemConfig::table2().with_channels(channels);
+        let run = |cfg: ObfusMemConfig| -> f64 {
+            // Mean execution time across the workload set.
+            let total: f64 = mix
+                .iter()
+                .map(|spec| {
+                    let mut b = ObfusMemBackend::new(cfg, mem.clone(), seed);
+                    let core = TraceDrivenCore::new();
+                    core.run(spec, instructions, &mut b, seed).exec_time.as_ns_f64()
+                })
+                .sum();
+            total / mix.len() as f64
+        };
+        let base_ns = run(ObfusMemConfig {
+            security: SecurityLevel::Unprotected,
+            ..ObfusMemConfig::paper_default()
+        });
+        for &strategy in &[ChannelStrategy::Unopt, ChannelStrategy::Opt] {
+            for &auth in &[false, true] {
+                let ns = run(ObfusMemConfig {
+                    security: if auth {
+                        SecurityLevel::ObfuscateAuth
+                    } else {
+                        SecurityLevel::Obfuscate
+                    },
+                    channel_strategy: strategy,
+                    ..ObfusMemConfig::paper_default()
+                });
+                points.push(Fig5Point {
+                    channels,
+                    strategy,
+                    auth,
+                    overhead: 100.0 * (ns - base_ns) / base_ns,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// The §5.2 energy/lifetime comparison, measured + analytic.
+#[derive(Debug, Clone)]
+pub struct EnergyReport {
+    /// ORAM array energy per logical access (relative to one block read).
+    pub oram_energy_per_access: f64,
+    /// ObfusMem array energy per access (50:50 read/write mix).
+    pub obfus_energy_per_access: f64,
+    /// Energy reduction factor (paper: ~200×).
+    pub energy_reduction: f64,
+    /// ORAM 128-bit pads per access (paper: 800).
+    pub oram_pads_per_access: f64,
+    /// ObfusMem pads per access, worst case with 4 channels (paper: ≤64).
+    pub obfus_pads_worst_case: u64,
+    /// Measured ORAM write amplification from the functional tree.
+    pub oram_write_amplification: f64,
+    /// Measured lifetime ratio: ObfusMem vs ORAM on the same workload
+    /// (paper: ~100×). `None` if ObfusMem performed no array writes at
+    /// all over the sample (unbounded improvement).
+    pub lifetime_ratio: Option<f64>,
+}
+
+/// Runs the §5.2 analysis.
+pub fn energy(seed: u64) -> EnergyReport {
+    let model = EnergyModel::paper_relative();
+
+    // Analytic halves (the paper's arithmetic, §5.2).
+    let oram_energy = model.array_energy(100, 100); // 780×
+    let obfus_energy = model.array_energy(1, 1) / 2.0; // 3.9×
+
+    // Measured write amplification from the functional tree.
+    let mut oram = PathOram::new(OramConfig { levels: 8, bucket_size: 4, blocks: 512 }, seed)
+        .expect("valid config");
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..2000 {
+        let id = rng.below(512);
+        if rng.chance(0.5) {
+            oram.write(id, [1; 64]).expect("in range");
+        } else {
+            oram.read(id).expect("in range");
+        }
+    }
+
+    // Measured wear: same logical write stream through ObfusMem.
+    let cfg = ObfusMemConfig::paper_default();
+    let mut backend = ObfusMemBackend::new(cfg, MemConfig::table2(), seed);
+    let mut rng = SplitMix64::new(seed ^ 1);
+    let mut t = obfusmem_sim::time::Time::ZERO;
+    for _ in 0..2000 {
+        let addr = obfusmem_mem::request::BlockAddr::from_index(rng.below(512));
+        if rng.chance(0.5) {
+            backend.write(t, addr);
+        } else {
+            t = backend.read(t, addr);
+        }
+    }
+    let obfus_max_wear = backend.memory().wear().max_row_writes();
+    // ORAM writes ~(L+1)·Z blocks per access spread over the tree; its
+    // hottest rows are near the root, written on *every* access.
+    let oram_root_writes = oram.metrics().accesses; // root bucket rewritten per access
+
+    EnergyReport {
+        oram_energy_per_access: oram_energy,
+        obfus_energy_per_access: obfus_energy,
+        energy_reduction: oram_energy / obfus_energy,
+        oram_pads_per_access: 800.0,
+        obfus_pads_worst_case: 64,
+        oram_write_amplification: oram.metrics().write_amplification(),
+        lifetime_ratio: if obfus_max_wear == 0 {
+            None
+        } else {
+            Some(oram_root_writes as f64 / obfus_max_wear as f64)
+        },
+    }
+}
+
+/// Runs Table 4 (both measured columns).
+pub fn table4() -> (SchemeColumn, SchemeColumn) {
+    (measure_oram(), measure_obfusmem())
+}
+
+/// One ablation row for the dummy-address policy study (§3.3).
+#[derive(Debug, Clone)]
+pub struct DummyPolicyRow {
+    /// Policy under test.
+    pub policy: DummyAddressPolicy,
+    /// Exec-time overhead vs unprotected, %.
+    pub overhead: f64,
+    /// PCM array writes caused by dummies (endurance cost).
+    pub dummy_array_writes: u64,
+    /// Total array wear (max row writes).
+    pub max_row_writes: u64,
+}
+
+/// Ablation: fixed vs original vs random dummy addresses.
+pub fn ablation_dummy_policy(instructions: u64, seed: u64) -> Vec<DummyPolicyRow> {
+    let spec = by_name("bwaves").expect("Table 1 workload");
+    let base = {
+        let mut sys = System::new(SystemConfig {
+            security: SecurityLevel::Unprotected,
+            ..SystemConfig::default()
+        });
+        sys.run(&spec, instructions, seed)
+    };
+    [DummyAddressPolicy::Fixed, DummyAddressPolicy::Original, DummyAddressPolicy::Random]
+        .into_iter()
+        .map(|policy| {
+            let cfg = ObfusMemConfig { dummy_policy: policy, ..ObfusMemConfig::paper_default() };
+            let mut sys = System::new(SystemConfig {
+                security: SecurityLevel::ObfuscateAuth,
+                obfus: cfg,
+                mem: MemConfig::table2(),
+            });
+            let r = sys.run(&spec, instructions, seed);
+            DummyPolicyRow {
+                policy,
+                overhead: r.overhead_vs(&base),
+                dummy_array_writes: sys.backend().stats().dummy_array_writes,
+                max_row_writes: sys.backend().memory().wear().max_row_writes(),
+            }
+        })
+        .collect()
+}
+
+/// One MAC-scheme ablation row (§3.5, Observation 4).
+#[derive(Debug, Clone)]
+pub struct MacSchemeRow {
+    /// Scheme under test.
+    pub scheme: MacScheme,
+    /// Exec-time overhead vs unprotected, %.
+    pub overhead: f64,
+}
+
+/// Ablation: encrypt-and-MAC vs encrypt-then-MAC.
+pub fn ablation_mac_scheme(instructions: u64, seed: u64) -> Vec<MacSchemeRow> {
+    let spec = by_name("mcf").expect("Table 1 workload");
+    let base = {
+        let mut sys = System::new(SystemConfig {
+            security: SecurityLevel::Unprotected,
+            ..SystemConfig::default()
+        });
+        sys.run(&spec, instructions, seed)
+    };
+    [MacScheme::EncryptAndMac, MacScheme::EncryptThenMac]
+        .into_iter()
+        .map(|scheme| {
+            let cfg = ObfusMemConfig { mac_scheme: scheme, ..ObfusMemConfig::paper_default() };
+            let mut sys = System::new(SystemConfig {
+                security: SecurityLevel::ObfuscateAuth,
+                obfus: cfg,
+                mem: MemConfig::table2(),
+            });
+            MacSchemeRow { scheme, overhead: sys.run(&spec, instructions, seed).overhead_vs(&base) }
+        })
+        .collect()
+}
+
+/// One address-mapping ablation row (§3.4's interleaving-granularity
+/// discussion).
+#[derive(Debug, Clone)]
+pub struct MappingRow {
+    /// Mapping under test.
+    pub mapping: obfusmem_mem::addr::AddressMapping,
+    /// Exec-time overhead of ObfusMem+Auth vs unprotected (same mapping).
+    pub overhead: f64,
+    /// Channel-step predictability of a sequential stream with no
+    /// inter-channel injection (the §3.4 leak).
+    pub channel_step_leak: f64,
+}
+
+/// Ablation: row-granularity vs block-granularity channel interleaving on
+/// a 4-channel machine.
+pub fn ablation_mapping(instructions: u64, seed: u64) -> Vec<MappingRow> {
+    use obfusmem_mem::addr::AddressMapping;
+    use obfusmem_mem::request::BlockAddr;
+    use obfusmem_sec::leakage::channel_step_predictability;
+
+    let spec = by_name("bwaves").expect("Table 1 workload");
+    [AddressMapping::RoRaBaChCo, AddressMapping::RoBaRaCoCh]
+        .into_iter()
+        .map(|mapping| {
+            let mem = MemConfig::table2().with_channels(4).with_mapping(mapping);
+            let mut base = System::new(SystemConfig {
+                security: SecurityLevel::Unprotected,
+                mem: mem.clone(),
+                ..SystemConfig::default()
+            });
+            let r_base = base.run(&spec, instructions, seed);
+            let mut prot = System::new(SystemConfig {
+                security: SecurityLevel::ObfuscateAuth,
+                mem: mem.clone(),
+                ..SystemConfig::default()
+            });
+            let r_prot = prot.run(&spec, instructions, seed);
+
+            // Leakage probe: sequential stream, no injection.
+            let cfg = ObfusMemConfig {
+                channel_strategy: ChannelStrategy::None,
+                ..ObfusMemConfig::paper_default()
+            };
+            let mut b = ObfusMemBackend::new(cfg, mem, seed);
+            b.enable_trace();
+            let mut t = obfusmem_sim::time::Time::ZERO;
+            for i in 0..300u64 {
+                t = b.read(t, BlockAddr::from_index(i));
+            }
+            let leak = channel_step_predictability(&b.take_trace(), 4);
+
+            MappingRow { mapping, overhead: r_prot.overhead_vs(&r_base), channel_step_leak: leak }
+        })
+        .collect()
+}
+
+/// One detailed-ORAM validation row: measured per-access latency on the
+/// Table 2 PCM device at a given tree depth.
+#[derive(Debug, Clone)]
+pub struct DetailedOramRow {
+    /// Tree edge-levels.
+    pub levels: u32,
+    /// Blocks per path ((levels+1)·Z).
+    pub path_blocks: u64,
+    /// Measured mean access latency, ns.
+    pub mean_ns: f64,
+}
+
+/// Validates the paper's fixed 2500 ns ORAM latency: runs the functional
+/// Path ORAM against the real PCM timing model at increasing depths and
+/// reports the measured per-access latency (the L=24 paper configuration
+/// extrapolates along the same line).
+pub fn oram_detailed(seed: u64) -> Vec<DetailedOramRow> {
+    use obfusmem_oram::detailed::DetailedOram;
+    use obfusmem_mem::request::BlockAddr;
+    [8u32, 12, 16, 18]
+        .into_iter()
+        .map(|levels| {
+            let blocks = (4u64 << levels) / 4;
+            let mut d = DetailedOram::new(
+                OramConfig { levels, bucket_size: 4, blocks },
+                MemConfig::table2(),
+                seed,
+            )
+            .expect("valid geometry");
+            let mut rng = SplitMix64::new(seed ^ levels as u64);
+            let mut t = obfusmem_sim::time::Time::ZERO;
+            for _ in 0..200 {
+                t = obfusmem_cpu::core::MemoryBackend::read(
+                    &mut d,
+                    t,
+                    BlockAddr::from_index(rng.below(blocks)),
+                );
+            }
+            DetailedOramRow {
+                levels,
+                path_blocks: (levels as u64 + 1) * 4,
+                mean_ns: d.mean_access_ns(),
+            }
+        })
+        .collect()
+}
+
+/// One type-hiding ablation row (§3.3's design comparison).
+#[derive(Debug, Clone)]
+pub struct TypeHidingRow {
+    /// Scheme under test.
+    pub scheme: TypeHiding,
+    /// Exec-time overhead vs unprotected on a write-heavy workload.
+    pub overhead: f64,
+    /// Bus-busy picoseconds (bandwidth proxy).
+    pub bus_busy_ps: u64,
+    /// Substituted pairs (nonzero only with substitution).
+    pub substituted: u64,
+}
+
+/// Ablation: split dummies vs split+substitution vs uniform packets on a
+/// write-heavy workload (lbm: 45% write-backs).
+pub fn ablation_type_hiding(instructions: u64, seed: u64) -> Vec<TypeHidingRow> {
+    let spec = by_name("lbm").expect("Table 1 workload");
+    let base = {
+        let mut sys = System::new(SystemConfig {
+            security: SecurityLevel::Unprotected,
+            ..SystemConfig::default()
+        });
+        sys.run(&spec, instructions, seed)
+    };
+    [TypeHiding::SplitDummy, TypeHiding::SplitDummyWithSubstitution, TypeHiding::UniformPackets]
+        .into_iter()
+        .map(|scheme| {
+            let cfg = ObfusMemConfig { type_hiding: scheme, ..ObfusMemConfig::paper_default() };
+            let mut sys = System::new(SystemConfig {
+                security: SecurityLevel::ObfuscateAuth,
+                obfus: cfg,
+                mem: MemConfig::table2(),
+            });
+            let r = sys.run(&spec, instructions, seed);
+            TypeHidingRow {
+                scheme,
+                overhead: r.overhead_vs(&base),
+                bus_busy_ps: sys.backend().memory().channel_stats(0).bus_busy_ps.get(),
+                substituted: sys.backend().stats().substituted_pairs,
+            }
+        })
+        .collect()
+}
+
+/// ORAM-variant comparison row (the paper's "24× and 120× in Ring and
+/// Path ORAM" bandwidth citation).
+#[derive(Debug, Clone)]
+pub struct OramVariantRow {
+    /// Variant name.
+    pub name: &'static str,
+    /// Measured physical blocks moved per logical access.
+    pub bandwidth_amplification: f64,
+}
+
+/// Compares Path ORAM and Ring ORAM bandwidth amplification on the same
+/// access stream (same tree depth and block count).
+pub fn oram_variants(seed: u64) -> Vec<OramVariantRow> {
+    use obfusmem_oram::ring_oram::{RingConfig, RingOram};
+    let levels = 12;
+    let blocks = 4000;
+    let mut path = PathOram::new(
+        OramConfig { levels, bucket_size: 4, blocks },
+        seed,
+    )
+    .expect("valid geometry");
+    let mut ring = RingOram::new(RingConfig::ren_style(levels, blocks), seed)
+        .expect("valid geometry");
+    let mut rng = SplitMix64::new(seed ^ 0xA11);
+    for _ in 0..3000 {
+        let id = rng.below(blocks);
+        path.read(id).expect("in range");
+        ring.read(id).expect("in range");
+    }
+    vec![
+        OramVariantRow {
+            name: "Path ORAM (Z=4)",
+            bandwidth_amplification: path.metrics().bandwidth_amplification(),
+        },
+        OramVariantRow {
+            name: "Ring ORAM (Z=16,S=25,A=23,XOR)",
+            bandwidth_amplification: ring.metrics().bandwidth_amplification(),
+        },
+    ]
+}
+
+/// One pairing-order ablation row (§3.3).
+#[derive(Debug, Clone)]
+pub struct PairingRow {
+    /// Order under test.
+    pub pairing: obfusmem_core::config::PairingOrder,
+    /// Exec-time overhead vs unprotected, %.
+    pub overhead: f64,
+}
+
+/// Ablation: read-then-write vs write-then-read pairing on a read-heavy
+/// workload.
+pub fn ablation_pairing(instructions: u64, seed: u64) -> Vec<PairingRow> {
+    let spec = by_name("milc").expect("Table 1 workload");
+    let base = {
+        let mut sys = System::new(SystemConfig {
+            security: SecurityLevel::Unprotected,
+            ..SystemConfig::default()
+        });
+        sys.run(&spec, instructions, seed)
+    };
+    use obfusmem_core::config::PairingOrder;
+    [PairingOrder::ReadThenWrite, PairingOrder::WriteThenRead]
+        .into_iter()
+        .map(|pairing| {
+            let cfg = ObfusMemConfig { pairing, ..ObfusMemConfig::paper_default() };
+            let mut sys = System::new(SystemConfig {
+                security: SecurityLevel::ObfuscateAuth,
+                obfus: cfg,
+                mem: MemConfig::table2(),
+            });
+            PairingRow { pairing, overhead: sys.run(&spec, instructions, seed).overhead_vs(&base) }
+        })
+        .collect()
+}
+
+/// ORAM stash-pressure ablation: stash high-water and soft-overflow rate
+/// as a function of utilization.
+#[derive(Debug, Clone)]
+pub struct StashRow {
+    /// Logical blocks stored (fixed tree: L=10, Z=4).
+    pub blocks: u64,
+    /// Utilization of physical slots, %.
+    pub utilization: f64,
+    /// Stash high-water mark over the run.
+    pub stash_high_water: usize,
+    /// Accesses that left the stash above the soft bound.
+    pub soft_overflows: u64,
+}
+
+/// Ablation: ORAM failure pressure vs utilization (why ≥100% storage
+/// overhead is needed).
+pub fn ablation_oram_stash(seed: u64) -> Vec<StashRow> {
+    [512u64, 1024, 2048, 4094]
+        .into_iter()
+        .map(|blocks| {
+            let cfg = OramConfig { levels: 10, bucket_size: 4, blocks };
+            let mut oram = PathOram::new(cfg, seed).expect("≤50% utilization");
+            oram.set_stash_soft_bound(30);
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..5000 {
+                oram.read(rng.below(blocks)).expect("in range");
+            }
+            StashRow {
+                blocks,
+                utilization: 100.0 * blocks as f64 / cfg.physical_slots() as f64,
+                stash_high_water: oram.stash_high_water(),
+                soft_overflows: oram.metrics().stash_soft_overflows,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 100_000;
+
+    #[test]
+    fn table3_shape_holds_for_extremes() {
+        // bwaves (memory-bound): ORAM ≫ ObfusMem. astar (compute-bound):
+        // both small. The crossover the paper's evaluation is about.
+        let bwaves = table3_row(&by_name("bwaves").unwrap(), N, 1);
+        assert!(bwaves.oram_overhead > 300.0, "bwaves ORAM {}", bwaves.oram_overhead);
+        assert!(bwaves.obfus_overhead < 60.0, "bwaves ObfusMem {}", bwaves.obfus_overhead);
+        assert!(bwaves.speedup > 3.0, "bwaves speedup {}", bwaves.speedup);
+
+        let astar = table3_row(&by_name("astar").unwrap(), N, 1);
+        assert!(astar.oram_overhead < 120.0, "astar ORAM {}", astar.oram_overhead);
+        assert!(astar.obfus_overhead < 5.0, "astar ObfusMem {}", astar.obfus_overhead);
+        assert!(astar.speedup < bwaves.speedup);
+    }
+
+    #[test]
+    fn fig4_levels_are_ordered() {
+        let spec = by_name("milc").unwrap();
+        let rows = {
+            let run = |security| {
+                let mut sys = System::new(SystemConfig { security, ..SystemConfig::default() });
+                sys.run(&spec, N, 2)
+            };
+            let base = run(SecurityLevel::Unprotected);
+            (
+                run(SecurityLevel::EncryptOnly).overhead_vs(&base),
+                run(SecurityLevel::Obfuscate).overhead_vs(&base),
+                run(SecurityLevel::ObfuscateAuth).overhead_vs(&base),
+            )
+        };
+        assert!(rows.0 <= rows.1 + 0.5 && rows.1 <= rows.2 + 0.5, "{rows:?}");
+    }
+
+    #[test]
+    fn energy_matches_paper_arithmetic() {
+        let e = energy(3);
+        assert!((e.oram_energy_per_access - 780.0).abs() < 1e-9);
+        assert!((e.obfus_energy_per_access - 3.9).abs() < 1e-9);
+        assert!((e.energy_reduction - 200.0).abs() < 1e-9);
+        // L=8, Z=4 → (L+1)·Z = 36 blocks written per access.
+        assert!((e.oram_write_amplification - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dummy_policy_ablation_shows_endurance_cost() {
+        let rows = ablation_dummy_policy(N, 4);
+        let fixed = &rows[0];
+        let original = &rows[1];
+        assert_eq!(fixed.dummy_array_writes, 0);
+        assert!(original.dummy_array_writes > 0, "original-address dummies hit the array");
+        assert!(original.max_row_writes >= fixed.max_row_writes);
+    }
+
+    #[test]
+    fn mac_ablation_shows_observation4() {
+        let rows = ablation_mac_scheme(N, 5);
+        assert!(
+            rows[1].overhead > rows[0].overhead + 1.0,
+            "encrypt-then-MAC {} must exceed encrypt-and-MAC {}",
+            rows[1].overhead,
+            rows[0].overhead
+        );
+    }
+
+    #[test]
+    fn detailed_oram_latency_brackets_the_paper_assumption() {
+        let rows = oram_detailed(15);
+        // Latency grows with depth…
+        assert!(rows.windows(2).all(|w| w[1].mean_ns > w[0].mean_ns));
+        // …and the deeper configurations land in the microsecond class
+        // the paper's 2500 ns figure lives in.
+        let deepest = rows.last().unwrap();
+        assert!(
+            (800.0..20_000.0).contains(&deepest.mean_ns),
+            "L={} measured {} ns",
+            deepest.levels,
+            deepest.mean_ns
+        );
+    }
+
+    #[test]
+    fn type_hiding_ablation_shows_substitution_wins_on_bandwidth() {
+        let rows = ablation_type_hiding(N, 13);
+        let split = &rows[0];
+        let subst = &rows[1];
+        let uniform = &rows[2];
+        assert!(subst.substituted > 0, "substitution must fire on a write-heavy workload");
+        assert!(split.substituted == 0 && uniform.substituted == 0);
+        assert!(
+            subst.bus_busy_ps < split.bus_busy_ps && subst.bus_busy_ps < uniform.bus_busy_ps,
+            "substitution must use the least bus: split={} subst={} uniform={}",
+            split.bus_busy_ps,
+            subst.bus_busy_ps,
+            uniform.bus_busy_ps
+        );
+    }
+
+    #[test]
+    fn mapping_ablation_shows_the_interleaving_leak() {
+        let rows = ablation_mapping(N, 9);
+        let coarse = &rows[0]; // RoRaBaChCo
+        let fine = &rows[1]; // RoBaRaCoCh
+        assert!(fine.channel_step_leak > 0.9, "fine interleave leaks: {}", fine.channel_step_leak);
+        assert!(coarse.channel_step_leak < 0.2, "coarse hides steps: {}", coarse.channel_step_leak);
+    }
+
+    #[test]
+    fn ring_oram_beats_path_oram_on_bandwidth() {
+        let rows = oram_variants(11);
+        assert!(
+            rows[1].bandwidth_amplification * 1.8 < rows[0].bandwidth_amplification,
+            "Ring {} must be well below Path {}",
+            rows[1].bandwidth_amplification,
+            rows[0].bandwidth_amplification
+        );
+    }
+
+    #[test]
+    fn pairing_ablation_shows_read_then_write_wins() {
+        let rows = ablation_pairing(N, 7);
+        assert!(
+            rows[1].overhead > rows[0].overhead,
+            "write-then-read {} must exceed read-then-write {}",
+            rows[1].overhead,
+            rows[0].overhead
+        );
+    }
+
+    #[test]
+    fn stash_pressure_grows_with_utilization() {
+        let rows = ablation_oram_stash(6);
+        assert!(rows.last().unwrap().stash_high_water >= rows[0].stash_high_water);
+    }
+}

@@ -1,0 +1,283 @@
+//! A write-back, write-allocate set-associative cache with true LRU.
+//!
+//! Tags are real (derived from the full address), so conflict behaviour is
+//! faithful; data payloads are not stored — the functional data path lives
+//! in the memory device, and caches only decide *hit or miss* and *which
+//! dirty victim spills*.
+
+use obfusmem_sim::stats::Counter;
+
+use crate::config::CacheConfig;
+
+/// Whether an access reads or writes the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOp {
+    /// Load.
+    Read,
+    /// Store (marks the block dirty).
+    Write,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// True when the block was present.
+    pub hit: bool,
+    /// Block-aligned address of a dirty victim evicted by the fill, if any.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Accesses (reads + writes).
+    pub accesses: Counter,
+    /// Misses.
+    pub misses: Counter,
+    /// Dirty write-backs emitted.
+    pub writebacks: Counter,
+}
+
+impl CacheStats {
+    /// Miss ratio in \[0, 1\] (0 when never accessed).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses.get() == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / self.accesses.get() as f64
+        }
+    }
+}
+
+/// A set-associative cache.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        Cache { cfg, sets: vec![Vec::new(); cfg.sets()], clock: 0, stats: CacheStats::default() }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn index_and_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr / self.cfg.block_bytes;
+        let index = (block % self.cfg.sets() as u64) as usize;
+        let tag = block / self.cfg.sets() as u64;
+        (index, tag)
+    }
+
+    /// Accesses `addr`, allocating on miss. Returns hit/miss and any dirty
+    /// victim's block address.
+    pub fn access(&mut self, addr: u64, op: CacheOp) -> CacheOutcome {
+        self.clock += 1;
+        self.stats.accesses.incr();
+        let (index, tag) = self.index_and_tag(addr);
+        let ways = self.cfg.ways;
+        let block_bytes = self.cfg.block_bytes;
+        let sets = self.cfg.sets() as u64;
+        let clock = self.clock;
+        let set = &mut self.sets[index];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = clock;
+            if op == CacheOp::Write {
+                line.dirty = true;
+            }
+            return CacheOutcome { hit: true, writeback: None };
+        }
+
+        self.stats.misses.incr();
+        let mut writeback = None;
+        if set.len() == ways {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let victim = set.swap_remove(victim_idx);
+            if victim.dirty {
+                let victim_block = victim.tag * sets + index as u64;
+                writeback = Some(victim_block * block_bytes);
+                self.stats.writebacks.incr();
+            }
+        }
+        set.push(Line { tag, dirty: op == CacheOp::Write, lru: clock });
+        CacheOutcome { hit: false, writeback }
+    }
+
+    /// True if `addr`'s block is currently cached (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (index, tag) = self.index_and_tag(addr);
+        self.sets[index].iter().any(|l| l.tag == tag)
+    }
+
+    /// Invalidates `addr`'s block if present; returns the dirty block
+    /// address if the invalidated line needed writing back.
+    pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
+        let (index, tag) = self.index_and_tag(addr);
+        let sets = self.cfg.sets() as u64;
+        let block_bytes = self.cfg.block_bytes;
+        let set = &mut self.sets[index];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            let line = set.swap_remove(pos);
+            if line.dirty {
+                return Some((line.tag * sets + index as u64) * block_bytes);
+            }
+        }
+        None
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        Cache::new(CacheConfig { size_bytes: 256, ways: 2, block_bytes: 64, latency_cycles: 1 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x0, CacheOp::Read).hit);
+        assert!(c.access(0x0, CacheOp::Read).hit);
+        assert!(c.access(0x3F, CacheOp::Read).hit, "same block, different offset");
+        assert!(!c.access(0x40, CacheOp::Read).hit, "next block is a different set/line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds blocks whose block-index is even (2 sets).
+        c.access(0x000, CacheOp::Read); // A
+        c.access(0x080, CacheOp::Read); // B  (set 0 now full)
+        c.access(0x000, CacheOp::Read); // touch A → B is LRU
+        c.access(0x100, CacheOp::Read); // C evicts B
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x080));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn dirty_victim_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, CacheOp::Write);
+        c.access(0x080, CacheOp::Read);
+        let out = c.access(0x100, CacheOp::Read); // evicts dirty 0x000
+        assert_eq!(out.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn clean_victim_is_silent() {
+        let mut c = tiny();
+        c.access(0x000, CacheOp::Read);
+        c.access(0x080, CacheOp::Read);
+        let out = c.access(0x100, CacheOp::Read);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, CacheOp::Read);
+        c.access(0x000, CacheOp::Write); // dirty via hit
+        c.access(0x080, CacheOp::Read);
+        let out = c.access(0x100, CacheOp::Read);
+        assert_eq!(out.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_address() {
+        let mut c = tiny();
+        c.access(0x140, CacheOp::Write);
+        assert_eq!(c.invalidate(0x140), Some(0x140));
+        assert!(!c.contains(0x140));
+        c.access(0x140, CacheOp::Read);
+        assert_eq!(c.invalidate(0x140), None);
+    }
+
+    #[test]
+    fn stats_track_miss_ratio() {
+        let mut c = tiny();
+        c.access(0, CacheOp::Read);
+        c.access(0, CacheOp::Read);
+        c.access(0, CacheOp::Read);
+        c.access(0, CacheOp::Read);
+        assert_eq!(c.stats().miss_ratio(), 0.25);
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let mut c = tiny();
+        for i in 0..100 {
+            c.access(i * 64, CacheOp::Read);
+        }
+        assert!(c.resident_blocks() <= 4);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn resident_set_matches_oracle(addrs in proptest::collection::vec(0u64..4096, 1..200)) {
+            // Fully-associative oracle per set: simulate LRU by hand.
+            let mut c = tiny();
+            let mut oracle: Vec<std::collections::VecDeque<u64>> =
+                vec![Default::default(), Default::default()];
+            for addr in addrs {
+                let block = addr / 64;
+                let set = (block % 2) as usize;
+                c.access(addr, CacheOp::Read);
+                let q = &mut oracle[set];
+                if let Some(pos) = q.iter().position(|&b| b == block) {
+                    q.remove(pos);
+                } else if q.len() == 2 {
+                    q.pop_front();
+                }
+                q.push_back(block);
+            }
+            for (set, q) in oracle.iter().enumerate() {
+                for &block in q {
+                    proptest::prop_assert!(
+                        c.contains(block * 64),
+                        "block {block} missing from set {set}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Cache geometry and latency configuration (paper Table 2).
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Hit latency in core cycles.
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Table 2 L1: private, 2 cycles, 32 KB, 8-way, 64 B blocks.
+    pub fn l1() -> Self {
+        CacheConfig { size_bytes: 32 << 10, ways: 8, block_bytes: 64, latency_cycles: 2 }
+    }
+
+    /// Table 2 L2: private, 8 cycles, 512 KB, 8-way, 64 B blocks.
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 512 << 10, ways: 8, block_bytes: 64, latency_cycles: 8 }
+    }
+
+    /// Table 2 L3: shared, 17 cycles, 8 MB, 8-way, 64 B blocks.
+    pub fn l3() -> Self {
+        CacheConfig { size_bytes: 8 << 20, ways: 8, block_bytes: 64, latency_cycles: 17 }
+    }
+
+    /// Table 2 counter cache: 5 cycles, 256 KB, 8-way, 64 B blocks.
+    pub fn counter_cache() -> Self {
+        CacheConfig { size_bytes: 256 << 10, ways: 8, block_bytes: 64, latency_cycles: 5 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.block_bytes)) as usize
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero or non-power-of-two fields, or when capacity is not
+    /// an exact multiple of `ways × block`.
+    pub fn validate(&self) {
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            self.size_bytes % (self.ways as u64 * self.block_bytes) == 0,
+            "capacity must divide evenly into sets"
+        );
+        assert!(self.sets() >= 1 && self.sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+/// Configuration of the whole Table 2 hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Private L1 (per core).
+    pub l1: CacheConfig,
+    /// Private L2 (per core).
+    pub l2: CacheConfig,
+    /// Shared L3 (the LLC).
+    pub l3: CacheConfig,
+    /// Number of cores sharing the L3 (Table 2: 4).
+    pub cores: usize,
+}
+
+impl HierarchyConfig {
+    /// The Table 2 machine.
+    pub fn table2() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            l3: CacheConfig::l3(),
+            cores: 4,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_geometries_validate() {
+        for cfg in [CacheConfig::l1(), CacheConfig::l2(), CacheConfig::l3(), CacheConfig::counter_cache()] {
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    fn set_counts() {
+        assert_eq!(CacheConfig::l1().sets(), 64);
+        assert_eq!(CacheConfig::l2().sets(), 1024);
+        assert_eq!(CacheConfig::l3().sets(), 16384);
+        assert_eq!(CacheConfig::counter_cache().sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_geometry() {
+        CacheConfig { size_bytes: 3000, ways: 3, block_bytes: 60, latency_cycles: 1 }.validate();
+    }
+}

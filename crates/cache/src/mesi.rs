@@ -1,0 +1,257 @@
+//! Directory-based MESI coherence for the four cores (Table 2).
+//!
+//! The directory sits logically at the shared L3 and tracks, per block,
+//! which cores hold it and in what state. The model is functional — it
+//! answers "which messages does this access generate and what do the
+//! states become" — which is what the full-system simulator needs to
+//! charge coherence traffic and keep private caches consistent.
+
+use std::collections::HashMap;
+
+/// MESI states for a block in one core's private hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mesi {
+    /// Modified: exclusive and dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly multiple copies, clean.
+    Shared,
+    /// Invalid: not present.
+    Invalid,
+}
+
+/// Coherence messages the directory issues in response to an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceMsg {
+    /// Another core must invalidate its copy.
+    Invalidate {
+        /// Core losing its copy.
+        core: usize,
+    },
+    /// Another core holding Modified data must write it back / forward it.
+    WritebackFrom {
+        /// Core supplying the dirty data.
+        core: usize,
+    },
+    /// Another core's Exclusive/Modified copy downgrades to Shared.
+    DowngradeToShared {
+        /// Core whose copy downgrades.
+        core: usize,
+    },
+}
+
+/// The per-block directory over `cores` private caches.
+#[derive(Debug)]
+pub struct Directory {
+    cores: usize,
+    states: HashMap<u64, Vec<Mesi>>,
+}
+
+impl Directory {
+    /// Creates a directory for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "directory needs at least one core");
+        Directory { cores, states: HashMap::new() }
+    }
+
+    /// Current state of `block` at `core`.
+    pub fn state(&self, core: usize, block: u64) -> Mesi {
+        self.states.get(&block).map_or(Mesi::Invalid, |v| v[core])
+    }
+
+    fn entry(&mut self, block: u64) -> &mut Vec<Mesi> {
+        let cores = self.cores;
+        self.states.entry(block).or_insert_with(|| vec![Mesi::Invalid; cores])
+    }
+
+    /// Core `core` reads `block`. Returns the coherence messages required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn read(&mut self, core: usize, block: u64) -> Vec<CoherenceMsg> {
+        assert!(core < self.cores, "core index out of range");
+        let states = self.entry(block);
+        let mut msgs = Vec::new();
+        if states[core] != Mesi::Invalid {
+            return msgs; // read hit in a valid state: silent
+        }
+        let mut any_other = false;
+        for (other, state) in states.iter_mut().enumerate() {
+            if other == core {
+                continue;
+            }
+            match *state {
+                Mesi::Modified => {
+                    msgs.push(CoherenceMsg::WritebackFrom { core: other });
+                    msgs.push(CoherenceMsg::DowngradeToShared { core: other });
+                    *state = Mesi::Shared;
+                    any_other = true;
+                }
+                Mesi::Exclusive => {
+                    msgs.push(CoherenceMsg::DowngradeToShared { core: other });
+                    *state = Mesi::Shared;
+                    any_other = true;
+                }
+                Mesi::Shared => any_other = true,
+                Mesi::Invalid => {}
+            }
+        }
+        states[core] = if any_other { Mesi::Shared } else { Mesi::Exclusive };
+        msgs
+    }
+
+    /// Core `core` writes `block`. Returns the coherence messages required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn write(&mut self, core: usize, block: u64) -> Vec<CoherenceMsg> {
+        assert!(core < self.cores, "core index out of range");
+        let states = self.entry(block);
+        let mut msgs = Vec::new();
+        for (other, state) in states.iter_mut().enumerate() {
+            if other == core {
+                continue;
+            }
+            match *state {
+                Mesi::Modified => {
+                    msgs.push(CoherenceMsg::WritebackFrom { core: other });
+                    msgs.push(CoherenceMsg::Invalidate { core: other });
+                    *state = Mesi::Invalid;
+                }
+                Mesi::Exclusive | Mesi::Shared => {
+                    msgs.push(CoherenceMsg::Invalidate { core: other });
+                    *state = Mesi::Invalid;
+                }
+                Mesi::Invalid => {}
+            }
+        }
+        states[core] = Mesi::Modified;
+        msgs
+    }
+
+    /// Core `core` evicts `block` (silent for clean states; the caller
+    /// handles the data write-back for Modified).
+    pub fn evict(&mut self, core: usize, block: u64) -> bool {
+        let was_modified = self.state(core, block) == Mesi::Modified;
+        if let Some(states) = self.states.get_mut(&block) {
+            states[core] = Mesi::Invalid;
+            if states.iter().all(|&s| s == Mesi::Invalid) {
+                self.states.remove(&block);
+            }
+        }
+        was_modified
+    }
+
+    /// Invariant check: at most one Modified/Exclusive holder per block,
+    /// and M/E never coexists with other valid copies.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&block, states) in &self.states {
+            let owners =
+                states.iter().filter(|&&s| s == Mesi::Modified || s == Mesi::Exclusive).count();
+            let valid = states.iter().filter(|&&s| s != Mesi::Invalid).count();
+            if owners > 1 {
+                return Err(format!("block {block:#x}: {owners} exclusive owners"));
+            }
+            if owners == 1 && valid > 1 {
+                return Err(format!("block {block:#x}: owner coexists with sharers"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_is_exclusive() {
+        let mut d = Directory::new(4);
+        assert!(d.read(0, 0x40).is_empty());
+        assert_eq!(d.state(0, 0x40), Mesi::Exclusive);
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut d = Directory::new(4);
+        d.read(0, 0x40);
+        let msgs = d.read(1, 0x40);
+        assert_eq!(msgs, vec![CoherenceMsg::DowngradeToShared { core: 0 }]);
+        assert_eq!(d.state(0, 0x40), Mesi::Shared);
+        assert_eq!(d.state(1, 0x40), Mesi::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new(4);
+        d.read(0, 0x40);
+        d.read(1, 0x40);
+        let msgs = d.write(2, 0x40);
+        assert!(msgs.contains(&CoherenceMsg::Invalidate { core: 0 }));
+        assert!(msgs.contains(&CoherenceMsg::Invalidate { core: 1 }));
+        assert_eq!(d.state(2, 0x40), Mesi::Modified);
+        assert_eq!(d.state(0, 0x40), Mesi::Invalid);
+    }
+
+    #[test]
+    fn read_of_modified_forces_writeback() {
+        let mut d = Directory::new(4);
+        d.write(0, 0x40);
+        let msgs = d.read(1, 0x40);
+        assert!(msgs.contains(&CoherenceMsg::WritebackFrom { core: 0 }));
+        assert_eq!(d.state(0, 0x40), Mesi::Shared);
+        assert_eq!(d.state(1, 0x40), Mesi::Shared);
+    }
+
+    #[test]
+    fn write_of_modified_elsewhere_forwards_and_invalidates() {
+        let mut d = Directory::new(2);
+        d.write(0, 0x40);
+        let msgs = d.write(1, 0x40);
+        assert!(msgs.contains(&CoherenceMsg::WritebackFrom { core: 0 }));
+        assert!(msgs.contains(&CoherenceMsg::Invalidate { core: 0 }));
+        assert_eq!(d.state(1, 0x40), Mesi::Modified);
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut d = Directory::new(2);
+        d.write(0, 0x40);
+        assert!(d.evict(0, 0x40));
+        d.read(1, 0x80);
+        assert!(!d.evict(1, 0x80));
+    }
+
+    #[test]
+    fn silent_upgrade_on_write_hit() {
+        let mut d = Directory::new(2);
+        d.read(0, 0x40); // Exclusive
+        let msgs = d.write(0, 0x40); // E → M silently
+        assert!(msgs.is_empty());
+        assert_eq!(d.state(0, 0x40), Mesi::Modified);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn invariants_hold_under_random_traffic(
+            ops in proptest::collection::vec((0usize..4, 0u64..16, proptest::bool::ANY), 1..300)
+        ) {
+            let mut d = Directory::new(4);
+            for (core, block, is_write) in ops {
+                if is_write {
+                    d.write(core, block * 64);
+                } else {
+                    d.read(core, block * 64);
+                }
+                proptest::prop_assert!(d.check_invariants().is_ok());
+            }
+        }
+    }
+}

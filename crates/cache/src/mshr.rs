@@ -1,0 +1,151 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! MSHRs bound how many outstanding LLC misses a core can have in flight —
+//! the memory-level parallelism knob of the core model. A full MSHR file
+//! stalls the core until the oldest miss returns; secondary misses to an
+//! already-pending block merge into the existing entry.
+
+use obfusmem_sim::time::Time;
+
+/// One in-flight miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    block: u64,
+    completes_at: Time,
+}
+
+/// A fixed-capacity MSHR file.
+#[derive(Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+    merged: u64,
+    stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile { capacity, entries: Vec::new(), merged: 0, stalls: 0 }
+    }
+
+    /// Retires every entry that completed at or before `now`.
+    pub fn retire_completed(&mut self, now: Time) {
+        self.entries.retain(|e| e.completes_at > now);
+    }
+
+    /// True when a new (non-mergeable) miss can allocate at `now`.
+    pub fn can_allocate(&mut self, now: Time) -> bool {
+        self.retire_completed(now);
+        self.entries.len() < self.capacity
+    }
+
+    /// Tries to track a miss to `block` completing at `completes_at`.
+    ///
+    /// Returns the time the *core* may proceed past this miss issue:
+    /// `now` when an entry was allocated or merged, or the completion time
+    /// of the oldest outstanding entry when the file is full (the stall).
+    pub fn allocate(&mut self, now: Time, block: u64, completes_at: Time) -> Time {
+        self.retire_completed(now);
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.block == block) {
+            // Secondary miss: merge; the block arrives when the first fill does.
+            existing.completes_at = existing.completes_at.min(completes_at);
+            self.merged += 1;
+            return now;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(Entry { block, completes_at });
+            return now;
+        }
+        // Full: stall until the oldest completes.
+        self.stalls += 1;
+        let oldest = self
+            .entries
+            .iter()
+            .map(|e| e.completes_at)
+            .min()
+            .expect("full MSHR file has entries");
+        self.retire_completed(oldest);
+        self.entries.push(Entry { block, completes_at });
+        oldest
+    }
+
+    /// Completion time of the latest outstanding entry (drain point).
+    pub fn drain_time(&self) -> Option<Time> {
+        self.entries.iter().map(|e| e.completes_at).max()
+    }
+
+    /// Outstanding entries right now (without retiring).
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(merged secondary misses, full-file stalls)` so far.
+    pub fn pressure_stats(&self) -> (u64, u64) {
+        (self.merged, self.stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_ps(ns * 1000)
+    }
+
+    #[test]
+    fn allocations_up_to_capacity_do_not_stall() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(t(0), 0x40, t(100)), t(0));
+        assert_eq!(m.allocate(t(1), 0x80, t(100)), t(1));
+        assert_eq!(m.outstanding(), 2);
+    }
+
+    #[test]
+    fn full_file_stalls_until_oldest_returns() {
+        let mut m = MshrFile::new(2);
+        m.allocate(t(0), 0x40, t(50));
+        m.allocate(t(0), 0x80, t(100));
+        let resume = m.allocate(t(1), 0xC0, t(120));
+        assert_eq!(resume, t(50), "stall must end when the oldest miss completes");
+        assert_eq!(m.pressure_stats().1, 1);
+    }
+
+    #[test]
+    fn secondary_misses_merge() {
+        let mut m = MshrFile::new(1);
+        m.allocate(t(0), 0x40, t(100));
+        let resume = m.allocate(t(5), 0x40, t(130));
+        assert_eq!(resume, t(5), "merge must not stall");
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.pressure_stats().0, 1);
+    }
+
+    #[test]
+    fn retirement_frees_slots() {
+        let mut m = MshrFile::new(1);
+        m.allocate(t(0), 0x40, t(10));
+        assert!(m.can_allocate(t(20)));
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn drain_time_is_latest_completion() {
+        let mut m = MshrFile::new(4);
+        m.allocate(t(0), 0x40, t(80));
+        m.allocate(t(0), 0x80, t(120));
+        assert_eq!(m.drain_time(), Some(t(120)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

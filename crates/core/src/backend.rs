@@ -1,0 +1,1111 @@
+//! The ObfusMem memory back end: functional crypto + timing, end to end.
+//!
+//! Implements [`MemoryBackend`] for the trace-driven core at every
+//! security level (Figure 4's configurations share this one type):
+//!
+//! * **Unprotected** — requests go straight to the PCM device; the bus
+//!   trace shows plaintext headers and data.
+//! * **EncryptOnly** — data at rest is counter-mode encrypted; reads may
+//!   pay a counter-cache miss (an extra memory access for the counter
+//!   block); addresses still cross the bus in plaintext.
+//! * **Obfuscate** — adds the full ObfusMem path: per-channel session
+//!   crypto, paired dummies, inter-channel injection. The engines run
+//!   *functionally* (real AES on real bytes) for every simulated request,
+//!   so the recorded bus trace is genuine ciphertext.
+//! * **ObfuscateAuth** — adds MAC generation/verification latency per the
+//!   configured scheme.
+
+use obfusmem_cpu::core::MemoryBackend;
+use obfusmem_mem::channel::Lane;
+use obfusmem_mem::config::MemConfig;
+use obfusmem_mem::device::PcmMemory;
+use obfusmem_mem::request::{AccessKind, BlockAddr, BlockData};
+use obfusmem_sim::rng::SplitMix64;
+use obfusmem_sim::time::{Duration, Time};
+
+use crate::busmsg::{BusEvent, BusPacket, Direction, GroundTruth, RequestHeader};
+use crate::channels::ChannelObfuscator;
+use crate::config::{DummyAddressPolicy, MacScheme, ObfusMemConfig, SecurityLevel, TypeHiding};
+use crate::engine::{ProcessorEngine, FIXED_DUMMY_ADDR};
+use crate::memenc::MemoryEncryption;
+use crate::memside::MemoryEngine;
+use crate::session::{ChannelSession, SessionKeyTable};
+
+/// Counter-cache hit latency: 5 cycles at 2 GHz (Table 2).
+const COUNTER_CACHE_HIT: Duration = Duration::from_ps(2500);
+
+/// Traffic and stall accounting for one run.
+#[derive(Debug, Clone, Default)]
+pub struct BackendStats {
+    /// Demand fills serviced.
+    pub real_reads: u64,
+    /// Write-backs serviced.
+    pub real_writes: u64,
+    /// Paired (same-channel) dummies generated.
+    pub paired_dummies: u64,
+    /// Inter-channel dummy pairs injected (§3.4).
+    pub channel_dummies: u64,
+    /// Counter-cache misses (each cost an extra memory access).
+    pub counter_misses: u64,
+    /// Total pad-buffer stall time, ps.
+    pub pad_stall_ps: u64,
+    /// Dummy array writes performed (nonzero only for the
+    /// original/random dummy-address ablations).
+    pub dummy_array_writes: u64,
+    /// Read pairs whose dummy-write slot carried a substituted real
+    /// write-back (§3.3's bandwidth optimization).
+    pub substituted_pairs: u64,
+    /// Dirty counter blocks written back to memory.
+    pub counter_writebacks: u64,
+}
+
+/// The configurable protected-memory back end.
+pub struct ObfusMemBackend {
+    cfg: ObfusMemConfig,
+    mem: PcmMemory,
+    memenc: MemoryEncryption,
+    proc: ProcessorEngine,
+    mem_engines: Vec<MemoryEngine>,
+    chan_obf: ChannelObfuscator,
+    stats: BackendStats,
+    trace: Option<Vec<BusEvent>>,
+    rng: SplitMix64,
+    /// Write-backs waiting for a read to ride with (substitution mode).
+    pending_writes: std::collections::VecDeque<BlockAddr>,
+}
+
+impl std::fmt::Debug for ObfusMemBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObfusMemBackend")
+            .field("security", &self.cfg.security)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObfusMemBackend {
+    /// Builds a backend whose per-channel session keys are derived from
+    /// `seed` (the fast path for performance runs; the examples show the
+    /// full §3.1 bootstrap producing the same table).
+    pub fn new(cfg: ObfusMemConfig, mem_cfg: MemConfig, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x0BF5_BACC_E11D_0001);
+        let keys: Vec<([u8; 16], u64)> = (0..mem_cfg.channels)
+            .map(|_| {
+                let mut k = [0u8; 16];
+                for chunk in k.chunks_mut(8) {
+                    chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+                }
+                (k, rng.next_u64())
+            })
+            .collect();
+        Self::with_session_keys(cfg, mem_cfg, keys, rng.next_u64())
+    }
+
+    /// Builds a backend from explicitly established channel keys (e.g.
+    /// from [`crate::trust::bootstrap_platform`]).
+    pub fn with_session_keys(
+        cfg: ObfusMemConfig,
+        mem_cfg: MemConfig,
+        keys: Vec<([u8; 16], u64)>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(keys.len(), mem_cfg.channels, "one session key per channel");
+        let mut rng = SplitMix64::new(seed);
+        let proc =
+            ProcessorEngine::new(cfg, SessionKeyTable::new(keys.clone()), rng.next_u64());
+        let mem_engines = keys
+            .iter()
+            .map(|&(k, n)| MemoryEngine::new(cfg, ChannelSession::new(k, n), rng.next_u64()))
+            .collect();
+        let mut enc_key = [0u8; 16];
+        for chunk in enc_key.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        ObfusMemBackend {
+            chan_obf: ChannelObfuscator::new(cfg.channel_strategy),
+            cfg,
+            mem: PcmMemory::new(mem_cfg),
+            memenc: MemoryEncryption::new(enc_key),
+            proc,
+            mem_engines,
+            stats: BackendStats::default(),
+            trace: None,
+            rng,
+            pending_writes: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Starts recording bus events (for the security analyses).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<BusEvent> {
+        self.trace.replace(Vec::new()).unwrap_or_default()
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    /// The underlying memory device (wear, energy, channel stats).
+    pub fn memory(&self) -> &PcmMemory {
+        &self.mem
+    }
+
+    /// The inter-channel obfuscator's counters.
+    pub fn channel_obfuscator(&self) -> &ChannelObfuscator {
+        &self.chan_obf
+    }
+
+    /// Counter-cache hit ratio so far.
+    pub fn counter_cache_hit_ratio(&self) -> f64 {
+        self.memenc.counter_cache_hit_ratio()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ObfusMemConfig {
+        &self.cfg
+    }
+
+    fn record(&mut self, event: BusEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(event);
+        }
+    }
+
+    /// Latency the processor side adds to an outgoing request.
+    fn proc_side_latency(&self, pad_stall_ps: u64) -> Duration {
+        let l = &self.cfg.latencies;
+        let mut d = l.xor + Duration::from_ps(pad_stall_ps);
+        if self.cfg.security.authenticates() {
+            d += match self.cfg.mac_scheme {
+                MacScheme::EncryptAndMac => l.mac_overlapped_residual,
+                MacScheme::EncryptThenMac => l.mac_serialized,
+            };
+        }
+        d
+    }
+
+    /// Latency the memory side adds before servicing (verify + decrypt).
+    fn mem_side_latency(&self) -> Duration {
+        let l = &self.cfg.latencies;
+        let mut d = l.xor;
+        if self.cfg.security.authenticates() {
+            d += match self.cfg.mac_scheme {
+                MacScheme::EncryptAndMac => l.mac_overlapped_residual,
+                MacScheme::EncryptThenMac => l.mac_serialized,
+            };
+        }
+        d
+    }
+
+    /// Rounds an issue time up to the next timing slot when the §6.2
+    /// fixed-cadence mode is active; identity otherwise.
+    fn align_to_slot(&self, t: Time) -> Time {
+        match self.cfg.timing {
+            crate::config::TimingMode::AsReady => t,
+            crate::config::TimingMode::FixedSlots => {
+                let slot = crate::config::TIMING_SLOT.as_ps();
+                let rem = t.as_ps() % slot;
+                if rem == 0 {
+                    t
+                } else {
+                    Time::from_ps(t.as_ps() + slot - rem)
+                }
+            }
+        }
+    }
+
+    /// Resolves the counter for `addr`: returns when the decryption *pad*
+    /// is available. On a counter-cache hit the pad was pregenerated in
+    /// parallel with the data fetch and only the XOR remains (§2.4). On a
+    /// miss the counter block must be fetched from memory first and the
+    /// AES pipeline can only then start filling — the pad arrives a full
+    /// pipeline latency after the counter does.
+    fn counter_ready(&mut self, at: Time, addr: u64) -> Time {
+        self.counter_ready_op(at, addr, obfusmem_cache::cache::CacheOp::Read)
+    }
+
+    fn counter_ready_op(
+        &mut self,
+        at: Time,
+        addr: u64,
+        op: obfusmem_cache::cache::CacheOp,
+    ) -> Time {
+        let lookup = self.memenc.lookup_counter_op(addr, op);
+        if let Some(victim) = lookup.victim_writeback {
+            // Dirty counter block spills to memory: posted write traffic.
+            self.mem.access(at, victim, AccessKind::Write);
+            self.stats.counter_writebacks += 1;
+        }
+        if lookup.hit {
+            at + COUNTER_CACHE_HIT
+        } else {
+            self.stats.counter_misses += 1;
+            let fetched =
+                self.mem.access(at, lookup.counter_block_addr, AccessKind::Read).complete_at;
+            fetched + self.cfg.latencies.aes_fill
+        }
+    }
+
+    /// Services the paired dummy's *array* consequences (§3.3): fixed
+    /// dummies were dropped at the memory side (their wire time is already
+    /// charged with the request packets); original/random dummies reach
+    /// the array — and wear it when the dummy is a write.
+    fn service_paired_dummy(&mut self, at: Time, dummy: &RequestHeader) {
+        self.stats.paired_dummies += 1;
+        match self.cfg.dummy_policy {
+            DummyAddressPolicy::Fixed => {}
+            DummyAddressPolicy::Original | DummyAddressPolicy::Random => {
+                self.mem.access(at, dummy.addr, dummy.kind);
+                if dummy.kind == AccessKind::Write {
+                    self.stats.dummy_array_writes += 1;
+                }
+            }
+        }
+    }
+
+    /// Cross-channel injection (§3.4): dummy pairs are always of the
+    /// droppable fixed-address kind. Each pair costs its wire bytes on the
+    /// target channel (read packet + write packet + random-data reply).
+    fn inject_channels(&mut self, at: Time, real_channel: usize) {
+        let idle: Vec<bool> =
+            (0..self.mem.config().channels).map(|c| self.mem.channel_idle_at(c, at)).collect();
+        let plan = self.chan_obf.plan(real_channel, &idle);
+        for ch in plan.inject {
+            self.stats.channel_dummies += 1;
+            // 24 B dummy-read packet + 88 B dummy-write packet out;
+            // 72 B random reply for the dummy read back.
+            self.mem.bus_transfer_bytes(at, ch, 24 + 88, Lane::Request);
+            self.mem.bus_transfer_bytes(at, ch, 72, Lane::Response);
+            if self.trace.is_some() {
+                self.record_injected_dummy(at, ch);
+            }
+        }
+    }
+
+    fn record_injected_dummy(&mut self, at: Time, channel: usize) {
+        let header = RequestHeader { kind: AccessKind::Read, addr: FIXED_DUMMY_ADDR };
+        let mut pair = self
+            .proc
+            .obfuscate(at, channel, header, None)
+            .expect("channel index validated by planner");
+        let (_, _) = self.mem_engines[channel]
+            .receive_pair(&pair.real, &pair.dummy)
+            .expect("engines synchronized");
+        let truth = GroundTruth { real: false, kind: AccessKind::Read, addr: FIXED_DUMMY_ADDR };
+        self.record(BusEvent {
+            at,
+            channel,
+            direction: Direction::ToMemory,
+            packet: std::mem::replace(
+                &mut pair.real,
+                BusPacket { header_ct: [0; 16], data_ct: None, tag: None },
+            ),
+            truth,
+        });
+        self.record(BusEvent {
+            at,
+            channel,
+            direction: Direction::ToMemory,
+            packet: pair.dummy.clone(),
+            truth: GroundTruth { real: false, kind: AccessKind::Write, addr: FIXED_DUMMY_ADDR },
+        });
+    }
+
+    /// Plaintext-bus trace events for the unprotected/encrypt-only levels.
+    fn record_plain(&mut self, at: Time, channel: usize, header: RequestHeader, data: Option<BlockData>) {
+        if self.trace.is_none() {
+            return;
+        }
+        let packet = BusPacket {
+            header_ct: header.to_bytes(), // plaintext on the wire
+            data_ct: data,
+            tag: None,
+        };
+        self.record(BusEvent {
+            at,
+            channel,
+            direction: Direction::ToMemory,
+            packet,
+            truth: GroundTruth { real: true, kind: header.kind, addr: header.addr },
+        });
+    }
+
+    fn obfuscated_read(&mut self, at: Time, addr: BlockAddr) -> Time {
+        let channel = self.mem.decode(addr.as_u64()).channel;
+        let header = RequestHeader { kind: AccessKind::Read, addr: addr.as_u64() };
+
+        let pair = self.proc.obfuscate(at, channel, header, None).expect("valid channel");
+        self.stats.pad_stall_ps += pair.pad_stall_ps;
+        let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
+        let mem_lat = self.mem_side_latency();
+
+        // Functional path: memory side decodes, reads the stored
+        // ciphertext, and replies.
+        let (decoded, _surfaced_dummy) = self.mem_engines[channel]
+            .receive_pair(&pair.real, &pair.dummy)
+            .expect("engines synchronized");
+        debug_assert_eq!(decoded.header, header);
+        let at_rest = self.mem.read_block(addr);
+        let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
+        let reply_wire = reply.wire_bytes() as u64;
+        let bus_data = self
+            .proc
+            .decrypt_reply(channel, pair.base_counter, &reply.data_ct.expect("reply has data"))
+            .expect("valid channel");
+        debug_assert_eq!(bus_data, at_rest, "bus round trip must be lossless");
+        let _plaintext = self.memenc.decrypt_block(addr.as_u64(), &bus_data);
+
+        // Timing path: the request and its paired dummy cross the bus as
+        // packets (their wire bytes occupy the channel), the memory side
+        // verifies/decrypts, the array answers, and the reply's header/tag
+        // overhead rides back alongside the data burst.
+        let send_at = self.align_to_slot(at + proc_lat);
+
+        if self.trace.is_some() {
+            // Events are stamped with the wire time (what probes observe).
+            let truth = GroundTruth { real: true, kind: AccessKind::Read, addr: addr.as_u64() };
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.real.clone(),
+                truth,
+            });
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.dummy.clone(),
+                truth: GroundTruth {
+                    real: false,
+                    kind: pair.dummy_header.kind,
+                    addr: pair.dummy_header.addr,
+                },
+            });
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToProcessor,
+                packet: reply,
+                truth,
+            });
+        }
+        // Wire order (§3.3). Read-then-write (the paper's choice): the
+        // real read packet goes first and gates the array access; the
+        // paired dummy write's 88 bytes follow on the request lane, off
+        // the critical path. Write-then-read (the rejected alternative):
+        // the dummy write transmits first, so every fill waits behind its
+        // 88-byte companion — the latency cost the paper avoids.
+        let real_arrived = match self.cfg.pairing {
+            crate::config::PairingOrder::ReadThenWrite => {
+                let arrived = self.mem.bus_transfer_bytes(
+                    send_at,
+                    channel,
+                    pair.real.wire_bytes() as u64,
+                    Lane::Request,
+                );
+                self.mem.bus_transfer_bytes(
+                    arrived,
+                    channel,
+                    pair.dummy.wire_bytes() as u64,
+                    Lane::Request,
+                );
+                arrived
+            }
+            crate::config::PairingOrder::WriteThenRead => {
+                let dummy_done = self.mem.bus_transfer_bytes(
+                    send_at,
+                    channel,
+                    pair.dummy.wire_bytes() as u64,
+                    Lane::Request,
+                );
+                self.mem.bus_transfer_bytes(
+                    dummy_done,
+                    channel,
+                    pair.real.wire_bytes() as u64,
+                    Lane::Request,
+                )
+            }
+        };
+        let request_at = real_arrived + mem_lat;
+        let array = self.mem.access(request_at, addr.as_u64(), AccessKind::Read);
+        self.service_paired_dummy(request_at, &pair.dummy_header);
+        self.inject_channels(request_at, channel);
+        let reply_overhead = reply_wire.saturating_sub(64);
+        let reply_done = if reply_overhead > 0 {
+            self.mem.bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
+        } else {
+            array.complete_at
+        };
+        let counter_done = self.counter_ready(at, addr.as_u64());
+        let reply_lat = self.cfg.latencies.xor + self.mem_side_latency();
+        reply_done.max(counter_done) + reply_lat
+    }
+
+    fn obfuscated_write(&mut self, at: Time, addr: BlockAddr) {
+        let channel = self.mem.decode(addr.as_u64()).channel;
+        // Memory-encrypt the (synthetic) dirty data, bumping its counter.
+        let plaintext = synth_block(&mut self.rng);
+        let (at_rest, _) = self.memenc.encrypt_block(addr.as_u64(), &plaintext);
+        // The bump dirties the counter block (write-op lookup).
+        let _ = self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
+
+        let header = RequestHeader { kind: AccessKind::Write, addr: addr.as_u64() };
+        let pair =
+            self.proc.obfuscate(at, channel, header, Some(&at_rest)).expect("valid channel");
+        self.stats.pad_stall_ps += pair.pad_stall_ps;
+        let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
+        let mem_lat = self.mem_side_latency();
+
+        let (decoded, _) = self.mem_engines[channel]
+            .receive_pair(&pair.real, &pair.dummy)
+            .expect("engines synchronized");
+        debug_assert_eq!(decoded.data, Some(at_rest));
+        self.mem.write_block(addr, at_rest);
+
+        let send_at = self.align_to_slot(at + proc_lat);
+
+        if self.trace.is_some() {
+            // Wire order is read-then-write (§3.3): the dummy *read*
+            // precedes the real write, so packet order carries no
+            // information about which half is real. Events are stamped
+            // with the wire time.
+            let truth = GroundTruth { real: true, kind: AccessKind::Write, addr: addr.as_u64() };
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.dummy.clone(),
+                truth: GroundTruth {
+                    real: false,
+                    kind: pair.dummy_header.kind,
+                    addr: pair.dummy_header.addr,
+                },
+            });
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.real.clone(),
+                truth,
+            });
+        }
+        // Write wire order (§3.3): the dummy read precedes the real write;
+        // both cross the request lane before the write is serviced.
+        let wire = (pair.real.wire_bytes() + pair.dummy.wire_bytes()) as u64;
+        let arrived = self.mem.bus_transfer_bytes(send_at, channel, wire, Lane::Request);
+        let request_at = arrived + mem_lat;
+        self.mem.access(request_at, addr.as_u64(), AccessKind::Write);
+        self.service_paired_dummy(request_at, &pair.dummy_header);
+        self.inject_channels(request_at, channel);
+        // The paired dummy read's random-data reply rides the response lane.
+        self.mem.bus_transfer_bytes(request_at, channel, 72, Lane::Response);
+    }
+}
+
+impl ObfusMemBackend {
+    /// A read whose pair's write slot carries a substituted real
+    /// write-back (§3.3): no dummy bandwidth, and the write drains early.
+    fn substituted_read(&mut self, at: Time, addr: BlockAddr, wb: BlockAddr) -> Time {
+        let channel = self.mem.decode(addr.as_u64()).channel;
+        let read_header = RequestHeader { kind: AccessKind::Read, addr: addr.as_u64() };
+        let write_header = RequestHeader { kind: AccessKind::Write, addr: wb.as_u64() };
+
+        // Memory-encrypt the write-back now (its counter bumps here).
+        let plaintext = synth_block(&mut self.rng);
+        let (wb_at_rest, _) = self.memenc.encrypt_block(wb.as_u64(), &plaintext);
+        let _ = self.counter_ready_op(at, wb.as_u64(), obfusmem_cache::cache::CacheOp::Write);
+
+        let pair = self
+            .proc
+            .obfuscate_substituted(at, channel, read_header, write_header, &wb_at_rest)
+            .expect("valid channel");
+        self.stats.pad_stall_ps += pair.pad_stall_ps;
+        self.stats.substituted_pairs += 1;
+        self.stats.real_writes += 1; // the parked write is serviced here
+        let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
+        let mem_lat = self.mem_side_latency();
+
+        // Functional path.
+        let (decoded, companion) = self.mem_engines[channel]
+            .receive_pair(&pair.real, &pair.dummy)
+            .expect("engines synchronized");
+        debug_assert_eq!(decoded.header, read_header);
+        let companion = companion.expect("substituted write must surface");
+        debug_assert_eq!(companion.header, write_header);
+        self.mem.write_block(wb, companion.data.expect("write carries data"));
+        let at_rest = self.mem.read_block(addr);
+        let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
+        let reply_wire = reply.wire_bytes() as u64;
+        let bus_data = self
+            .proc
+            .decrypt_reply(channel, pair.base_counter, &reply.data_ct.expect("reply has data"))
+            .expect("valid channel");
+        debug_assert_eq!(bus_data, at_rest);
+
+        let send_at = self.align_to_slot(at + proc_lat);
+        if self.trace.is_some() {
+            let read_truth = GroundTruth { real: true, kind: AccessKind::Read, addr: addr.as_u64() };
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.real.clone(),
+                truth: read_truth,
+            });
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.dummy.clone(),
+                truth: GroundTruth { real: true, kind: AccessKind::Write, addr: wb.as_u64() },
+            });
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToProcessor,
+                packet: reply,
+                truth: read_truth,
+            });
+        }
+
+        // Timing: read packet first (read-then-write), the substituted
+        // write's bytes follow and its array write issues on arrival.
+        let read_arrived = self.mem.bus_transfer_bytes(
+            send_at,
+            channel,
+            pair.real.wire_bytes() as u64,
+            Lane::Request,
+        );
+        let write_arrived = self.mem.bus_transfer_bytes(
+            read_arrived,
+            channel,
+            pair.dummy.wire_bytes() as u64,
+            Lane::Request,
+        );
+        let request_at = read_arrived + mem_lat;
+        let array = self.mem.access(request_at, addr.as_u64(), AccessKind::Read);
+        self.mem.access(write_arrived + mem_lat, wb.as_u64(), AccessKind::Write);
+        self.inject_channels(request_at, channel);
+        let reply_overhead = reply_wire.saturating_sub(64);
+        let reply_done = if reply_overhead > 0 {
+            self.mem.bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
+        } else {
+            array.complete_at
+        };
+        let counter_done = self.counter_ready(at, addr.as_u64());
+        reply_done.max(counter_done) + self.cfg.latencies.xor + self.mem_side_latency()
+    }
+
+    /// A read under the uniform-packet alternative: one 88-byte packet
+    /// out (random filler attached), one data reply back.
+    fn uniform_read(&mut self, at: Time, addr: BlockAddr) -> Time {
+        let channel = self.mem.decode(addr.as_u64()).channel;
+        let header = RequestHeader { kind: AccessKind::Read, addr: addr.as_u64() };
+        let pair = self.proc.obfuscate_uniform(at, channel, header, None).expect("valid channel");
+        self.stats.pad_stall_ps += pair.pad_stall_ps;
+        let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
+        let mem_lat = self.mem_side_latency();
+
+        let decoded =
+            self.mem_engines[channel].receive_uniform(&pair.real).expect("engines synchronized");
+        debug_assert_eq!(decoded.header, header);
+        let at_rest = self.mem.read_block(addr);
+        let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
+        let reply_wire = reply.wire_bytes() as u64;
+        let bus_data = self
+            .proc
+            .decrypt_reply(channel, pair.base_counter, &reply.data_ct.expect("reply has data"))
+            .expect("valid channel");
+        debug_assert_eq!(bus_data, at_rest);
+
+        let send_at = self.align_to_slot(at + proc_lat);
+        if self.trace.is_some() {
+            let truth = GroundTruth { real: true, kind: AccessKind::Read, addr: addr.as_u64() };
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.real.clone(),
+                truth,
+            });
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToProcessor,
+                packet: reply,
+                truth,
+            });
+        }
+
+        let arrived = self.mem.bus_transfer_bytes(
+            send_at,
+            channel,
+            pair.real.wire_bytes() as u64,
+            Lane::Request,
+        );
+        let request_at = arrived + mem_lat;
+        let array = self.mem.access(request_at, addr.as_u64(), AccessKind::Read);
+        self.inject_channels(request_at, channel);
+        let reply_overhead = reply_wire.saturating_sub(64);
+        let reply_done = if reply_overhead > 0 {
+            self.mem.bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
+        } else {
+            array.complete_at
+        };
+        let counter_done = self.counter_ready(at, addr.as_u64());
+        reply_done.max(counter_done) + self.cfg.latencies.xor + self.mem_side_latency()
+    }
+
+    /// A write under the uniform-packet alternative: the mandatory data
+    /// reply (discarded at the processor) is the scheme's inescapable
+    /// bandwidth tax.
+    fn uniform_write(&mut self, at: Time, addr: BlockAddr) {
+        let channel = self.mem.decode(addr.as_u64()).channel;
+        let plaintext = synth_block(&mut self.rng);
+        let (at_rest, _) = self.memenc.encrypt_block(addr.as_u64(), &plaintext);
+        let _ = self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
+        let header = RequestHeader { kind: AccessKind::Write, addr: addr.as_u64() };
+        let pair = self
+            .proc
+            .obfuscate_uniform(at, channel, header, Some(&at_rest))
+            .expect("valid channel");
+        self.stats.pad_stall_ps += pair.pad_stall_ps;
+        let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
+        let mem_lat = self.mem_side_latency();
+
+        let decoded =
+            self.mem_engines[channel].receive_uniform(&pair.real).expect("engines synchronized");
+        debug_assert_eq!(decoded.data, Some(at_rest));
+        self.mem.write_block(addr, at_rest);
+
+        let send_at = self.align_to_slot(at + proc_lat);
+        if self.trace.is_some() {
+            self.record(BusEvent {
+                at: send_at,
+                channel,
+                direction: Direction::ToMemory,
+                packet: pair.real.clone(),
+                truth: GroundTruth { real: true, kind: AccessKind::Write, addr: addr.as_u64() },
+            });
+        }
+
+        let arrived = self.mem.bus_transfer_bytes(
+            send_at,
+            channel,
+            pair.real.wire_bytes() as u64,
+            Lane::Request,
+        );
+        let request_at = arrived + mem_lat;
+        self.mem.access(request_at, addr.as_u64(), AccessKind::Write);
+        self.inject_channels(request_at, channel);
+        // Mandatory shape-matching reply for the write.
+        self.mem.bus_transfer_bytes(request_at, channel, 88, Lane::Response);
+    }
+}
+
+fn synth_block(rng: &mut SplitMix64) -> BlockData {
+    let mut out = [0u8; 64];
+    for chunk in out.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    out
+}
+
+impl MemoryBackend for ObfusMemBackend {
+    fn read(&mut self, at: Time, addr: BlockAddr) -> Time {
+        self.stats.real_reads += 1;
+        match self.cfg.security {
+            SecurityLevel::Unprotected => {
+                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
+                    kind: AccessKind::Read,
+                    addr: addr.as_u64(),
+                }, None);
+                self.mem.access(at, addr.as_u64(), AccessKind::Read).complete_at
+            }
+            SecurityLevel::EncryptOnly => {
+                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
+                    kind: AccessKind::Read,
+                    addr: addr.as_u64(),
+                }, None);
+                let array = self.mem.access(at, addr.as_u64(), AccessKind::Read);
+                let counter_done = self.counter_ready(at, addr.as_u64());
+                array.complete_at.max(counter_done) + self.cfg.latencies.xor
+            }
+            SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth => {
+                match self.cfg.type_hiding {
+                    TypeHiding::UniformPackets => self.uniform_read(at, addr),
+                    TypeHiding::SplitDummyWithSubstitution => {
+                        let channel = self.mem.decode(addr.as_u64()).channel;
+                        if let Some(pos) = self
+                            .pending_writes
+                            .iter()
+                            .position(|wb| self.mem.decode(wb.as_u64()).channel == channel)
+                        {
+                            let wb = self.pending_writes.remove(pos).expect("position valid");
+                            self.substituted_read(at, addr, wb)
+                        } else {
+                            self.obfuscated_read(at, addr)
+                        }
+                    }
+                    TypeHiding::SplitDummy => self.obfuscated_read(at, addr),
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, at: Time, addr: BlockAddr) {
+        self.stats.real_writes += 1;
+        match self.cfg.security {
+            SecurityLevel::Unprotected => {
+                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
+                    kind: AccessKind::Write,
+                    addr: addr.as_u64(),
+                }, Some(self.mem.read_block(addr)));
+                self.mem.access(at, addr.as_u64(), AccessKind::Write);
+            }
+            SecurityLevel::EncryptOnly => {
+                let plaintext = synth_block(&mut self.rng);
+                let (at_rest, _) = self.memenc.encrypt_block(addr.as_u64(), &plaintext);
+                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
+                    kind: AccessKind::Write,
+                    addr: addr.as_u64(),
+                }, Some(at_rest));
+                let _ = self.counter_ready_op(
+                    at,
+                    addr.as_u64(),
+                    obfusmem_cache::cache::CacheOp::Write,
+                );
+                self.mem.write_block(addr, at_rest);
+                self.mem.access(at, addr.as_u64(), AccessKind::Write);
+            }
+            SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth => match self.cfg.type_hiding {
+                TypeHiding::UniformPackets => self.uniform_write(at, addr),
+                TypeHiding::SplitDummyWithSubstitution => {
+                    // Park the write-back to ride with a future read on
+                    // its channel; overflow services the oldest normally.
+                    if self.pending_writes.len() >= 8 {
+                        let oldest = self.pending_writes.pop_front().expect("nonempty");
+                        self.obfuscated_write(at, oldest);
+                    }
+                    self.pending_writes.push_back(addr);
+                }
+                TypeHiding::SplitDummy => self.obfuscated_write(at, addr),
+            },
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{} ({:?} channels)", self.cfg.security, self.mem.config().channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend(security: SecurityLevel) -> ObfusMemBackend {
+        let cfg = ObfusMemConfig { security, ..ObfusMemConfig::paper_default() };
+        ObfusMemBackend::new(cfg, MemConfig::table2(), 42)
+    }
+
+    #[test]
+    fn unprotected_matches_raw_device_latency() {
+        let mut b = backend(SecurityLevel::Unprotected);
+        let done = b.read(Time::ZERO, BlockAddr::containing(0x40));
+        assert_eq!(done.as_ps(), 78_750); // tRCD + tCL + tBURST
+    }
+
+    #[test]
+    fn protection_levels_strictly_add_latency() {
+        let addr = BlockAddr::containing(0x1_0000);
+        let mut results = Vec::new();
+        for level in [
+            SecurityLevel::Unprotected,
+            SecurityLevel::EncryptOnly,
+            SecurityLevel::Obfuscate,
+            SecurityLevel::ObfuscateAuth,
+        ] {
+            let mut b = backend(level);
+            results.push((level, b.read(Time::ZERO, addr)));
+        }
+        for pair in results.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "{} ({}) should not beat {} ({})",
+                pair[1].0,
+                pair[1].1,
+                pair[0].0,
+                pair[0].1
+            );
+        }
+    }
+
+    #[test]
+    fn obfuscated_reads_record_real_dummy_and_reply() {
+        let mut b = backend(SecurityLevel::ObfuscateAuth);
+        b.enable_trace();
+        b.read(Time::ZERO, BlockAddr::containing(0x40));
+        let trace = b.take_trace();
+        assert_eq!(trace.len(), 3);
+        assert!(trace[0].truth.real);
+        assert!(!trace[1].truth.real);
+        assert_eq!(trace[2].direction, Direction::ToProcessor);
+    }
+
+    #[test]
+    fn dummy_writes_do_not_wear_the_array() {
+        let mut b = backend(SecurityLevel::ObfuscateAuth);
+        let mut t = Time::ZERO;
+        for i in 0..100u64 {
+            t = b.read(t, BlockAddr::containing(i * 64));
+        }
+        assert_eq!(b.memory().wear().total_writes(), 0, "fixed dummies must be dropped");
+        assert_eq!(b.stats().paired_dummies, 100);
+        assert_eq!(b.stats().dummy_array_writes, 0);
+    }
+
+    #[test]
+    fn original_policy_dummies_do_wear_the_array() {
+        let cfg = ObfusMemConfig {
+            dummy_policy: DummyAddressPolicy::Original,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
+        let mut t = Time::ZERO;
+        for i in 0..50u64 {
+            t = b.read(t, BlockAddr::containing(i * (1 << 24)));
+        }
+        assert!(b.stats().dummy_array_writes > 0);
+        assert!(b.memory().wear().total_writes() > 0, "original-address dummies hit cells");
+    }
+
+    #[test]
+    fn functional_data_round_trips_through_protection() {
+        let mut b = backend(SecurityLevel::ObfuscateAuth);
+        let addr = BlockAddr::containing(0x2000);
+        b.write(Time::ZERO, addr);
+        // The at-rest block is ciphertext, not zeros.
+        assert_ne!(b.memory().read_block(addr), [0u8; 64]);
+        // And the read path decrypts it without desync (debug asserts
+        // inside obfuscated_read verify the round trip).
+        b.read(Time::from_ps(10_000_000), addr);
+    }
+
+    #[test]
+    fn multi_channel_injection_follows_strategy() {
+        for (strategy, expect_some) in [
+            (crate::config::ChannelStrategy::None, false),
+            (crate::config::ChannelStrategy::Unopt, true),
+            (crate::config::ChannelStrategy::Opt, true),
+        ] {
+            let cfg = ObfusMemConfig {
+                channel_strategy: strategy,
+                ..ObfusMemConfig::paper_default()
+            };
+            let mut b = ObfusMemBackend::new(cfg, MemConfig::table2().with_channels(4), 1);
+            let mut t = Time::ZERO;
+            for i in 0..20u64 {
+                t = b.read(t, BlockAddr::containing(i * 64));
+            }
+            assert_eq!(
+                b.stats().channel_dummies > 0,
+                expect_some,
+                "strategy {strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unopt_injects_more_than_opt() {
+        let mut counts = Vec::new();
+        for strategy in [crate::config::ChannelStrategy::Unopt, crate::config::ChannelStrategy::Opt] {
+            let cfg = ObfusMemConfig {
+                channel_strategy: strategy,
+                ..ObfusMemConfig::paper_default()
+            };
+            let mut b = ObfusMemBackend::new(cfg, MemConfig::table2().with_channels(8), 1);
+            // Closely spaced issue times (as a 4-core mix produces) keep
+            // channels busy with in-flight traffic so OPT can suppress.
+            for i in 0..200u64 {
+                b.read(Time::from_ps(i * 2_000), BlockAddr::containing(i * 1024));
+            }
+            counts.push(b.stats().channel_dummies);
+        }
+        assert!(counts[0] > counts[1], "UNOPT {} !> OPT {}", counts[0], counts[1]);
+    }
+
+    #[test]
+    fn counter_misses_generate_extra_memory_traffic() {
+        let mut b = backend(SecurityLevel::EncryptOnly);
+        let mut t = Time::ZERO;
+        // Touch thousands of distinct pages to defeat the counter cache.
+        for i in 0..8000u64 {
+            t = b.read(t, BlockAddr::containing(i * 4096));
+        }
+        assert!(b.stats().counter_misses > 4000);
+        assert!(b.counter_cache_hit_ratio() < 0.5);
+    }
+
+    #[test]
+    fn substitution_replaces_dummies_with_parked_writes() {
+        let cfg = ObfusMemConfig {
+            type_hiding: TypeHiding::SplitDummyWithSubstitution,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
+        let mut t = Time::ZERO;
+        for i in 0..20u64 {
+            b.write(t, BlockAddr::containing(0x10_0000 + i * 64)); // parked
+            t = b.read(t, BlockAddr::containing(i * 64)); // picks one up
+        }
+        assert!(b.stats().substituted_pairs >= 15, "got {}", b.stats().substituted_pairs);
+        // Substituted pairs generate no dummy at all on their slot.
+        assert!(
+            b.stats().paired_dummies < 5,
+            "dummies should be rare with writes available: {}",
+            b.stats().paired_dummies
+        );
+        // Functional store must contain the parked writes that rode along.
+        assert_ne!(b.memory().read_block(BlockAddr::containing(0x10_0000)), [0u8; 64]);
+    }
+
+    #[test]
+    fn substitution_preserves_read_correctness() {
+        let cfg = ObfusMemConfig {
+            type_hiding: TypeHiding::SplitDummyWithSubstitution,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 7);
+        let mut t = Time::ZERO;
+        // Interleave writes and reads over the same small set; debug
+        // asserts inside the read paths verify every bus round trip.
+        for i in 0..50u64 {
+            b.write(t, BlockAddr::containing((i % 8) * 64));
+            t = b.read(t, BlockAddr::containing((i % 8) * 64));
+        }
+    }
+
+    #[test]
+    fn uniform_packets_round_trip_and_shape_match() {
+        let cfg = ObfusMemConfig {
+            type_hiding: TypeHiding::UniformPackets,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 9);
+        b.enable_trace();
+        let mut t = Time::ZERO;
+        for i in 0..10u64 {
+            b.write(t, BlockAddr::containing(i * 64));
+            t = b.read(t, BlockAddr::containing(i * 64));
+        }
+        let trace = b.take_trace();
+        let to_mem: Vec<_> =
+            trace.iter().filter(|e| e.direction == Direction::ToMemory).collect();
+        assert_eq!(to_mem.len(), 20, "one packet per request, no dummies");
+        assert!(
+            to_mem.iter().all(|e| e.packet.data_ct.is_some()),
+            "every uniform packet must carry data"
+        );
+        let wires: std::collections::HashSet<usize> =
+            to_mem.iter().map(|e| e.packet.wire_bytes()).collect();
+        assert_eq!(wires.len(), 1, "reads and writes must be shape-identical");
+    }
+
+    #[test]
+    fn uniform_packets_cost_more_bus_than_substitution() {
+        // The §3.3 bandwidth argument: under a read+write mix, the split
+        // scheme with substitution moves fewer bytes than uniform packets.
+        let run = |type_hiding| {
+            let cfg = ObfusMemConfig { type_hiding, ..ObfusMemConfig::paper_default() };
+            let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 11);
+            let mut t = Time::ZERO;
+            for i in 0..200u64 {
+                b.write(t, BlockAddr::containing(0x40_0000 + i * 64));
+                t = b.read(t, BlockAddr::containing(i * 64));
+            }
+            b.memory().channel_stats(0).bus_busy_ps.get()
+        };
+        let uniform = run(TypeHiding::UniformPackets);
+        let subst = run(TypeHiding::SplitDummyWithSubstitution);
+        assert!(
+            subst < uniform,
+            "substitution ({subst} ps) must beat uniform packets ({uniform} ps)"
+        );
+    }
+
+    #[test]
+    fn fixed_slot_timing_quantizes_issue_times() {
+        let cfg = ObfusMemConfig {
+            timing: crate::config::TimingMode::FixedSlots,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
+        b.enable_trace();
+        let mut t = Time::from_ps(1); // deliberately unaligned
+        for i in 0..20u64 {
+            t = b.read(t, BlockAddr::containing(i * 64));
+        }
+        let slot = crate::config::TIMING_SLOT.as_ps();
+        for event in b.take_trace() {
+            if event.direction == Direction::ToMemory {
+                assert_eq!(
+                    event.at.as_ps() % slot,
+                    0,
+                    "packet at {} not slot-aligned",
+                    event.at
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_slot_timing_costs_latency() {
+        let addr = BlockAddr::containing(0x40);
+        let mut normal = backend(SecurityLevel::ObfuscateAuth);
+        let cfg = ObfusMemConfig {
+            timing: crate::config::TimingMode::FixedSlots,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut shielded = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
+        let a = normal.read(Time::from_ps(1), addr);
+        let b = shielded.read(Time::from_ps(1), addr);
+        assert!(b >= a, "slot alignment cannot be free");
+    }
+
+    #[test]
+    fn write_then_read_pairing_slows_fills() {
+        let addr = BlockAddr::containing(0x40);
+        let mut rtw = backend(SecurityLevel::ObfuscateAuth);
+        let cfg = ObfusMemConfig {
+            pairing: crate::config::PairingOrder::WriteThenRead,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut wtr = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
+        let a = rtw.read(Time::ZERO, addr);
+        let b = wtr.read(Time::ZERO, addr);
+        assert!(
+            b > a,
+            "write-then-read must delay fills behind the dummy write (§3.3): {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn encrypt_then_mac_is_slower_than_encrypt_and_mac() {
+        let addr = BlockAddr::containing(0x40);
+        let mut and_mac = backend(SecurityLevel::ObfuscateAuth);
+        let cfg = ObfusMemConfig {
+            mac_scheme: MacScheme::EncryptThenMac,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut then_mac = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
+        let a = and_mac.read(Time::ZERO, addr);
+        let b = then_mac.read(Time::ZERO, addr);
+        assert!(b > a, "encrypt-then-MAC must serialize MAC latency (Observation 4)");
+    }
+}

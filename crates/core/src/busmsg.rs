@@ -1,0 +1,136 @@
+//! The wire format of obfuscated bus packets.
+//!
+//! Everything an external probe can capture is in [`BusPacket`]: a
+//! fixed-size encrypted header (request type + address, XORed with one
+//! 128-bit pad), an optional encrypted 64 B data payload (four pads), and
+//! an optional 64-bit MAC tag. Packets for reads and writes have
+//! *identical shapes* within their direction, and every field is
+//! counter-mode ciphertext — the properties the leakage tests in
+//! `obfusmem-sec` check mechanically.
+//!
+//! [`BusEvent`] wraps a packet with the observable metadata (time,
+//! channel, direction) plus sealed ground truth used only by the analysis
+//! harness to *score* an attacker, never as attacker input.
+
+use obfusmem_mem::request::AccessKind;
+use obfusmem_sim::time::Time;
+
+/// Plaintext header fields before encryption (16 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Block-aligned physical address.
+    pub addr: u64,
+}
+
+impl RequestHeader {
+    /// Serializes to the 16-byte plaintext header layout
+    /// (type ‖ address ‖ zero padding).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0] = self.kind.encode();
+        out[1..9].copy_from_slice(&self.addr.to_le_bytes());
+        out
+    }
+
+    /// Parses a decrypted header.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        RequestHeader {
+            kind: AccessKind::decode(bytes[0]),
+            addr: u64::from_le_bytes(bytes[1..9].try_into().expect("slice is 8 bytes")),
+        }
+    }
+}
+
+/// Direction of a bus packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Processor → memory (requests, write data).
+    ToMemory,
+    /// Memory → processor (read replies).
+    ToProcessor,
+}
+
+/// An encrypted packet as it appears on the exposed wires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusPacket {
+    /// Encrypted header (16 bytes: type + address under one CTR pad, or
+    /// ECB ciphertext in the strawman mode).
+    pub header_ct: [u8; 16],
+    /// Encrypted 64 B payload (present on writes and read replies).
+    pub data_ct: Option<[u8; 64]>,
+    /// MAC tag (present when authentication is enabled).
+    pub tag: Option<[u8; 8]>,
+}
+
+impl BusPacket {
+    /// Total bytes this packet occupies on the bus.
+    pub fn wire_bytes(&self) -> usize {
+        16 + self.data_ct.map_or(0, |_| 64) + self.tag.map_or(0, |_| 8)
+    }
+}
+
+/// Ground truth attached to a recorded event for *scoring* attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// True when this packet carried a real request (false = dummy).
+    pub real: bool,
+    /// The plaintext kind.
+    pub kind: AccessKind,
+    /// The plaintext block address.
+    pub addr: u64,
+}
+
+/// One observable bus event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusEvent {
+    /// When the packet crossed the bus.
+    pub at: Time,
+    /// Which channel's pins carried it (observable: separate wires).
+    pub channel: usize,
+    /// Packet direction (observable: separate wire groups).
+    pub direction: Direction,
+    /// The ciphertext packet.
+    pub packet: BusPacket,
+    /// Sealed ground truth (never input to an attacker).
+    pub truth: GroundTruth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let h = RequestHeader { kind, addr: 0xDEAD_BEC0 };
+            assert_eq!(RequestHeader::from_bytes(&h.to_bytes()), h);
+        }
+    }
+
+    #[test]
+    fn wire_size_is_shape_only() {
+        let bare = BusPacket { header_ct: [0; 16], data_ct: None, tag: None };
+        let with_data = BusPacket { header_ct: [0; 16], data_ct: Some([0; 64]), tag: None };
+        let full = BusPacket { header_ct: [0; 16], data_ct: Some([0; 64]), tag: Some([0; 8]) };
+        assert_eq!(bare.wire_bytes(), 16);
+        assert_eq!(with_data.wire_bytes(), 80);
+        assert_eq!(full.wire_bytes(), 88);
+    }
+
+    #[test]
+    fn header_padding_is_zero() {
+        let h = RequestHeader { kind: AccessKind::Read, addr: 1 }.to_bytes();
+        assert!(h[9..].iter().all(|&b| b == 0));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn header_round_trips_any_address(addr: u64, is_write: bool) {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let h = RequestHeader { kind, addr };
+            proptest::prop_assert_eq!(RequestHeader::from_bytes(&h.to_bytes()), h);
+        }
+    }
+}

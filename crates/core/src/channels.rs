@@ -1,0 +1,151 @@
+//! Inter-channel access-pattern obfuscation (paper §3.4).
+//!
+//! Channels use separate pins, so *which channel* services a request is
+//! observable even though every packet is encrypted. With interleaved
+//! address mappings that timing leaks spatial pattern. The fix is dummy
+//! injection on other channels; the two schemes are:
+//!
+//! * **UNOPT (full replication)** — every real request triggers dummy
+//!   pairs on *all* other channels; cost grows linearly with channels.
+//! * **OPT (idle replication)** — dummy pairs only on channels that are
+//!   idle at that instant; busy channels already carry traffic, so
+//!   observers cannot tell which channel's packet was the real one
+//!   (Observation 3).
+
+use crate::config::ChannelStrategy;
+
+/// Decision for one real request: which other channels get a dummy pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Channels to inject dummy pairs on.
+    pub inject: Vec<usize>,
+}
+
+/// Stateful planner with counters for the Figure 5 accounting.
+#[derive(Debug)]
+pub struct ChannelObfuscator {
+    strategy: ChannelStrategy,
+    injected: u64,
+    suppressed_busy: u64,
+}
+
+impl ChannelObfuscator {
+    /// Creates a planner for `strategy`.
+    pub fn new(strategy: ChannelStrategy) -> Self {
+        ChannelObfuscator { strategy, injected: 0, suppressed_busy: 0 }
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> ChannelStrategy {
+        self.strategy
+    }
+
+    /// Dummy pairs injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Injections suppressed because the channel was already busy
+    /// (OPT's whole savings).
+    pub fn suppressed_busy(&self) -> u64 {
+        self.suppressed_busy
+    }
+
+    /// Plans injections for a real request on `real_channel` given each
+    /// channel's idleness at issue time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real_channel` is out of range of `idle`.
+    pub fn plan(&mut self, real_channel: usize, idle: &[bool]) -> InjectionPlan {
+        assert!(real_channel < idle.len(), "real channel out of range");
+        let mut inject = Vec::new();
+        for (ch, &is_idle) in idle.iter().enumerate() {
+            if ch == real_channel {
+                continue;
+            }
+            match self.strategy {
+                ChannelStrategy::None => {}
+                ChannelStrategy::Unopt => inject.push(ch),
+                ChannelStrategy::Opt => {
+                    if is_idle {
+                        inject.push(ch);
+                    } else {
+                        self.suppressed_busy += 1;
+                    }
+                }
+            }
+        }
+        self.injected += inject.len() as u64;
+        InjectionPlan { inject }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_injects() {
+        let mut o = ChannelObfuscator::new(ChannelStrategy::None);
+        assert!(o.plan(0, &[true, true, true, true]).inject.is_empty());
+        assert_eq!(o.injected(), 0);
+    }
+
+    #[test]
+    fn unopt_injects_everywhere_else() {
+        let mut o = ChannelObfuscator::new(ChannelStrategy::Unopt);
+        let plan = o.plan(2, &[false, false, true, false]);
+        assert_eq!(plan.inject, vec![0, 1, 3]);
+        assert_eq!(o.injected(), 3);
+    }
+
+    #[test]
+    fn opt_skips_busy_channels() {
+        let mut o = ChannelObfuscator::new(ChannelStrategy::Opt);
+        let plan = o.plan(0, &[true, false, true, false]);
+        assert_eq!(plan.inject, vec![2]);
+        assert_eq!(o.injected(), 1);
+        assert_eq!(o.suppressed_busy(), 2);
+    }
+
+    #[test]
+    fn opt_on_fully_busy_system_injects_nothing() {
+        // Observation 3: at high utilization few dummies are needed.
+        let mut o = ChannelObfuscator::new(ChannelStrategy::Opt);
+        assert!(o.plan(1, &[false, false, false, false]).inject.is_empty());
+        assert_eq!(o.suppressed_busy(), 3);
+    }
+
+    #[test]
+    fn single_channel_systems_never_inject() {
+        for strategy in [ChannelStrategy::None, ChannelStrategy::Unopt, ChannelStrategy::Opt] {
+            let mut o = ChannelObfuscator::new(strategy);
+            assert!(o.plan(0, &[true]).inject.is_empty());
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn plans_never_include_the_real_channel(
+            real in 0usize..8,
+            idle in proptest::collection::vec(proptest::bool::ANY, 8)
+        ) {
+            for strategy in [ChannelStrategy::None, ChannelStrategy::Unopt, ChannelStrategy::Opt] {
+                let mut o = ChannelObfuscator::new(strategy);
+                let plan = o.plan(real, &idle);
+                proptest::prop_assert!(!plan.inject.contains(&real));
+                proptest::prop_assert!(plan.inject.iter().all(|&c| c < idle.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn unopt_cost_grows_linearly_with_channels() {
+        for n in [2usize, 4, 8] {
+            let mut o = ChannelObfuscator::new(ChannelStrategy::Unopt);
+            o.plan(0, &vec![true; n]);
+            assert_eq!(o.injected(), n as u64 - 1);
+        }
+    }
+}

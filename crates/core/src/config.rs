@@ -1,0 +1,264 @@
+//! ObfusMem design-space configuration.
+//!
+//! Every design choice the paper discusses is a knob here, so the
+//! evaluation harness can sweep them: protection level (Figure 4), dummy
+//! address policy (§3.3), request pairing order, inter-channel strategy
+//! (§3.4, Figure 5), and MAC scheme (§3.5, Observation 4).
+
+use obfusmem_sim::time::Duration;
+
+/// How much protection the memory path applies (Figure 4's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SecurityLevel {
+    /// No protection at all — the overhead baseline.
+    Unprotected,
+    /// Counter-mode memory encryption only (data-at-rest protection every
+    /// secure processor needs; addresses and commands still plaintext).
+    EncryptOnly,
+    /// Memory encryption + ObfusMem access-pattern obfuscation.
+    Obfuscate,
+    /// [`SecurityLevel::Obfuscate`] plus communication authentication
+    /// (encrypt-and-MAC) — the paper's headline "ObfusMem+Auth".
+    #[default]
+    ObfuscateAuth,
+}
+
+impl SecurityLevel {
+    /// True when bus packets are encrypted (Obfuscate and above).
+    pub fn obfuscates(self) -> bool {
+        matches!(self, SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth)
+    }
+
+    /// True when bus packets carry MACs.
+    pub fn authenticates(self) -> bool {
+        self == SecurityLevel::ObfuscateAuth
+    }
+
+    /// True when data at rest is encrypted.
+    pub fn encrypts_memory(self) -> bool {
+        self != SecurityLevel::Unprotected
+    }
+}
+
+impl std::fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SecurityLevel::Unprotected => "unprotected",
+            SecurityLevel::EncryptOnly => "encrypt-only",
+            SecurityLevel::Obfuscate => "obfusmem",
+            SecurityLevel::ObfuscateAuth => "obfusmem+auth",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Address given to the dummy half of each read-then-write pair (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DummyAddressPolicy {
+    /// One reserved 64 B block per module; dummy writes are dropped on
+    /// arrival (no wear, no array energy). The paper's chosen design.
+    #[default]
+    Fixed,
+    /// Dummy uses the real request's address (different ciphertext under
+    /// CTR). Keeps row-buffer locality but costs a real array write per
+    /// read — the endurance problem the paper rejects it for.
+    Original,
+    /// Dummy goes to a uniformly random address: loses locality *and*
+    /// wears the array.
+    Random,
+}
+
+/// Whether the dummy operation precedes or follows the real one (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PairingOrder {
+    /// Every access appears as read-then-write. Reads (critical path) go
+    /// first, so fills return as fast as possible — the paper's choice.
+    #[default]
+    ReadThenWrite,
+    /// Every access appears as write-then-read; reads wait behind the
+    /// paired dummy write (the rejected alternative).
+    WriteThenRead,
+}
+
+/// Inter-channel obfuscation strategy (§3.4, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelStrategy {
+    /// No cross-channel injection: per-channel timing leaks spatial
+    /// pattern (insecure with >1 channel; the leakage baseline).
+    None,
+    /// Full replication: every real request triggers dummy pairs on *all*
+    /// other channels (ObfusMem-UNOPT).
+    Unopt,
+    /// Idle-channel injection: dummies only on channels with no traffic
+    /// in flight (ObfusMem-OPT, the paper's optimized scheme).
+    #[default]
+    Opt,
+}
+
+/// How bus messages are authenticated (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MacScheme {
+    /// `β = H(r‖a‖c)` over plaintext fields + counter; overlaps with
+    /// encryption (Observation 4, the paper's choice).
+    #[default]
+    EncryptAndMac,
+    /// `α = H(M)` over the ciphertext message; serializes after
+    /// encryption (higher latency, covers data directly).
+    EncryptThenMac,
+}
+
+/// Address-encryption mode — includes the deliberately weak ECB strawman
+/// the paper analyzes in §3.2 so the leakage tests can demonstrate why
+/// counter mode is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressCipherMode {
+    /// Counter-mode (single-use pads): spatial *and* temporal hiding.
+    #[default]
+    Ctr,
+    /// ECB: hides spatial locality only; repeated addresses produce
+    /// repeated ciphertext (temporal pattern and footprint leak,
+    /// dictionary attacks possible). For analysis only.
+    Ecb,
+}
+
+/// How read/write types are hidden on the bus (§3.3's design comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TypeHiding {
+    /// ObfusMem's split dummies: every request pairs with an
+    /// opposite-typed dummy packet (droppable at the memory side).
+    #[default]
+    SplitDummy,
+    /// Split dummies plus the paper's substitution optimization: when a
+    /// real write-back is pending, it rides in the dummy-write slot of a
+    /// read's pair — removing that pair's dummy bandwidth entirely.
+    SplitDummyWithSubstitution,
+    /// The alternative the paper contrasts with (InvisiMem-style): every
+    /// request packet carries data (reads attach dummy payload) and every
+    /// request gets a data reply (writes get a discardable one), so all
+    /// packets are shape-identical — at a bandwidth cost that no
+    /// substitution can recover.
+    UniformPackets,
+}
+
+/// Timing-channel protection mode (paper §6.2, future work): requests can
+/// be issued only at fixed-cadence slots so inter-request timing carries
+/// no information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TimingMode {
+    /// Requests go out when ready; inter-request timing reflects the
+    /// program (the paper's evaluated design — timing side channels are
+    /// out of scope there).
+    #[default]
+    AsReady,
+    /// Requests wait for the next slot boundary on their channel; the
+    /// paper's sketched mitigation ("spacing timing of requests"). The
+    /// slot period is [`TIMING_SLOT`].
+    FixedSlots,
+}
+
+/// Slot period for [`TimingMode::FixedSlots`]: one worst-case protected
+/// access (dummy write wire + row-miss array access + reply), rounded.
+pub const TIMING_SLOT: Duration = Duration::from_ns(100);
+
+/// Latency parameters of the cryptographic hardware (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CryptoLatencies {
+    /// AES pipeline depth × cycle time: 24 cycles at 4 ns (synthesized
+    /// 45 nm result in the paper).
+    pub aes_fill: Duration,
+    /// AES pipeline throughput: one 128-bit pad per cycle (4 ns).
+    pub aes_per_pad: Duration,
+    /// Pads banked ahead per channel direction.
+    pub pad_buffer: u64,
+    /// XOR stage cost added to the critical path when pads are banked.
+    pub xor: Duration,
+    /// Residual non-overlapped latency of encrypt-and-MAC per direction
+    /// (tag compare after pipelined MD5; small by design).
+    pub mac_overlapped_residual: Duration,
+    /// Full MD5 pipeline latency paid per direction by encrypt-then-MAC
+    /// (64 stages).
+    pub mac_serialized: Duration,
+}
+
+impl Default for CryptoLatencies {
+    fn default() -> Self {
+        CryptoLatencies {
+            aes_fill: Duration::from_ns(96), // 24 cycles × 4 ns
+            aes_per_pad: Duration::from_ns(4),
+            pad_buffer: 64,
+            xor: Duration::from_ns(1),
+            mac_overlapped_residual: Duration::from_ns(2),
+            mac_serialized: Duration::from_ns(64),
+        }
+    }
+}
+
+/// The full ObfusMem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ObfusMemConfig {
+    /// Protection level.
+    pub security: SecurityLevel,
+    /// Dummy-address design.
+    pub dummy_policy: DummyAddressPolicy,
+    /// Real/dummy ordering.
+    pub pairing: PairingOrder,
+    /// Inter-channel strategy.
+    pub channel_strategy: ChannelStrategy,
+    /// MAC construction.
+    pub mac_scheme: MacScheme,
+    /// Address cipher (CTR, or the ECB strawman for leakage demos).
+    pub address_mode: AddressCipherMode,
+    /// Read/write type-hiding scheme (§3.3).
+    pub type_hiding: TypeHiding,
+    /// Timing-channel protection (§6.2 extension).
+    pub timing: TimingMode,
+    /// Hardware latencies.
+    pub latencies: CryptoLatencies,
+}
+
+impl ObfusMemConfig {
+    /// The paper's recommended design point (ObfusMem+Auth, fixed dummy,
+    /// read-then-write, OPT channel injection, encrypt-and-MAC, CTR).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_level_predicates() {
+        assert!(!SecurityLevel::Unprotected.encrypts_memory());
+        assert!(SecurityLevel::EncryptOnly.encrypts_memory());
+        assert!(!SecurityLevel::EncryptOnly.obfuscates());
+        assert!(SecurityLevel::Obfuscate.obfuscates());
+        assert!(!SecurityLevel::Obfuscate.authenticates());
+        assert!(SecurityLevel::ObfuscateAuth.authenticates());
+    }
+
+    #[test]
+    fn paper_default_is_the_recommended_point() {
+        let c = ObfusMemConfig::paper_default();
+        assert_eq!(c.security, SecurityLevel::ObfuscateAuth);
+        assert_eq!(c.dummy_policy, DummyAddressPolicy::Fixed);
+        assert_eq!(c.pairing, PairingOrder::ReadThenWrite);
+        assert_eq!(c.channel_strategy, ChannelStrategy::Opt);
+        assert_eq!(c.mac_scheme, MacScheme::EncryptAndMac);
+        assert_eq!(c.address_mode, AddressCipherMode::Ctr);
+    }
+
+    #[test]
+    fn aes_latency_matches_synthesis_numbers() {
+        let l = CryptoLatencies::default();
+        assert_eq!(l.aes_fill.as_ns(), 96);
+        assert_eq!(l.aes_per_pad.as_ns(), 4);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(SecurityLevel::ObfuscateAuth.to_string(), "obfusmem+auth");
+        assert_eq!(SecurityLevel::Unprotected.to_string(), "unprotected");
+    }
+}

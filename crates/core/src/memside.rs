@@ -1,0 +1,528 @@
+//! The memory-side ObfusMem engine (paper Figure 3, steps 5a–5d).
+//!
+//! Lives in the logic layer of the 3D-stacked memory (inside the trust
+//! boundary). Per received packet pair it: decrypts the headers with its
+//! own synchronized counter stream, verifies MAC tags (detecting
+//! modification, drop, replay, and injection — §3.5's tampering
+//! scenarios), **drops** dummy requests addressed to the fixed dummy
+//! block before they reach the PCM array (saving write energy and wear,
+//! Observation 2), and encrypts read replies with the reserved data pads.
+
+use obfusmem_mem::request::BlockData;
+use obfusmem_sim::rng::SplitMix64;
+
+use crate::busmsg::{BusPacket, RequestHeader};
+use crate::config::{AddressCipherMode, MacScheme, ObfusMemConfig};
+use crate::engine::FIXED_DUMMY_ADDR;
+use crate::session::ChannelSession;
+use crate::ObfusMemError;
+
+/// A packet after memory-side decryption and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedRequest {
+    /// The plaintext header.
+    pub header: RequestHeader,
+    /// Decrypted (memory-encrypted-at-rest) data for writes.
+    pub data: Option<BlockData>,
+    /// True when this was recognized as a droppable dummy.
+    pub dropped_dummy: bool,
+    /// First pad counter of the packet pair (reply pads = base+2..=5).
+    pub base_counter: u64,
+}
+
+/// The memory-side engine for one channel.
+#[derive(Debug)]
+pub struct MemoryEngine {
+    cfg: ObfusMemConfig,
+    session: ChannelSession,
+    rng: SplitMix64,
+    dummies_dropped: u64,
+    tampers_detected: u64,
+}
+
+impl MemoryEngine {
+    /// Builds the engine with this channel's established session.
+    pub fn new(cfg: ObfusMemConfig, session: ChannelSession, seed: u64) -> Self {
+        MemoryEngine { cfg, session, rng: SplitMix64::new(seed), dummies_dropped: 0, tampers_detected: 0 }
+    }
+
+    /// Dummy packets dropped before touching the array.
+    pub fn dummies_dropped(&self) -> u64 {
+        self.dummies_dropped
+    }
+
+    /// Tamper events detected.
+    pub fn tampers_detected(&self) -> u64 {
+        self.tampers_detected
+    }
+
+    /// Current counter (for desync diagnostics).
+    pub fn counter(&self) -> u64 {
+        self.session.stream().counter()
+    }
+
+    /// Processes a primary/companion packet pair arriving from the bus.
+    ///
+    /// Returns the decoded *primary* request plus the companion's
+    /// disposition: `None` when the companion was a fixed-address dummy
+    /// (dropped before the array — Observation 2), or a full
+    /// [`DecodedRequest`] when it must be serviced — an
+    /// original/random-policy dummy, or a *substituted real request*
+    /// (the §3.3 optimization where a pending real write rides in the
+    /// dummy slot of a read's pair).
+    ///
+    /// # Errors
+    ///
+    /// * [`ObfusMemError::TamperDetected`] when a MAC fails — modified,
+    ///   replayed, injected, or reordered traffic, or counter desync from
+    ///   a dropped message.
+    pub fn receive_pair(
+        &mut self,
+        real: &BusPacket,
+        dummy: &BusPacket,
+    ) -> Result<(DecodedRequest, Option<DecodedRequest>), ObfusMemError> {
+        let base_counter = self.session.stream().counter();
+
+        // Decrypt headers (pads base, base+1 — mirroring the processor).
+        let real_header = self.decrypt_header(&real.header_ct);
+        let companion_header = self.decrypt_header(&dummy.header_ct);
+
+        // Verify MACs before acting on anything (§3.5).
+        if self.cfg.security.authenticates() {
+            self.verify_tag(real, &real_header, base_counter)?;
+            self.verify_tag(dummy, &companion_header, base_counter + 1)?;
+        }
+
+        // Pads base+2..=5 decrypt the pair's (at most one) meaningful
+        // payload: the primary's write data, or a substituted companion
+        // write's data. A fixed-address dummy write carries random bytes
+        // that need no decryption; the pads are consumed regardless so
+        // both ends stay in step.
+        let companion_is_dummy = companion_header.addr == FIXED_DUMMY_ADDR;
+        let mut data = None;
+        let mut companion_data = None;
+        match (&real.data_ct, &dummy.data_ct) {
+            (Some(ct), _) => data = Some(self.decrypt_data(ct)),
+            (None, Some(ct)) if !companion_is_dummy => {
+                companion_data = Some(self.decrypt_data(ct));
+            }
+            _ => {
+                for _ in 0..4 {
+                    self.session.stream_mut().next_pad();
+                }
+            }
+        }
+
+        // Companion disposition (§3.3).
+        let companion = if companion_is_dummy {
+            self.dummies_dropped += 1;
+            None
+        } else {
+            Some(DecodedRequest {
+                header: companion_header,
+                data: companion_data,
+                dropped_dummy: false,
+                base_counter,
+            })
+        };
+
+        Ok((
+            DecodedRequest {
+                header: real_header,
+                data,
+                dropped_dummy: companion.is_none(),
+                base_counter,
+            },
+            companion,
+        ))
+    }
+
+    /// Processes a single uniform-scheme packet (§3.3's alternative): the
+    /// header decrypts with the first pad, the always-present payload with
+    /// the data pads; a read's payload is random filler and is discarded.
+    ///
+    /// # Errors
+    ///
+    /// * [`ObfusMemError::TamperDetected`] / [`ObfusMemError::MalformedPacket`]
+    ///   as for [`MemoryEngine::receive_pair`].
+    pub fn receive_uniform(&mut self, packet: &BusPacket) -> Result<DecodedRequest, ObfusMemError> {
+        let base_counter = self.session.stream().counter();
+        let header = self.decrypt_header(&packet.header_ct);
+        self.session.stream_mut().next_pad(); // parity with the split scheme
+
+        if self.cfg.security.authenticates() {
+            self.verify_tag(packet, &header, base_counter)?;
+        }
+
+        let payload = match &packet.data_ct {
+            Some(ct) => Some(self.decrypt_data(ct)),
+            None => {
+                for _ in 0..4 {
+                    self.session.stream_mut().next_pad();
+                }
+                None
+            }
+        };
+        let data = match header.kind {
+            obfusmem_mem::request::AccessKind::Write => payload,
+            obfusmem_mem::request::AccessKind::Read => None, // filler discarded
+        };
+        Ok(DecodedRequest { header, data, dropped_dummy: false, base_counter })
+    }
+
+    fn decrypt_data(&mut self, ct: &BlockData) -> BlockData {
+        let mut out = *ct;
+        for chunk in out.chunks_mut(16) {
+            let pad = self.session.stream_mut().next_pad();
+            for (d, p) in chunk.iter_mut().zip(pad.iter()) {
+                *d ^= p;
+            }
+        }
+        out
+    }
+
+    fn decrypt_header(&mut self, header_ct: &[u8; 16]) -> RequestHeader {
+        match self.cfg.address_mode {
+            AddressCipherMode::Ctr => {
+                let pad = self.session.stream_mut().next_pad();
+                let mut pt = *header_ct;
+                for (d, p) in pt.iter_mut().zip(pad.iter()) {
+                    *d ^= p;
+                }
+                RequestHeader::from_bytes(&pt)
+            }
+            AddressCipherMode::Ecb => {
+                self.session.stream_mut().next_pad(); // keep counters in step
+                RequestHeader::from_bytes(&self.session.ecb_decrypt(header_ct))
+            }
+        }
+    }
+
+    fn verify_tag(
+        &mut self,
+        packet: &BusPacket,
+        header: &RequestHeader,
+        counter: u64,
+    ) -> Result<(), ObfusMemError> {
+        let tag = packet.tag.ok_or_else(|| {
+            self.tampers_detected += 1;
+            ObfusMemError::MalformedPacket("authenticated channel requires a tag".into())
+        })?;
+        let ok = match self.cfg.mac_scheme {
+            MacScheme::EncryptAndMac => {
+                // β = H(r ‖ a ‖ c) with the memory's own counter: detects
+                // modification (r'/a'), drops/replays (c mismatch).
+                self.session.mac().command_tag(header.kind.encode(), header.addr, counter) == tag
+            }
+            MacScheme::EncryptThenMac => {
+                let data_slice: &[u8] = packet.data_ct.as_ref().map_or(&[], |d| &d[..]);
+                self.session.mac().verify(&[&packet.header_ct, data_slice], &tag)
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            self.tampers_detected += 1;
+            Err(ObfusMemError::TamperDetected {
+                detail: format!(
+                    "MAC mismatch at counter {counter} (decrypted {kind} {addr:#x})",
+                    kind = header.kind,
+                    addr = header.addr
+                ),
+            })
+        }
+    }
+
+    /// Builds the encrypted read-reply packet for a decoded request, using
+    /// the pair's reserved data pads.
+    pub fn encrypt_reply(&self, base_counter: u64, data: &BlockData) -> BusPacket {
+        let mut ct = *data;
+        for (i, chunk) in ct.chunks_mut(16).enumerate() {
+            let pad = self.session.stream().pad_at(base_counter + 2 + i as u64);
+            for (d, p) in chunk.iter_mut().zip(pad.iter()) {
+                *d ^= p;
+            }
+        }
+        let tag = self.cfg.security.authenticates().then(|| {
+            self.session.mac().tag(&[b"reply", &base_counter.to_le_bytes(), &ct])
+        });
+        BusPacket { header_ct: [0u8; 16], data_ct: Some(ct), tag }
+    }
+
+    /// Random data returned for a dummy read (discarded at the processor).
+    pub fn random_reply(&mut self) -> BlockData {
+        let mut out = [0u8; 64];
+        for chunk in out.chunks_mut(8) {
+            chunk.copy_from_slice(&self.rng.next_u64().to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Convenience: end-to-end check that a processor and memory engine pair
+/// built from the same key material stay synchronized. Used by tests and
+/// the quickstart example.
+pub fn engines_for_test(
+    cfg: ObfusMemConfig,
+    channels: usize,
+) -> (crate::engine::ProcessorEngine, Vec<MemoryEngine>) {
+    let keys: Vec<([u8; 16], u64)> =
+        (0..channels).map(|c| ([c as u8 + 1; 16], c as u64 * 1000)).collect();
+    let proc = crate::engine::ProcessorEngine::new(
+        cfg,
+        crate::session::SessionKeyTable::new(keys.clone()),
+        7,
+    );
+    let mems = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, (k, n))| MemoryEngine::new(cfg, ChannelSession::new(k, n), i as u64))
+        .collect();
+    (proc, mems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ObfusMemConfig;
+    use obfusmem_mem::request::AccessKind;
+    use obfusmem_sim::time::Time;
+
+    fn pair() -> (crate::engine::ProcessorEngine, MemoryEngine) {
+        let (p, mut ms) = engines_for_test(ObfusMemConfig::paper_default(), 1);
+        (p, ms.remove(0))
+    }
+
+    fn read_header(addr: u64) -> RequestHeader {
+        RequestHeader { kind: AccessKind::Read, addr }
+    }
+
+    #[test]
+    fn read_round_trip() {
+        let (mut proc, mut mem) = pair();
+        let sent = read_header(0x1_2340);
+        let pkts = proc.obfuscate(Time::ZERO, 0, sent, None).unwrap();
+        let (decoded, dummy) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+        assert_eq!(decoded.header, sent);
+        assert!(decoded.dropped_dummy);
+        assert!(dummy.is_none(), "fixed-address dummy must be dropped");
+        assert_eq!(mem.dummies_dropped(), 1);
+    }
+
+    #[test]
+    fn write_round_trip_with_data() {
+        let (mut proc, mut mem) = pair();
+        let hdr = RequestHeader { kind: AccessKind::Write, addr: 0x88_0000 };
+        let payload = [0xC3; 64];
+        let pkts = proc.obfuscate(Time::ZERO, 0, hdr, Some(&payload)).unwrap();
+        assert_ne!(pkts.real.data_ct.unwrap(), payload, "data must be re-encrypted on the bus");
+        let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+        assert_eq!(decoded.data, Some(payload));
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let (mut proc, mut mem) = pair();
+        let pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+        let stored = [0x11; 64];
+        let reply = mem.encrypt_reply(decoded.base_counter, &stored);
+        assert_ne!(reply.data_ct.unwrap(), stored);
+        let got = proc.decrypt_reply(0, pkts.base_counter, &reply.data_ct.unwrap()).unwrap();
+        assert_eq!(got, stored);
+    }
+
+    #[test]
+    fn long_sessions_stay_synchronized() {
+        let (mut proc, mut mem) = pair();
+        for i in 0..500u64 {
+            let hdr = if i % 3 == 0 {
+                RequestHeader { kind: AccessKind::Write, addr: i * 64 }
+            } else {
+                read_header(i * 64)
+            };
+            let data = (hdr.kind == AccessKind::Write).then(|| [i as u8; 64]);
+            let pkts = proc.obfuscate(Time::ZERO, 0, hdr, data.as_ref()).unwrap();
+            let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+            assert_eq!(decoded.header, hdr, "desync at request {i}");
+            assert_eq!(decoded.data, data);
+        }
+    }
+
+    #[test]
+    fn modified_address_detected() {
+        let (mut proc, mut mem) = pair();
+        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        pkts.real.header_ct[3] ^= 0x10; // flip an address bit in flight
+        let err = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap_err();
+        assert!(matches!(err, ObfusMemError::TamperDetected { .. }), "got {err}");
+        assert_eq!(mem.tampers_detected(), 1);
+    }
+
+    #[test]
+    fn modified_type_detected() {
+        let (mut proc, mut mem) = pair();
+        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        pkts.real.header_ct[0] ^= 0x01; // flip the request-type bit
+        assert!(mem.receive_pair(&pkts.real, &pkts.dummy).is_err());
+    }
+
+    #[test]
+    fn dropped_message_detected_via_counter() {
+        let (mut proc, mut mem) = pair();
+        let first = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let second = proc.obfuscate(Time::ZERO, 0, read_header(0x80), None).unwrap();
+        // Attacker drops `first`; memory sees `second` with a stale
+        // counter and the MAC (bound to the counter) fails.
+        drop(first);
+        assert!(mem.receive_pair(&second.real, &second.dummy).is_err());
+    }
+
+    #[test]
+    fn replayed_message_detected() {
+        let (mut proc, mut mem) = pair();
+        let pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+        // Replay the same packets: memory's counter moved on.
+        assert!(mem.receive_pair(&pkts.real, &pkts.dummy).is_err());
+    }
+
+    #[test]
+    fn injected_garbage_detected() {
+        let (_, mut mem) = pair();
+        let forged = BusPacket { header_ct: [0xAA; 16], data_ct: None, tag: Some([0; 8]) };
+        assert!(mem.receive_pair(&forged, &forged.clone()).is_err());
+    }
+
+    #[test]
+    fn missing_tag_rejected_on_authenticated_channel() {
+        let (mut proc, mut mem) = pair();
+        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        pkts.real.tag = None;
+        let err = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap_err();
+        assert!(matches!(err, ObfusMemError::MalformedPacket(_)));
+    }
+
+    #[test]
+    fn unauthenticated_mode_accepts_tampering_silently() {
+        // Documents the §3.5 trade-off: without MACs, tampering garbles
+        // the address but is not *detected* here (Merkle catches it later).
+        let cfg =
+            ObfusMemConfig { security: crate::config::SecurityLevel::Obfuscate, ..Default::default() };
+        let (mut proc, mut ms) = engines_for_test(cfg, 1);
+        let mut mem = ms.remove(0);
+        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        pkts.real.header_ct[5] ^= 0xFF;
+        let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+        assert_ne!(decoded.header.addr, 0x40, "tampering silently garbles the address");
+    }
+
+    #[test]
+    fn original_policy_dummy_surfaces_for_service() {
+        let cfg = ObfusMemConfig {
+            dummy_policy: crate::config::DummyAddressPolicy::Original,
+            ..ObfusMemConfig::paper_default()
+        };
+        let (mut proc, mut ms) = engines_for_test(cfg, 1);
+        let mut mem = ms.remove(0);
+        let pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x1000), None).unwrap();
+        let (decoded, dummy) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+        assert!(!decoded.dropped_dummy);
+        let dummy = dummy.expect("original-address dummy reaches the array");
+        assert_eq!(dummy.header.addr, 0x1000);
+        assert_eq!(dummy.header.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn per_channel_sessions_are_independent() {
+        let (mut proc, mut mems) = engines_for_test(ObfusMemConfig::paper_default(), 3);
+        // Interleave traffic across channels in an irregular order; each
+        // memory engine only sees its own channel's pairs and must stay
+        // synchronized regardless of the global interleaving.
+        let order = [0usize, 2, 1, 1, 0, 2, 2, 0, 1, 0, 2, 1];
+        for (i, &ch) in order.iter().enumerate() {
+            let hdr = RequestHeader { kind: AccessKind::Read, addr: (i as u64) * 64 };
+            let pkts = proc.obfuscate(Time::ZERO, ch, hdr, None).unwrap();
+            let (decoded, _) = mems[ch].receive_pair(&pkts.real, &pkts.dummy).unwrap();
+            assert_eq!(decoded.header, hdr, "channel {ch} desynced at step {i}");
+        }
+    }
+
+    #[test]
+    fn reply_with_wrong_counter_is_garbage() {
+        // A reply decrypted with the wrong pad window never reveals the
+        // stored data (the counter discipline is load-bearing).
+        let (mut proc, mut mem) = pair();
+        let a = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let b = proc.obfuscate(Time::ZERO, 0, read_header(0x80), None).unwrap();
+        let (decoded_a, _) = mem.receive_pair(&a.real, &a.dummy).unwrap();
+        let stored = [0x5A; 64];
+        let reply = mem.encrypt_reply(decoded_a.base_counter, &stored);
+        // Decrypt with b's pads instead of a's.
+        let wrong = proc.decrypt_reply(0, b.base_counter, &reply.data_ct.unwrap()).unwrap();
+        assert_ne!(wrong, stored);
+        let right = proc.decrypt_reply(0, a.base_counter, &reply.data_ct.unwrap()).unwrap();
+        assert_eq!(right, stored);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn arbitrary_request_streams_round_trip(
+            ops in proptest::collection::vec((0u64..(1u64 << 33), proptest::bool::ANY, 0u8..), 1..40)
+        ) {
+            let (mut proc, mut mems) = engines_for_test(ObfusMemConfig::paper_default(), 1);
+            let mut mem = mems.remove(0);
+            for (addr, is_write, byte) in ops {
+                let addr = addr & !63;
+                let hdr = RequestHeader {
+                    kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                    addr,
+                };
+                let data = is_write.then(|| [byte; 64]);
+                let pkts = proc.obfuscate(Time::ZERO, 0, hdr, data.as_ref()).unwrap();
+                let (decoded, companion) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
+                proptest::prop_assert_eq!(decoded.header, hdr);
+                proptest::prop_assert_eq!(decoded.data, data);
+                proptest::prop_assert!(companion.is_none(), "fixed dummies always drop");
+            }
+        }
+
+        #[test]
+        fn uniform_packets_round_trip_arbitrary_requests(
+            ops in proptest::collection::vec((0u64..(1u64 << 33), proptest::bool::ANY, 0u8..), 1..40)
+        ) {
+            let (mut proc, mut mems) = engines_for_test(ObfusMemConfig::paper_default(), 1);
+            let mut mem = mems.remove(0);
+            for (addr, is_write, byte) in ops {
+                let addr = addr & !63;
+                let hdr = RequestHeader {
+                    kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                    addr,
+                };
+                let data = is_write.then(|| [byte; 64]);
+                let pkt = proc.obfuscate_uniform(Time::ZERO, 0, hdr, data.as_ref()).unwrap();
+                proptest::prop_assert!(pkt.real.data_ct.is_some(), "uniform packets always carry data");
+                let decoded = mem.receive_uniform(&pkt.real).unwrap();
+                proptest::prop_assert_eq!(decoded.header, hdr);
+                proptest::prop_assert_eq!(decoded.data, data);
+            }
+        }
+    }
+
+    #[test]
+    fn encrypt_then_mac_also_detects_tampering() {
+        let cfg = ObfusMemConfig {
+            mac_scheme: MacScheme::EncryptThenMac,
+            ..ObfusMemConfig::paper_default()
+        };
+        let (mut proc, mut ms) = engines_for_test(cfg, 1);
+        let mut mem = ms.remove(0);
+        let good = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let (decoded, _) = mem.receive_pair(&good.real, &good.dummy).unwrap();
+        assert_eq!(decoded.header.addr, 0x40);
+        let mut bad = proc.obfuscate(Time::ZERO, 0, read_header(0x80), None).unwrap();
+        bad.real.header_ct[1] ^= 1;
+        assert!(mem.receive_pair(&bad.real, &bad.dummy).is_err());
+    }
+}

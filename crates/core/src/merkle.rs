@@ -1,0 +1,244 @@
+//! Merkle-tree integrity verification for memory contents.
+//!
+//! The paper assumes the baseline secure processor verifies memory with a
+//! Merkle tree (Rogers et al. Bonsai-style trees over counters + data):
+//! any unauthorized modification of data or counters in memory is caught
+//! when the block is next brought on chip (§3.5 relies on this to catch
+//! tampering of *written* data; command tampering is caught immediately by
+//! the MAC).
+//!
+//! The tree here is functional and incremental: leaves are block hashes,
+//! internal nodes hash their children, updates rehash one root-path. The
+//! root lives "on chip" (in this struct) and is the trust anchor.
+
+use obfusmem_crypto::sha1::Sha1;
+use obfusmem_mem::request::BlockData;
+
+use crate::ObfusMemError;
+
+/// Hash width used for tree nodes (SHA-1).
+pub const NODE_BYTES: usize = 20;
+
+type NodeHash = [u8; NODE_BYTES];
+
+/// A Merkle tree over a fixed number of 64 B blocks.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// levels\[0\] = leaves, last level = \[root\].
+    levels: Vec<Vec<NodeHash>>,
+    leaf_count: usize,
+}
+
+fn hash_leaf(index: u64, data: &BlockData) -> NodeHash {
+    let mut h = Sha1::new();
+    h.update(b"leaf");
+    h.update(&index.to_le_bytes());
+    h.update(data);
+    h.finalize()
+}
+
+fn hash_pair(left: &NodeHash, right: &NodeHash) -> NodeHash {
+    let mut h = Sha1::new();
+    h.update(b"node");
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaf_count` blocks, all initially zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_count` is zero or not a power of two.
+    pub fn new(leaf_count: usize) -> Self {
+        assert!(leaf_count.is_power_of_two() && leaf_count > 0, "leaf count must be 2^k > 0");
+        let mut levels = Vec::new();
+        let leaves: Vec<NodeHash> =
+            (0..leaf_count).map(|i| hash_leaf(i as u64, &[0u8; 64])).collect();
+        levels.push(leaves);
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let next: Vec<NodeHash> =
+                prev.chunks(2).map(|pair| hash_pair(&pair[0], &pair[1])).collect();
+            levels.push(next);
+        }
+        MerkleTree { levels, leaf_count }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// The on-chip root.
+    pub fn root(&self) -> NodeHash {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Records that block `index` now holds `data` (on an authorized
+    /// write), rehashing the path to the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update(&mut self, index: usize, data: &BlockData) {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        self.levels[0][index] = hash_leaf(index as u64, data);
+        let mut idx = index;
+        for level in 1..self.levels.len() {
+            idx /= 2;
+            let left = self.levels[level - 1][2 * idx];
+            let right = self.levels[level - 1][2 * idx + 1];
+            self.levels[level][idx] = hash_pair(&left, &right);
+        }
+    }
+
+    /// Verifies that `data` is the authentic current content of block
+    /// `index` (as on a read from untrusted memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::IntegrityViolation`] when the leaf hash
+    /// does not match the tree.
+    pub fn verify(&self, index: usize, data: &BlockData) -> Result<(), ObfusMemError> {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        if self.levels[0][index] == hash_leaf(index as u64, data) {
+            Ok(())
+        } else {
+            Err(ObfusMemError::IntegrityViolation { addr: index as u64 * 64 })
+        }
+    }
+
+    /// Produces the sibling path for `index` (what a hardware verifier
+    /// fetches from memory alongside the data).
+    pub fn proof(&self, index: usize) -> Vec<NodeHash> {
+        let mut proof = Vec::new();
+        let mut idx = index;
+        for level in 0..self.levels.len() - 1 {
+            proof.push(self.levels[level][idx ^ 1]);
+            idx /= 2;
+        }
+        proof
+    }
+
+    /// Verifies `data` at `index` against `root` using a sibling `proof`,
+    /// without access to the full tree (the hardware path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::IntegrityViolation`] on any mismatch.
+    pub fn verify_proof(
+        index: usize,
+        data: &BlockData,
+        proof: &[NodeHash],
+        root: &NodeHash,
+    ) -> Result<(), ObfusMemError> {
+        let mut acc = hash_leaf(index as u64, data);
+        let mut idx = index;
+        for sibling in proof {
+            acc = if idx % 2 == 0 { hash_pair(&acc, sibling) } else { hash_pair(sibling, &acc) };
+            idx /= 2;
+        }
+        if &acc == root {
+            Ok(())
+        } else {
+            Err(ObfusMemError::IntegrityViolation { addr: index as u64 * 64 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tree_verifies_zero_blocks() {
+        let t = MerkleTree::new(8);
+        for i in 0..8 {
+            t.verify(i, &[0u8; 64]).unwrap();
+        }
+    }
+
+    #[test]
+    fn update_then_verify() {
+        let mut t = MerkleTree::new(8);
+        t.update(3, &[7; 64]);
+        t.verify(3, &[7; 64]).unwrap();
+        assert!(t.verify(3, &[8; 64]).is_err());
+    }
+
+    #[test]
+    fn tampering_any_block_changes_detection() {
+        let mut t = MerkleTree::new(16);
+        for i in 0..16 {
+            t.update(i, &[i as u8; 64]);
+        }
+        // Attacker swaps contents of blocks 2 and 3 in memory.
+        assert!(t.verify(2, &[3; 64]).is_err());
+        assert!(t.verify(3, &[2; 64]).is_err());
+        // Honest contents still verify.
+        t.verify(2, &[2; 64]).unwrap();
+    }
+
+    #[test]
+    fn root_changes_on_every_update() {
+        let mut t = MerkleTree::new(8);
+        let r0 = t.root();
+        t.update(0, &[1; 64]);
+        let r1 = t.root();
+        t.update(7, &[1; 64]);
+        let r2 = t.root();
+        assert_ne!(r0, r1);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn proofs_verify_against_root() {
+        let mut t = MerkleTree::new(16);
+        t.update(5, &[0x55; 64]);
+        let proof = t.proof(5);
+        assert_eq!(proof.len(), 4);
+        MerkleTree::verify_proof(5, &[0x55; 64], &proof, &t.root()).unwrap();
+        assert!(MerkleTree::verify_proof(5, &[0x56; 64], &proof, &t.root()).is_err());
+        // A proof for the wrong index fails too.
+        assert!(MerkleTree::verify_proof(4, &[0x55; 64], &proof, &t.root()).is_err());
+    }
+
+    #[test]
+    fn replayed_old_data_is_detected() {
+        // The attack §3.5 relegates to the Merkle tree: write old data
+        // back to memory after the processor overwrote it.
+        let mut t = MerkleTree::new(8);
+        t.update(1, &[1; 64]); // version 1
+        t.update(1, &[2; 64]); // version 2
+        assert!(t.verify(1, &[1; 64]).is_err(), "replay of version 1 must fail");
+        t.verify(1, &[2; 64]).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn rejects_non_power_of_two() {
+        let _ = MerkleTree::new(6);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_update_sequences_stay_consistent(
+            ops in proptest::collection::vec((0usize..32, 0u8..), 1..50)
+        ) {
+            let mut t = MerkleTree::new(32);
+            let mut oracle = [[0u8; 64]; 32];
+            for (idx, byte) in ops {
+                oracle[idx] = [byte; 64];
+                t.update(idx, &oracle[idx]);
+            }
+            for (i, data) in oracle.iter().enumerate() {
+                t.verify(i, data).unwrap();
+                let proof = t.proof(i);
+                MerkleTree::verify_proof(i, data, &proof, &t.root()).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-channel session keys and synchronized counter streams.
+//!
+//! After boot-time bootstrap (paper §3.1), the processor holds one session
+//! key per memory channel in its Session Key Table (Figure 3, step 1b) and
+//! each channel's memory-side controller holds the same key. Both ends
+//! also hold a synchronized counter; every obfuscated request consumes six
+//! pads and advances both counters by six.
+
+use obfusmem_crypto::aes::Aes128;
+use obfusmem_crypto::ctr::CtrStream;
+use obfusmem_crypto::mac::{MacEngine, MacHash};
+
+use crate::ObfusMemError;
+
+/// One end's cryptographic state for one channel.
+#[derive(Debug, Clone)]
+pub struct ChannelSession {
+    key: [u8; 16],
+    stream: CtrStream,
+    mac: MacEngine,
+    /// ECB cipher for the strawman address mode.
+    ecb: Aes128,
+}
+
+impl ChannelSession {
+    /// Builds a session from an established shared key and nonce.
+    pub fn new(key: [u8; 16], nonce: u64) -> Self {
+        ChannelSession {
+            key,
+            stream: CtrStream::new(Aes128::new(&key), nonce),
+            mac: MacEngine::new(key, MacHash::Md5),
+            ecb: Aes128::new(&key),
+        }
+    }
+
+    /// The counter-mode pad stream (shared-counter discipline).
+    pub fn stream_mut(&mut self) -> &mut CtrStream {
+        &mut self.stream
+    }
+
+    /// Read access to the stream (e.g. to snapshot the counter).
+    pub fn stream(&self) -> &CtrStream {
+        &self.stream
+    }
+
+    /// The MAC engine keyed with this channel's session key.
+    pub fn mac(&self) -> &MacEngine {
+        &self.mac
+    }
+
+    /// ECB-encrypts a 16-byte header (strawman address mode, §3.2).
+    pub fn ecb_encrypt(&self, header: &[u8; 16]) -> [u8; 16] {
+        self.ecb.encrypt_block(header)
+    }
+
+    /// ECB-decrypts a 16-byte header.
+    pub fn ecb_decrypt(&self, header: &[u8; 16]) -> [u8; 16] {
+        self.ecb.decrypt_block(header)
+    }
+
+    /// True if `other` holds the same key (test/diagnostic helper).
+    pub fn same_key_as(&self, other: &ChannelSession) -> bool {
+        self.key == other.key
+    }
+}
+
+/// The processor's Session Key Table: one session per channel.
+#[derive(Debug)]
+pub struct SessionKeyTable {
+    sessions: Vec<ChannelSession>,
+}
+
+impl SessionKeyTable {
+    /// Builds the table from per-channel established keys.
+    pub fn new(keys_and_nonces: Vec<([u8; 16], u64)>) -> Self {
+        SessionKeyTable {
+            sessions: keys_and_nonces.into_iter().map(|(k, n)| ChannelSession::new(k, n)).collect(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The session for `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::NoSuchChannel`] for out-of-range indices.
+    pub fn session_mut(&mut self, channel: usize) -> Result<&mut ChannelSession, ObfusMemError> {
+        let channels = self.sessions.len();
+        self.sessions
+            .get_mut(channel)
+            .ok_or(ObfusMemError::NoSuchChannel { channel, channels })
+    }
+
+    /// Immutable session access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::NoSuchChannel`] for out-of-range indices.
+    pub fn session(&self, channel: usize) -> Result<&ChannelSession, ObfusMemError> {
+        let channels = self.sessions.len();
+        self.sessions.get(channel).ok_or(ObfusMemError::NoSuchChannel { channel, channels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_sessions_stay_synchronized() {
+        let mut a = ChannelSession::new([1; 16], 42);
+        let mut b = ChannelSession::new([1; 16], 42);
+        for _ in 0..10 {
+            let ct = a.stream_mut().xor_copy(b"0123456789abcdef");
+            assert_eq!(b.stream_mut().xor_copy(&ct), b"0123456789abcdef".to_vec());
+        }
+        assert_eq!(a.stream().counter(), b.stream().counter());
+    }
+
+    #[test]
+    fn table_indexes_by_channel() {
+        let mut t = SessionKeyTable::new(vec![([1; 16], 0), ([2; 16], 0)]);
+        assert_eq!(t.channels(), 2);
+        assert!(t.session_mut(0).is_ok());
+        assert!(t.session(1).is_ok());
+        assert!(matches!(
+            t.session(5),
+            Err(ObfusMemError::NoSuchChannel { channel: 5, channels: 2 })
+        ));
+    }
+
+    #[test]
+    fn per_channel_keys_are_independent() {
+        let t = SessionKeyTable::new(vec![([1; 16], 0), ([2; 16], 0)]);
+        assert!(!t.session(0).unwrap().same_key_as(t.session(1).unwrap()));
+    }
+
+    #[test]
+    fn ecb_round_trips() {
+        let s = ChannelSession::new([3; 16], 0);
+        let header = [0xAB; 16];
+        assert_eq!(s.ecb_decrypt(&s.ecb_encrypt(&header)), header);
+    }
+}

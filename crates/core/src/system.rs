@@ -1,0 +1,158 @@
+//! The full-system simulator: workload → core → protected memory.
+//!
+//! [`System`] is the top of the stack — what the examples and the
+//! table/figure harness drive. It wires a [`TraceDrivenCore`] to an
+//! [`ObfusMemBackend`] built from a [`SystemConfig`], and exposes the
+//! paper's headline metric: execution-time overhead of a protected
+//! configuration over the unprotected baseline on the same machine.
+
+use obfusmem_cpu::core::{RunResult, TraceDrivenCore};
+use obfusmem_cpu::workload::WorkloadSpec;
+use obfusmem_mem::config::MemConfig;
+
+use crate::backend::ObfusMemBackend;
+use crate::config::{ObfusMemConfig, SecurityLevel};
+
+/// Everything needed to stand up a simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Protection level (shortcut into `obfus.security`).
+    pub security: SecurityLevel,
+    /// Full ObfusMem design point.
+    pub obfus: ObfusMemConfig,
+    /// Memory geometry/timing.
+    pub mem: MemConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            security: SecurityLevel::ObfuscateAuth,
+            obfus: ObfusMemConfig::paper_default(),
+            mem: MemConfig::table2(),
+        }
+    }
+}
+
+/// A runnable simulated machine.
+#[derive(Debug)]
+pub struct System {
+    core: TraceDrivenCore,
+    backend: ObfusMemBackend,
+}
+
+impl System {
+    /// Builds the machine.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let obfus = ObfusMemConfig { security: cfg.security, ..cfg.obfus };
+        System {
+            core: TraceDrivenCore::new(),
+            backend: ObfusMemBackend::new(obfus, cfg.mem, 0x5EED_0001),
+        }
+    }
+
+    /// Builds the machine with an explicit backend seed.
+    pub fn with_seed(cfg: SystemConfig, seed: u64) -> Self {
+        let obfus = ObfusMemConfig { security: cfg.security, ..cfg.obfus };
+        System { core: TraceDrivenCore::new(), backend: ObfusMemBackend::new(obfus, cfg.mem, seed) }
+    }
+
+    /// Runs `instructions` of `spec`, deterministically under `seed`.
+    pub fn run(&mut self, spec: &WorkloadSpec, instructions: u64, seed: u64) -> RunResult {
+        self.core.run(spec, instructions, &mut self.backend, seed)
+    }
+
+    /// The backend, for stats/trace inspection.
+    pub fn backend(&self) -> &ObfusMemBackend {
+        &self.backend
+    }
+
+    /// Mutable backend access (e.g. to enable tracing).
+    pub fn backend_mut(&mut self) -> &mut ObfusMemBackend {
+        &mut self.backend
+    }
+}
+
+/// Runs one workload at several security levels on fresh machines and
+/// returns `(level, result)` pairs — the Figure 4 inner loop.
+pub fn run_security_sweep(
+    spec: &WorkloadSpec,
+    instructions: u64,
+    levels: &[SecurityLevel],
+    mem: MemConfig,
+    seed: u64,
+) -> Vec<(SecurityLevel, RunResult)> {
+    levels
+        .iter()
+        .map(|&security| {
+            let mut sys = System::new(SystemConfig {
+                security,
+                mem: mem.clone(),
+                ..SystemConfig::default()
+            });
+            (security, sys.run(spec, instructions, seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfusmem_cpu::workload::micro_test_workload;
+
+    #[test]
+    fn quickstart_runs() {
+        let mut sys = System::new(SystemConfig::default());
+        let r = sys.run(&micro_test_workload(), 20_000, 1);
+        assert!(r.exec_time.as_ns() > 0);
+        assert_eq!(r.misses, 400);
+    }
+
+    #[test]
+    fn sweep_orders_overheads_sensibly() {
+        let levels = [
+            SecurityLevel::Unprotected,
+            SecurityLevel::EncryptOnly,
+            SecurityLevel::Obfuscate,
+            SecurityLevel::ObfuscateAuth,
+        ];
+        let results = run_security_sweep(
+            &micro_test_workload(),
+            100_000,
+            &levels,
+            MemConfig::table2(),
+            7,
+        );
+        let base = &results[0].1;
+        let mut last = 0.0;
+        for (level, r) in &results[1..] {
+            let ovh = r.overhead_vs(base);
+            assert!(ovh >= last - 0.5, "{level} overhead {ovh}% regressed below {last}%");
+            last = ovh;
+        }
+        // ObfusMem+Auth on a memory-intensive workload: noticeable but
+        // far from ORAM-class (paper: ~10-30% for such workloads).
+        let full = results[3].1.overhead_vs(base);
+        assert!(full > 0.5 && full < 100.0, "ObfusMem+Auth overhead {full}% out of band");
+    }
+
+    #[test]
+    fn deterministic_across_identical_systems() {
+        let mk = || {
+            let mut sys = System::new(SystemConfig::default());
+            sys.run(&micro_test_workload(), 50_000, 9).exec_time
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn channel_count_flows_through() {
+        let mut sys = System::new(SystemConfig {
+            mem: MemConfig::table2().with_channels(4),
+            ..SystemConfig::default()
+        });
+        let r = sys.run(&micro_test_workload(), 50_000, 3);
+        assert!(r.exec_time.as_ns() > 0);
+        assert!(sys.backend().stats().channel_dummies > 0);
+    }
+}

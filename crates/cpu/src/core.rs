@@ -1,0 +1,263 @@
+//! The trace-driven core model.
+//!
+//! Executes a workload's miss stream against a pluggable memory back end,
+//! producing the execution time every evaluation number derives from.
+//!
+//! The timing model mirrors the mechanism the paper's results turn on:
+//!
+//! * between misses the core *computes* for the stream's gap;
+//! * a demand fill allocates an MSHR; the core runs ahead until its MSHR
+//!   budget (`spec.mlp`) is exhausted, then stalls until the oldest miss
+//!   returns — so exposed memory latency is `max(0, latency/mlp − gap)`
+//!   in steady state;
+//! * write-backs are posted (off the critical path) but consume back-end
+//!   bandwidth, which is how ObfusMem's dummy traffic and ORAM's path
+//!   traffic feed back into execution time.
+
+use obfusmem_cache::mshr::MshrFile;
+use obfusmem_mem::request::BlockAddr;
+use obfusmem_sim::stats::RunningStats;
+use obfusmem_sim::time::{Clock, Duration, Time};
+
+use crate::stream::MissStream;
+use crate::workload::WorkloadSpec;
+
+/// A memory system as seen by the core: demand fills with a completion
+/// time, and posted write-backs.
+///
+/// Implementations: unprotected PCM, ObfusMem (all security levels), and
+/// Path ORAM (both the paper's fixed-latency model and the functional
+/// tree). The trait is object-safe so harnesses can sweep configurations.
+pub trait MemoryBackend {
+    /// Issues a demand fill at `at`; returns when the data reaches the LLC.
+    fn read(&mut self, at: Time, addr: BlockAddr) -> Time;
+
+    /// Posts a dirty write-back at `at` (completion is not awaited by the
+    /// core, but the back end must account bandwidth/occupancy).
+    fn write(&mut self, at: Time, addr: BlockAddr);
+
+    /// Human-readable label for reports.
+    fn label(&self) -> String;
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Back-end label.
+    pub backend: String,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// LLC misses (demand fills) issued.
+    pub misses: u64,
+    /// Write-backs issued.
+    pub writebacks: u64,
+    /// Total execution time.
+    pub exec_time: Duration,
+    /// Measured IPC at the 2 GHz core clock.
+    pub ipc: f64,
+    /// Average measured latency of demand fills (ns).
+    pub avg_fill_latency_ns: f64,
+    /// Average gap between consecutive memory requests (ns), the Table 1
+    /// metric.
+    pub avg_request_gap_ns: f64,
+}
+
+impl RunResult {
+    /// Execution-time overhead of `self` relative to `baseline`, percent.
+    pub fn overhead_vs(&self, baseline: &RunResult) -> f64 {
+        100.0 * (self.exec_time.as_ps() as f64 - baseline.exec_time.as_ps() as f64)
+            / baseline.exec_time.as_ps() as f64
+    }
+
+    /// Slowdown ratio of `self` relative to `baseline`.
+    pub fn slowdown_vs(&self, baseline: &RunResult) -> f64 {
+        self.exec_time.as_ps() as f64 / baseline.exec_time.as_ps() as f64
+    }
+}
+
+/// The trace-driven core.
+#[derive(Debug)]
+pub struct TraceDrivenCore {
+    clock: Clock,
+}
+
+impl Default for TraceDrivenCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceDrivenCore {
+    /// A core at the Table 2 frequency (2 GHz).
+    pub fn new() -> Self {
+        TraceDrivenCore { clock: Clock::from_mhz(2000) }
+    }
+
+    /// Runs `instructions` of `spec` against `backend`, deterministically
+    /// under `seed`.
+    pub fn run(
+        &self,
+        spec: &WorkloadSpec,
+        instructions: u64,
+        backend: &mut dyn MemoryBackend,
+        seed: u64,
+    ) -> RunResult {
+        let misses = spec.misses_for(instructions).max(1);
+        let mut stream = MissStream::new(spec.clone(), seed);
+        let mut mshrs = MshrFile::new(spec.mlp);
+        let mut now = Time::ZERO;
+        let mut fill_latency = RunningStats::new();
+        let mut writebacks = 0u64;
+        let mut last_request_at = Time::ZERO;
+        let mut request_gaps = RunningStats::new();
+
+        for _ in 0..misses {
+            let event = stream.next_event();
+            // Compute phase.
+            now += event.gap;
+
+            // Demand fill: issue, run ahead under the MSHR budget.
+            let completes = backend.read(now, event.fill);
+            fill_latency.record(completes.since(now).as_ns_f64());
+            request_gaps.record(now.since(last_request_at).as_ns_f64());
+            last_request_at = now;
+            now = mshrs.allocate(now, event.fill.as_u64(), completes);
+
+            // Posted write-back, issued after the fill (LLC victim path).
+            if let Some(wb) = event.writeback {
+                backend.write(now, wb);
+                writebacks += 1;
+                request_gaps.record(now.since(last_request_at).as_ns_f64());
+                last_request_at = now;
+            }
+        }
+        // Drain outstanding misses.
+        if let Some(drain) = mshrs.drain_time() {
+            now = now.max(drain);
+        }
+
+        let exec_time = now.since(Time::ZERO);
+        let cycles = self.clock.duration_to_cycles(exec_time).max(1);
+        RunResult {
+            workload: spec.name,
+            backend: backend.label(),
+            instructions,
+            misses,
+            writebacks,
+            exec_time,
+            ipc: instructions as f64 / cycles as f64,
+            avg_fill_latency_ns: fill_latency.mean(),
+            avg_request_gap_ns: request_gaps.mean(),
+        }
+    }
+}
+
+/// A fixed-latency back end, useful for tests and as the paper's ORAM
+/// model substrate (`obfusmem-oram` wraps it with accounting).
+#[derive(Debug, Clone)]
+pub struct FixedLatencyBackend {
+    latency: Duration,
+    name: String,
+    reads: u64,
+    writes: u64,
+}
+
+impl FixedLatencyBackend {
+    /// A back end answering every fill after `latency`.
+    pub fn new(name: impl Into<String>, latency: Duration) -> Self {
+        FixedLatencyBackend { latency, name: name.into(), reads: 0, writes: 0 }
+    }
+
+    /// `(fills, write-backs)` serviced.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+impl MemoryBackend for FixedLatencyBackend {
+    fn read(&mut self, at: Time, _addr: BlockAddr) -> Time {
+        self.reads += 1;
+        at + self.latency
+    }
+
+    fn write(&mut self, _at: Time, _addr: BlockAddr) {
+        self.writes += 1;
+    }
+
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::micro_test_workload;
+
+    fn run_with_latency(latency_ns: u64, mlp: usize) -> RunResult {
+        let mut spec = micro_test_workload();
+        spec.mlp = mlp;
+        let core = TraceDrivenCore::new();
+        let mut backend = FixedLatencyBackend::new("test", Duration::from_ns(latency_ns));
+        core.run(&spec, 200_000, &mut backend, 42)
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_with_latency(100, 2);
+        let b = run_with_latency(100, 2);
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.misses, b.misses);
+    }
+
+    #[test]
+    fn slower_memory_means_longer_execution() {
+        let fast = run_with_latency(80, 2);
+        let slow = run_with_latency(2500, 2);
+        assert!(slow.exec_time > fast.exec_time);
+        // ORAM-like latency on a high-MPKI workload: order-of-magnitude
+        // class slowdown, the paper's headline phenomenon.
+        assert!(slow.slowdown_vs(&fast) > 5.0, "slowdown {}", slow.slowdown_vs(&fast));
+    }
+
+    #[test]
+    fn more_mlp_hides_latency() {
+        let narrow = run_with_latency(400, 1);
+        let wide = run_with_latency(400, 8);
+        assert!(wide.exec_time < narrow.exec_time);
+    }
+
+    #[test]
+    fn zero_added_latency_leaves_only_compute() {
+        let r = run_with_latency(0, 1);
+        // exec_time ≈ sum of gaps ≈ misses × 50 ns.
+        let expected_ns = r.misses as f64 * 50.0;
+        let actual_ns = r.exec_time.as_ns_f64();
+        assert!((actual_ns - expected_ns).abs() / expected_ns < 0.1);
+    }
+
+    #[test]
+    fn miss_count_follows_mpki() {
+        let r = run_with_latency(100, 2);
+        assert_eq!(r.misses, 4000); // 200k instr × 20 MPKI / 1000
+        assert!(r.writebacks > 0);
+    }
+
+    #[test]
+    fn overhead_math() {
+        let base = run_with_latency(80, 2);
+        let slow = run_with_latency(160, 2);
+        let overhead = slow.overhead_vs(&base);
+        assert!(overhead > 0.0);
+        assert!((slow.slowdown_vs(&base) - (1.0 + overhead / 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_reported_against_2ghz() {
+        let r = run_with_latency(0, 1);
+        let cycles = r.exec_time.as_ps() / 500;
+        assert!((r.ipc - r.instructions as f64 / cycles as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! L1-level synthetic address streams for cache-calibration experiments.
+//!
+//! The Table 1 MPKI figures are *outputs* of real caches filtering real
+//! address streams. [`L1Stream`] generates instruction-level loads/stores
+//! with tunable locality so the `obfusmem-cache` hierarchy can be driven
+//! end-to-end and its measured LLC MPKI compared against a workload's
+//! target — the calibration loop exercised by the `cache_calibration`
+//! example and integration tests.
+
+use obfusmem_cache::cache::CacheOp;
+use obfusmem_sim::rng::{SplitMix64, Zipf};
+
+/// One L1 access: address plus read/write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Load or store.
+    pub op: CacheOp,
+}
+
+/// Parameters of an L1-level stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L1StreamConfig {
+    /// Memory accesses per instruction (typical ~0.3).
+    pub accesses_per_instruction: f64,
+    /// Fraction of accesses that are stores.
+    pub store_fraction: f64,
+    /// Probability an access continues the current sequential run.
+    pub sequential: f64,
+    /// Hot-set size in 64 B blocks (captured by caches).
+    pub hot_blocks: u64,
+    /// Cold-set size in 64 B blocks (streams through caches).
+    pub cold_blocks: u64,
+    /// Probability a non-sequential access goes to the cold set
+    /// (drives the LLC miss rate).
+    pub cold_fraction: f64,
+    /// Size of the region sequential runs wrap within, in blocks. Small
+    /// regions are recaptured by the caches; large ones stream through.
+    pub stream_region_blocks: u64,
+}
+
+impl L1StreamConfig {
+    /// A cache-friendly default: mostly hot-set reuse.
+    pub fn cache_friendly() -> Self {
+        L1StreamConfig {
+            accesses_per_instruction: 0.3,
+            store_fraction: 0.3,
+            sequential: 0.5,
+            hot_blocks: 256,
+            cold_blocks: 1 << 22,
+            cold_fraction: 0.01,
+            stream_region_blocks: 2048,
+        }
+    }
+
+    /// A cache-hostile default: large cold footprint.
+    pub fn cache_hostile() -> Self {
+        L1StreamConfig {
+            cold_fraction: 0.6,
+            sequential: 0.1,
+            stream_region_blocks: 1 << 22,
+            ..Self::cache_friendly()
+        }
+    }
+}
+
+/// Generator of [`L1Access`]es.
+#[derive(Debug)]
+pub struct L1Stream {
+    cfg: L1StreamConfig,
+    rng: SplitMix64,
+    hot_zipf: Zipf,
+    cursor: u64,
+    run_remaining: u64,
+}
+
+impl L1Stream {
+    /// Creates a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are out of range or a set size is zero.
+    pub fn new(cfg: L1StreamConfig, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.store_fraction), "store fraction out of range");
+        assert!((0.0..=1.0).contains(&cfg.sequential), "sequential out of range");
+        assert!((0.0..=1.0).contains(&cfg.cold_fraction), "cold fraction out of range");
+        assert!(cfg.hot_blocks > 0 && cfg.cold_blocks > 0, "sets must be nonempty");
+        assert!(cfg.stream_region_blocks > 0, "stream region must be nonempty");
+        let hot_zipf = Zipf::new(cfg.hot_blocks.min(1 << 16) as usize, 0.9);
+        L1Stream { hot_zipf, rng: SplitMix64::new(seed), cursor: 0, run_remaining: 0, cfg }
+    }
+
+    /// Generates the next access.
+    pub fn next_access(&mut self) -> L1Access {
+        // Sequential runs live in their own region above the hot set and
+        // wrap within `stream_region_blocks`.
+        let seq_base = 1u64 << 20;
+        let block = if self.run_remaining > 0 {
+            self.run_remaining -= 1;
+            self.cursor = (self.cursor + 1) % self.cfg.stream_region_blocks;
+            seq_base + self.cursor
+        } else if self.rng.chance(self.cfg.sequential) {
+            self.run_remaining = 4 + self.rng.geometric(0.3);
+            self.cursor = (self.cursor + 1) % self.cfg.stream_region_blocks;
+            seq_base + self.cursor
+        } else if self.rng.chance(self.cfg.cold_fraction) {
+            // Cold: uniform over a large region, offset away from hot set.
+            (1 << 32) / 64 + self.rng.below(self.cfg.cold_blocks)
+        } else {
+            self.hot_zipf.sample(&mut self.rng) as u64
+        };
+        let op = if self.rng.chance(self.cfg.store_fraction) {
+            CacheOp::Write
+        } else {
+            CacheOp::Read
+        };
+        L1Access { addr: block * 64 + self.rng.below(64) / 8 * 8, op }
+    }
+
+    /// Number of memory accesses implied by `instructions`.
+    pub fn accesses_for(&self, instructions: u64) -> u64 {
+        (instructions as f64 * self.cfg.accesses_per_instruction).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfusmem_cache::config::HierarchyConfig;
+    use obfusmem_cache::hierarchy::CacheHierarchy;
+
+    #[test]
+    fn deterministic() {
+        let mut a = L1Stream::new(L1StreamConfig::cache_friendly(), 9);
+        let mut b = L1Stream::new(L1StreamConfig::cache_friendly(), 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn friendly_stream_has_lower_mpki_than_hostile() {
+        let mut h_friendly = CacheHierarchy::new(HierarchyConfig::table2());
+        let mut h_hostile = CacheHierarchy::new(HierarchyConfig::table2());
+        let instructions = 1_000_000u64;
+
+        let mut s = L1Stream::new(L1StreamConfig::cache_friendly(), 1);
+        for _ in 0..s.accesses_for(instructions) {
+            let a = s.next_access();
+            h_friendly.access(0, a.addr, a.op);
+        }
+        let mut s = L1Stream::new(L1StreamConfig::cache_hostile(), 1);
+        for _ in 0..s.accesses_for(instructions) {
+            let a = s.next_access();
+            h_hostile.access(0, a.addr, a.op);
+        }
+        let mpki = |h: &CacheHierarchy| h.llc_counts().1 as f64 * 1000.0 / instructions as f64;
+        assert!(
+            mpki(&h_friendly) < mpki(&h_hostile),
+            "friendly {} !< hostile {}",
+            mpki(&h_friendly),
+            mpki(&h_hostile)
+        );
+        assert!(mpki(&h_friendly) < 5.0, "friendly stream should mostly hit: {}", mpki(&h_friendly));
+    }
+
+    #[test]
+    fn store_fraction_respected() {
+        let mut s = L1Stream::new(L1StreamConfig::cache_friendly(), 2);
+        let n = 50_000;
+        let stores = (0..n).filter(|_| s.next_access().op == CacheOp::Write).count();
+        let frac = stores as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "store fraction {frac}");
+    }
+}

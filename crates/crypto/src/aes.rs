@@ -1,0 +1,327 @@
+//! AES-128 block cipher (FIPS-197).
+//!
+//! This is the cipher ObfusMem's bus-encryption engines run in counter mode.
+//! The paper synthesizes a pipelined AES-128 core (24-cycle latency at a
+//! 4 ns cycle time, one 128-bit pad per cycle); the *latency model* for that
+//! pipeline lives in `obfusmem-core`, while this module provides the actual
+//! transformation so the simulated bus carries real ciphertext.
+//!
+//! The implementation is a straightforward byte-oriented rendering of the
+//! specification (SubBytes / ShiftRows / MixColumns / AddRoundKey) with
+//! precomputed S-boxes. It favours clarity over speed; it still encrypts
+//! tens of millions of blocks per second, far more than the simulator needs.
+//!
+//! # Example
+//!
+//! ```
+//! use obfusmem_crypto::aes::Aes128;
+//!
+//! let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+//! let aes = Aes128::new(&key);
+//! let pt = *b"0123456789abcdef";
+//! let ct = aes.encrypt_block(&pt);
+//! assert_eq!(aes.decrypt_block(&ct), pt);
+//! ```
+
+/// A 128-bit block.
+pub type Block = [u8; 16];
+
+/// AES forward S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// AES inverse S-box.
+pub const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply in GF(2^8) with the AES polynomial x^8 + x^4 + x^3 + x + 1.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key schedule.
+///
+/// Construction expands the 16-byte key into 11 round keys once; encrypting
+/// and decrypting blocks then borrows the schedule immutably, so a single
+/// `Aes128` can be shared by every request on a channel.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately do not print key material.
+        f.debug_struct("Aes128").field("rounds", &10u32).finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the full round-key schedule.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &Block) -> Block {
+        let mut state = *plaintext;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &Block) -> Block {
+        let mut state = *ciphertext;
+        add_round_key(&mut state, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+// State layout: state[4*c + r] is row r, column c (column-major, matching
+// the byte order of FIPS-197 inputs).
+
+#[inline]
+fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut Block) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut Block) {
+    for s in state.iter_mut() {
+        *s = INV_SBOX[*s as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(state: &mut Block) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = copy[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut Block) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = copy[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let ct = hex16("3925841d02dc09fbdc118597196a0b32");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), ct);
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let ct = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), ct);
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn inverse_sbox_is_inverse() {
+        for b in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[b as usize] as usize], b);
+        }
+    }
+
+    #[test]
+    fn shift_rows_round_trips() {
+        let mut state: Block = core::array::from_fn(|i| i as u8);
+        let original = state;
+        shift_rows(&mut state);
+        assert_ne!(state, original);
+        inv_shift_rows(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn mix_columns_round_trips() {
+        let mut state: Block = core::array::from_fn(|i| (31 * i + 7) as u8);
+        let original = state;
+        mix_columns(&mut state);
+        assert_ne!(state, original);
+        inv_mix_columns(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn gmul_matches_known_products() {
+        // From the FIPS-197 MixColumns example arithmetic.
+        assert_eq!(gmul(0x57, 0x02), 0xae);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(0x01, 0xd4), 0xd4);
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let pt = [0u8; 16];
+        let a = Aes128::new(&[1u8; 16]).encrypt_block(&pt);
+        let b = Aes128::new(&[2u8; 16]).encrypt_block(&pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[0xAB; 16]);
+        let s = format!("{aes:?}");
+        assert!(!s.contains("ab"), "debug output must not contain key bytes: {s}");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn encrypt_decrypt_round_trip(key: [u8; 16], pt: [u8; 16]) {
+            let aes = Aes128::new(&key);
+            proptest::prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+
+        #[test]
+        fn encryption_is_a_permutation(key: [u8; 16], a: [u8; 16], b: [u8; 16]) {
+            let aes = Aes128::new(&key);
+            proptest::prop_assert_eq!(a == b, aes.encrypt_block(&a) == aes.encrypt_block(&b));
+        }
+    }
+}

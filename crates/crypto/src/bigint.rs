@@ -1,0 +1,725 @@
+//! Arbitrary-precision unsigned integers, from scratch.
+//!
+//! The boot-time trust bootstrap (paper §3.1) needs public-key operations:
+//! Diffie–Hellman over a MODP group and RSA-style device signatures. Both
+//! reduce to modular exponentiation over 1024–1536-bit integers, so this
+//! module provides exactly the arithmetic required and nothing more:
+//! add/sub/mul, Knuth Algorithm-D division, modular exponentiation,
+//! extended GCD / modular inverse, and Miller–Rabin primality testing.
+//!
+//! The representation is little-endian `u64` limbs with no leading zero
+//! limb (canonical form); zero is the empty limb vector.
+//!
+//! # Example
+//!
+//! ```
+//! use obfusmem_crypto::bigint::BigUint;
+//!
+//! let p = BigUint::from(101u64);
+//! let g = BigUint::from(7u64);
+//! // 7^100 mod 101 == 1 by Fermat's little theorem.
+//! assert_eq!(g.modpow(&BigUint::from(100u64), &p), BigUint::from(1u64));
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::CryptoError;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        let mut n = BigUint { limbs: vec![v as u64, (v >> 64) as u64] };
+        n.normalize();
+        n
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True if the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Parses a big-endian hex string (case-insensitive, no prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::ParseHex`] on any non-hex character.
+    /// Whitespace is permitted and ignored (RFC 3526 constants are
+    /// conventionally printed with spaces and newlines).
+    pub fn from_hex(s: &str) -> Result<Self, CryptoError> {
+        let mut nibbles = Vec::new();
+        for c in s.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            let v = c.to_digit(16).ok_or(CryptoError::ParseHex(c))? as u64;
+            nibbles.push(v);
+        }
+        let mut n = BigUint::zero();
+        for nib in nibbles {
+            n = n.shl_bits(4);
+            n = n.add(&BigUint::from(nib));
+        }
+        Ok(n)
+    }
+
+    /// Renders as big-endian lowercase hex ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut n = BigUint::zero();
+        for &b in bytes {
+            n = n.shl_bits(8);
+            n = n.add(&BigUint::from(b as u64));
+        }
+        n
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (unsigned subtraction would underflow).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self >= other, "BigUint::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook; inputs here are ≤ ~3072 bits, where
+    /// schoolbook is competitive and simple).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> Self {
+        if self.is_zero() || bits == 0 {
+            let mut n = self.clone();
+            n.normalize();
+            return n;
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> Self {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder of `self / divisor` (Knuth TAOCP vol. 2,
+    /// Algorithm 4.3.1-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0];
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem = 0u128;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 64) | l as u128;
+                q.push((cur / d as u128) as u64);
+                rem = cur % d as u128;
+            }
+            q.reverse();
+            let mut qn = BigUint { limbs: q };
+            qn.normalize();
+            return (qn, BigUint::from(rem as u64));
+        }
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl_bits(shift);
+        let v = divisor.shl_bits(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // D3: estimate q_hat.
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut q_hat = top / vn[n - 1] as u128;
+            let mut r_hat = top % vn[n - 1] as u128;
+            while q_hat >= 1u128 << 64
+                || q_hat * vn[n - 2] as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += vn[n - 1] as u128;
+                if r_hat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // D4: multiply and subtract.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = q_hat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[i + j] as i128 - (p as u64) as i128 - borrow;
+                un[i + j] = t as u64;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i128 - carry as i128 - borrow;
+            un[j + n] = t as u64;
+
+            if t < 0 {
+                // D6: q_hat was one too large; add back.
+                q_hat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[i + j] as u128 + vn[i] as u128 + carry;
+                    un[i + j] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = q_hat as u64;
+        }
+
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut rem = BigUint { limbs: un[..n].to_vec() };
+        rem.normalize();
+        rem = rem.shr_bits(shift);
+        (quotient, rem)
+    }
+
+    /// `self mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular exponentiation `self^exp mod modulus` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exp: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut base = self.rem(modulus);
+        let mut result = BigUint::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(modulus);
+            }
+            if i + 1 < exp.bits() {
+                base = base.mul(&base).rem(modulus);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse: `x` with `self * x ≡ 1 (mod modulus)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoInverse`] when `gcd(self, modulus) != 1`.
+    pub fn modinv(&self, modulus: &Self) -> Result<Self, CryptoError> {
+        // Extended Euclid with sign-tracked coefficients.
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus);
+        // t coefficients as (magnitude, negative?)
+        let mut t0 = (BigUint::zero(), false);
+        let mut t1 = (BigUint::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q*t1
+            let qt1 = q.mul(&t1.0);
+            let t2 = signed_sub(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return Err(CryptoError::NoInverse);
+        }
+        let (mag, neg) = t0;
+        Ok(if neg { modulus.sub(&mag.rem(modulus)).rem(modulus) } else { mag.rem(modulus) })
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases
+    /// drawn from `next_rand` (a caller-supplied uniform u64 source).
+    pub fn is_probable_prime(&self, rounds: u32, mut next_rand: impl FnMut() -> u64) -> bool {
+        if self.is_zero() || self.is_one() {
+            return false;
+        }
+        let two = BigUint::from(2u64);
+        if self == &two {
+            return true;
+        }
+        if self.is_even() {
+            return false;
+        }
+        // Quick trial division by small primes.
+        for &p in &[3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+            let pb = BigUint::from(p);
+            if self == &pb {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        let n_minus_1 = self.sub(&BigUint::one());
+        let s = trailing_zero_bits(&n_minus_1);
+        let d = n_minus_1.shr_bits(s);
+        'witness: for _ in 0..rounds {
+            // Uniform-enough base in [2, n-2]: assemble random limbs, reduce.
+            let mut limbs = Vec::with_capacity(self.limbs.len());
+            for _ in 0..self.limbs.len() {
+                limbs.push(next_rand());
+            }
+            let mut a = BigUint { limbs };
+            a.normalize();
+            a = a.rem(&n_minus_1);
+            if a < two {
+                a = two.clone();
+            }
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..s.saturating_sub(1) {
+                x = x.mul(&x).rem(self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+fn trailing_zero_bits(n: &BigUint) -> usize {
+    for i in 0..n.bits() {
+        if n.bit(i) {
+            return i;
+        }
+    }
+    0
+}
+
+/// `(a_mag, a_neg) - (b_mag, b_neg)` over sign-magnitude pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false),  //  a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),   // -a - b   = -(a + b)
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        (true, true) => {
+            // -a - (-b) = b - a
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(n(2).add(&n(3)), n(5));
+        assert_eq!(n(1000).sub(&n(1)), n(999));
+        assert_eq!(n(12345).mul(&n(6789)), BigUint::from(12345u128 * 6789));
+        let (q, r) = n(100).div_rem(&n(7));
+        assert_eq!((q, r), (n(14), n(2)));
+    }
+
+    #[test]
+    fn carries_across_limbs() {
+        let max = BigUint::from(u64::MAX);
+        let sum = max.add(&BigUint::one());
+        assert_eq!(sum.bits(), 65);
+        assert_eq!(sum.sub(&BigUint::one()), max);
+        let sq = max.mul(&max);
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let s = "deadbeef00112233445566778899aabbccddeeff0123456789abcdef";
+        let v = BigUint::from_hex(s).unwrap();
+        assert_eq!(v.to_hex(), s);
+        assert!(BigUint::from_hex("xyz").is_err());
+        assert_eq!(BigUint::from_hex("00ff").unwrap(), n(255));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = BigUint::from_hex("0102030405060708090a0b").unwrap();
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        assert_eq!(v.to_bytes_be()[0], 0x01);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = n(1);
+        assert_eq!(v.shl_bits(100).shr_bits(100), v);
+        assert_eq!(v.shl_bits(64).bits(), 65);
+        assert_eq!(n(0b1010).shr_bits(1), n(0b101));
+    }
+
+    #[test]
+    fn division_against_u128_oracle() {
+        let cases: &[(u128, u128)] = &[
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (0x1234_5678_9abc_def0_1111_2222_3333_4444, 0x9999_8888_7777),
+            (1 << 127, (1 << 64) + 1),
+        ];
+        for &(a, b) in cases {
+            let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
+            assert_eq!(q, BigUint::from(a / b), "quotient for {a}/{b}");
+            assert_eq!(r, BigUint::from(a % b), "remainder for {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        assert_eq!(n(4).modpow(&n(13), &n(497)), n(445));
+        assert_eq!(n(2).modpow(&n(10), &n(1000)), n(24));
+        assert_eq!(n(7).modpow(&BigUint::zero(), &n(13)), BigUint::one());
+        assert_eq!(n(7).modpow(&n(5), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn fermat_little_theorem_large_prime() {
+        // 2^(p-1) mod p == 1 for the RFC 3526 1536-bit prime.
+        let p = BigUint::from_hex(crate::dh::RFC3526_GROUP5_PRIME_HEX).unwrap();
+        let a = n(2);
+        assert_eq!(a.modpow(&p.sub(&BigUint::one()), &p), BigUint::one());
+    }
+
+    #[test]
+    fn modinv_works() {
+        let inv = n(3).modinv(&n(7)).unwrap();
+        assert_eq!(inv, n(5));
+        assert_eq!(n(17).modinv(&n(3120)).unwrap(), n(2753)); // classic RSA example
+        assert_eq!(n(6).modinv(&n(9)).unwrap_err(), CryptoError::NoInverse);
+    }
+
+    #[test]
+    fn miller_rabin_classifies_small_numbers() {
+        let mut state = 42u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let primes = [2u64, 3, 5, 7, 97, 7919, 104729, 2147483647];
+        for p in primes {
+            assert!(n(p).is_probable_prime(16, &mut rng), "{p} should be prime");
+        }
+        let composites = [1u64, 4, 100, 561, 8911, 104728, 2147483649];
+        for c in composites {
+            assert!(!n(c).is_probable_prime(16, &mut rng), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn rfc3526_prime_is_probably_prime() {
+        let p = BigUint::from_hex(crate::dh::RFC3526_GROUP5_PRIME_HEX).unwrap();
+        let mut state = 7u64;
+        let rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        assert!(p.is_probable_prime(4, rng));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn add_sub_round_trip(a: u128, b: u128) {
+            let (x, y) = (BigUint::from(a), BigUint::from(b));
+            proptest::prop_assert_eq!(x.add(&y).sub(&y), x);
+        }
+
+        #[test]
+        fn mul_matches_u128(a: u64, b: u64) {
+            proptest::prop_assert_eq!(
+                BigUint::from(a).mul(&BigUint::from(b)),
+                BigUint::from(a as u128 * b as u128)
+            );
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a: u128, b in 1u128..) {
+            let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
+            proptest::prop_assert!(r < BigUint::from(b));
+            proptest::prop_assert_eq!(q.mul(&BigUint::from(b)).add(&r), BigUint::from(a));
+        }
+
+        #[test]
+        fn div_rem_reconstructs_multi_limb(a: [u64; 5], b: [u64; 3]) {
+            let mut x = BigUint { limbs: a.to_vec() };
+            x.normalize();
+            let mut d = BigUint { limbs: b.to_vec() };
+            d.normalize();
+            if !d.is_zero() {
+                let (q, r) = x.div_rem(&d);
+                proptest::prop_assert!(r < d);
+                proptest::prop_assert_eq!(q.mul(&d).add(&r), x);
+            }
+        }
+
+        #[test]
+        fn modpow_matches_naive(base in 0u64..1000, exp in 0u64..64, m in 2u64..10_000) {
+            let mut expected = 1u128;
+            for _ in 0..exp {
+                expected = expected * base as u128 % m as u128;
+            }
+            proptest::prop_assert_eq!(
+                BigUint::from(base).modpow(&BigUint::from(exp), &BigUint::from(m)),
+                BigUint::from(expected as u64)
+            );
+        }
+
+        #[test]
+        fn modinv_is_inverse(a in 1u64..100_000, m in 2u64..100_000) {
+            let (x, modulus) = (BigUint::from(a), BigUint::from(m));
+            if let Ok(inv) = x.modinv(&modulus) {
+                proptest::prop_assert_eq!(x.mul(&inv).rem(&modulus), BigUint::one());
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! AES counter-mode pad streams.
+//!
+//! ObfusMem encrypts everything that crosses the memory bus by XOR with
+//! single-use pads: `pad = AES_K(IV)` where the IV is a monotonically
+//! increasing counter shared by the two ends of a channel (paper §3.2,
+//! Figure 3). Each memory request consumes **six** pads — one for the real
+//! command+address, one for the paired dummy request, and four for the
+//! 64-byte data block — and both sides then advance their counter by six.
+//!
+//! [`CtrStream`] is that shared counter plus the channel's session key.
+//! [`PadBuffer`] models the hardware's ability to *pre-generate* pads for
+//! future counter values (the reason counter mode was chosen): it tracks
+//! how many pads are banked ahead of demand so the performance model can
+//! tell when a burst outruns the AES pipeline.
+
+use crate::aes::{Aes128, Block};
+
+/// How many 128-bit pads one obfuscated request consumes (paper §3.2):
+/// 1 real command+address, 1 dummy command+address, 4 for 64 B of data.
+pub const PADS_PER_REQUEST: u64 = 6;
+
+/// A counter-mode keystream: `pad_i = AES_K(nonce_hi || ctr_i)`.
+///
+/// Both ends of an ObfusMem channel hold an identical `CtrStream`; staying
+/// synchronized (consuming the same number of pads for every message) is
+/// what makes decryption — and tamper detection via counter mismatch —
+/// work.
+#[derive(Debug, Clone)]
+pub struct CtrStream {
+    cipher: Aes128,
+    /// Upper 64 bits of the IV; fixed per session (a nonce).
+    nonce: u64,
+    /// Lower 64 bits: the running counter. A 64-bit counter will not
+    /// overflow for millennia at memory-bus rates (paper §3.2).
+    counter: u64,
+}
+
+impl CtrStream {
+    /// Creates a stream with the given cipher and session nonce, starting
+    /// at counter zero.
+    pub fn new(cipher: Aes128, nonce: u64) -> Self {
+        CtrStream { cipher, nonce, counter: 0 }
+    }
+
+    /// Current counter value (the next pad index that will be produced).
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Forces the counter to `value`.
+    ///
+    /// Used by tamper-recovery tests and by the memory-side engine when
+    /// re-synchronizing after a detected desync; normal operation never
+    /// calls this.
+    pub fn seek(&mut self, value: u64) {
+        self.counter = value;
+    }
+
+    /// Produces the pad for the current counter and advances by one.
+    pub fn next_pad(&mut self) -> Block {
+        let pad = self.pad_at(self.counter);
+        self.counter += 1;
+        pad
+    }
+
+    /// Produces the pad for an arbitrary counter value without advancing.
+    ///
+    /// The hardware uses this to pre-generate pads for future counters.
+    pub fn pad_at(&self, counter: u64) -> Block {
+        let mut iv = [0u8; 16];
+        iv[..8].copy_from_slice(&self.nonce.to_be_bytes());
+        iv[8..].copy_from_slice(&counter.to_be_bytes());
+        self.cipher.encrypt_block(&iv)
+    }
+
+    /// Encrypts (or decrypts — XOR is symmetric) `data` in place, consuming
+    /// `ceil(len/16)` pads.
+    pub fn xor_in_place(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(16) {
+            let pad = self.next_pad();
+            for (d, p) in chunk.iter_mut().zip(pad.iter()) {
+                *d ^= p;
+            }
+        }
+    }
+
+    /// Convenience: encrypt a copy of `data`.
+    pub fn xor_copy(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.xor_in_place(&mut out);
+        out
+    }
+}
+
+/// Models the pad pre-generation buffer in front of a pipelined AES core.
+///
+/// The synthesized AES unit in the paper produces one 128-bit pad per
+/// 4 ns cycle after a 24-cycle fill. Because counter-mode IVs are known in
+/// advance, the engine banks pads during idle cycles; a request only stalls
+/// when the buffer is empty (a long back-to-back burst). This type does the
+/// bookkeeping for that model; it holds no key material.
+#[derive(Debug, Clone)]
+pub struct PadBuffer {
+    capacity: u64,
+    /// Pads available at `last_time`.
+    available: u64,
+    /// Picoseconds per pad produced by the pipeline (throughput).
+    ps_per_pad: u64,
+    /// Pipeline fill latency in picoseconds (cost of a cold start).
+    fill_ps: u64,
+    last_time_ps: u64,
+}
+
+impl PadBuffer {
+    /// Creates a buffer of `capacity` pads for a pipeline with the given
+    /// per-pad throughput and fill latency (both picoseconds). The buffer
+    /// starts full (pads are banked during boot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `ps_per_pad` is zero.
+    pub fn new(capacity: u64, ps_per_pad: u64, fill_ps: u64) -> Self {
+        assert!(capacity > 0, "pad buffer capacity must be nonzero");
+        assert!(ps_per_pad > 0, "pad throughput must be nonzero");
+        PadBuffer { capacity, available: capacity, ps_per_pad, fill_ps, last_time_ps: 0 }
+    }
+
+    /// Number of pads banked at time `now_ps`.
+    pub fn available_at(&mut self, now_ps: u64) -> u64 {
+        self.refill(now_ps);
+        self.available
+    }
+
+    fn refill(&mut self, now_ps: u64) {
+        if now_ps > self.last_time_ps {
+            let produced = (now_ps - self.last_time_ps) / self.ps_per_pad;
+            self.available = (self.available + produced).min(self.capacity);
+            self.last_time_ps = now_ps;
+        }
+    }
+
+    /// Consumes `count` pads at time `now_ps` and returns the extra stall
+    /// (in picoseconds) the request suffers if the buffer under-runs.
+    ///
+    /// With pads banked the cost is zero — only the XOR remains on the
+    /// critical path, which the caller accounts separately.
+    pub fn consume(&mut self, now_ps: u64, count: u64) -> u64 {
+        self.refill(now_ps);
+        if self.available >= count {
+            self.available -= count;
+            0
+        } else {
+            let missing = count - self.available;
+            self.available = 0;
+            // Cold pads: pipeline fill (if drained) plus per-pad throughput.
+            self.fill_ps + missing * self.ps_per_pad
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> CtrStream {
+        CtrStream::new(Aes128::new(&[7u8; 16]), 0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn pads_never_repeat_within_window() {
+        let mut s = stream();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4096 {
+            assert!(seen.insert(s.next_pad()), "counter-mode pad repeated");
+        }
+    }
+
+    #[test]
+    fn both_ends_stay_synchronized() {
+        let mut processor = stream();
+        let mut memory = stream();
+        let msg = b"read 0x0000_0040".to_vec();
+        for _ in 0..100 {
+            let ct = processor.xor_copy(&msg);
+            assert_ne!(ct, msg);
+            let pt = memory.xor_copy(&ct);
+            assert_eq!(pt, msg);
+        }
+        assert_eq!(processor.counter(), memory.counter());
+    }
+
+    #[test]
+    fn desync_garbles_decryption() {
+        let mut processor = stream();
+        let mut memory = stream();
+        memory.next_pad(); // memory is one pad ahead: a dropped message
+        let ct = processor.xor_copy(b"payload padding!");
+        assert_ne!(memory.xor_copy(&ct), b"payload padding!".to_vec());
+    }
+
+    #[test]
+    fn pad_at_matches_sequential_generation() {
+        let mut s = stream();
+        let expected = s.pad_at(2);
+        s.next_pad();
+        s.next_pad();
+        assert_eq!(s.next_pad(), expected);
+    }
+
+    #[test]
+    fn same_plaintext_different_ciphertext() {
+        // The property ObfusMem relies on for temporal-pattern hiding.
+        let mut s = stream();
+        let a = s.xor_copy(b"block 0x40 data.");
+        let b = s.xor_copy(b"block 0x40 data.");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pad_buffer_free_when_banked() {
+        let mut buf = PadBuffer::new(64, 4_000, 96_000);
+        assert_eq!(buf.consume(0, 6), 0);
+        assert_eq!(buf.available_at(0), 58);
+    }
+
+    #[test]
+    fn pad_buffer_underrun_costs_fill_latency() {
+        let mut buf = PadBuffer::new(8, 4_000, 96_000);
+        assert_eq!(buf.consume(0, 8), 0);
+        // Immediately ask for six more: all cold.
+        let stall = buf.consume(0, 6);
+        assert_eq!(stall, 96_000 + 6 * 4_000);
+    }
+
+    #[test]
+    fn pad_buffer_refills_over_time() {
+        let mut buf = PadBuffer::new(64, 4_000, 96_000);
+        buf.consume(0, 64);
+        // After 40 ns the pipeline has produced 10 pads.
+        assert_eq!(buf.available_at(40_000), 10);
+    }
+
+    #[test]
+    fn pad_buffer_never_exceeds_capacity() {
+        let mut buf = PadBuffer::new(16, 4_000, 96_000);
+        buf.consume(0, 4);
+        assert_eq!(buf.available_at(1_000_000_000), 16);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn xor_round_trips(data: Vec<u8>, nonce: u64, key: [u8; 16]) {
+            let mut a = CtrStream::new(Aes128::new(&key), nonce);
+            let mut b = CtrStream::new(Aes128::new(&key), nonce);
+            let ct = a.xor_copy(&data);
+            proptest::prop_assert_eq!(b.xor_copy(&ct), data);
+        }
+    }
+}

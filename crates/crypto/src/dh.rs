@@ -1,0 +1,206 @@
+//! Diffie–Hellman session-key establishment.
+//!
+//! During BIOS execution, the ObfusMem controller in the processor runs a
+//! Diffie–Hellman exchange with the controller in *each* memory channel to
+//! derive a distinct shared session key (paper §3.1). Those session keys
+//! then drive the symmetric counter-mode bus encryption for the lifetime of
+//! the boot; a reboot produces fresh keys.
+//!
+//! We use the RFC 3526 1536-bit MODP group (group 5) with generator 2 and
+//! derive the 128-bit AES session key from the shared secret with SHA-1.
+//!
+//! # Example
+//!
+//! ```
+//! use obfusmem_crypto::dh::DhKeyPair;
+//!
+//! let mut seed = 1u64;
+//! let mut rng = move || { seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493); seed };
+//! let processor = DhKeyPair::generate(&mut rng);
+//! let memory = DhKeyPair::generate(&mut rng);
+//! let k1 = processor.session_key(memory.public()).unwrap();
+//! let k2 = memory.session_key(processor.public()).unwrap();
+//! assert_eq!(k1, k2);
+//! ```
+
+use crate::bigint::BigUint;
+use crate::sha1::Sha1;
+use crate::CryptoError;
+
+/// The RFC 3526 group 5 (1536-bit MODP) prime, as a hex string.
+pub const RFC3526_GROUP5_PRIME_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1\
+29024E088A67CC74020BBEA63B139B22514A08798E3404DD\
+EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245\
+E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D\
+C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F\
+83655D23DCA3AD961C62F356208552BB9ED529077096966D\
+670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF";
+
+/// Size in bytes of the derived symmetric session key (AES-128).
+pub const SESSION_KEY_LEN: usize = 16;
+
+/// The MODP group parameters (prime modulus and generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhGroup {
+    prime: BigUint,
+    generator: BigUint,
+}
+
+impl DhGroup {
+    /// The RFC 3526 1536-bit group with generator 2.
+    pub fn rfc3526_group5() -> Self {
+        DhGroup {
+            prime: BigUint::from_hex(RFC3526_GROUP5_PRIME_HEX)
+                .expect("RFC 3526 constant parses"),
+            generator: BigUint::from(2u64),
+        }
+    }
+
+    /// A deliberately tiny group for fast unit tests (p = 2^61 - 1 is NOT
+    /// prime-order-safe; never use outside tests of plumbing).
+    pub fn toy() -> Self {
+        DhGroup { prime: BigUint::from(2305843009213693951u64), generator: BigUint::from(3u64) }
+    }
+
+    /// The prime modulus.
+    pub fn prime(&self) -> &BigUint {
+        &self.prime
+    }
+
+    /// The group generator.
+    pub fn generator(&self) -> &BigUint {
+        &self.generator
+    }
+}
+
+/// A Diffie–Hellman key pair bound to a group.
+#[derive(Clone)]
+pub struct DhKeyPair {
+    group: DhGroup,
+    private: BigUint,
+    public: BigUint,
+}
+
+impl std::fmt::Debug for DhKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DhKeyPair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+impl DhKeyPair {
+    /// Generates a key pair in the RFC 3526 group 5 using `next_rand` as
+    /// the entropy source (256-bit private exponent).
+    pub fn generate(next_rand: impl FnMut() -> u64) -> Self {
+        Self::generate_in(DhGroup::rfc3526_group5(), next_rand)
+    }
+
+    /// Generates a key pair in an explicit group.
+    pub fn generate_in(group: DhGroup, mut next_rand: impl FnMut() -> u64) -> Self {
+        let mut limbs = Vec::new();
+        for _ in 0..4 {
+            limbs.push(next_rand());
+        }
+        let mut private = BigUint::from_bytes_be(
+            &limbs.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>(),
+        );
+        if private.is_zero() || private.is_one() {
+            private = BigUint::from(0x1234_5678_9abc_def1u64);
+        }
+        let public = group.generator.modpow(&private, &group.prime);
+        DhKeyPair { group, private, public }
+    }
+
+    /// The public value `g^x mod p` to send to the peer.
+    pub fn public(&self) -> &BigUint {
+        &self.public
+    }
+
+    /// The group this key pair lives in.
+    pub fn group(&self) -> &DhGroup {
+        &self.group
+    }
+
+    /// Computes the shared secret with a peer's public value and derives a
+    /// 128-bit session key via SHA-1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidDhPublic`] when the peer value is 0, 1,
+    /// p-1, or ≥ p (small-subgroup / degenerate-value rejection).
+    pub fn session_key(&self, peer_public: &BigUint) -> Result<[u8; SESSION_KEY_LEN], CryptoError> {
+        let p_minus_1 = self.group.prime.sub(&BigUint::one());
+        if peer_public.is_zero()
+            || peer_public.is_one()
+            || peer_public >= &self.group.prime
+            || peer_public == &p_minus_1
+        {
+            return Err(CryptoError::InvalidDhPublic);
+        }
+        let shared = peer_public.modpow(&self.private, &self.group.prime);
+        let digest = Sha1::digest(&shared.to_bytes_be());
+        let mut key = [0u8; SESSION_KEY_LEN];
+        key.copy_from_slice(&digest[..SESSION_KEY_LEN]);
+        Ok(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s ^ (s >> 31)
+        }
+    }
+
+    #[test]
+    fn exchange_agrees() {
+        let mut r = rng(99);
+        let a = DhKeyPair::generate(&mut r);
+        let b = DhKeyPair::generate(&mut r);
+        assert_eq!(a.session_key(b.public()).unwrap(), b.session_key(a.public()).unwrap());
+    }
+
+    #[test]
+    fn different_peers_different_keys() {
+        let mut r = rng(5);
+        let a = DhKeyPair::generate(&mut r);
+        let b = DhKeyPair::generate(&mut r);
+        let c = DhKeyPair::generate(&mut r);
+        assert_ne!(a.session_key(b.public()).unwrap(), a.session_key(c.public()).unwrap());
+    }
+
+    #[test]
+    fn rejects_degenerate_publics() {
+        let mut r = rng(1);
+        let a = DhKeyPair::generate(&mut r);
+        let p = a.group().prime().clone();
+        assert_eq!(a.session_key(&BigUint::zero()).unwrap_err(), CryptoError::InvalidDhPublic);
+        assert_eq!(a.session_key(&BigUint::one()).unwrap_err(), CryptoError::InvalidDhPublic);
+        assert_eq!(a.session_key(&p).unwrap_err(), CryptoError::InvalidDhPublic);
+        assert_eq!(
+            a.session_key(&p.sub(&BigUint::one())).unwrap_err(),
+            CryptoError::InvalidDhPublic
+        );
+    }
+
+    #[test]
+    fn toy_group_exchange() {
+        let mut r = rng(3);
+        let a = DhKeyPair::generate_in(DhGroup::toy(), &mut r);
+        let b = DhKeyPair::generate_in(DhGroup::toy(), &mut r);
+        assert_eq!(a.session_key(b.public()).unwrap(), b.session_key(a.public()).unwrap());
+    }
+
+    #[test]
+    fn debug_hides_private_key() {
+        let mut r = rng(8);
+        let a = DhKeyPair::generate(&mut r);
+        let repr = format!("{a:?}");
+        assert!(!repr.contains(&a.private.to_hex()));
+    }
+}

@@ -1,0 +1,37 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A signature failed to verify against the given public key.
+    BadSignature,
+    /// A Diffie–Hellman public value was out of range (0, 1, or p-1, or >= p).
+    InvalidDhPublic,
+    /// Prime generation exhausted its attempt budget.
+    PrimeGenerationFailed,
+    /// A modular inverse does not exist (operands not coprime).
+    NoInverse,
+    /// Hex string could not be parsed into a big integer.
+    ParseHex(char),
+    /// A key or parameter had an invalid length.
+    InvalidLength { expected: usize, actual: usize },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidDhPublic => write!(f, "invalid diffie-hellman public value"),
+            CryptoError::PrimeGenerationFailed => write!(f, "prime generation failed"),
+            CryptoError::NoInverse => write!(f, "modular inverse does not exist"),
+            CryptoError::ParseHex(c) => write!(f, "invalid hex character {c:?}"),
+            CryptoError::InvalidLength { expected, actual } => {
+                write!(f, "invalid length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}

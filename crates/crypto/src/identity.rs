@@ -1,0 +1,246 @@
+//! Simulated device identities and manufacturer certification.
+//!
+//! Paper §3.1: "the manufacturers of the processor and memory must generate
+//! a public/private cryptographic key pair for each component and burn
+//! those keys into every chip they produce … each manufacturer serves as a
+//! certification authority for the cryptographic keys it burns into the
+//! components it produces."
+//!
+//! This module models that supply chain: a [`Manufacturer`] owns a CA key
+//! and mints [`DeviceIdentity`] values (a burned RSA key pair plus a
+//! manufacturer-signed [`DeviceCert`]). The trust-bootstrap protocols in
+//! `obfusmem-core::trust` consume these.
+
+use crate::rsa::{RsaKeyPair, RsaPublicKey, Signature};
+use crate::CryptoError;
+
+/// The kind of component an identity is burned into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A processor chip (hosts the processor-side ObfusMem controller).
+    Processor,
+    /// A memory module (hosts the logic-layer ObfusMem controller).
+    Memory,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceKind::Processor => write!(f, "processor"),
+            DeviceKind::Memory => write!(f, "memory"),
+        }
+    }
+}
+
+/// A certificate binding a device public key to its kind, serial number,
+/// and capability string, signed by the manufacturer CA.
+#[derive(Debug, Clone)]
+pub struct DeviceCert {
+    kind: DeviceKind,
+    serial: u64,
+    /// Hardware/firmware capability statement included in attestation
+    /// measurements, e.g. `"obfusmem-v1"`.
+    capabilities: String,
+    device_public: RsaPublicKey,
+    signature: Signature,
+}
+
+impl DeviceCert {
+    fn signed_payload(
+        kind: DeviceKind,
+        serial: u64,
+        capabilities: &str,
+        device_public: &RsaPublicKey,
+    ) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.push(match kind {
+            DeviceKind::Processor => 0u8,
+            DeviceKind::Memory => 1u8,
+        });
+        payload.extend_from_slice(&serial.to_le_bytes());
+        payload.extend_from_slice(&(capabilities.len() as u64).to_le_bytes());
+        payload.extend_from_slice(capabilities.as_bytes());
+        payload.extend_from_slice(&device_public.fingerprint());
+        payload
+    }
+
+    /// The certified device public key.
+    pub fn device_public(&self) -> &RsaPublicKey {
+        &self.device_public
+    }
+
+    /// The component kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Manufacturer-assigned serial number.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// The capability statement, e.g. `"obfusmem-v1"`.
+    pub fn capabilities(&self) -> &str {
+        &self.capabilities
+    }
+
+    /// Verifies the certificate against a manufacturer CA key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] on any mismatch.
+    pub fn verify(&self, ca: &RsaPublicKey) -> Result<(), CryptoError> {
+        let payload =
+            Self::signed_payload(self.kind, self.serial, &self.capabilities, &self.device_public);
+        ca.verify(&payload, &self.signature)
+    }
+}
+
+/// A burned-in device identity: key pair + manufacturer certificate.
+#[derive(Debug, Clone)]
+pub struct DeviceIdentity {
+    keys: RsaKeyPair,
+    cert: DeviceCert,
+}
+
+impl DeviceIdentity {
+    /// The device's certificate.
+    pub fn cert(&self) -> &DeviceCert {
+        &self.cert
+    }
+
+    /// The device's public key (as readable from the chip pins).
+    pub fn public(&self) -> &RsaPublicKey {
+        self.keys.public()
+    }
+
+    /// Signs an attestation measurement with the device private key.
+    ///
+    /// Only the device itself can do this — the private key never leaves
+    /// the chip in the modelled architecture.
+    pub fn sign_measurement(&self, measurement: &[u8]) -> Signature {
+        self.keys.sign(measurement)
+    }
+}
+
+/// A component manufacturer acting as a certification authority.
+#[derive(Debug)]
+pub struct Manufacturer {
+    name: String,
+    ca: RsaKeyPair,
+    next_serial: u64,
+    key_bits: usize,
+}
+
+impl Manufacturer {
+    /// Founds a manufacturer with a fresh CA key pair.
+    ///
+    /// `key_bits` controls both CA and device key sizes; tests use 256 for
+    /// speed, the examples use 1024.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failure from the RSA layer.
+    pub fn new(
+        name: impl Into<String>,
+        key_bits: usize,
+        mut next_rand: impl FnMut() -> u64,
+    ) -> Result<Self, CryptoError> {
+        Ok(Manufacturer {
+            name: name.into(),
+            ca: RsaKeyPair::generate(key_bits, &mut next_rand)?,
+            next_serial: 1,
+            key_bits,
+        })
+    }
+
+    /// The manufacturer's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The CA public key system integrators use to validate certificates.
+    pub fn ca_public(&self) -> &RsaPublicKey {
+        self.ca.public()
+    }
+
+    /// Fabricates a device: generates its key pair, burns it in, and signs
+    /// a certificate for it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failure from the RSA layer.
+    pub fn fabricate(
+        &mut self,
+        kind: DeviceKind,
+        capabilities: &str,
+        mut next_rand: impl FnMut() -> u64,
+    ) -> Result<DeviceIdentity, CryptoError> {
+        let keys = RsaKeyPair::generate(self.key_bits, &mut next_rand)?;
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let payload = DeviceCert::signed_payload(kind, serial, capabilities, keys.public());
+        let signature = self.ca.sign(&payload);
+        Ok(DeviceIdentity {
+            cert: DeviceCert {
+                kind,
+                serial,
+                capabilities: capabilities.to_string(),
+                device_public: keys.public().clone(),
+                signature,
+            },
+            keys,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s ^ (s >> 29)
+        }
+    }
+
+    #[test]
+    fn fabricated_device_cert_verifies() {
+        let mut r = rng(1);
+        let mut maker = Manufacturer::new("AcmeMem", 256, &mut r).unwrap();
+        let dev = maker.fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r).unwrap();
+        dev.cert().verify(maker.ca_public()).unwrap();
+        assert_eq!(dev.cert().kind(), DeviceKind::Memory);
+        assert_eq!(dev.cert().capabilities(), "obfusmem-v1");
+    }
+
+    #[test]
+    fn cert_from_other_manufacturer_rejected() {
+        let mut r = rng(2);
+        let mut maker_a = Manufacturer::new("A", 256, &mut r).unwrap();
+        let maker_b = Manufacturer::new("B", 256, &mut r).unwrap();
+        let dev = maker_a.fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r).unwrap();
+        assert!(dev.cert().verify(maker_b.ca_public()).is_err());
+    }
+
+    #[test]
+    fn serials_increment() {
+        let mut r = rng(3);
+        let mut maker = Manufacturer::new("A", 256, &mut r).unwrap();
+        let d1 = maker.fabricate(DeviceKind::Memory, "x", &mut r).unwrap();
+        let d2 = maker.fabricate(DeviceKind::Memory, "x", &mut r).unwrap();
+        assert_eq!(d1.cert().serial() + 1, d2.cert().serial());
+    }
+
+    #[test]
+    fn measurement_signatures_verify_with_device_key() {
+        let mut r = rng(4);
+        let mut maker = Manufacturer::new("A", 256, &mut r).unwrap();
+        let dev = maker.fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r).unwrap();
+        let sig = dev.sign_measurement(b"measurement");
+        dev.public().verify(b"measurement", &sig).unwrap();
+        assert!(dev.public().verify(b"other", &sig).is_err());
+    }
+}

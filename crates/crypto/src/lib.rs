@@ -1,0 +1,51 @@
+//! Cryptographic substrate for the ObfusMem reproduction.
+//!
+//! The ObfusMem design (ISCA 2017) relies on a handful of cryptographic
+//! primitives that, in hardware, would be synthesized blocks inside the
+//! processor and the memory logic layer:
+//!
+//! * **AES-128 in counter mode** — the bus/link cipher used to encrypt
+//!   commands, addresses, and data ([`aes`], [`ctr`]).
+//! * **MD5 / SHA-1** — the lightweight MAC functions used for
+//!   command authentication ([`md5`], [`sha1`], [`mac`]).
+//! * **Diffie–Hellman** — the boot-time session-key exchange between the
+//!   processor and each memory channel ([`dh`], backed by the from-scratch
+//!   big-integer arithmetic in [`bigint`]).
+//! * **RSA-style device identities** — manufacturer-burned key pairs used
+//!   by the trust-bootstrap protocols of §3.1 ([`rsa`], [`identity`]).
+//!
+//! Everything here is implemented from scratch (no external crypto crates)
+//! so that the simulated attacker in `obfusmem-sec` can operate on real
+//! ciphertext bytes. The implementations are validated against the standard
+//! test vectors (FIPS-197, RFC 1321, FIPS 180-1) in each module's tests.
+//!
+//! # Example
+//!
+//! ```
+//! use obfusmem_crypto::aes::Aes128;
+//! use obfusmem_crypto::ctr::CtrStream;
+//!
+//! let key = [0u8; 16];
+//! let mut stream = CtrStream::new(Aes128::new(&key), 0);
+//! let pad_a = stream.next_pad();
+//! let pad_b = stream.next_pad();
+//! assert_ne!(pad_a, pad_b, "counter-mode pads are single use");
+//! ```
+//!
+//! This crate is a *simulation* substrate: keys come from the simulator's
+//! deterministic RNG and the primitives are not hardened against timing
+//! side channels. Do not use it to protect real data.
+
+pub mod aes;
+pub mod bigint;
+pub mod ctr;
+pub mod dh;
+pub mod identity;
+pub mod mac;
+pub mod md5;
+pub mod rsa;
+pub mod sha1;
+
+mod error;
+
+pub use error::CryptoError;

@@ -1,0 +1,250 @@
+//! Textbook RSA signatures for simulated device identities.
+//!
+//! The trust architecture (paper §3.1) has manufacturers burn a
+//! public/private key pair into every processor and memory chip and act as
+//! certification authorities for those keys; the attestation flow signs
+//! measurements with the device key. We model those signatures with
+//! hash-then-sign textbook RSA over 1024-bit moduli: small enough that
+//! key generation with our from-scratch Miller–Rabin stays fast inside unit
+//! tests, large enough that the protocol code paths are realistic.
+//!
+//! This is a *simulation* of a signature scheme (no OAEP/PSS padding,
+//! entropy from the simulator RNG). The point is to execute the §3.1
+//! protocols faithfully, not to resist real cryptanalysis.
+
+use crate::bigint::BigUint;
+use crate::sha1::Sha1;
+use crate::CryptoError;
+
+/// Default modulus size for generated keys, in bits.
+pub const DEFAULT_MODULUS_BITS: usize = 1024;
+
+/// Miller–Rabin rounds used during key generation.
+const MR_ROUNDS: u32 = 16;
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA key pair.
+#[derive(Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+}
+
+impl std::fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsaKeyPair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+/// A detached signature over a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature(BigUint);
+
+impl RsaPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent `e`.
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// A stable fingerprint of the key (SHA-1 of `n || e`), used as the
+    /// "burned register" contents in the trust-bootstrap simulation.
+    pub fn fingerprint(&self) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(&self.n.to_bytes_be());
+        h.update(&self.e.to_bytes_be());
+        h.finalize()
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] when verification fails.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        if &signature.0 >= &self.n {
+            return Err(CryptoError::BadSignature);
+        }
+        let recovered = signature.0.modpow(&self.e, &self.n);
+        if recovered == hash_to_int(message, &self.n) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with `modulus_bits` total modulus size
+    /// using `next_rand` as the entropy source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::PrimeGenerationFailed`] if no prime is found
+    /// within the attempt budget (astronomically unlikely with a working
+    /// RNG), or [`CryptoError::NoInverse`] if `e` is not invertible (the
+    /// generator retries internally so callers should never see it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus_bits < 128`.
+    pub fn generate(
+        modulus_bits: usize,
+        mut next_rand: impl FnMut() -> u64,
+    ) -> Result<Self, CryptoError> {
+        assert!(modulus_bits >= 128, "modulus too small to be meaningful");
+        let half = modulus_bits / 2;
+        let e = BigUint::from(65537u64);
+        for _ in 0..64 {
+            let p = gen_prime(half, &mut next_rand)?;
+            let q = gen_prime(modulus_bits - half, &mut next_rand)?;
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            match e.modinv(&phi) {
+                Ok(d) => {
+                    return Ok(RsaKeyPair { public: RsaPublicKey { n, e }, d });
+                }
+                Err(_) => continue, // e shares a factor with phi; retry.
+            }
+        }
+        Err(CryptoError::PrimeGenerationFailed)
+    }
+
+    /// The public half of this key pair.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Signs `message` (hash-then-sign with SHA-1).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let m = hash_to_int(message, &self.public.n);
+        Signature(m.modpow(&self.d, &self.public.n))
+    }
+}
+
+/// Expands a SHA-1 digest into an integer below `n` (full-domain-ish hash
+/// by counter-mode expansion of the digest).
+fn hash_to_int(message: &[u8], n: &BigUint) -> BigUint {
+    let target_bytes = (n.bits() - 1) / 8; // strictly below n
+    let mut bytes = Vec::with_capacity(target_bytes);
+    let mut counter = 0u32;
+    while bytes.len() < target_bytes {
+        let mut h = Sha1::new();
+        h.update(&counter.to_be_bytes());
+        h.update(message);
+        bytes.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    bytes.truncate(target_bytes);
+    BigUint::from_bytes_be(&bytes)
+}
+
+fn gen_prime(bits: usize, next_rand: &mut impl FnMut() -> u64) -> Result<BigUint, CryptoError> {
+    for _ in 0..4096 {
+        let limbs = bits.div_ceil(64);
+        let mut bytes = Vec::with_capacity(limbs * 8);
+        for _ in 0..limbs {
+            bytes.extend_from_slice(&next_rand().to_be_bytes());
+        }
+        // Mask to width, then set the top two bits (so a product of two
+        // such primes always reaches the full modulus width) and the low
+        // bit (odd). Each set is a carry-free add because the bit is clear.
+        let mut candidate = BigUint::from_bytes_be(&bytes).rem(&BigUint::one().shl_bits(bits));
+        for bit in [bits - 1, bits - 2] {
+            if !candidate.bit(bit) {
+                candidate = candidate.add(&BigUint::one().shl_bits(bit));
+            }
+        }
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        debug_assert_eq!(candidate.bits(), bits);
+        if candidate.is_probable_prime(MR_ROUNDS, &mut *next_rand) {
+            return Ok(candidate);
+        }
+    }
+    Err(CryptoError::PrimeGenerationFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s ^ (s >> 29)
+        }
+    }
+
+    fn small_keypair(seed: u64) -> RsaKeyPair {
+        // 256-bit keys keep the unit tests fast; the protocol code is
+        // identical at 1024 bits (exercised in the slower integration test).
+        RsaKeyPair::generate(256, rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = small_keypair(1);
+        let msg = b"processor measurement: obfusmem-capable, fw v1";
+        let sig = kp.sign(msg);
+        kp.public().verify(msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let kp = small_keypair(2);
+        let sig = kp.sign(b"genuine");
+        assert_eq!(kp.public().verify(b"forged!", &sig).unwrap_err(), CryptoError::BadSignature);
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = small_keypair(3);
+        let kp2 = small_keypair(4);
+        let sig = kp1.sign(b"msg");
+        assert!(kp2.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = small_keypair(5);
+        let sig = kp.sign(b"msg");
+        let bad = Signature(sig.0.add(&BigUint::one()));
+        assert!(kp.public().verify(b"msg", &bad).is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_distinct() {
+        assert_ne!(small_keypair(6).public().fingerprint(), small_keypair(7).public().fingerprint());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_keypair(11);
+        let b = small_keypair(11);
+        assert_eq!(a.public(), b.public());
+    }
+
+    #[test]
+    fn generate_1024_bit_key() {
+        let kp = RsaKeyPair::generate(1024, rng(42)).unwrap();
+        assert_eq!(kp.public().modulus().bits(), 1024);
+        let sig = kp.sign(b"boot measurement");
+        kp.public().verify(b"boot measurement", &sig).unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! Physical-address decomposition.
+//!
+//! Table 2 specifies **RoRaBaChCo** mapping: reading the physical address
+//! from most- to least-significant bits gives Row | Rank | Bank | Channel |
+//! Column. Putting the channel bits just above the column interleaves
+//! consecutive row-buffer-sized chunks across channels — the property that
+//! makes the *inter-channel* access pattern leak spatial information
+//! (paper §3.4): an attacker who knows the interleaving granularity learns
+//! address bits just by seeing which channel's pins wiggle.
+
+use crate::config::MemConfig;
+
+/// Supported address-interleaving schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressMapping {
+    /// Row | Rank | Bank | Channel | Column (Table 2's scheme).
+    #[default]
+    RoRaBaChCo,
+    /// Row | Bank | Rank | Column | Channel — block-granularity channel
+    /// interleaving (channel bits at the very bottom, above the block
+    /// offset). Used by the ablation benches.
+    RoBaRaCoCh,
+}
+
+/// A decomposed physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Byte column within the row buffer.
+    pub column: u64,
+}
+
+impl DecodedAddr {
+    /// Flat bank identifier within the whole device.
+    pub fn flat_bank(&self, cfg: &MemConfig) -> usize {
+        (self.channel * cfg.ranks_per_channel + self.rank) * cfg.banks_per_rank + self.bank
+    }
+}
+
+/// Decodes `addr` under `cfg`'s mapping.
+///
+/// Addresses beyond the configured capacity wrap (the simulator treats the
+/// physical address space as a torus rather than faulting; workloads are
+/// generated in range, but ciphertext-driven probes in the security tests
+/// may produce arbitrary values).
+pub fn decode(cfg: &MemConfig, addr: u64) -> DecodedAddr {
+    let addr = addr % cfg.capacity_bytes;
+    let col_bits = cfg.row_buffer_bytes.trailing_zeros();
+    let ch_bits = cfg.channels.trailing_zeros();
+    let ba_bits = cfg.banks_per_rank.trailing_zeros();
+    let ra_bits = cfg.ranks_per_channel.trailing_zeros();
+    match cfg.mapping {
+        AddressMapping::RoRaBaChCo => {
+            let mut a = addr;
+            let column = take(&mut a, col_bits);
+            let channel = take(&mut a, ch_bits) as usize;
+            let bank = take(&mut a, ba_bits) as usize;
+            let rank = take(&mut a, ra_bits) as usize;
+            let row = a;
+            DecodedAddr { channel, rank, bank, row, column }
+        }
+        AddressMapping::RoBaRaCoCh => {
+            let mut a = addr >> crate::request::BLOCK_BYTES.trailing_zeros();
+            let block_off = addr & (crate::request::BLOCK_BYTES as u64 - 1);
+            let channel = take(&mut a, ch_bits) as usize;
+            let col_blocks = take(&mut a, col_bits - crate::request::BLOCK_BYTES.trailing_zeros());
+            let rank = take(&mut a, ra_bits) as usize;
+            let bank = take(&mut a, ba_bits) as usize;
+            let row = a;
+            DecodedAddr {
+                channel,
+                rank,
+                bank,
+                row,
+                column: col_blocks * crate::request::BLOCK_BYTES as u64 + block_off,
+            }
+        }
+    }
+}
+
+fn take(addr: &mut u64, bits: u32) -> u64 {
+    let v = *addr & ((1u64 << bits) - 1).max(0);
+    *addr >>= bits;
+    if bits == 0 {
+        0
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rorabachco_fields_in_range() {
+        let cfg = MemConfig::table2().with_channels(4);
+        for addr in (0..(1u64 << 22)).step_by(4093) {
+            let d = decode(&cfg, addr);
+            assert!(d.channel < cfg.channels);
+            assert!(d.rank < cfg.ranks_per_channel);
+            assert!(d.bank < cfg.banks_per_rank);
+            assert!(d.row < cfg.rows_per_bank());
+            assert!(d.column < cfg.row_buffer_bytes);
+        }
+    }
+
+    #[test]
+    fn rorabachco_channel_interleaves_at_row_granularity() {
+        let cfg = MemConfig::table2().with_channels(4);
+        // Consecutive 1 KB chunks land on consecutive channels.
+        assert_eq!(decode(&cfg, 0).channel, 0);
+        assert_eq!(decode(&cfg, 1024).channel, 1);
+        assert_eq!(decode(&cfg, 2048).channel, 2);
+        assert_eq!(decode(&cfg, 3072).channel, 3);
+        assert_eq!(decode(&cfg, 4096).channel, 0);
+        // Within a chunk, the channel is constant.
+        assert_eq!(decode(&cfg, 1023).channel, 0);
+    }
+
+    #[test]
+    fn robaracoch_interleaves_at_block_granularity() {
+        let cfg =
+            MemConfig::table2().with_channels(4).with_mapping(AddressMapping::RoBaRaCoCh);
+        assert_eq!(decode(&cfg, 0).channel, 0);
+        assert_eq!(decode(&cfg, 64).channel, 1);
+        assert_eq!(decode(&cfg, 128).channel, 2);
+        assert_eq!(decode(&cfg, 192).channel, 3);
+        assert_eq!(decode(&cfg, 256).channel, 0);
+    }
+
+    #[test]
+    fn single_channel_everything_on_channel_zero() {
+        let cfg = MemConfig::table2();
+        for addr in [0u64, 64, 4096, 1 << 30] {
+            assert_eq!(decode(&cfg, addr).channel, 0);
+        }
+    }
+
+    #[test]
+    fn same_row_same_bank() {
+        let cfg = MemConfig::table2();
+        let a = decode(&cfg, 0x10000);
+        let b = decode(&cfg, 0x10000 + 64);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.flat_bank(&cfg), b.flat_bank(&cfg));
+        assert_ne!(a.column, b.column);
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let cfg = MemConfig::table2();
+        let a = decode(&cfg, 0x40);
+        let b = decode(&cfg, 0x40 + cfg.capacity_bytes);
+        assert_eq!(a, b);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn decode_is_injective_within_capacity(a in 0u64..(8u64 << 30), b in 0u64..(8u64 << 30)) {
+            let cfg = MemConfig::table2().with_channels(2);
+            if a != b {
+                proptest::prop_assert_ne!(decode(&cfg, a), decode(&cfg, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Memory-system configuration (paper Table 2).
+
+use obfusmem_sim::time::Duration;
+
+use crate::addr::AddressMapping;
+
+/// Full configuration of the simulated PCM main memory.
+///
+/// [`MemConfig::table2`] reproduces the paper's machine; builder-style
+/// `with_*` methods derive variants (the channel sweep of Figure 5 uses
+/// `with_channels`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Total capacity in bytes (Table 2: 8 GB).
+    pub capacity_bytes: u64,
+    /// Number of independent channels (Table 2: 1 base; 2/4/8 in Figure 5).
+    pub channels: usize,
+    /// Ranks per channel (Table 2: 2).
+    pub ranks_per_channel: usize,
+    /// Banks per rank (Table 2: 8).
+    pub banks_per_rank: usize,
+    /// Row-buffer size in bytes (Table 2: 1 KB).
+    pub row_buffer_bytes: u64,
+    /// PCM array read latency — row activation into the row buffer
+    /// (Table 2: tRCD 60 ns).
+    pub t_rcd: Duration,
+    /// PCM array write latency — writing a dirty row buffer back to cells
+    /// (Table 2: tRP 150 ns; PCM writes happen on dirty-row eviction).
+    pub t_rp: Duration,
+    /// Column access latency from an open row (Table 2: tCL 13.75 ns).
+    pub t_cl: Duration,
+    /// Data-bus occupancy per 64-byte burst (Table 2: tBURST 5 ns, which
+    /// matches 12.8 GB/s on a 64-bit 800 MHz DDR bus).
+    pub t_burst: Duration,
+    /// How physical addresses map onto channel/rank/bank/row/column.
+    pub mapping: AddressMapping,
+}
+
+impl MemConfig {
+    /// The paper's Table 2 configuration.
+    pub fn table2() -> Self {
+        MemConfig {
+            capacity_bytes: 8 << 30,
+            channels: 1,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            row_buffer_bytes: 1024,
+            t_rcd: Duration::from_ns(60),
+            t_rp: Duration::from_ns(150),
+            t_cl: Duration::from_ns_f64(13.75),
+            t_burst: Duration::from_ns(5),
+            mapping: AddressMapping::RoRaBaChCo,
+        }
+    }
+
+    /// Same machine with a different channel count (Figure 5 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or not a power of two.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        assert!(channels > 0 && channels.is_power_of_two(), "channels must be a power of two");
+        self.channels = channels;
+        self
+    }
+
+    /// Same machine with a different address mapping (ablation).
+    pub fn with_mapping(mut self, mapping: AddressMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Blocks (64 B) per row buffer.
+    pub fn blocks_per_row(&self) -> u64 {
+        self.row_buffer_bytes / crate::request::BLOCK_BYTES as u64
+    }
+
+    /// Total banks across the device.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Rows per bank implied by capacity and geometry.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.capacity_bytes / (self.total_banks() as u64 * self.row_buffer_bytes)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on an inconsistent geometry; called by
+    /// the device constructor.
+    pub fn validate(&self) {
+        assert!(self.capacity_bytes.is_power_of_two(), "capacity must be a power of two");
+        assert!(self.row_buffer_bytes.is_power_of_two(), "row buffer must be a power of two");
+        assert!(self.channels.is_power_of_two(), "channels must be a power of two");
+        assert!(self.ranks_per_channel.is_power_of_two(), "ranks must be a power of two");
+        assert!(self.banks_per_rank.is_power_of_two(), "banks must be a power of two");
+        assert!(
+            self.rows_per_bank() >= 1,
+            "geometry implies zero rows per bank (capacity too small)"
+        );
+        assert!(self.blocks_per_row() >= 1, "row buffer smaller than a block");
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_geometry() {
+        let c = MemConfig::table2();
+        c.validate();
+        assert_eq!(c.blocks_per_row(), 16);
+        assert_eq!(c.total_banks(), 16);
+        // 8 GB / (16 banks * 1 KB rows) = 512 Ki rows per bank.
+        assert_eq!(c.rows_per_bank(), 512 * 1024);
+    }
+
+    #[test]
+    fn channel_sweep_preserves_capacity() {
+        for n in [1usize, 2, 4, 8] {
+            let c = MemConfig::table2().with_channels(n);
+            c.validate();
+            assert_eq!(c.capacity_bytes, 8 << 30);
+            assert_eq!(c.channels, n);
+        }
+    }
+
+    #[test]
+    fn burst_matches_bandwidth() {
+        // 64 B / 5 ns = 12.8 GB/s, the paper's channel bandwidth.
+        let c = MemConfig::table2();
+        let bytes_per_sec = 64.0 / (c.t_burst.as_ns_f64() * 1e-9);
+        assert!((bytes_per_sec - 12.8e9).abs() < 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_channel_counts() {
+        let _ = MemConfig::table2().with_channels(3);
+    }
+}

@@ -1,0 +1,299 @@
+//! The top-level PCM memory device.
+//!
+//! [`PcmMemory`] combines the timing model (address decode → channel →
+//! bank) with a functional backing store of 64-byte blocks, wear tracking,
+//! and energy counters. Upper layers use it three ways:
+//!
+//! * the **plain (unprotected) system** sends LLC misses straight here;
+//! * **ObfusMem's memory-side engine** decrypts bus packets, drops dummy
+//!   writes before they reach [`PcmMemory::access`], and forwards real
+//!   requests;
+//! * **Path ORAM** reads and evicts whole tree paths through it.
+
+use std::collections::HashMap;
+
+use obfusmem_sim::time::Time;
+
+use crate::addr::{decode, DecodedAddr};
+use crate::channel::{Channel, ChannelAccess, ChannelStats};
+use crate::config::MemConfig;
+use crate::energy::{EnergyModel, WearTracker};
+use crate::request::{AccessKind, BlockAddr, BlockData, BLOCK_BYTES};
+
+/// Result of a device access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// When the access completes (data on the bus / write accepted).
+    pub complete_at: Time,
+    /// Which channel serviced it.
+    pub channel: usize,
+    /// Whether the row buffer hit.
+    pub row_hit: bool,
+}
+
+/// The simulated PCM main memory.
+#[derive(Debug)]
+pub struct PcmMemory {
+    cfg: MemConfig,
+    channels: Vec<Channel>,
+    store: HashMap<BlockAddr, BlockData>,
+    /// Row activations per (channel-qualified bank, row) — the signal a
+    /// thermal side channel integrates (ObfusMem paper §6.2).
+    activations: HashMap<(usize, u64), u64>,
+    wear: WearTracker,
+    energy: EnergyModel,
+    array_reads: u64,
+    array_writes: u64,
+}
+
+impl PcmMemory {
+    /// Builds the device for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent
+    /// (see [`MemConfig::validate`]).
+    pub fn new(cfg: MemConfig) -> Self {
+        cfg.validate();
+        let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
+        PcmMemory {
+            cfg,
+            channels,
+            store: HashMap::new(),
+            activations: HashMap::new(),
+            wear: WearTracker::new(),
+            energy: EnergyModel::paper_relative(),
+            array_reads: 0,
+            array_writes: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Decodes an address under this device's mapping.
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        decode(&self.cfg, addr)
+    }
+
+    /// Timing access: returns completion time and updates all state.
+    pub fn access(&mut self, at: Time, addr: u64, kind: AccessKind) -> AccessResult {
+        let decoded = self.decode(addr);
+        let ChannelAccess { complete_at, outcome, cell_write_row } =
+            self.channels[decoded.channel].access(&self.cfg, at, decoded, kind);
+        if let Some((bank, row)) = cell_write_row {
+            self.wear.record_write(decoded.channel * 100 + bank, row);
+            self.array_writes += 1;
+        }
+        if outcome != crate::bank::RowBufferOutcome::Hit {
+            self.array_reads += 1; // row activation reads the array
+            let bank = decoded.channel * 100 + decoded.rank * self.cfg.banks_per_rank + decoded.bank;
+            *self.activations.entry((bank, decoded.row)).or_insert(0) += 1;
+        }
+        AccessResult {
+            complete_at,
+            channel: decoded.channel,
+            row_hit: outcome == crate::bank::RowBufferOutcome::Hit,
+        }
+    }
+
+    /// Occupies `channel`'s data bus for one burst without any array
+    /// access (dropped-dummy traffic). Returns when the bus frees.
+    pub fn bus_transfer(&mut self, at: Time, channel: usize) -> Time {
+        let cfg = self.cfg.clone();
+        self.channels[channel].bus_transfer(&cfg, at)
+    }
+
+    /// Occupies `channel`'s `lane` for `bytes` of packet traffic.
+    pub fn bus_transfer_bytes(
+        &mut self,
+        at: Time,
+        channel: usize,
+        bytes: u64,
+        lane: crate::channel::Lane,
+    ) -> Time {
+        let cfg = self.cfg.clone();
+        self.channels[channel].bus_transfer_bytes(&cfg, at, bytes, lane)
+    }
+
+    /// Functional read of a block (zero-filled if never written).
+    pub fn read_block(&self, addr: BlockAddr) -> BlockData {
+        self.store.get(&addr).copied().unwrap_or([0u8; BLOCK_BYTES])
+    }
+
+    /// Functional write of a block.
+    pub fn write_block(&mut self, addr: BlockAddr, data: BlockData) {
+        self.store.insert(addr, data);
+    }
+
+    /// Combined timing + functional read.
+    pub fn timed_read(&mut self, at: Time, addr: BlockAddr) -> (AccessResult, BlockData) {
+        let r = self.access(at, addr.as_u64(), AccessKind::Read);
+        (r, self.read_block(addr))
+    }
+
+    /// Combined timing + functional write.
+    pub fn timed_write(&mut self, at: Time, addr: BlockAddr, data: BlockData) -> AccessResult {
+        let r = self.access(at, addr.as_u64(), AccessKind::Write);
+        self.write_block(addr, data);
+        r
+    }
+
+    /// Per-channel statistics.
+    pub fn channel_stats(&self, channel: usize) -> &ChannelStats {
+        self.channels[channel].stats()
+    }
+
+    /// When `channel`'s bus frees up (for idle-channel dummy injection).
+    pub fn channel_busy_until(&self, channel: usize) -> Time {
+        self.channels[channel].busy_until()
+    }
+
+    /// True if `channel` is idle at `now`.
+    pub fn channel_idle_at(&self, channel: usize, now: Time) -> bool {
+        self.channels[channel].is_idle_at(now)
+    }
+
+    /// Wear tracker (PCM array writes by row).
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// PCM array operations so far: `(reads, writes)` at row granularity.
+    pub fn array_ops(&self) -> (u64, u64) {
+        (self.array_reads, self.array_writes)
+    }
+
+    /// Array energy consumed so far, under the paper's relative model.
+    pub fn array_energy(&self) -> f64 {
+        self.energy.array_energy(self.array_reads, self.array_writes)
+    }
+
+    /// Per-row activation counts (unordered) — input to thermal-channel
+    /// analyses: a row activated often runs hot, and ObfusMem does not
+    /// relocate data to hide that (paper §6.2).
+    pub fn activation_counts(&self) -> Vec<u64> {
+        self.activations.values().copied().collect()
+    }
+
+    /// Number of distinct blocks ever written (functional footprint).
+    pub fn blocks_stored(&self) -> usize {
+        self.store.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PcmMemory {
+        PcmMemory::new(MemConfig::table2())
+    }
+
+    #[test]
+    fn read_latency_matches_table2() {
+        let mut m = mem();
+        let r = m.access(Time::ZERO, 0, AccessKind::Read);
+        // Cold: tRCD + tCL + tBURST = 60 + 13.75 + 5 = 78.75 ns.
+        assert_eq!(r.complete_at.as_ps(), 78_750);
+        assert!(!r.row_hit);
+    }
+
+    #[test]
+    fn row_hit_is_fast() {
+        let mut m = mem();
+        let a = m.access(Time::ZERO, 0, AccessKind::Read);
+        let b = m.access(a.complete_at, 64, AccessKind::Read);
+        assert!(b.row_hit);
+        // Hit: tCL + tBURST = 18.75 ns.
+        assert_eq!(b.complete_at.since(a.complete_at).as_ps(), 18_750);
+    }
+
+    #[test]
+    fn functional_store_round_trips() {
+        let mut m = mem();
+        let addr = BlockAddr::containing(0x1240);
+        assert_eq!(m.read_block(addr), [0u8; 64]);
+        let mut data = [0u8; 64];
+        data[0] = 0xAB;
+        m.write_block(addr, data);
+        assert_eq!(m.read_block(addr), data);
+    }
+
+    #[test]
+    fn timed_ops_update_both_worlds() {
+        let mut m = mem();
+        let addr = BlockAddr::containing(0x40);
+        let data = [7u8; 64];
+        let w = m.timed_write(Time::ZERO, addr, data);
+        let (r, read_back) = m.timed_read(w.complete_at, addr);
+        assert_eq!(read_back, data);
+        assert!(r.complete_at > w.complete_at);
+    }
+
+    #[test]
+    fn dirty_evictions_accumulate_wear() {
+        let mut m = mem();
+        let mut t = Time::ZERO;
+        // Alternate writes between two rows of the same bank, forcing
+        // dirty evictions.
+        for i in 0..10 {
+            let addr = if i % 2 == 0 { 0u64 } else { 1 << 24 };
+            let r = m.access(t, addr, AccessKind::Write);
+            t = r.complete_at;
+        }
+        assert!(m.wear().total_writes() >= 8, "alternating dirty rows must wear the array");
+        let (_, writes) = m.array_ops();
+        assert_eq!(writes, m.wear().total_writes());
+    }
+
+    #[test]
+    fn reads_do_not_wear() {
+        let mut m = mem();
+        let mut t = Time::ZERO;
+        for i in 0..10u64 {
+            let r = m.access(t, i * (1 << 24), AccessKind::Read);
+            t = r.complete_at;
+        }
+        assert_eq!(m.wear().total_writes(), 0);
+    }
+
+    #[test]
+    fn multi_channel_requests_proceed_in_parallel() {
+        let cfg = MemConfig::table2().with_channels(4);
+        let mut m = PcmMemory::new(cfg);
+        // Addresses 0 and 1024 land on channels 0 and 1.
+        let a = m.access(Time::ZERO, 0, AccessKind::Read);
+        let b = m.access(Time::ZERO, 1024, AccessKind::Read);
+        assert_ne!(a.channel, b.channel);
+        assert_eq!(a.complete_at, b.complete_at, "independent channels don't serialize");
+    }
+
+    #[test]
+    fn channel_idle_tracking() {
+        let mut m = mem();
+        assert!(m.channel_idle_at(0, Time::ZERO));
+        let r = m.access(Time::ZERO, 0, AccessKind::Read);
+        assert!(!m.channel_idle_at(0, Time::ZERO));
+        assert!(m.channel_idle_at(0, r.complete_at));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn store_behaves_like_a_map(ops in proptest::collection::vec((0u64..1 << 20, 0u8..), 1..64)) {
+            let mut m = mem();
+            let mut oracle: std::collections::HashMap<u64, [u8; 64]> = Default::default();
+            for (addr, byte) in ops {
+                let block = BlockAddr::containing(addr);
+                let data = [byte; 64];
+                m.write_block(block, data);
+                oracle.insert(block.as_u64(), data);
+            }
+            for (addr, data) in oracle {
+                proptest::prop_assert_eq!(m.read_block(BlockAddr::containing(addr)), data);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Memory request vocabulary shared across the stack.
+
+use std::fmt;
+
+/// Size of one memory transfer / cache block, in bytes (Table 2: 64 B).
+pub const BLOCK_BYTES: usize = 64;
+
+/// A 64-byte data block as moved between the LLC and memory.
+pub type BlockData = [u8; BLOCK_BYTES];
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read (LLC read/write miss fill).
+    Read,
+    /// A write (dirty LLC block write-back).
+    Write,
+}
+
+impl AccessKind {
+    /// The opposite kind — what ObfusMem's dummy generator pairs with a
+    /// real request so every bus transaction looks read-then-write.
+    pub fn opposite(self) -> AccessKind {
+        match self {
+            AccessKind::Read => AccessKind::Write,
+            AccessKind::Write => AccessKind::Read,
+        }
+    }
+
+    /// Wire encoding used inside encrypted bus packets.
+    pub fn encode(self) -> u8 {
+        match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        }
+    }
+
+    /// Inverse of [`AccessKind::encode`]; any nonzero byte decodes as a
+    /// write (the decrypted byte of a tampered packet can be anything).
+    pub fn decode(byte: u8) -> AccessKind {
+        if byte == 0 {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Newtype for a block-aligned physical address.
+///
+/// Constructors align down to the 64 B block, so two addresses within the
+/// same block compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Aligns `addr` down to its containing block.
+    pub fn containing(addr: u64) -> Self {
+        BlockAddr(addr & !(BLOCK_BYTES as u64 - 1))
+    }
+
+    /// The aligned byte address.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The block index (address / 64).
+    pub fn index(self) -> u64 {
+        self.0 / BLOCK_BYTES as u64
+    }
+
+    /// The block with the given index.
+    pub fn from_index(index: u64) -> Self {
+        BlockAddr(index * BLOCK_BYTES as u64)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_alignment() {
+        assert_eq!(BlockAddr::containing(0x1000).as_u64(), 0x1000);
+        assert_eq!(BlockAddr::containing(0x103F).as_u64(), 0x1000);
+        assert_eq!(BlockAddr::containing(0x1040).as_u64(), 0x1040);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for idx in [0u64, 1, 100, 1 << 27] {
+            assert_eq!(BlockAddr::from_index(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    fn opposite_swaps() {
+        assert_eq!(AccessKind::Read.opposite(), AccessKind::Write);
+        assert_eq!(AccessKind::Write.opposite(), AccessKind::Read);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            assert_eq!(AccessKind::decode(kind.encode()), kind);
+        }
+        assert_eq!(AccessKind::decode(0xFF), AccessKind::Write);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(BlockAddr::containing(0x40).to_string(), "0x40");
+    }
+}

@@ -1,0 +1,204 @@
+//! Detailed ORAM mode: the functional Path ORAM driving the real PCM
+//! device, block by block.
+//!
+//! The paper models ORAM with a fixed 2500 ns access latency
+//! "extrapolated from [Freecursive ORAM]" and calls the estimate
+//! optimistic. This module lets the reproduction *check* that number:
+//! every bucket of the accessed path is read from and written back to the
+//! Table 2 PCM device (banked, row-buffered, burst-limited), and the
+//! controller serializes logical accesses the way a real stash/PosMap
+//! port does. [`DetailedOram::mean_access_ns`] reports what the machine
+//! actually delivers.
+
+use obfusmem_cpu::core::MemoryBackend;
+use obfusmem_mem::config::MemConfig;
+use obfusmem_mem::device::PcmMemory;
+use obfusmem_mem::request::{AccessKind, BlockAddr};
+use obfusmem_sim::stats::RunningStats;
+use obfusmem_sim::time::Time;
+
+use crate::path_oram::{OramConfig, PathOram};
+use crate::OramError;
+
+/// Path ORAM over a timed PCM device.
+#[derive(Debug)]
+pub struct DetailedOram {
+    oram: PathOram,
+    mem: PcmMemory,
+    /// The single ORAM controller port: accesses serialize behind it.
+    busy_until: Time,
+    latency: RunningStats,
+}
+
+impl DetailedOram {
+    /// Builds the detailed model: a Path ORAM of `cfg` whose buckets live
+    /// in a PCM device of `mem_cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramError::BadConfig`] from the ORAM geometry.
+    pub fn new(cfg: OramConfig, mem_cfg: MemConfig, seed: u64) -> Result<Self, OramError> {
+        Ok(DetailedOram {
+            oram: PathOram::new(cfg, seed)?,
+            mem: PcmMemory::new(mem_cfg),
+            busy_until: Time::ZERO,
+            latency: RunningStats::new(),
+        })
+    }
+
+    /// The functional ORAM (metrics, stash, invariants).
+    pub fn oram(&self) -> &PathOram {
+        &self.oram
+    }
+
+    /// The PCM device (wear, energy, channel stats).
+    pub fn memory(&self) -> &PcmMemory {
+        &self.mem
+    }
+
+    /// Mean measured latency of a logical ORAM access, in nanoseconds —
+    /// the number the paper fixes at 2500.
+    pub fn mean_access_ns(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Latency distribution statistics.
+    pub fn latency_stats(&self) -> &RunningStats {
+        &self.latency
+    }
+
+    /// Performs one timed logical access; returns its completion time.
+    fn timed_access(&mut self, at: Time, logical_block: u64) -> Time {
+        let start = at.max(self.busy_until);
+
+        // Functional access first (remaps and reshuffles), observing the
+        // leaf whose path the device must now move.
+        let (_, leaf) = self.oram.read_traced(logical_block).expect("id in range");
+        let z = self.oram.config().bucket_size;
+
+        // Phase 1: read every slot of every bucket on the path. Banks
+        // overlap; the phase ends when the last block arrives.
+        let path = self.oram.tree().path_nodes(leaf);
+        let mut reads_done = start;
+        for &node in &path {
+            for slot in 0..z {
+                let addr = self.oram.tree().slot_address(node, slot);
+                let r = self.mem.access(start, addr, AccessKind::Read);
+                reads_done = reads_done.max(r.complete_at);
+            }
+        }
+
+        // Phase 2: evict — write every slot of the path back.
+        let mut writes_done = reads_done;
+        for &node in &path {
+            for slot in 0..z {
+                let addr = self.oram.tree().slot_address(node, slot);
+                let w = self.mem.access(reads_done, addr, AccessKind::Write);
+                writes_done = writes_done.max(w.complete_at);
+            }
+        }
+
+        self.busy_until = writes_done;
+        self.latency.record(writes_done.since(start).as_ns_f64());
+        writes_done
+    }
+}
+
+impl MemoryBackend for DetailedOram {
+    fn read(&mut self, at: Time, addr: BlockAddr) -> Time {
+        let id = addr.index() % self.oram.config().blocks;
+        self.timed_access(at, id)
+    }
+
+    fn write(&mut self, at: Time, addr: BlockAddr) {
+        let id = addr.index() % self.oram.config().blocks;
+        self.timed_access(at, id);
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "path-oram detailed (L={}, Z={})",
+            self.oram.config().levels,
+            self.oram.config().bucket_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfusmem_sim::rng::SplitMix64;
+
+    fn detailed(levels: u32) -> DetailedOram {
+        let blocks = (4u64 << levels) / 4;
+        DetailedOram::new(
+            OramConfig { levels, bucket_size: 4, blocks },
+            MemConfig::table2(),
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accesses_take_microsecond_class_time() {
+        let mut d = detailed(12);
+        let mut rng = SplitMix64::new(6);
+        let mut t = Time::ZERO;
+        for _ in 0..50 {
+            t = d.read(t, BlockAddr::from_index(rng.below(4096)));
+        }
+        let ns = d.mean_access_ns();
+        // 13 buckets × 4 slots read + written through one channel: the
+        // paper's 2500 ns fixed model is the right order of magnitude.
+        assert!(
+            (500.0..20_000.0).contains(&ns),
+            "detailed ORAM latency {ns} ns out of plausible band"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_tree_depth() {
+        let mut shallow = detailed(8);
+        let mut deep = detailed(14);
+        let mut rng = SplitMix64::new(7);
+        let mut ts = Time::ZERO;
+        let mut td = Time::ZERO;
+        for _ in 0..30 {
+            ts = shallow.read(ts, BlockAddr::from_index(rng.below(256)));
+            td = deep.read(td, BlockAddr::from_index(rng.below(256)));
+        }
+        assert!(
+            deep.mean_access_ns() > shallow.mean_access_ns(),
+            "deeper trees must cost more: {} vs {}",
+            deep.mean_access_ns(),
+            shallow.mean_access_ns()
+        );
+    }
+
+    #[test]
+    fn controller_serializes_accesses() {
+        let mut d = detailed(10);
+        // Two accesses issued at the same instant: the second completes
+        // roughly one full access later.
+        let t1 = d.read(Time::ZERO, BlockAddr::from_index(1));
+        let t2 = d.read(Time::ZERO, BlockAddr::from_index(2));
+        assert!(t2 > t1, "ORAM controller must serialize");
+    }
+
+    #[test]
+    fn device_wear_reflects_path_writes() {
+        let mut d = detailed(10);
+        let mut rng = SplitMix64::new(8);
+        let mut t = Time::ZERO;
+        for _ in 0..40 {
+            t = d.read(t, BlockAddr::from_index(rng.below(1024)));
+        }
+        // Every access writes (L+1)·Z = 44 blocks; dirty-row evictions
+        // translate a healthy share into PCM cell writes.
+        assert!(
+            d.memory().wear().total_writes() > 100,
+            "path evictions must wear the array: {}",
+            d.memory().wear().total_writes()
+        );
+    }
+}

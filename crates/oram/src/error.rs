@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the Path ORAM implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OramError {
+    /// Requested block id is outside the configured logical capacity.
+    BlockOutOfRange {
+        /// The offending block id.
+        block: u64,
+        /// Logical capacity in blocks.
+        capacity: u64,
+    },
+    /// The stash exceeded its configured bound — the failure mode that,
+    /// in hardware, manifests as the paper's "system deadlock".
+    StashOverflow {
+        /// Occupancy that exceeded the bound.
+        occupancy: usize,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// Configuration is internally inconsistent.
+    BadConfig(String),
+    /// An invariant check failed (bug detector, not an operational error).
+    InvariantViolation(String),
+}
+
+impl fmt::Display for OramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OramError::BlockOutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range (capacity {capacity})")
+            }
+            OramError::StashOverflow { occupancy, bound } => {
+                write!(f, "stash overflow: {occupancy} blocks exceeds bound {bound}")
+            }
+            OramError::BadConfig(msg) => write!(f, "bad ORAM configuration: {msg}"),
+            OramError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl Error for OramError {}

@@ -1,0 +1,458 @@
+//! The Path ORAM access protocol (Stefanov et al., CCS'13).
+//!
+//! Per access: look up (and remap) the block's leaf in the PosMap, read
+//! every bucket on the old leaf's path into the stash, serve the request
+//! from the stash, then greedily write the path back — each bucket (leaf
+//! upward) takes up to Z stash blocks whose own path passes through it.
+//! Whatever cannot be placed stays in the stash.
+//!
+//! Instrumentation counts exactly what the paper charges ORAM for:
+//! `(L+1)·Z` blocks read *and* written per access (≈100 at L=24, Z=4,
+//! i.e. ~100× write amplification), and stash occupancy (whose overflow is
+//! the deadlock-risk failure mode).
+
+use obfusmem_mem::request::BlockData;
+use obfusmem_sim::rng::SplitMix64;
+
+use crate::posmap::PosMap;
+use crate::stash::Stash;
+use crate::tree::{BucketTree, OramBlock};
+use crate::OramError;
+
+/// Geometry of a Path ORAM instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OramConfig {
+    /// Tree edge-levels (paper: 24, giving 25 buckets per path).
+    pub levels: u32,
+    /// Blocks per bucket (paper: Z = 4).
+    pub bucket_size: usize,
+    /// Logical blocks stored (≤ 50% of physical slots for an acceptable
+    /// failure rate, per the paper's capacity-waste discussion).
+    pub blocks: u64,
+}
+
+impl OramConfig {
+    /// The paper's configuration: L=24, Z=4, 50% utilization (half of the
+    /// 8 GB device's 64 B slots hold real data; the rest are the dummy
+    /// blocks that keep the failure rate acceptable).
+    pub fn paper() -> Self {
+        let levels = 24;
+        let bucket_size = 4;
+        let physical = ((1u64 << (levels + 1)) - 1) * bucket_size as u64;
+        OramConfig { levels, bucket_size, blocks: physical / 2 }
+    }
+
+    /// Physical slots implied by the geometry.
+    pub fn physical_slots(&self) -> u64 {
+        ((1u64 << (self.levels + 1)) - 1) * self.bucket_size as u64
+    }
+
+    /// Storage overhead: physical slots per logical block, minus one
+    /// (1.0 = 100% overhead, the paper's "at least 50% of capacity wasted").
+    pub fn storage_overhead(&self) -> f64 {
+        self.physical_slots() as f64 / self.blocks as f64 - 1.0
+    }
+
+    /// Blocks moved (read plus written) per access: `2·(L+1)·Z`.
+    pub fn blocks_moved_per_access(&self) -> u64 {
+        2 * (self.levels as u64 + 1) * self.bucket_size as u64
+    }
+}
+
+/// Counters the functional ORAM accumulates.
+#[derive(Debug, Clone, Default)]
+pub struct OramMetrics {
+    /// Logical accesses served.
+    pub accesses: u64,
+    /// Physical blocks read from the tree.
+    pub blocks_read: u64,
+    /// Physical blocks written back to the tree (real blocks; dummy slots
+    /// are counted separately since they are encrypted writes too).
+    pub blocks_written: u64,
+    /// Dummy-slot writes (encrypted padding to hide occupancy).
+    pub dummy_writes: u64,
+    /// Times the stash exceeded the soft bound (failure-rate numerator).
+    pub stash_soft_overflows: u64,
+}
+
+impl OramMetrics {
+    /// Write amplification: physical writes (real + dummy) per access.
+    pub fn write_amplification(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.blocks_written + self.dummy_writes) as f64 / self.accesses as f64
+        }
+    }
+
+    /// Bandwidth amplification: physical blocks moved per access.
+    pub fn bandwidth_amplification(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.blocks_read + self.blocks_written + self.dummy_writes) as f64
+                / self.accesses as f64
+        }
+    }
+}
+
+/// A functional Path ORAM.
+#[derive(Debug)]
+pub struct PathOram {
+    cfg: OramConfig,
+    tree: BucketTree,
+    posmap: PosMap,
+    stash: Stash,
+    rng: SplitMix64,
+    metrics: OramMetrics,
+    /// Soft stash bound used for failure-rate accounting (hardware stash
+    /// capacity); the functional stash itself is unbounded so runs always
+    /// complete.
+    stash_soft_bound: usize,
+}
+
+impl PathOram {
+    /// Builds an ORAM with randomly initialized PosMap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BadConfig`] when `blocks` exceeds the safe
+    /// utilization bound (half the physical slots) or the geometry is
+    /// degenerate.
+    pub fn new(cfg: OramConfig, seed: u64) -> Result<Self, OramError> {
+        if cfg.blocks == 0 {
+            return Err(OramError::BadConfig("zero logical blocks".into()));
+        }
+        if cfg.blocks > cfg.physical_slots() / 2 {
+            return Err(OramError::BadConfig(format!(
+                "{} blocks exceeds 50% of {} slots (failure rate would be unacceptable)",
+                cfg.blocks,
+                cfg.physical_slots()
+            )));
+        }
+        let mut rng = SplitMix64::new(seed ^ SEED_SALT);
+        let tree = BucketTree::new(cfg.levels, cfg.bucket_size);
+        let posmap = PosMap::new_random(cfg.blocks, tree.leaf_count(), &mut rng);
+        Ok(PathOram {
+            cfg,
+            tree,
+            posmap,
+            stash: Stash::new(),
+            rng,
+            metrics: OramMetrics::default(),
+            stash_soft_bound: 200,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &OramMetrics {
+        &self.metrics
+    }
+
+    /// Stash high-water mark.
+    pub fn stash_high_water(&self) -> usize {
+        self.stash.max_occupancy()
+    }
+
+    /// The bucket tree (read-only), e.g. to map observed leaves to the
+    /// physical bucket rows they activate for thermal analyses.
+    pub fn tree(&self) -> &crate::tree::BucketTree {
+        &self.tree
+    }
+
+    /// Sets the soft stash bound used for failure accounting.
+    pub fn set_stash_soft_bound(&mut self, bound: usize) {
+        self.stash_soft_bound = bound;
+    }
+
+    /// Reads logical block `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BlockOutOfRange`] for ids beyond the logical
+    /// capacity.
+    pub fn read(&mut self, id: u64) -> Result<BlockData, OramError> {
+        self.access(id, None)
+    }
+
+    /// Like [`PathOram::read`], additionally returning the leaf whose
+    /// path was read — exactly what a bus observer sees of this access
+    /// (used by the leakage analyses in `obfusmem-sec`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BlockOutOfRange`] for ids beyond the logical
+    /// capacity.
+    pub fn read_traced(&mut self, id: u64) -> Result<(BlockData, u64), OramError> {
+        if id >= self.cfg.blocks {
+            return Err(OramError::BlockOutOfRange { block: id, capacity: self.cfg.blocks });
+        }
+        let observed_leaf = self.posmap.leaf_of(id);
+        let data = self.access(id, None)?;
+        Ok((data, observed_leaf))
+    }
+
+    /// Writes logical block `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BlockOutOfRange`] for ids beyond the logical
+    /// capacity.
+    pub fn write(&mut self, id: u64, data: BlockData) -> Result<(), OramError> {
+        self.access(id, Some(data)).map(|_| ())
+    }
+
+    /// The unified access: read path, remap, serve, evict path.
+    fn access(&mut self, id: u64, write: Option<BlockData>) -> Result<BlockData, OramError> {
+        if id >= self.cfg.blocks {
+            return Err(OramError::BlockOutOfRange { block: id, capacity: self.cfg.blocks });
+        }
+        // 1. PosMap lookup + immediate remap to a fresh random leaf.
+        let old_leaf = self.posmap.remap(id, &mut self.rng);
+        let new_leaf = self.posmap.leaf_of(id);
+        let mut out = Err(OramError::BadConfig("unreachable".into()));
+        self.access_at_leaves(id, old_leaf, new_leaf, |data| {
+            if let Some(new_data) = write {
+                *data = new_data;
+            }
+            out = Ok(*data);
+        });
+        out
+    }
+
+    /// Access with caller-supplied leaves, for externally managed position
+    /// maps (recursive ORAM): reads the path of `old_leaf`, applies
+    /// `mutate` to the block (inserting a zero block on first touch),
+    /// tags it with `new_leaf`, and evicts the path. The internal PosMap
+    /// is bypassed entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either leaf is out of range for the tree.
+    pub fn access_at_leaves(
+        &mut self,
+        id: u64,
+        old_leaf: u64,
+        new_leaf: u64,
+        mutate: impl FnOnce(&mut BlockData),
+    ) {
+        assert!(old_leaf < self.tree.leaf_count(), "old leaf out of range");
+        assert!(new_leaf < self.tree.leaf_count(), "new leaf out of range");
+        self.metrics.accesses += 1;
+
+        // 2. Read every bucket on the old path into the stash.
+        let path = self.tree.path_nodes(old_leaf);
+        for &node in &path {
+            // Reading a bucket reads all Z slots (real + dummy ciphertext).
+            self.metrics.blocks_read += self.cfg.bucket_size as u64;
+            for block in self.tree.drain_bucket(node) {
+                self.stash.insert(block);
+            }
+        }
+
+        // 3. Serve the request from the stash.
+        match self.stash.get_mut(id) {
+            Some(block) => {
+                block.leaf = new_leaf;
+                mutate(&mut block.data);
+            }
+            None => {
+                // First touch: materialize the block.
+                let mut data = [0u8; 64];
+                mutate(&mut data);
+                self.stash.insert(OramBlock { id, leaf: new_leaf, data });
+            }
+        };
+
+        // 4. Greedy eviction, leaf upward: a stash block may go into a
+        // bucket iff that bucket is on the block's (current) path.
+        for &node in path.iter().rev() {
+            let tree_ref = &self.tree;
+            let eligible = self
+                .stash
+                .take_eligible(self.cfg.bucket_size, |b| tree_ref.node_on_path(node, b.leaf));
+            let placed = eligible.len() as u64;
+            self.metrics.blocks_written += placed;
+            self.metrics.dummy_writes += self.cfg.bucket_size as u64 - placed;
+            self.tree.fill_bucket(node, eligible);
+        }
+
+        if self.stash.len() > self.stash_soft_bound {
+            self.metrics.stash_soft_overflows += 1;
+        }
+    }
+
+    /// Verifies the Path ORAM invariant: every logical block that exists
+    /// is either in the stash or on the path of its mapped leaf, exactly
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::InvariantViolation`] describing the first
+    /// violation found.
+    pub fn check_invariants(&self) -> Result<(), OramError> {
+        let mut seen = std::collections::HashSet::new();
+        for block in self.stash.iter() {
+            if !seen.insert(block.id) {
+                return Err(OramError::InvariantViolation(format!(
+                    "block {} duplicated in stash",
+                    block.id
+                )));
+            }
+        }
+        for (node, block) in self.tree.iter_blocks() {
+            if !seen.insert(block.id) {
+                return Err(OramError::InvariantViolation(format!(
+                    "block {} present twice",
+                    block.id
+                )));
+            }
+            let mapped_leaf = self.posmap.leaf_of(block.id);
+            if block.leaf != mapped_leaf {
+                return Err(OramError::InvariantViolation(format!(
+                    "block {} carries leaf {} but posmap says {}",
+                    block.id, block.leaf, mapped_leaf
+                )));
+            }
+            if !self.tree.node_on_path(node, mapped_leaf) {
+                return Err(OramError::InvariantViolation(format!(
+                    "block {} in bucket {} which is off path {}",
+                    block.id, node, mapped_leaf
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Domain-separation salt for the ORAM's internal randomness.
+const SEED_SALT: u64 = 0x0BAD_5EED_00AA_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PathOram {
+        PathOram::new(OramConfig { levels: 6, bucket_size: 4, blocks: 200 }, 11).unwrap()
+    }
+
+    #[test]
+    fn read_after_write_returns_data() {
+        let mut o = small();
+        o.write(7, [0x77; 64]).unwrap();
+        assert_eq!(o.read(7).unwrap(), [0x77; 64]);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut o = small();
+        assert_eq!(o.read(3).unwrap(), [0u8; 64]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut o = small();
+        assert!(matches!(o.read(10_000), Err(OramError::BlockOutOfRange { .. })));
+    }
+
+    #[test]
+    fn overfull_config_rejected() {
+        let cfg = OramConfig { levels: 3, bucket_size: 4, blocks: 60 };
+        assert!(matches!(PathOram::new(cfg, 0), Err(OramError::BadConfig(_))));
+    }
+
+    #[test]
+    fn invariants_hold_under_traffic() {
+        let mut o = small();
+        let mut rng = SplitMix64::new(5);
+        for i in 0..2000u64 {
+            let id = rng.below(200);
+            if i % 3 == 0 {
+                o.write(id, [id as u8; 64]).unwrap();
+            } else {
+                o.read(id).unwrap();
+            }
+            if i % 100 == 0 {
+                o.check_invariants().unwrap();
+            }
+        }
+        o.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn data_survives_heavy_reshuffling() {
+        let mut o = small();
+        for id in 0..50u64 {
+            o.write(id, [id as u8 + 1; 64]).unwrap();
+        }
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            o.read(rng.below(200)).unwrap();
+        }
+        for id in 0..50u64 {
+            assert_eq!(o.read(id).unwrap(), [id as u8 + 1; 64], "block {id} corrupted");
+        }
+    }
+
+    #[test]
+    fn bandwidth_amplification_matches_geometry() {
+        let mut o = small();
+        for i in 0..100u64 {
+            o.read(i % 200).unwrap();
+        }
+        // (L+1)·Z read + (L+1)·Z written (real+dummy) per access.
+        let expected = o.config().blocks_moved_per_access() as f64;
+        assert_eq!(o.metrics().bandwidth_amplification(), expected);
+        assert_eq!(o.metrics().write_amplification(), expected / 2.0);
+    }
+
+    #[test]
+    fn paper_config_reports_100x_write_amplification() {
+        let cfg = OramConfig::paper();
+        assert_eq!(cfg.blocks_moved_per_access() / 2, 100);
+        assert!(cfg.storage_overhead() >= 1.0, "paper config wastes ≥50% capacity");
+    }
+
+    #[test]
+    fn accesses_remap_leaves() {
+        let mut o = small();
+        o.write(1, [1; 64]).unwrap();
+        // After many accesses the stash stays small (eviction works).
+        for _ in 0..500 {
+            o.read(1).unwrap();
+        }
+        assert!(o.stash_high_water() < 50, "stash grew to {}", o.stash_high_water());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn random_workloads_preserve_data_and_invariants(
+            seed: u64,
+            ops in proptest::collection::vec((0u64..100, proptest::option::of(0u8..)), 1..200)
+        ) {
+            let mut o = PathOram::new(
+                OramConfig { levels: 5, bucket_size: 4, blocks: 100 }, seed).unwrap();
+            let mut oracle = std::collections::HashMap::new();
+            for (id, write) in ops {
+                match write {
+                    Some(byte) => {
+                        o.write(id, [byte; 64]).unwrap();
+                        oracle.insert(id, byte);
+                    }
+                    None => {
+                        let data = o.read(id).unwrap();
+                        let expected = oracle.get(&id).copied().unwrap_or(0);
+                        proptest::prop_assert_eq!(data, [expected; 64]);
+                    }
+                }
+            }
+            o.check_invariants().unwrap();
+        }
+    }
+}

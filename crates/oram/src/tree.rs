@@ -1,0 +1,245 @@
+//! The ORAM bucket tree.
+//!
+//! A complete binary tree of `levels + 1` levels (root = level 0, leaves =
+//! level `levels`), each node a bucket of `Z` slots. Standard heap
+//! numbering: node 0 is the root, node `2i+1`/`2i+2` its children, leaf
+//! `l` is node `2^levels - 1 + l`.
+//!
+//! Buckets are stored sparsely (only nodes that ever held a block allocate
+//! memory) so the paper-scale L = 24 geometry is representable without a
+//! 9 GB allocation.
+
+use std::collections::HashMap;
+
+use obfusmem_mem::request::BlockData;
+
+/// A real block stored in the tree or stash: logical id, its assigned
+/// leaf, and the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OramBlock {
+    /// Logical block id.
+    pub id: u64,
+    /// Leaf this block is mapped to (its path invariant).
+    pub leaf: u64,
+    /// 64-byte payload.
+    pub data: BlockData,
+}
+
+/// The bucket tree.
+#[derive(Debug)]
+pub struct BucketTree {
+    levels: u32,
+    bucket_size: usize,
+    /// node index → occupied slots (≤ bucket_size).
+    buckets: HashMap<u64, Vec<OramBlock>>,
+}
+
+impl BucketTree {
+    /// Creates an empty tree with `levels` edge-levels below the root and
+    /// `bucket_size` slots per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` ≥ 48 (node ids would overflow practical ranges)
+    /// or `bucket_size` is zero.
+    pub fn new(levels: u32, bucket_size: usize) -> Self {
+        assert!(levels < 48, "tree too deep");
+        assert!(bucket_size > 0, "bucket size must be nonzero");
+        BucketTree { levels, bucket_size, buckets: HashMap::new() }
+    }
+
+    /// Edge-levels below the root (leaves live at this depth).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Slots per bucket (the paper's Z).
+    pub fn bucket_size(&self) -> usize {
+        self.bucket_size
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Total buckets in the tree.
+    pub fn bucket_count(&self) -> u64 {
+        (1u64 << (self.levels + 1)) - 1
+    }
+
+    /// Total physical block slots.
+    pub fn slot_count(&self) -> u64 {
+        self.bucket_count() * self.bucket_size as u64
+    }
+
+    /// Node index of `leaf`'s leaf bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn leaf_node(&self, leaf: u64) -> u64 {
+        assert!(leaf < self.leaf_count(), "leaf out of range");
+        (1u64 << self.levels) - 1 + leaf
+    }
+
+    /// Node indices on the path root → `leaf` (length `levels + 1`).
+    pub fn path_nodes(&self, leaf: u64) -> Vec<u64> {
+        let mut nodes = Vec::with_capacity(self.levels as usize + 1);
+        let mut node = self.leaf_node(leaf);
+        loop {
+            nodes.push(node);
+            if node == 0 {
+                break;
+            }
+            node = (node - 1) / 2;
+        }
+        nodes.reverse();
+        nodes
+    }
+
+    /// True when `node` lies on the path from the root to `leaf`.
+    pub fn node_on_path(&self, node: u64, leaf: u64) -> bool {
+        let mut cursor = self.leaf_node(leaf);
+        loop {
+            if cursor == node {
+                return true;
+            }
+            if cursor == 0 {
+                return false;
+            }
+            cursor = (cursor - 1) / 2;
+        }
+    }
+
+    /// Removes and returns all blocks in `node`'s bucket.
+    pub fn drain_bucket(&mut self, node: u64) -> Vec<OramBlock> {
+        self.buckets.remove(&node).unwrap_or_default()
+    }
+
+    /// Reads a bucket without removing it.
+    pub fn bucket(&self, node: u64) -> &[OramBlock] {
+        self.buckets.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Replaces `node`'s bucket with `blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `bucket_size` blocks are supplied.
+    pub fn fill_bucket(&mut self, node: u64, blocks: Vec<OramBlock>) {
+        assert!(blocks.len() <= self.bucket_size, "bucket overfilled");
+        if blocks.is_empty() {
+            self.buckets.remove(&node);
+        } else {
+            self.buckets.insert(node, blocks);
+        }
+    }
+
+    /// Total real blocks currently resident in the tree.
+    pub fn resident_blocks(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over all resident blocks (for invariant checks).
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, &OramBlock)> {
+        self.buckets.iter().flat_map(|(&node, blocks)| blocks.iter().map(move |b| (node, b)))
+    }
+
+    /// Physical byte address of `(node, slot)` for timing-mode accesses:
+    /// buckets laid out contiguously, 64 B per slot.
+    pub fn slot_address(&self, node: u64, slot: usize) -> u64 {
+        (node * self.bucket_size as u64 + slot as u64) * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let t = BucketTree::new(3, 4);
+        assert_eq!(t.leaf_count(), 8);
+        assert_eq!(t.bucket_count(), 15);
+        assert_eq!(t.slot_count(), 60);
+        assert_eq!(t.leaf_node(0), 7);
+        assert_eq!(t.leaf_node(7), 14);
+    }
+
+    #[test]
+    fn paper_geometry_is_representable() {
+        // L = 24, Z = 4: the Table/discussion configuration. ~100 blocks
+        // per path (25 levels × 4).
+        let t = BucketTree::new(24, 4);
+        assert_eq!(t.path_nodes(12345).len(), 25);
+        assert_eq!(25 * 4, 100);
+    }
+
+    #[test]
+    fn path_walks_root_to_leaf() {
+        let t = BucketTree::new(3, 4);
+        let path = t.path_nodes(5);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), t.leaf_node(5));
+        // Each consecutive pair is parent → child.
+        for w in path.windows(2) {
+            assert!(w[1] == 2 * w[0] + 1 || w[1] == 2 * w[0] + 2);
+        }
+    }
+
+    #[test]
+    fn node_on_path_agrees_with_path_nodes() {
+        let t = BucketTree::new(5, 4);
+        for leaf in 0..t.leaf_count() {
+            let path = t.path_nodes(leaf);
+            for node in 0..t.bucket_count() {
+                assert_eq!(t.node_on_path(node, leaf), path.contains(&node));
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_store_and_drain() {
+        let mut t = BucketTree::new(3, 2);
+        let b = OramBlock { id: 1, leaf: 3, data: [9; 64] };
+        t.fill_bucket(4, vec![b]);
+        assert_eq!(t.bucket(4), &[b]);
+        assert_eq!(t.resident_blocks(), 1);
+        assert_eq!(t.drain_bucket(4), vec![b]);
+        assert_eq!(t.resident_blocks(), 0);
+        assert!(t.bucket(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overfilled")]
+    fn rejects_overfull_bucket() {
+        let mut t = BucketTree::new(3, 2);
+        let b = OramBlock { id: 1, leaf: 0, data: [0; 64] };
+        t.fill_bucket(0, vec![b, b, b]);
+    }
+
+    #[test]
+    fn slot_addresses_are_distinct() {
+        let t = BucketTree::new(4, 4);
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..t.bucket_count() {
+            for slot in 0..t.bucket_size() {
+                assert!(seen.insert(t.slot_address(node, slot)));
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn sibling_paths_share_exactly_the_common_prefix(leaf_a in 0u64..256, leaf_b in 0u64..256) {
+            let t = BucketTree::new(8, 4);
+            let pa = t.path_nodes(leaf_a);
+            let pb = t.path_nodes(leaf_b);
+            // Shared nodes must form a prefix (paths only diverge once).
+            let shared: Vec<_> = pa.iter().zip(&pb).take_while(|(a, b)| a == b).collect();
+            let shared_count = pa.iter().filter(|n| pb.contains(n)).count();
+            proptest::prop_assert_eq!(shared.len(), shared_count);
+        }
+    }
+}

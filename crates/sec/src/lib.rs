@@ -1,0 +1,23 @@
+//! Adversary models and leakage analysis for the ObfusMem reproduction.
+//!
+//! The paper's security claims (Table 4 and §6.1) are qualitative; this
+//! crate makes them *measurable* on simulated bus traces:
+//!
+//! * [`observer`] — the passive attacker's view: bus events stripped of
+//!   ground truth (only ciphertext bytes, shapes, channels, and timing).
+//! * [`leakage`] — statistical attacks an observer can mount: ciphertext
+//!   repetition / temporal-linkage, read-vs-write classification,
+//!   footprint estimation, per-channel imbalance, and an ECB dictionary
+//!   attack. Each returns a score that is near its ideal for a protected
+//!   bus and far from it for a plaintext bus.
+//! * [`tamper`] — the active attacker: bit flips, drops, replays,
+//!   injections, and reorders against a live processor/memory engine
+//!   pair, scored by detection rate (paper §3.5's scenarios).
+//! * [`table4`] — programmatic regeneration of Table 4's comparison of
+//!   ORAM and ObfusMem.
+
+pub mod leakage;
+pub mod observer;
+pub mod table4;
+pub mod thermal;
+pub mod tamper;

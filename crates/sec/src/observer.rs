@@ -1,0 +1,89 @@
+//! The passive bus observer (threat model §2.1).
+//!
+//! An attacker with probes on the exposed processor–memory wires sees,
+//! per packet: raw bytes, which channel's pins carried it, direction, and
+//! timing. They do **not** see the `GroundTruth` the simulator attaches —
+//! [`ObservedPacket::from_event`] strips it, and all attack code in
+//! [`crate::leakage`] operates on [`ObservedPacket`]s only; truth is used
+//! solely to *score* the attack afterwards.
+
+use obfusmem_core::busmsg::{BusEvent, Direction};
+use obfusmem_sim::time::Time;
+
+/// What the attacker captures for one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedPacket {
+    /// Capture timestamp.
+    pub at: Time,
+    /// Channel pins.
+    pub channel: usize,
+    /// Wire direction.
+    pub direction: Direction,
+    /// The 16 header bytes as seen on the wire.
+    pub header: [u8; 16],
+    /// True when a 64 B data payload accompanied the header.
+    pub has_data: bool,
+    /// The payload bytes if present.
+    pub data: Option<[u8; 64]>,
+    /// True when an 8-byte tag accompanied the packet.
+    pub has_tag: bool,
+}
+
+impl ObservedPacket {
+    /// Captures a bus event (dropping ground truth).
+    pub fn from_event(event: &BusEvent) -> Self {
+        ObservedPacket {
+            at: event.at,
+            channel: event.channel,
+            direction: event.direction,
+            header: event.packet.header_ct,
+            has_data: event.packet.data_ct.is_some(),
+            data: event.packet.data_ct,
+            has_tag: event.packet.tag.is_some(),
+        }
+    }
+}
+
+/// Captures a whole trace.
+pub fn capture(events: &[BusEvent]) -> Vec<ObservedPacket> {
+    events.iter().map(ObservedPacket::from_event).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfusmem_core::busmsg::{BusPacket, GroundTruth, RequestHeader};
+    use obfusmem_mem::request::AccessKind;
+
+    fn event() -> BusEvent {
+        BusEvent {
+            at: Time::from_ps(123),
+            channel: 2,
+            direction: Direction::ToMemory,
+            packet: BusPacket {
+                header_ct: RequestHeader { kind: AccessKind::Read, addr: 0x40 }.to_bytes(),
+                data_ct: Some([7; 64]),
+                tag: Some([1; 8]),
+            },
+            truth: GroundTruth { real: true, kind: AccessKind::Read, addr: 0x40 },
+        }
+    }
+
+    #[test]
+    fn capture_preserves_observables() {
+        let obs = ObservedPacket::from_event(&event());
+        assert_eq!(obs.at, Time::from_ps(123));
+        assert_eq!(obs.channel, 2);
+        assert!(obs.has_data);
+        assert!(obs.has_tag);
+        assert_eq!(obs.data, Some([7; 64]));
+    }
+
+    #[test]
+    fn capture_drops_ground_truth() {
+        // Structural check: ObservedPacket has no truth field; this test
+        // documents the contract by round-tripping through the public API.
+        let trace = capture(&[event(), event()]);
+        assert_eq!(trace.len(), 2);
+    }
+}

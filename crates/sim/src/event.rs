@@ -1,0 +1,193 @@
+//! Deterministic event queue.
+//!
+//! A binary heap keyed on `(time, sequence)` where the sequence number is a
+//! monotonically increasing push counter: events scheduled for the same
+//! instant pop in FIFO order, which keeps multi-channel simulations
+//! deterministic regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// # Example
+///
+/// ```
+/// use obfusmem_sim::event::EventQueue;
+/// use obfusmem_sim::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ps(5), 'b');
+/// q.push(Time::from_ps(5), 'c');
+/// q.push(Time::from_ps(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Time::ZERO }
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the last popped time (events cannot be
+    /// scheduled in the past — that would make results order-dependent).
+    pub fn push(&mut self, at: Time, payload: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < now {now}", now = self.now);
+        self.heap.push(Entry { at, seq: self.next_seq, payload });
+        self.next_seq += 1;
+    }
+
+    /// Removes and returns the earliest event, advancing the queue clock.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.at;
+            (e.at, e.payload)
+        })
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(30), 3);
+        q.push(Time::from_ps(10), 1);
+        q.push(Time::from_ps(20), 2);
+        assert_eq!(q.pop(), Some((Time::from_ps(10), 1)));
+        assert_eq!(q.pop(), Some((Time::from_ps(20), 2)));
+        assert_eq!(q.pop(), Some((Time::from_ps(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ps(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(42), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ps(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(100), ());
+        q.pop();
+        q.push(Time::from_ps(50), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(10), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(q.now() + Duration::from_ps(5), "b");
+        q.push(q.now() + Duration::from_ps(1), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn always_nondecreasing(times: Vec<u32>) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(Time::from_ps(*t as u64), i);
+            }
+            let mut last = Time::ZERO;
+            while let Some((t, _)) = q.pop() {
+                proptest::prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

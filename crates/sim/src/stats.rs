@@ -1,0 +1,328 @@
+//! Simulation statistics: counters, running means, and histograms.
+//!
+//! The evaluation reports derived metrics — IPC, LLC MPKI, average request
+//! gap, execution-time overhead — all of which reduce to counters and
+//! means collected during a run. [`Histogram`] adds power-of-two latency
+//! buckets for distribution-shaped questions (e.g. how dummy injection
+//! changes the request-gap distribution).
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running mean / min / max / variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `i` holds values in
+/// `[2^(i-1), 2^i)` with bucket 0 holding zero.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 65], total: 0 }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The value below which `q` (0..=1) of samples fall, resolved to the
+    /// upper edge of the containing bucket. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(if i == 0 { 0 } else { 1u64 << i });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// A named percentage overhead (used pervasively in reporting: the paper's
+/// numbers are "X% execution-time overhead over unprotected").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overhead {
+    baseline: f64,
+    observed: f64,
+}
+
+impl Overhead {
+    /// Builds from a baseline and an observed value (e.g. execution times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is not strictly positive.
+    pub fn new(baseline: f64, observed: f64) -> Self {
+        assert!(baseline > 0.0, "overhead baseline must be positive");
+        Overhead { baseline, observed }
+    }
+
+    /// Overhead as a percentage: `100 * (observed - baseline) / baseline`.
+    pub fn percent(self) -> f64 {
+        100.0 * (self.observed - self.baseline) / self.baseline
+    }
+
+    /// Slowdown ratio `observed / baseline`.
+    pub fn ratio(self) -> f64 {
+        self.observed / self.baseline
+    }
+}
+
+impl fmt::Display for Overhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.1}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 37 % 91) as f64).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..40] {
+            a.record(x);
+        }
+        for &x in &xs[40..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket(0), 1); // 0
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2..3
+        assert_eq!(h.bucket(11), 1); // 1024..2047
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5).unwrap() <= 64);
+        assert!(h.quantile(1.0).unwrap() >= 64);
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn overhead_math() {
+        let o = Overhead::new(100.0, 110.9);
+        assert!((o.percent() - 10.9).abs() < 1e-9);
+        assert!((o.ratio() - 1.109).abs() < 1e-9);
+        assert_eq!(format!("{}", Overhead::new(100.0, 110.0)), "+10.0%");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = RunningStats::new();
+            for &x in &xs {
+                s.record(x);
+            }
+            let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+            proptest::prop_assert!((s.mean() - mean).abs() < 1e-6);
+        }
+
+        #[test]
+        fn histogram_total_matches(values: Vec<u64>) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            proptest::prop_assert_eq!(h.count(), values.len() as u64);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,92 @@
+//! NVM energy and lifetime: why ORAM hurts phase-change memory (§5.2).
+//!
+//! Runs the same logical access stream through a functional Path ORAM and
+//! through ObfusMem-protected PCM, then compares array writes, hottest-row
+//! wear, and energy under the paper's relative model (write = 6.8× read).
+//! Also shows the §3.3 ablation: what the *original-address* dummy policy
+//! would have cost in endurance had the paper not chosen fixed dummies.
+//!
+//! ```text
+//! cargo run --release --example nvm_lifetime
+//! ```
+
+use obfusmem::core::backend::ObfusMemBackend;
+use obfusmem::core::config::{DummyAddressPolicy, ObfusMemConfig};
+use obfusmem::cpu::core::MemoryBackend;
+use obfusmem::mem::config::MemConfig;
+use obfusmem::mem::energy::EnergyModel;
+use obfusmem::mem::request::BlockAddr;
+use obfusmem::oram::path_oram::{OramConfig, PathOram};
+use obfusmem::sim::rng::SplitMix64;
+use obfusmem::sim::time::Time;
+
+const ACCESSES: u64 = 4000;
+const BLOCKS: u64 = 1024;
+
+fn main() {
+    let model = EnergyModel::paper_relative();
+
+    // --- Path ORAM ---------------------------------------------------
+    let mut oram = PathOram::new(
+        OramConfig { levels: 9, bucket_size: 4, blocks: BLOCKS },
+        1,
+    )
+    .expect("valid geometry");
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..ACCESSES {
+        let id = rng.below(BLOCKS);
+        if rng.chance(0.5) {
+            oram.write(id, [1; 64]).expect("in range");
+        } else {
+            oram.read(id).expect("in range");
+        }
+    }
+    let m = oram.metrics();
+    println!("Path ORAM (L=9, Z=4), {ACCESSES} logical accesses:");
+    println!("  blocks read        : {:>9}", m.blocks_read);
+    println!("  blocks written     : {:>9} (incl. dummy slots)", m.blocks_written + m.dummy_writes);
+    println!("  write amplification: {:>9.1}x", m.write_amplification());
+    println!(
+        "  array energy       : {:>9.0} (read-units; {:.0} per access)",
+        model.array_energy(m.blocks_read, m.blocks_written + m.dummy_writes),
+        model.array_energy(m.blocks_read, m.blocks_written + m.dummy_writes) / ACCESSES as f64
+    );
+    println!("  stash high water   : {:>9}", oram.stash_high_water());
+
+    // --- ObfusMem, fixed-address dummies (the paper's design) --------
+    for (label, policy) in [
+        ("ObfusMem (fixed dummies)", DummyAddressPolicy::Fixed),
+        ("ObfusMem (original-address dummies — rejected design)", DummyAddressPolicy::Original),
+    ] {
+        let cfg = ObfusMemConfig { dummy_policy: policy, ..ObfusMemConfig::paper_default() };
+        let mut backend = ObfusMemBackend::new(cfg, MemConfig::table2(), 3);
+        let mut rng = SplitMix64::new(2);
+        let mut t = Time::ZERO;
+        for _ in 0..ACCESSES {
+            let addr = BlockAddr::from_index(rng.below(BLOCKS));
+            if rng.chance(0.5) {
+                backend.write(t, addr);
+            } else {
+                t = backend.read(t, addr);
+            }
+        }
+        let (reads, writes) = backend.memory().array_ops();
+        println!("\n{label}, same {ACCESSES} accesses:");
+        println!("  array reads        : {:>9}", reads);
+        println!("  array writes       : {:>9}", writes);
+        println!("  dummy array writes : {:>9}", backend.stats().dummy_array_writes);
+        println!("  hottest-row wear   : {:>9}", backend.memory().wear().max_row_writes());
+        println!(
+            "  array energy       : {:>9.0} (read-units; {:.1} per access)",
+            model.array_energy(reads, writes),
+            model.array_energy(reads, writes) / ACCESSES as f64
+        );
+    }
+
+    println!(
+        "\nPaper §5.2: ORAM ≈ 780× read-energy per access vs ObfusMem ≈ 3.9× — a\n\
+         ~200× reduction — and ~100× lifetime improvement because dropped fixed\n\
+         dummies never touch the cells. The original-address ablation shows the\n\
+         endurance bill the fixed-address design avoids."
+    );
+}

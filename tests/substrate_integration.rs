@@ -1,0 +1,162 @@
+//! Integration across the substrate crates: workload generator → cache
+//! hierarchy → memory device, and the determinism contract of the whole
+//! stack.
+
+use obfusmem::cache::cache::CacheOp;
+use obfusmem::cache::config::HierarchyConfig;
+use obfusmem::cache::hierarchy::{CacheHierarchy, HitLevel};
+use obfusmem::cache::mesi::Directory;
+use obfusmem::core::config::SecurityLevel;
+use obfusmem::core::system::{System, SystemConfig};
+use obfusmem::cpu::l1stream::{L1Stream, L1StreamConfig};
+use obfusmem::cpu::workload::micro_test_workload;
+use obfusmem::mem::config::MemConfig;
+use obfusmem::mem::device::PcmMemory;
+use obfusmem::mem::request::AccessKind;
+use obfusmem::sim::time::Time;
+
+#[test]
+fn l1_stream_through_caches_generates_memory_traffic() {
+    let mut hierarchy = CacheHierarchy::new(HierarchyConfig::table2());
+    let mut memory = PcmMemory::new(MemConfig::table2());
+    let mut stream = L1Stream::new(L1StreamConfig::cache_hostile(), 3);
+    let mut t = Time::ZERO;
+    let mut fills = 0u64;
+    let mut writebacks = 0u64;
+
+    for _ in 0..200_000 {
+        let access = stream.next_access();
+        let outcome = hierarchy.access(0, access.addr, access.op);
+        if let Some(fill) = outcome.traffic.fill {
+            let r = memory.access(t, fill, AccessKind::Read);
+            t = t.max(r.complete_at);
+            fills += 1;
+        }
+        for wb in outcome.traffic.writebacks {
+            memory.access(t, wb, AccessKind::Write);
+            writebacks += 1;
+        }
+    }
+    assert!(fills > 1000, "hostile stream must miss the LLC: {fills}");
+    assert!(writebacks > 50, "stores must eventually spill: {writebacks}");
+    let (acc, miss) = hierarchy.llc_counts();
+    assert_eq!(miss, fills, "every LLC miss becomes a memory fill");
+    assert!(acc >= miss);
+    assert!(memory.channel_stats(0).reads.get() >= fills);
+}
+
+#[test]
+fn friendly_stream_filters_to_low_mpki() {
+    let mut hierarchy = CacheHierarchy::new(HierarchyConfig::table2());
+    let mut stream = L1Stream::new(L1StreamConfig::cache_friendly(), 4);
+    let instructions = 1_000_000u64;
+    for _ in 0..stream.accesses_for(instructions) {
+        let a = stream.next_access();
+        hierarchy.access(0, a.addr, a.op);
+    }
+    let mpki = hierarchy.llc_counts().1 as f64 * 1000.0 / instructions as f64;
+    assert!(mpki < 8.0, "friendly stream MPKI {mpki} too high");
+}
+
+#[test]
+fn mesi_directory_tracks_a_four_core_hierarchy() {
+    // Four cores share blocks through the directory; the combination of
+    // hierarchy hits and coherence messages must stay consistent.
+    let mut hierarchy = CacheHierarchy::new(HierarchyConfig::table2());
+    let mut directory = Directory::new(4);
+    for round in 0..100u64 {
+        for core in 0..4usize {
+            let addr = (round % 8) * 64;
+            let msgs = if round % 3 == 0 {
+                directory.write(core, addr)
+            } else {
+                directory.read(core, addr)
+            };
+            let op = if round % 3 == 0 { CacheOp::Write } else { CacheOp::Read };
+            let outcome = hierarchy.access(core, addr, op);
+            let _ = (msgs, outcome);
+            directory.check_invariants().expect("MESI invariants");
+        }
+    }
+}
+
+#[test]
+fn hot_block_hits_l1_after_first_touch() {
+    let mut hierarchy = CacheHierarchy::new(HierarchyConfig::table2());
+    hierarchy.access(2, 0x4000, CacheOp::Read);
+    for _ in 0..10 {
+        let out = hierarchy.access(2, 0x4000, CacheOp::Read);
+        assert_eq!(out.level, HitLevel::L1);
+    }
+}
+
+#[test]
+fn fr_fcfs_scheduler_agrees_with_reservation_model_on_serial_streams() {
+    // On a strictly serial request stream (each issued after the previous
+    // completes) there is nothing to reorder, so the queued controller
+    // and the reservation-model device must agree on every latency.
+    use obfusmem::mem::scheduler::FrFcfsScheduler;
+    let cfg = MemConfig::table2();
+    let mut device = PcmMemory::new(cfg.clone());
+    let mut sched = FrFcfsScheduler::new(cfg);
+    let mut t = Time::ZERO;
+    for i in 0..50u64 {
+        let addr = (i % 7) * (1 << 24) + (i % 16) * 64;
+        let r = device.access(t, addr, AccessKind::Read);
+        sched.enqueue(t, addr, AccessKind::Read);
+        sched.run_until(r.complete_at);
+        let done = sched.take_completions();
+        assert_eq!(done.len(), 1, "request {i} not serviced");
+        assert_eq!(done[0].at, r.complete_at, "latency mismatch at request {i}");
+        t = r.complete_at;
+    }
+}
+
+#[test]
+fn fr_fcfs_beats_reservation_order_under_bursts() {
+    // A burst of interleaved row-conflicting requests: the reordering
+    // controller finishes no later than the in-order device.
+    use obfusmem::mem::scheduler::FrFcfsScheduler;
+    let cfg = MemConfig::table2();
+    let mut device = PcmMemory::new(cfg.clone());
+    let mut sched = FrFcfsScheduler::new(cfg);
+    let mut device_finish = Time::ZERO;
+    for i in 0..16u64 {
+        let addr = if i % 2 == 0 { (i / 2) * 64 } else { (1 << 24) + (i / 2) * 64 };
+        let r = device.access(Time::ZERO, addr, AccessKind::Read);
+        device_finish = device_finish.max(r.complete_at);
+        sched.enqueue(Time::ZERO, addr, AccessKind::Read);
+    }
+    sched.run_until(Time::from_ps(1_000_000_000));
+    let sched_finish = sched.take_completions().into_iter().map(|c| c.at).max().unwrap();
+    assert!(
+        sched_finish <= device_finish,
+        "FR-FCFS ({sched_finish}) must not lose to in-order ({device_finish})"
+    );
+}
+
+#[test]
+fn whole_stack_is_bit_deterministic() {
+    let run = || {
+        let mut sys = System::new(SystemConfig {
+            security: SecurityLevel::ObfuscateAuth,
+            ..SystemConfig::default()
+        });
+        let r = sys.run(&micro_test_workload(), 60_000, 0xD00D);
+        (r.exec_time.as_ps(), r.misses, sys.backend().stats().paired_dummies)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_change_timing_but_not_structure() {
+    let run = |seed| {
+        let mut sys = System::new(SystemConfig::default());
+        let r = sys.run(&micro_test_workload(), 60_000, seed);
+        (r.exec_time.as_ps(), r.misses)
+    };
+    let (t1, m1) = run(1);
+    let (t2, m2) = run(2);
+    assert_eq!(m1, m2, "miss count is workload-determined");
+    assert_ne!(t1, t2, "timing depends on the address stream");
+}
