@@ -1,6 +1,7 @@
 //! Cache-hierarchy microbenchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obfusmem_bench::quick::{Criterion, Throughput};
+use obfusmem_bench::{criterion_group, criterion_main};
 use obfusmem_cache::cache::{Cache, CacheOp};
 use obfusmem_cache::config::{CacheConfig, HierarchyConfig};
 use obfusmem_cache::hierarchy::CacheHierarchy;

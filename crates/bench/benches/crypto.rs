@@ -1,7 +1,8 @@
 //! Microbenchmarks of the cryptographic substrate: the software
 //! equivalents of the paper's synthesized AES/MD5 units.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obfusmem_bench::quick::{Criterion, Throughput};
+use obfusmem_bench::{criterion_group, criterion_main};
 use obfusmem_crypto::aes::Aes128;
 use obfusmem_crypto::ctr::CtrStream;
 use obfusmem_crypto::dh::DhKeyPair;
@@ -51,8 +52,12 @@ fn bench_hashes(c: &mut Criterion) {
     let mut group = c.benchmark_group("hashes");
     let msg = [0x5Au8; 64];
     group.throughput(Throughput::Bytes(64));
-    group.bench_function("md5_64B", |b| b.iter(|| std::hint::black_box(Md5::digest(&msg))));
-    group.bench_function("sha1_64B", |b| b.iter(|| std::hint::black_box(Sha1::digest(&msg))));
+    group.bench_function("md5_64B", |b| {
+        b.iter(|| std::hint::black_box(Md5::digest(&msg)))
+    });
+    group.bench_function("sha1_64B", |b| {
+        b.iter(|| std::hint::black_box(Sha1::digest(&msg)))
+    });
     group.finish();
 }
 
@@ -81,5 +86,12 @@ fn bench_dh(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_aes, bench_ctr_pads, bench_hashes, bench_mac, bench_dh);
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_ctr_pads,
+    bench_hashes,
+    bench_mac,
+    bench_dh
+);
 criterion_main!(benches);

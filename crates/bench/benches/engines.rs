@@ -1,7 +1,8 @@
 //! ObfusMem engine microbenchmarks: the per-request cost of obfuscation,
 //! across the §3.3/§3.5 design alternatives.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obfusmem_bench::quick::{Criterion, Throughput};
+use obfusmem_bench::{criterion_group, criterion_main};
 use obfusmem_core::busmsg::RequestHeader;
 use obfusmem_core::config::{DummyAddressPolicy, MacScheme, ObfusMemConfig, SecurityLevel};
 use obfusmem_core::memside::engines_for_test;
@@ -13,23 +14,31 @@ fn bench_round_trip(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
 
     for (label, cfg) in [
-        ("obfuscate", ObfusMemConfig {
-            security: SecurityLevel::Obfuscate,
-            ..ObfusMemConfig::paper_default()
-        }),
+        (
+            "obfuscate",
+            ObfusMemConfig {
+                security: SecurityLevel::Obfuscate,
+                ..ObfusMemConfig::paper_default()
+            },
+        ),
         ("encrypt_and_mac", ObfusMemConfig::paper_default()),
-        ("encrypt_then_mac", ObfusMemConfig {
-            mac_scheme: MacScheme::EncryptThenMac,
-            ..ObfusMemConfig::paper_default()
-        }),
+        (
+            "encrypt_then_mac",
+            ObfusMemConfig {
+                mac_scheme: MacScheme::EncryptThenMac,
+                ..ObfusMemConfig::paper_default()
+            },
+        ),
     ] {
         group.bench_function(format!("read_{label}"), |b| {
             let (mut proc, mut mems) = engines_for_test(cfg, 1);
             let mut mem = mems.remove(0);
             let mut i = 0u64;
             b.iter(|| {
-                let header =
-                    RequestHeader { kind: AccessKind::Read, addr: (i % 4096) * 64 };
+                let header = RequestHeader {
+                    kind: AccessKind::Read,
+                    addr: (i % 4096) * 64,
+                };
                 i += 1;
                 let pair = proc.obfuscate(Time::ZERO, 0, header, None).unwrap();
                 let (decoded, _) = mem.receive_pair(&pair.real, &pair.dummy).unwrap();
@@ -44,7 +53,10 @@ fn bench_round_trip(c: &mut Criterion) {
         let data = [0x77u8; 64];
         let mut i = 0u64;
         b.iter(|| {
-            let header = RequestHeader { kind: AccessKind::Write, addr: (i % 4096) * 64 };
+            let header = RequestHeader {
+                kind: AccessKind::Write,
+                addr: (i % 4096) * 64,
+            };
             i += 1;
             let pair = proc.obfuscate(Time::ZERO, 0, header, Some(&data)).unwrap();
             let (decoded, _) = mem.receive_pair(&pair.real, &pair.dummy).unwrap();
@@ -56,15 +68,23 @@ fn bench_round_trip(c: &mut Criterion) {
 
 fn bench_dummy_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("dummy_policy");
-    for policy in
-        [DummyAddressPolicy::Fixed, DummyAddressPolicy::Original, DummyAddressPolicy::Random]
-    {
-        let cfg = ObfusMemConfig { dummy_policy: policy, ..ObfusMemConfig::paper_default() };
+    for policy in [
+        DummyAddressPolicy::Fixed,
+        DummyAddressPolicy::Original,
+        DummyAddressPolicy::Random,
+    ] {
+        let cfg = ObfusMemConfig {
+            dummy_policy: policy,
+            ..ObfusMemConfig::paper_default()
+        };
         group.bench_function(format!("{policy:?}"), |b| {
             let (mut proc, mut mems) = engines_for_test(cfg, 1);
             let mut mem = mems.remove(0);
             b.iter(|| {
-                let header = RequestHeader { kind: AccessKind::Read, addr: 0x4000 };
+                let header = RequestHeader {
+                    kind: AccessKind::Read,
+                    addr: 0x4000,
+                };
                 let pair = proc.obfuscate(Time::ZERO, 0, header, None).unwrap();
                 let (_, dummy) = mem.receive_pair(&pair.real, &pair.dummy).unwrap();
                 std::hint::black_box(dummy)

@@ -1,7 +1,8 @@
 //! Memory-device microbenchmarks: simulator throughput for the access
 //! patterns that matter (row hits, row misses, channel parallelism).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obfusmem_bench::quick::{Criterion, Throughput};
+use obfusmem_bench::{criterion_group, criterion_main};
 use obfusmem_mem::config::MemConfig;
 use obfusmem_mem::device::PcmMemory;
 use obfusmem_mem::request::AccessKind;
@@ -101,5 +102,11 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_device, bench_functional_store, bench_bus, bench_scheduler);
+criterion_group!(
+    benches,
+    bench_device,
+    bench_functional_store,
+    bench_bus,
+    bench_scheduler
+);
 criterion_main!(benches);

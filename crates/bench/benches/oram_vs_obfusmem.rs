@@ -4,7 +4,8 @@
 //! tracks the real bandwidth amplification — moving 50× the blocks costs
 //! ~50× the work.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use obfusmem_bench::quick::{BenchmarkId, Criterion, Throughput};
+use obfusmem_bench::{criterion_group, criterion_main};
 use obfusmem_core::backend::ObfusMemBackend;
 use obfusmem_core::config::ObfusMemConfig;
 use obfusmem_cpu::core::MemoryBackend;
@@ -36,7 +37,11 @@ fn bench_access_cost(c: &mut Criterion) {
             |b, &levels| {
                 let blocks = (4u64 << levels) / 2;
                 let mut oram = PathOram::new(
-                    OramConfig { levels, bucket_size: 4, blocks },
+                    OramConfig {
+                        levels,
+                        bucket_size: 4,
+                        blocks,
+                    },
                     3,
                 )
                 .expect("valid geometry");
@@ -56,8 +61,15 @@ fn bench_oram_write_amplification(c: &mut Criterion) {
     for levels in [6u32, 10, 14] {
         group.bench_with_input(BenchmarkId::new("levels", levels), &levels, |b, &levels| {
             let blocks = (4u64 << levels) / 2;
-            let mut oram =
-                PathOram::new(OramConfig { levels, bucket_size: 4, blocks }, 5).unwrap();
+            let mut oram = PathOram::new(
+                OramConfig {
+                    levels,
+                    bucket_size: 4,
+                    blocks,
+                },
+                5,
+            )
+            .unwrap();
             let mut rng = SplitMix64::new(6);
             b.iter(|| std::hint::black_box(oram.read(rng.below(blocks)).unwrap()))
         });

@@ -34,19 +34,40 @@ fn main() {
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["config", "table1", "table3", "fig4", "fig5", "energy", "table4",
-            "oram-variants", "oram-detailed", "ablation-dummy", "ablation-mac", "ablation-pairing", "ablation-mapping", "ablation-typehiding", "ablation-stash"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        wanted = [
+            "config",
+            "table1",
+            "table3",
+            "fig4",
+            "fig5",
+            "energy",
+            "table4",
+            "oram-variants",
+            "oram-detailed",
+            "ablation-dummy",
+            "ablation-mac",
+            "ablation-pairing",
+            "ablation-mapping",
+            "ablation-typehiding",
+            "ablation-stash",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     eprintln!("# instructions per run: {instructions}, seed: {seed}");
     for exp in wanted {
         match exp.as_str() {
             "config" => print_config(),
-            "table1" => println!("{}", render::table1(&experiments::table1(instructions, seed))),
-            "table3" => println!("{}", render::table3(&experiments::table3(instructions, seed))),
+            "table1" => println!(
+                "{}",
+                render::table1(&experiments::table1(instructions, seed))
+            ),
+            "table3" => println!(
+                "{}",
+                render::table3(&experiments::table3(instructions, seed))
+            ),
             "fig4" => {
                 let rows = experiments::fig4(instructions, seed);
                 let avg = experiments::fig4_average(&rows);
@@ -59,10 +80,16 @@ fn main() {
                 println!("{}", render::table4(&oram, &obfus));
             }
             "oram-variants" => {
-                println!("{}", render::oram_variants(&experiments::oram_variants(seed)))
+                println!(
+                    "{}",
+                    render::oram_variants(&experiments::oram_variants(seed))
+                )
             }
             "oram-detailed" => {
-                println!("{}", render::oram_detailed(&experiments::oram_detailed(seed)))
+                println!(
+                    "{}",
+                    render::oram_detailed(&experiments::oram_detailed(seed))
+                )
             }
             "ablation-dummy" => println!(
                 "{}",
@@ -88,7 +115,10 @@ fn main() {
                 ))
             ),
             "ablation-stash" => {
-                println!("{}", render::ablation_stash(&experiments::ablation_oram_stash(seed)))
+                println!(
+                    "{}",
+                    render::ablation_stash(&experiments::ablation_oram_stash(seed))
+                )
             }
             other => usage(&format!("unknown experiment {other:?}")),
         }
@@ -118,8 +148,10 @@ fn print_config() {
         mem.t_cl.as_ns_f64(),
         mem.t_burst.as_ns()
     );
-    println!("  organization    : {} ranks/channel, {} banks/rank, 1 KB rows, RoRaBaChCo",
-        mem.ranks_per_channel, mem.banks_per_rank);
+    println!(
+        "  organization    : {} ranks/channel, {} banks/rank, 1 KB rows, RoRaBaChCo",
+        mem.ranks_per_channel, mem.banks_per_rank
+    );
     println!("  counter cache   : 256 KB, 8-way, 5 cycles");
     println!("  AES (45nm synth): 24-cycle pipeline @ 4 ns, 128-bit pad/cycle");
     println!("  MD5             : 64-stage pipeline\n");

@@ -5,11 +5,11 @@ use obfusmem_core::config::{
     ChannelStrategy, DummyAddressPolicy, MacScheme, ObfusMemConfig, SecurityLevel, TypeHiding,
 };
 use obfusmem_core::system::{System, SystemConfig};
-use obfusmem_cpu::core::{MemoryBackend, TraceDrivenCore};
+use obfusmem_cpu::core::MemoryBackend;
 use obfusmem_cpu::workload::{by_name, table1_workloads, WorkloadSpec};
+use obfusmem_harness::measure::{run_point, PointSpec, Scheme};
 use obfusmem_mem::config::MemConfig;
 use obfusmem_mem::energy::EnergyModel;
-use obfusmem_oram::model::OramModel;
 use obfusmem_oram::path_oram::{OramConfig, PathOram};
 use obfusmem_sec::table4::{measure_obfusmem, measure_oram, SchemeColumn};
 use obfusmem_sim::rng::SplitMix64;
@@ -77,20 +77,23 @@ pub fn table1(instructions: u64, seed: u64) -> Vec<Table1Row> {
     table1_workloads()
         .into_iter()
         .map(|spec| {
-            let mut sys = System::new(SystemConfig {
-                security: SecurityLevel::Unprotected,
-                ..SystemConfig::default()
-            });
-            let r = sys.run(&spec, instructions, seed);
+            let name = spec.name;
+            let mpki = spec.llc_mpki;
+            let r = run_point(&PointSpec::paper(
+                spec,
+                Scheme::Unprotected,
+                instructions,
+                seed,
+            ));
             let paper = PAPER_TABLE1
                 .iter()
-                .find(|(n, ..)| *n == spec.name)
+                .find(|(n, ..)| *n == name)
                 .map(|&(_, i, m, g)| (i, m, g))
                 .expect("workload present in paper table");
             Table1Row {
-                name: spec.name,
+                name,
                 ipc: r.ipc,
-                mpki: spec.llc_mpki,
+                mpki,
                 gap_ns: r.avg_request_gap_ns,
                 paper,
             }
@@ -116,21 +119,10 @@ pub struct Table3Row {
 /// Runs one workload against unprotected / ObfusMem+Auth / fixed-latency
 /// ORAM and returns the Table 3 row.
 pub fn table3_row(spec: &WorkloadSpec, instructions: u64, seed: u64) -> Table3Row {
-    let mut base = System::new(SystemConfig {
-        security: SecurityLevel::Unprotected,
-        ..SystemConfig::default()
-    });
-    let r_base = base.run(spec, instructions, seed);
-
-    let mut obfus = System::new(SystemConfig {
-        security: SecurityLevel::ObfuscateAuth,
-        ..SystemConfig::default()
-    });
-    let r_obfus = obfus.run(spec, instructions, seed);
-
-    let core = TraceDrivenCore::new();
-    let mut oram = OramModel::paper();
-    let r_oram = core.run(spec, instructions, &mut oram, seed);
+    let point = |scheme| run_point(&PointSpec::paper(spec.clone(), scheme, instructions, seed));
+    let r_base = point(Scheme::Unprotected);
+    let r_obfus = point(Scheme::ObfusmemAuth);
+    let r_oram = point(Scheme::OramModel);
 
     let paper = PAPER_TABLE3
         .iter()
@@ -148,7 +140,10 @@ pub fn table3_row(spec: &WorkloadSpec, instructions: u64, seed: u64) -> Table3Ro
 
 /// Runs the full Table 3.
 pub fn table3(instructions: u64, seed: u64) -> Vec<Table3Row> {
-    table1_workloads().iter().map(|w| table3_row(w, instructions, seed)).collect()
+    table1_workloads()
+        .iter()
+        .map(|w| table3_row(w, instructions, seed))
+        .collect()
 }
 
 /// One Figure 4 bar group, measured.
@@ -169,17 +164,14 @@ pub fn fig4(instructions: u64, seed: u64) -> Vec<Fig4Row> {
     table1_workloads()
         .iter()
         .map(|spec| {
-            let run = |security| {
-                let mut sys =
-                    System::new(SystemConfig { security, ..SystemConfig::default() });
-                sys.run(spec, instructions, seed)
-            };
-            let base = run(SecurityLevel::Unprotected);
+            let run =
+                |scheme| run_point(&PointSpec::paper(spec.clone(), scheme, instructions, seed));
+            let base = run(Scheme::Unprotected);
             Fig4Row {
                 name: spec.name,
-                encrypt_only: run(SecurityLevel::EncryptOnly).overhead_vs(&base),
-                obfusmem: run(SecurityLevel::Obfuscate).overhead_vs(&base),
-                obfusmem_auth: run(SecurityLevel::ObfuscateAuth).overhead_vs(&base),
+                encrypt_only: run(Scheme::EncryptOnly).overhead_vs(&base),
+                obfusmem: run(Scheme::Obfusmem).overhead_vs(&base),
+                obfusmem_auth: run(Scheme::ObfusmemAuth).overhead_vs(&base),
             }
         })
         .collect()
@@ -228,33 +220,39 @@ pub fn fig5(instructions: u64, seed: u64) -> Vec<Fig5Point> {
     let mut points = Vec::new();
     for &channels in &[1usize, 2, 4, 8] {
         let mem = MemConfig::table2().with_channels(channels);
-        let run = |cfg: ObfusMemConfig| -> f64 {
-            // Mean execution time across the workload set.
+        // Mean execution time across the workload set. The backend seed is
+        // passed explicitly (unlike the tables, which use the fixed
+        // `System::new` default) so the channel injectors vary with `seed`.
+        let run = |scheme: Scheme, obfus: ObfusMemConfig| -> f64 {
             let total: f64 = mix
                 .iter()
                 .map(|spec| {
-                    let mut b = ObfusMemBackend::new(cfg, mem.clone(), seed);
-                    let core = TraceDrivenCore::new();
-                    core.run(spec, instructions, &mut b, seed).exec_time.as_ns_f64()
+                    let p = PointSpec {
+                        obfus,
+                        mem: mem.clone(),
+                        backend_seed: Some(seed),
+                        ..PointSpec::paper(spec.clone(), scheme, instructions, seed)
+                    };
+                    run_point(&p).exec_time.as_ns_f64()
                 })
                 .sum();
             total / mix.len() as f64
         };
-        let base_ns = run(ObfusMemConfig {
-            security: SecurityLevel::Unprotected,
-            ..ObfusMemConfig::paper_default()
-        });
+        let base_ns = run(Scheme::Unprotected, ObfusMemConfig::paper_default());
         for &strategy in &[ChannelStrategy::Unopt, ChannelStrategy::Opt] {
             for &auth in &[false, true] {
-                let ns = run(ObfusMemConfig {
-                    security: if auth {
-                        SecurityLevel::ObfuscateAuth
-                    } else {
-                        SecurityLevel::Obfuscate
+                let scheme = if auth {
+                    Scheme::ObfusmemAuth
+                } else {
+                    Scheme::Obfusmem
+                };
+                let ns = run(
+                    scheme,
+                    ObfusMemConfig {
+                        channel_strategy: strategy,
+                        ..ObfusMemConfig::paper_default()
                     },
-                    channel_strategy: strategy,
-                    ..ObfusMemConfig::paper_default()
-                });
+                );
                 points.push(Fig5Point {
                     channels,
                     strategy,
@@ -297,8 +295,15 @@ pub fn energy(seed: u64) -> EnergyReport {
     let obfus_energy = model.array_energy(1, 1) / 2.0; // 3.9×
 
     // Measured write amplification from the functional tree.
-    let mut oram = PathOram::new(OramConfig { levels: 8, bucket_size: 4, blocks: 512 }, seed)
-        .expect("valid config");
+    let mut oram = PathOram::new(
+        OramConfig {
+            levels: 8,
+            bucket_size: 4,
+            blocks: 512,
+        },
+        seed,
+    )
+    .expect("valid config");
     let mut rng = SplitMix64::new(seed);
     for _ in 0..2000 {
         let id = rng.below(512);
@@ -370,24 +375,31 @@ pub fn ablation_dummy_policy(instructions: u64, seed: u64) -> Vec<DummyPolicyRow
         });
         sys.run(&spec, instructions, seed)
     };
-    [DummyAddressPolicy::Fixed, DummyAddressPolicy::Original, DummyAddressPolicy::Random]
-        .into_iter()
-        .map(|policy| {
-            let cfg = ObfusMemConfig { dummy_policy: policy, ..ObfusMemConfig::paper_default() };
-            let mut sys = System::new(SystemConfig {
-                security: SecurityLevel::ObfuscateAuth,
-                obfus: cfg,
-                mem: MemConfig::table2(),
-            });
-            let r = sys.run(&spec, instructions, seed);
-            DummyPolicyRow {
-                policy,
-                overhead: r.overhead_vs(&base),
-                dummy_array_writes: sys.backend().stats().dummy_array_writes,
-                max_row_writes: sys.backend().memory().wear().max_row_writes(),
-            }
-        })
-        .collect()
+    [
+        DummyAddressPolicy::Fixed,
+        DummyAddressPolicy::Original,
+        DummyAddressPolicy::Random,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let cfg = ObfusMemConfig {
+            dummy_policy: policy,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut sys = System::new(SystemConfig {
+            security: SecurityLevel::ObfuscateAuth,
+            obfus: cfg,
+            mem: MemConfig::table2(),
+        });
+        let r = sys.run(&spec, instructions, seed);
+        DummyPolicyRow {
+            policy,
+            overhead: r.overhead_vs(&base),
+            dummy_array_writes: sys.backend().stats().dummy_array_writes,
+            max_row_writes: sys.backend().memory().wear().max_row_writes(),
+        }
+    })
+    .collect()
 }
 
 /// One MAC-scheme ablation row (§3.5, Observation 4).
@@ -412,13 +424,19 @@ pub fn ablation_mac_scheme(instructions: u64, seed: u64) -> Vec<MacSchemeRow> {
     [MacScheme::EncryptAndMac, MacScheme::EncryptThenMac]
         .into_iter()
         .map(|scheme| {
-            let cfg = ObfusMemConfig { mac_scheme: scheme, ..ObfusMemConfig::paper_default() };
+            let cfg = ObfusMemConfig {
+                mac_scheme: scheme,
+                ..ObfusMemConfig::paper_default()
+            };
             let mut sys = System::new(SystemConfig {
                 security: SecurityLevel::ObfuscateAuth,
                 obfus: cfg,
                 mem: MemConfig::table2(),
             });
-            MacSchemeRow { scheme, overhead: sys.run(&spec, instructions, seed).overhead_vs(&base) }
+            MacSchemeRow {
+                scheme,
+                overhead: sys.run(&spec, instructions, seed).overhead_vs(&base),
+            }
         })
         .collect()
 }
@@ -474,7 +492,11 @@ pub fn ablation_mapping(instructions: u64, seed: u64) -> Vec<MappingRow> {
             }
             let leak = channel_step_predictability(&b.take_trace(), 4);
 
-            MappingRow { mapping, overhead: r_prot.overhead_vs(&r_base), channel_step_leak: leak }
+            MappingRow {
+                mapping,
+                overhead: r_prot.overhead_vs(&r_base),
+                channel_step_leak: leak,
+            }
         })
         .collect()
 }
@@ -496,14 +518,18 @@ pub struct DetailedOramRow {
 /// reports the measured per-access latency (the L=24 paper configuration
 /// extrapolates along the same line).
 pub fn oram_detailed(seed: u64) -> Vec<DetailedOramRow> {
-    use obfusmem_oram::detailed::DetailedOram;
     use obfusmem_mem::request::BlockAddr;
+    use obfusmem_oram::detailed::DetailedOram;
     [8u32, 12, 16, 18]
         .into_iter()
         .map(|levels| {
             let blocks = (4u64 << levels) / 4;
             let mut d = DetailedOram::new(
-                OramConfig { levels, bucket_size: 4, blocks },
+                OramConfig {
+                    levels,
+                    bucket_size: 4,
+                    blocks,
+                },
                 MemConfig::table2(),
                 seed,
             )
@@ -550,24 +576,31 @@ pub fn ablation_type_hiding(instructions: u64, seed: u64) -> Vec<TypeHidingRow> 
         });
         sys.run(&spec, instructions, seed)
     };
-    [TypeHiding::SplitDummy, TypeHiding::SplitDummyWithSubstitution, TypeHiding::UniformPackets]
-        .into_iter()
-        .map(|scheme| {
-            let cfg = ObfusMemConfig { type_hiding: scheme, ..ObfusMemConfig::paper_default() };
-            let mut sys = System::new(SystemConfig {
-                security: SecurityLevel::ObfuscateAuth,
-                obfus: cfg,
-                mem: MemConfig::table2(),
-            });
-            let r = sys.run(&spec, instructions, seed);
-            TypeHidingRow {
-                scheme,
-                overhead: r.overhead_vs(&base),
-                bus_busy_ps: sys.backend().memory().channel_stats(0).bus_busy_ps.get(),
-                substituted: sys.backend().stats().substituted_pairs,
-            }
-        })
-        .collect()
+    [
+        TypeHiding::SplitDummy,
+        TypeHiding::SplitDummyWithSubstitution,
+        TypeHiding::UniformPackets,
+    ]
+    .into_iter()
+    .map(|scheme| {
+        let cfg = ObfusMemConfig {
+            type_hiding: scheme,
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut sys = System::new(SystemConfig {
+            security: SecurityLevel::ObfuscateAuth,
+            obfus: cfg,
+            mem: MemConfig::table2(),
+        });
+        let r = sys.run(&spec, instructions, seed);
+        TypeHidingRow {
+            scheme,
+            overhead: r.overhead_vs(&base),
+            bus_busy_ps: sys.backend().memory().channel_stats(0).bus_busy_ps.get(),
+            substituted: sys.backend().stats().substituted_pairs,
+        }
+    })
+    .collect()
 }
 
 /// ORAM-variant comparison row (the paper's "24× and 120× in Ring and
@@ -587,12 +620,16 @@ pub fn oram_variants(seed: u64) -> Vec<OramVariantRow> {
     let levels = 12;
     let blocks = 4000;
     let mut path = PathOram::new(
-        OramConfig { levels, bucket_size: 4, blocks },
+        OramConfig {
+            levels,
+            bucket_size: 4,
+            blocks,
+        },
         seed,
     )
     .expect("valid geometry");
-    let mut ring = RingOram::new(RingConfig::ren_style(levels, blocks), seed)
-        .expect("valid geometry");
+    let mut ring =
+        RingOram::new(RingConfig::ren_style(levels, blocks), seed).expect("valid geometry");
     let mut rng = SplitMix64::new(seed ^ 0xA11);
     for _ in 0..3000 {
         let id = rng.below(blocks);
@@ -635,13 +672,19 @@ pub fn ablation_pairing(instructions: u64, seed: u64) -> Vec<PairingRow> {
     [PairingOrder::ReadThenWrite, PairingOrder::WriteThenRead]
         .into_iter()
         .map(|pairing| {
-            let cfg = ObfusMemConfig { pairing, ..ObfusMemConfig::paper_default() };
+            let cfg = ObfusMemConfig {
+                pairing,
+                ..ObfusMemConfig::paper_default()
+            };
             let mut sys = System::new(SystemConfig {
                 security: SecurityLevel::ObfuscateAuth,
                 obfus: cfg,
                 mem: MemConfig::table2(),
             });
-            PairingRow { pairing, overhead: sys.run(&spec, instructions, seed).overhead_vs(&base) }
+            PairingRow {
+                pairing,
+                overhead: sys.run(&spec, instructions, seed).overhead_vs(&base),
+            }
         })
         .collect()
 }
@@ -666,7 +709,11 @@ pub fn ablation_oram_stash(seed: u64) -> Vec<StashRow> {
     [512u64, 1024, 2048, 4094]
         .into_iter()
         .map(|blocks| {
-            let cfg = OramConfig { levels: 10, bucket_size: 4, blocks };
+            let cfg = OramConfig {
+                levels: 10,
+                bucket_size: 4,
+                blocks,
+            };
             let mut oram = PathOram::new(cfg, seed).expect("≤50% utilization");
             oram.set_stash_soft_bound(30);
             let mut rng = SplitMix64::new(seed);
@@ -694,13 +741,29 @@ mod tests {
         // bwaves (memory-bound): ORAM ≫ ObfusMem. astar (compute-bound):
         // both small. The crossover the paper's evaluation is about.
         let bwaves = table3_row(&by_name("bwaves").unwrap(), N, 1);
-        assert!(bwaves.oram_overhead > 300.0, "bwaves ORAM {}", bwaves.oram_overhead);
-        assert!(bwaves.obfus_overhead < 60.0, "bwaves ObfusMem {}", bwaves.obfus_overhead);
+        assert!(
+            bwaves.oram_overhead > 300.0,
+            "bwaves ORAM {}",
+            bwaves.oram_overhead
+        );
+        assert!(
+            bwaves.obfus_overhead < 60.0,
+            "bwaves ObfusMem {}",
+            bwaves.obfus_overhead
+        );
         assert!(bwaves.speedup > 3.0, "bwaves speedup {}", bwaves.speedup);
 
         let astar = table3_row(&by_name("astar").unwrap(), N, 1);
-        assert!(astar.oram_overhead < 120.0, "astar ORAM {}", astar.oram_overhead);
-        assert!(astar.obfus_overhead < 5.0, "astar ObfusMem {}", astar.obfus_overhead);
+        assert!(
+            astar.oram_overhead < 120.0,
+            "astar ORAM {}",
+            astar.oram_overhead
+        );
+        assert!(
+            astar.obfus_overhead < 5.0,
+            "astar ObfusMem {}",
+            astar.obfus_overhead
+        );
         assert!(astar.speedup < bwaves.speedup);
     }
 
@@ -709,7 +772,10 @@ mod tests {
         let spec = by_name("milc").unwrap();
         let rows = {
             let run = |security| {
-                let mut sys = System::new(SystemConfig { security, ..SystemConfig::default() });
+                let mut sys = System::new(SystemConfig {
+                    security,
+                    ..SystemConfig::default()
+                });
                 sys.run(&spec, N, 2)
             };
             let base = run(SecurityLevel::Unprotected);
@@ -738,7 +804,10 @@ mod tests {
         let fixed = &rows[0];
         let original = &rows[1];
         assert_eq!(fixed.dummy_array_writes, 0);
-        assert!(original.dummy_array_writes > 0, "original-address dummies hit the array");
+        assert!(
+            original.dummy_array_writes > 0,
+            "original-address dummies hit the array"
+        );
         assert!(original.max_row_writes >= fixed.max_row_writes);
     }
 
@@ -775,7 +844,10 @@ mod tests {
         let split = &rows[0];
         let subst = &rows[1];
         let uniform = &rows[2];
-        assert!(subst.substituted > 0, "substitution must fire on a write-heavy workload");
+        assert!(
+            subst.substituted > 0,
+            "substitution must fire on a write-heavy workload"
+        );
         assert!(split.substituted == 0 && uniform.substituted == 0);
         assert!(
             subst.bus_busy_ps < split.bus_busy_ps && subst.bus_busy_ps < uniform.bus_busy_ps,
@@ -791,8 +863,16 @@ mod tests {
         let rows = ablation_mapping(N, 9);
         let coarse = &rows[0]; // RoRaBaChCo
         let fine = &rows[1]; // RoBaRaCoCh
-        assert!(fine.channel_step_leak > 0.9, "fine interleave leaks: {}", fine.channel_step_leak);
-        assert!(coarse.channel_step_leak < 0.2, "coarse hides steps: {}", coarse.channel_step_leak);
+        assert!(
+            fine.channel_step_leak > 0.9,
+            "fine interleave leaks: {}",
+            fine.channel_step_leak
+        );
+        assert!(
+            coarse.channel_step_leak < 0.2,
+            "coarse hides steps: {}",
+            coarse.channel_step_leak
+        );
     }
 
     #[test]

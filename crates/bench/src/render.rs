@@ -2,8 +2,8 @@
 //! published numbers.
 
 use crate::experiments::{
-    DummyPolicyRow, EnergyReport, Fig4Row, Fig5Point, MacSchemeRow, StashRow, Table1Row,
-    Table3Row, PAPER_FIG4_AVG,
+    DummyPolicyRow, EnergyReport, Fig4Row, Fig5Point, MacSchemeRow, StashRow, Table1Row, Table3Row,
+    PAPER_FIG4_AVG,
 };
 use obfusmem_sec::table4::SchemeColumn;
 
@@ -37,13 +37,7 @@ pub fn table3(rows: &[Table3Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<12} {:>9.1}% {:>9.1}% | {:>8.1}% {:>8.1}% | {:>7.1}x {:>7.1}x\n",
-            r.name,
-            r.oram_overhead,
-            r.paper.0,
-            r.obfus_overhead,
-            r.paper.1,
-            r.speedup,
-            r.paper.2
+            r.name, r.oram_overhead, r.paper.0, r.obfus_overhead, r.paper.1, r.speedup, r.paper.2
         ));
         so += r.oram_overhead;
         sb += r.obfus_overhead;
@@ -103,7 +97,9 @@ pub fn fig5(points: &[Fig5Point]) -> String {
             p.overhead
         ));
     }
-    out.push_str("(paper peaks at 8 channels: UNOPT 18.8%/16.3%, OPT 13.2%/10.1% with/without auth)\n");
+    out.push_str(
+        "(paper peaks at 8 channels: UNOPT 18.8%/16.3%, OPT 13.2%/10.1% with/without auth)\n",
+    );
     out
 }
 
@@ -146,16 +142,36 @@ pub fn table4(oram: &SchemeColumn, obfus: &SchemeColumn) -> String {
          {:<24} {:>11.0}% {:>11.0}%\n\
          {:<24} {:>11.1}x {:>11.1}x\n\
          {:<24} {:>12} {:>12}\n",
-        "aspect", oram.name, obfus.name,
-        "spatial pattern", oram.spatial.to_string(), obfus.spatial.to_string(),
-        "temporal pattern", oram.temporal.to_string(), obfus.temporal.to_string(),
-        "read vs write", oram.read_write.to_string(), obfus.read_write.to_string(),
-        "memory footprint", oram.footprint.to_string(), obfus.footprint.to_string(),
-        "command auth", b(oram.command_auth), b(obfus.command_auth),
-        "TCB", oram.tcb, obfus.tcb,
-        "storage overhead", oram.storage_overhead * 100.0, obfus.storage_overhead * 100.0,
-        "write amplification", oram.write_amplification, obfus.write_amplification,
-        "deadlock possible", b(oram.deadlock_possible), b(obfus.deadlock_possible),
+        "aspect",
+        oram.name,
+        obfus.name,
+        "spatial pattern",
+        oram.spatial.to_string(),
+        obfus.spatial.to_string(),
+        "temporal pattern",
+        oram.temporal.to_string(),
+        obfus.temporal.to_string(),
+        "read vs write",
+        oram.read_write.to_string(),
+        obfus.read_write.to_string(),
+        "memory footprint",
+        oram.footprint.to_string(),
+        obfus.footprint.to_string(),
+        "command auth",
+        b(oram.command_auth),
+        b(obfus.command_auth),
+        "TCB",
+        oram.tcb,
+        obfus.tcb,
+        "storage overhead",
+        oram.storage_overhead * 100.0,
+        obfus.storage_overhead * 100.0,
+        "write amplification",
+        oram.write_amplification,
+        obfus.write_amplification,
+        "deadlock possible",
+        b(oram.deadlock_possible),
+        b(obfus.deadlock_possible),
     )
 }
 
@@ -184,7 +200,11 @@ pub fn ablation_mac(rows: &[MacSchemeRow]) -> String {
     let mut out = String::new();
     out.push_str("Ablation (3.5): MAC scheme on mcf\n");
     for r in rows {
-        out.push_str(&format!("{:<18} {:>9.1}%\n", format!("{:?}", r.scheme), r.overhead));
+        out.push_str(&format!(
+            "{:<18} {:>9.1}%\n",
+            format!("{:?}", r.scheme),
+            r.overhead
+        ));
     }
     out
 }
@@ -194,7 +214,11 @@ pub fn ablation_pairing(rows: &[crate::experiments::PairingRow]) -> String {
     let mut out = String::new();
     out.push_str("Ablation (3.3): request/dummy pairing order on milc\n");
     for r in rows {
-        out.push_str(&format!("{:<16} {:>9.1}%\n", format!("{:?}", r.pairing), r.overhead));
+        out.push_str(&format!(
+            "{:<16} {:>9.1}%\n",
+            format!("{:?}", r.pairing),
+            r.overhead
+        ));
     }
     out
 }
@@ -202,12 +226,16 @@ pub fn ablation_pairing(rows: &[crate::experiments::PairingRow]) -> String {
 /// Renders the detailed-ORAM latency validation.
 pub fn oram_detailed(rows: &[crate::experiments::DetailedOramRow]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Detailed ORAM on the Table 2 PCM device (paper assumes a fixed 2500 ns)\n",
-    );
-    out.push_str(&format!("{:<8} {:>12} {:>14}\n", "levels", "path blocks", "measured ns"));
+    out.push_str("Detailed ORAM on the Table 2 PCM device (paper assumes a fixed 2500 ns)\n");
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>14}\n",
+        "levels", "path blocks", "measured ns"
+    ));
     for r in rows {
-        out.push_str(&format!("{:<8} {:>12} {:>14.0}\n", r.levels, r.path_blocks, r.mean_ns));
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>14.0}\n",
+            r.levels, r.path_blocks, r.mean_ns
+        ));
     }
     out.push_str("(the L=24 paper configuration, 100 blocks/path, extrapolates this line)\n");
     out
@@ -255,11 +283,12 @@ pub fn ablation_mapping(rows: &[crate::experiments::MappingRow]) -> String {
 /// Renders the ORAM-variant comparison.
 pub fn oram_variants(rows: &[crate::experiments::OramVariantRow]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "ORAM variants: bandwidth amplification (paper cites 24x Ring / 120x Path)\n",
-    );
+    out.push_str("ORAM variants: bandwidth amplification (paper cites 24x Ring / 120x Path)\n");
     for r in rows {
-        out.push_str(&format!("{:<34} {:>8.0}x\n", r.name, r.bandwidth_amplification));
+        out.push_str(&format!(
+            "{:<34} {:>8.0}x\n",
+            r.name, r.bandwidth_amplification
+        ));
     }
     out
 }

@@ -74,7 +74,12 @@ impl Cache {
     /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
-        Cache { cfg, sets: vec![Vec::new(); cfg.sets()], clock: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets()],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache's configuration.
@@ -111,7 +116,10 @@ impl Cache {
             if op == CacheOp::Write {
                 line.dirty = true;
             }
-            return CacheOutcome { hit: true, writeback: None };
+            return CacheOutcome {
+                hit: true,
+                writeback: None,
+            };
         }
 
         self.stats.misses.incr();
@@ -130,8 +138,15 @@ impl Cache {
                 self.stats.writebacks.incr();
             }
         }
-        set.push(Line { tag, dirty: op == CacheOp::Write, lru: clock });
-        CacheOutcome { hit: false, writeback }
+        set.push(Line {
+            tag,
+            dirty: op == CacheOp::Write,
+            lru: clock,
+        });
+        CacheOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// True if `addr`'s block is currently cached (no LRU update).
@@ -165,10 +180,16 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 64 B = 256 B.
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, block_bytes: 64, latency_cycles: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            block_bytes: 64,
+            latency_cycles: 1,
+        })
     }
 
     #[test]
@@ -176,8 +197,14 @@ mod tests {
         let mut c = tiny();
         assert!(!c.access(0x0, CacheOp::Read).hit);
         assert!(c.access(0x0, CacheOp::Read).hit);
-        assert!(c.access(0x3F, CacheOp::Read).hit, "same block, different offset");
-        assert!(!c.access(0x40, CacheOp::Read).hit, "next block is a different set/line");
+        assert!(
+            c.access(0x3F, CacheOp::Read).hit,
+            "same block, different offset"
+        );
+        assert!(
+            !c.access(0x40, CacheOp::Read).hit,
+            "next block is a different set/line"
+        );
     }
 
     #[test]

@@ -16,22 +16,42 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table 2 L1: private, 2 cycles, 32 KB, 8-way, 64 B blocks.
     pub fn l1() -> Self {
-        CacheConfig { size_bytes: 32 << 10, ways: 8, block_bytes: 64, latency_cycles: 2 }
+        CacheConfig {
+            size_bytes: 32 << 10,
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 2,
+        }
     }
 
     /// Table 2 L2: private, 8 cycles, 512 KB, 8-way, 64 B blocks.
     pub fn l2() -> Self {
-        CacheConfig { size_bytes: 512 << 10, ways: 8, block_bytes: 64, latency_cycles: 8 }
+        CacheConfig {
+            size_bytes: 512 << 10,
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 8,
+        }
     }
 
     /// Table 2 L3: shared, 17 cycles, 8 MB, 8-way, 64 B blocks.
     pub fn l3() -> Self {
-        CacheConfig { size_bytes: 8 << 20, ways: 8, block_bytes: 64, latency_cycles: 17 }
+        CacheConfig {
+            size_bytes: 8 << 20,
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 17,
+        }
     }
 
     /// Table 2 counter cache: 5 cycles, 256 KB, 8-way, 64 B blocks.
     pub fn counter_cache() -> Self {
-        CacheConfig { size_bytes: 256 << 10, ways: 8, block_bytes: 64, latency_cycles: 5 }
+        CacheConfig {
+            size_bytes: 256 << 10,
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 5,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -47,12 +67,19 @@ impl CacheConfig {
     /// an exact multiple of `ways × block`.
     pub fn validate(&self) {
         assert!(self.ways > 0, "cache must have at least one way");
-        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
         assert!(
-            self.size_bytes % (self.ways as u64 * self.block_bytes) == 0,
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(
+            self.size_bytes
+                .is_multiple_of(self.ways as u64 * self.block_bytes),
             "capacity must divide evenly into sets"
         );
-        assert!(self.sets() >= 1 && self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.sets() >= 1 && self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 }
 
@@ -93,7 +120,12 @@ mod tests {
 
     #[test]
     fn table2_geometries_validate() {
-        for cfg in [CacheConfig::l1(), CacheConfig::l2(), CacheConfig::l3(), CacheConfig::counter_cache()] {
+        for cfg in [
+            CacheConfig::l1(),
+            CacheConfig::l2(),
+            CacheConfig::l3(),
+            CacheConfig::counter_cache(),
+        ] {
             cfg.validate();
         }
     }
@@ -109,6 +141,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_geometry() {
-        CacheConfig { size_bytes: 3000, ways: 3, block_bytes: 60, latency_cycles: 1 }.validate();
+        CacheConfig {
+            size_bytes: 3000,
+            ways: 3,
+            block_bytes: 60,
+            latency_cycles: 1,
+        }
+        .validate();
     }
 }

@@ -56,7 +56,10 @@ impl Directory {
     /// Panics if `cores` is zero.
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "directory needs at least one core");
-        Directory { cores, states: HashMap::new() }
+        Directory {
+            cores,
+            states: HashMap::new(),
+        }
     }
 
     /// Current state of `block` at `core`.
@@ -66,7 +69,9 @@ impl Directory {
 
     fn entry(&mut self, block: u64) -> &mut Vec<Mesi> {
         let cores = self.cores;
-        self.states.entry(block).or_insert_with(|| vec![Mesi::Invalid; cores])
+        self.states
+            .entry(block)
+            .or_insert_with(|| vec![Mesi::Invalid; cores])
     }
 
     /// Core `core` reads `block`. Returns the coherence messages required.
@@ -102,7 +107,11 @@ impl Directory {
                 Mesi::Invalid => {}
             }
         }
-        states[core] = if any_other { Mesi::Shared } else { Mesi::Exclusive };
+        states[core] = if any_other {
+            Mesi::Shared
+        } else {
+            Mesi::Exclusive
+        };
         msgs
     }
 
@@ -153,8 +162,10 @@ impl Directory {
     /// and M/E never coexists with other valid copies.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (&block, states) in &self.states {
-            let owners =
-                states.iter().filter(|&&s| s == Mesi::Modified || s == Mesi::Exclusive).count();
+            let owners = states
+                .iter()
+                .filter(|&&s| s == Mesi::Modified || s == Mesi::Exclusive)
+                .count();
             let valid = states.iter().filter(|&&s| s != Mesi::Invalid).count();
             if owners > 1 {
                 return Err(format!("block {block:#x}: {owners} exclusive owners"));
@@ -170,6 +181,7 @@ impl Directory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn first_read_is_exclusive() {

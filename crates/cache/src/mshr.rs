@@ -31,7 +31,12 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile { capacity, entries: Vec::new(), merged: 0, stalls: 0 }
+        MshrFile {
+            capacity,
+            entries: Vec::new(),
+            merged: 0,
+            stalls: 0,
+        }
     }
 
     /// Retires every entry that completed at or before `now`.
@@ -59,7 +64,10 @@ impl MshrFile {
             return now;
         }
         if self.entries.len() < self.capacity {
-            self.entries.push(Entry { block, completes_at });
+            self.entries.push(Entry {
+                block,
+                completes_at,
+            });
             return now;
         }
         // Full: stall until the oldest completes.
@@ -71,7 +79,10 @@ impl MshrFile {
             .min()
             .expect("full MSHR file has entries");
         self.retire_completed(oldest);
-        self.entries.push(Entry { block, completes_at });
+        self.entries.push(Entry {
+            block,
+            completes_at,
+        });
         oldest
     }
 
@@ -113,7 +124,11 @@ mod tests {
         m.allocate(t(0), 0x40, t(50));
         m.allocate(t(0), 0x80, t(100));
         let resume = m.allocate(t(1), 0xC0, t(120));
-        assert_eq!(resume, t(50), "stall must end when the oldest miss completes");
+        assert_eq!(
+            resume,
+            t(50),
+            "stall must end when the oldest miss completes"
+        );
         assert_eq!(m.pressure_stats().1, 1);
     }
 

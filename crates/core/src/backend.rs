@@ -111,8 +111,7 @@ impl ObfusMemBackend {
     ) -> Self {
         assert_eq!(keys.len(), mem_cfg.channels, "one session key per channel");
         let mut rng = SplitMix64::new(seed);
-        let proc =
-            ProcessorEngine::new(cfg, SessionKeyTable::new(keys.clone()), rng.next_u64());
+        let proc = ProcessorEngine::new(cfg, SessionKeyTable::new(keys.clone()), rng.next_u64());
         let mem_engines = keys
             .iter()
             .map(|&(k, n)| MemoryEngine::new(cfg, ChannelSession::new(k, n), rng.next_u64()))
@@ -245,8 +244,10 @@ impl ObfusMemBackend {
             at + COUNTER_CACHE_HIT
         } else {
             self.stats.counter_misses += 1;
-            let fetched =
-                self.mem.access(at, lookup.counter_block_addr, AccessKind::Read).complete_at;
+            let fetched = self
+                .mem
+                .access(at, lookup.counter_block_addr, AccessKind::Read)
+                .complete_at;
             fetched + self.cfg.latencies.aes_fill
         }
     }
@@ -272,8 +273,9 @@ impl ObfusMemBackend {
     /// droppable fixed-address kind. Each pair costs its wire bytes on the
     /// target channel (read packet + write packet + random-data reply).
     fn inject_channels(&mut self, at: Time, real_channel: usize) {
-        let idle: Vec<bool> =
-            (0..self.mem.config().channels).map(|c| self.mem.channel_idle_at(c, at)).collect();
+        let idle: Vec<bool> = (0..self.mem.config().channels)
+            .map(|c| self.mem.channel_idle_at(c, at))
+            .collect();
         let plan = self.chan_obf.plan(real_channel, &idle);
         for ch in plan.inject {
             self.stats.channel_dummies += 1;
@@ -288,7 +290,10 @@ impl ObfusMemBackend {
     }
 
     fn record_injected_dummy(&mut self, at: Time, channel: usize) {
-        let header = RequestHeader { kind: AccessKind::Read, addr: FIXED_DUMMY_ADDR };
+        let header = RequestHeader {
+            kind: AccessKind::Read,
+            addr: FIXED_DUMMY_ADDR,
+        };
         let mut pair = self
             .proc
             .obfuscate(at, channel, header, None)
@@ -296,14 +301,22 @@ impl ObfusMemBackend {
         let (_, _) = self.mem_engines[channel]
             .receive_pair(&pair.real, &pair.dummy)
             .expect("engines synchronized");
-        let truth = GroundTruth { real: false, kind: AccessKind::Read, addr: FIXED_DUMMY_ADDR };
+        let truth = GroundTruth {
+            real: false,
+            kind: AccessKind::Read,
+            addr: FIXED_DUMMY_ADDR,
+        };
         self.record(BusEvent {
             at,
             channel,
             direction: Direction::ToMemory,
             packet: std::mem::replace(
                 &mut pair.real,
-                BusPacket { header_ct: [0; 16], data_ct: None, tag: None },
+                BusPacket {
+                    header_ct: [0; 16],
+                    data_ct: None,
+                    tag: None,
+                },
             ),
             truth,
         });
@@ -312,12 +325,22 @@ impl ObfusMemBackend {
             channel,
             direction: Direction::ToMemory,
             packet: pair.dummy.clone(),
-            truth: GroundTruth { real: false, kind: AccessKind::Write, addr: FIXED_DUMMY_ADDR },
+            truth: GroundTruth {
+                real: false,
+                kind: AccessKind::Write,
+                addr: FIXED_DUMMY_ADDR,
+            },
         });
     }
 
     /// Plaintext-bus trace events for the unprotected/encrypt-only levels.
-    fn record_plain(&mut self, at: Time, channel: usize, header: RequestHeader, data: Option<BlockData>) {
+    fn record_plain(
+        &mut self,
+        at: Time,
+        channel: usize,
+        header: RequestHeader,
+        data: Option<BlockData>,
+    ) {
         if self.trace.is_none() {
             return;
         }
@@ -331,15 +354,25 @@ impl ObfusMemBackend {
             channel,
             direction: Direction::ToMemory,
             packet,
-            truth: GroundTruth { real: true, kind: header.kind, addr: header.addr },
+            truth: GroundTruth {
+                real: true,
+                kind: header.kind,
+                addr: header.addr,
+            },
         });
     }
 
     fn obfuscated_read(&mut self, at: Time, addr: BlockAddr) -> Time {
         let channel = self.mem.decode(addr.as_u64()).channel;
-        let header = RequestHeader { kind: AccessKind::Read, addr: addr.as_u64() };
+        let header = RequestHeader {
+            kind: AccessKind::Read,
+            addr: addr.as_u64(),
+        };
 
-        let pair = self.proc.obfuscate(at, channel, header, None).expect("valid channel");
+        let pair = self
+            .proc
+            .obfuscate(at, channel, header, None)
+            .expect("valid channel");
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
@@ -355,7 +388,11 @@ impl ObfusMemBackend {
         let reply_wire = reply.wire_bytes() as u64;
         let bus_data = self
             .proc
-            .decrypt_reply(channel, pair.base_counter, &reply.data_ct.expect("reply has data"))
+            .decrypt_reply(
+                channel,
+                pair.base_counter,
+                &reply.data_ct.expect("reply has data"),
+            )
             .expect("valid channel");
         debug_assert_eq!(bus_data, at_rest, "bus round trip must be lossless");
         let _plaintext = self.memenc.decrypt_block(addr.as_u64(), &bus_data);
@@ -368,7 +405,11 @@ impl ObfusMemBackend {
 
         if self.trace.is_some() {
             // Events are stamped with the wire time (what probes observe).
-            let truth = GroundTruth { real: true, kind: AccessKind::Read, addr: addr.as_u64() };
+            let truth = GroundTruth {
+                real: true,
+                kind: AccessKind::Read,
+                addr: addr.as_u64(),
+            };
             self.record(BusEvent {
                 at: send_at,
                 channel,
@@ -438,7 +479,8 @@ impl ObfusMemBackend {
         self.inject_channels(request_at, channel);
         let reply_overhead = reply_wire.saturating_sub(64);
         let reply_done = if reply_overhead > 0 {
-            self.mem.bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
+            self.mem
+                .bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
         } else {
             array.complete_at
         };
@@ -455,9 +497,14 @@ impl ObfusMemBackend {
         // The bump dirties the counter block (write-op lookup).
         let _ = self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
 
-        let header = RequestHeader { kind: AccessKind::Write, addr: addr.as_u64() };
-        let pair =
-            self.proc.obfuscate(at, channel, header, Some(&at_rest)).expect("valid channel");
+        let header = RequestHeader {
+            kind: AccessKind::Write,
+            addr: addr.as_u64(),
+        };
+        let pair = self
+            .proc
+            .obfuscate(at, channel, header, Some(&at_rest))
+            .expect("valid channel");
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
@@ -475,7 +522,11 @@ impl ObfusMemBackend {
             // precedes the real write, so packet order carries no
             // information about which half is real. Events are stamped
             // with the wire time.
-            let truth = GroundTruth { real: true, kind: AccessKind::Write, addr: addr.as_u64() };
+            let truth = GroundTruth {
+                real: true,
+                kind: AccessKind::Write,
+                addr: addr.as_u64(),
+            };
             self.record(BusEvent {
                 at: send_at,
                 channel,
@@ -498,13 +549,17 @@ impl ObfusMemBackend {
         // Write wire order (§3.3): the dummy read precedes the real write;
         // both cross the request lane before the write is serviced.
         let wire = (pair.real.wire_bytes() + pair.dummy.wire_bytes()) as u64;
-        let arrived = self.mem.bus_transfer_bytes(send_at, channel, wire, Lane::Request);
+        let arrived = self
+            .mem
+            .bus_transfer_bytes(send_at, channel, wire, Lane::Request);
         let request_at = arrived + mem_lat;
-        self.mem.access(request_at, addr.as_u64(), AccessKind::Write);
+        self.mem
+            .access(request_at, addr.as_u64(), AccessKind::Write);
         self.service_paired_dummy(request_at, &pair.dummy_header);
         self.inject_channels(request_at, channel);
         // The paired dummy read's random-data reply rides the response lane.
-        self.mem.bus_transfer_bytes(request_at, channel, 72, Lane::Response);
+        self.mem
+            .bus_transfer_bytes(request_at, channel, 72, Lane::Response);
     }
 }
 
@@ -513,8 +568,14 @@ impl ObfusMemBackend {
     /// write-back (§3.3): no dummy bandwidth, and the write drains early.
     fn substituted_read(&mut self, at: Time, addr: BlockAddr, wb: BlockAddr) -> Time {
         let channel = self.mem.decode(addr.as_u64()).channel;
-        let read_header = RequestHeader { kind: AccessKind::Read, addr: addr.as_u64() };
-        let write_header = RequestHeader { kind: AccessKind::Write, addr: wb.as_u64() };
+        let read_header = RequestHeader {
+            kind: AccessKind::Read,
+            addr: addr.as_u64(),
+        };
+        let write_header = RequestHeader {
+            kind: AccessKind::Write,
+            addr: wb.as_u64(),
+        };
 
         // Memory-encrypt the write-back now (its counter bumps here).
         let plaintext = synth_block(&mut self.rng);
@@ -538,19 +599,28 @@ impl ObfusMemBackend {
         debug_assert_eq!(decoded.header, read_header);
         let companion = companion.expect("substituted write must surface");
         debug_assert_eq!(companion.header, write_header);
-        self.mem.write_block(wb, companion.data.expect("write carries data"));
+        self.mem
+            .write_block(wb, companion.data.expect("write carries data"));
         let at_rest = self.mem.read_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
         let bus_data = self
             .proc
-            .decrypt_reply(channel, pair.base_counter, &reply.data_ct.expect("reply has data"))
+            .decrypt_reply(
+                channel,
+                pair.base_counter,
+                &reply.data_ct.expect("reply has data"),
+            )
             .expect("valid channel");
         debug_assert_eq!(bus_data, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat);
         if self.trace.is_some() {
-            let read_truth = GroundTruth { real: true, kind: AccessKind::Read, addr: addr.as_u64() };
+            let read_truth = GroundTruth {
+                real: true,
+                kind: AccessKind::Read,
+                addr: addr.as_u64(),
+            };
             self.record(BusEvent {
                 at: send_at,
                 channel,
@@ -563,7 +633,11 @@ impl ObfusMemBackend {
                 channel,
                 direction: Direction::ToMemory,
                 packet: pair.dummy.clone(),
-                truth: GroundTruth { real: true, kind: AccessKind::Write, addr: wb.as_u64() },
+                truth: GroundTruth {
+                    real: true,
+                    kind: AccessKind::Write,
+                    addr: wb.as_u64(),
+                },
             });
             self.record(BusEvent {
                 at: send_at,
@@ -590,11 +664,13 @@ impl ObfusMemBackend {
         );
         let request_at = read_arrived + mem_lat;
         let array = self.mem.access(request_at, addr.as_u64(), AccessKind::Read);
-        self.mem.access(write_arrived + mem_lat, wb.as_u64(), AccessKind::Write);
+        self.mem
+            .access(write_arrived + mem_lat, wb.as_u64(), AccessKind::Write);
         self.inject_channels(request_at, channel);
         let reply_overhead = reply_wire.saturating_sub(64);
         let reply_done = if reply_overhead > 0 {
-            self.mem.bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
+            self.mem
+                .bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
         } else {
             array.complete_at
         };
@@ -606,27 +682,42 @@ impl ObfusMemBackend {
     /// out (random filler attached), one data reply back.
     fn uniform_read(&mut self, at: Time, addr: BlockAddr) -> Time {
         let channel = self.mem.decode(addr.as_u64()).channel;
-        let header = RequestHeader { kind: AccessKind::Read, addr: addr.as_u64() };
-        let pair = self.proc.obfuscate_uniform(at, channel, header, None).expect("valid channel");
+        let header = RequestHeader {
+            kind: AccessKind::Read,
+            addr: addr.as_u64(),
+        };
+        let pair = self
+            .proc
+            .obfuscate_uniform(at, channel, header, None)
+            .expect("valid channel");
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
 
-        let decoded =
-            self.mem_engines[channel].receive_uniform(&pair.real).expect("engines synchronized");
+        let decoded = self.mem_engines[channel]
+            .receive_uniform(&pair.real)
+            .expect("engines synchronized");
         debug_assert_eq!(decoded.header, header);
         let at_rest = self.mem.read_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
         let bus_data = self
             .proc
-            .decrypt_reply(channel, pair.base_counter, &reply.data_ct.expect("reply has data"))
+            .decrypt_reply(
+                channel,
+                pair.base_counter,
+                &reply.data_ct.expect("reply has data"),
+            )
             .expect("valid channel");
         debug_assert_eq!(bus_data, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat);
         if self.trace.is_some() {
-            let truth = GroundTruth { real: true, kind: AccessKind::Read, addr: addr.as_u64() };
+            let truth = GroundTruth {
+                real: true,
+                kind: AccessKind::Read,
+                addr: addr.as_u64(),
+            };
             self.record(BusEvent {
                 at: send_at,
                 channel,
@@ -654,7 +745,8 @@ impl ObfusMemBackend {
         self.inject_channels(request_at, channel);
         let reply_overhead = reply_wire.saturating_sub(64);
         let reply_done = if reply_overhead > 0 {
-            self.mem.bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
+            self.mem
+                .bus_transfer_bytes(array.complete_at, channel, reply_overhead, Lane::Response)
         } else {
             array.complete_at
         };
@@ -670,7 +762,10 @@ impl ObfusMemBackend {
         let plaintext = synth_block(&mut self.rng);
         let (at_rest, _) = self.memenc.encrypt_block(addr.as_u64(), &plaintext);
         let _ = self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
-        let header = RequestHeader { kind: AccessKind::Write, addr: addr.as_u64() };
+        let header = RequestHeader {
+            kind: AccessKind::Write,
+            addr: addr.as_u64(),
+        };
         let pair = self
             .proc
             .obfuscate_uniform(at, channel, header, Some(&at_rest))
@@ -679,8 +774,9 @@ impl ObfusMemBackend {
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
 
-        let decoded =
-            self.mem_engines[channel].receive_uniform(&pair.real).expect("engines synchronized");
+        let decoded = self.mem_engines[channel]
+            .receive_uniform(&pair.real)
+            .expect("engines synchronized");
         debug_assert_eq!(decoded.data, Some(at_rest));
         self.mem.write_block(addr, at_rest);
 
@@ -691,7 +787,11 @@ impl ObfusMemBackend {
                 channel,
                 direction: Direction::ToMemory,
                 packet: pair.real.clone(),
-                truth: GroundTruth { real: true, kind: AccessKind::Write, addr: addr.as_u64() },
+                truth: GroundTruth {
+                    real: true,
+                    kind: AccessKind::Write,
+                    addr: addr.as_u64(),
+                },
             });
         }
 
@@ -702,10 +802,12 @@ impl ObfusMemBackend {
             Lane::Request,
         );
         let request_at = arrived + mem_lat;
-        self.mem.access(request_at, addr.as_u64(), AccessKind::Write);
+        self.mem
+            .access(request_at, addr.as_u64(), AccessKind::Write);
         self.inject_channels(request_at, channel);
         // Mandatory shape-matching reply for the write.
-        self.mem.bus_transfer_bytes(request_at, channel, 88, Lane::Response);
+        self.mem
+            .bus_transfer_bytes(request_at, channel, 88, Lane::Response);
     }
 }
 
@@ -722,40 +824,50 @@ impl MemoryBackend for ObfusMemBackend {
         self.stats.real_reads += 1;
         match self.cfg.security {
             SecurityLevel::Unprotected => {
-                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
-                    kind: AccessKind::Read,
-                    addr: addr.as_u64(),
-                }, None);
-                self.mem.access(at, addr.as_u64(), AccessKind::Read).complete_at
+                self.record_plain(
+                    at,
+                    self.mem.decode(addr.as_u64()).channel,
+                    RequestHeader {
+                        kind: AccessKind::Read,
+                        addr: addr.as_u64(),
+                    },
+                    None,
+                );
+                self.mem
+                    .access(at, addr.as_u64(), AccessKind::Read)
+                    .complete_at
             }
             SecurityLevel::EncryptOnly => {
-                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
-                    kind: AccessKind::Read,
-                    addr: addr.as_u64(),
-                }, None);
+                self.record_plain(
+                    at,
+                    self.mem.decode(addr.as_u64()).channel,
+                    RequestHeader {
+                        kind: AccessKind::Read,
+                        addr: addr.as_u64(),
+                    },
+                    None,
+                );
                 let array = self.mem.access(at, addr.as_u64(), AccessKind::Read);
                 let counter_done = self.counter_ready(at, addr.as_u64());
                 array.complete_at.max(counter_done) + self.cfg.latencies.xor
             }
-            SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth => {
-                match self.cfg.type_hiding {
-                    TypeHiding::UniformPackets => self.uniform_read(at, addr),
-                    TypeHiding::SplitDummyWithSubstitution => {
-                        let channel = self.mem.decode(addr.as_u64()).channel;
-                        if let Some(pos) = self
-                            .pending_writes
-                            .iter()
-                            .position(|wb| self.mem.decode(wb.as_u64()).channel == channel)
-                        {
-                            let wb = self.pending_writes.remove(pos).expect("position valid");
-                            self.substituted_read(at, addr, wb)
-                        } else {
-                            self.obfuscated_read(at, addr)
-                        }
+            SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth => match self.cfg.type_hiding {
+                TypeHiding::UniformPackets => self.uniform_read(at, addr),
+                TypeHiding::SplitDummyWithSubstitution => {
+                    let channel = self.mem.decode(addr.as_u64()).channel;
+                    if let Some(pos) = self
+                        .pending_writes
+                        .iter()
+                        .position(|wb| self.mem.decode(wb.as_u64()).channel == channel)
+                    {
+                        let wb = self.pending_writes.remove(pos).expect("position valid");
+                        self.substituted_read(at, addr, wb)
+                    } else {
+                        self.obfuscated_read(at, addr)
                     }
-                    TypeHiding::SplitDummy => self.obfuscated_read(at, addr),
                 }
-            }
+                TypeHiding::SplitDummy => self.obfuscated_read(at, addr),
+            },
         }
     }
 
@@ -763,24 +875,31 @@ impl MemoryBackend for ObfusMemBackend {
         self.stats.real_writes += 1;
         match self.cfg.security {
             SecurityLevel::Unprotected => {
-                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
-                    kind: AccessKind::Write,
-                    addr: addr.as_u64(),
-                }, Some(self.mem.read_block(addr)));
+                self.record_plain(
+                    at,
+                    self.mem.decode(addr.as_u64()).channel,
+                    RequestHeader {
+                        kind: AccessKind::Write,
+                        addr: addr.as_u64(),
+                    },
+                    Some(self.mem.read_block(addr)),
+                );
                 self.mem.access(at, addr.as_u64(), AccessKind::Write);
             }
             SecurityLevel::EncryptOnly => {
                 let plaintext = synth_block(&mut self.rng);
                 let (at_rest, _) = self.memenc.encrypt_block(addr.as_u64(), &plaintext);
-                self.record_plain(at, self.mem.decode(addr.as_u64()).channel, RequestHeader {
-                    kind: AccessKind::Write,
-                    addr: addr.as_u64(),
-                }, Some(at_rest));
-                let _ = self.counter_ready_op(
+                self.record_plain(
                     at,
-                    addr.as_u64(),
-                    obfusmem_cache::cache::CacheOp::Write,
+                    self.mem.decode(addr.as_u64()).channel,
+                    RequestHeader {
+                        kind: AccessKind::Write,
+                        addr: addr.as_u64(),
+                    },
+                    Some(at_rest),
                 );
+                let _ =
+                    self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
                 self.mem.write_block(addr, at_rest);
                 self.mem.access(at, addr.as_u64(), AccessKind::Write);
             }
@@ -801,7 +920,11 @@ impl MemoryBackend for ObfusMemBackend {
     }
 
     fn label(&self) -> String {
-        format!("{} ({:?} channels)", self.cfg.security, self.mem.config().channels)
+        format!(
+            "{} ({:?} channels)",
+            self.cfg.security,
+            self.mem.config().channels
+        )
     }
 }
 
@@ -810,7 +933,10 @@ mod tests {
     use super::*;
 
     fn backend(security: SecurityLevel) -> ObfusMemBackend {
-        let cfg = ObfusMemConfig { security, ..ObfusMemConfig::paper_default() };
+        let cfg = ObfusMemConfig {
+            security,
+            ..ObfusMemConfig::paper_default()
+        };
         ObfusMemBackend::new(cfg, MemConfig::table2(), 42)
     }
 
@@ -865,7 +991,11 @@ mod tests {
         for i in 0..100u64 {
             t = b.read(t, BlockAddr::containing(i * 64));
         }
-        assert_eq!(b.memory().wear().total_writes(), 0, "fixed dummies must be dropped");
+        assert_eq!(
+            b.memory().wear().total_writes(),
+            0,
+            "fixed dummies must be dropped"
+        );
         assert_eq!(b.stats().paired_dummies, 100);
         assert_eq!(b.stats().dummy_array_writes, 0);
     }
@@ -882,7 +1012,10 @@ mod tests {
             t = b.read(t, BlockAddr::containing(i * (1 << 24)));
         }
         assert!(b.stats().dummy_array_writes > 0);
-        assert!(b.memory().wear().total_writes() > 0, "original-address dummies hit cells");
+        assert!(
+            b.memory().wear().total_writes() > 0,
+            "original-address dummies hit cells"
+        );
     }
 
     #[test]
@@ -924,7 +1057,10 @@ mod tests {
     #[test]
     fn unopt_injects_more_than_opt() {
         let mut counts = Vec::new();
-        for strategy in [crate::config::ChannelStrategy::Unopt, crate::config::ChannelStrategy::Opt] {
+        for strategy in [
+            crate::config::ChannelStrategy::Unopt,
+            crate::config::ChannelStrategy::Opt,
+        ] {
             let cfg = ObfusMemConfig {
                 channel_strategy: strategy,
                 ..ObfusMemConfig::paper_default()
@@ -937,7 +1073,12 @@ mod tests {
             }
             counts.push(b.stats().channel_dummies);
         }
-        assert!(counts[0] > counts[1], "UNOPT {} !> OPT {}", counts[0], counts[1]);
+        assert!(
+            counts[0] > counts[1],
+            "UNOPT {} !> OPT {}",
+            counts[0],
+            counts[1]
+        );
     }
 
     #[test]
@@ -964,7 +1105,11 @@ mod tests {
             b.write(t, BlockAddr::containing(0x10_0000 + i * 64)); // parked
             t = b.read(t, BlockAddr::containing(i * 64)); // picks one up
         }
-        assert!(b.stats().substituted_pairs >= 15, "got {}", b.stats().substituted_pairs);
+        assert!(
+            b.stats().substituted_pairs >= 15,
+            "got {}",
+            b.stats().substituted_pairs
+        );
         // Substituted pairs generate no dummy at all on their slot.
         assert!(
             b.stats().paired_dummies < 5,
@@ -972,7 +1117,10 @@ mod tests {
             b.stats().paired_dummies
         );
         // Functional store must contain the parked writes that rode along.
-        assert_ne!(b.memory().read_block(BlockAddr::containing(0x10_0000)), [0u8; 64]);
+        assert_ne!(
+            b.memory().read_block(BlockAddr::containing(0x10_0000)),
+            [0u8; 64]
+        );
     }
 
     #[test]
@@ -1005,8 +1153,10 @@ mod tests {
             t = b.read(t, BlockAddr::containing(i * 64));
         }
         let trace = b.take_trace();
-        let to_mem: Vec<_> =
-            trace.iter().filter(|e| e.direction == Direction::ToMemory).collect();
+        let to_mem: Vec<_> = trace
+            .iter()
+            .filter(|e| e.direction == Direction::ToMemory)
+            .collect();
         assert_eq!(to_mem.len(), 20, "one packet per request, no dummies");
         assert!(
             to_mem.iter().all(|e| e.packet.data_ct.is_some()),
@@ -1022,7 +1172,10 @@ mod tests {
         // The §3.3 bandwidth argument: under a read+write mix, the split
         // scheme with substitution moves fewer bytes than uniform packets.
         let run = |type_hiding| {
-            let cfg = ObfusMemConfig { type_hiding, ..ObfusMemConfig::paper_default() };
+            let cfg = ObfusMemConfig {
+                type_hiding,
+                ..ObfusMemConfig::paper_default()
+            };
             let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 11);
             let mut t = Time::ZERO;
             for i in 0..200u64 {
@@ -1106,6 +1259,9 @@ mod tests {
         let mut then_mac = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
         let a = and_mac.read(Time::ZERO, addr);
         let b = then_mac.read(Time::ZERO, addr);
-        assert!(b > a, "encrypt-then-MAC must serialize MAC latency (Observation 4)");
+        assert!(
+            b > a,
+            "encrypt-then-MAC must serialize MAC latency (Observation 4)"
+        );
     }
 }

@@ -100,20 +100,36 @@ pub struct BusEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn header_round_trips() {
         for kind in [AccessKind::Read, AccessKind::Write] {
-            let h = RequestHeader { kind, addr: 0xDEAD_BEC0 };
+            let h = RequestHeader {
+                kind,
+                addr: 0xDEAD_BEC0,
+            };
             assert_eq!(RequestHeader::from_bytes(&h.to_bytes()), h);
         }
     }
 
     #[test]
     fn wire_size_is_shape_only() {
-        let bare = BusPacket { header_ct: [0; 16], data_ct: None, tag: None };
-        let with_data = BusPacket { header_ct: [0; 16], data_ct: Some([0; 64]), tag: None };
-        let full = BusPacket { header_ct: [0; 16], data_ct: Some([0; 64]), tag: Some([0; 8]) };
+        let bare = BusPacket {
+            header_ct: [0; 16],
+            data_ct: None,
+            tag: None,
+        };
+        let with_data = BusPacket {
+            header_ct: [0; 16],
+            data_ct: Some([0; 64]),
+            tag: None,
+        };
+        let full = BusPacket {
+            header_ct: [0; 16],
+            data_ct: Some([0; 64]),
+            tag: Some([0; 8]),
+        };
         assert_eq!(bare.wire_bytes(), 16);
         assert_eq!(with_data.wire_bytes(), 80);
         assert_eq!(full.wire_bytes(), 88);
@@ -121,7 +137,11 @@ mod tests {
 
     #[test]
     fn header_padding_is_zero() {
-        let h = RequestHeader { kind: AccessKind::Read, addr: 1 }.to_bytes();
+        let h = RequestHeader {
+            kind: AccessKind::Read,
+            addr: 1,
+        }
+        .to_bytes();
         assert!(h[9..].iter().all(|&b| b == 0));
     }
 

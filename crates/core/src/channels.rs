@@ -32,7 +32,11 @@ pub struct ChannelObfuscator {
 impl ChannelObfuscator {
     /// Creates a planner for `strategy`.
     pub fn new(strategy: ChannelStrategy) -> Self {
-        ChannelObfuscator { strategy, injected: 0, suppressed_busy: 0 }
+        ChannelObfuscator {
+            strategy,
+            injected: 0,
+            suppressed_busy: 0,
+        }
     }
 
     /// The active strategy.
@@ -84,6 +88,7 @@ impl ChannelObfuscator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn none_never_injects() {
@@ -119,7 +124,11 @@ mod tests {
 
     #[test]
     fn single_channel_systems_never_inject() {
-        for strategy in [ChannelStrategy::None, ChannelStrategy::Unopt, ChannelStrategy::Opt] {
+        for strategy in [
+            ChannelStrategy::None,
+            ChannelStrategy::Unopt,
+            ChannelStrategy::Opt,
+        ] {
             let mut o = ChannelObfuscator::new(strategy);
             assert!(o.plan(0, &[true]).inject.is_empty());
         }

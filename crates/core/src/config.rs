@@ -26,7 +26,10 @@ pub enum SecurityLevel {
 impl SecurityLevel {
     /// True when bus packets are encrypted (Obfuscate and above).
     pub fn obfuscates(self) -> bool {
-        matches!(self, SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth)
+        matches!(
+            self,
+            SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth
+        )
     }
 
     /// True when bus packets carry MACs.

@@ -53,7 +53,10 @@ struct PageCounters {
 
 impl Default for PageCounters {
     fn default() -> Self {
-        PageCounters { major: 0, minors: [0; BLOCKS_PER_PAGE] }
+        PageCounters {
+            major: 0,
+            minors: [0; BLOCKS_PER_PAGE],
+        }
     }
 }
 
@@ -136,7 +139,9 @@ impl CounterStore {
     /// be a plain 64 B-block cache).
     pub fn page_block(&self, page_id: u64) -> [u8; 64] {
         let mut out = [0u8; 64];
-        let Some(page) = self.pages.get(&page_id) else { return out };
+        let Some(page) = self.pages.get(&page_id) else {
+            return out;
+        };
         out[..8].copy_from_slice(&page.major.to_le_bytes());
         for (i, &minor) in page.minors.iter().enumerate() {
             let bit = i * 7;
@@ -180,6 +185,7 @@ impl CounterStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn fresh_blocks_have_zero_counters() {
@@ -233,13 +239,22 @@ mod tests {
     fn different_blocks_have_different_ivs() {
         let store = CounterStore::new();
         assert_ne!(store.iv_of(0x0).to_bytes(), store.iv_of(0x40).to_bytes());
-        assert_ne!(store.iv_of(0x0).to_bytes(), store.iv_of(PAGE_BYTES).to_bytes());
+        assert_ne!(
+            store.iv_of(0x0).to_bytes(),
+            store.iv_of(PAGE_BYTES).to_bytes()
+        );
     }
 
     #[test]
     fn counter_block_addresses_group_by_page() {
-        assert_eq!(CounterStore::counter_block_addr(0), CounterStore::counter_block_addr(4095));
-        assert_ne!(CounterStore::counter_block_addr(0), CounterStore::counter_block_addr(4096));
+        assert_eq!(
+            CounterStore::counter_block_addr(0),
+            CounterStore::counter_block_addr(4095)
+        );
+        assert_ne!(
+            CounterStore::counter_block_addr(0),
+            CounterStore::counter_block_addr(4096)
+        );
     }
 
     #[test]
@@ -280,7 +295,10 @@ mod tests {
         let new_block = store.page_block(0);
         tree.update(0, &new_block);
         // Attacker writes the stale block back to memory.
-        assert!(tree.verify(0, &old_block).is_err(), "rollback must fail verification");
+        assert!(
+            tree.verify(0, &old_block).is_err(),
+            "rollback must fail verification"
+        );
         tree.verify(0, &new_block).expect("current counters verify");
     }
 

@@ -64,9 +64,21 @@ impl ProcessorEngine {
     pub fn new(cfg: ObfusMemConfig, sessions: SessionKeyTable, seed: u64) -> Self {
         let lat = cfg.latencies;
         let pad_buffers = (0..sessions.channels())
-            .map(|_| PadBuffer::new(lat.pad_buffer, lat.aes_per_pad.as_ps(), lat.aes_fill.as_ps()))
+            .map(|_| {
+                PadBuffer::new(
+                    lat.pad_buffer,
+                    lat.aes_per_pad.as_ps(),
+                    lat.aes_fill.as_ps(),
+                )
+            })
             .collect();
-        ProcessorEngine { cfg, sessions, pad_buffers, rng: SplitMix64::new(seed), dummies_generated: 0 }
+        ProcessorEngine {
+            cfg,
+            sessions,
+            pad_buffers,
+            rng: SplitMix64::new(seed),
+            dummies_generated: 0,
+        }
     }
 
     /// The engine's configuration.
@@ -108,11 +120,12 @@ impl ProcessorEngine {
             header.kind == AccessKind::Write,
             "writes carry data, reads do not"
         );
-        let dummy_header =
-            RequestHeader { kind: header.kind.opposite(), addr: self.dummy_addr_for(&header) };
+        let dummy_header = RequestHeader {
+            kind: header.kind.opposite(),
+            addr: self.dummy_addr_for(&header),
+        };
 
-        let pad_stall_ps =
-            self.pad_buffers[channel].consume(now.as_ps(), PADS_PER_REQUEST);
+        let pad_stall_ps = self.pad_buffers[channel].consume(now.as_ps(), PADS_PER_REQUEST);
         let mac_scheme = self.cfg.mac_scheme;
         let authenticate = self.cfg.security.authenticates();
         let address_mode = self.cfg.address_mode;
@@ -133,7 +146,10 @@ impl ProcessorEngine {
                 // Consume the pads anyway to keep counters synchronized.
                 session.stream_mut().next_pad();
                 session.stream_mut().next_pad();
-                (session.ecb_encrypt(&header.to_bytes()), session.ecb_encrypt(&dummy_header.to_bytes()))
+                (
+                    session.ecb_encrypt(&header.to_bytes()),
+                    session.ecb_encrypt(&dummy_header.to_bytes()),
+                )
             }
         };
 
@@ -167,7 +183,11 @@ impl ProcessorEngine {
         let (real_tag, dummy_tag) = if authenticate {
             match mac_scheme {
                 MacScheme::EncryptAndMac => (
-                    Some(session.mac().command_tag(header.kind.encode(), header.addr, base_counter)),
+                    Some(session.mac().command_tag(
+                        header.kind.encode(),
+                        header.addr,
+                        base_counter,
+                    )),
                     Some(session.mac().command_tag(
                         dummy_header.kind.encode(),
                         dummy_header.addr,
@@ -189,8 +209,16 @@ impl ProcessorEngine {
 
         self.dummies_generated += 1;
         Ok(ObfuscatedPair {
-            real: BusPacket { header_ct: real_hdr_ct, data_ct, tag: real_tag },
-            dummy: BusPacket { header_ct: dummy_hdr_ct, data_ct: dummy_data_ct, tag: dummy_tag },
+            real: BusPacket {
+                header_ct: real_hdr_ct,
+                data_ct,
+                tag: real_tag,
+            },
+            dummy: BusPacket {
+                header_ct: dummy_hdr_ct,
+                data_ct: dummy_data_ct,
+                tag: dummy_tag,
+            },
             dummy_header,
             base_counter,
             pad_stall_ps,
@@ -237,7 +265,11 @@ impl ProcessorEngine {
         let (read_tag, write_tag) = if authenticate {
             match mac_scheme {
                 MacScheme::EncryptAndMac => (
-                    Some(session.mac().command_tag(read.kind.encode(), read.addr, base_counter)),
+                    Some(
+                        session
+                            .mac()
+                            .command_tag(read.kind.encode(), read.addr, base_counter),
+                    ),
                     Some(session.mac().command_tag(
                         write.kind.encode(),
                         write.addr,
@@ -254,8 +286,16 @@ impl ProcessorEngine {
         };
 
         Ok(ObfuscatedPair {
-            real: BusPacket { header_ct: read_ct, data_ct: None, tag: read_tag },
-            dummy: BusPacket { header_ct: write_ct, data_ct: Some(data_ct), tag: write_tag },
+            real: BusPacket {
+                header_ct: read_ct,
+                data_ct: None,
+                tag: read_tag,
+            },
+            dummy: BusPacket {
+                header_ct: write_ct,
+                data_ct: Some(data_ct),
+                tag: write_tag,
+            },
             dummy_header: write,
             base_counter,
             pad_stall_ps,
@@ -304,7 +344,9 @@ impl ProcessorEngine {
         let tag = if authenticate {
             Some(match mac_scheme {
                 MacScheme::EncryptAndMac => {
-                    session.mac().command_tag(header.kind.encode(), header.addr, base_counter)
+                    session
+                        .mac()
+                        .command_tag(header.kind.encode(), header.addr, base_counter)
                 }
                 MacScheme::EncryptThenMac => session.mac().tag(&[&header_ct, &data_ct[..]]),
             })
@@ -314,8 +356,16 @@ impl ProcessorEngine {
 
         self.dummies_generated += 1; // uniform padding counts as dummy bytes
         Ok(ObfuscatedPair {
-            real: BusPacket { header_ct, data_ct: Some(data_ct), tag },
-            dummy: BusPacket { header_ct: [0; 16], data_ct: None, tag: None },
+            real: BusPacket {
+                header_ct,
+                data_ct: Some(data_ct),
+                tag,
+            },
+            dummy: BusPacket {
+                header_ct: [0; 16],
+                data_ct: None,
+                tag: None,
+            },
             dummy_header: header,
             base_counter,
             pad_stall_ps,
@@ -377,7 +427,10 @@ mod tests {
     }
 
     fn read_header() -> RequestHeader {
-        RequestHeader { kind: AccessKind::Read, addr: 0x4_0000 }
+        RequestHeader {
+            kind: AccessKind::Read,
+            addr: 0x4_0000,
+        }
     }
 
     #[test]
@@ -387,13 +440,19 @@ mod tests {
         assert_eq!(pair.dummy_header.kind, AccessKind::Write);
         assert_eq!(pair.dummy_header.addr, FIXED_DUMMY_ADDR);
         assert!(pair.real.data_ct.is_none(), "read request carries no data");
-        assert!(pair.dummy.data_ct.is_some(), "dummy write must look like a write");
+        assert!(
+            pair.dummy.data_ct.is_some(),
+            "dummy write must look like a write"
+        );
     }
 
     #[test]
     fn write_requests_pair_with_dummy_reads() {
         let mut e = engine(ObfusMemConfig::paper_default());
-        let hdr = RequestHeader { kind: AccessKind::Write, addr: 0x8000 };
+        let hdr = RequestHeader {
+            kind: AccessKind::Write,
+            addr: 0x8000,
+        };
         let pair = e.obfuscate(Time::ZERO, 0, hdr, Some(&[1; 64])).unwrap();
         assert_eq!(pair.dummy_header.kind, AccessKind::Read);
         assert!(pair.real.data_ct.is_some());
@@ -405,8 +464,15 @@ mod tests {
         let mut e = engine(ObfusMemConfig::paper_default());
         let a = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
         let b = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
-        assert_ne!(a.real.header_ct, read_header().to_bytes(), "header must not be plaintext");
-        assert_ne!(a.real.header_ct, b.real.header_ct, "same request must encrypt differently");
+        assert_ne!(
+            a.real.header_ct,
+            read_header().to_bytes(),
+            "header must not be plaintext"
+        );
+        assert_ne!(
+            a.real.header_ct, b.real.header_ct,
+            "same request must encrypt differently"
+        );
     }
 
     #[test]
@@ -418,7 +484,10 @@ mod tests {
         let mut e = engine(cfg);
         let a = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
         let b = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
-        assert_eq!(a.real.header_ct, b.real.header_ct, "ECB leaks temporal reuse");
+        assert_eq!(
+            a.real.header_ct, b.real.header_ct,
+            "ECB leaks temporal reuse"
+        );
     }
 
     #[test]
@@ -435,7 +504,10 @@ mod tests {
         let a = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
         let b = e.obfuscate(Time::ZERO, 1, read_header(), None).unwrap();
         assert_eq!(a.base_counter, b.base_counter, "fresh channels start equal");
-        assert_ne!(a.real.header_ct, b.real.header_ct, "different keys, different ciphertext");
+        assert_ne!(
+            a.real.header_ct, b.real.header_ct,
+            "different keys, different ciphertext"
+        );
     }
 
     #[test]
@@ -474,7 +546,11 @@ mod tests {
         let a = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
         let b = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
         assert_ne!(a.dummy_header.addr, b.dummy_header.addr);
-        assert_eq!(a.dummy_header.addr % 64, 0, "dummy addresses stay block-aligned");
+        assert_eq!(
+            a.dummy_header.addr % 64,
+            0,
+            "dummy addresses stay block-aligned"
+        );
     }
 
     #[test]
@@ -487,12 +563,17 @@ mod tests {
         let plaintext = [0x3C; 64];
         let mut reply_ct = plaintext;
         for (i, chunk) in reply_ct.chunks_mut(16).enumerate() {
-            let pad = mem_session.stream().pad_at(pair.base_counter + 2 + i as u64);
+            let pad = mem_session
+                .stream()
+                .pad_at(pair.base_counter + 2 + i as u64);
             for (d, p) in chunk.iter_mut().zip(pad.iter()) {
                 *d ^= p;
             }
         }
-        assert_eq!(e.decrypt_reply(0, pair.base_counter, &reply_ct).unwrap(), plaintext);
+        assert_eq!(
+            e.decrypt_reply(0, pair.base_counter, &reply_ct).unwrap(),
+            plaintext
+        );
     }
 
     #[test]
@@ -504,6 +585,9 @@ mod tests {
             let pair = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
             total_stall += pair.pad_stall_ps;
         }
-        assert!(total_stall > 0, "back-to-back burst must eventually under-run");
+        assert!(
+            total_stall > 0,
+            "back-to-back burst must eventually under-run"
+        );
     }
 }

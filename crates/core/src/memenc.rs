@@ -116,6 +116,7 @@ impl MemoryEncryption {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn engine() -> MemoryEncryption {
         MemoryEncryption::new([9u8; 16])

@@ -43,7 +43,13 @@ pub struct MemoryEngine {
 impl MemoryEngine {
     /// Builds the engine with this channel's established session.
     pub fn new(cfg: ObfusMemConfig, session: ChannelSession, seed: u64) -> Self {
-        MemoryEngine { cfg, session, rng: SplitMix64::new(seed), dummies_dropped: 0, tampers_detected: 0 }
+        MemoryEngine {
+            cfg,
+            session,
+            rng: SplitMix64::new(seed),
+            dummies_dropped: 0,
+            tampers_detected: 0,
+        }
     }
 
     /// Dummy packets dropped before touching the array.
@@ -167,7 +173,12 @@ impl MemoryEngine {
             obfusmem_mem::request::AccessKind::Write => payload,
             obfusmem_mem::request::AccessKind::Read => None, // filler discarded
         };
-        Ok(DecodedRequest { header, data, dropped_dummy: false, base_counter })
+        Ok(DecodedRequest {
+            header,
+            data,
+            dropped_dummy: false,
+            base_counter,
+        })
     }
 
     fn decrypt_data(&mut self, ct: &BlockData) -> BlockData {
@@ -212,11 +223,16 @@ impl MemoryEngine {
             MacScheme::EncryptAndMac => {
                 // β = H(r ‖ a ‖ c) with the memory's own counter: detects
                 // modification (r'/a'), drops/replays (c mismatch).
-                self.session.mac().command_tag(header.kind.encode(), header.addr, counter) == tag
+                self.session
+                    .mac()
+                    .command_tag(header.kind.encode(), header.addr, counter)
+                    == tag
             }
             MacScheme::EncryptThenMac => {
                 let data_slice: &[u8] = packet.data_ct.as_ref().map_or(&[], |d| &d[..]);
-                self.session.mac().verify(&[&packet.header_ct, data_slice], &tag)
+                self.session
+                    .mac()
+                    .verify(&[&packet.header_ct, data_slice], &tag)
             }
         };
         if ok {
@@ -244,9 +260,15 @@ impl MemoryEngine {
             }
         }
         let tag = self.cfg.security.authenticates().then(|| {
-            self.session.mac().tag(&[b"reply", &base_counter.to_le_bytes(), &ct])
+            self.session
+                .mac()
+                .tag(&[b"reply", &base_counter.to_le_bytes(), &ct])
         });
-        BusPacket { header_ct: [0u8; 16], data_ct: Some(ct), tag }
+        BusPacket {
+            header_ct: [0u8; 16],
+            data_ct: Some(ct),
+            tag,
+        }
     }
 
     /// Random data returned for a dummy read (discarded at the processor).
@@ -266,8 +288,9 @@ pub fn engines_for_test(
     cfg: ObfusMemConfig,
     channels: usize,
 ) -> (crate::engine::ProcessorEngine, Vec<MemoryEngine>) {
-    let keys: Vec<([u8; 16], u64)> =
-        (0..channels).map(|c| ([c as u8 + 1; 16], c as u64 * 1000)).collect();
+    let keys: Vec<([u8; 16], u64)> = (0..channels)
+        .map(|c| ([c as u8 + 1; 16], c as u64 * 1000))
+        .collect();
     let proc = crate::engine::ProcessorEngine::new(
         cfg,
         crate::session::SessionKeyTable::new(keys.clone()),
@@ -287,6 +310,7 @@ mod tests {
     use crate::config::ObfusMemConfig;
     use obfusmem_mem::request::AccessKind;
     use obfusmem_sim::time::Time;
+    use obfusmem_testkit as proptest;
 
     fn pair() -> (crate::engine::ProcessorEngine, MemoryEngine) {
         let (p, mut ms) = engines_for_test(ObfusMemConfig::paper_default(), 1);
@@ -294,7 +318,10 @@ mod tests {
     }
 
     fn read_header(addr: u64) -> RequestHeader {
-        RequestHeader { kind: AccessKind::Read, addr }
+        RequestHeader {
+            kind: AccessKind::Read,
+            addr,
+        }
     }
 
     #[test]
@@ -312,10 +339,17 @@ mod tests {
     #[test]
     fn write_round_trip_with_data() {
         let (mut proc, mut mem) = pair();
-        let hdr = RequestHeader { kind: AccessKind::Write, addr: 0x88_0000 };
+        let hdr = RequestHeader {
+            kind: AccessKind::Write,
+            addr: 0x88_0000,
+        };
         let payload = [0xC3; 64];
         let pkts = proc.obfuscate(Time::ZERO, 0, hdr, Some(&payload)).unwrap();
-        assert_ne!(pkts.real.data_ct.unwrap(), payload, "data must be re-encrypted on the bus");
+        assert_ne!(
+            pkts.real.data_ct.unwrap(),
+            payload,
+            "data must be re-encrypted on the bus"
+        );
         let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
         assert_eq!(decoded.data, Some(payload));
     }
@@ -323,12 +357,16 @@ mod tests {
     #[test]
     fn reply_round_trip() {
         let (mut proc, mut mem) = pair();
-        let pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
         let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
         let stored = [0x11; 64];
         let reply = mem.encrypt_reply(decoded.base_counter, &stored);
         assert_ne!(reply.data_ct.unwrap(), stored);
-        let got = proc.decrypt_reply(0, pkts.base_counter, &reply.data_ct.unwrap()).unwrap();
+        let got = proc
+            .decrypt_reply(0, pkts.base_counter, &reply.data_ct.unwrap())
+            .unwrap();
         assert_eq!(got, stored);
     }
 
@@ -337,11 +375,14 @@ mod tests {
         let (mut proc, mut mem) = pair();
         for i in 0..500u64 {
             let hdr = if i % 3 == 0 {
-                RequestHeader { kind: AccessKind::Write, addr: i * 64 }
+                RequestHeader {
+                    kind: AccessKind::Write,
+                    addr: i * 64,
+                }
             } else {
                 read_header(i * 64)
             };
-            let data = (hdr.kind == AccessKind::Write).then(|| [i as u8; 64]);
+            let data = (hdr.kind == AccessKind::Write).then_some([i as u8; 64]);
             let pkts = proc.obfuscate(Time::ZERO, 0, hdr, data.as_ref()).unwrap();
             let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
             assert_eq!(decoded.header, hdr, "desync at request {i}");
@@ -352,17 +393,24 @@ mod tests {
     #[test]
     fn modified_address_detected() {
         let (mut proc, mut mem) = pair();
-        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let mut pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
         pkts.real.header_ct[3] ^= 0x10; // flip an address bit in flight
         let err = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap_err();
-        assert!(matches!(err, ObfusMemError::TamperDetected { .. }), "got {err}");
+        assert!(
+            matches!(err, ObfusMemError::TamperDetected { .. }),
+            "got {err}"
+        );
         assert_eq!(mem.tampers_detected(), 1);
     }
 
     #[test]
     fn modified_type_detected() {
         let (mut proc, mut mem) = pair();
-        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let mut pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
         pkts.real.header_ct[0] ^= 0x01; // flip the request-type bit
         assert!(mem.receive_pair(&pkts.real, &pkts.dummy).is_err());
     }
@@ -370,18 +418,24 @@ mod tests {
     #[test]
     fn dropped_message_detected_via_counter() {
         let (mut proc, mut mem) = pair();
-        let first = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
-        let second = proc.obfuscate(Time::ZERO, 0, read_header(0x80), None).unwrap();
+        let first = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
+        let second = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x80), None)
+            .unwrap();
         // Attacker drops `first`; memory sees `second` with a stale
         // counter and the MAC (bound to the counter) fails.
-        drop(first);
+        let _ = first;
         assert!(mem.receive_pair(&second.real, &second.dummy).is_err());
     }
 
     #[test]
     fn replayed_message_detected() {
         let (mut proc, mut mem) = pair();
-        let pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
         mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
         // Replay the same packets: memory's counter moved on.
         assert!(mem.receive_pair(&pkts.real, &pkts.dummy).is_err());
@@ -390,14 +444,20 @@ mod tests {
     #[test]
     fn injected_garbage_detected() {
         let (_, mut mem) = pair();
-        let forged = BusPacket { header_ct: [0xAA; 16], data_ct: None, tag: Some([0; 8]) };
+        let forged = BusPacket {
+            header_ct: [0xAA; 16],
+            data_ct: None,
+            tag: Some([0; 8]),
+        };
         assert!(mem.receive_pair(&forged, &forged.clone()).is_err());
     }
 
     #[test]
     fn missing_tag_rejected_on_authenticated_channel() {
         let (mut proc, mut mem) = pair();
-        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let mut pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
         pkts.real.tag = None;
         let err = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap_err();
         assert!(matches!(err, ObfusMemError::MalformedPacket(_)));
@@ -407,14 +467,21 @@ mod tests {
     fn unauthenticated_mode_accepts_tampering_silently() {
         // Documents the §3.5 trade-off: without MACs, tampering garbles
         // the address but is not *detected* here (Merkle catches it later).
-        let cfg =
-            ObfusMemConfig { security: crate::config::SecurityLevel::Obfuscate, ..Default::default() };
+        let cfg = ObfusMemConfig {
+            security: crate::config::SecurityLevel::Obfuscate,
+            ..Default::default()
+        };
         let (mut proc, mut ms) = engines_for_test(cfg, 1);
         let mut mem = ms.remove(0);
-        let mut pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let mut pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
         pkts.real.header_ct[5] ^= 0xFF;
         let (decoded, _) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
-        assert_ne!(decoded.header.addr, 0x40, "tampering silently garbles the address");
+        assert_ne!(
+            decoded.header.addr, 0x40,
+            "tampering silently garbles the address"
+        );
     }
 
     #[test]
@@ -425,7 +492,9 @@ mod tests {
         };
         let (mut proc, mut ms) = engines_for_test(cfg, 1);
         let mut mem = ms.remove(0);
-        let pkts = proc.obfuscate(Time::ZERO, 0, read_header(0x1000), None).unwrap();
+        let pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x1000), None)
+            .unwrap();
         let (decoded, dummy) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
         assert!(!decoded.dropped_dummy);
         let dummy = dummy.expect("original-address dummy reaches the array");
@@ -441,7 +510,10 @@ mod tests {
         // synchronized regardless of the global interleaving.
         let order = [0usize, 2, 1, 1, 0, 2, 2, 0, 1, 0, 2, 1];
         for (i, &ch) in order.iter().enumerate() {
-            let hdr = RequestHeader { kind: AccessKind::Read, addr: (i as u64) * 64 };
+            let hdr = RequestHeader {
+                kind: AccessKind::Read,
+                addr: (i as u64) * 64,
+            };
             let pkts = proc.obfuscate(Time::ZERO, ch, hdr, None).unwrap();
             let (decoded, _) = mems[ch].receive_pair(&pkts.real, &pkts.dummy).unwrap();
             assert_eq!(decoded.header, hdr, "channel {ch} desynced at step {i}");
@@ -453,15 +525,23 @@ mod tests {
         // A reply decrypted with the wrong pad window never reveals the
         // stored data (the counter discipline is load-bearing).
         let (mut proc, mut mem) = pair();
-        let a = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
-        let b = proc.obfuscate(Time::ZERO, 0, read_header(0x80), None).unwrap();
+        let a = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
+        let b = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x80), None)
+            .unwrap();
         let (decoded_a, _) = mem.receive_pair(&a.real, &a.dummy).unwrap();
         let stored = [0x5A; 64];
         let reply = mem.encrypt_reply(decoded_a.base_counter, &stored);
         // Decrypt with b's pads instead of a's.
-        let wrong = proc.decrypt_reply(0, b.base_counter, &reply.data_ct.unwrap()).unwrap();
+        let wrong = proc
+            .decrypt_reply(0, b.base_counter, &reply.data_ct.unwrap())
+            .unwrap();
         assert_ne!(wrong, stored);
-        let right = proc.decrypt_reply(0, a.base_counter, &reply.data_ct.unwrap()).unwrap();
+        let right = proc
+            .decrypt_reply(0, a.base_counter, &reply.data_ct.unwrap())
+            .unwrap();
         assert_eq!(right, stored);
     }
 
@@ -479,7 +559,7 @@ mod tests {
                     kind: if is_write { AccessKind::Write } else { AccessKind::Read },
                     addr,
                 };
-                let data = is_write.then(|| [byte; 64]);
+                let data = is_write.then_some([byte; 64]);
                 let pkts = proc.obfuscate(Time::ZERO, 0, hdr, data.as_ref()).unwrap();
                 let (decoded, companion) = mem.receive_pair(&pkts.real, &pkts.dummy).unwrap();
                 proptest::prop_assert_eq!(decoded.header, hdr);
@@ -500,7 +580,7 @@ mod tests {
                     kind: if is_write { AccessKind::Write } else { AccessKind::Read },
                     addr,
                 };
-                let data = is_write.then(|| [byte; 64]);
+                let data = is_write.then_some([byte; 64]);
                 let pkt = proc.obfuscate_uniform(Time::ZERO, 0, hdr, data.as_ref()).unwrap();
                 proptest::prop_assert!(pkt.real.data_ct.is_some(), "uniform packets always carry data");
                 let decoded = mem.receive_uniform(&pkt.real).unwrap();
@@ -518,10 +598,14 @@ mod tests {
         };
         let (mut proc, mut ms) = engines_for_test(cfg, 1);
         let mut mem = ms.remove(0);
-        let good = proc.obfuscate(Time::ZERO, 0, read_header(0x40), None).unwrap();
+        let good = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
         let (decoded, _) = mem.receive_pair(&good.real, &good.dummy).unwrap();
         assert_eq!(decoded.header.addr, 0x40);
-        let mut bad = proc.obfuscate(Time::ZERO, 0, read_header(0x80), None).unwrap();
+        let mut bad = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x80), None)
+            .unwrap();
         bad.real.header_ct[1] ^= 1;
         assert!(mem.receive_pair(&bad.real, &bad.dummy).is_err());
     }

@@ -52,15 +52,21 @@ impl MerkleTree {
     ///
     /// Panics if `leaf_count` is zero or not a power of two.
     pub fn new(leaf_count: usize) -> Self {
-        assert!(leaf_count.is_power_of_two() && leaf_count > 0, "leaf count must be 2^k > 0");
+        assert!(
+            leaf_count.is_power_of_two() && leaf_count > 0,
+            "leaf count must be 2^k > 0"
+        );
         let mut levels = Vec::new();
-        let leaves: Vec<NodeHash> =
-            (0..leaf_count).map(|i| hash_leaf(i as u64, &[0u8; 64])).collect();
+        let leaves: Vec<NodeHash> = (0..leaf_count)
+            .map(|i| hash_leaf(i as u64, &[0u8; 64]))
+            .collect();
         levels.push(leaves);
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
-            let next: Vec<NodeHash> =
-                prev.chunks(2).map(|pair| hash_pair(&pair[0], &pair[1])).collect();
+            let next: Vec<NodeHash> = prev
+                .chunks(2)
+                .map(|pair| hash_pair(&pair[0], &pair[1]))
+                .collect();
             levels.push(next);
         }
         MerkleTree { levels, leaf_count }
@@ -106,7 +112,9 @@ impl MerkleTree {
         if self.levels[0][index] == hash_leaf(index as u64, data) {
             Ok(())
         } else {
-            Err(ObfusMemError::IntegrityViolation { addr: index as u64 * 64 })
+            Err(ObfusMemError::IntegrityViolation {
+                addr: index as u64 * 64,
+            })
         }
     }
 
@@ -137,13 +145,19 @@ impl MerkleTree {
         let mut acc = hash_leaf(index as u64, data);
         let mut idx = index;
         for sibling in proof {
-            acc = if idx % 2 == 0 { hash_pair(&acc, sibling) } else { hash_pair(sibling, &acc) };
+            acc = if idx.is_multiple_of(2) {
+                hash_pair(&acc, sibling)
+            } else {
+                hash_pair(sibling, &acc)
+            };
             idx /= 2;
         }
         if &acc == root {
             Ok(())
         } else {
-            Err(ObfusMemError::IntegrityViolation { addr: index as u64 * 64 })
+            Err(ObfusMemError::IntegrityViolation {
+                addr: index as u64 * 64,
+            })
         }
     }
 }
@@ -151,6 +165,7 @@ impl MerkleTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn fresh_tree_verifies_zero_blocks() {
@@ -212,7 +227,10 @@ mod tests {
         let mut t = MerkleTree::new(8);
         t.update(1, &[1; 64]); // version 1
         t.update(1, &[2; 64]); // version 2
-        assert!(t.verify(1, &[1; 64]).is_err(), "replay of version 1 must fail");
+        assert!(
+            t.verify(1, &[1; 64]).is_err(),
+            "replay of version 1 must fail"
+        );
         t.verify(1, &[2; 64]).unwrap();
     }
 

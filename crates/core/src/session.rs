@@ -74,7 +74,10 @@ impl SessionKeyTable {
     /// Builds the table from per-channel established keys.
     pub fn new(keys_and_nonces: Vec<([u8; 16], u64)>) -> Self {
         SessionKeyTable {
-            sessions: keys_and_nonces.into_iter().map(|(k, n)| ChannelSession::new(k, n)).collect(),
+            sessions: keys_and_nonces
+                .into_iter()
+                .map(|(k, n)| ChannelSession::new(k, n))
+                .collect(),
         }
     }
 
@@ -102,7 +105,9 @@ impl SessionKeyTable {
     /// Returns [`ObfusMemError::NoSuchChannel`] for out-of-range indices.
     pub fn session(&self, channel: usize) -> Result<&ChannelSession, ObfusMemError> {
         let channels = self.sessions.len();
-        self.sessions.get(channel).ok_or(ObfusMemError::NoSuchChannel { channel, channels })
+        self.sessions
+            .get(channel)
+            .ok_or(ObfusMemError::NoSuchChannel { channel, channels })
     }
 }
 
@@ -129,7 +134,10 @@ mod tests {
         assert!(t.session(1).is_ok());
         assert!(matches!(
             t.session(5),
-            Err(ObfusMemError::NoSuchChannel { channel: 5, channels: 2 })
+            Err(ObfusMemError::NoSuchChannel {
+                channel: 5,
+                channels: 2
+            })
         ));
     }
 

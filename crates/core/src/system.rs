@@ -44,7 +44,10 @@ pub struct System {
 impl System {
     /// Builds the machine.
     pub fn new(cfg: SystemConfig) -> Self {
-        let obfus = ObfusMemConfig { security: cfg.security, ..cfg.obfus };
+        let obfus = ObfusMemConfig {
+            security: cfg.security,
+            ..cfg.obfus
+        };
         System {
             core: TraceDrivenCore::new(),
             backend: ObfusMemBackend::new(obfus, cfg.mem, 0x5EED_0001),
@@ -53,8 +56,14 @@ impl System {
 
     /// Builds the machine with an explicit backend seed.
     pub fn with_seed(cfg: SystemConfig, seed: u64) -> Self {
-        let obfus = ObfusMemConfig { security: cfg.security, ..cfg.obfus };
-        System { core: TraceDrivenCore::new(), backend: ObfusMemBackend::new(obfus, cfg.mem, seed) }
+        let obfus = ObfusMemConfig {
+            security: cfg.security,
+            ..cfg.obfus
+        };
+        System {
+            core: TraceDrivenCore::new(),
+            backend: ObfusMemBackend::new(obfus, cfg.mem, seed),
+        }
     }
 
     /// Runs `instructions` of `spec`, deterministically under `seed`.
@@ -127,13 +136,19 @@ mod tests {
         let mut last = 0.0;
         for (level, r) in &results[1..] {
             let ovh = r.overhead_vs(base);
-            assert!(ovh >= last - 0.5, "{level} overhead {ovh}% regressed below {last}%");
+            assert!(
+                ovh >= last - 0.5,
+                "{level} overhead {ovh}% regressed below {last}%"
+            );
             last = ovh;
         }
         // ObfusMem+Auth on a memory-intensive workload: noticeable but
         // far from ORAM-class (paper: ~10-30% for such workloads).
         let full = results[3].1.overhead_vs(base);
-        assert!(full > 0.5 && full < 100.0, "ObfusMem+Auth overhead {full}% out of band");
+        assert!(
+            full > 0.5 && full < 100.0,
+            "ObfusMem+Auth overhead {full}% out of band"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl Component {
     /// Packages a fabricated identity with `register_slots` write-once
     /// key registers.
     pub fn new(identity: DeviceIdentity, register_slots: usize) -> Self {
-        Component { identity, burned_fingerprints: Vec::new(), register_slots }
+        Component {
+            identity,
+            burned_fingerprints: Vec::new(),
+            register_slots,
+        }
     }
 
     /// The burned-in identity.
@@ -83,10 +87,8 @@ impl Component {
     /// string + own public key, signed with the device key (the SGX-like
     /// flow of the untrusted-integrator approach).
     pub fn attest(&self) -> Attestation {
-        let measurement = Self::measurement_bytes(
-            self.identity.cert().capabilities(),
-            self.identity.public(),
-        );
+        let measurement =
+            Self::measurement_bytes(self.identity.cert().capabilities(), self.identity.public());
         Attestation {
             capabilities: self.identity.cert().capabilities().to_string(),
             public: self.identity.public().clone(),
@@ -242,7 +244,10 @@ pub fn bootstrap_platform(
         channel_keys.push((k_proc, nonce));
     }
 
-    Ok(EstablishedTrust { channel_keys, approach })
+    Ok(EstablishedTrust {
+        channel_keys,
+        approach,
+    })
 }
 
 #[cfg(test)]
@@ -252,7 +257,9 @@ mod tests {
     fn rng(seed: u64) -> impl FnMut() -> u64 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s ^ (s >> 29)
         }
     }
@@ -274,7 +281,10 @@ mod tests {
     fn untrusted_integrator_detects_sabotage() {
         let err = bootstrap_platform(BootstrapApproach::UntrustedIntegrator, 2, true, rng(2))
             .unwrap_err();
-        assert!(matches!(err, ObfusMemError::BootstrapFailed(_)), "got {err}");
+        assert!(
+            matches!(err, ObfusMemError::BootstrapFailed(_)),
+            "got {err}"
+        );
     }
 
     #[test]
@@ -290,8 +300,12 @@ mod tests {
     fn registers_are_write_once_and_bounded() {
         let mut r = rng(4);
         let mut maker = Manufacturer::new("M", 256, &mut r).unwrap();
-        let id = maker.fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r).unwrap();
-        let other = maker.fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r).unwrap();
+        let id = maker
+            .fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r)
+            .unwrap();
+        let other = maker
+            .fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r)
+            .unwrap();
         let mut c = Component::new(id, 2);
         c.burn_counterpart(other.public()).unwrap();
         c.burn_counterpart(other.public()).unwrap();
@@ -305,13 +319,21 @@ mod tests {
     fn attestation_rejects_wrong_capability() {
         let mut r = rng(5);
         let mut maker = Manufacturer::new("M", 256, &mut r).unwrap();
-        let plain = maker.fabricate(DeviceKind::Memory, "plain-ddr4", &mut r).unwrap();
-        let verifier_id = maker.fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r).unwrap();
+        let plain = maker
+            .fabricate(DeviceKind::Memory, "plain-ddr4", &mut r)
+            .unwrap();
+        let verifier_id = maker
+            .fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r)
+            .unwrap();
         let mut verifier = Component::new(verifier_id, 2);
         let plain_component = Component::new(plain, 2);
-        verifier.burn_counterpart(plain_component.identity().public()).unwrap();
-        let err =
-            plain_component.attest().verify_against(&verifier, "obfusmem").unwrap_err();
+        verifier
+            .burn_counterpart(plain_component.identity().public())
+            .unwrap();
+        let err = plain_component
+            .attest()
+            .verify_against(&verifier, "obfusmem")
+            .unwrap_err();
         assert!(err.to_string().contains("capability"));
     }
 
@@ -323,9 +345,15 @@ mod tests {
         let trust = bootstrap_platform(BootstrapApproach::TrustedIntegrator, 1, false, rng(7));
         assert!(trust.is_ok());
         let mut maker = Manufacturer::new("M", 256, &mut r).unwrap();
-        let proc = maker.fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r).unwrap();
-        let old_mem = maker.fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r).unwrap();
-        let new_mem = maker.fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r).unwrap();
+        let proc = maker
+            .fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r)
+            .unwrap();
+        let old_mem = maker
+            .fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r)
+            .unwrap();
+        let new_mem = maker
+            .fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r)
+            .unwrap();
         let mut c = Component::new(proc, 4);
         c.burn_counterpart(old_mem.public()).unwrap();
         c.burn_counterpart(new_mem.public()).unwrap();

@@ -92,7 +92,9 @@ impl Default for TraceDrivenCore {
 impl TraceDrivenCore {
     /// A core at the Table 2 frequency (2 GHz).
     pub fn new() -> Self {
-        TraceDrivenCore { clock: Clock::from_mhz(2000) }
+        TraceDrivenCore {
+            clock: Clock::from_mhz(2000),
+        }
     }
 
     /// Runs `instructions` of `spec` against `backend`, deterministically
@@ -167,7 +169,12 @@ pub struct FixedLatencyBackend {
 impl FixedLatencyBackend {
     /// A back end answering every fill after `latency`.
     pub fn new(name: impl Into<String>, latency: Duration) -> Self {
-        FixedLatencyBackend { latency, name: name.into(), reads: 0, writes: 0 }
+        FixedLatencyBackend {
+            latency,
+            name: name.into(),
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// `(fills, write-backs)` serviced.
@@ -219,7 +226,11 @@ mod tests {
         assert!(slow.exec_time > fast.exec_time);
         // ORAM-like latency on a high-MPKI workload: order-of-magnitude
         // class slowdown, the paper's headline phenomenon.
-        assert!(slow.slowdown_vs(&fast) > 5.0, "slowdown {}", slow.slowdown_vs(&fast));
+        assert!(
+            slow.slowdown_vs(&fast) > 5.0,
+            "slowdown {}",
+            slow.slowdown_vs(&fast)
+        );
     }
 
     #[test]

@@ -82,13 +82,34 @@ impl L1Stream {
     ///
     /// Panics if probabilities are out of range or a set size is zero.
     pub fn new(cfg: L1StreamConfig, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&cfg.store_fraction), "store fraction out of range");
-        assert!((0.0..=1.0).contains(&cfg.sequential), "sequential out of range");
-        assert!((0.0..=1.0).contains(&cfg.cold_fraction), "cold fraction out of range");
-        assert!(cfg.hot_blocks > 0 && cfg.cold_blocks > 0, "sets must be nonempty");
-        assert!(cfg.stream_region_blocks > 0, "stream region must be nonempty");
+        assert!(
+            (0.0..=1.0).contains(&cfg.store_fraction),
+            "store fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.sequential),
+            "sequential out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.cold_fraction),
+            "cold fraction out of range"
+        );
+        assert!(
+            cfg.hot_blocks > 0 && cfg.cold_blocks > 0,
+            "sets must be nonempty"
+        );
+        assert!(
+            cfg.stream_region_blocks > 0,
+            "stream region must be nonempty"
+        );
         let hot_zipf = Zipf::new(cfg.hot_blocks.min(1 << 16) as usize, 0.9);
-        L1Stream { hot_zipf, rng: SplitMix64::new(seed), cursor: 0, run_remaining: 0, cfg }
+        L1Stream {
+            hot_zipf,
+            rng: SplitMix64::new(seed),
+            cursor: 0,
+            run_remaining: 0,
+            cfg,
+        }
     }
 
     /// Generates the next access.
@@ -115,7 +136,10 @@ impl L1Stream {
         } else {
             CacheOp::Read
         };
-        L1Access { addr: block * 64 + self.rng.below(64) / 8 * 8, op }
+        L1Access {
+            addr: block * 64 + self.rng.below(64) / 8 * 8,
+            op,
+        }
     }
 
     /// Number of memory accesses implied by `instructions`.
@@ -162,14 +186,20 @@ mod tests {
             mpki(&h_friendly),
             mpki(&h_hostile)
         );
-        assert!(mpki(&h_friendly) < 5.0, "friendly stream should mostly hit: {}", mpki(&h_friendly));
+        assert!(
+            mpki(&h_friendly) < 5.0,
+            "friendly stream should mostly hit: {}",
+            mpki(&h_friendly)
+        );
     }
 
     #[test]
     fn store_fraction_respected() {
         let mut s = L1Stream::new(L1StreamConfig::cache_friendly(), 2);
         let n = 50_000;
-        let stores = (0..n).filter(|_| s.next_access().op == CacheOp::Write).count();
+        let stores = (0..n)
+            .filter(|_| s.next_access().op == CacheOp::Write)
+            .count();
         let frac = stores as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.02, "store fraction {frac}");
     }

@@ -91,13 +91,19 @@ pub fn run_multicore(
             .map(|(i, _)| i);
         let Some(idx) = next else { break };
         let core = &mut cores[idx];
-        let event = core.pending.take().expect("selected core has a pending event");
+        let event = core
+            .pending
+            .take()
+            .expect("selected core has a pending event");
         core.now = core.pending_issue_at;
 
         let completes = backend.read(core.now, event.fill);
-        core.fill_latency.record(completes.since(core.now).as_ns_f64());
+        core.fill_latency
+            .record(completes.since(core.now).as_ns_f64());
         core.misses += 1;
-        core.now = core.mshrs.allocate(core.now, event.fill.as_u64(), completes);
+        core.now = core
+            .mshrs
+            .allocate(core.now, event.fill.as_u64(), completes);
         if let Some(wb) = event.writeback {
             backend.write(core.now, wb);
             core.writebacks += 1;
@@ -134,8 +140,10 @@ pub fn run_multicore(
 
 /// Geometric-mean execution time across cores (the Figure 5 scalar).
 pub fn geomean_exec_ns(results: &[RunResult]) -> f64 {
-    let log_sum: f64 =
-        results.iter().map(|r| (r.exec_time.as_ps() as f64 / 1000.0).ln()).sum();
+    let log_sum: f64 = results
+        .iter()
+        .map(|r| (r.exec_time.as_ps() as f64 / 1000.0).ln())
+        .sum();
     (log_sum / results.len() as f64).exp()
 }
 

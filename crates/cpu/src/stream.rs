@@ -120,7 +120,11 @@ impl MissStream {
             let slot = self.rng.below(self.history_cap as u64) as usize;
             self.history[slot] = fill;
         }
-        MissEvent { gap, fill, writeback }
+        MissEvent {
+            gap,
+            fill,
+            writeback,
+        }
     }
 
     /// Collects the next `n` events.
@@ -138,6 +142,7 @@ mod tests {
     use super::*;
     use crate::workload::micro_test_workload;
     use obfusmem_mem::request::BLOCK_BYTES;
+    use obfusmem_testkit as proptest;
 
     fn stream(seed: u64) -> MissStream {
         MissStream::new(micro_test_workload(), seed)
@@ -178,10 +183,17 @@ mod tests {
     fn writeback_fraction_tracks_read_fraction() {
         let mut s = stream(5);
         let n = 50_000;
-        let wbs = s.take_events(n).iter().filter(|e| e.writeback.is_some()).count();
+        let wbs = s
+            .take_events(n)
+            .iter()
+            .filter(|e| e.writeback.is_some())
+            .count();
         let frac = wbs as f64 / n as f64;
         let expected = 1.0 - micro_test_workload().read_fraction;
-        assert!((frac - expected).abs() < 0.02, "writeback fraction {frac} vs {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "writeback fraction {frac} vs {expected}"
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl WorkloadSpec {
             "{}: spatial locality out of range",
             self.name
         );
-        assert!(self.working_set_blocks > 0, "{}: empty working set", self.name);
+        assert!(
+            self.working_set_blocks > 0,
+            "{}: empty working set",
+            self.name
+        );
         assert!(self.mlp > 0, "{}: MLP must be at least 1", self.name);
     }
 }
@@ -95,21 +99,171 @@ macro_rules! spec {
 /// and MLP; pointer chasers get low).
 pub fn table1_workloads() -> Vec<WorkloadSpec> {
     vec![
-        spec!("bwaves",     ipc=0.59, mpki=18.23, gap=44.32,   reads=0.72, seq=0.85, ws=2_000_000, zipf=0.6, mlp=4),
-        spec!("mcf",        ipc=0.17, mpki=24.82, gap=74.95,   reads=0.80, seq=0.15, ws=4_000_000, zipf=0.8, mlp=2),
-        spec!("lbm",        ipc=0.35, mpki=6.94,  gap=67.97,   reads=0.55, seq=0.90, ws=3_000_000, zipf=0.5, mlp=4),
-        spec!("zeus",       ipc=0.53, mpki=4.81,  gap=63.56,   reads=0.70, seq=0.70, ws=1_500_000, zipf=0.7, mlp=3),
-        spec!("milc",       ipc=0.42, mpki=15.56, gap=51.54,   reads=0.75, seq=0.80, ws=2_500_000, zipf=0.6, mlp=4),
-        spec!("xalan",      ipc=0.52, mpki=0.97,  gap=945.62,  reads=0.85, seq=0.30, ws=500_000,   zipf=1.0, mlp=2),
-        spec!("omnetpp",    ipc=4.30, mpki=0.10,  gap=1104.74, reads=0.80, seq=0.25, ws=300_000,   zipf=1.0, mlp=1),
-        spec!("soplex",     ipc=0.25, mpki=23.11, gap=69.06,   reads=0.78, seq=0.60, ws=2_000_000, zipf=0.7, mlp=3),
-        spec!("libquantum", ipc=0.33, mpki=5.56,  gap=146.82,  reads=0.67, seq=0.95, ws=1_000_000, zipf=0.4, mlp=4),
-        spec!("sjeng",      ipc=0.95, mpki=0.36,  gap=1382.13, reads=0.82, seq=0.20, ws=200_000,   zipf=1.1, mlp=1),
-        spec!("leslie3d",   ipc=0.49, mpki=9.85,  gap=58.91,   reads=0.70, seq=0.85, ws=2_000_000, zipf=0.5, mlp=4),
-        spec!("astar",      ipc=0.70, mpki=0.13,  gap=5660.18, reads=0.85, seq=0.25, ws=150_000,   zipf=1.1, mlp=1),
-        spec!("hmmer",      ipc=1.39, mpki=0.02,  gap=2687.60, reads=0.75, seq=0.50, ws=50_000,    zipf=1.0, mlp=1),
-        spec!("cactus",     ipc=1.05, mpki=1.91,  gap=128.09,  reads=0.68, seq=0.75, ws=1_200_000, zipf=0.6, mlp=2),
-        spec!("gems",       ipc=0.40, mpki=11.66, gap=66.25,   reads=0.72, seq=0.80, ws=2_500_000, zipf=0.6, mlp=4),
+        spec!(
+            "bwaves",
+            ipc = 0.59,
+            mpki = 18.23,
+            gap = 44.32,
+            reads = 0.72,
+            seq = 0.85,
+            ws = 2_000_000,
+            zipf = 0.6,
+            mlp = 4
+        ),
+        spec!(
+            "mcf",
+            ipc = 0.17,
+            mpki = 24.82,
+            gap = 74.95,
+            reads = 0.80,
+            seq = 0.15,
+            ws = 4_000_000,
+            zipf = 0.8,
+            mlp = 2
+        ),
+        spec!(
+            "lbm",
+            ipc = 0.35,
+            mpki = 6.94,
+            gap = 67.97,
+            reads = 0.55,
+            seq = 0.90,
+            ws = 3_000_000,
+            zipf = 0.5,
+            mlp = 4
+        ),
+        spec!(
+            "zeus",
+            ipc = 0.53,
+            mpki = 4.81,
+            gap = 63.56,
+            reads = 0.70,
+            seq = 0.70,
+            ws = 1_500_000,
+            zipf = 0.7,
+            mlp = 3
+        ),
+        spec!(
+            "milc",
+            ipc = 0.42,
+            mpki = 15.56,
+            gap = 51.54,
+            reads = 0.75,
+            seq = 0.80,
+            ws = 2_500_000,
+            zipf = 0.6,
+            mlp = 4
+        ),
+        spec!(
+            "xalan",
+            ipc = 0.52,
+            mpki = 0.97,
+            gap = 945.62,
+            reads = 0.85,
+            seq = 0.30,
+            ws = 500_000,
+            zipf = 1.0,
+            mlp = 2
+        ),
+        spec!(
+            "omnetpp",
+            ipc = 4.30,
+            mpki = 0.10,
+            gap = 1104.74,
+            reads = 0.80,
+            seq = 0.25,
+            ws = 300_000,
+            zipf = 1.0,
+            mlp = 1
+        ),
+        spec!(
+            "soplex",
+            ipc = 0.25,
+            mpki = 23.11,
+            gap = 69.06,
+            reads = 0.78,
+            seq = 0.60,
+            ws = 2_000_000,
+            zipf = 0.7,
+            mlp = 3
+        ),
+        spec!(
+            "libquantum",
+            ipc = 0.33,
+            mpki = 5.56,
+            gap = 146.82,
+            reads = 0.67,
+            seq = 0.95,
+            ws = 1_000_000,
+            zipf = 0.4,
+            mlp = 4
+        ),
+        spec!(
+            "sjeng",
+            ipc = 0.95,
+            mpki = 0.36,
+            gap = 1382.13,
+            reads = 0.82,
+            seq = 0.20,
+            ws = 200_000,
+            zipf = 1.1,
+            mlp = 1
+        ),
+        spec!(
+            "leslie3d",
+            ipc = 0.49,
+            mpki = 9.85,
+            gap = 58.91,
+            reads = 0.70,
+            seq = 0.85,
+            ws = 2_000_000,
+            zipf = 0.5,
+            mlp = 4
+        ),
+        spec!(
+            "astar",
+            ipc = 0.70,
+            mpki = 0.13,
+            gap = 5660.18,
+            reads = 0.85,
+            seq = 0.25,
+            ws = 150_000,
+            zipf = 1.1,
+            mlp = 1
+        ),
+        spec!(
+            "hmmer",
+            ipc = 1.39,
+            mpki = 0.02,
+            gap = 2687.60,
+            reads = 0.75,
+            seq = 0.50,
+            ws = 50_000,
+            zipf = 1.0,
+            mlp = 1
+        ),
+        spec!(
+            "cactus",
+            ipc = 1.05,
+            mpki = 1.91,
+            gap = 128.09,
+            reads = 0.68,
+            seq = 0.75,
+            ws = 1_200_000,
+            zipf = 0.6,
+            mlp = 2
+        ),
+        spec!(
+            "gems",
+            ipc = 0.40,
+            mpki = 11.66,
+            gap = 66.25,
+            reads = 0.72,
+            seq = 0.80,
+            ws = 2_500_000,
+            zipf = 0.6,
+            mlp = 4
+        ),
     ]
 }
 
@@ -178,7 +332,11 @@ mod tests {
         // The Table 1 relationship the evaluation leans on.
         for w in table1_workloads() {
             if w.llc_mpki > 5.0 {
-                assert!(w.avg_gap_ns < 200.0, "{} breaks the MPKI/gap relationship", w.name);
+                assert!(
+                    w.avg_gap_ns < 200.0,
+                    "{} breaks the MPKI/gap relationship",
+                    w.name
+                );
             }
         }
     }

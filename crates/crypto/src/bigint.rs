@@ -56,7 +56,9 @@ impl From<u64> for BigUint {
 
 impl From<u128> for BigUint {
     fn from(v: u128) -> Self {
-        let mut n = BigUint { limbs: vec![v as u64, (v >> 64) as u64] };
+        let mut n = BigUint {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
         n.normalize();
         n
     }
@@ -106,7 +108,7 @@ impl BigUint {
 
     /// True if the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -120,7 +122,9 @@ impl BigUint {
     /// Returns bit `i` (little-endian bit order).
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> (i % 64)) & 1 == 1)
+        self.limbs
+            .get(limb)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
     }
 
     fn normalize(&mut self) {
@@ -203,9 +207,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -396,7 +400,9 @@ impl BigUint {
 
         let mut quotient = BigUint { limbs: q };
         quotient.normalize();
-        let mut rem = BigUint { limbs: un[..n].to_vec() };
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
         rem.normalize();
         rem = rem.shr_bits(shift);
         (quotient, rem)
@@ -460,7 +466,11 @@ impl BigUint {
             return Err(CryptoError::NoInverse);
         }
         let (mag, neg) = t0;
-        Ok(if neg { modulus.sub(&mag.rem(modulus)).rem(modulus) } else { mag.rem(modulus) })
+        Ok(if neg {
+            modulus.sub(&mag.rem(modulus)).rem(modulus)
+        } else {
+            mag.rem(modulus)
+        })
     }
 
     /// Miller–Rabin probabilistic primality test with `rounds` random bases
@@ -529,8 +539,8 @@ fn trailing_zero_bits(n: &BigUint) -> usize {
 /// `(a_mag, a_neg) - (b_mag, b_neg)` over sign-magnitude pairs.
 fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
     match (a.1, b.1) {
-        (false, true) => (a.0.add(&b.0), false),  //  a - (-b) = a + b
-        (true, false) => (a.0.add(&b.0), true),   // -a - b   = -(a + b)
+        (false, true) => (a.0.add(&b.0), false), //  a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),  // -a - b   = -(a + b)
         (false, false) => {
             if a.0 >= b.0 {
                 (a.0.sub(&b.0), false)
@@ -552,6 +562,7 @@ fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn n(v: u64) -> BigUint {
         BigUint::from(v)
@@ -643,7 +654,9 @@ mod tests {
     fn miller_rabin_classifies_small_numbers() {
         let mut state = 42u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let primes = [2u64, 3, 5, 7, 97, 7919, 104729, 2147483647];
@@ -652,7 +665,10 @@ mod tests {
         }
         let composites = [1u64, 4, 100, 561, 8911, 104728, 2147483649];
         for c in composites {
-            assert!(!n(c).is_probable_prime(16, &mut rng), "{c} should be composite");
+            assert!(
+                !n(c).is_probable_prime(16, &mut rng),
+                "{c} should be composite"
+            );
         }
     }
 
@@ -661,7 +677,9 @@ mod tests {
         let p = BigUint::from_hex(crate::dh::RFC3526_GROUP5_PRIME_HEX).unwrap();
         let mut state = 7u64;
         let rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         assert!(p.is_probable_prime(4, rng));

@@ -39,7 +39,11 @@ impl CtrStream {
     /// Creates a stream with the given cipher and session nonce, starting
     /// at counter zero.
     pub fn new(cipher: Aes128, nonce: u64) -> Self {
-        CtrStream { cipher, nonce, counter: 0 }
+        CtrStream {
+            cipher,
+            nonce,
+            counter: 0,
+        }
     }
 
     /// Current counter value (the next pad index that will be produced).
@@ -122,7 +126,13 @@ impl PadBuffer {
     pub fn new(capacity: u64, ps_per_pad: u64, fill_ps: u64) -> Self {
         assert!(capacity > 0, "pad buffer capacity must be nonzero");
         assert!(ps_per_pad > 0, "pad throughput must be nonzero");
-        PadBuffer { capacity, available: capacity, ps_per_pad, fill_ps, last_time_ps: 0 }
+        PadBuffer {
+            capacity,
+            available: capacity,
+            ps_per_pad,
+            fill_ps,
+            last_time_ps: 0,
+        }
     }
 
     /// Number of pads banked at time `now_ps`.
@@ -161,6 +171,7 @@ impl PadBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn stream() -> CtrStream {
         CtrStream::new(Aes128::new(&[7u8; 16]), 0xDEAD_BEEF)

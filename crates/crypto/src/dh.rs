@@ -51,8 +51,7 @@ impl DhGroup {
     /// The RFC 3526 1536-bit group with generator 2.
     pub fn rfc3526_group5() -> Self {
         DhGroup {
-            prime: BigUint::from_hex(RFC3526_GROUP5_PRIME_HEX)
-                .expect("RFC 3526 constant parses"),
+            prime: BigUint::from_hex(RFC3526_GROUP5_PRIME_HEX).expect("RFC 3526 constant parses"),
             generator: BigUint::from(2u64),
         }
     }
@@ -60,7 +59,10 @@ impl DhGroup {
     /// A deliberately tiny group for fast unit tests (p = 2^61 - 1 is NOT
     /// prime-order-safe; never use outside tests of plumbing).
     pub fn toy() -> Self {
-        DhGroup { prime: BigUint::from(2305843009213693951u64), generator: BigUint::from(3u64) }
+        DhGroup {
+            prime: BigUint::from(2305843009213693951u64),
+            generator: BigUint::from(3u64),
+        }
     }
 
     /// The prime modulus.
@@ -84,7 +86,9 @@ pub struct DhKeyPair {
 
 impl std::fmt::Debug for DhKeyPair {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DhKeyPair").field("public", &self.public).finish_non_exhaustive()
+        f.debug_struct("DhKeyPair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
     }
 }
 
@@ -102,13 +106,20 @@ impl DhKeyPair {
             limbs.push(next_rand());
         }
         let mut private = BigUint::from_bytes_be(
-            &limbs.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>(),
+            &limbs
+                .iter()
+                .flat_map(|l| l.to_be_bytes())
+                .collect::<Vec<_>>(),
         );
         if private.is_zero() || private.is_one() {
             private = BigUint::from(0x1234_5678_9abc_def1u64);
         }
         let public = group.generator.modpow(&private, &group.prime);
-        DhKeyPair { group, private, public }
+        DhKeyPair {
+            group,
+            private,
+            public,
+        }
     }
 
     /// The public value `g^x mod p` to send to the peer.
@@ -152,7 +163,9 @@ mod tests {
     fn rng(seed: u64) -> impl FnMut() -> u64 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s ^ (s >> 31)
         }
     }
@@ -162,7 +175,10 @@ mod tests {
         let mut r = rng(99);
         let a = DhKeyPair::generate(&mut r);
         let b = DhKeyPair::generate(&mut r);
-        assert_eq!(a.session_key(b.public()).unwrap(), b.session_key(a.public()).unwrap());
+        assert_eq!(
+            a.session_key(b.public()).unwrap(),
+            b.session_key(a.public()).unwrap()
+        );
     }
 
     #[test]
@@ -171,7 +187,10 @@ mod tests {
         let a = DhKeyPair::generate(&mut r);
         let b = DhKeyPair::generate(&mut r);
         let c = DhKeyPair::generate(&mut r);
-        assert_ne!(a.session_key(b.public()).unwrap(), a.session_key(c.public()).unwrap());
+        assert_ne!(
+            a.session_key(b.public()).unwrap(),
+            a.session_key(c.public()).unwrap()
+        );
     }
 
     #[test]
@@ -179,8 +198,14 @@ mod tests {
         let mut r = rng(1);
         let a = DhKeyPair::generate(&mut r);
         let p = a.group().prime().clone();
-        assert_eq!(a.session_key(&BigUint::zero()).unwrap_err(), CryptoError::InvalidDhPublic);
-        assert_eq!(a.session_key(&BigUint::one()).unwrap_err(), CryptoError::InvalidDhPublic);
+        assert_eq!(
+            a.session_key(&BigUint::zero()).unwrap_err(),
+            CryptoError::InvalidDhPublic
+        );
+        assert_eq!(
+            a.session_key(&BigUint::one()).unwrap_err(),
+            CryptoError::InvalidDhPublic
+        );
         assert_eq!(a.session_key(&p).unwrap_err(), CryptoError::InvalidDhPublic);
         assert_eq!(
             a.session_key(&p.sub(&BigUint::one())).unwrap_err(),
@@ -193,7 +218,10 @@ mod tests {
         let mut r = rng(3);
         let a = DhKeyPair::generate_in(DhGroup::toy(), &mut r);
         let b = DhKeyPair::generate_in(DhGroup::toy(), &mut r);
-        assert_eq!(a.session_key(b.public()).unwrap(), b.session_key(a.public()).unwrap());
+        assert_eq!(
+            a.session_key(b.public()).unwrap(),
+            b.session_key(a.public()).unwrap()
+        );
     }
 
     #[test]

@@ -90,8 +90,12 @@ impl DeviceCert {
     ///
     /// Returns [`CryptoError::BadSignature`] on any mismatch.
     pub fn verify(&self, ca: &RsaPublicKey) -> Result<(), CryptoError> {
-        let payload =
-            Self::signed_payload(self.kind, self.serial, &self.capabilities, &self.device_public);
+        let payload = Self::signed_payload(
+            self.kind,
+            self.serial,
+            &self.capabilities,
+            &self.device_public,
+        );
         ca.verify(&payload, &self.signature)
     }
 }
@@ -201,7 +205,9 @@ mod tests {
     fn rng(seed: u64) -> impl FnMut() -> u64 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s ^ (s >> 29)
         }
     }
@@ -210,7 +216,9 @@ mod tests {
     fn fabricated_device_cert_verifies() {
         let mut r = rng(1);
         let mut maker = Manufacturer::new("AcmeMem", 256, &mut r).unwrap();
-        let dev = maker.fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r).unwrap();
+        let dev = maker
+            .fabricate(DeviceKind::Memory, "obfusmem-v1", &mut r)
+            .unwrap();
         dev.cert().verify(maker.ca_public()).unwrap();
         assert_eq!(dev.cert().kind(), DeviceKind::Memory);
         assert_eq!(dev.cert().capabilities(), "obfusmem-v1");
@@ -221,7 +229,9 @@ mod tests {
         let mut r = rng(2);
         let mut maker_a = Manufacturer::new("A", 256, &mut r).unwrap();
         let maker_b = Manufacturer::new("B", 256, &mut r).unwrap();
-        let dev = maker_a.fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r).unwrap();
+        let dev = maker_a
+            .fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r)
+            .unwrap();
         assert!(dev.cert().verify(maker_b.ca_public()).is_err());
     }
 
@@ -238,7 +248,9 @@ mod tests {
     fn measurement_signatures_verify_with_device_key() {
         let mut r = rng(4);
         let mut maker = Manufacturer::new("A", 256, &mut r).unwrap();
-        let dev = maker.fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r).unwrap();
+        let dev = maker
+            .fabricate(DeviceKind::Processor, "obfusmem-v1", &mut r)
+            .unwrap();
         let sig = dev.sign_measurement(b"measurement");
         dev.public().verify(b"measurement", &sig).unwrap();
         assert!(dev.public().verify(b"other", &sig).is_err());

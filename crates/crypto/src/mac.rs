@@ -44,7 +44,9 @@ pub struct MacEngine {
 
 impl std::fmt::Debug for MacEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MacEngine").field("hash", &self.hash).finish_non_exhaustive()
+        f.debug_struct("MacEngine")
+            .field("hash", &self.hash)
+            .finish_non_exhaustive()
     }
 }
 
@@ -86,20 +88,29 @@ impl MacEngine {
     /// Computes the encrypt-and-MAC tag `β = H(r ‖ a ‖ c)` over the
     /// plaintext request type, address, and channel counter.
     pub fn command_tag(&self, request_type: u8, address: u64, counter: u64) -> Tag {
-        self.tag(&[&[request_type], &address.to_le_bytes(), &counter.to_le_bytes()])
+        self.tag(&[
+            &[request_type],
+            &address.to_le_bytes(),
+            &counter.to_le_bytes(),
+        ])
     }
 
     /// Verifies a tag in constant-shape fashion (full compare, no early
     /// exit at the first byte).
     pub fn verify(&self, parts: &[&[u8]], tag: &Tag) -> bool {
         let expected = self.tag(parts);
-        expected.iter().zip(tag.iter()).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+        expected
+            .iter()
+            .zip(tag.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn engine(hash: MacHash) -> MacEngine {
         MacEngine::new([0x42; 16], hash)

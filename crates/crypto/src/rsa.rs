@@ -38,7 +38,9 @@ pub struct RsaKeyPair {
 
 impl std::fmt::Debug for RsaKeyPair {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RsaKeyPair").field("public", &self.public).finish_non_exhaustive()
+        f.debug_struct("RsaKeyPair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
     }
 }
 
@@ -72,7 +74,7 @@ impl RsaPublicKey {
     ///
     /// Returns [`CryptoError::BadSignature`] when verification fails.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
-        if &signature.0 >= &self.n {
+        if signature.0 >= self.n {
             return Err(CryptoError::BadSignature);
         }
         let recovered = signature.0.modpow(&self.e, &self.n);
@@ -115,7 +117,10 @@ impl RsaKeyPair {
             let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
             match e.modinv(&phi) {
                 Ok(d) => {
-                    return Ok(RsaKeyPair { public: RsaPublicKey { n, e }, d });
+                    return Ok(RsaKeyPair {
+                        public: RsaPublicKey { n, e },
+                        d,
+                    });
                 }
                 Err(_) => continue, // e shares a factor with phi; retry.
             }
@@ -186,7 +191,9 @@ mod tests {
     fn rng(seed: u64) -> impl FnMut() -> u64 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s ^ (s >> 29)
         }
     }
@@ -209,7 +216,10 @@ mod tests {
     fn tampered_message_fails() {
         let kp = small_keypair(2);
         let sig = kp.sign(b"genuine");
-        assert_eq!(kp.public().verify(b"forged!", &sig).unwrap_err(), CryptoError::BadSignature);
+        assert_eq!(
+            kp.public().verify(b"forged!", &sig).unwrap_err(),
+            CryptoError::BadSignature
+        );
     }
 
     #[test]
@@ -230,7 +240,10 @@ mod tests {
 
     #[test]
     fn fingerprints_are_distinct() {
-        assert_ne!(small_keypair(6).public().fingerprint(), small_keypair(7).public().fingerprint());
+        assert_ne!(
+            small_keypair(6).public().fingerprint(),
+            small_keypair(7).public().fingerprint()
+        );
     }
 
     #[test]

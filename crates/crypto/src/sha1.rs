@@ -83,7 +83,11 @@ impl Sha1 {
         self.update(&[0x80]);
         while self.buffer_len != 56 {
             let buffer_len = self.buffer_len;
-            let zeros = if buffer_len < 56 { 56 - buffer_len } else { 64 - buffer_len + 56 };
+            let zeros = if buffer_len < 56 {
+                56 - buffer_len
+            } else {
+                64 - buffer_len + 56
+            };
             let pad = vec![0u8; zeros.min(64)];
             self.update(&pad);
         }
@@ -136,15 +140,24 @@ impl Sha1 {
 mod tests {
     use super::*;
     use crate::md5::to_hex;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn fips180_vectors() {
-        assert_eq!(to_hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
         assert_eq!(
-            to_hex(&Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            to_hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
-        assert_eq!(to_hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            to_hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
@@ -154,7 +167,10 @@ mod tests {
         for _ in 0..1000 {
             h.update(&chunk);
         }
-        assert_eq!(to_hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     proptest::proptest! {

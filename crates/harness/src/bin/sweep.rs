@@ -1,0 +1,173 @@
+//! `sweep` — run a declarative experiment grid across all cores.
+//!
+//! ```text
+//! sweep [--spec FILE] [--workloads LIST|all] [--schemes LIST|all]
+//!       [--channels LIST] [--replicates N] [--master-seed SEED]
+//!       [-n/--instructions N] [--out FILE] [--threads N] [--fresh]
+//!       [--no-timing] [--dry-run] [--quiet]
+//! ```
+//!
+//! With no flags it runs the paper's Table 3 acceptance grid (15
+//! workloads × {unprotected, obfusmem, obfusmem-auth, oram}) on all
+//! cores and appends one JSONL row per job to `sweep.jsonl`. If the
+//! output file already has rows, those jobs are skipped — resume after a
+//! kill by re-running the same command. See `EXPERIMENTS.md`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use obfusmem_harness::runner::{effective_threads, run_sweep, RunOptions};
+use obfusmem_harness::spec::{parse_schemes, parse_u64, parse_workloads, SweepSpec};
+
+struct Cli {
+    spec: SweepSpec,
+    out: PathBuf,
+    opts: RunOptions,
+    fresh: bool,
+    dry_run: bool,
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("sweep: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.dry_run {
+        return dry_run(&cli);
+    }
+
+    if cli.fresh {
+        if let Err(e) = remove_if_exists(&cli.out) {
+            eprintln!("sweep: cannot remove {}: {e}", cli.out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "sweep: {} job(s) over {} thread(s) -> {}",
+        cli.spec.job_count(),
+        effective_threads(cli.opts.threads),
+        cli.out.display()
+    );
+    match run_sweep(&cli.spec, &cli.out, &cli.opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dry_run(cli: &Cli) -> ExitCode {
+    match cli.spec.expand() {
+        Ok(jobs) => {
+            for job in &jobs {
+                println!("{}\tseed=0x{:016x}", job.id, job.seed);
+            }
+            eprintln!("sweep: {} job(s) (dry run, nothing executed)", jobs.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn remove_if_exists(path: &std::path::Path) -> std::io::Result<()> {
+    match std::fs::remove_file(path) {
+        Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+        _ => Ok(()),
+    }
+}
+
+const USAGE: &str = "\
+usage: sweep [options]
+  --spec FILE          read a `key = value` sweep spec file first
+  --workloads LIST     comma list of workload names, or `all` (Table 1)
+  --schemes LIST       comma list of unprotected|encrypt-only|obfusmem|
+                       obfusmem-auth|oram, or `all`
+  --channels LIST      comma list of power-of-two channel counts
+  --replicates N       seeds per grid point (default 1)
+  --master-seed SEED   master seed, decimal or 0x-hex
+  -n, --instructions N instruction budget per job
+  --out FILE           JSONL results/checkpoint file (default sweep.jsonl)
+  --threads N          worker threads (default: all cores)
+  --fresh              delete the output file first instead of resuming
+  --no-timing          omit host wall_ms from rows (byte-stable output)
+  --dry-run            print the job list and derived seeds, run nothing
+  --quiet              suppress per-job progress lines
+  -h, --help           show this help";
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        spec: SweepSpec::default(),
+        out: PathBuf::from("sweep.jsonl"),
+        opts: RunOptions::default(),
+        fresh: false,
+        dry_run: false,
+    };
+    let mut args = args.peekable();
+    let next_value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => {
+                let path = next_value("--spec", &mut args)?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                cli.spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
+            }
+            "--workloads" => {
+                cli.spec.workloads = parse_workloads(&next_value("--workloads", &mut args)?);
+            }
+            "--schemes" => {
+                cli.spec.schemes = parse_schemes(&next_value("--schemes", &mut args)?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--channels" => {
+                let v = next_value("--channels", &mut args)?;
+                cli.spec.channels = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|_| format!("bad channel count {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--replicates" => {
+                let v = next_value("--replicates", &mut args)?;
+                cli.spec.replicates = v.parse().map_err(|_| format!("bad replicates {v:?}"))?;
+            }
+            "--master-seed" => {
+                let v = next_value("--master-seed", &mut args)?;
+                cli.spec.master_seed = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "-n" | "--instructions" => {
+                let v = next_value("--instructions", &mut args)?;
+                cli.spec.instructions = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--out" => cli.out = PathBuf::from(next_value("--out", &mut args)?),
+            "--threads" => {
+                let v = next_value("--threads", &mut args)?;
+                cli.opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--fresh" => cli.fresh = true,
+            "--no-timing" => cli.opts.timing = false,
+            "--dry-run" => cli.dry_run = true,
+            "--quiet" => cli.opts.quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}

@@ -1,0 +1,146 @@
+//! Jobs: the unit of scheduled work.
+//!
+//! A [`JobSpec`] is a fully self-describing simulation request — workload,
+//! scheme, machine knobs, instruction budget, and a seed derived from the
+//! master seed and the job's stable id alone. Because the seed never
+//! depends on scheduling order, any job can be re-run standalone (or on a
+//! machine with a different core count) and reproduce its JSONL row
+//! exactly.
+
+use std::time::Instant;
+
+use obfusmem_cpu::core::RunResult;
+use obfusmem_mem::config::MemConfig;
+use obfusmem_sim::rng::SplitMix64;
+
+use crate::measure::{run_point, workload_by_name, PointSpec, Scheme};
+
+/// One schedulable simulation job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Stable content id, e.g. `mcf/obfusmem-auth/c1/r0`. Checkpointing
+    /// and seeding key off this, never off grid position.
+    pub id: String,
+    /// Workload name (Table 1 benchmark or `micro`).
+    pub workload: String,
+    /// Protection scheme.
+    pub scheme: Scheme,
+    /// Memory channels.
+    pub channels: usize,
+    /// Instruction budget.
+    pub instructions: u64,
+    /// Replicate index (seed variation within one grid point).
+    pub replicate: u32,
+    /// Derived seed (see [`derive_seed`]).
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// Builds the stable id for a grid point.
+    pub fn make_id(workload: &str, scheme: Scheme, channels: usize, replicate: u32) -> String {
+        format!("{workload}/{}/c{channels}/r{replicate}", scheme.name())
+    }
+}
+
+/// Derives the seed for `job_id` under `master_seed`.
+///
+/// A fresh generator is built from the master seed and split once on the
+/// job id, so the result is a function of `(master_seed, job_id)` only —
+/// deterministic across thread counts, scheduling orders, and resumes.
+pub fn derive_seed(master_seed: u64, job_id: &str) -> u64 {
+    SplitMix64::new(master_seed).split_named(job_id).next_u64()
+}
+
+/// A completed job: the spec it ran, the simulation result, and how long
+/// the simulation took on the wall clock.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The spec that ran.
+    pub spec: JobSpec,
+    /// Simulation result.
+    pub result: RunResult,
+    /// Host wall-clock milliseconds spent simulating.
+    pub wall_ms: f64,
+}
+
+/// Runs one job. Pure with respect to the spec (the wall-clock field is
+/// the only thing that varies between identical runs).
+///
+/// # Panics
+///
+/// Panics if the workload name does not resolve; [`crate::spec::SweepSpec::expand`]
+/// validates names before any job is scheduled.
+pub fn run_job(spec: &JobSpec) -> JobOutput {
+    let workload = workload_by_name(&spec.workload)
+        .unwrap_or_else(|| panic!("job {}: unknown workload {:?}", spec.id, spec.workload));
+    let point = PointSpec {
+        mem: MemConfig::table2().with_channels(spec.channels),
+        ..PointSpec::paper(workload, spec.scheme, spec.instructions, spec.seed)
+    };
+    let started = Instant::now();
+    let result = run_point(&point);
+    JobOutput {
+        spec: spec.clone(),
+        result,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_depend_only_on_master_and_id() {
+        let a = derive_seed(1, "mcf/oram/c1/r0");
+        assert_eq!(a, derive_seed(1, "mcf/oram/c1/r0"));
+        assert_ne!(
+            a,
+            derive_seed(2, "mcf/oram/c1/r0"),
+            "master seed must matter"
+        );
+        assert_ne!(a, derive_seed(1, "mcf/oram/c1/r1"), "job id must matter");
+    }
+
+    #[test]
+    fn job_reruns_identically() {
+        let spec = JobSpec {
+            id: JobSpec::make_id("micro", Scheme::Obfusmem, 1, 0),
+            workload: "micro".into(),
+            scheme: Scheme::Obfusmem,
+            channels: 1,
+            instructions: 20_000,
+            replicate: 0,
+            seed: derive_seed(7, "micro/obfusmem/c1/r0"),
+        };
+        let a = run_job(&spec);
+        let b = run_job(&spec);
+        assert_eq!(a.result.exec_time, b.result.exec_time);
+        assert_eq!(a.result.misses, b.result.misses);
+        assert_eq!(a.spec, b.spec);
+    }
+
+    #[test]
+    fn replicates_differ_via_seed_only() {
+        let mk = |r: u32| {
+            let id = JobSpec::make_id("micro", Scheme::Unprotected, 1, r);
+            let seed = derive_seed(3, &id);
+            run_job(&JobSpec {
+                id,
+                workload: "micro".into(),
+                scheme: Scheme::Unprotected,
+                channels: 1,
+                instructions: 20_000,
+                replicate: r,
+                seed,
+            })
+        };
+        let r0 = mk(0);
+        let r1 = mk(1);
+        assert_ne!(r0.spec.seed, r1.spec.seed);
+        assert_ne!(
+            r0.result.exec_time, r1.result.exec_time,
+            "different seeds should perturb the miss stream"
+        );
+    }
+}

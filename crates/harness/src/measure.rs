@@ -1,0 +1,188 @@
+//! The single-point measurement primitive every experiment is built from.
+//!
+//! A *point* is one `(workload, scheme, machine)` simulation. The Table 1
+//! / Table 3 / Figure 4 / Figure 5 runners in `obfusmem-bench` and the
+//! sweep harness's jobs are all thin wrappers around [`run_point`], so a
+//! number produced by a batch sweep is bit-identical to the same number
+//! produced by the interactive `tables` binary.
+
+use obfusmem_core::config::{ObfusMemConfig, SecurityLevel};
+use obfusmem_core::system::{System, SystemConfig};
+use obfusmem_cpu::core::{RunResult, TraceDrivenCore};
+use obfusmem_cpu::workload::{by_name, micro_test_workload, WorkloadSpec};
+use obfusmem_mem::config::MemConfig;
+use obfusmem_oram::model::OramModel;
+
+/// A protection scheme column — the axis swept in Table 3 and Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No protection: the overhead baseline.
+    Unprotected,
+    /// Counter-mode memory encryption only.
+    EncryptOnly,
+    /// ObfusMem obfuscation without communication authentication.
+    Obfusmem,
+    /// ObfusMem + encrypt-and-MAC authentication (the paper's headline).
+    ObfusmemAuth,
+    /// The paper's fixed-latency (2500 ns) Path ORAM performance model.
+    OramModel,
+}
+
+impl Scheme {
+    /// Every scheme, in canonical sweep order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Unprotected,
+        Scheme::EncryptOnly,
+        Scheme::Obfusmem,
+        Scheme::ObfusmemAuth,
+        Scheme::OramModel,
+    ];
+
+    /// The Table 3 grid plus the baseline the overheads are against.
+    pub const TABLE3: [Scheme; 4] = [
+        Scheme::Unprotected,
+        Scheme::Obfusmem,
+        Scheme::ObfusmemAuth,
+        Scheme::OramModel,
+    ];
+
+    /// Stable CLI / JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Unprotected => "unprotected",
+            Scheme::EncryptOnly => "encrypt-only",
+            Scheme::Obfusmem => "obfusmem",
+            Scheme::ObfusmemAuth => "obfusmem-auth",
+            Scheme::OramModel => "oram",
+        }
+    }
+
+    /// Parses a CLI / spec-file name.
+    pub fn parse(s: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|scheme| scheme.name() == s)
+    }
+
+    /// The security level a `System`-backed scheme runs at; `None` for
+    /// the ORAM model (which replaces the whole memory path).
+    pub fn security(self) -> Option<SecurityLevel> {
+        match self {
+            Scheme::Unprotected => Some(SecurityLevel::Unprotected),
+            Scheme::EncryptOnly => Some(SecurityLevel::EncryptOnly),
+            Scheme::Obfusmem => Some(SecurityLevel::Obfuscate),
+            Scheme::ObfusmemAuth => Some(SecurityLevel::ObfuscateAuth),
+            Scheme::OramModel => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything one simulation point needs.
+#[derive(Debug, Clone)]
+pub struct PointSpec {
+    /// Workload to drive the core with.
+    pub workload: WorkloadSpec,
+    /// Protection scheme.
+    pub scheme: Scheme,
+    /// Full ObfusMem design point (`security` is overridden by `scheme`).
+    pub obfus: ObfusMemConfig,
+    /// Memory geometry/timing.
+    pub mem: MemConfig,
+    /// Instruction budget.
+    pub instructions: u64,
+    /// Workload-stream seed.
+    pub seed: u64,
+    /// Backend seed. `None` keeps [`System::new`]'s fixed default so
+    /// numbers match the historical `tables` output; sweeps that want the
+    /// backend's dummy scheduling to vary per job set it explicitly.
+    pub backend_seed: Option<u64>,
+}
+
+impl PointSpec {
+    /// A point on the paper's Table 2 machine with default knobs.
+    pub fn paper(workload: WorkloadSpec, scheme: Scheme, instructions: u64, seed: u64) -> Self {
+        PointSpec {
+            workload,
+            scheme,
+            obfus: ObfusMemConfig::paper_default(),
+            mem: MemConfig::table2(),
+            instructions,
+            seed,
+            backend_seed: None,
+        }
+    }
+}
+
+/// Resolves a workload name: any Table 1 benchmark, or `micro` (the fast
+/// synthetic workload tests and smoke sweeps use).
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    if name == "micro" {
+        return Some(micro_test_workload());
+    }
+    by_name(name)
+}
+
+/// Runs one simulation point. Pure: identical specs produce identical
+/// results regardless of thread, process, or ordering.
+pub fn run_point(p: &PointSpec) -> RunResult {
+    match p.scheme.security() {
+        Some(security) => {
+            let cfg = SystemConfig {
+                security,
+                obfus: p.obfus,
+                mem: p.mem.clone(),
+            };
+            let mut sys = match p.backend_seed {
+                None => System::new(cfg),
+                Some(seed) => System::with_seed(cfg, seed),
+            };
+            sys.run(&p.workload, p.instructions, p.seed)
+        }
+        None => {
+            let core = TraceDrivenCore::new();
+            let mut model = OramModel::paper();
+            core.run(&p.workload, p.instructions, &mut model, p.seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for scheme in Scheme::ALL {
+            assert_eq!(Scheme::parse(scheme.name()), Some(scheme));
+        }
+        assert_eq!(Scheme::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn run_point_is_pure() {
+        let p = PointSpec::paper(micro_test_workload(), Scheme::ObfusmemAuth, 20_000, 9);
+        let a = run_point(&p);
+        let b = run_point(&p);
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.misses, b.misses);
+    }
+
+    #[test]
+    fn oram_model_point_is_slower_than_unprotected() {
+        let mk = |scheme| run_point(&PointSpec::paper(micro_test_workload(), scheme, 50_000, 3));
+        let base = mk(Scheme::Unprotected);
+        let oram = mk(Scheme::OramModel);
+        assert!(oram.exec_time > base.exec_time);
+    }
+
+    #[test]
+    fn micro_workload_resolves() {
+        assert!(workload_by_name("micro").is_some());
+        assert!(workload_by_name("mcf").is_some());
+        assert!(workload_by_name("not-a-workload").is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Progress and ETA reporting for long sweeps.
+//!
+//! Progress lines go to stderr (results own stdout when no `--out` file
+//! is given) and are throttled so a sweep of thousands of fast jobs does
+//! not drown the terminal. The ETA is the classic remaining × average
+//! estimate over jobs completed *this run* — resumed jobs from a previous
+//! run never skew it.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Throttled progress/ETA reporter.
+pub struct Progress {
+    total: usize,
+    done: usize,
+    skipped: usize,
+    started: Instant,
+    last_print: Option<Instant>,
+    min_gap: Duration,
+    quiet: bool,
+}
+
+impl Progress {
+    /// A reporter for `total` jobs, `skipped` of which were restored from
+    /// a checkpoint. `quiet` suppresses everything except the summary.
+    pub fn new(total: usize, skipped: usize, quiet: bool) -> Progress {
+        Progress {
+            total,
+            done: 0,
+            skipped,
+            started: Instant::now(),
+            last_print: None,
+            min_gap: Duration::from_millis(200),
+            quiet,
+        }
+    }
+
+    /// Records one completed job and maybe prints a progress line.
+    pub fn tick(&mut self, job_id: &str) {
+        self.done += 1;
+        if self.quiet {
+            return;
+        }
+        let now = Instant::now();
+        let due = match self.last_print {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.min_gap,
+        };
+        if due || self.done + self.skipped == self.total {
+            self.last_print = Some(now);
+            let line = self.format_line(job_id);
+            let _ = writeln!(std::io::stderr(), "{line}");
+        }
+    }
+
+    /// Prints the final summary (always, even in quiet mode).
+    pub fn finish(&self) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let _ = writeln!(
+            std::io::stderr(),
+            "sweep: {} job(s) run, {} resumed from checkpoint, {:.1}s elapsed",
+            self.done,
+            self.skipped,
+            elapsed
+        );
+    }
+
+    fn format_line(&self, job_id: &str) -> String {
+        let finished = self.done + self.skipped;
+        let mut line = format!("[{finished}/{}] {job_id}", self.total);
+        if let Some(eta) = self.eta_seconds() {
+            line.push_str(&format!("  (eta {})", fmt_eta(eta)));
+        }
+        line
+    }
+
+    /// Remaining × mean-cost estimate over this run's completions.
+    fn eta_seconds(&self) -> Option<f64> {
+        if self.done == 0 {
+            return None;
+        }
+        let remaining = self.total - self.done - self.skipped;
+        let per_job = self.started.elapsed().as_secs_f64() / self.done as f64;
+        Some(remaining as f64 * per_job)
+    }
+}
+
+fn fmt_eta(seconds: f64) -> String {
+    let s = seconds.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_counts_only_this_runs_jobs() {
+        let mut p = Progress::new(10, 4, true);
+        assert_eq!(p.eta_seconds(), None, "no data before the first completion");
+        p.tick("a");
+        p.tick("b");
+        // 4 remaining (10 - 2 done - 4 skipped); must be finite and >= 0.
+        let eta = p.eta_seconds().unwrap();
+        assert!(eta >= 0.0 && eta.is_finite());
+    }
+
+    #[test]
+    fn eta_formats_all_magnitudes() {
+        assert_eq!(fmt_eta(12.3), "12s");
+        assert_eq!(fmt_eta(90.0), "1m30s");
+        assert_eq!(fmt_eta(3725.0), "1h02m");
+    }
+}

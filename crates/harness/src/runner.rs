@@ -1,0 +1,236 @@
+//! Sweep orchestration: expand → resume-filter → schedule → ordered emit.
+//!
+//! Completions arrive from the pool in whatever order the workers finish,
+//! but rows must land in the file in canonical grid order — that is what
+//! makes a sweep's output byte-identical across thread counts and what
+//! lets resume reason about the file as an ordered prefix-with-holes. The
+//! runner buffers out-of-order completions in a `BTreeMap` keyed by grid
+//! index and drains the ready prefix after every arrival.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::job::{run_job, JobOutput, JobSpec};
+use crate::pool::run_jobs;
+use crate::progress::Progress;
+use crate::sink::{completed_ids, JsonlSink};
+use crate::spec::{SpecError, SweepSpec};
+
+/// Knobs for one sweep invocation (everything the CLI exposes that is
+/// not part of the grid itself).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads. `0` means all available parallelism.
+    pub threads: usize,
+    /// Include host wall-clock timing in rows (off for byte-identical
+    /// output across runs).
+    pub timing: bool,
+    /// Suppress per-job progress lines.
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: 0,
+            timing: true,
+            quiet: false,
+        }
+    }
+}
+
+/// What a sweep did, for the caller's summary line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Jobs in the expanded grid.
+    pub total: usize,
+    /// Jobs simulated by this invocation.
+    pub ran: usize,
+    /// Jobs skipped because the results file already had their row.
+    pub resumed: usize,
+}
+
+/// Errors a sweep can hit: a bad spec up front, or I/O on the sink.
+#[derive(Debug)]
+pub enum SweepRunError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// The results file could not be read or written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SweepRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepRunError::Spec(e) => e.fmt(f),
+            SweepRunError::Io(e) => write!(f, "results file error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepRunError {}
+
+impl From<SpecError> for SweepRunError {
+    fn from(e: SpecError) -> Self {
+        SweepRunError::Spec(e)
+    }
+}
+
+impl From<std::io::Error> for SweepRunError {
+    fn from(e: std::io::Error) -> Self {
+        SweepRunError::Io(e)
+    }
+}
+
+/// Runs `spec` to completion, appending rows to `out` in canonical grid
+/// order and skipping jobs whose rows are already present.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    out: &Path,
+    opts: &RunOptions,
+) -> Result<SweepReport, SweepRunError> {
+    let all_jobs = spec.expand()?;
+    let total = all_jobs.len();
+    let done = completed_ids(out)?;
+    let pending: Vec<JobSpec> = all_jobs
+        .into_iter()
+        .filter(|j| !done.contains(&j.id))
+        .collect();
+    let resumed = total - pending.len();
+    let ran = pending.len();
+
+    let mut sink = JsonlSink::append(out, opts.timing)?;
+    let mut progress = Progress::new(total, resumed, opts.quiet);
+    let threads = effective_threads(opts.threads);
+
+    // Ordered emission: hold completions until every earlier grid index
+    // has been written, then flush the contiguous ready prefix.
+    let mut ready: BTreeMap<usize, JobOutput> = BTreeMap::new();
+    let mut next_emit = 0usize;
+    let mut io_error: Option<std::io::Error> = None;
+
+    run_jobs(pending, threads, run_job, |index, _spec, output| {
+        if io_error.is_some() {
+            return; // drain remaining completions without writing
+        }
+        ready.insert(index, output);
+        while let Some(output) = ready.remove(&next_emit) {
+            if let Err(e) = sink.write(&output) {
+                io_error = Some(e);
+                return;
+            }
+            progress.tick(&output.spec.id);
+            next_emit += 1;
+        }
+    });
+    if let Some(e) = io_error {
+        return Err(SweepRunError::Io(e));
+    }
+    progress.finish();
+    Ok(SweepReport {
+        total,
+        ran,
+        resumed,
+    })
+}
+
+/// Resolves `0` to the host's available parallelism (falling back to 1).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Scheme;
+    use std::path::PathBuf;
+
+    fn micro_spec() -> SweepSpec {
+        SweepSpec {
+            workloads: vec!["micro".into()],
+            schemes: vec![Scheme::Unprotected, Scheme::Obfusmem],
+            channels: vec![1],
+            replicates: 2,
+            master_seed: 5,
+            instructions: 5_000,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("obfusmem-runner-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn read_ids_in_file_order(path: &Path) -> Vec<String> {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter_map(|l| crate::jsonl::extract_string_field(l, "id"))
+            .collect()
+    }
+
+    #[test]
+    fn rows_land_in_canonical_order_even_multithreaded() {
+        let path = temp_path("order");
+        let _ = std::fs::remove_file(&path);
+        let spec = micro_spec();
+        let opts = RunOptions {
+            threads: 4,
+            timing: false,
+            quiet: true,
+        };
+        let report = run_sweep(&spec, &path, &opts).unwrap();
+        assert_eq!(
+            report,
+            SweepReport {
+                total: 4,
+                ran: 4,
+                resumed: 0
+            }
+        );
+        let expected: Vec<String> = spec.expand().unwrap().into_iter().map(|j| j.id).collect();
+        assert_eq!(read_ids_in_file_order(&path), expected);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn second_run_resumes_everything() {
+        let path = temp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let spec = micro_spec();
+        let opts = RunOptions {
+            threads: 2,
+            timing: false,
+            quiet: true,
+        };
+        run_sweep(&spec, &path, &opts).unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        let report = run_sweep(&spec, &path, &opts).unwrap();
+        assert_eq!(
+            report,
+            SweepReport {
+                total: 4,
+                ran: 0,
+                resumed: 4
+            }
+        );
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            before,
+            "no duplicate rows"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

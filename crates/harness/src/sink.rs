@@ -1,0 +1,192 @@
+//! JSONL result sink with checkpoint/resume.
+//!
+//! The results file *is* the checkpoint: one JSON object per completed
+//! job, appended and flushed as soon as the job's turn in canonical order
+//! comes up. On restart the sink re-reads the file, collects the `id`
+//! field of every well-formed line, and the runner skips those jobs. A
+//! line truncated mid-write by a kill simply fails to parse and its job
+//! is re-run — re-running a pure job is free, losing a row is not.
+
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::job::JobOutput;
+use crate::jsonl::{extract_string_field, JsonObject};
+
+/// Serialises one completed job as a flat JSON object.
+///
+/// With `timing`, a host `wall_ms` field is appended; sweeps that want
+/// byte-identical output across machines and thread counts pass `false`.
+pub fn encode_row(out: &JobOutput, timing: bool) -> String {
+    let spec = &out.spec;
+    let r = &out.result;
+    let mut obj = JsonObject::new()
+        .string("id", &spec.id)
+        .string("workload", &spec.workload)
+        .string("scheme", spec.scheme.name())
+        .u64("channels", spec.channels as u64)
+        .u64("replicate", spec.replicate as u64)
+        .u64("seed", spec.seed)
+        .u64("instructions", r.instructions)
+        .u64("misses", r.misses)
+        .u64("writebacks", r.writebacks)
+        .u64("exec_time_ps", r.exec_time.as_ps())
+        .f64("ipc", r.ipc)
+        .f64("avg_fill_latency_ns", r.avg_fill_latency_ns)
+        .f64("avg_request_gap_ns", r.avg_request_gap_ns);
+    if timing {
+        obj = obj.f64("wall_ms", out.wall_ms);
+    }
+    obj.finish()
+}
+
+/// Reads the ids of jobs already completed in `path`. Missing file means
+/// a fresh sweep; malformed or truncated lines are skipped.
+pub fn completed_ids(path: &Path) -> std::io::Result<BTreeSet<String>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+        Err(e) => return Err(e),
+    };
+    let mut ids = BTreeSet::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        // Only a structurally complete row counts: a torn row can still
+        // carry an intact `id` (it is the first field), and treating it
+        // as done would silently drop the job's metrics forever.
+        let complete = line.starts_with('{') && line.trim_end().ends_with('}');
+        if !complete {
+            continue;
+        }
+        if let Some(id) = extract_string_field(&line, "id") {
+            ids.insert(id);
+        }
+    }
+    Ok(ids)
+}
+
+/// An append-mode JSONL writer that flushes after every row, so a kill
+/// loses at most the row being written.
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    timing: bool,
+}
+
+impl JsonlSink {
+    /// Opens `path` for appending (creating it if needed). If a previous
+    /// run was killed mid-write and left the file without a trailing
+    /// newline, one is added first so new rows never merge into the torn
+    /// fragment's line.
+    pub fn append(path: &Path, timing: bool) -> std::io::Result<JsonlSink> {
+        let needs_newline = match std::fs::read(path) {
+            Ok(bytes) => !bytes.is_empty() && bytes.last() != Some(&b'\n'),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut sink = JsonlSink {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            timing,
+        };
+        if needs_newline {
+            sink.writer.write_all(b"\n")?;
+            sink.writer.flush()?;
+        }
+        Ok(sink)
+    }
+
+    /// Path the sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one result row and flushes it to the OS. Row and newline
+    /// go down in a single write so a kill cannot split them.
+    pub fn write(&mut self, out: &JobOutput) -> std::io::Result<()> {
+        let mut row = encode_row(out, self.timing);
+        row.push('\n');
+        self.writer.write_all(row.as_bytes())?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{derive_seed, run_job, JobSpec};
+    use crate::measure::Scheme;
+
+    fn sample_output() -> JobOutput {
+        let id = JobSpec::make_id("micro", Scheme::Unprotected, 1, 0);
+        let seed = derive_seed(1, &id);
+        run_job(&JobSpec {
+            id,
+            workload: "micro".into(),
+            scheme: Scheme::Unprotected,
+            channels: 1,
+            instructions: 5_000,
+            replicate: 0,
+            seed,
+        })
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("obfusmem-sink-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn rows_without_timing_are_reproducible() {
+        let out = sample_output();
+        let again = run_job(&out.spec);
+        assert_eq!(encode_row(&out, false), encode_row(&again, false));
+        assert!(encode_row(&out, true).contains("wall_ms"));
+        assert!(!encode_row(&out, false).contains("wall_ms"));
+    }
+
+    #[test]
+    fn sink_round_trips_completed_ids_and_skips_truncated_rows() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            completed_ids(&path).unwrap().is_empty(),
+            "missing file is a fresh sweep"
+        );
+
+        let out = sample_output();
+        let mut sink = JsonlSink::append(&path, true).unwrap();
+        sink.write(&out).unwrap();
+        drop(sink);
+
+        // Simulate a kill mid-write: append half of a second row.
+        let row = encode_row(&out, true).replace("/r0", "/r1");
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&row.as_bytes()[..row.len() / 3]).unwrap();
+        drop(f);
+
+        let ids = completed_ids(&path).unwrap();
+        assert!(ids.contains(&out.spec.id));
+        assert_eq!(ids.len(), 1, "truncated row must not count as completed");
+
+        // Reopening must not merge new rows into the torn fragment's line.
+        let replacement = {
+            let mut spec = out.spec.clone();
+            spec.id = spec.id.replace("/r0", "/r1");
+            JobOutput {
+                spec,
+                ..out.clone()
+            }
+        };
+        let mut sink = JsonlSink::append(&path, true).unwrap();
+        sink.write(&replacement).unwrap();
+        drop(sink);
+        let ids = completed_ids(&path).unwrap();
+        assert_eq!(ids.len(), 2, "both real rows must now be complete");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names the axes of a cartesian grid — workloads ×
+//! schemes × channel counts × replicates — plus the master seed and
+//! instruction budget. [`SweepSpec::expand`] flattens it into the
+//! canonical job list: workload-major, then scheme, channels, replicate.
+//! That order is part of the format: result files are written in it, and
+//! resume compares against it.
+//!
+//! Specs can also be read from a tiny `key = value` text format (see
+//! [`SweepSpec::parse`]), documented in `EXPERIMENTS.md`:
+//!
+//! ```text
+//! # Table 3 grid, 3 seeds per point
+//! workloads    = all
+//! schemes      = unprotected, obfusmem, obfusmem-auth, oram
+//! channels     = 1
+//! replicates   = 3
+//! master_seed  = 0xB0B
+//! instructions = 2000000
+//! ```
+
+use obfusmem_cpu::workload::table1_workloads;
+
+use crate::job::{derive_seed, JobSpec};
+use crate::measure::{workload_by_name, Scheme};
+
+/// A cartesian sweep over the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Workload names (`all` in the text format expands to Table 1).
+    pub workloads: Vec<String>,
+    /// Protection schemes.
+    pub schemes: Vec<Scheme>,
+    /// Channel counts (powers of two).
+    pub channels: Vec<usize>,
+    /// Seeds per grid point.
+    pub replicates: u32,
+    /// Master seed every job seed derives from.
+    pub master_seed: u64,
+    /// Instruction budget per job.
+    pub instructions: u64,
+}
+
+impl Default for SweepSpec {
+    /// The acceptance grid: all 15 Table 1 workloads × the Table 3 scheme
+    /// set (with the unprotected baseline), one channel, one replicate.
+    fn default() -> Self {
+        SweepSpec {
+            workloads: table1_workloads()
+                .iter()
+                .map(|w| w.name.to_string())
+                .collect(),
+            schemes: Scheme::TABLE3.to_vec(),
+            channels: vec![1],
+            replicates: 1,
+            master_seed: 0x0B_F0_5E_ED,
+            instructions: 2_000_000,
+        }
+    }
+}
+
+/// A malformed or unsatisfiable spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid sweep spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+impl SweepSpec {
+    /// Number of jobs the grid expands to.
+    pub fn job_count(&self) -> usize {
+        self.workloads.len() * self.schemes.len() * self.channels.len() * self.replicates as usize
+    }
+
+    /// Validates the axes and expands the grid in canonical order.
+    pub fn expand(&self) -> Result<Vec<JobSpec>, SpecError> {
+        if self.workloads.is_empty() {
+            return Err(err("no workloads"));
+        }
+        if self.schemes.is_empty() {
+            return Err(err("no schemes"));
+        }
+        if self.channels.is_empty() {
+            return Err(err("no channel counts"));
+        }
+        if self.replicates == 0 {
+            return Err(err("replicates must be at least 1"));
+        }
+        if self.instructions == 0 {
+            return Err(err("instructions must be at least 1"));
+        }
+        for w in &self.workloads {
+            if workload_by_name(w).is_none() {
+                return Err(err(format!("unknown workload {w:?}")));
+            }
+        }
+        for &c in &self.channels {
+            if c == 0 || !c.is_power_of_two() {
+                return Err(err(format!("channels must be a power of two, got {c}")));
+            }
+        }
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for workload in &self.workloads {
+            for &scheme in &self.schemes {
+                for &channels in &self.channels {
+                    for replicate in 0..self.replicates {
+                        let id = JobSpec::make_id(workload, scheme, channels, replicate);
+                        let seed = derive_seed(self.master_seed, &id);
+                        jobs.push(JobSpec {
+                            id,
+                            workload: workload.clone(),
+                            scheme,
+                            channels,
+                            instructions: self.instructions,
+                            replicate,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Parses the `key = value` text format. Unknown keys are errors (a
+    /// typo silently ignored would silently change a sweep).
+    pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
+        let mut spec = SweepSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("line {}: expected `key = value`", lineno + 1)))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "workloads" => spec.workloads = parse_workloads(value),
+                "schemes" => spec.schemes = parse_schemes(value)?,
+                "channels" => {
+                    spec.channels = split_list(value)
+                        .map(|v| {
+                            v.parse::<usize>()
+                                .map_err(|_| err(format!("bad channel count {v:?}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+                "replicates" => {
+                    spec.replicates = value
+                        .parse()
+                        .map_err(|_| err(format!("bad replicates {value:?}")))?
+                }
+                "master_seed" => spec.master_seed = parse_u64(value)?,
+                "instructions" => {
+                    spec.instructions = value
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| err(format!("bad instructions {value:?}")))?
+                }
+                other => return Err(err(format!("unknown key {other:?}"))),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn split_list(value: &str) -> impl Iterator<Item = &str> {
+    value.split(',').map(str::trim).filter(|v| !v.is_empty())
+}
+
+/// `all` → the Table 1 set; otherwise a comma list of names.
+pub fn parse_workloads(value: &str) -> Vec<String> {
+    if value == "all" {
+        table1_workloads()
+            .iter()
+            .map(|w| w.name.to_string())
+            .collect()
+    } else {
+        split_list(value).map(str::to_string).collect()
+    }
+}
+
+/// Comma list of scheme names (`all` → every scheme).
+pub fn parse_schemes(value: &str) -> Result<Vec<Scheme>, SpecError> {
+    if value == "all" {
+        return Ok(Scheme::ALL.to_vec());
+    }
+    split_list(value)
+        .map(|v| Scheme::parse(v).ok_or_else(|| err(format!("unknown scheme {v:?}"))))
+        .collect()
+}
+
+/// Decimal or `0x`-prefixed hex.
+pub fn parse_u64(value: &str) -> Result<u64, SpecError> {
+    let cleaned = value.replace('_', "");
+    let parsed = match cleaned.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => cleaned.parse(),
+    };
+    parsed.map_err(|_| err(format!("bad integer {value:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepSpec {
+        SweepSpec {
+            workloads: vec!["micro".into(), "mcf".into()],
+            schemes: vec![Scheme::Unprotected, Scheme::OramModel],
+            channels: vec![1, 2],
+            replicates: 2,
+            master_seed: 11,
+            instructions: 1000,
+        }
+    }
+
+    #[test]
+    fn expansion_is_canonical_and_complete() {
+        let jobs = tiny().expand().unwrap();
+        assert_eq!(jobs.len(), tiny().job_count());
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+        // Workload-major order, replicate fastest.
+        assert_eq!(jobs[0].id, "micro/unprotected/c1/r0");
+        assert_eq!(jobs[1].id, "micro/unprotected/c1/r1");
+        assert_eq!(jobs[2].id, "micro/unprotected/c2/r0");
+        assert_eq!(jobs[4].id, "micro/oram/c1/r0");
+        assert_eq!(jobs[8].id, "mcf/unprotected/c1/r0");
+        // Ids are unique.
+        let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn expansion_seeds_are_order_independent() {
+        let full = tiny().expand().unwrap();
+        let mut narrowed = tiny();
+        narrowed.workloads = vec!["mcf".into()]; // drop the first axis value
+        let sub = narrowed.expand().unwrap();
+        for job in &sub {
+            let twin = full
+                .iter()
+                .find(|j| j.id == job.id)
+                .expect("subset of the full grid");
+            assert_eq!(
+                twin.seed, job.seed,
+                "{}: seed must not depend on grid shape",
+                job.id
+            );
+        }
+    }
+
+    #[test]
+    fn default_spec_is_the_table3_grid() {
+        let spec = SweepSpec::default();
+        assert_eq!(spec.workloads.len(), 15);
+        assert_eq!(spec.schemes.len(), 4);
+        assert_eq!(spec.job_count(), 60);
+        spec.expand().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_axes() {
+        let mut s = tiny();
+        s.workloads = vec!["nope".into()];
+        assert!(s.expand().is_err());
+        let mut s = tiny();
+        s.channels = vec![3];
+        assert!(s.expand().is_err());
+        let mut s = tiny();
+        s.replicates = 0;
+        assert!(s.expand().is_err());
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let text = "\
+            # comment\n\
+            workloads = micro, mcf   # trailing comment\n\
+            schemes = obfusmem-auth, oram\n\
+            channels = 1, 4\n\
+            replicates = 3\n\
+            master_seed = 0xB0B\n\
+            instructions = 2_000_000\n";
+        let spec = SweepSpec::parse(text).unwrap();
+        assert_eq!(spec.workloads, vec!["micro", "mcf"]);
+        assert_eq!(spec.schemes, vec![Scheme::ObfusmemAuth, Scheme::OramModel]);
+        assert_eq!(spec.channels, vec![1, 4]);
+        assert_eq!(spec.replicates, 3);
+        assert_eq!(spec.master_seed, 0xB0B);
+        assert_eq!(spec.instructions, 2_000_000);
+    }
+
+    #[test]
+    fn text_format_rejects_unknown_keys() {
+        assert!(SweepSpec::parse("workload = mcf").is_err());
+        assert!(SweepSpec::parse("schemes = warp-drive").is_err());
+        assert!(SweepSpec::parse("channels = x").is_err());
+    }
+
+    #[test]
+    fn all_expands_to_table1() {
+        assert_eq!(parse_workloads("all").len(), 15);
+        assert_eq!(parse_schemes("all").unwrap(), Scheme::ALL.to_vec());
+    }
+}

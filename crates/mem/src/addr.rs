@@ -64,13 +64,22 @@ pub fn decode(cfg: &MemConfig, addr: u64) -> DecodedAddr {
             let bank = take(&mut a, ba_bits) as usize;
             let rank = take(&mut a, ra_bits) as usize;
             let row = a;
-            DecodedAddr { channel, rank, bank, row, column }
+            DecodedAddr {
+                channel,
+                rank,
+                bank,
+                row,
+                column,
+            }
         }
         AddressMapping::RoBaRaCoCh => {
             let mut a = addr >> crate::request::BLOCK_BYTES.trailing_zeros();
             let block_off = addr & (crate::request::BLOCK_BYTES as u64 - 1);
             let channel = take(&mut a, ch_bits) as usize;
-            let col_blocks = take(&mut a, col_bits - crate::request::BLOCK_BYTES.trailing_zeros());
+            let col_blocks = take(
+                &mut a,
+                col_bits - crate::request::BLOCK_BYTES.trailing_zeros(),
+            );
             let rank = take(&mut a, ra_bits) as usize;
             let bank = take(&mut a, ba_bits) as usize;
             let row = a;
@@ -86,7 +95,7 @@ pub fn decode(cfg: &MemConfig, addr: u64) -> DecodedAddr {
 }
 
 fn take(addr: &mut u64, bits: u32) -> u64 {
-    let v = *addr & ((1u64 << bits) - 1).max(0);
+    let v = *addr & ((1u64 << bits) - 1);
     *addr >>= bits;
     if bits == 0 {
         0
@@ -98,6 +107,7 @@ fn take(addr: &mut u64, bits: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn rorabachco_fields_in_range() {
@@ -127,8 +137,9 @@ mod tests {
 
     #[test]
     fn robaracoch_interleaves_at_block_granularity() {
-        let cfg =
-            MemConfig::table2().with_channels(4).with_mapping(AddressMapping::RoBaRaCoCh);
+        let cfg = MemConfig::table2()
+            .with_channels(4)
+            .with_mapping(AddressMapping::RoBaRaCoCh);
         assert_eq!(decode(&cfg, 0).channel, 0);
         assert_eq!(decode(&cfg, 64).channel, 1);
         assert_eq!(decode(&cfg, 128).channel, 2);

@@ -49,7 +49,12 @@ impl Default for Bank {
 impl Bank {
     /// A bank with no open row.
     pub fn new() -> Self {
-        Bank { open_row: None, dirty: false, busy_until: Time::ZERO, last_evicted_row: None }
+        Bank {
+            open_row: None,
+            dirty: false,
+            busy_until: Time::ZERO,
+            last_evicted_row: None,
+        }
     }
 
     /// The currently open row, if any.

@@ -67,7 +67,9 @@ impl Channel {
     /// Creates a channel for `cfg` (banks = ranks × banks_per_rank).
     pub fn new(cfg: &MemConfig) -> Self {
         Channel {
-            banks: (0..cfg.ranks_per_channel * cfg.banks_per_rank).map(|_| Bank::new()).collect(),
+            banks: (0..cfg.ranks_per_channel * cfg.banks_per_rank)
+                .map(|_| Bank::new())
+                .collect(),
             request_lane_free: Time::ZERO,
             response_lane_free: Time::ZERO,
             stats: ChannelStats::default(),
@@ -163,7 +165,11 @@ impl Channel {
         }
         self.stats.bus_busy_ps.add(cfg.t_burst.as_ps());
 
-        ChannelAccess { complete_at, outcome, cell_write_row }
+        ChannelAccess {
+            complete_at,
+            outcome,
+            cell_write_row,
+        }
     }
 }
 
@@ -204,7 +210,10 @@ mod tests {
         );
         let a = ch.access(&c, Time::ZERO, d0, AccessKind::Read);
         let b = ch.access(&c, Time::ZERO, d1, AccessKind::Read);
-        assert!(b.complete_at >= a.complete_at, "bus must serialize transfers");
+        assert!(
+            b.complete_at >= a.complete_at,
+            "bus must serialize transfers"
+        );
         assert_eq!(b.complete_at.since(a.complete_at), c.t_burst);
     }
 
@@ -223,7 +232,12 @@ mod tests {
         let c = cfg();
         let mut ch = Channel::new(&c);
         ch.access(&c, Time::ZERO, decode(&c, 0), AccessKind::Read);
-        ch.access(&c, Time::from_ps(200_000), decode(&c, 64), AccessKind::Write);
+        ch.access(
+            &c,
+            Time::from_ps(200_000),
+            decode(&c, 64),
+            AccessKind::Write,
+        );
         assert_eq!(ch.stats().reads.get(), 1);
         assert_eq!(ch.stats().writes.get(), 1);
         assert_eq!(ch.stats().row_hits.get(), 1);

@@ -59,7 +59,10 @@ impl MemConfig {
     ///
     /// Panics if `channels` is zero or not a power of two.
     pub fn with_channels(mut self, channels: usize) -> Self {
-        assert!(channels > 0 && channels.is_power_of_two(), "channels must be a power of two");
+        assert!(
+            channels > 0 && channels.is_power_of_two(),
+            "channels must be a power of two"
+        );
         self.channels = channels;
         self
     }
@@ -92,16 +95,34 @@ impl MemConfig {
     /// Panics (with a description) on an inconsistent geometry; called by
     /// the device constructor.
     pub fn validate(&self) {
-        assert!(self.capacity_bytes.is_power_of_two(), "capacity must be a power of two");
-        assert!(self.row_buffer_bytes.is_power_of_two(), "row buffer must be a power of two");
-        assert!(self.channels.is_power_of_two(), "channels must be a power of two");
-        assert!(self.ranks_per_channel.is_power_of_two(), "ranks must be a power of two");
-        assert!(self.banks_per_rank.is_power_of_two(), "banks must be a power of two");
+        assert!(
+            self.capacity_bytes.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert!(
+            self.row_buffer_bytes.is_power_of_two(),
+            "row buffer must be a power of two"
+        );
+        assert!(
+            self.channels.is_power_of_two(),
+            "channels must be a power of two"
+        );
+        assert!(
+            self.ranks_per_channel.is_power_of_two(),
+            "ranks must be a power of two"
+        );
+        assert!(
+            self.banks_per_rank.is_power_of_two(),
+            "banks must be a power of two"
+        );
         assert!(
             self.rows_per_bank() >= 1,
             "geometry implies zero rows per bank (capacity too small)"
         );
-        assert!(self.blocks_per_row() >= 1, "row buffer smaller than a block");
+        assert!(
+            self.blocks_per_row() >= 1,
+            "row buffer smaller than a block"
+        );
     }
 }
 

@@ -81,15 +81,19 @@ impl PcmMemory {
     /// Timing access: returns completion time and updates all state.
     pub fn access(&mut self, at: Time, addr: u64, kind: AccessKind) -> AccessResult {
         let decoded = self.decode(addr);
-        let ChannelAccess { complete_at, outcome, cell_write_row } =
-            self.channels[decoded.channel].access(&self.cfg, at, decoded, kind);
+        let ChannelAccess {
+            complete_at,
+            outcome,
+            cell_write_row,
+        } = self.channels[decoded.channel].access(&self.cfg, at, decoded, kind);
         if let Some((bank, row)) = cell_write_row {
             self.wear.record_write(decoded.channel * 100 + bank, row);
             self.array_writes += 1;
         }
         if outcome != crate::bank::RowBufferOutcome::Hit {
             self.array_reads += 1; // row activation reads the array
-            let bank = decoded.channel * 100 + decoded.rank * self.cfg.banks_per_rank + decoded.bank;
+            let bank =
+                decoded.channel * 100 + decoded.rank * self.cfg.banks_per_rank + decoded.bank;
             *self.activations.entry((bank, decoded.row)).or_insert(0) += 1;
         }
         AccessResult {
@@ -168,7 +172,8 @@ impl PcmMemory {
 
     /// Array energy consumed so far, under the paper's relative model.
     pub fn array_energy(&self) -> f64 {
-        self.energy.array_energy(self.array_reads, self.array_writes)
+        self.energy
+            .array_energy(self.array_reads, self.array_writes)
     }
 
     /// Per-row activation counts (unordered) — input to thermal-channel
@@ -187,6 +192,7 @@ impl PcmMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn mem() -> PcmMemory {
         PcmMemory::new(MemConfig::table2())
@@ -244,7 +250,10 @@ mod tests {
             let r = m.access(t, addr, AccessKind::Write);
             t = r.complete_at;
         }
-        assert!(m.wear().total_writes() >= 8, "alternating dirty rows must wear the array");
+        assert!(
+            m.wear().total_writes() >= 8,
+            "alternating dirty rows must wear the array"
+        );
         let (_, writes) = m.array_ops();
         assert_eq!(writes, m.wear().total_writes());
     }
@@ -268,7 +277,10 @@ mod tests {
         let a = m.access(Time::ZERO, 0, AccessKind::Read);
         let b = m.access(Time::ZERO, 1024, AccessKind::Read);
         assert_ne!(a.channel, b.channel);
-        assert_eq!(a.complete_at, b.complete_at, "independent channels don't serialize");
+        assert_eq!(
+            a.complete_at, b.complete_at,
+            "independent channels don't serialize"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// The paper's relative model: read = 1, write = 6.8.
     pub fn paper_relative() -> Self {
-        EnergyModel { read_energy: 1.0, write_energy: 6.8, pad_energy: 0.1 }
+        EnergyModel {
+            read_energy: 1.0,
+            write_energy: 6.8,
+            pad_energy: 0.1,
+        }
     }
 
     /// Energy for a batch of array operations.

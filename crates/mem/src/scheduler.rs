@@ -72,7 +72,9 @@ pub struct FrFcfsScheduler {
 impl FrFcfsScheduler {
     /// Creates a controller for one channel of `cfg`.
     pub fn new(cfg: MemConfig) -> Self {
-        let banks = (0..cfg.ranks_per_channel * cfg.banks_per_rank).map(|_| Bank::new()).collect();
+        let banks = (0..cfg.ranks_per_channel * cfg.banks_per_rank)
+            .map(|_| Bank::new())
+            .collect();
         FrFcfsScheduler {
             cfg,
             banks,
@@ -98,7 +100,12 @@ impl FrFcfsScheduler {
     pub fn enqueue(&mut self, at: Time, addr: u64, kind: AccessKind) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.queue.push(QueueEntry { id, decoded: decode(&self.cfg, addr), kind, arrival: at });
+        self.queue.push(QueueEntry {
+            id,
+            decoded: decode(&self.cfg, addr),
+            kind,
+            arrival: at,
+        });
         id
     }
 
@@ -110,10 +117,9 @@ impl FrFcfsScheduler {
     /// `until`. Returns completions in issue order (drain with
     /// [`FrFcfsScheduler::take_completions`]).
     pub fn run_until(&mut self, until: Time) {
-        loop {
-            // The controller clock: the earliest instant something can
-            // happen — max of arrival and bank availability for the pick.
-            let Some(pick) = self.pick_earliest(until) else { break };
+        // The controller clock advances to the earliest instant something
+        // can happen — max of arrival and bank availability for the pick.
+        while let Some(pick) = self.pick_earliest(until) {
             let entry = self.queue.remove(pick.index);
             let bank_index = self.bank_index(&entry.decoded);
 
@@ -130,7 +136,11 @@ impl FrFcfsScheduler {
                 self.stats.row_hits.incr();
             }
             self.stats.serviced.incr();
-            self.completions.push(Completion { id: entry.id, at: complete, row_hit });
+            self.completions.push(Completion {
+                id: entry.id,
+                at: complete,
+                row_hit,
+            });
 
             // Open-adaptive: if a queued request wants a different row of
             // this bank (and none wants the now-open row), precharge early.
@@ -160,8 +170,13 @@ impl FrFcfsScheduler {
             if start > until {
                 continue;
             }
-            let row_hit = bank.open_row() == Some(e.decoded.row) ;
-            let candidate = Pick { index: i, start, row_hit, arrival: e.arrival };
+            let row_hit = bank.open_row() == Some(e.decoded.row);
+            let candidate = Pick {
+                index: i,
+                start,
+                row_hit,
+                arrival: e.arrival,
+            };
             best = Some(match best {
                 None => candidate,
                 Some(b) => {
@@ -169,8 +184,7 @@ impl FrFcfsScheduler {
                     if candidate.start < b.start
                         || (candidate.start == b.start
                             && (candidate.row_hit && !b.row_hit
-                                || candidate.row_hit == b.row_hit
-                                    && candidate.arrival < b.arrival))
+                                || candidate.row_hit == b.row_hit && candidate.arrival < b.arrival))
                     {
                         candidate
                     } else {
@@ -199,6 +213,7 @@ struct Pick {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn sched() -> FrFcfsScheduler {
         FrFcfsScheduler::new(MemConfig::table2())
@@ -286,7 +301,10 @@ mod tests {
         s.enqueue(t(2), ROW_A + 128, AccessKind::Read);
         s.run_until(t(10_000));
         let done = s.take_completions();
-        assert!(done[1].row_hit && done[2].row_hit, "row must stay open for hits");
+        assert!(
+            done[1].row_hit && done[2].row_hit,
+            "row must stay open for hits"
+        );
         assert_eq!(s.stats().adaptive_closes.get(), 0);
     }
 

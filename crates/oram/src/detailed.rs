@@ -132,7 +132,11 @@ mod tests {
     fn detailed(levels: u32) -> DetailedOram {
         let blocks = (4u64 << levels) / 4;
         DetailedOram::new(
-            OramConfig { levels, bucket_size: 4, blocks },
+            OramConfig {
+                levels,
+                bucket_size: 4,
+                blocks,
+            },
             MemConfig::table2(),
             5,
         )

@@ -33,7 +33,10 @@ impl fmt::Display for OramError {
                 write!(f, "block {block} out of range (capacity {capacity})")
             }
             OramError::StashOverflow { occupancy, bound } => {
-                write!(f, "stash overflow: {occupancy} blocks exceeds bound {bound}")
+                write!(
+                    f,
+                    "stash overflow: {occupancy} blocks exceeds bound {bound}"
+                )
             }
             OramError::BadConfig(msg) => write!(f, "bad ORAM configuration: {msg}"),
             OramError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),

@@ -35,7 +35,12 @@ impl OramModel {
 
     /// A model with explicit latency and geometry.
     pub fn new(latency: Duration, geometry: OramConfig) -> Self {
-        OramModel { latency, geometry, accesses: 0, writebacks: 0 }
+        OramModel {
+            latency,
+            geometry,
+            accesses: 0,
+            writebacks: 0,
+        }
     }
 
     /// Logical accesses served (fills + write-backs).
@@ -109,7 +114,10 @@ mod tests {
         let mut m = OramModel::paper();
         m.read(Time::ZERO, BlockAddr::containing(0));
         let e = m.array_energy(&EnergyModel::paper_relative());
-        assert!((e - 780.0).abs() < 1e-9, "per-access energy {e} != 780×read");
+        assert!(
+            (e - 780.0).abs() < 1e-9,
+            "per-access energy {e} != 780×read"
+        );
     }
 
     #[test]
@@ -117,14 +125,15 @@ mod tests {
         let core = TraceDrivenCore::new();
         let spec = micro_test_workload();
         let mut oram = OramModel::paper();
-        let mut plain = obfusmem_cpu::core::FixedLatencyBackend::new(
-            "plain",
-            Duration::from_ns(80),
-        );
+        let mut plain =
+            obfusmem_cpu::core::FixedLatencyBackend::new("plain", Duration::from_ns(80));
         let r_oram = core.run(&spec, 100_000, &mut oram, 3);
         let r_plain = core.run(&spec, 100_000, &mut plain, 3);
         let slowdown = r_oram.slowdown_vs(&r_plain);
-        assert!(slowdown > 5.0, "slowdown {slowdown} too small for gap 50ns workload");
+        assert!(
+            slowdown > 5.0,
+            "slowdown {slowdown} too small for gap 50ns workload"
+        );
     }
 
     #[test]

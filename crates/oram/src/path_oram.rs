@@ -39,7 +39,11 @@ impl OramConfig {
         let levels = 24;
         let bucket_size = 4;
         let physical = ((1u64 << (levels + 1)) - 1) * bucket_size as u64;
-        OramConfig { levels, bucket_size, blocks: physical / 2 }
+        OramConfig {
+            levels,
+            bucket_size,
+            blocks: physical / 2,
+        }
     }
 
     /// Physical slots implied by the geometry.
@@ -190,7 +194,10 @@ impl PathOram {
     /// capacity.
     pub fn read_traced(&mut self, id: u64) -> Result<(BlockData, u64), OramError> {
         if id >= self.cfg.blocks {
-            return Err(OramError::BlockOutOfRange { block: id, capacity: self.cfg.blocks });
+            return Err(OramError::BlockOutOfRange {
+                block: id,
+                capacity: self.cfg.blocks,
+            });
         }
         let observed_leaf = self.posmap.leaf_of(id);
         let data = self.access(id, None)?;
@@ -210,7 +217,10 @@ impl PathOram {
     /// The unified access: read path, remap, serve, evict path.
     fn access(&mut self, id: u64, write: Option<BlockData>) -> Result<BlockData, OramError> {
         if id >= self.cfg.blocks {
-            return Err(OramError::BlockOutOfRange { block: id, capacity: self.cfg.blocks });
+            return Err(OramError::BlockOutOfRange {
+                block: id,
+                capacity: self.cfg.blocks,
+            });
         }
         // 1. PosMap lookup + immediate remap to a fresh random leaf.
         let old_leaf = self.posmap.remap(id, &mut self.rng);
@@ -265,7 +275,11 @@ impl PathOram {
                 // First touch: materialize the block.
                 let mut data = [0u8; 64];
                 mutate(&mut data);
-                self.stash.insert(OramBlock { id, leaf: new_leaf, data });
+                self.stash.insert(OramBlock {
+                    id,
+                    leaf: new_leaf,
+                    data,
+                });
             }
         };
 
@@ -273,9 +287,9 @@ impl PathOram {
         // bucket iff that bucket is on the block's (current) path.
         for &node in path.iter().rev() {
             let tree_ref = &self.tree;
-            let eligible = self
-                .stash
-                .take_eligible(self.cfg.bucket_size, |b| tree_ref.node_on_path(node, b.leaf));
+            let eligible = self.stash.take_eligible(self.cfg.bucket_size, |b| {
+                tree_ref.node_on_path(node, b.leaf)
+            });
             let placed = eligible.len() as u64;
             self.metrics.blocks_written += placed;
             self.metrics.dummy_writes += self.cfg.bucket_size as u64 - placed;
@@ -336,9 +350,18 @@ const SEED_SALT: u64 = 0x0BAD_5EED_00AA_0001;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn small() -> PathOram {
-        PathOram::new(OramConfig { levels: 6, bucket_size: 4, blocks: 200 }, 11).unwrap()
+        PathOram::new(
+            OramConfig {
+                levels: 6,
+                bucket_size: 4,
+                blocks: 200,
+            },
+            11,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -357,13 +380,23 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut o = small();
-        assert!(matches!(o.read(10_000), Err(OramError::BlockOutOfRange { .. })));
+        assert!(matches!(
+            o.read(10_000),
+            Err(OramError::BlockOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn overfull_config_rejected() {
-        let cfg = OramConfig { levels: 3, bucket_size: 4, blocks: 60 };
-        assert!(matches!(PathOram::new(cfg, 0), Err(OramError::BadConfig(_))));
+        let cfg = OramConfig {
+            levels: 3,
+            bucket_size: 4,
+            blocks: 60,
+        };
+        assert!(matches!(
+            PathOram::new(cfg, 0),
+            Err(OramError::BadConfig(_))
+        ));
     }
 
     #[test]
@@ -395,7 +428,11 @@ mod tests {
             o.read(rng.below(200)).unwrap();
         }
         for id in 0..50u64 {
-            assert_eq!(o.read(id).unwrap(), [id as u8 + 1; 64], "block {id} corrupted");
+            assert_eq!(
+                o.read(id).unwrap(),
+                [id as u8 + 1; 64],
+                "block {id} corrupted"
+            );
         }
     }
 
@@ -415,7 +452,10 @@ mod tests {
     fn paper_config_reports_100x_write_amplification() {
         let cfg = OramConfig::paper();
         assert_eq!(cfg.blocks_moved_per_access() / 2, 100);
-        assert!(cfg.storage_overhead() >= 1.0, "paper config wastes ≥50% capacity");
+        assert!(
+            cfg.storage_overhead() >= 1.0,
+            "paper config wastes ≥50% capacity"
+        );
     }
 
     #[test]
@@ -426,7 +466,11 @@ mod tests {
         for _ in 0..500 {
             o.read(1).unwrap();
         }
-        assert!(o.stash_high_water() < 50, "stash grew to {}", o.stash_high_water());
+        assert!(
+            o.stash_high_water() < 50,
+            "stash grew to {}",
+            o.stash_high_water()
+        );
     }
 
     proptest::proptest! {

@@ -80,7 +80,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max < 100 && min > 5, "leaf distribution skewed: {min}..{max}");
+        assert!(
+            max < 100 && min > 5,
+            "leaf distribution skewed: {min}..{max}"
+        );
     }
 
     #[test]

@@ -79,7 +79,13 @@ impl RecursiveOram {
                 // This level's map lives on chip.
                 let leaf_count = 1u64 << level_levels;
                 let on_chip = (0..map_entries).map(|_| rng.below(leaf_count)).collect();
-                return Ok(RecursiveOram { orams, on_chip, rng, blocks, accesses: 0 });
+                return Ok(RecursiveOram {
+                    orams,
+                    on_chip,
+                    rng,
+                    blocks,
+                    accesses: 0,
+                });
             }
             // Next level stores `map_blocks` packed blocks; shrink the tree
             // so utilization stays ≤ 50%.
@@ -155,7 +161,10 @@ impl RecursiveOram {
 
     fn access(&mut self, id: u64, write: Option<BlockData>) -> Result<BlockData, OramError> {
         if id >= self.blocks {
-            return Err(OramError::BlockOutOfRange { block: id, capacity: self.blocks });
+            return Err(OramError::BlockOutOfRange {
+                block: id,
+                capacity: self.blocks,
+            });
         }
         self.accesses += 1;
 
@@ -205,7 +214,6 @@ impl RecursiveOram {
         });
         Ok(out)
     }
-
 }
 
 /// Domain-separation salt for the recursion chain's randomness.
@@ -214,6 +222,7 @@ const REC_SALT: u64 = 0x5EC0_0751_0AA0_77AA;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn oram(levels: u32, blocks: u64, seed: u64) -> RecursiveOram {
         RecursiveOram::new(levels, blocks, seed).unwrap()
@@ -231,7 +240,11 @@ mod tests {
         // 16384 blocks → 1024 posmap blocks → 64 entries on chip.
         let o = oram(13, 16_384, 2);
         assert!(o.chain_depth() >= 2, "chain depth {}", o.chain_depth());
-        assert!(o.on_chip_entries() <= 256, "on-chip {}", o.on_chip_entries());
+        assert!(
+            o.on_chip_entries() <= 256,
+            "on-chip {}",
+            o.on_chip_entries()
+        );
     }
 
     #[test]
@@ -284,7 +297,10 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut o = oram(7, 100, 8);
-        assert!(matches!(o.read(100), Err(OramError::BlockOutOfRange { .. })));
+        assert!(matches!(
+            o.read(100),
+            Err(OramError::BlockOutOfRange { .. })
+        ));
     }
 
     proptest::proptest! {

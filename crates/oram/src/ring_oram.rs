@@ -50,7 +50,14 @@ impl RingConfig {
     /// The configuration class Ren et al. evaluate (Z=16, A=23, S=25),
     /// scaled to a test-friendly tree depth.
     pub fn ren_style(levels: u32, blocks: u64) -> Self {
-        RingConfig { levels, z: 16, s: 25, a: 23, blocks, xor_technique: true }
+        RingConfig {
+            levels,
+            z: 16,
+            s: 25,
+            a: 23,
+            blocks,
+            xor_technique: true,
+        }
     }
 }
 
@@ -172,7 +179,10 @@ impl RingOram {
 
     fn access(&mut self, id: u64, write: Option<BlockData>) -> Result<BlockData, OramError> {
         if id >= self.cfg.blocks {
-            return Err(OramError::BlockOutOfRange { block: id, capacity: self.cfg.blocks });
+            return Err(OramError::BlockOutOfRange {
+                block: id,
+                capacity: self.cfg.blocks,
+            });
         }
         self.metrics.accesses += 1;
 
@@ -198,8 +208,11 @@ impl RingOram {
         }
         // Wire transfer: one block with the XOR technique, else one block
         // per bucket.
-        self.metrics.online_blocks +=
-            if self.cfg.xor_technique { 1 } else { slots_consumed };
+        self.metrics.online_blocks += if self.cfg.xor_technique {
+            1
+        } else {
+            slots_consumed
+        };
 
         // Early reshuffle any bucket that exhausted its dummies.
         for &node in &path {
@@ -209,8 +222,7 @@ impl RingOram {
                 // Reshuffle = read valid reals + rewrite the whole bucket
                 // (z + s slots).
                 let occupancy = self.tree.bucket(node).len() as u64;
-                self.metrics.reshuffle_blocks +=
-                    occupancy + (self.cfg.z + self.cfg.s) as u64;
+                self.metrics.reshuffle_blocks += occupancy + (self.cfg.z + self.cfg.s) as u64;
             }
         }
 
@@ -225,7 +237,11 @@ impl RingOram {
             }
             None => {
                 let data = write.unwrap_or([0u8; 64]);
-                self.stash.insert(OramBlock { id, leaf: new_leaf, data });
+                self.stash.insert(OramBlock {
+                    id,
+                    leaf: new_leaf,
+                    data,
+                });
                 data
             }
         };
@@ -257,8 +273,9 @@ impl RingOram {
         }
         for &node in path.iter().rev() {
             let tree_ref = &self.tree;
-            let eligible =
-                self.stash.take_eligible(self.cfg.z, |b| tree_ref.node_on_path(node, b.leaf));
+            let eligible = self
+                .stash
+                .take_eligible(self.cfg.z, |b| tree_ref.node_on_path(node, b.leaf));
             self.tree.fill_bucket(node, eligible);
             // Every slot (real + dummy) is rewritten with fresh ciphertext.
             self.metrics.evict_blocks += (self.cfg.z + self.cfg.s) as u64;
@@ -297,7 +314,14 @@ mod tests {
 
     fn small() -> RingOram {
         RingOram::new(
-            RingConfig { levels: 6, z: 4, s: 6, a: 4, blocks: 200, xor_technique: true },
+            RingConfig {
+                levels: 6,
+                z: 4,
+                s: 6,
+                a: 4,
+                blocks: 200,
+                xor_technique: true,
+            },
             3,
         )
         .unwrap()
@@ -324,13 +348,21 @@ mod tests {
                 oracle.insert(id, b);
             } else {
                 let got = o.read(id).unwrap();
-                assert_eq!(got, [oracle.get(&id).copied().unwrap_or(0); 64], "block {id}");
+                assert_eq!(
+                    got,
+                    [oracle.get(&id).copied().unwrap_or(0); 64],
+                    "block {id}"
+                );
             }
             if i % 250 == 0 {
                 o.check_invariants().unwrap();
             }
         }
-        assert!(o.stash_high_water() < 120, "stash blew up: {}", o.stash_high_water());
+        assert!(
+            o.stash_high_water() < 120,
+            "stash blew up: {}",
+            o.stash_high_water()
+        );
     }
 
     #[test]
@@ -338,10 +370,13 @@ mod tests {
         // The paper's 24× vs 120× relationship, reproduced in shape.
         let levels = 10;
         let blocks = 1000;
-        let mut ring =
-            RingOram::new(RingConfig::ren_style(levels, blocks), 7).unwrap();
+        let mut ring = RingOram::new(RingConfig::ren_style(levels, blocks), 7).unwrap();
         let mut path = crate::path_oram::PathOram::new(
-            crate::path_oram::OramConfig { levels, bucket_size: 4, blocks },
+            crate::path_oram::OramConfig {
+                levels,
+                bucket_size: 4,
+                blocks,
+            },
             7,
         )
         .unwrap();
@@ -362,7 +397,14 @@ mod tests {
     #[test]
     fn xor_technique_reduces_online_traffic() {
         let run = |xor| {
-            let cfg = RingConfig { levels: 6, z: 4, s: 6, a: 4, blocks: 200, xor_technique: xor };
+            let cfg = RingConfig {
+                levels: 6,
+                z: 4,
+                s: 6,
+                a: 4,
+                blocks: 200,
+                xor_technique: xor,
+            };
             let mut o = RingOram::new(cfg, 4).unwrap();
             let mut rng = SplitMix64::new(5);
             for _ in 0..500 {
@@ -373,18 +415,36 @@ mod tests {
         let with_xor = run(true);
         let without = run(false);
         assert_eq!(with_xor, 500, "XOR returns one block per access");
-        assert_eq!(without, 500 * 7, "plain Ring reads one block per bucket (L+1)");
+        assert_eq!(
+            without,
+            500 * 7,
+            "plain Ring reads one block per bucket (L+1)"
+        );
     }
 
     #[test]
     fn rejects_bad_configs() {
         assert!(RingOram::new(
-            RingConfig { levels: 6, z: 0, s: 6, a: 4, blocks: 10, xor_technique: true },
+            RingConfig {
+                levels: 6,
+                z: 0,
+                s: 6,
+                a: 4,
+                blocks: 10,
+                xor_technique: true
+            },
             0
         )
         .is_err());
         assert!(RingOram::new(
-            RingConfig { levels: 3, z: 4, s: 6, a: 4, blocks: 10_000, xor_technique: true },
+            RingConfig {
+                levels: 3,
+                z: 4,
+                s: 6,
+                a: 4,
+                blocks: 10_000,
+                xor_technique: true
+            },
             0
         )
         .is_err());

@@ -82,7 +82,10 @@ impl Stash {
     /// Errors if occupancy exceeds `bound` (the hardware stash size).
     pub fn check_bound(&self, bound: usize) -> Result<(), OramError> {
         if self.blocks.len() > bound {
-            Err(OramError::StashOverflow { occupancy: self.blocks.len(), bound })
+            Err(OramError::StashOverflow {
+                occupancy: self.blocks.len(),
+                bound,
+            })
         } else {
             Ok(())
         }
@@ -99,7 +102,11 @@ mod tests {
     use super::*;
 
     fn block(id: u64, leaf: u64) -> OramBlock {
-        OramBlock { id, leaf, data: [id as u8; 64] }
+        OramBlock {
+            id,
+            leaf,
+            data: [id as u8; 64],
+        }
     }
 
     #[test]
@@ -116,7 +123,11 @@ mod tests {
     fn insert_deduplicates_by_id() {
         let mut s = Stash::new();
         s.insert(block(1, 0));
-        s.insert(OramBlock { id: 1, leaf: 7, data: [0xFF; 64] });
+        s.insert(OramBlock {
+            id: 1,
+            leaf: 7,
+            data: [0xFF; 64],
+        });
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(1).unwrap().leaf, 7);
         assert_eq!(s.get(1).unwrap().data[0], 0xFF);
@@ -158,7 +169,10 @@ mod tests {
         }
         assert_eq!(
             s.check_bound(5),
-            Err(OramError::StashOverflow { occupancy: 6, bound: 5 })
+            Err(OramError::StashOverflow {
+                occupancy: 6,
+                bound: 5
+            })
         );
     }
 }

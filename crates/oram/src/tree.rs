@@ -45,7 +45,11 @@ impl BucketTree {
     pub fn new(levels: u32, bucket_size: usize) -> Self {
         assert!(levels < 48, "tree too deep");
         assert!(bucket_size > 0, "bucket size must be nonzero");
-        BucketTree { levels, bucket_size, buckets: HashMap::new() }
+        BucketTree {
+            levels,
+            bucket_size,
+            buckets: HashMap::new(),
+        }
     }
 
     /// Edge-levels below the root (leaves live at this depth).
@@ -143,7 +147,9 @@ impl BucketTree {
 
     /// Iterates over all resident blocks (for invariant checks).
     pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, &OramBlock)> {
-        self.buckets.iter().flat_map(|(&node, blocks)| blocks.iter().map(move |b| (node, b)))
+        self.buckets
+            .iter()
+            .flat_map(|(&node, blocks)| blocks.iter().map(move |b| (node, b)))
     }
 
     /// Physical byte address of `(node, slot)` for timing-mode accesses:
@@ -156,6 +162,7 @@ impl BucketTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn geometry() {
@@ -202,7 +209,11 @@ mod tests {
     #[test]
     fn buckets_store_and_drain() {
         let mut t = BucketTree::new(3, 2);
-        let b = OramBlock { id: 1, leaf: 3, data: [9; 64] };
+        let b = OramBlock {
+            id: 1,
+            leaf: 3,
+            data: [9; 64],
+        };
         t.fill_bucket(4, vec![b]);
         assert_eq!(t.bucket(4), &[b]);
         assert_eq!(t.resident_blocks(), 1);
@@ -215,7 +226,11 @@ mod tests {
     #[should_panic(expected = "overfilled")]
     fn rejects_overfull_bucket() {
         let mut t = BucketTree::new(3, 2);
-        let b = OramBlock { id: 1, leaf: 0, data: [0; 64] };
+        let b = OramBlock {
+            id: 1,
+            leaf: 0,
+            data: [0; 64],
+        };
         t.fill_bucket(0, vec![b, b, b]);
     }
 

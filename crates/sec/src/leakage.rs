@@ -24,8 +24,10 @@ use crate::observer::{capture, ObservedPacket};
 /// match. 1.0 means the attacker links every revisit (plain/ECB); ≈0
 /// means single-use ciphertext (CTR).
 pub fn temporal_linkage(events: &[BusEvent]) -> f64 {
-    let requests: Vec<&BusEvent> =
-        events.iter().filter(|e| e.direction == Direction::ToMemory && e.truth.real).collect();
+    let requests: Vec<&BusEvent> = events
+        .iter()
+        .filter(|e| e.direction == Direction::ToMemory && e.truth.real)
+        .collect();
     let mut same_addr_pairs = 0u64;
     let mut linked_pairs = 0u64;
     for (i, a) in requests.iter().enumerate() {
@@ -48,12 +50,17 @@ pub fn temporal_linkage(events: &[BusEvent]) -> f64 {
 /// The majority-class prior: the accuracy a blind attacker gets by always
 /// guessing the more common request kind (assumed workload knowledge).
 pub fn type_prior(events: &[BusEvent]) -> f64 {
-    let reals: Vec<&BusEvent> =
-        events.iter().filter(|e| e.direction == Direction::ToMemory && e.truth.real).collect();
+    let reals: Vec<&BusEvent> = events
+        .iter()
+        .filter(|e| e.direction == Direction::ToMemory && e.truth.real)
+        .collect();
     if reals.is_empty() {
         return 0.5;
     }
-    let reads = reals.iter().filter(|e| e.truth.kind == AccessKind::Read).count() as f64;
+    let reads = reals
+        .iter()
+        .filter(|e| e.truth.kind == AccessKind::Read)
+        .count() as f64;
     let p = reads / reals.len() as f64;
     p.max(1.0 - p)
 }
@@ -65,14 +72,23 @@ pub fn type_prior(events: &[BusEvent]) -> f64 {
 /// attacker can do is guess the majority class. A protected bus therefore
 /// scores ≈ [`type_prior`] (zero advantage); a plain bus scores ≈ 1.
 pub fn request_type_accuracy(events: &[BusEvent]) -> f64 {
-    let to_mem: Vec<&BusEvent> =
-        events.iter().filter(|e| e.direction == Direction::ToMemory).collect();
+    let to_mem: Vec<&BusEvent> = events
+        .iter()
+        .filter(|e| e.direction == Direction::ToMemory)
+        .collect();
     let reals: Vec<&&BusEvent> = to_mem.iter().filter(|e| e.truth.real).collect();
     if reals.is_empty() {
         return 0.5;
     }
-    let reads = reals.iter().filter(|e| e.truth.kind == AccessKind::Read).count();
-    let majority = if reads * 2 >= reals.len() { AccessKind::Read } else { AccessKind::Write };
+    let reads = reals
+        .iter()
+        .filter(|e| e.truth.kind == AccessKind::Read)
+        .count();
+    let majority = if reads * 2 >= reals.len() {
+        AccessKind::Read
+    } else {
+        AccessKind::Write
+    };
     // If every request packet has the same shape (the uniform scheme),
     // shape carries zero bits and the attacker knows it.
     let shapes: HashSet<bool> = to_mem.iter().map(|e| e.packet.data_ct.is_some()).collect();
@@ -91,14 +107,20 @@ pub fn request_type_accuracy(events: &[BusEvent]) -> f64 {
             // (the pairing convention)? A paired slot always shows both
             // shapes — dummy-paired and substituted pairs are
             // indistinguishable — so the best move is the majority guess.
-            let paired = to_mem
-                .iter()
-                .any(|e| !std::ptr::eq::<BusEvent>(*e, **real) && e.at == real.at && e.channel == real.channel);
+            let paired = to_mem.iter().any(|e| {
+                !std::ptr::eq::<BusEvent>(*e, **real)
+                    && e.at == real.at
+                    && e.channel == real.channel
+            });
             if paired || !shapes_vary {
                 majority
             } else {
                 // Unpaired encrypted packet with informative shape.
-                if real.packet.data_ct.is_some() { AccessKind::Write } else { AccessKind::Read }
+                if real.packet.data_ct.is_some() {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                }
             }
         };
         if guess == real.truth.kind {
@@ -119,8 +141,10 @@ pub fn type_advantage(events: &[BusEvent]) -> f64 {
 /// values ≫ 1 mean headers are useless for counting (every packet looks
 /// fresh).
 pub fn footprint_ratio(events: &[BusEvent]) -> f64 {
-    let requests: Vec<&BusEvent> =
-        events.iter().filter(|e| e.direction == Direction::ToMemory && e.truth.real).collect();
+    let requests: Vec<&BusEvent> = events
+        .iter()
+        .filter(|e| e.direction == Direction::ToMemory && e.truth.real)
+        .collect();
     let observed: HashSet<[u8; 16]> = requests.iter().map(|e| e.packet.header_ct).collect();
     let actual: HashSet<u64> = requests.iter().map(|e| e.truth.addr).collect();
     if actual.is_empty() {
@@ -136,8 +160,10 @@ pub fn footprint_ratio(events: &[BusEvent]) -> f64 {
 /// ECB and plaintext headers repeat whenever the address repeats → 1.0;
 /// CTR headers are single-use → 0.0.
 pub fn hot_set_recovery(events: &[BusEvent]) -> f64 {
-    let requests: Vec<&BusEvent> =
-        events.iter().filter(|e| e.direction == Direction::ToMemory && e.truth.real).collect();
+    let requests: Vec<&BusEvent> = events
+        .iter()
+        .filter(|e| e.direction == Direction::ToMemory && e.truth.real)
+        .collect();
     // Hot items are (address, kind) pairs revisited at least twice —
     // exactly the revisits a repeated header would betray.
     let mut ct_freq: HashMap<[u8; 16], u64> = HashMap::new();
@@ -149,13 +175,18 @@ pub fn hot_set_recovery(events: &[BusEvent]) -> f64 {
         *item_freq.entry(item).or_insert(0) += 1;
         item_cts.entry(item).or_default().insert(e.packet.header_ct);
     }
-    let hot: Vec<(u64, AccessKind)> =
-        item_freq.iter().filter(|(_, &f)| f >= 2).map(|(&i, _)| i).collect();
+    let hot: Vec<(u64, AccessKind)> = item_freq
+        .iter()
+        .filter(|(_, &f)| f >= 2)
+        .map(|(&i, _)| i)
+        .collect();
     if hot.is_empty() {
         return 0.0;
     }
-    let recovered =
-        hot.iter().filter(|item| item_cts[item].iter().any(|ct| ct_freq[ct] >= 2)).count();
+    let recovered = hot
+        .iter()
+        .filter(|item| item_cts[item].iter().any(|ct| ct_freq[ct] >= 2))
+        .count();
     recovered as f64 / hot.len() as f64
 }
 
@@ -166,8 +197,10 @@ pub fn hot_set_recovery(events: &[BusEvent]) -> f64 {
 /// bus; ≈0 under any header encryption (the property even the ECB
 /// strawman provides, per §3.2).
 pub fn spatial_leakage(events: &[BusEvent]) -> f64 {
-    let requests: Vec<&BusEvent> =
-        events.iter().filter(|e| e.direction == Direction::ToMemory && e.truth.real).collect();
+    let requests: Vec<&BusEvent> = events
+        .iter()
+        .filter(|e| e.direction == Direction::ToMemory && e.truth.real)
+        .collect();
     let mut sequential_truth = 0u64;
     let mut detected = 0u64;
     for w in requests.windows(2) {
@@ -216,8 +249,10 @@ pub fn channel_imbalance(packets: &[ObservedPacket], channels: usize) -> f64 {
 /// and defeats this particular inference.
 pub fn channel_step_predictability(events: &[BusEvent], channels: usize) -> f64 {
     assert!(channels > 0, "need at least one channel");
-    let requests: Vec<&BusEvent> =
-        events.iter().filter(|e| e.direction == Direction::ToMemory && e.truth.real).collect();
+    let requests: Vec<&BusEvent> = events
+        .iter()
+        .filter(|e| e.direction == Direction::ToMemory && e.truth.real)
+        .collect();
     let mut sequential = 0u64;
     let mut stepped = 0u64;
     for w in requests.windows(2) {
@@ -309,14 +344,22 @@ mod tests {
     /// Drives a zipfian revisit-heavy address pattern through a backend
     /// and returns its trace.
     fn trace_for(security: SecurityLevel, mode: AddressCipherMode) -> Vec<BusEvent> {
-        let cfg = ObfusMemConfig { security, address_mode: mode, ..ObfusMemConfig::paper_default() };
+        let cfg = ObfusMemConfig {
+            security,
+            address_mode: mode,
+            ..ObfusMemConfig::paper_default()
+        };
         let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 11);
         b.enable_trace();
         let mut rng = SplitMix64::new(5);
         let mut t = Time::ZERO;
         for i in 0..400u64 {
             // Hot set of 8 blocks plus a cold tail.
-            let addr = if rng.chance(0.7) { rng.below(8) * 64 } else { (1000 + i) * 64 };
+            let addr = if rng.chance(0.7) {
+                rng.below(8) * 64
+            } else {
+                (1000 + i) * 64
+            };
             t = b.read(t, BlockAddr::containing(addr));
             if rng.chance(0.3) {
                 b.write(t, BlockAddr::containing(addr));
@@ -327,54 +370,125 @@ mod tests {
 
     #[test]
     fn plain_bus_leaks_everything() {
-        let r = analyze(&trace_for(SecurityLevel::Unprotected, AddressCipherMode::Ctr));
-        assert_eq!(r.temporal_linkage, 1.0, "plaintext headers link all revisits");
-        assert!(r.type_accuracy > 0.95, "plaintext types are readable: {}", r.type_accuracy);
-        assert!(r.type_advantage > 0.1, "plain bus gives a real advantage: {}", r.type_advantage);
+        let r = analyze(&trace_for(
+            SecurityLevel::Unprotected,
+            AddressCipherMode::Ctr,
+        ));
+        assert_eq!(
+            r.temporal_linkage, 1.0,
+            "plaintext headers link all revisits"
+        );
+        assert!(
+            r.type_accuracy > 0.95,
+            "plaintext types are readable: {}",
+            r.type_accuracy
+        );
+        assert!(
+            r.type_advantage > 0.1,
+            "plain bus gives a real advantage: {}",
+            r.type_advantage
+        );
         // At most two headers per address (read + write kinds): the
         // observer recovers the footprint to within a factor of two.
-        assert!(r.footprint_ratio < 2.5, "footprint recoverable: {}", r.footprint_ratio);
-        assert!(r.hot_set_recovery > 0.95, "dictionary trivially wins: {}", r.hot_set_recovery);
-        assert!(r.spatial_leakage > 0.95, "sequential runs readable: {}", r.spatial_leakage);
+        assert!(
+            r.footprint_ratio < 2.5,
+            "footprint recoverable: {}",
+            r.footprint_ratio
+        );
+        assert!(
+            r.hot_set_recovery > 0.95,
+            "dictionary trivially wins: {}",
+            r.hot_set_recovery
+        );
+        assert!(
+            r.spatial_leakage > 0.95,
+            "sequential runs readable: {}",
+            r.spatial_leakage
+        );
     }
 
     #[test]
     fn ecb_hides_spatial_but_leaks_temporal() {
         let r = analyze(&trace_for(SecurityLevel::Obfuscate, AddressCipherMode::Ecb));
-        assert_eq!(r.temporal_linkage, 1.0, "ECB repeats ciphertext on revisits");
-        assert!(r.hot_set_recovery > 0.95, "frequency analysis works on ECB: {}", r.hot_set_recovery);
-        assert!(r.spatial_leakage < 0.05, "ECB does hide spatial runs: {}", r.spatial_leakage);
+        assert_eq!(
+            r.temporal_linkage, 1.0,
+            "ECB repeats ciphertext on revisits"
+        );
+        assert!(
+            r.hot_set_recovery > 0.95,
+            "frequency analysis works on ECB: {}",
+            r.hot_set_recovery
+        );
+        assert!(
+            r.spatial_leakage < 0.05,
+            "ECB does hide spatial runs: {}",
+            r.spatial_leakage
+        );
         // ECB: at most one ciphertext per (kind, address) pair, so the
         // observer still counts the footprint to within a small factor.
-        assert!(r.footprint_ratio < 2.5, "ECB leaks footprint: {}", r.footprint_ratio);
+        assert!(
+            r.footprint_ratio < 2.5,
+            "ECB leaks footprint: {}",
+            r.footprint_ratio
+        );
     }
 
     #[test]
     fn obfusmem_ctr_defeats_passive_analyses() {
-        let r = analyze(&trace_for(SecurityLevel::ObfuscateAuth, AddressCipherMode::Ctr));
-        assert!(r.temporal_linkage < 0.01, "CTR must not link revisits: {}", r.temporal_linkage);
+        let r = analyze(&trace_for(
+            SecurityLevel::ObfuscateAuth,
+            AddressCipherMode::Ctr,
+        ));
+        assert!(
+            r.temporal_linkage < 0.01,
+            "CTR must not link revisits: {}",
+            r.temporal_linkage
+        );
         assert!(
             r.type_advantage.abs() < 0.02,
             "pairing must erase classifier advantage: {}",
             r.type_advantage
         );
-        assert!(r.footprint_ratio > 3.0, "footprint must inflate: {}", r.footprint_ratio);
-        assert!(r.hot_set_recovery < 0.01, "hot set must be unrecoverable: {}", r.hot_set_recovery);
-        assert!(r.spatial_leakage < 0.05, "spatial runs must be hidden: {}", r.spatial_leakage);
+        assert!(
+            r.footprint_ratio > 3.0,
+            "footprint must inflate: {}",
+            r.footprint_ratio
+        );
+        assert!(
+            r.hot_set_recovery < 0.01,
+            "hot set must be unrecoverable: {}",
+            r.hot_set_recovery
+        );
+        assert!(
+            r.spatial_leakage < 0.05,
+            "spatial runs must be hidden: {}",
+            r.spatial_leakage
+        );
     }
 
     #[test]
     fn channel_imbalance_drops_with_injection() {
         use obfusmem_core::config::ChannelStrategy;
         let mut scores = Vec::new();
-        for strategy in [ChannelStrategy::None, ChannelStrategy::Opt, ChannelStrategy::Unopt] {
-            let cfg = ObfusMemConfig { channel_strategy: strategy, ..ObfusMemConfig::paper_default() };
+        for strategy in [
+            ChannelStrategy::None,
+            ChannelStrategy::Opt,
+            ChannelStrategy::Unopt,
+        ] {
+            let cfg = ObfusMemConfig {
+                channel_strategy: strategy,
+                ..ObfusMemConfig::paper_default()
+            };
             let mut b = ObfusMemBackend::new(cfg, MemConfig::table2().with_channels(4), 3);
             b.enable_trace();
             // Skewed pattern: mostly one 1 KB region → one channel hot.
             let mut rng = SplitMix64::new(9);
             for i in 0..300u64 {
-                let addr = if rng.chance(0.8) { rng.below(16) * 64 } else { i * 64 };
+                let addr = if rng.chance(0.8) {
+                    rng.below(16) * 64
+                } else {
+                    i * 64
+                };
                 b.read(Time::from_ps(i * 3_000), BlockAddr::containing(addr));
             }
             let obs = capture(&b.take_trace());
@@ -401,7 +515,10 @@ mod tests {
             TypeHiding::SplitDummyWithSubstitution,
             TypeHiding::UniformPackets,
         ] {
-            let cfg = ObfusMemConfig { type_hiding: scheme, ..ObfusMemConfig::paper_default() };
+            let cfg = ObfusMemConfig {
+                type_hiding: scheme,
+                ..ObfusMemConfig::paper_default()
+            };
             let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 51);
             b.enable_trace();
             let mut rng = SplitMix64::new(52);
@@ -442,30 +559,45 @@ mod tests {
         };
         let fine = channel_step_predictability(&trace_with(AddressMapping::RoBaRaCoCh), 4);
         let coarse = channel_step_predictability(&trace_with(AddressMapping::RoRaBaChCo), 4);
-        assert!(fine > 0.95, "block interleave must step channels predictably: {fine}");
-        assert!(coarse < 0.2, "row interleave keeps runs on one channel: {coarse}");
+        assert!(
+            fine > 0.95,
+            "block interleave must step channels predictably: {fine}"
+        );
+        assert!(
+            coarse < 0.2,
+            "row interleave keeps runs on one channel: {coarse}"
+        );
     }
 
     #[test]
     fn fixed_slots_flatten_the_timing_channel() {
         use obfusmem_core::config::TimingMode;
         let trace_with = |timing| {
-            let cfg = ObfusMemConfig { timing, ..ObfusMemConfig::paper_default() };
+            let cfg = ObfusMemConfig {
+                timing,
+                ..ObfusMemConfig::paper_default()
+            };
             let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 31);
             b.enable_trace();
             let mut rng = SplitMix64::new(32);
             let mut t = Time::from_ps(1);
             for _ in 0..300 {
                 // Irregular, data-dependent gaps: the timing channel.
-                t = t + obfusmem_sim::time::Duration::from_ps(rng.below(200_000) + 1);
+                t += obfusmem_sim::time::Duration::from_ps(rng.below(200_000) + 1);
                 t = b.read(t, BlockAddr::from_index(rng.below(4096)));
             }
             b.take_trace()
         };
         let free = timing_distinct_gap_ratio(&trace_with(TimingMode::AsReady));
         let slotted = timing_distinct_gap_ratio(&trace_with(TimingMode::FixedSlots));
-        assert!(free > 0.5, "as-ready timing must be information-rich: {free}");
-        assert!(slotted < free * 0.5, "slots must collapse gap diversity: {slotted} vs {free}");
+        assert!(
+            free > 0.5,
+            "as-ready timing must be information-rich: {free}"
+        );
+        assert!(
+            slotted < free * 0.5,
+            "slots must collapse gap diversity: {slotted} vs {free}"
+        );
     }
 
     #[test]

@@ -19,5 +19,5 @@
 pub mod leakage;
 pub mod observer;
 pub mod table4;
-pub mod thermal;
 pub mod tamper;
+pub mod thermal;

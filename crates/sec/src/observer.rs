@@ -61,11 +61,19 @@ mod tests {
             channel: 2,
             direction: Direction::ToMemory,
             packet: BusPacket {
-                header_ct: RequestHeader { kind: AccessKind::Read, addr: 0x40 }.to_bytes(),
+                header_ct: RequestHeader {
+                    kind: AccessKind::Read,
+                    addr: 0x40,
+                }
+                .to_bytes(),
                 data_ct: Some([7; 64]),
                 tag: Some([1; 8]),
             },
-            truth: GroundTruth { real: true, kind: AccessKind::Read, addr: 0x40 },
+            truth: GroundTruth {
+                real: true,
+                kind: AccessKind::Read,
+                addr: 0x40,
+            },
         }
     }
 

@@ -72,7 +72,11 @@ pub fn measure_obfusmem() -> SchemeColumn {
     let mut t = Time::ZERO;
     let mut writes = 0u64;
     for i in 0..600u64 {
-        let addr = if rng.chance(0.6) { rng.below(16) * 64 } else { (2000 + i) * 64 };
+        let addr = if rng.chance(0.6) {
+            rng.below(16) * 64
+        } else {
+            (2000 + i) * 64
+        };
         t = b.read(t, BlockAddr::containing(addr));
         if rng.chance(0.4) {
             b.write(t, BlockAddr::containing(addr));
@@ -87,25 +91,45 @@ pub fn measure_obfusmem() -> SchemeColumn {
 
     SchemeColumn {
         name: "ObfusMem",
-        spatial: if report.spatial_leakage < 0.05 { Protection::Full } else { Protection::No },
+        spatial: if report.spatial_leakage < 0.05 {
+            Protection::Full
+        } else {
+            Protection::No
+        },
         temporal: if report.temporal_linkage < 0.01 && report.hot_set_recovery < 0.01 {
             Protection::Full
         } else {
             Protection::No
         },
-        read_write: if report.type_advantage.abs() < 0.05 { Protection::Full } else { Protection::No },
-        footprint: if report.footprint_ratio > 3.0 { Protection::Full } else { Protection::No },
+        read_write: if report.type_advantage.abs() < 0.05 {
+            Protection::Full
+        } else {
+            Protection::No
+        },
+        footprint: if report.footprint_ratio > 3.0 {
+            Protection::Full
+        } else {
+            Protection::No
+        },
         command_auth: auth,
         tcb: "Proc+Mem",
         storage_overhead: 0.0, // no tree, no dummy blocks
-        write_amplification: if writes == 0 { 0.0 } else { array_writes as f64 / writes as f64 },
+        write_amplification: if writes == 0 {
+            0.0
+        } else {
+            array_writes as f64 / writes as f64
+        },
         deadlock_possible: false,
     }
 }
 
 /// Measures Path ORAM's column from the functional implementation.
 pub fn measure_oram() -> SchemeColumn {
-    let cfg = OramConfig { levels: 10, bucket_size: 4, blocks: 4094 };
+    let cfg = OramConfig {
+        levels: 10,
+        bucket_size: 4,
+        blocks: 4094,
+    };
     let mut oram = PathOram::new(cfg, 17).expect("valid config");
     let mut rng = SplitMix64::new(23);
 
@@ -115,7 +139,11 @@ pub fn measure_oram() -> SchemeColumn {
     let mut revisits = 0u64;
     let mut last_leaf_of = std::collections::HashMap::new();
     for _ in 0..2000 {
-        let id = if rng.chance(0.6) { rng.below(16) } else { rng.below(4094) };
+        let id = if rng.chance(0.6) {
+            rng.below(16)
+        } else {
+            rng.below(4094)
+        };
         let (_, leaf) = oram.read_traced(id).expect("in range");
         if let Some(prev) = last_leaf_of.insert(id, leaf) {
             revisits += 1;
@@ -130,8 +158,12 @@ pub fn measure_oram() -> SchemeColumn {
 
     SchemeColumn {
         name: "ORAM",
-        spatial: Protection::Full,   // random leaf assignment
-        temporal: if linkage < chance * 10.0 + 0.01 { Protection::Full } else { Protection::No },
+        spatial: Protection::Full, // random leaf assignment
+        temporal: if linkage < chance * 10.0 + 0.01 {
+            Protection::Full
+        } else {
+            Protection::No
+        },
         read_write: Protection::Full, // both kinds read+evict a path
         footprint: Protection::Full,
         command_auth: false, // typical implementations lack it (Table 4)
@@ -166,7 +198,11 @@ mod tests {
     #[test]
     fn oram_column_matches_paper_claims() {
         let col = measure_oram();
-        assert_eq!(col.temporal, Protection::Full, "remapping hides temporal reuse");
+        assert_eq!(
+            col.temporal,
+            Protection::Full,
+            "remapping hides temporal reuse"
+        );
         assert!(!col.command_auth);
         assert!(col.storage_overhead >= 1.0, "≥100% storage overhead");
         assert!(

@@ -77,10 +77,14 @@ fn make_request(
 ) -> (BusPacket, BusPacket) {
     let write = rng.chance(0.3);
     let header = RequestHeader {
-        kind: if write { AccessKind::Write } else { AccessKind::Read },
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
         addr: (i % 1024) * 64,
     };
-    let data = write.then(|| [i as u8; 64]);
+    let data = write.then_some([i as u8; 64]);
     let pair = proc
         .obfuscate(Time::ZERO, 0, header, data.as_ref())
         .expect("channel 0 exists");
@@ -102,7 +106,8 @@ pub fn run_campaign(cfg: ObfusMemConfig, kind: TamperKind, attempts: u64) -> Cam
         // Honest warm-up traffic.
         for i in 0..3 {
             let (real, dummy) = make_request(&mut proc, &mut rng, i);
-            mem.receive_pair(&real, &dummy).expect("honest traffic passes");
+            mem.receive_pair(&real, &dummy)
+                .expect("honest traffic passes");
         }
 
         let hit = match kind {
@@ -112,13 +117,20 @@ pub fn run_campaign(cfg: ObfusMemConfig, kind: TamperKind, attempts: u64) -> Cam
                 // decoded request at all — see the
                 // `padding_flips_are_semantic_noops` test.)
                 let (mut real, dummy) = make_request(&mut proc, &mut rng, 100 + trial);
-                let bit = if rng.chance(0.1) { 0 } else { 8 + rng.below(64) as usize };
+                let bit = if rng.chance(0.1) {
+                    0
+                } else {
+                    8 + rng.below(64) as usize
+                };
                 real.header_ct[bit / 8] ^= 1 << (bit % 8);
                 mem.receive_pair(&real, &dummy).is_err()
             }
             TamperKind::FlipDataBit => {
                 // Force a write so there is data to corrupt.
-                let header = RequestHeader { kind: AccessKind::Write, addr: 0x4000 };
+                let header = RequestHeader {
+                    kind: AccessKind::Write,
+                    addr: 0x4000,
+                };
                 let pair = proc
                     .obfuscate(Time::ZERO, 0, header, Some(&[9; 64]))
                     .expect("channel 0 exists");
@@ -141,18 +153,22 @@ pub fn run_campaign(cfg: ObfusMemConfig, kind: TamperKind, attempts: u64) -> Cam
                 }
             }
             TamperKind::DropMessage => {
-                let dropped = make_request(&mut proc, &mut rng, 200 + trial);
-                drop(dropped);
+                let _dropped = make_request(&mut proc, &mut rng, 200 + trial);
                 let (real, dummy) = make_request(&mut proc, &mut rng, 300 + trial);
                 mem.receive_pair(&real, &dummy).is_err()
             }
             TamperKind::Replay => {
                 let (real, dummy) = make_request(&mut proc, &mut rng, 400 + trial);
-                mem.receive_pair(&real, &dummy).expect("first delivery is honest");
+                mem.receive_pair(&real, &dummy)
+                    .expect("first delivery is honest");
                 mem.receive_pair(&real, &dummy).is_err()
             }
             TamperKind::Inject => {
-                let mut forged = BusPacket { header_ct: [0; 16], data_ct: None, tag: Some([0; 8]) };
+                let mut forged = BusPacket {
+                    header_ct: [0; 16],
+                    data_ct: None,
+                    tag: Some([0; 8]),
+                };
                 for b in forged.header_ct.iter_mut() {
                     *b = rng.next_u64() as u8;
                 }
@@ -171,12 +187,19 @@ pub fn run_campaign(cfg: ObfusMemConfig, kind: TamperKind, attempts: u64) -> Cam
             detected += 1;
         }
     }
-    CampaignResult { kind, attempts, detected }
+    CampaignResult {
+        kind,
+        attempts,
+        detected,
+    }
 }
 
 /// Runs the full repertoire.
 pub fn run_all(cfg: ObfusMemConfig, attempts_each: u64) -> Vec<CampaignResult> {
-    ALL_TAMPERS.iter().map(|&k| run_campaign(cfg, k, attempts_each)).collect()
+    ALL_TAMPERS
+        .iter()
+        .map(|&k| run_campaign(cfg, k, attempts_each))
+        .collect()
 }
 
 #[cfg(test)]
@@ -204,7 +227,11 @@ mod tests {
         // Observation 4's stated drawback, verified.
         let cfg = ObfusMemConfig::paper_default();
         let r = run_campaign(cfg, TamperKind::FlipDataBit, 25);
-        assert_eq!(r.detection_rate(), 0.0, "data corruption is deferred, not immediate");
+        assert_eq!(
+            r.detection_rate(),
+            0.0,
+            "data corruption is deferred, not immediate"
+        );
     }
 
     #[test]
@@ -234,12 +261,22 @@ mod tests {
         // header's zero padding pass verification — and correctly so:
         // the decoded request is bit-identical to the honest one.
         let (mut proc, mut mem) = fresh_pair(ObfusMemConfig::paper_default());
-        let header = RequestHeader { kind: AccessKind::Read, addr: 0x40 };
-        let pair = proc.obfuscate(Time::ZERO, 0, header, None).expect("channel 0");
+        let header = RequestHeader {
+            kind: AccessKind::Read,
+            addr: 0x40,
+        };
+        let pair = proc
+            .obfuscate(Time::ZERO, 0, header, None)
+            .expect("channel 0");
         let mut tampered = pair.real.clone();
         tampered.header_ct[12] ^= 0xFF; // padding byte
-        let (decoded, _) = mem.receive_pair(&tampered, &pair.dummy).expect("noop passes");
-        assert_eq!(decoded.header, header, "padding flips must not alter the request");
+        let (decoded, _) = mem
+            .receive_pair(&tampered, &pair.dummy)
+            .expect("noop passes");
+        assert_eq!(
+            decoded.header, header,
+            "padding flips must not alter the request"
+        );
     }
 
     #[test]

@@ -85,7 +85,8 @@ mod tests {
     /// ObfusMem heat map under a given workload mix: top-1% activation
     /// share on the PCM device.
     fn obfusmem_heat(hot_fraction: f64, seed: u64) -> f64 {
-        let mut b = ObfusMemBackend::new(ObfusMemConfig::paper_default(), MemConfig::table2(), seed);
+        let mut b =
+            ObfusMemBackend::new(ObfusMemConfig::paper_default(), MemConfig::table2(), seed);
         let mut rng = SplitMix64::new(seed ^ 1);
         let mut t = Time::ZERO;
         for _ in 0..2000 {
@@ -102,12 +103,23 @@ mod tests {
     /// Path ORAM heat map under the same mix: top-1% share over bucket
     /// (≈ row) activations, plus the root's count.
     fn oram_heat(hot_fraction: f64, seed: u64) -> (f64, u64) {
-        let mut oram =
-            PathOram::new(OramConfig { levels: 10, bucket_size: 4, blocks: 2048 }, seed).unwrap();
+        let mut oram = PathOram::new(
+            OramConfig {
+                levels: 10,
+                bucket_size: 4,
+                blocks: 2048,
+            },
+            seed,
+        )
+        .unwrap();
         let mut bucket_heat = std::collections::HashMap::new();
         let mut rng = SplitMix64::new(seed ^ 2);
         for _ in 0..2000 {
-            let id = if rng.chance(hot_fraction) { rng.below(4) } else { 4 + rng.below(2000) };
+            let id = if rng.chance(hot_fraction) {
+                rng.below(4)
+            } else {
+                4 + rng.below(2000)
+            };
             let (_, leaf) = oram.read_traced(id).expect("in range");
             for node in oram.tree().path_nodes(leaf) {
                 *bucket_heat.entry(node).or_insert(0u64) += 1;

@@ -30,7 +30,10 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap on (time, seq).
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -73,7 +76,11 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Time::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
     }
 
     /// Schedules `payload` at absolute time `at`.
@@ -83,8 +90,16 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is before the last popped time (events cannot be
     /// scheduled in the past — that would make results order-dependent).
     pub fn push(&mut self, at: Time, payload: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < now {now}", now = self.now);
-        self.heap.push(Entry { at, seq: self.next_seq, payload });
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {now}",
+            now = self.now
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            payload,
+        });
         self.next_seq += 1;
     }
 
@@ -121,6 +136,7 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
     use crate::time::Duration;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn pops_in_time_order() {

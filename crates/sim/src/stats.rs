@@ -53,7 +53,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one sample.
@@ -116,8 +122,7 @@ impl RunningStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -137,12 +142,19 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: [0; 65], total: 0 }
+        Histogram {
+            buckets: [0; 65],
+            total: 0,
+        }
     }
 
     /// Records one value.
     pub fn record(&mut self, value: u64) {
-        let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.total += 1;
     }
@@ -211,9 +223,16 @@ impl fmt::Display for Overhead {
     }
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn counter_accumulates() {
@@ -318,11 +337,5 @@ mod tests {
             }
             proptest::prop_assert_eq!(h.count(), values.len() as u64);
         }
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
     }
 }

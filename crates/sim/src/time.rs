@@ -64,7 +64,10 @@ impl Duration {
     /// Constructs from a fractional nanosecond count (e.g. tCL = 13.75 ns),
     /// rounding to the nearest picosecond.
     pub fn from_ns_f64(ns: f64) -> Self {
-        assert!(ns >= 0.0 && ns.is_finite(), "duration must be a finite non-negative value");
+        assert!(
+            ns >= 0.0 && ns.is_finite(),
+            "duration must be a finite non-negative value"
+        );
         Duration((ns * 1000.0).round() as u64)
     }
 
@@ -159,8 +162,14 @@ impl Clock {
     /// paper's clocks do; this keeps the simulation exact).
     pub fn from_mhz(mhz: u64) -> Self {
         assert!(mhz > 0, "clock frequency must be nonzero");
-        assert_eq!(1_000_000 % mhz, 0, "clock period must be an integer picosecond count");
-        Clock { period_ps: 1_000_000 / mhz }
+        assert_eq!(
+            1_000_000 % mhz,
+            0,
+            "clock period must be an integer picosecond count"
+        );
+        Clock {
+            period_ps: 1_000_000 / mhz,
+        }
     }
 
     /// A clock described by its period in picoseconds.
@@ -198,6 +207,7 @@ impl Clock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     #[test]
     fn time_arithmetic() {

@@ -1,0 +1,113 @@
+//! Whole-domain generation: the `x: Type` side of the macro.
+
+use crate::TestRng;
+
+/// Types that can be drawn uniformly (or near-uniformly) from their whole
+/// domain — proptest's `Arbitrary`, minus the strategy indirection.
+pub trait Arb: Sized {
+    /// Draws one value.
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arb {
+    ($($t:ty),*) => {$(
+        impl Arb for $t {
+            fn arb(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+int_arb!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arb for bool {
+    fn arb(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arb for f64 {
+    fn arb(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning many magnitudes — enough for
+        // numeric property tests without NaN/inf noise.
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+impl<T: Arb, const N: usize> Arb for [T; N] {
+    fn arb(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arb(rng))
+    }
+}
+
+impl<T: Arb> Arb for Vec<T> {
+    fn arb(rng: &mut TestRng) -> Vec<T> {
+        // proptest's default collection size range is 0..100.
+        let len = rng.below(100) as usize;
+        (0..len).map(|_| T::arb(rng)).collect()
+    }
+}
+
+impl<T: Arb> Arb for Option<T> {
+    fn arb(rng: &mut TestRng) -> Option<T> {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arb(rng))
+        } else {
+            None
+        }
+    }
+}
+
+macro_rules! tuple_arb {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Arb),+> Arb for ($($s,)+) {
+            fn arb(rng: &mut TestRng) -> Self {
+                ($($s::arb(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_arb! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_vary() {
+        let mut rng = TestRng::for_case("arb", 0);
+        let lens: Vec<usize> = (0..50).map(|_| Vec::<u8>::arb(&mut rng).len()).collect();
+        assert!(lens.contains(&0) || lens.iter().any(|&l| l > 0));
+        assert!(
+            lens.iter().any(|&a| lens.iter().any(|&b| a != b)),
+            "lengths all equal"
+        );
+    }
+
+    #[test]
+    fn f64_is_finite() {
+        let mut rng = TestRng::for_case("arb", 1);
+        for _ in 0..1000 {
+            assert!(f64::arb(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn arrays_fill_every_slot() {
+        let mut rng = TestRng::for_case("arb", 2);
+        let a: [u64; 5] = Arb::arb(&mut rng);
+        assert!(
+            a.iter().any(|&x| x != 0),
+            "5 random u64s are never all zero"
+        );
+    }
+}

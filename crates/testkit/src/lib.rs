@@ -1,0 +1,336 @@
+//! Dependency-free property testing for the ObfusMem workspace.
+//!
+//! The container this workspace builds in has no network access, so the
+//! test suite cannot pull `proptest` from crates.io. This crate supplies
+//! the small slice of proptest's surface the suite actually uses — the
+//! [`proptest!`] macro with `x in strategy` / `x: Type` bindings, range and
+//! collection strategies, `prop_assert*`, and `ProptestConfig::with_cases`
+//! — implemented on a deterministic SplitMix64 generator. Test modules
+//! opt in with a single aliasing import:
+//!
+//! ```
+//! use obfusmem_testkit as proptest;
+//!
+//! proptest::proptest! {
+//!     // In a test module, add #[test] above the fn as usual.
+//!     fn addition_commutes(a in 0u64..1000, b: u64) {
+//!         proptest::prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+//!
+//! Unlike proptest this runner does not shrink failures; it reports the
+//! failing case index instead, and every case is reproducible because the
+//! per-case generator is seeded from the test name and case number alone.
+
+pub mod arbitrary;
+pub mod strategy;
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    /// Runner configuration. Only the `cases` knob exists.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // proptest defaults to 256; 64 keeps the offline suite quick
+            // while still exercising a spread of inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// A length specification: a fixed size or a half-open range.
+    pub trait IntoLenRange {
+        /// `(min, max)` with `max` exclusive.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy producing vectors of another strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Vector of `elem` values with length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        assert!(min < max, "empty length range");
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min) as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Strategy producing `Option` of another strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` half the time, `None` the other half.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The deterministic case generator: SplitMix64, re-implemented here so
+/// the shim stays dependency-free (`obfusmem-sim` dev-depends on this
+/// crate, so depending back on it would create a cycle).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for one `(test, case)` pair. Seeding depends only on the
+    /// test name and case index, so a failure report like "case 17" is
+    /// reproducible in isolation.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 uniform bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method (matches obfusmem-sim).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in `[0, bound)` for 128-bit bounds (modulo reduction;
+    /// the bias is irrelevant at test-input scale).
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "below_u128(0) is meaningless");
+        self.next_u128() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drop-in for `proptest::proptest!`. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions whose
+/// parameters are `name in strategy` or `name: Type` bindings.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { (<$crate::prelude::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr); ) => {};
+    ( ($cfg:expr);
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::prelude::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $crate::__proptest_bind! { __rng; $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident; ) => {};
+    ( $rng:ident; $var:ident in $strat:expr ) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ( $rng:ident; $var:ident in $strat:expr, $($rest:tt)+ ) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)+ }
+    };
+    ( $rng:ident; $var:ident : $ty:ty ) => {
+        let $var: $ty = $crate::arbitrary::Arb::arb(&mut $rng);
+    };
+    ( $rng:ident; $var:ident : $ty:ty, $($rest:tt)+ ) => {
+        let $var: $ty = $crate::arbitrary::Arb::arb(&mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)+ }
+    };
+}
+
+/// Drop-in for `proptest::prop_assert!` (panics instead of returning).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Drop-in for `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Drop-in for `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = super::TestRng::for_case("t", 3);
+        let mut b = super::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::TestRng::for_case("t", 4);
+        assert_ne!(super::TestRng::for_case("t", 3).next_u64(), c.next_u64());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in 0usize..3, f in -2.0f64..2.0) {
+            proptest::prop_assert!((5..10).contains(&x));
+            proptest::prop_assert!(y < 3);
+            proptest::prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn mixed_bindings_work(seed: u64, v in proptest::collection::vec(0u8.., 1..9), flag in proptest::bool::ANY) {
+            let _ = (seed, flag);
+            proptest::prop_assert!(!v.is_empty() && v.len() < 9);
+        }
+
+        #[test]
+        fn tuples_and_options(ops in proptest::collection::vec((0u64..50, proptest::option::of(0u8..)), 0..20)) {
+            for (a, b) in ops {
+                proptest::prop_assert!(a < 50);
+                let _ = b;
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_honoured(arr: [u8; 16], big in 1u128..) {
+            proptest::prop_assert!(big >= 1);
+            proptest::prop_assert_eq!(arr.len(), 16);
+        }
+    }
+}

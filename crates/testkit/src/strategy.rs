@@ -1,0 +1,120 @@
+//! Value-generation strategies: the `x in strategy` side of the macro.
+
+use crate::TestRng;
+use std::ops::{Range, RangeFrom};
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + rng.below_u128(span) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Rejection from the full domain; cheap unless `start` is
+                // near the top, which test inputs never are.
+                loop {
+                    let v = rng.next_u128() as $t;
+                    if v >= self.start {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = TestRng::for_case("strategy", 0);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = (10u64..15).generate(&mut rng);
+            assert!((10..15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
+    }
+
+    #[test]
+    fn range_from_respects_floor() {
+        let mut rng = TestRng::for_case("strategy", 1);
+        for _ in 0..200 {
+            assert!((1u128..).generate(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn f64_range_in_bounds() {
+        let mut rng = TestRng::for_case("strategy", 2);
+        for _ in 0..200 {
+            let v = (-1e6f64..1e6).generate(&mut rng);
+            assert!((-1e6..1e6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::for_case("strategy", 3);
+        let (a, b, c) = (0u64..4, crate::bool::ANY, 0u8..).generate(&mut rng);
+        assert!(a < 4);
+        let _ = (b, c);
+    }
+}

@@ -23,7 +23,10 @@ fn hex(bytes: &[u8]) -> String {
 }
 
 fn dump(label: &str, security: SecurityLevel) {
-    let cfg = ObfusMemConfig { security, ..ObfusMemConfig::paper_default() };
+    let cfg = ObfusMemConfig {
+        security,
+        ..ObfusMemConfig::paper_default()
+    };
     let mut backend = ObfusMemBackend::new(cfg, MemConfig::table2(), 1234);
     backend.enable_trace();
 
@@ -38,7 +41,11 @@ fn dump(label: &str, security: SecurityLevel) {
         if event.direction != Direction::ToMemory {
             continue;
         }
-        let shape = if event.packet.data_ct.is_some() { "hdr+data" } else { "hdr only" };
+        let shape = if event.packet.data_ct.is_some() {
+            "hdr+data"
+        } else {
+            "hdr only"
+        };
         println!(
             "  pkt {i:>2} @{:<12} [{shape:^8}] header = {}",
             event.at.to_string(),
@@ -50,8 +57,14 @@ fn dump(label: &str, security: SecurityLevel) {
 
 fn main() {
     println!("three requests: read 0x42040, read 0x42040 again, write 0x42040\n");
-    dump("plaintext bus (what DDR exposes today)", SecurityLevel::Unprotected);
-    dump("ObfusMem+Auth (counter-mode packets, paired dummies)", SecurityLevel::ObfuscateAuth);
+    dump(
+        "plaintext bus (what DDR exposes today)",
+        SecurityLevel::Unprotected,
+    );
+    dump(
+        "ObfusMem+Auth (counter-mode packets, paired dummies)",
+        SecurityLevel::ObfuscateAuth,
+    );
     println!(
         "On the plain bus, packets 0 and 1 are byte-identical (the probe links the\n\
          revisit) and the type byte is readable. Under ObfusMem the same three\n\

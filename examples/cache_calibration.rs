@@ -33,14 +33,26 @@ fn run(label: &str, cfg: L1StreamConfig, seed: u64) {
         accesses,
         llc_accesses,
         llc_misses as f64 * 1000.0 / instructions as f64,
-        if fills == 0 { 0.0 } else { writebacks as f64 / fills as f64 },
+        if fills == 0 {
+            0.0
+        } else {
+            writebacks as f64 / fills as f64
+        },
     );
 }
 
 fn main() {
     println!("2M instructions through the Table 2 hierarchy (32K/512K/8M):\n");
-    run("cache-friendly (hot-set reuse)", L1StreamConfig::cache_friendly(), 1);
-    run("cache-hostile (cold streaming)", L1StreamConfig::cache_hostile(), 1);
+    run(
+        "cache-friendly (hot-set reuse)",
+        L1StreamConfig::cache_friendly(),
+        1,
+    );
+    run(
+        "cache-hostile (cold streaming)",
+        L1StreamConfig::cache_hostile(),
+        1,
+    );
 
     let mut sweep = L1StreamConfig::cache_friendly();
     println!("\ncold-fraction sweep (the LLC-miss-rate knob):");

@@ -19,8 +19,15 @@ use obfusmem::sec::leakage;
 use obfusmem::sim::rng::SplitMix64;
 use obfusmem::sim::time::Time;
 
-fn trace(security: SecurityLevel, mode: AddressCipherMode) -> Vec<obfusmem::core::busmsg::BusEvent> {
-    let cfg = ObfusMemConfig { security, address_mode: mode, ..ObfusMemConfig::paper_default() };
+fn trace(
+    security: SecurityLevel,
+    mode: AddressCipherMode,
+) -> Vec<obfusmem::core::busmsg::BusEvent> {
+    let cfg = ObfusMemConfig {
+        security,
+        address_mode: mode,
+        ..ObfusMemConfig::paper_default()
+    };
     let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), 77);
     b.enable_trace();
     let mut rng = SplitMix64::new(99);
@@ -58,10 +65,26 @@ fn main() {
     );
 
     let configs: [(&str, SecurityLevel, AddressCipherMode); 4] = [
-        ("plaintext bus", SecurityLevel::Unprotected, AddressCipherMode::Ctr),
-        ("encrypt-only", SecurityLevel::EncryptOnly, AddressCipherMode::Ctr),
-        ("ObfusMem (ECB straw)", SecurityLevel::Obfuscate, AddressCipherMode::Ecb),
-        ("ObfusMem (CTR)", SecurityLevel::ObfuscateAuth, AddressCipherMode::Ctr),
+        (
+            "plaintext bus",
+            SecurityLevel::Unprotected,
+            AddressCipherMode::Ctr,
+        ),
+        (
+            "encrypt-only",
+            SecurityLevel::EncryptOnly,
+            AddressCipherMode::Ctr,
+        ),
+        (
+            "ObfusMem (ECB straw)",
+            SecurityLevel::Obfuscate,
+            AddressCipherMode::Ecb,
+        ),
+        (
+            "ObfusMem (CTR)",
+            SecurityLevel::ObfuscateAuth,
+            AddressCipherMode::Ctr,
+        ),
     ];
     for (label, security, mode) in configs {
         let events = trace(security, mode);
@@ -89,7 +112,7 @@ fn main() {
         let mut rng = SplitMix64::new(6);
         let mut t = Time::from_ps(1);
         for _ in 0..300 {
-            t = t + obfusmem::sim::time::Duration::from_ps(rng.below(150_000) + 1);
+            t += obfusmem::sim::time::Duration::from_ps(rng.below(150_000) + 1);
             t = b.read(t, BlockAddr::from_index(rng.below(4096)));
         }
         leakage::timing_distinct_gap_ratio(&b.take_trace())

@@ -28,7 +28,11 @@ fn main() {
 
     // --- Path ORAM ---------------------------------------------------
     let mut oram = PathOram::new(
-        OramConfig { levels: 9, bucket_size: 4, blocks: BLOCKS },
+        OramConfig {
+            levels: 9,
+            bucket_size: 4,
+            blocks: BLOCKS,
+        },
         1,
     )
     .expect("valid geometry");
@@ -44,7 +48,10 @@ fn main() {
     let m = oram.metrics();
     println!("Path ORAM (L=9, Z=4), {ACCESSES} logical accesses:");
     println!("  blocks read        : {:>9}", m.blocks_read);
-    println!("  blocks written     : {:>9} (incl. dummy slots)", m.blocks_written + m.dummy_writes);
+    println!(
+        "  blocks written     : {:>9} (incl. dummy slots)",
+        m.blocks_written + m.dummy_writes
+    );
     println!("  write amplification: {:>9.1}x", m.write_amplification());
     println!(
         "  array energy       : {:>9.0} (read-units; {:.0} per access)",
@@ -56,9 +63,15 @@ fn main() {
     // --- ObfusMem, fixed-address dummies (the paper's design) --------
     for (label, policy) in [
         ("ObfusMem (fixed dummies)", DummyAddressPolicy::Fixed),
-        ("ObfusMem (original-address dummies — rejected design)", DummyAddressPolicy::Original),
+        (
+            "ObfusMem (original-address dummies — rejected design)",
+            DummyAddressPolicy::Original,
+        ),
     ] {
-        let cfg = ObfusMemConfig { dummy_policy: policy, ..ObfusMemConfig::paper_default() };
+        let cfg = ObfusMemConfig {
+            dummy_policy: policy,
+            ..ObfusMemConfig::paper_default()
+        };
         let mut backend = ObfusMemBackend::new(cfg, MemConfig::table2(), 3);
         let mut rng = SplitMix64::new(2);
         let mut t = Time::ZERO;
@@ -74,8 +87,14 @@ fn main() {
         println!("\n{label}, same {ACCESSES} accesses:");
         println!("  array reads        : {:>9}", reads);
         println!("  array writes       : {:>9}", writes);
-        println!("  dummy array writes : {:>9}", backend.stats().dummy_array_writes);
-        println!("  hottest-row wear   : {:>9}", backend.memory().wear().max_row_writes());
+        println!(
+            "  dummy array writes : {:>9}",
+            backend.stats().dummy_array_writes
+        );
+        println!(
+            "  hottest-row wear   : {:>9}",
+            backend.memory().wear().max_row_writes()
+        );
         println!(
             "  array energy       : {:>9.0} (read-units; {:.1} per access)",
             model.array_energy(reads, writes),

@@ -16,10 +16,17 @@ use obfusmem::sim::rng::SplitMix64;
 
 fn main() {
     println!("== amplification vs tree depth (Z = 4) ==");
-    println!("{:<8} {:>10} {:>12} {:>14} {:>16}", "levels", "blocks", "path blocks", "write amp", "storage ovh");
+    println!(
+        "{:<8} {:>10} {:>12} {:>14} {:>16}",
+        "levels", "blocks", "path blocks", "write amp", "storage ovh"
+    );
     for levels in [8u32, 12, 16, 20] {
         let physical = ((1u64 << (levels + 1)) - 1) * 4;
-        let cfg = OramConfig { levels, bucket_size: 4, blocks: physical / 2 };
+        let cfg = OramConfig {
+            levels,
+            bucket_size: 4,
+            blocks: physical / 2,
+        };
         println!(
             "{:<8} {:>10} {:>12} {:>13.0}x {:>15.0}%",
             levels,
@@ -32,9 +39,16 @@ fn main() {
     println!("(the paper's L = 24 configuration moves 100 blocks each way per access)");
 
     println!("\n== stash pressure vs utilization (L = 10, Z = 4, 5000 reads) ==");
-    println!("{:<10} {:>13} {:>18}", "blocks", "utilization", "stash high-water");
+    println!(
+        "{:<10} {:>13} {:>18}",
+        "blocks", "utilization", "stash high-water"
+    );
     for blocks in [512u64, 1024, 2048, 4094] {
-        let cfg = OramConfig { levels: 10, bucket_size: 4, blocks };
+        let cfg = OramConfig {
+            levels: 10,
+            bucket_size: 4,
+            blocks,
+        };
         let mut oram = PathOram::new(cfg, 1).expect("≤50% utilization");
         let mut rng = SplitMix64::new(2);
         for _ in 0..5000 {
@@ -51,7 +65,10 @@ fn main() {
     println!("(beyond 50% the constructor refuses: failure rates become unacceptable)");
 
     println!("\n== recursive position map ==");
-    println!("{:<10} {:>7} {:>14} {:>22}", "blocks", "chain", "on-chip map", "phys blocks / access");
+    println!(
+        "{:<10} {:>7} {:>14} {:>22}",
+        "blocks", "chain", "on-chip map", "phys blocks / access"
+    );
     for (levels, blocks) in [(9u32, 500u64), (13, 16_384), (17, 260_000)] {
         let mut oram = RecursiveOram::new(levels, blocks, 3).expect("valid geometry");
         let mut rng = SplitMix64::new(4);

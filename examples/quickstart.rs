@@ -15,7 +15,10 @@ fn main() {
     let instructions = 2_000_000;
     let seed = 42;
 
-    println!("workload: {} ({} MPKI, {:.0} ns mean gap)", workload.name, workload.llc_mpki, workload.avg_gap_ns);
+    println!(
+        "workload: {} ({} MPKI, {:.0} ns mean gap)",
+        workload.name, workload.llc_mpki, workload.avg_gap_ns
+    );
     println!("simulating {instructions} instructions on the Table 2 machine…\n");
 
     let mut results = Vec::new();
@@ -25,7 +28,10 @@ fn main() {
         SecurityLevel::Obfuscate,
         SecurityLevel::ObfuscateAuth,
     ] {
-        let mut system = System::new(SystemConfig { security, ..SystemConfig::default() });
+        let mut system = System::new(SystemConfig {
+            security,
+            ..SystemConfig::default()
+        });
         let r = system.run(&workload, instructions, seed);
         println!(
             "{:<14} exec {:>10.1} µs   IPC {:.3}   mean fill latency {:>6.1} ns   \

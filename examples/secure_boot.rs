@@ -57,9 +57,12 @@ fn main() {
     );
 
     println!("\n== malicious integrator burns a decoy memory key ==");
-    match bootstrap_platform(BootstrapApproach::UntrustedIntegrator, channels, true, || {
-        entropy.next_u64()
-    }) {
+    match bootstrap_platform(
+        BootstrapApproach::UntrustedIntegrator,
+        channels,
+        true,
+        || entropy.next_u64(),
+    ) {
         Err(e) => println!("boot REFUSED (as designed): {e}"),
         Ok(_) => unreachable!("attestation must catch the decoy key"),
     }

@@ -37,7 +37,10 @@ fn overheads(name: &str) -> (f64, f64) {
 fn oram_is_an_order_of_magnitude_class_slowdown_on_memory_bound_code() {
     for name in ["bwaves", "mcf", "milc"] {
         let (oram, _) = overheads(name);
-        assert!(oram > 400.0, "{name}: ORAM overhead {oram}% not order-of-magnitude class");
+        assert!(
+            oram > 400.0,
+            "{name}: ORAM overhead {oram}% not order-of-magnitude class"
+        );
     }
 }
 
@@ -89,7 +92,10 @@ fn security_levels_cost_monotonically_more() {
     );
     let times: Vec<u64> = results.iter().map(|(_, r)| r.exec_time.as_ps()).collect();
     for w in times.windows(2) {
-        assert!(w[1] >= w[0], "protection must not speed execution up: {times:?}");
+        assert!(
+            w[1] >= w[0],
+            "protection must not speed execution up: {times:?}"
+        );
     }
 }
 
@@ -101,8 +107,14 @@ fn obfusmem_has_zero_storage_overhead_while_oram_wastes_half() {
     // The ObfusMem side is structural: no PosMap, no tree, no stash — the
     // backend addresses the full device. (Checked by construction: the
     // memory config is unchanged between protected and unprotected runs.)
-    let protected = SystemConfig { security: SecurityLevel::ObfuscateAuth, ..Default::default() };
-    let plain = SystemConfig { security: SecurityLevel::Unprotected, ..Default::default() };
+    let protected = SystemConfig {
+        security: SecurityLevel::ObfuscateAuth,
+        ..Default::default()
+    };
+    let plain = SystemConfig {
+        security: SecurityLevel::Unprotected,
+        ..Default::default()
+    };
     assert_eq!(protected.mem.capacity_bytes, plain.mem.capacity_bytes);
 }
 
@@ -118,14 +130,21 @@ fn non_temporal_stores_read_nothing_under_obfusmem() {
     use obfusmem::sim::time::Time;
 
     let mut oram = OramModel::paper();
-    let mut obfus =
-        ObfusMemBackend::new(ObfusMemConfig::paper_default(), MemConfig::table2(), 1);
+    let mut obfus = ObfusMemBackend::new(ObfusMemConfig::paper_default(), MemConfig::table2(), 1);
     for i in 0..100u64 {
         oram.write(Time::ZERO, BlockAddr::from_index(i));
         obfus.write(Time::from_ps(i * 1_000_000), BlockAddr::from_index(i));
     }
-    assert_eq!(oram.blocks_read(), 100 * 100, "every ORAM store reads a full path");
-    assert_eq!(obfus.stats().real_reads, 0, "ObfusMem stores fetch nothing on chip");
+    assert_eq!(
+        oram.blocks_read(),
+        100 * 100,
+        "every ORAM store reads a full path"
+    );
+    assert_eq!(
+        obfus.stats().real_reads,
+        0,
+        "ObfusMem stores fetch nothing on chip"
+    );
 }
 
 #[test]
@@ -147,8 +166,16 @@ fn whole_table3_sweep_runs_and_every_row_is_finite() {
             let r_oram = core.run(&spec, 40_000, &mut oram, SEED);
             (r_oram.overhead_vs(&r_base), r_obfus.overhead_vs(&r_base))
         };
-        assert!(oram.is_finite() && obfus.is_finite(), "{}: non-finite overhead", spec.name);
-        assert!(oram >= -1.0 && obfus >= -1.0, "{}: negative overhead", spec.name);
+        assert!(
+            oram.is_finite() && obfus.is_finite(),
+            "{}: non-finite overhead",
+            spec.name
+        );
+        assert!(
+            oram >= -1.0 && obfus >= -1.0,
+            "{}: negative overhead",
+            spec.name
+        );
         assert!(
             oram + 1.0 > obfus,
             "{}: ORAM ({oram}%) must never beat ObfusMem ({obfus}%)",

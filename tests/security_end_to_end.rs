@@ -46,7 +46,10 @@ fn bootstrapped_keys_drive_a_working_protected_memory() {
 fn attestation_gates_the_whole_stack() {
     let err = bootstrap_platform(BootstrapApproach::UntrustedIntegrator, 1, true, entropy(2))
         .unwrap_err();
-    assert!(err.to_string().contains("bootstrap"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("bootstrap"),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]
@@ -112,7 +115,10 @@ fn footprint_grows_unbounded_for_the_observer_under_ctr() {
         ratios.windows(2).all(|w| w[1] > w[0]),
         "footprint estimate must degrade over time: {ratios:?}"
     );
-    assert!(ratios[0] > 2.0, "even the first window overcounts: {ratios:?}");
+    assert!(
+        ratios[0] > 2.0,
+        "even the first window overcounts: {ratios:?}"
+    );
 }
 
 #[test]

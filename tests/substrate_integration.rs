@@ -38,7 +38,10 @@ fn l1_stream_through_caches_generates_memory_traffic() {
         }
     }
     assert!(fills > 1000, "hostile stream must miss the LLC: {fills}");
-    assert!(writebacks > 50, "stores must eventually spill: {writebacks}");
+    assert!(
+        writebacks > 50,
+        "stores must eventually spill: {writebacks}"
+    );
     let (acc, miss) = hierarchy.llc_counts();
     assert_eq!(miss, fills, "every LLC miss becomes a memory fill");
     assert!(acc >= miss);
@@ -72,7 +75,11 @@ fn mesi_directory_tracks_a_four_core_hierarchy() {
             } else {
                 directory.read(core, addr)
             };
-            let op = if round % 3 == 0 { CacheOp::Write } else { CacheOp::Read };
+            let op = if round % 3 == 0 {
+                CacheOp::Write
+            } else {
+                CacheOp::Read
+            };
             let outcome = hierarchy.access(core, addr, op);
             let _ = (msgs, outcome);
             directory.check_invariants().expect("MESI invariants");
@@ -122,13 +129,22 @@ fn fr_fcfs_beats_reservation_order_under_bursts() {
     let mut sched = FrFcfsScheduler::new(cfg);
     let mut device_finish = Time::ZERO;
     for i in 0..16u64 {
-        let addr = if i % 2 == 0 { (i / 2) * 64 } else { (1 << 24) + (i / 2) * 64 };
+        let addr = if i % 2 == 0 {
+            (i / 2) * 64
+        } else {
+            (1 << 24) + (i / 2) * 64
+        };
         let r = device.access(Time::ZERO, addr, AccessKind::Read);
         device_finish = device_finish.max(r.complete_at);
         sched.enqueue(Time::ZERO, addr, AccessKind::Read);
     }
     sched.run_until(Time::from_ps(1_000_000_000));
-    let sched_finish = sched.take_completions().into_iter().map(|c| c.at).max().unwrap();
+    let sched_finish = sched
+        .take_completions()
+        .into_iter()
+        .map(|c| c.at)
+        .max()
+        .unwrap();
     assert!(
         sched_finish <= device_finish,
         "FR-FCFS ({sched_finish}) must not lose to in-order ({device_finish})"
@@ -143,7 +159,11 @@ fn whole_stack_is_bit_deterministic() {
             ..SystemConfig::default()
         });
         let r = sys.run(&micro_test_workload(), 60_000, 0xD00D);
-        (r.exec_time.as_ps(), r.misses, sys.backend().stats().paired_dummies)
+        (
+            r.exec_time.as_ps(),
+            r.misses,
+            sys.backend().stats().paired_dummies,
+        )
     };
     assert_eq!(run(), run());
 }
