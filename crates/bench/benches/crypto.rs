@@ -13,11 +13,24 @@ use obfusmem_crypto::sha1::Sha1;
 fn bench_aes(c: &mut Criterion) {
     let mut group = c.benchmark_group("aes128");
     let aes = Aes128::new(&[7; 16]);
+    let scalar = Aes128::new_scalar(&[7; 16]);
     let block = [0x42u8; 16];
     group.throughput(Throughput::Bytes(16));
     group.bench_function("encrypt_block", |b| {
         b.iter(|| std::hint::black_box(aes.encrypt_block(std::hint::black_box(&block))))
     });
+    group.bench_function("encrypt_block_scalar", |b| {
+        b.iter(|| std::hint::black_box(scalar.encrypt_block(std::hint::black_box(&block))))
+    });
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("encrypt_blocks_x4", |b| {
+        let mut blocks = [[0x42u8; 16]; 4];
+        b.iter(|| {
+            aes.encrypt_blocks(&mut blocks);
+            std::hint::black_box(blocks[0][0]);
+        })
+    });
+    group.throughput(Throughput::Bytes(16));
     group.bench_function("key_schedule", |b| {
         b.iter(|| std::hint::black_box(Aes128::new(std::hint::black_box(&[9; 16]))))
     });
@@ -35,6 +48,11 @@ fn bench_ctr_pads(c: &mut Criterion) {
                 std::hint::black_box(stream.next_pad());
             }
         })
+    });
+    group.throughput(Throughput::Elements(6));
+    group.bench_function("six_pads_batched", |b| {
+        let mut stream = CtrStream::new(Aes128::new(&[1; 16]), 99);
+        b.iter(|| std::hint::black_box(stream.next_pads::<6>()))
     });
     group.throughput(Throughput::Bytes(64));
     group.bench_function("encrypt_block_64B", |b| {

@@ -1,0 +1,348 @@
+//! Hot-path microbenchmarks with a machine-readable baseline.
+//!
+//! ```text
+//! hotpath [--quick] [--out PATH] [-n INSTRUCTIONS] [-s SEED]
+//! ```
+//!
+//! Measures the three overhauled hot paths — T-table AES vs the scalar
+//! reference, batched CTR pad generation, and the four-ary event queue —
+//! plus an end-to-end Figure 4 sweep A/B (scalar-forced vs T-table), and
+//! writes the numbers to `BENCH_hotpath.json` (override with `--out`).
+//!
+//! The binary doubles as the CI divergence gate: it exits nonzero if the
+//! T-table cipher disagrees with the scalar reference on FIPS-197 vectors
+//! or random blocks, or if the end-to-end sweep results differ between
+//! the two implementations (they must be bit-identical — the AES swap is
+//! a pure performance change).
+//!
+//! `--quick` shrinks measurement budgets and the sweep size for CI smoke
+//! runs; committed baselines use the full mode defaults.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use obfusmem_bench::experiments::{fig4, fig4_average, Fig4Row};
+use obfusmem_bench::quick::measure_ns_budget;
+use obfusmem_crypto::aes::{set_force_scalar, Aes128, Block};
+use obfusmem_crypto::ctr::CtrStream;
+use obfusmem_harness::jsonl::JsonObject;
+use obfusmem_sim::event::EventQueue;
+use obfusmem_sim::rng::SplitMix64;
+use obfusmem_sim::time::Time;
+
+struct Options {
+    quick: bool,
+    out: String,
+    instructions: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        out: String::from("BENCH_hotpath.json"),
+        instructions: 0,
+        seed: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = args.next().unwrap_or_else(|| usage("missing --out value")),
+            "-n" => {
+                opts.instructions = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid value for -n"));
+            }
+            "-s" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid value for -s"));
+            }
+            "-h" | "--help" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.instructions == 0 {
+        opts.instructions = if opts.quick { 20_000 } else { 200_000 };
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: hotpath [--quick] [--out PATH] [-n INSTRUCTIONS] [-s SEED]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// FIPS-197 Appendix B + random differential: the scalar and T-table
+/// paths must be bit-identical in both directions.
+fn divergence_check(random_blocks: u32) -> Result<(), String> {
+    let key: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+    let pt: Block = [
+        0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07,
+        0x34,
+    ];
+    let ct: Block = [
+        0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b,
+        0x32,
+    ];
+    let fast = Aes128::new(&key);
+    let slow = Aes128::new_scalar(&key);
+    if fast.encrypt_block(&pt) != ct || slow.encrypt_block(&pt) != ct {
+        return Err("FIPS-197 Appendix B encryption vector failed".into());
+    }
+    if fast.decrypt_block(&ct) != pt || slow.decrypt_block(&ct) != pt {
+        return Err("FIPS-197 Appendix B decryption vector failed".into());
+    }
+
+    let mut rng = SplitMix64::new(0x0bf0_5a1e);
+    let mut block = [0u8; 16];
+    let mut k = [0u8; 16];
+    for i in 0..random_blocks {
+        if i % 64 == 0 {
+            k.iter_mut().for_each(|b| *b = rng.next_u64() as u8);
+        }
+        block.iter_mut().for_each(|b| *b = rng.next_u64() as u8);
+        let fast = Aes128::new(&k);
+        let slow = Aes128::new_scalar(&k);
+        let e_fast = fast.encrypt_block(&block);
+        let e_slow = slow.encrypt_block(&block);
+        if e_fast != e_slow {
+            return Err(format!("encrypt divergence on random block {i}"));
+        }
+        if fast.decrypt_block(&e_fast) != block || slow.decrypt_block(&e_slow) != block {
+            return Err(format!("decrypt divergence on random block {i}"));
+        }
+    }
+    Ok(())
+}
+
+/// Standing queue depth for the churn benchmark: a loaded 8-channel
+/// simulation keeps a few hundred events in flight.
+const QUEUE_DEPTH: u64 = 256;
+/// Pop-push cycles per churn pass.
+const QUEUE_CHURN: u64 = 1024;
+
+/// A memory-request-sized event record: what a channel simulation
+/// actually schedules (address, kind, pads, tags — one cache line).
+type EventRecord = [u64; 8];
+
+fn record(i: u64) -> EventRecord {
+    [i, i ^ 0xA5, i << 1, i >> 1, !i, i + 7, i * 3, i]
+}
+
+/// Pushes churn through the event queues; the same access pattern is
+/// replayed on ours and the BinaryHeap reference so the comparison is
+/// apples-to-apples.
+fn queue_churn_ours() -> u64 {
+    let mut q = EventQueue::new();
+    let mut rng = SplitMix64::new(7);
+    let mut acc = 0u64;
+    for i in 0..QUEUE_DEPTH {
+        q.push(Time::from_ps(rng.below(1000)), record(i));
+    }
+    for i in 0..QUEUE_CHURN {
+        let (t, v) = q.pop().expect("queue non-empty");
+        acc = acc.wrapping_add(v[0]);
+        q.push(
+            t + obfusmem_sim::time::Duration::from_ps(1 + rng.below(1000)),
+            record(i),
+        );
+    }
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v[0]);
+    }
+    acc
+}
+
+fn queue_churn_binaryheap() -> u64 {
+    // The pre-overhaul structure: the payload rides inside the heap
+    // entries and moves on every compare-and-swap.
+    let mut heap: BinaryHeap<Reverse<(u64, u64, EventRecord)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut rng = SplitMix64::new(7);
+    let mut acc = 0u64;
+    for i in 0..QUEUE_DEPTH {
+        heap.push(Reverse((rng.below(1000), seq, record(i))));
+        seq += 1;
+    }
+    for i in 0..QUEUE_CHURN {
+        let Reverse((t, _, v)) = heap.pop().expect("queue non-empty");
+        acc = acc.wrapping_add(v[0]);
+        heap.push(Reverse((t + 1 + rng.below(1000), seq, record(i))));
+        seq += 1;
+    }
+    while let Some(Reverse((_, _, v))) = heap.pop() {
+        acc = acc.wrapping_add(v[0]);
+    }
+    acc
+}
+
+fn rows_identical(a: &[Fig4Row], b: &[Fig4Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.encrypt_only == y.encrypt_only
+                && x.obfusmem == y.obfusmem
+                && x.obfusmem_auth == y.obfusmem_auth
+        })
+}
+
+fn main() {
+    let opts = parse_args();
+    let budget = if opts.quick {
+        Duration::from_millis(8)
+    } else {
+        Duration::from_millis(60)
+    };
+    let random_blocks = if opts.quick { 1_000 } else { 10_000 };
+
+    eprintln!("# hotpath: divergence gate ({random_blocks} random blocks)");
+    if let Err(e) = divergence_check(random_blocks) {
+        eprintln!("FAIL: scalar/T-table divergence: {e}");
+        std::process::exit(1);
+    }
+
+    // --- AES single block ---
+    let key = [7u8; 16];
+    let block = [0x42u8; 16];
+    let ttable = Aes128::new(&key);
+    let scalar = Aes128::new_scalar(&key);
+    let aes_scalar_ns = measure_ns_budget(|| scalar.encrypt_block(&block), budget);
+    let aes_ttable_ns = measure_ns_budget(|| ttable.encrypt_block(&block), budget);
+
+    // --- CTR keystream throughput (64 blocks = 1 KiB per call) ---
+    const KS_BLOCKS: usize = 64;
+    let mut buf = [[0u8; 16]; KS_BLOCKS];
+    let mut scalar_stream = CtrStream::new(Aes128::new_scalar(&key), 99);
+    let ks_scalar_ns = measure_ns_budget(
+        || {
+            scalar_stream.keystream_into(&mut buf);
+            buf[0][0]
+        },
+        budget,
+    );
+    let mut ttable_stream = CtrStream::new(Aes128::new(&key), 99);
+    let ks_ttable_ns = measure_ns_budget(
+        || {
+            ttable_stream.keystream_into(&mut buf);
+            buf[0][0]
+        },
+        budget,
+    );
+    let ks_bytes = (KS_BLOCKS * 16) as f64;
+
+    // --- six pads per request: sequential vs batched ---
+    let mut seq_stream = CtrStream::new(Aes128::new(&key), 99);
+    let six_seq_ns = measure_ns_budget(
+        || {
+            for _ in 0..6 {
+                std::hint::black_box(seq_stream.next_pad());
+            }
+        },
+        budget,
+    );
+    let mut batch_stream = CtrStream::new(Aes128::new(&key), 99);
+    let six_batch_ns = measure_ns_budget(|| batch_stream.next_pads::<6>(), budget);
+
+    // --- event queue churn ---
+    assert_eq!(
+        queue_churn_ours(),
+        queue_churn_binaryheap(),
+        "queue implementations must drain identical payload sums"
+    );
+    let q_heap_ns = measure_ns_budget(queue_churn_binaryheap, budget);
+    let q_ours_ns = measure_ns_budget(queue_churn_ours, budget);
+
+    // --- end-to-end Figure 4 sweep A/B ---
+    eprintln!(
+        "# hotpath: fig4 sweep A/B (n={}, seed={})",
+        opts.instructions, opts.seed
+    );
+    set_force_scalar(true);
+    let t0 = Instant::now();
+    let rows_scalar = fig4(opts.instructions, opts.seed);
+    let fig4_scalar_ms = t0.elapsed().as_secs_f64() * 1e3;
+    set_force_scalar(false);
+    let t0 = Instant::now();
+    let rows_ttable = fig4(opts.instructions, opts.seed);
+    let fig4_ttable_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    if !rows_identical(&rows_scalar, &rows_ttable) {
+        eprintln!("FAIL: fig4 results differ between scalar and T-table AES");
+        std::process::exit(1);
+    }
+    let avg = fig4_average(&rows_ttable);
+
+    let json = JsonObject::new()
+        .string("schema", "obfusmem.bench_hotpath.v1")
+        .string("mode", if opts.quick { "quick" } else { "full" })
+        .u64("instructions", opts.instructions)
+        .u64("seed", opts.seed)
+        .string("divergence", "none")
+        .f64("aes_block_scalar_ns", round3(aes_scalar_ns))
+        .f64("aes_block_ttable_ns", round3(aes_ttable_ns))
+        .f64("aes_block_speedup", round3(aes_scalar_ns / aes_ttable_ns))
+        .f64("keystream_scalar_gbps", round3(ks_bytes / ks_scalar_ns))
+        .f64("keystream_ttable_gbps", round3(ks_bytes / ks_ttable_ns))
+        .f64("keystream_speedup", round3(ks_scalar_ns / ks_ttable_ns))
+        .f64("six_pads_sequential_ns", round3(six_seq_ns))
+        .f64("six_pads_batched_ns", round3(six_batch_ns))
+        .f64("six_pads_speedup", round3(six_seq_ns / six_batch_ns))
+        .f64("event_queue_binaryheap_ns", round3(q_heap_ns))
+        .f64("event_queue_fourary_ns", round3(q_ours_ns))
+        .f64("event_queue_speedup", round3(q_heap_ns / q_ours_ns))
+        .f64("fig4_scalar_ms", round3(fig4_scalar_ms))
+        .f64("fig4_ttable_ms", round3(fig4_ttable_ms))
+        .f64("fig4_speedup", round3(fig4_scalar_ms / fig4_ttable_ms))
+        .u64("fig4_rows_identical", 1)
+        .f64("fig4_avg_encrypt_only_pct", round3(avg.encrypt_only))
+        .f64("fig4_avg_obfusmem_pct", round3(avg.obfusmem))
+        .f64("fig4_avg_obfusmem_auth_pct", round3(avg.obfusmem_auth))
+        .finish();
+    std::fs::write(&opts.out, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("FAIL: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+
+    println!(
+        "divergence gate              pass (FIPS-197 + {random_blocks} random blocks + fig4 A/B)"
+    );
+    println!(
+        "aes encrypt_block            scalar {aes_scalar_ns:8.1} ns   ttable {aes_ttable_ns:8.1} ns   {:.2}x",
+        aes_scalar_ns / aes_ttable_ns
+    );
+    println!(
+        "ctr keystream (1 KiB)        scalar {:8.3} GB/s  ttable {:8.3} GB/s  {:.2}x",
+        ks_bytes / ks_scalar_ns,
+        ks_bytes / ks_ttable_ns,
+        ks_scalar_ns / ks_ttable_ns
+    );
+    println!(
+        "six pads per request         loop   {six_seq_ns:8.1} ns   batch  {six_batch_ns:8.1} ns   {:.2}x",
+        six_seq_ns / six_batch_ns
+    );
+    println!(
+        "event queue churn            binheap{q_heap_ns:8.1} ns   4-ary  {q_ours_ns:8.1} ns   {:.2}x",
+        q_heap_ns / q_ours_ns
+    );
+    println!(
+        "fig4 sweep wall-clock        scalar {fig4_scalar_ms:8.1} ms   ttable {fig4_ttable_ms:8.1} ms   {:.2}x",
+        fig4_scalar_ms / fig4_ttable_ms
+    );
+    println!("baseline written             {}", opts.out);
+}
+
+/// Three decimals is plenty for a tracked baseline and keeps diffs tame.
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}

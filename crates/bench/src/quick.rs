@@ -125,10 +125,32 @@ const MIN_BATCH: Duration = Duration::from_millis(4);
 /// Total measurement budget per benchmark.
 const BUDGET: Duration = Duration::from_millis(60);
 
+/// Times `f` with the default budget and returns mean ns/iter.
+///
+/// The programmatic entry point for tools (like the hotpath baseline
+/// emitter) that need the number rather than a printed report line.
+pub fn measure_ns<R>(f: impl FnMut() -> R) -> f64 {
+    measure_ns_budget(f, BUDGET)
+}
+
+/// Times `f` for roughly `budget` wall-clock and returns mean ns/iter.
+pub fn measure_ns_budget<R>(f: impl FnMut() -> R, budget: Duration) -> f64 {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    b.iter_budget(f, budget.min(MIN_BATCH), budget);
+    b.ns_per_iter()
+}
+
 impl Bencher {
     /// Times `f`, batching adaptively. The closure's result is
     /// `black_box`ed so the work is not optimized away.
-    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+    pub fn iter<R>(&mut self, f: impl FnMut() -> R) {
+        self.iter_budget(f, MIN_BATCH, BUDGET);
+    }
+
+    fn iter_budget<R>(&mut self, mut f: impl FnMut() -> R, min_batch: Duration, budget: Duration) {
         let mut batch: u64 = 1;
         let batch_time = loop {
             let t0 = Instant::now();
@@ -136,14 +158,14 @@ impl Bencher {
                 std::hint::black_box(f());
             }
             let dt = t0.elapsed();
-            if dt >= MIN_BATCH || batch >= 1 << 28 {
+            if dt >= min_batch || batch >= 1 << 28 {
                 break dt;
             }
             batch = batch.saturating_mul(4);
         };
         let mut total = batch_time;
         let mut iters = batch;
-        while total < BUDGET {
+        while total < budget {
             let t0 = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(f());
@@ -153,6 +175,15 @@ impl Bencher {
         }
         self.iters = iters;
         self.elapsed = total;
+    }
+
+    /// Mean nanoseconds per iteration measured so far (0.0 before `iter`).
+    pub fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        }
     }
 
     fn report(&self, id: &str, throughput: Option<Throughput>) -> String {
@@ -253,5 +284,18 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("depth", 12).0, "depth/12");
+    }
+
+    #[test]
+    fn measure_ns_returns_a_positive_mean() {
+        let mut x = 1u64;
+        let ns = measure_ns_budget(
+            || {
+                x = x.wrapping_mul(3);
+                x
+            },
+            Duration::from_millis(2),
+        );
+        assert!(ns > 0.0, "got {ns}");
     }
 }

@@ -15,6 +15,7 @@
 //!
 //! Both ends then advance their shared counter by six.
 
+use obfusmem_crypto::aes::Block;
 use obfusmem_crypto::ctr::{PadBuffer, PADS_PER_REQUEST};
 use obfusmem_mem::request::{AccessKind, BlockData};
 use obfusmem_sim::rng::SplitMix64;
@@ -65,8 +66,11 @@ impl ProcessorEngine {
         let lat = cfg.latencies;
         let pad_buffers = (0..sessions.channels())
             .map(|_| {
+                // A fresh channel pre-generates at least one full
+                // request's worth of pads during boot, so the first
+                // request never faults them in one by one.
                 PadBuffer::new(
-                    lat.pad_buffer,
+                    lat.pad_buffer.max(PADS_PER_REQUEST),
                     lat.aes_per_pad.as_ps(),
                     lat.aes_fill.as_ps(),
                 )
@@ -136,16 +140,18 @@ impl ProcessorEngine {
         // Header encryption (pads base..base+1, or ECB in strawman mode).
         let (real_hdr_ct, dummy_hdr_ct) = match address_mode {
             AddressCipherMode::Ctr => {
+                let [real_pad, dummy_pad] = session.stream_mut().next_pads::<2>();
                 let mut real_ct = header.to_bytes();
-                xor16(&mut real_ct, &session.stream_mut().next_pad());
+                xor16(&mut real_ct, &real_pad);
                 let mut dummy_ct = dummy_header.to_bytes();
-                xor16(&mut dummy_ct, &session.stream_mut().next_pad());
+                xor16(&mut dummy_ct, &dummy_pad);
                 (real_ct, dummy_ct)
             }
             AddressCipherMode::Ecb => {
-                // Consume the pads anyway to keep counters synchronized.
-                session.stream_mut().next_pad();
-                session.stream_mut().next_pad();
+                // Advance past the header-pad slots to keep counters
+                // synchronized; ECB never XORs them, so they are skipped
+                // rather than generated.
+                session.stream_mut().skip_pads(2);
                 (
                     session.ecb_encrypt(&header.to_bytes()),
                     session.ecb_encrypt(&dummy_header.to_bytes()),
@@ -153,23 +159,19 @@ impl ProcessorEngine {
             }
         };
 
-        // Data encryption (pads base+2..base+5). Pads are always consumed
-        // so both ends stay in step whether or not data flows this way.
+        // Data encryption (pads base+2..base+5). The counter always
+        // advances past all four slots so both ends stay in step; a read
+        // reserves the window and regenerates it at reply time via
+        // `pad_at`, so nothing is computed for it here.
         let data_ct = match data {
             Some(block) => {
                 let mut ct = *block;
-                for chunk in ct.chunks_mut(16) {
-                    let pad = session.stream_mut().next_pad();
-                    for (d, p) in chunk.iter_mut().zip(pad.iter()) {
-                        *d ^= p;
-                    }
-                }
+                let pads = session.stream_mut().next_pads::<4>();
+                xor64(&mut ct, &pads);
                 Some(ct)
             }
             None => {
-                for _ in 0..4 {
-                    session.stream_mut().next_pad();
-                }
+                session.stream_mut().skip_pads(4);
                 None
             }
         };
@@ -249,18 +251,16 @@ impl ProcessorEngine {
         let session = self.sessions.session_mut(channel)?;
         let base_counter = session.stream().counter();
 
+        // All six slots carry meaning here (two headers + the substituted
+        // write's data), so the whole request window is one batch.
+        let pads = session.stream_mut().next_pads::<6>();
         let mut read_ct = read.to_bytes();
-        xor16(&mut read_ct, &session.stream_mut().next_pad());
+        xor16(&mut read_ct, &pads[0]);
         let mut write_ct = write.to_bytes();
-        xor16(&mut write_ct, &session.stream_mut().next_pad());
+        xor16(&mut write_ct, &pads[1]);
 
         let mut data_ct = *write_data;
-        for chunk in data_ct.chunks_mut(16) {
-            let pad = session.stream_mut().next_pad();
-            for (d, p) in chunk.iter_mut().zip(pad.iter()) {
-                *d ^= p;
-            }
-        }
+        xor64(&mut data_ct, pads[2..6].try_into().expect("four data pads"));
 
         let (read_tag, write_tag) = if authenticate {
             match mac_scheme {
@@ -331,15 +331,11 @@ impl ProcessorEngine {
 
         let mut header_ct = header.to_bytes();
         xor16(&mut header_ct, &session.stream_mut().next_pad());
-        session.stream_mut().next_pad(); // slot kept for counter parity
+        session.stream_mut().skip_pads(1); // slot kept for counter parity
 
         let mut data_ct = payload;
-        for chunk in data_ct.chunks_mut(16) {
-            let pad = session.stream_mut().next_pad();
-            for (d, p) in chunk.iter_mut().zip(pad.iter()) {
-                *d ^= p;
-            }
-        }
+        let pads = session.stream_mut().next_pads::<4>();
+        xor64(&mut data_ct, &pads);
 
         let tag = if authenticate {
             Some(match mac_scheme {
@@ -386,12 +382,9 @@ impl ProcessorEngine {
     ) -> Result<BlockData, ObfusMemError> {
         let session = self.sessions.session(channel)?;
         let mut out = *data_ct;
-        for (i, chunk) in out.chunks_mut(16).enumerate() {
-            let pad = session.stream().pad_at(base_counter + 2 + i as u64);
-            for (d, p) in chunk.iter_mut().zip(pad.iter()) {
-                *d ^= p;
-            }
-        }
+        let mut pads = [[0u8; 16]; 4];
+        session.stream().pads_at_into(base_counter + 2, &mut pads);
+        xor64(&mut out, &pads);
         Ok(out)
     }
 
@@ -404,6 +397,15 @@ impl ProcessorEngine {
 fn xor16(dst: &mut [u8; 16], pad: &[u8; 16]) {
     for (d, p) in dst.iter_mut().zip(pad.iter()) {
         *d ^= p;
+    }
+}
+
+/// XORs a 64-byte block with four 16-byte pads (one request's data lanes).
+fn xor64(dst: &mut BlockData, pads: &[Block; 4]) {
+    for (chunk, pad) in dst.chunks_mut(16).zip(pads.iter()) {
+        for (d, p) in chunk.iter_mut().zip(pad.iter()) {
+            *d ^= p;
+        }
     }
 }
 
@@ -574,6 +576,22 @@ mod tests {
             e.decrypt_reply(0, pair.base_counter, &reply_ct).unwrap(),
             plaintext
         );
+    }
+
+    #[test]
+    fn cold_channel_has_six_pads_banked() {
+        // Even with an undersized configured buffer, a fresh channel must
+        // hold one full request's worth of pads: the first request pays
+        // zero stall instead of faulting pads in one by one.
+        let mut cfg = ObfusMemConfig::paper_default();
+        cfg.latencies.pad_buffer = 1;
+        let mut e = engine(cfg);
+        let first = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
+        assert_eq!(first.pad_stall_ps, 0, "cold start must be pre-warmed");
+        // The clamp is a floor, not a free lunch: an immediate second
+        // request finds the tiny buffer drained and stalls.
+        let second = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
+        assert!(second.pad_stall_ps > 0);
     }
 
     #[test]

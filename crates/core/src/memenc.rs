@@ -95,11 +95,14 @@ impl MemoryEncryption {
     }
 
     fn apply_pad(&self, iv: [u8; 16], data: &mut BlockData) {
-        // Four 16-byte pads per 64 B block: pad_i = AES_K(IV ⊕ i-tweak).
-        for (i, chunk) in data.chunks_mut(16).enumerate() {
-            let mut block_iv = iv;
-            block_iv[15] ^= (i as u8) << 4;
-            let pad = self.cipher.encrypt_block(&block_iv);
+        // Four 16-byte pads per 64 B block: pad_i = AES_K(IV ⊕ i-tweak),
+        // generated as one batch so the cipher sees a straight run.
+        let mut pads = [iv; 4];
+        for (i, pad) in pads.iter_mut().enumerate() {
+            pad[15] ^= (i as u8) << 4;
+        }
+        self.cipher.encrypt_blocks(&mut pads);
+        for (chunk, pad) in data.chunks_mut(16).zip(pads.iter()) {
             for (d, p) in chunk.iter_mut().zip(pad.iter()) {
                 *d ^= p;
             }

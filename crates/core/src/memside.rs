@@ -102,8 +102,8 @@ impl MemoryEngine {
         // Pads base+2..=5 decrypt the pair's (at most one) meaningful
         // payload: the primary's write data, or a substituted companion
         // write's data. A fixed-address dummy write carries random bytes
-        // that need no decryption; the pads are consumed regardless so
-        // both ends stay in step.
+        // that need no decryption; the counter still advances past the
+        // slots so both ends stay in step (skipped, not generated).
         let companion_is_dummy = companion_header.addr == FIXED_DUMMY_ADDR;
         let mut data = None;
         let mut companion_data = None;
@@ -112,11 +112,7 @@ impl MemoryEngine {
             (None, Some(ct)) if !companion_is_dummy => {
                 companion_data = Some(self.decrypt_data(ct));
             }
-            _ => {
-                for _ in 0..4 {
-                    self.session.stream_mut().next_pad();
-                }
-            }
+            _ => self.session.stream_mut().skip_pads(4),
         }
 
         // Companion disposition (§3.3).
@@ -154,7 +150,7 @@ impl MemoryEngine {
     pub fn receive_uniform(&mut self, packet: &BusPacket) -> Result<DecodedRequest, ObfusMemError> {
         let base_counter = self.session.stream().counter();
         let header = self.decrypt_header(&packet.header_ct);
-        self.session.stream_mut().next_pad(); // parity with the split scheme
+        self.session.stream_mut().skip_pads(1); // parity with the split scheme
 
         if self.cfg.security.authenticates() {
             self.verify_tag(packet, &header, base_counter)?;
@@ -163,9 +159,7 @@ impl MemoryEngine {
         let payload = match &packet.data_ct {
             Some(ct) => Some(self.decrypt_data(ct)),
             None => {
-                for _ in 0..4 {
-                    self.session.stream_mut().next_pad();
-                }
+                self.session.stream_mut().skip_pads(4);
                 None
             }
         };
@@ -183,8 +177,8 @@ impl MemoryEngine {
 
     fn decrypt_data(&mut self, ct: &BlockData) -> BlockData {
         let mut out = *ct;
-        for chunk in out.chunks_mut(16) {
-            let pad = self.session.stream_mut().next_pad();
+        let pads = self.session.stream_mut().next_pads::<4>();
+        for (chunk, pad) in out.chunks_mut(16).zip(pads.iter()) {
             for (d, p) in chunk.iter_mut().zip(pad.iter()) {
                 *d ^= p;
             }
@@ -203,7 +197,7 @@ impl MemoryEngine {
                 RequestHeader::from_bytes(&pt)
             }
             AddressCipherMode::Ecb => {
-                self.session.stream_mut().next_pad(); // keep counters in step
+                self.session.stream_mut().skip_pads(1); // keep counters in step
                 RequestHeader::from_bytes(&self.session.ecb_decrypt(header_ct))
             }
         }
@@ -253,8 +247,11 @@ impl MemoryEngine {
     /// the pair's reserved data pads.
     pub fn encrypt_reply(&self, base_counter: u64, data: &BlockData) -> BusPacket {
         let mut ct = *data;
-        for (i, chunk) in ct.chunks_mut(16).enumerate() {
-            let pad = self.session.stream().pad_at(base_counter + 2 + i as u64);
+        let mut pads = [[0u8; 16]; 4];
+        self.session
+            .stream()
+            .pads_at_into(base_counter + 2, &mut pads);
+        for (chunk, pad) in ct.chunks_mut(16).zip(pads.iter()) {
             for (d, p) in chunk.iter_mut().zip(pad.iter()) {
                 *d ^= p;
             }

@@ -25,11 +25,14 @@ pub struct ChannelSession {
 impl ChannelSession {
     /// Builds a session from an established shared key and nonce.
     pub fn new(key: [u8; 16], nonce: u64) -> Self {
+        // The session key is expanded exactly once; the CTR stream and
+        // the ECB strawman share the schedule (cloning copies it).
+        let cipher = Aes128::new(&key);
         ChannelSession {
             key,
-            stream: CtrStream::new(Aes128::new(&key), nonce),
+            stream: CtrStream::new(cipher.clone(), nonce),
             mac: MacEngine::new(key, MacHash::Md5),
-            ecb: Aes128::new(&key),
+            ecb: cipher,
         }
     }
 
@@ -145,6 +148,29 @@ mod tests {
     fn per_channel_keys_are_independent() {
         let t = SessionKeyTable::new(vec![([1; 16], 0), ([2; 16], 0)]);
         assert!(!t.session(0).unwrap().same_key_as(t.session(1).unwrap()));
+    }
+
+    #[test]
+    fn session_key_expands_once_and_schedule_is_reused() {
+        use obfusmem_crypto::aes::key_expansions_this_thread;
+        let before = key_expansions_this_thread();
+        let mut s = ChannelSession::new([5; 16], 1);
+        let after_new = key_expansions_this_thread();
+        assert_eq!(
+            after_new - before,
+            1,
+            "a session key must be expanded exactly once (CTR + ECB share it)"
+        );
+        let mut pads = [[0u8; 16]; 6];
+        for _ in 0..1_000 {
+            s.stream_mut().keystream_into(&mut pads);
+            s.ecb_encrypt(&pads[0]);
+        }
+        assert_eq!(
+            key_expansions_this_thread(),
+            after_new,
+            "steady-state pad generation must reuse the expanded schedule"
+        );
     }
 
     #[test]

@@ -1,15 +1,26 @@
 //! AES-128 block cipher (FIPS-197).
 //!
-//! This is the cipher ObfusMem's bus-encryption engines run in counter mode.
-//! The paper synthesizes a pipelined AES-128 core (24-cycle latency at a
-//! 4 ns cycle time, one 128-bit pad per cycle); the *latency model* for that
-//! pipeline lives in `obfusmem-core`, while this module provides the actual
-//! transformation so the simulated bus carries real ciphertext.
+//! This is the cipher ObfusMem's bus-encryption engines run in counter
+//! mode. The paper synthesizes a pipelined AES-128 core (24-cycle latency
+//! at a 4 ns cycle time, one 128-bit pad per cycle); the *latency model*
+//! for that pipeline lives in `obfusmem-core`, while this module provides
+//! the actual transformation so the simulated bus carries real ciphertext.
 //!
-//! The implementation is a straightforward byte-oriented rendering of the
-//! specification (SubBytes / ShiftRows / MixColumns / AddRoundKey) with
-//! precomputed S-boxes. It favours clarity over speed; it still encrypts
-//! tens of millions of blocks per second, far more than the simulator needs.
+//! Two implementations share one key schedule:
+//!
+//! * **T-table** (default): the SubBytes/ShiftRows/MixColumns round
+//!   collapsed into four 256-entry 32-bit lookup tables per direction,
+//!   the classic software rendering of the round function (four table
+//!   reads and three XORs per column). This is what every hot path uses.
+//! * **Scalar**: the original byte-oriented rendering of the
+//!   specification, kept as the readable reference implementation and as
+//!   the differential-testing oracle. Select it per-instance with
+//!   [`Aes128::new_scalar`], process-wide with [`set_force_scalar`], or
+//!   build-wide with the `scalar-aes` cargo feature.
+//!
+//! The two paths are bit-identical by construction and the test suite
+//! (plus the `hotpath` bench gate in CI) enforces it on the FIPS-197
+//! vectors and thousands of random blocks.
 //!
 //! # Example
 //!
@@ -23,6 +34,9 @@
 //! let ct = aes.encrypt_block(&pt);
 //! assert_eq!(aes.decrypt_block(&ct), pt);
 //! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A 128-bit block.
 pub type Block = [u8; 16];
@@ -62,9 +76,12 @@ const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x
 
 /// Multiply in GF(2^8) with the AES polynomial x^8 + x^4 + x^3 + x + 1.
 #[inline]
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+const fn gmul(a: u8, b: u8) -> u8 {
+    let mut a = a;
+    let mut b = b;
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
@@ -74,18 +91,107 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
             a ^= 0x1b;
         }
         b >>= 1;
+        i += 1;
     }
     p
 }
 
+// Encryption T-tables: TE[r][x] is the MixColumns contribution of the
+// substituted byte S[x] arriving from state row r, as a big-endian column
+// word. TE0[x] = (2·S[x], S[x], S[x], 3·S[x]); TE1..TE3 are byte
+// rotations of TE0 (the MixColumns matrix is circulant).
+const TE: [[u32; 256]; 4] = {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let w = u32::from_be_bytes([gmul(s, 2), s, s, gmul(s, 3)]);
+        t[0][i] = w;
+        t[1][i] = w.rotate_right(8);
+        t[2][i] = w.rotate_right(16);
+        t[3][i] = w.rotate_right(24);
+        i += 1;
+    }
+    t
+};
+
+// Decryption T-tables for the equivalent inverse cipher:
+// TD0[x] = (14, 9, 13, 11)·InvS[x], TD1..TD3 its byte rotations.
+const TD: [[u32; 256]; 4] = {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = INV_SBOX[i];
+        let w = u32::from_be_bytes([gmul(s, 0x0e), gmul(s, 0x09), gmul(s, 0x0d), gmul(s, 0x0b)]);
+        t[0][i] = w;
+        t[1][i] = w.rotate_right(8);
+        t[2][i] = w.rotate_right(16);
+        t[3][i] = w.rotate_right(24);
+        i += 1;
+    }
+    t
+};
+
+/// InvMixColumns on one big-endian column word (decryption key schedule).
+#[inline]
+const fn inv_mix_word(w: u32) -> u32 {
+    let [b0, b1, b2, b3] = w.to_be_bytes();
+    u32::from_be_bytes([
+        gmul(b0, 0x0e) ^ gmul(b1, 0x0b) ^ gmul(b2, 0x0d) ^ gmul(b3, 0x09),
+        gmul(b0, 0x09) ^ gmul(b1, 0x0e) ^ gmul(b2, 0x0b) ^ gmul(b3, 0x0d),
+        gmul(b0, 0x0d) ^ gmul(b1, 0x09) ^ gmul(b2, 0x0e) ^ gmul(b3, 0x0b),
+        gmul(b0, 0x0b) ^ gmul(b1, 0x0d) ^ gmul(b2, 0x09) ^ gmul(b3, 0x0e),
+    ])
+}
+
+/// Process-wide switch forcing every *subsequently constructed* `Aes128`
+/// onto the scalar reference path. Existing instances are unaffected.
+///
+/// Meant for A/B benchmarking (the `hotpath` bench uses it to measure the
+/// pre-T-table baseline end to end); production code should never touch
+/// it.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the scalar reference path for ciphers constructed
+/// after this call. See [`FORCE_SCALAR`]'s intent: benchmarking only.
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// True when [`set_force_scalar`] (or the `scalar-aes` feature) is in
+/// effect for new instances.
+pub fn scalar_forced() -> bool {
+    cfg!(feature = "scalar-aes") || FORCE_SCALAR.load(Ordering::SeqCst)
+}
+
+thread_local! {
+    static KEY_EXPANSIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of key-schedule expansions performed *by the calling thread*
+/// since it started. Lets tests assert that hot paths reuse an expanded
+/// schedule instead of re-deriving it per call.
+pub fn key_expansions_this_thread() -> u64 {
+    KEY_EXPANSIONS.with(|c| c.get())
+}
+
 /// An expanded AES-128 key schedule.
 ///
-/// Construction expands the 16-byte key into 11 round keys once; encrypting
-/// and decrypting blocks then borrows the schedule immutably, so a single
-/// `Aes128` can be shared by every request on a channel.
+/// Construction expands the 16-byte key into 11 round keys once —
+/// byte-wise for the scalar path, word-wise (plus the InvMixColumns-folded
+/// decryption schedule) for the T-table path; encrypting and decrypting
+/// blocks then borrows the schedule immutably, so a single `Aes128` can be
+/// shared by every request on a channel. Cloning copies the expanded
+/// schedule without re-deriving it.
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+    /// Encryption round keys as big-endian column words.
+    ek: [u32; 44],
+    /// Equivalent-inverse-cipher round keys (InvMixColumns folded into
+    /// the middle rounds).
+    dk: [u32; 44],
+    use_scalar: bool,
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -98,6 +204,17 @@ impl std::fmt::Debug for Aes128 {
 impl Aes128 {
     /// Expands `key` into the full round-key schedule.
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_impl(key, scalar_forced())
+    }
+
+    /// Expands `key` and pins this instance to the scalar reference
+    /// implementation (differential testing / benchmarking).
+    pub fn new_scalar(key: &[u8; 16]) -> Self {
+        Self::with_impl(key, true)
+    }
+
+    fn with_impl(key: &[u8; 16], use_scalar: bool) -> Self {
+        KEY_EXPANSIONS.with(|c| c.set(c.get() + 1));
         let mut w = [[0u8; 4]; 44];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
             w[i].copy_from_slice(chunk);
@@ -121,11 +238,190 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        let mut ek = [0u32; 44];
+        for (i, word) in w.iter().enumerate() {
+            ek[i] = u32::from_be_bytes(*word);
+        }
+        // Decryption schedule for the equivalent inverse cipher: round
+        // keys in reverse order, InvMixColumns folded into rounds 1..=9.
+        let mut dk = [0u32; 44];
+        dk[..4].copy_from_slice(&ek[40..44]);
+        for r in 1..10 {
+            for c in 0..4 {
+                dk[4 * r + c] = inv_mix_word(ek[4 * (10 - r) + c]);
+            }
+        }
+        dk[40..44].copy_from_slice(&ek[..4]);
+        Aes128 {
+            round_keys,
+            ek,
+            dk,
+            use_scalar,
+        }
+    }
+
+    /// True when this instance runs the scalar reference path.
+    pub fn is_scalar(&self) -> bool {
+        self.use_scalar
     }
 
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, plaintext: &Block) -> Block {
+        if self.use_scalar {
+            self.encrypt_block_scalar(plaintext)
+        } else {
+            self.encrypt_block_ttable(plaintext)
+        }
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &Block) -> Block {
+        if self.use_scalar {
+            self.decrypt_block_scalar(ciphertext)
+        } else {
+            self.decrypt_block_ttable(ciphertext)
+        }
+    }
+
+    /// Encrypts a run of blocks in place. One schedule read, straight-line
+    /// per-block loops the compiler can interleave — the building block of
+    /// the batched counter-mode keystream.
+    pub fn encrypt_blocks(&self, blocks: &mut [Block]) {
+        if self.use_scalar {
+            for b in blocks {
+                *b = self.encrypt_block_scalar(b);
+            }
+        } else {
+            for b in blocks {
+                *b = self.encrypt_block_ttable(b);
+            }
+        }
+    }
+
+    fn encrypt_block_ttable(&self, plaintext: &Block) -> Block {
+        let ek = &self.ek;
+        let load = |c: usize| {
+            u32::from_be_bytes([
+                plaintext[4 * c],
+                plaintext[4 * c + 1],
+                plaintext[4 * c + 2],
+                plaintext[4 * c + 3],
+            ])
+        };
+        let mut s0 = load(0) ^ ek[0];
+        let mut s1 = load(1) ^ ek[1];
+        let mut s2 = load(2) ^ ek[2];
+        let mut s3 = load(3) ^ ek[3];
+        let mut k = 4;
+        for _ in 1..10 {
+            let t0 = TE[0][(s0 >> 24) as usize]
+                ^ TE[1][(s1 >> 16) as usize & 0xff]
+                ^ TE[2][(s2 >> 8) as usize & 0xff]
+                ^ TE[3][s3 as usize & 0xff]
+                ^ ek[k];
+            let t1 = TE[0][(s1 >> 24) as usize]
+                ^ TE[1][(s2 >> 16) as usize & 0xff]
+                ^ TE[2][(s3 >> 8) as usize & 0xff]
+                ^ TE[3][s0 as usize & 0xff]
+                ^ ek[k + 1];
+            let t2 = TE[0][(s2 >> 24) as usize]
+                ^ TE[1][(s3 >> 16) as usize & 0xff]
+                ^ TE[2][(s0 >> 8) as usize & 0xff]
+                ^ TE[3][s1 as usize & 0xff]
+                ^ ek[k + 2];
+            let t3 = TE[0][(s3 >> 24) as usize]
+                ^ TE[1][(s0 >> 16) as usize & 0xff]
+                ^ TE[2][(s1 >> 8) as usize & 0xff]
+                ^ TE[3][s2 as usize & 0xff]
+                ^ ek[k + 3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+            k += 4;
+        }
+        let sub = |hi: u32, mh: u32, ml: u32, lo: u32| {
+            (SBOX[(hi >> 24) as usize] as u32) << 24
+                | (SBOX[(mh >> 16) as usize & 0xff] as u32) << 16
+                | (SBOX[(ml >> 8) as usize & 0xff] as u32) << 8
+                | SBOX[lo as usize & 0xff] as u32
+        };
+        let o0 = sub(s0, s1, s2, s3) ^ ek[40];
+        let o1 = sub(s1, s2, s3, s0) ^ ek[41];
+        let o2 = sub(s2, s3, s0, s1) ^ ek[42];
+        let o3 = sub(s3, s0, s1, s2) ^ ek[43];
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&o0.to_be_bytes());
+        out[4..8].copy_from_slice(&o1.to_be_bytes());
+        out[8..12].copy_from_slice(&o2.to_be_bytes());
+        out[12..16].copy_from_slice(&o3.to_be_bytes());
+        out
+    }
+
+    fn decrypt_block_ttable(&self, ciphertext: &Block) -> Block {
+        let dk = &self.dk;
+        let load = |c: usize| {
+            u32::from_be_bytes([
+                ciphertext[4 * c],
+                ciphertext[4 * c + 1],
+                ciphertext[4 * c + 2],
+                ciphertext[4 * c + 3],
+            ])
+        };
+        let mut s0 = load(0) ^ dk[0];
+        let mut s1 = load(1) ^ dk[1];
+        let mut s2 = load(2) ^ dk[2];
+        let mut s3 = load(3) ^ dk[3];
+        let mut k = 4;
+        for _ in 1..10 {
+            let t0 = TD[0][(s0 >> 24) as usize]
+                ^ TD[1][(s3 >> 16) as usize & 0xff]
+                ^ TD[2][(s2 >> 8) as usize & 0xff]
+                ^ TD[3][s1 as usize & 0xff]
+                ^ dk[k];
+            let t1 = TD[0][(s1 >> 24) as usize]
+                ^ TD[1][(s0 >> 16) as usize & 0xff]
+                ^ TD[2][(s3 >> 8) as usize & 0xff]
+                ^ TD[3][s2 as usize & 0xff]
+                ^ dk[k + 1];
+            let t2 = TD[0][(s2 >> 24) as usize]
+                ^ TD[1][(s1 >> 16) as usize & 0xff]
+                ^ TD[2][(s0 >> 8) as usize & 0xff]
+                ^ TD[3][s3 as usize & 0xff]
+                ^ dk[k + 2];
+            let t3 = TD[0][(s3 >> 24) as usize]
+                ^ TD[1][(s2 >> 16) as usize & 0xff]
+                ^ TD[2][(s1 >> 8) as usize & 0xff]
+                ^ TD[3][s0 as usize & 0xff]
+                ^ dk[k + 3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+            k += 4;
+        }
+        let sub = |hi: u32, mh: u32, ml: u32, lo: u32| {
+            (INV_SBOX[(hi >> 24) as usize] as u32) << 24
+                | (INV_SBOX[(mh >> 16) as usize & 0xff] as u32) << 16
+                | (INV_SBOX[(ml >> 8) as usize & 0xff] as u32) << 8
+                | INV_SBOX[lo as usize & 0xff] as u32
+        };
+        let o0 = sub(s0, s3, s2, s1) ^ dk[40];
+        let o1 = sub(s1, s0, s3, s2) ^ dk[41];
+        let o2 = sub(s2, s1, s0, s3) ^ dk[42];
+        let o3 = sub(s3, s2, s1, s0) ^ dk[43];
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&o0.to_be_bytes());
+        out[4..8].copy_from_slice(&o1.to_be_bytes());
+        out[8..12].copy_from_slice(&o2.to_be_bytes());
+        out[12..16].copy_from_slice(&o3.to_be_bytes());
+        out
+    }
+
+    /// Encrypts one block with the byte-oriented reference implementation
+    /// (the differential-testing oracle; identical output to
+    /// [`Aes128::encrypt_block`]).
+    pub fn encrypt_block_scalar(&self, plaintext: &Block) -> Block {
         let mut state = *plaintext;
         add_round_key(&mut state, &self.round_keys[0]);
         for round in 1..10 {
@@ -140,8 +436,8 @@ impl Aes128 {
         state
     }
 
-    /// Decrypts one 16-byte block.
-    pub fn decrypt_block(&self, ciphertext: &Block) -> Block {
+    /// Decrypts one block with the byte-oriented reference implementation.
+    pub fn decrypt_block_scalar(&self, ciphertext: &Block) -> Block {
         let mut state = *ciphertext;
         add_round_key(&mut state, &self.round_keys[10]);
         for round in (1..10).rev() {
@@ -250,24 +546,131 @@ mod tests {
         out
     }
 
+    /// Asserts a known-answer vector on both implementations, both
+    /// directions.
+    fn assert_kat(key: &str, pt: &str, ct: &str) {
+        let (key, pt, ct) = (hex16(key), hex16(pt), hex16(ct));
+        let fast = Aes128::new(&key);
+        let slow = Aes128::new_scalar(&key);
+        assert!(!fast.is_scalar() || cfg!(feature = "scalar-aes"));
+        assert!(slow.is_scalar());
+        assert_eq!(fast.encrypt_block(&pt), ct);
+        assert_eq!(slow.encrypt_block(&pt), ct);
+        assert_eq!(fast.decrypt_block(&ct), pt);
+        assert_eq!(slow.decrypt_block(&ct), pt);
+    }
+
     #[test]
     fn fips197_appendix_b() {
-        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
-        let pt = hex16("3243f6a8885a308d313198a2e0370734");
-        let ct = hex16("3925841d02dc09fbdc118597196a0b32");
-        let aes = Aes128::new(&key);
-        assert_eq!(aes.encrypt_block(&pt), ct);
-        assert_eq!(aes.decrypt_block(&ct), pt);
+        assert_kat(
+            "2b7e151628aed2a6abf7158809cf4f3c",
+            "3243f6a8885a308d313198a2e0370734",
+            "3925841d02dc09fbdc118597196a0b32",
+        );
     }
 
     #[test]
     fn fips197_appendix_c1() {
-        let key = hex16("000102030405060708090a0b0c0d0e0f");
-        let pt = hex16("00112233445566778899aabbccddeeff");
-        let ct = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
-        let aes = Aes128::new(&key);
-        assert_eq!(aes.encrypt_block(&pt), ct);
-        assert_eq!(aes.decrypt_block(&ct), pt);
+        assert_kat(
+            "000102030405060708090a0b0c0d0e0f",
+            "00112233445566778899aabbccddeeff",
+            "69c4e0d86a7b0430d8cdb78070b4c55a",
+        );
+    }
+
+    #[test]
+    fn sp800_38a_ecb_aes128_vectors() {
+        // NIST SP 800-38A, F.1.1/F.1.2 (ECB-AES128), all four blocks.
+        let key = "2b7e151628aed2a6abf7158809cf4f3c";
+        assert_kat(
+            key,
+            "6bc1bee22e409f96e93d7e117393172a",
+            "3ad77bb40d7a3660a89ecaf32466ef97",
+        );
+        assert_kat(
+            key,
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "f5d3d58503b9699de785895a96fdbaaf",
+        );
+        assert_kat(
+            key,
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "43b1cd7f598ece23881b00e3ed030688",
+        );
+        assert_kat(
+            key,
+            "f69f2445df4f9b17ad2b417be66c3710",
+            "7b0c785e27e8ad3f8223207104725dd4",
+        );
+    }
+
+    #[test]
+    fn ttable_matches_scalar_on_10k_random_blocks() {
+        // SplitMix64-style deterministic generator: no RNG dependency.
+        let mut s: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut block16 = move || {
+            let mut b = [0u8; 16];
+            b[..8].copy_from_slice(&next().to_le_bytes());
+            b[8..].copy_from_slice(&next().to_le_bytes());
+            b
+        };
+        let mut fast = Aes128::new(&block16());
+        let mut slow = Aes128 {
+            use_scalar: true,
+            ..fast.clone()
+        };
+        for i in 0..10_000u32 {
+            if i % 64 == 0 {
+                let key = block16();
+                fast = Aes128::new(&key);
+                slow = Aes128 {
+                    use_scalar: true,
+                    ..fast.clone()
+                };
+            }
+            let pt = block16();
+            let ct = fast.encrypt_block(&pt);
+            assert_eq!(ct, slow.encrypt_block(&pt), "encrypt diverged at {i}");
+            assert_eq!(fast.decrypt_block(&ct), pt, "t-table decrypt at {i}");
+            assert_eq!(slow.decrypt_block(&ct), pt, "scalar decrypt at {i}");
+        }
+    }
+
+    #[test]
+    fn encrypt_blocks_matches_single_block_calls() {
+        let aes = Aes128::new(&[0x42; 16]);
+        let mut batch: [Block; 6] = core::array::from_fn(|i| [i as u8; 16]);
+        let expected: Vec<Block> = batch.iter().map(|b| aes.encrypt_block(b)).collect();
+        aes.encrypt_blocks(&mut batch);
+        assert_eq!(batch.to_vec(), expected);
+    }
+
+    #[test]
+    fn force_scalar_pins_new_instances() {
+        set_force_scalar(true);
+        let pinned = Aes128::new(&[1; 16]);
+        set_force_scalar(false);
+        let fast = Aes128::new(&[1; 16]);
+        assert!(pinned.is_scalar());
+        // Both must agree bit for bit regardless of path.
+        let pt = [0xA7; 16];
+        assert_eq!(pinned.encrypt_block(&pt), fast.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn key_expansion_counter_counts_constructions() {
+        let before = key_expansions_this_thread();
+        let _a = Aes128::new(&[1; 16]);
+        let _b = Aes128::new_scalar(&[2; 16]);
+        let _c = _a.clone(); // clones must NOT re-expand
+        assert_eq!(key_expansions_this_thread() - before, 2);
     }
 
     #[test]
@@ -334,6 +737,16 @@ mod tests {
         fn encryption_is_a_permutation(key: [u8; 16], a: [u8; 16], b: [u8; 16]) {
             let aes = Aes128::new(&key);
             proptest::prop_assert_eq!(a == b, aes.encrypt_block(&a) == aes.encrypt_block(&b));
+        }
+
+        #[test]
+        fn ttable_and_scalar_agree(key: [u8; 16], pt: [u8; 16]) {
+            let fast = Aes128::new(&key);
+            let slow = Aes128::new_scalar(&key);
+            let ct = fast.encrypt_block(&pt);
+            proptest::prop_assert_eq!(slow.encrypt_block(&pt), ct);
+            proptest::prop_assert_eq!(fast.decrypt_block(&ct), pt);
+            proptest::prop_assert_eq!(slow.decrypt_block(&ct), pt);
         }
     }
 }

@@ -67,6 +67,35 @@ impl CtrStream {
         pad
     }
 
+    /// Produces the next `N` pads as one batch, advancing the counter by
+    /// `N`. Equivalent to `N` calls to [`CtrStream::next_pad`] but builds
+    /// the IVs in one pass and hands the cipher a straight run of blocks
+    /// — the shape every six-pads-per-request consumer wants.
+    pub fn next_pads<const N: usize>(&mut self) -> [Block; N] {
+        let mut out = [[0u8; 16]; N];
+        self.keystream_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the pads for the next `out.len()` counter values
+    /// and advances the counter past them. No allocation: callers bring
+    /// the buffer.
+    pub fn keystream_into(&mut self, out: &mut [Block]) {
+        self.pads_at_into(self.counter, out);
+        self.counter += out.len() as u64;
+    }
+
+    /// Advances the counter by `n` without generating the pads.
+    ///
+    /// Both ends must consume six counter values per request whether or
+    /// not a given slot's pad is ever XORed with anything (a read request
+    /// reserves its reply pads but does not use them until the reply
+    /// arrives, via [`CtrStream::pad_at`]). Skipping keeps the counter
+    /// discipline without burning AES work on discarded pads.
+    pub fn skip_pads(&mut self, n: u64) {
+        self.counter += n;
+    }
+
     /// Produces the pad for an arbitrary counter value without advancing.
     ///
     /// The hardware uses this to pre-generate pads for future counters.
@@ -77,13 +106,30 @@ impl CtrStream {
         self.cipher.encrypt_block(&iv)
     }
 
+    /// Fills `out` with pads for counters `counter..counter + out.len()`
+    /// without advancing — the batch form of [`CtrStream::pad_at`], used
+    /// to regenerate a request's reserved reply-pad window in one call.
+    pub fn pads_at_into(&self, counter: u64, out: &mut [Block]) {
+        let nonce = self.nonce.to_be_bytes();
+        for (i, iv) in out.iter_mut().enumerate() {
+            iv[..8].copy_from_slice(&nonce);
+            iv[8..].copy_from_slice(&(counter + i as u64).to_be_bytes());
+        }
+        self.cipher.encrypt_blocks(out);
+    }
+
     /// Encrypts (or decrypts — XOR is symmetric) `data` in place, consuming
-    /// `ceil(len/16)` pads.
+    /// `ceil(len/16)` pads. Pads are generated in batches of up to eight
+    /// blocks (two requests' worth of data pads) with no allocation.
     pub fn xor_in_place(&mut self, data: &mut [u8]) {
-        for chunk in data.chunks_mut(16) {
-            let pad = self.next_pad();
-            for (d, p) in chunk.iter_mut().zip(pad.iter()) {
-                *d ^= p;
+        let mut pads = [[0u8; 16]; 8];
+        for span in data.chunks_mut(8 * 16) {
+            let n = span.len().div_ceil(16);
+            self.keystream_into(&mut pads[..n]);
+            for (chunk, pad) in span.chunks_mut(16).zip(pads.iter()) {
+                for (d, p) in chunk.iter_mut().zip(pad.iter()) {
+                    *d ^= p;
+                }
             }
         }
     }
@@ -207,6 +253,63 @@ mod tests {
         memory.next_pad(); // memory is one pad ahead: a dropped message
         let ct = processor.xor_copy(b"payload padding!");
         assert_ne!(memory.xor_copy(&ct), b"payload padding!".to_vec());
+    }
+
+    #[test]
+    fn batched_keystream_matches_sequential_pads() {
+        let mut sequential = stream();
+        let mut batched = stream();
+        let expected: Vec<Block> = (0..12).map(|_| sequential.next_pad()).collect();
+        let first: [Block; 6] = batched.next_pads();
+        let mut rest = [[0u8; 16]; 6];
+        batched.keystream_into(&mut rest);
+        assert_eq!(first.to_vec(), expected[..6]);
+        assert_eq!(rest.to_vec(), expected[6..]);
+        assert_eq!(batched.counter(), sequential.counter());
+    }
+
+    #[test]
+    fn skip_pads_preserves_counter_discipline() {
+        let mut consumed = stream();
+        let mut skipped = stream();
+        for _ in 0..6 {
+            consumed.next_pad();
+        }
+        skipped.skip_pads(6);
+        assert_eq!(consumed.counter(), skipped.counter());
+        assert_eq!(consumed.next_pad(), skipped.next_pad());
+    }
+
+    #[test]
+    fn pads_at_into_matches_pad_at_window() {
+        let s = stream();
+        let mut batch = [[0u8; 16]; 4];
+        s.pads_at_into(17, &mut batch);
+        for (i, pad) in batch.iter().enumerate() {
+            assert_eq!(*pad, s.pad_at(17 + i as u64));
+        }
+        assert_eq!(s.counter(), 0, "pads_at_into must not advance");
+    }
+
+    #[test]
+    fn batched_xor_matches_blockwise_xor() {
+        // Lengths straddling the 8-block batch window, including ragged
+        // tails.
+        for len in [0usize, 1, 15, 16, 64, 127, 128, 129, 300] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            let mut batched = stream();
+            let mut blockwise = stream();
+            let ct = batched.xor_copy(&data);
+            let mut expected = data.clone();
+            for chunk in expected.chunks_mut(16) {
+                let pad = blockwise.next_pad();
+                for (d, p) in chunk.iter_mut().zip(pad.iter()) {
+                    *d ^= p;
+                }
+            }
+            assert_eq!(ct, expected, "len {len}");
+            assert_eq!(batched.counter(), blockwise.counter(), "len {len}");
+        }
     }
 
     #[test]
