@@ -27,9 +27,11 @@ use crate::busmsg::{BusEvent, BusPacket, Direction, GroundTruth, RequestHeader};
 use crate::channels::ChannelObfuscator;
 use crate::config::{DummyAddressPolicy, MacScheme, ObfusMemConfig, SecurityLevel, TypeHiding};
 use crate::engine::{ProcessorEngine, FIXED_DUMMY_ADDR};
+use crate::link::{Delivery, DeliveryOutcome, FaultyLink, LinkStats};
 use crate::memenc::MemoryEncryption;
 use crate::memside::MemoryEngine;
 use crate::session::{ChannelSession, SessionKeyTable};
+use crate::ObfusMemError;
 
 /// Counter-cache hit latency: 5 cycles at 2 GHz (Table 2).
 const COUNTER_CACHE_HIT: Duration = Duration::from_ps(2500);
@@ -72,6 +74,14 @@ pub struct ObfusMemBackend {
     rng: SplitMix64,
     /// Write-backs waiting for a read to ride with (substitution mode).
     pending_writes: std::collections::VecDeque<BlockAddr>,
+    /// Fault-injecting link + recovery protocol. `None` when the fault
+    /// plan is all-zero: the engines then talk directly and every code
+    /// path is byte-identical to the pre-link backend.
+    link: Option<FaultyLink>,
+    /// Session-plane steering: `steer[home]` is the channel whose
+    /// engines carry `home`'s traffic. Identity until a quarantine
+    /// re-steers a channel's traffic onto a healthy one.
+    steer: Vec<usize>,
 }
 
 impl std::fmt::Debug for ObfusMemBackend {
@@ -120,6 +130,11 @@ impl ObfusMemBackend {
         for chunk in enc_key.chunks_mut(8) {
             chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
         }
+        let channels = mem_cfg.channels;
+        let link = cfg
+            .faults
+            .is_active()
+            .then(|| FaultyLink::new(cfg.link, cfg.faults, channels));
         ObfusMemBackend {
             chan_obf: ChannelObfuscator::new(cfg.channel_strategy),
             cfg,
@@ -131,6 +146,8 @@ impl ObfusMemBackend {
             trace: None,
             rng,
             pending_writes: std::collections::VecDeque::new(),
+            link,
+            steer: (0..channels).collect(),
         }
     }
 
@@ -167,6 +184,90 @@ impl ObfusMemBackend {
     /// The configuration in force.
     pub fn config(&self) -> &ObfusMemConfig {
         &self.cfg
+    }
+
+    /// Link recovery counters, when the fault-injecting link is active.
+    pub fn link_stats(&self) -> Option<&LinkStats> {
+        self.link.as_ref().map(|l| l.stats())
+    }
+
+    /// The fault-injecting link itself (health/quarantine diagnostics).
+    pub fn link(&self) -> Option<&FaultyLink> {
+        self.link.as_ref()
+    }
+
+    /// Channels whose traffic was re-steered away from their home
+    /// (nonzero only after a quarantine).
+    pub fn resteered_channels(&self) -> usize {
+        self.steer
+            .iter()
+            .enumerate()
+            .filter(|&(h, &s)| h != s)
+            .count()
+    }
+
+    /// True when every healthy channel's processor- and memory-side CTR
+    /// counters agree — the shared-counter discipline re-converged
+    /// after whatever faults the link injected and repaired.
+    ///
+    /// Quarantined channels are skipped: they are abandoned
+    /// mid-escalation (counters frozen wherever the failure left them)
+    /// and carry no traffic, so their divergence is expected.
+    pub fn counters_converged(&self) -> bool {
+        (0..self.mem_engines.len()).all(|ch| {
+            if self.link.as_ref().is_some_and(|l| l.is_quarantined(ch)) {
+                return true;
+            }
+            self.proc
+                .counter(ch)
+                .map(|c| c == self.mem_engines[ch].counter())
+                .unwrap_or(false)
+        })
+    }
+
+    /// The session-plane channel that carries `home`'s traffic.
+    fn route(&self, home: usize) -> usize {
+        self.steer[home]
+    }
+
+    /// Runs one request delivery through the fault-injecting link,
+    /// re-steering and re-issuing on quarantine. Returns the channel
+    /// that finally carried the request plus the delivery outcome.
+    ///
+    /// Only called when the link is active. Termination: each
+    /// quarantine shrinks the healthy set, and the last healthy channel
+    /// refuses quarantine, so the loop is bounded by the channel count.
+    fn deliver_linked(
+        &mut self,
+        at: Time,
+        home: usize,
+        delivery: Delivery<'_>,
+    ) -> (usize, DeliveryOutcome) {
+        let mut ch = self.route(home);
+        loop {
+            let link = self
+                .link
+                .as_mut()
+                .expect("linked path requires an active link");
+            match link.deliver(at, ch, &mut self.proc, &mut self.mem_engines[ch], delivery) {
+                Ok(out) => return (ch, out),
+                Err(ObfusMemError::ChannelQuarantined { .. }) => {
+                    let healthy = link
+                        .first_healthy()
+                        .expect("the last healthy channel refuses quarantine");
+                    let dead: Vec<bool> = (0..self.steer.len())
+                        .map(|c| link.is_quarantined(c))
+                        .collect();
+                    for slot in self.steer.iter_mut() {
+                        if dead[*slot] {
+                            *slot = healthy;
+                        }
+                    }
+                    ch = self.steer[home];
+                }
+                Err(e) => unreachable!("link delivery on a valid channel cannot fail: {e}"),
+            }
+        }
     }
 
     fn record(&mut self, event: BusEvent) {
@@ -276,7 +377,15 @@ impl ObfusMemBackend {
         let idle: Vec<bool> = (0..self.mem.config().channels)
             .map(|c| self.mem.channel_idle_at(c, at))
             .collect();
-        let plan = self.chan_obf.plan(real_channel, &idle);
+        // Quarantined channels carry no traffic, dummies included; the
+        // all-true mask of the fault-free case reduces to plain `plan`.
+        let healthy = match &self.link {
+            Some(link) => link.healthy_mask(),
+            None => vec![true; idle.len()],
+        };
+        let plan = self
+            .chan_obf
+            .plan_with_health(real_channel, &idle, &healthy);
         for ch in plan.inject {
             self.stats.channel_dummies += 1;
             // 24 B dummy-read packet + 88 B dummy-write packet out;
@@ -289,6 +398,11 @@ impl ObfusMemBackend {
         }
     }
 
+    /// Runs an injected dummy pair through the engines so the recorded
+    /// trace carries genuine ciphertext. Injected dummies bypass the
+    /// fault-injecting link: campaigns target demand traffic, and the
+    /// health-aware planner never injects on a quarantined channel, so
+    /// the engines stay synchronized on this direct path.
     fn record_injected_dummy(&mut self, at: Time, channel: usize) {
         let header = RequestHeader {
             kind: AccessKind::Read,
@@ -363,37 +477,64 @@ impl ObfusMemBackend {
     }
 
     fn obfuscated_read(&mut self, at: Time, addr: BlockAddr) -> Time {
-        let channel = self.mem.decode(addr.as_u64()).channel;
+        let home = self.mem.decode(addr.as_u64()).channel;
         let header = RequestHeader {
             kind: AccessKind::Read,
             addr: addr.as_u64(),
         };
 
-        let pair = self
-            .proc
-            .obfuscate(at, channel, header, None)
-            .expect("valid channel");
+        // Functional path: memory side decodes, reads the stored
+        // ciphertext, and replies. With the fault-injecting link active
+        // the delivery runs the full recovery protocol (and may land on
+        // a re-steered channel); otherwise the engines talk directly.
+        let (channel, pair, decoded, req_delay) = match self.link {
+            Some(_) => {
+                let (ch, out) =
+                    self.deliver_linked(at, home, Delivery::Pair { header, data: None });
+                (ch, out.pair, out.decoded, out.delay)
+            }
+            None => {
+                let pair = self
+                    .proc
+                    .obfuscate(at, home, header, None)
+                    .expect("valid channel");
+                let (decoded, _surfaced_dummy) = self.mem_engines[home]
+                    .receive_pair(&pair.real, &pair.dummy)
+                    .expect("engines synchronized");
+                (home, pair, decoded, Duration::ZERO)
+            }
+        };
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
 
-        // Functional path: memory side decodes, reads the stored
-        // ciphertext, and replies.
-        let (decoded, _surfaced_dummy) = self.mem_engines[channel]
-            .receive_pair(&pair.real, &pair.dummy)
-            .expect("engines synchronized");
         debug_assert_eq!(decoded.header, header);
         let at_rest = self.mem.read_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
-        let bus_data = self
-            .proc
-            .decrypt_reply(
-                channel,
-                pair.base_counter,
-                &reply.data_ct.expect("reply has data"),
-            )
-            .expect("valid channel");
+        let (bus_data, reply_delay) = match self.link.as_mut() {
+            Some(link) => link
+                .deliver_reply(
+                    at,
+                    channel,
+                    &self.proc,
+                    &self.mem_engines[channel],
+                    decoded.base_counter,
+                    &at_rest,
+                )
+                .expect("valid channel"),
+            None => {
+                let data = self
+                    .proc
+                    .decrypt_reply(
+                        channel,
+                        pair.base_counter,
+                        &reply.data_ct.expect("reply has data"),
+                    )
+                    .expect("valid channel");
+                (data, Duration::ZERO)
+            }
+        };
         debug_assert_eq!(bus_data, at_rest, "bus round trip must be lossless");
         let _plaintext = self.memenc.decrypt_block(addr.as_u64(), &bus_data);
 
@@ -486,11 +627,13 @@ impl ObfusMemBackend {
         };
         let counter_done = self.counter_ready(at, addr.as_u64());
         let reply_lat = self.cfg.latencies.xor + self.mem_side_latency();
-        reply_done.max(counter_done) + reply_lat
+        // Link recovery time (retransmits, resyncs, re-keys) extends the
+        // fill's critical path; zero on clean deliveries.
+        reply_done.max(counter_done) + reply_lat + req_delay + reply_delay
     }
 
     fn obfuscated_write(&mut self, at: Time, addr: BlockAddr) {
-        let channel = self.mem.decode(addr.as_u64()).channel;
+        let home = self.mem.decode(addr.as_u64()).channel;
         // Memory-encrypt the (synthetic) dirty data, bumping its counter.
         let plaintext = synth_block(&mut self.rng);
         let (at_rest, _) = self.memenc.encrypt_block(addr.as_u64(), &plaintext);
@@ -501,21 +644,38 @@ impl ObfusMemBackend {
             kind: AccessKind::Write,
             addr: addr.as_u64(),
         };
-        let pair = self
-            .proc
-            .obfuscate(at, channel, header, Some(&at_rest))
-            .expect("valid channel");
+        let (channel, pair, decoded, req_delay) = match self.link {
+            Some(_) => {
+                let (ch, out) = self.deliver_linked(
+                    at,
+                    home,
+                    Delivery::Pair {
+                        header,
+                        data: Some(&at_rest),
+                    },
+                );
+                (ch, out.pair, out.decoded, out.delay)
+            }
+            None => {
+                let pair = self
+                    .proc
+                    .obfuscate(at, home, header, Some(&at_rest))
+                    .expect("valid channel");
+                let (decoded, _) = self.mem_engines[home]
+                    .receive_pair(&pair.real, &pair.dummy)
+                    .expect("engines synchronized");
+                (home, pair, decoded, Duration::ZERO)
+            }
+        };
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
 
-        let (decoded, _) = self.mem_engines[channel]
-            .receive_pair(&pair.real, &pair.dummy)
-            .expect("engines synchronized");
         debug_assert_eq!(decoded.data, Some(at_rest));
         self.mem.write_block(addr, at_rest);
 
-        let send_at = self.align_to_slot(at + proc_lat);
+        // Recovery time delays the write's arrival on the wire.
+        let send_at = self.align_to_slot(at + proc_lat) + req_delay;
 
         if self.trace.is_some() {
             // Wire order is read-then-write (§3.3): the dummy *read*
@@ -567,7 +727,7 @@ impl ObfusMemBackend {
     /// A read whose pair's write slot carries a substituted real
     /// write-back (§3.3): no dummy bandwidth, and the write drains early.
     fn substituted_read(&mut self, at: Time, addr: BlockAddr, wb: BlockAddr) -> Time {
-        let channel = self.mem.decode(addr.as_u64()).channel;
+        let home = self.mem.decode(addr.as_u64()).channel;
         let read_header = RequestHeader {
             kind: AccessKind::Read,
             addr: addr.as_u64(),
@@ -582,20 +742,37 @@ impl ObfusMemBackend {
         let (wb_at_rest, _) = self.memenc.encrypt_block(wb.as_u64(), &plaintext);
         let _ = self.counter_ready_op(at, wb.as_u64(), obfusmem_cache::cache::CacheOp::Write);
 
-        let pair = self
-            .proc
-            .obfuscate_substituted(at, channel, read_header, write_header, &wb_at_rest)
-            .expect("valid channel");
+        // Functional path.
+        let (channel, pair, decoded, companion, req_delay) = match self.link {
+            Some(_) => {
+                let (ch, out) = self.deliver_linked(
+                    at,
+                    home,
+                    Delivery::Substituted {
+                        read: read_header,
+                        write: write_header,
+                        data: &wb_at_rest,
+                    },
+                );
+                (ch, out.pair, out.decoded, out.companion, out.delay)
+            }
+            None => {
+                let pair = self
+                    .proc
+                    .obfuscate_substituted(at, home, read_header, write_header, &wb_at_rest)
+                    .expect("valid channel");
+                let (decoded, companion) = self.mem_engines[home]
+                    .receive_pair(&pair.real, &pair.dummy)
+                    .expect("engines synchronized");
+                (home, pair, decoded, companion, Duration::ZERO)
+            }
+        };
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         self.stats.substituted_pairs += 1;
         self.stats.real_writes += 1; // the parked write is serviced here
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
 
-        // Functional path.
-        let (decoded, companion) = self.mem_engines[channel]
-            .receive_pair(&pair.real, &pair.dummy)
-            .expect("engines synchronized");
         debug_assert_eq!(decoded.header, read_header);
         let companion = companion.expect("substituted write must surface");
         debug_assert_eq!(companion.header, write_header);
@@ -604,14 +781,29 @@ impl ObfusMemBackend {
         let at_rest = self.mem.read_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
-        let bus_data = self
-            .proc
-            .decrypt_reply(
-                channel,
-                pair.base_counter,
-                &reply.data_ct.expect("reply has data"),
-            )
-            .expect("valid channel");
+        let (bus_data, reply_delay) = match self.link.as_mut() {
+            Some(link) => link
+                .deliver_reply(
+                    at,
+                    channel,
+                    &self.proc,
+                    &self.mem_engines[channel],
+                    decoded.base_counter,
+                    &at_rest,
+                )
+                .expect("valid channel"),
+            None => {
+                let data = self
+                    .proc
+                    .decrypt_reply(
+                        channel,
+                        pair.base_counter,
+                        &reply.data_ct.expect("reply has data"),
+                    )
+                    .expect("valid channel");
+                (data, Duration::ZERO)
+            }
+        };
         debug_assert_eq!(bus_data, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat);
@@ -675,40 +867,69 @@ impl ObfusMemBackend {
             array.complete_at
         };
         let counter_done = self.counter_ready(at, addr.as_u64());
-        reply_done.max(counter_done) + self.cfg.latencies.xor + self.mem_side_latency()
+        reply_done.max(counter_done)
+            + self.cfg.latencies.xor
+            + self.mem_side_latency()
+            + req_delay
+            + reply_delay
     }
 
     /// A read under the uniform-packet alternative: one 88-byte packet
     /// out (random filler attached), one data reply back.
     fn uniform_read(&mut self, at: Time, addr: BlockAddr) -> Time {
-        let channel = self.mem.decode(addr.as_u64()).channel;
+        let home = self.mem.decode(addr.as_u64()).channel;
         let header = RequestHeader {
             kind: AccessKind::Read,
             addr: addr.as_u64(),
         };
-        let pair = self
-            .proc
-            .obfuscate_uniform(at, channel, header, None)
-            .expect("valid channel");
+        let (channel, pair, decoded, req_delay) = match self.link {
+            Some(_) => {
+                let (ch, out) =
+                    self.deliver_linked(at, home, Delivery::Uniform { header, data: None });
+                (ch, out.pair, out.decoded, out.delay)
+            }
+            None => {
+                let pair = self
+                    .proc
+                    .obfuscate_uniform(at, home, header, None)
+                    .expect("valid channel");
+                let decoded = self.mem_engines[home]
+                    .receive_uniform(&pair.real)
+                    .expect("engines synchronized");
+                (home, pair, decoded, Duration::ZERO)
+            }
+        };
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
 
-        let decoded = self.mem_engines[channel]
-            .receive_uniform(&pair.real)
-            .expect("engines synchronized");
         debug_assert_eq!(decoded.header, header);
         let at_rest = self.mem.read_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
-        let bus_data = self
-            .proc
-            .decrypt_reply(
-                channel,
-                pair.base_counter,
-                &reply.data_ct.expect("reply has data"),
-            )
-            .expect("valid channel");
+        let (bus_data, reply_delay) = match self.link.as_mut() {
+            Some(link) => link
+                .deliver_reply(
+                    at,
+                    channel,
+                    &self.proc,
+                    &self.mem_engines[channel],
+                    decoded.base_counter,
+                    &at_rest,
+                )
+                .expect("valid channel"),
+            None => {
+                let data = self
+                    .proc
+                    .decrypt_reply(
+                        channel,
+                        pair.base_counter,
+                        &reply.data_ct.expect("reply has data"),
+                    )
+                    .expect("valid channel");
+                (data, Duration::ZERO)
+            }
+        };
         debug_assert_eq!(bus_data, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat);
@@ -751,14 +972,18 @@ impl ObfusMemBackend {
             array.complete_at
         };
         let counter_done = self.counter_ready(at, addr.as_u64());
-        reply_done.max(counter_done) + self.cfg.latencies.xor + self.mem_side_latency()
+        reply_done.max(counter_done)
+            + self.cfg.latencies.xor
+            + self.mem_side_latency()
+            + req_delay
+            + reply_delay
     }
 
     /// A write under the uniform-packet alternative: the mandatory data
     /// reply (discarded at the processor) is the scheme's inescapable
     /// bandwidth tax.
     fn uniform_write(&mut self, at: Time, addr: BlockAddr) {
-        let channel = self.mem.decode(addr.as_u64()).channel;
+        let home = self.mem.decode(addr.as_u64()).channel;
         let plaintext = synth_block(&mut self.rng);
         let (at_rest, _) = self.memenc.encrypt_block(addr.as_u64(), &plaintext);
         let _ = self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
@@ -766,21 +991,37 @@ impl ObfusMemBackend {
             kind: AccessKind::Write,
             addr: addr.as_u64(),
         };
-        let pair = self
-            .proc
-            .obfuscate_uniform(at, channel, header, Some(&at_rest))
-            .expect("valid channel");
+        let (channel, pair, decoded, req_delay) = match self.link {
+            Some(_) => {
+                let (ch, out) = self.deliver_linked(
+                    at,
+                    home,
+                    Delivery::Uniform {
+                        header,
+                        data: Some(&at_rest),
+                    },
+                );
+                (ch, out.pair, out.decoded, out.delay)
+            }
+            None => {
+                let pair = self
+                    .proc
+                    .obfuscate_uniform(at, home, header, Some(&at_rest))
+                    .expect("valid channel");
+                let decoded = self.mem_engines[home]
+                    .receive_uniform(&pair.real)
+                    .expect("engines synchronized");
+                (home, pair, decoded, Duration::ZERO)
+            }
+        };
         self.stats.pad_stall_ps += pair.pad_stall_ps;
         let proc_lat = self.proc_side_latency(pair.pad_stall_ps);
         let mem_lat = self.mem_side_latency();
 
-        let decoded = self.mem_engines[channel]
-            .receive_uniform(&pair.real)
-            .expect("engines synchronized");
         debug_assert_eq!(decoded.data, Some(at_rest));
         self.mem.write_block(addr, at_rest);
 
-        let send_at = self.align_to_slot(at + proc_lat);
+        let send_at = self.align_to_slot(at + proc_lat) + req_delay;
         if self.trace.is_some() {
             self.record(BusEvent {
                 at: send_at,

@@ -12,6 +12,7 @@
 //! channel, direction) plus sealed ground truth used only by the analysis
 //! harness to *score* an attacker, never as attacker input.
 
+use crate::error::ObfusMemError;
 use obfusmem_mem::request::AccessKind;
 use obfusmem_sim::time::Time;
 
@@ -35,11 +36,25 @@ impl RequestHeader {
     }
 
     /// Parses a decrypted header.
-    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
-        RequestHeader {
-            kind: AccessKind::decode(bytes[0]),
-            addr: u64::from_le_bytes(bytes[1..9].try_into().expect("slice is 8 bytes")),
+    ///
+    /// A well-formed header has a defined kind byte and all-zero padding;
+    /// anything else means the ciphertext was corrupted (or decrypted
+    /// under the wrong counter) and must surface as
+    /// [`ObfusMemError::MalformedPacket`] rather than being silently
+    /// reinterpreted as some valid request.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Result<Self, ObfusMemError> {
+        let kind = AccessKind::decode(bytes[0]).ok_or_else(|| {
+            ObfusMemError::MalformedPacket(format!("undefined request kind byte {:#04x}", bytes[0]))
+        })?;
+        if bytes[9..].iter().any(|&b| b != 0) {
+            return Err(ObfusMemError::MalformedPacket(
+                "nonzero header padding".into(),
+            ));
         }
+        Ok(RequestHeader {
+            kind,
+            addr: u64::from_le_bytes(bytes[1..9].try_into().expect("slice is 8 bytes")),
+        })
     }
 }
 
@@ -109,7 +124,35 @@ mod tests {
                 kind,
                 addr: 0xDEAD_BEC0,
             };
-            assert_eq!(RequestHeader::from_bytes(&h.to_bytes()), h);
+            assert_eq!(RequestHeader::from_bytes(&h.to_bytes()), Ok(h));
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        let good = RequestHeader {
+            kind: AccessKind::Write,
+            addr: 0x1040,
+        }
+        .to_bytes();
+
+        let mut bad_kind = good;
+        bad_kind[0] = 0xA7;
+        assert!(matches!(
+            RequestHeader::from_bytes(&bad_kind),
+            Err(ObfusMemError::MalformedPacket(_))
+        ));
+
+        for pad in 9..16 {
+            let mut bad_pad = good;
+            bad_pad[pad] = 1;
+            assert!(
+                matches!(
+                    RequestHeader::from_bytes(&bad_pad),
+                    Err(ObfusMemError::MalformedPacket(_))
+                ),
+                "nonzero padding byte {pad} must be rejected"
+            );
         }
     }
 
@@ -150,7 +193,7 @@ mod tests {
         fn header_round_trips_any_address(addr: u64, is_write: bool) {
             let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
             let h = RequestHeader { kind, addr };
-            proptest::prop_assert_eq!(RequestHeader::from_bytes(&h.to_bytes()), h);
+            proptest::prop_assert_eq!(RequestHeader::from_bytes(&h.to_bytes()), Ok(h));
         }
     }
 }

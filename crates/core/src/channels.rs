@@ -62,10 +62,31 @@ impl ChannelObfuscator {
     ///
     /// Panics if `real_channel` is out of range of `idle`.
     pub fn plan(&mut self, real_channel: usize, idle: &[bool]) -> InjectionPlan {
+        self.plan_with_health(real_channel, idle, &vec![true; idle.len()])
+    }
+
+    /// [`Self::plan`] restricted to healthy channels: quarantined
+    /// channels (link-layer escalation) carry no traffic at all, so
+    /// they are skipped *without* counting toward `suppressed_busy` —
+    /// the obfuscator keeps covering every channel that still talks.
+    /// With an all-true mask this is exactly [`Self::plan`], keeping
+    /// fault-free runs bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real_channel` is out of range of `idle`, or if the
+    /// masks disagree in length.
+    pub fn plan_with_health(
+        &mut self,
+        real_channel: usize,
+        idle: &[bool],
+        healthy: &[bool],
+    ) -> InjectionPlan {
         assert!(real_channel < idle.len(), "real channel out of range");
+        assert_eq!(idle.len(), healthy.len(), "one health flag per channel");
         let mut inject = Vec::new();
         for (ch, &is_idle) in idle.iter().enumerate() {
-            if ch == real_channel {
+            if ch == real_channel || !healthy[ch] {
                 continue;
             }
             match self.strategy {

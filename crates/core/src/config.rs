@@ -163,6 +163,118 @@ pub enum TimingMode {
 /// access (dummy write wire + row-miss array access + reply), rounded.
 pub const TIMING_SLOT: Duration = Duration::from_ns(100);
 
+/// Link fault processes injected between the engines (robustness
+/// campaigns). Rates are per-transmission Bernoulli probabilities drawn
+/// from a dedicated [`obfusmem_sim::rng::SplitMix64`] stream seeded by
+/// `seed`, so every campaign is reproducible. All-zero rates (the
+/// default) disable the link layer entirely: the engines talk directly,
+/// exactly as before the layer existed, and sweep results stay
+/// bit-identical to the fault-free baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a transmitted frame has one random bit flipped.
+    pub bit_flip: f64,
+    /// Probability a transmitted frame is dropped.
+    pub drop: f64,
+    /// Probability a transmitted frame arrives twice.
+    pub duplicate: f64,
+    /// Probability a previously captured frame is replayed ahead of the
+    /// current one.
+    pub replay: f64,
+    /// Probability the frame is held back so a later (re)transmission
+    /// overtakes it — observed as reordering.
+    pub reorder: f64,
+    /// Probability the frame suffers a multi-timeout delay burst.
+    pub delay_burst: f64,
+    /// Seed for the fault process stream.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            bit_flip: 0.0,
+            drop: 0.0,
+            duplicate: 0.0,
+            replay: 0.0,
+            reorder: 0.0,
+            delay_burst: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when any fault process can fire (the link layer engages).
+    pub fn is_active(&self) -> bool {
+        self.bit_flip > 0.0
+            || self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.replay > 0.0
+            || self.reorder > 0.0
+            || self.delay_burst > 0.0
+    }
+
+    /// A plan with a single fault process at `rate` (campaign helper).
+    pub fn single(kind: crate::link::FaultKind, rate: f64, seed: u64) -> Self {
+        use crate::link::FaultKind;
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        match kind {
+            FaultKind::BitFlip => plan.bit_flip = rate,
+            FaultKind::Drop => plan.drop = rate,
+            FaultKind::Duplicate => plan.duplicate = rate,
+            FaultKind::Replay => plan.replay = rate,
+            FaultKind::Reorder => plan.reorder = rate,
+            FaultKind::DelayBurst => plan.delay_burst = rate,
+        }
+        plan
+    }
+}
+
+/// Link-layer recovery protocol parameters (timeouts in simulated time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Retransmissions allowed per delivery before the link declares the
+    /// delivery unrecoverable and forces a clean reset.
+    pub max_retries: u32,
+    /// Base ACK/reply timeout; attempt `k` waits `ack_timeout << k`
+    /// (exponential backoff, capped by [`LinkConfig::backoff_cap`]).
+    pub ack_timeout: Duration,
+    /// Cap on the backoff exponent.
+    pub backoff_cap: u32,
+    /// One-way frame propagation latency.
+    pub frame_latency: Duration,
+    /// Processing latency of the counter-resynchronization handshake
+    /// (charged before the retransmission that follows a resync).
+    pub resync_latency: Duration,
+    /// Latency of a session re-key (key derivation + pad-bank refill).
+    pub rekey_latency: Duration,
+    /// Integrity failures (MAC/parse) tolerated per channel before the
+    /// link escalates from resync to a session re-key.
+    pub rekey_threshold: u32,
+    /// Re-keys tolerated per channel before the channel is quarantined
+    /// and its traffic re-steered to healthy channels.
+    pub quarantine_threshold: u32,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            max_retries: 8,
+            ack_timeout: Duration::from_ns(150),
+            backoff_cap: 6,
+            frame_latency: Duration::from_ns(10),
+            resync_latency: Duration::from_ns(30),
+            rekey_latency: Duration::from_ns(500),
+            rekey_threshold: 4,
+            quarantine_threshold: 3,
+        }
+    }
+}
+
 /// Latency parameters of the cryptographic hardware (paper §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CryptoLatencies {
@@ -217,6 +329,10 @@ pub struct ObfusMemConfig {
     pub timing: TimingMode,
     /// Hardware latencies.
     pub latencies: CryptoLatencies,
+    /// Injected link fault processes (all-zero = link layer disabled).
+    pub faults: FaultPlan,
+    /// Link recovery protocol parameters.
+    pub link: LinkConfig,
 }
 
 impl ObfusMemConfig {

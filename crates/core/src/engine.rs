@@ -95,6 +95,102 @@ impl ProcessorEngine {
         self.dummies_generated
     }
 
+    /// Validates a channel index before any per-channel state is touched,
+    /// so a bad index surfaces as a typed error instead of an
+    /// out-of-bounds panic on the request path.
+    fn check_channel(&self, channel: usize) -> Result<(), ObfusMemError> {
+        let channels = self.pad_buffers.len();
+        if channel >= channels {
+            return Err(ObfusMemError::NoSuchChannel { channel, channels });
+        }
+        Ok(())
+    }
+
+    /// This end's counter for `channel` (resync/diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::NoSuchChannel`] for bad channel indices.
+    pub fn counter(&self, channel: usize) -> Result<u64, ObfusMemError> {
+        Ok(self.sessions.session(channel)?.stream().counter())
+    }
+
+    /// Re-keys `channel` after repeated integrity failures (link-layer
+    /// escalation): derives the next session key from the current one and
+    /// `epoch`, and refills the channel's pad bank under the new key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::NoSuchChannel`] for bad channel indices.
+    pub fn rekey_channel(&mut self, channel: usize, epoch: u64) -> Result<(), ObfusMemError> {
+        self.sessions.session_mut(channel)?.rekey(epoch);
+        let lat = self.cfg.latencies;
+        self.pad_buffers[channel] = PadBuffer::new(
+            lat.pad_buffer.max(PADS_PER_REQUEST),
+            lat.aes_per_pad.as_ps(),
+            lat.aes_fill.as_ps(),
+        );
+        Ok(())
+    }
+
+    /// Authenticates a counter-resynchronization request: a MAC over the
+    /// resync domain, the link sequence number, and the target counter,
+    /// keyed with the channel's session key. The memory side verifies
+    /// this before seeking its stream, so an attacker cannot forge
+    /// desyncs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::NoSuchChannel`] for bad channel indices.
+    pub fn resync_tag(
+        &self,
+        channel: usize,
+        seq: u64,
+        target: u64,
+    ) -> Result<[u8; 8], ObfusMemError> {
+        Ok(self.sessions.session(channel)?.mac().tag(&[
+            b"resync",
+            &seq.to_le_bytes(),
+            &target.to_le_bytes(),
+        ]))
+    }
+
+    /// Verifies a read reply's MAC tag (when authentication is enabled)
+    /// before its data is trusted.
+    ///
+    /// # Errors
+    ///
+    /// * [`ObfusMemError::NoSuchChannel`] for bad channel indices.
+    /// * [`ObfusMemError::MalformedPacket`] when the tag is missing.
+    /// * [`ObfusMemError::TamperDetected`] when the tag mismatches.
+    pub fn verify_reply(
+        &self,
+        channel: usize,
+        base_counter: u64,
+        reply: &BusPacket,
+    ) -> Result<(), ObfusMemError> {
+        if !self.cfg.security.authenticates() {
+            return Ok(());
+        }
+        let session = self.sessions.session(channel)?;
+        let tag = reply
+            .tag
+            .ok_or_else(|| ObfusMemError::MalformedPacket("reply is missing its tag".into()))?;
+        let ct = reply
+            .data_ct
+            .ok_or_else(|| ObfusMemError::MalformedPacket("reply is missing its data".into()))?;
+        if session
+            .mac()
+            .verify(&[b"reply", &base_counter.to_le_bytes(), &ct], &tag)
+        {
+            Ok(())
+        } else {
+            Err(ObfusMemError::TamperDetected {
+                detail: format!("reply MAC mismatch at counter {base_counter}"),
+            })
+        }
+    }
+
     /// Chooses the dummy address per the configured policy (§3.3).
     pub fn dummy_addr_for(&mut self, real: &RequestHeader) -> u64 {
         match self.cfg.dummy_policy {
@@ -119,6 +215,7 @@ impl ProcessorEngine {
         header: RequestHeader,
         data: Option<&BlockData>,
     ) -> Result<ObfuscatedPair, ObfusMemError> {
+        self.check_channel(channel)?;
         debug_assert_eq!(
             data.is_some(),
             header.kind == AccessKind::Write,
@@ -242,6 +339,7 @@ impl ProcessorEngine {
         write: RequestHeader,
         write_data: &BlockData,
     ) -> Result<ObfuscatedPair, ObfusMemError> {
+        self.check_channel(channel)?;
         debug_assert_eq!(read.kind, AccessKind::Read, "primary must be the read");
         debug_assert_eq!(write.kind, AccessKind::Write, "companion must be the write");
         let pad_stall_ps = self.pad_buffers[channel].consume(now.as_ps(), PADS_PER_REQUEST);
@@ -318,6 +416,7 @@ impl ProcessorEngine {
         header: RequestHeader,
         data: Option<&BlockData>,
     ) -> Result<ObfuscatedPair, ObfusMemError> {
+        self.check_channel(channel)?;
         let pad_stall_ps = self.pad_buffers[channel].consume(now.as_ps(), PADS_PER_REQUEST);
         let mac_scheme = self.cfg.mac_scheme;
         let authenticate = self.cfg.security.authenticates();

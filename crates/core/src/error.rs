@@ -39,6 +39,22 @@ pub enum ObfusMemError {
         /// Block whose verification failed.
         addr: u64,
     },
+    /// The link layer exhausted its retry budget for one delivery.
+    RetriesExhausted {
+        /// Channel whose delivery failed.
+        channel: usize,
+        /// Retries attempted before giving up.
+        attempts: u32,
+    },
+    /// A channel accumulated enough integrity failures to be quarantined
+    /// and can no longer carry traffic.
+    ChannelQuarantined {
+        /// The quarantined channel.
+        channel: usize,
+    },
+    /// Every channel is quarantined; no healthy channel remains to
+    /// re-steer traffic onto.
+    NoHealthyChannel,
 }
 
 impl fmt::Display for ObfusMemError {
@@ -56,6 +72,18 @@ impl fmt::Display for ObfusMemError {
             }
             ObfusMemError::IntegrityViolation { addr } => {
                 write!(f, "integrity violation at {addr:#x}")
+            }
+            ObfusMemError::RetriesExhausted { channel, attempts } => {
+                write!(
+                    f,
+                    "link retries exhausted on channel {channel} after {attempts} attempts"
+                )
+            }
+            ObfusMemError::ChannelQuarantined { channel } => {
+                write!(f, "channel {channel} is quarantined")
+            }
+            ObfusMemError::NoHealthyChannel => {
+                write!(f, "no healthy channel remains")
             }
         }
     }

@@ -17,6 +17,7 @@
 //! | §3.3 request-type obfuscation (dummy read/write pairing) | [`engine`], [`config::DummyAddressPolicy`] |
 //! | §3.4 inter-channel obfuscation (UNOPT/OPT injection) | [`channels`] |
 //! | §3.5 communication authentication (encrypt-and-MAC vs encrypt-then-MAC) | [`engine`], [`memside`], [`config::MacScheme`] |
+//! | link fault injection + bounded-retry recovery (robustness extension) | [`link`], [`config::FaultPlan`] |
 //! | Merkle-tree memory integrity (assumed substrate) | [`merkle`] |
 //! | full-system performance model (gem5 replacement) | [`backend`], [`system`] |
 //!
@@ -41,6 +42,7 @@ pub mod channels;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod link;
 pub mod memenc;
 pub mod memside;
 pub mod merkle;

@@ -67,6 +67,45 @@ impl MemoryEngine {
         self.session.stream().counter()
     }
 
+    /// Applies an authenticated counter-resynchronization request: after
+    /// a MAC or parse failure left this end's counter ahead of the
+    /// processor's (every failure path parks it at `base + 2`), the
+    /// processor sends the target counter under a MAC so the stream can
+    /// be rewound without tearing the session down. The tag binds the
+    /// link sequence number, so a captured resync cannot be replayed
+    /// against a later delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfusMemError::TamperDetected`] when the tag does not
+    /// verify; the stream is left untouched in that case.
+    pub fn apply_resync(
+        &mut self,
+        seq: u64,
+        target: u64,
+        tag: &[u8; 8],
+    ) -> Result<(), ObfusMemError> {
+        let ok = self
+            .session
+            .mac()
+            .verify(&[b"resync", &seq.to_le_bytes(), &target.to_le_bytes()], tag);
+        if !ok {
+            self.tampers_detected += 1;
+            return Err(ObfusMemError::TamperDetected {
+                detail: format!("resync MAC mismatch (seq {seq}, target {target})"),
+            });
+        }
+        self.session.stream_mut().seek(target);
+        Ok(())
+    }
+
+    /// Re-keys this end's session (link-layer escalation); must be called
+    /// with the same `epoch` the processor used so both ends derive the
+    /// same key.
+    pub fn rekey(&mut self, epoch: u64) {
+        self.session.rekey(epoch);
+    }
+
     /// Processes a primary/companion packet pair arriving from the bus.
     ///
     /// Returns the decoded *primary* request plus the companion's
@@ -90,8 +129,14 @@ impl MemoryEngine {
         let base_counter = self.session.stream().counter();
 
         // Decrypt headers (pads base, base+1 — mirroring the processor).
-        let real_header = self.decrypt_header(&real.header_ct);
-        let companion_header = self.decrypt_header(&dummy.header_ct);
+        // Both header pads are consumed *before* either parse result is
+        // inspected, so every failure mode — malformed header or MAC
+        // mismatch — leaves the counter uniformly at base+2, the state
+        // the link layer's resync handshake repairs.
+        let real_parse = self.decrypt_header(&real.header_ct);
+        let companion_parse = self.decrypt_header(&dummy.header_ct);
+        let real_header = self.note_malformed(real_parse)?;
+        let companion_header = self.note_malformed(companion_parse)?;
 
         // Verify MACs before acting on anything (§3.5).
         if self.cfg.security.authenticates() {
@@ -149,8 +194,9 @@ impl MemoryEngine {
     ///   as for [`MemoryEngine::receive_pair`].
     pub fn receive_uniform(&mut self, packet: &BusPacket) -> Result<DecodedRequest, ObfusMemError> {
         let base_counter = self.session.stream().counter();
-        let header = self.decrypt_header(&packet.header_ct);
+        let parse = self.decrypt_header(&packet.header_ct);
         self.session.stream_mut().skip_pads(1); // parity with the split scheme
+        let header = self.note_malformed(parse)?;
 
         if self.cfg.security.authenticates() {
             self.verify_tag(packet, &header, base_counter)?;
@@ -186,7 +232,7 @@ impl MemoryEngine {
         out
     }
 
-    fn decrypt_header(&mut self, header_ct: &[u8; 16]) -> RequestHeader {
+    fn decrypt_header(&mut self, header_ct: &[u8; 16]) -> Result<RequestHeader, ObfusMemError> {
         match self.cfg.address_mode {
             AddressCipherMode::Ctr => {
                 let pad = self.session.stream_mut().next_pad();
@@ -201,6 +247,17 @@ impl MemoryEngine {
                 RequestHeader::from_bytes(&self.session.ecb_decrypt(header_ct))
             }
         }
+    }
+
+    /// Counts a malformed-header parse as a detected tamper event.
+    fn note_malformed(
+        &mut self,
+        parsed: Result<RequestHeader, ObfusMemError>,
+    ) -> Result<RequestHeader, ObfusMemError> {
+        if parsed.is_err() {
+            self.tampers_detected += 1;
+        }
+        parsed
     }
 
     fn verify_tag(

@@ -65,6 +65,21 @@ impl ChannelSession {
     pub fn same_key_as(&self, other: &ChannelSession) -> bool {
         self.key == other.key
     }
+
+    /// Re-keys the session after repeated integrity failures (link-layer
+    /// escalation). The new key is derived as a PRF of the old key over
+    /// the rekey epoch — AES(old_key, epoch ‖ epoch) — so both ends of a
+    /// channel that agree on the epoch derive the same key without any
+    /// extra bus traffic, and an attacker who forced the rekey learns
+    /// nothing about either key. The counter stream restarts at the
+    /// epoch (a nonce both ends agree on by construction).
+    pub fn rekey(&mut self, epoch: u64) {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&epoch.to_le_bytes());
+        block[8..].copy_from_slice(&epoch.to_le_bytes());
+        let new_key = self.ecb.encrypt_block(&block);
+        *self = ChannelSession::new(new_key, epoch);
+    }
 }
 
 /// The processor's Session Key Table: one session per channel.

@@ -17,7 +17,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use obfusmem_harness::runner::{effective_threads, run_sweep, RunOptions};
-use obfusmem_harness::spec::{parse_schemes, parse_u64, parse_workloads, SweepSpec};
+use obfusmem_harness::spec::{
+    parse_fault_kinds, parse_schemes, parse_u64, parse_workloads, SweepSpec,
+};
 
 struct Cli {
     spec: SweepSpec,
@@ -55,7 +57,19 @@ fn main() -> ExitCode {
         cli.out.display()
     );
     match run_sweep(&cli.spec, &cli.out, &cli.opts) {
-        Ok(_) => ExitCode::SUCCESS,
+        Ok(report) => {
+            // Fault campaigns are acceptance gates: any fault the link
+            // failed to recover (or a diverged counter pair) fails the
+            // invocation even though every row was written.
+            if report.unrecovered > 0 || report.diverged > 0 {
+                eprintln!(
+                    "sweep: FAIL: {} unrecovered fault(s), {} diverged job(s)",
+                    report.unrecovered, report.diverged
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("sweep: {e}");
             ExitCode::FAILURE
@@ -95,6 +109,10 @@ usage: sweep [options]
   --channels LIST      comma list of power-of-two channel counts
   --replicates N       seeds per grid point (default 1)
   --master-seed SEED   master seed, decimal or 0x-hex
+  --fault-kinds LIST   comma list of bit-flip|drop|duplicate|replay|
+                       reorder|delay-burst, or `all` (fault campaign)
+  --fault-rates LIST   comma list of per-packet fault rates in (0, 1]
+  --fault-seed SEED    master seed for fault-injection streams
   -n, --instructions N instruction budget per job
   --out FILE           JSONL results/checkpoint file (default sweep.jsonl)
   --threads N          worker threads (default: all cores)
@@ -148,6 +166,23 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--master-seed" => {
                 let v = next_value("--master-seed", &mut args)?;
                 cli.spec.master_seed = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--fault-kinds" => {
+                cli.spec.fault_kinds = parse_fault_kinds(&next_value("--fault-kinds", &mut args)?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--fault-rates" => {
+                let v = next_value("--fault-rates", &mut args)?;
+                cli.spec.fault_rates = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|_| format!("bad fault rate {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--fault-seed" => {
+                let v = next_value("--fault-seed", &mut args)?;
+                cli.spec.fault_seed = parse_u64(&v).map_err(|e| e.to_string())?;
             }
             "-n" | "--instructions" => {
                 let v = next_value("--instructions", &mut args)?;

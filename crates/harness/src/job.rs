@@ -9,11 +9,13 @@
 
 use std::time::Instant;
 
+use obfusmem_core::config::FaultPlan;
+use obfusmem_core::link::FaultKind;
 use obfusmem_cpu::core::RunResult;
 use obfusmem_mem::config::MemConfig;
 use obfusmem_sim::rng::SplitMix64;
 
-use crate::measure::{run_point, workload_by_name, PointSpec, Scheme};
+use crate::measure::{run_point_with_recovery, workload_by_name, PointSpec, RecoveryStats, Scheme};
 
 /// One schedulable simulation job.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,12 +35,35 @@ pub struct JobSpec {
     pub replicate: u32,
     /// Derived seed (see [`derive_seed`]).
     pub seed: u64,
+    /// Fault axis: `(kind, per-packet rate)`. `None` runs fault-free
+    /// (the link stays disengaged and output is bit-identical to
+    /// pre-fault harness versions).
+    pub fault: Option<(FaultKind, f64)>,
+    /// Derived fault-injection stream seed (0 when fault-free).
+    pub fault_seed: u64,
 }
 
 impl JobSpec {
-    /// Builds the stable id for a grid point.
+    /// Builds the stable id for a fault-free grid point.
     pub fn make_id(workload: &str, scheme: Scheme, channels: usize, replicate: u32) -> String {
         format!("{workload}/{}/c{channels}/r{replicate}", scheme.name())
+    }
+
+    /// Builds the stable id for a fault-grid point. The fault segment
+    /// sits before the replicate so resume keys distinguish rates.
+    pub fn make_fault_id(
+        workload: &str,
+        scheme: Scheme,
+        channels: usize,
+        kind: FaultKind,
+        rate: f64,
+        replicate: u32,
+    ) -> String {
+        format!(
+            "{workload}/{}/c{channels}/{}@{rate}/r{replicate}",
+            scheme.name(),
+            kind.name()
+        )
     }
 }
 
@@ -59,6 +84,8 @@ pub struct JobOutput {
     pub spec: JobSpec,
     /// Simulation result.
     pub result: RunResult,
+    /// Link recovery counters (`Some` only when the job injected faults).
+    pub recovery: Option<RecoveryStats>,
     /// Host wall-clock milliseconds spent simulating.
     pub wall_ms: f64,
 }
@@ -73,15 +100,19 @@ pub struct JobOutput {
 pub fn run_job(spec: &JobSpec) -> JobOutput {
     let workload = workload_by_name(&spec.workload)
         .unwrap_or_else(|| panic!("job {}: unknown workload {:?}", spec.id, spec.workload));
-    let point = PointSpec {
+    let mut point = PointSpec {
         mem: MemConfig::table2().with_channels(spec.channels),
         ..PointSpec::paper(workload, spec.scheme, spec.instructions, spec.seed)
     };
+    if let Some((kind, rate)) = spec.fault {
+        point.obfus.faults = FaultPlan::single(kind, rate, spec.fault_seed);
+    }
     let started = Instant::now();
-    let result = run_point(&point);
+    let (result, recovery) = run_point_with_recovery(&point);
     JobOutput {
         spec: spec.clone(),
         result,
+        recovery,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -112,12 +143,59 @@ mod tests {
             instructions: 20_000,
             replicate: 0,
             seed: derive_seed(7, "micro/obfusmem/c1/r0"),
+            fault: None,
+            fault_seed: 0,
         };
         let a = run_job(&spec);
         let b = run_job(&spec);
         assert_eq!(a.result.exec_time, b.result.exec_time);
         assert_eq!(a.result.misses, b.result.misses);
         assert_eq!(a.spec, b.spec);
+    }
+
+    #[test]
+    fn fault_jobs_report_recovery_counters() {
+        let id = JobSpec::make_fault_id(
+            "micro",
+            Scheme::ObfusmemAuth,
+            1,
+            FaultKind::BitFlip,
+            0.01,
+            0,
+        );
+        assert_eq!(id, "micro/obfusmem-auth/c1/bit-flip@0.01/r0");
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            instructions: 20_000,
+            replicate: 0,
+            seed: derive_seed(7, &id),
+            fault: Some((FaultKind::BitFlip, 0.01)),
+            fault_seed: derive_seed(0xFA_017, &id),
+        });
+        let rec = out.recovery.expect("faulty job must harvest link stats");
+        assert!(rec.faults_injected > 0, "1% flips over 20k instructions");
+        assert_eq!(rec.unrecovered, 0);
+        assert!(rec.counters_converged);
+    }
+
+    #[test]
+    fn fault_free_jobs_carry_no_recovery_block() {
+        let id = JobSpec::make_id("micro", Scheme::ObfusmemAuth, 1, 0);
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            instructions: 5_000,
+            replicate: 0,
+            seed: derive_seed(7, &id),
+            fault: None,
+            fault_seed: 0,
+        });
+        assert!(out.recovery.is_none(), "link must stay disengaged");
     }
 
     #[test]
@@ -133,6 +211,8 @@ mod tests {
                 instructions: 20_000,
                 replicate: r,
                 seed,
+                fault: None,
+                fault_seed: 0,
             })
         };
         let r0 = mk(0);

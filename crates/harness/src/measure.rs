@@ -126,9 +126,37 @@ pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
     by_name(name)
 }
 
+/// Link-layer recovery counters harvested from a faulty run's backend.
+/// `None` when the point ran fault-free (the link is not engaged) or on
+/// the ORAM model (which has no ObfusMem link at all).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Faults the injector fired.
+    pub faults_injected: u64,
+    /// Data frames retransmitted.
+    pub retransmits: u64,
+    /// Authenticated counter resynchronizations.
+    pub resyncs: u64,
+    /// Session re-keys.
+    pub rekeys: u64,
+    /// Channels quarantined.
+    pub quarantines: u64,
+    /// Deliveries that exhausted the retry budget (campaign acceptance
+    /// requires zero).
+    pub unrecovered: u64,
+    /// Whether every healthy channel's CTR counters agree at run end.
+    pub counters_converged: bool,
+}
+
 /// Runs one simulation point. Pure: identical specs produce identical
 /// results regardless of thread, process, or ordering.
 pub fn run_point(p: &PointSpec) -> RunResult {
+    run_point_with_recovery(p).0
+}
+
+/// [`run_point`] plus the link-layer recovery counters, for fault-grid
+/// sweeps that must assert every injected fault was healed.
+pub fn run_point_with_recovery(p: &PointSpec) -> (RunResult, Option<RecoveryStats>) {
     match p.scheme.security() {
         Some(security) => {
             let cfg = SystemConfig {
@@ -140,12 +168,26 @@ pub fn run_point(p: &PointSpec) -> RunResult {
                 None => System::new(cfg),
                 Some(seed) => System::with_seed(cfg, seed),
             };
-            sys.run(&p.workload, p.instructions, p.seed)
+            let result = sys.run(&p.workload, p.instructions, p.seed);
+            let backend = sys.backend();
+            let recovery = backend.link_stats().map(|s| RecoveryStats {
+                faults_injected: s.faults_injected.get(),
+                retransmits: s.retransmits.get(),
+                resyncs: s.resyncs.get(),
+                rekeys: s.rekeys.get(),
+                quarantines: s.quarantines.get(),
+                unrecovered: s.unrecovered.get(),
+                counters_converged: backend.counters_converged(),
+            });
+            (result, recovery)
         }
         None => {
             let core = TraceDrivenCore::new();
             let mut model = OramModel::paper();
-            core.run(&p.workload, p.instructions, &mut model, p.seed)
+            (
+                core.run(&p.workload, p.instructions, &mut model, p.seed),
+                None,
+            )
         }
     }
 }

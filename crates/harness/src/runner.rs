@@ -48,6 +48,12 @@ pub struct SweepReport {
     pub ran: usize,
     /// Jobs skipped because the results file already had their row.
     pub resumed: usize,
+    /// Faults that exhausted the retry budget, summed over the jobs this
+    /// invocation ran (resumed rows are not re-read). Fault campaigns
+    /// must exit nonzero when this is nonzero.
+    pub unrecovered: u64,
+    /// Jobs this invocation ran whose CTR counters failed to re-converge.
+    pub diverged: usize,
 }
 
 /// Errors a sweep can hit: a bad spec up front, or I/O on the sink.
@@ -108,10 +114,18 @@ pub fn run_sweep(
     let mut ready: BTreeMap<usize, JobOutput> = BTreeMap::new();
     let mut next_emit = 0usize;
     let mut io_error: Option<std::io::Error> = None;
+    let mut unrecovered = 0u64;
+    let mut diverged = 0usize;
 
     run_jobs(pending, threads, run_job, |index, _spec, output| {
         if io_error.is_some() {
             return; // drain remaining completions without writing
+        }
+        if let Some(rec) = &output.recovery {
+            unrecovered += rec.unrecovered;
+            if !rec.counters_converged {
+                diverged += 1;
+            }
         }
         ready.insert(index, output);
         while let Some(output) = ready.remove(&next_emit) {
@@ -131,6 +145,8 @@ pub fn run_sweep(
         total,
         ran,
         resumed,
+        unrecovered,
+        diverged,
     })
 }
 
@@ -158,6 +174,7 @@ mod tests {
             replicates: 2,
             master_seed: 5,
             instructions: 5_000,
+            ..SweepSpec::default()
         }
     }
 
@@ -191,7 +208,9 @@ mod tests {
             SweepReport {
                 total: 4,
                 ran: 4,
-                resumed: 0
+                resumed: 0,
+                unrecovered: 0,
+                diverged: 0,
             }
         );
         let expected: Vec<String> = spec.expand().unwrap().into_iter().map(|j| j.id).collect();
@@ -217,7 +236,9 @@ mod tests {
             SweepReport {
                 total: 4,
                 ran: 0,
-                resumed: 4
+                resumed: 4,
+                unrecovered: 0,
+                diverged: 0,
             }
         );
         assert_eq!(
@@ -225,6 +246,32 @@ mod tests {
             before,
             "no duplicate rows"
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_sweeps_complete_with_all_faults_recovered() {
+        use obfusmem_core::link::FaultKind;
+        let path = temp_path("faults");
+        let _ = std::fs::remove_file(&path);
+        let mut spec = micro_spec();
+        spec.schemes = vec![Scheme::ObfusmemAuth];
+        spec.replicates = 1;
+        spec.instructions = 10_000;
+        spec.fault_kinds = vec![FaultKind::Drop, FaultKind::BitFlip];
+        spec.fault_rates = vec![0.01];
+        let opts = RunOptions {
+            threads: 2,
+            timing: false,
+            quiet: true,
+        };
+        let report = run_sweep(&spec, &path, &opts).unwrap();
+        assert_eq!(report.ran, 2);
+        assert_eq!(report.unrecovered, 0, "campaign faults must all heal");
+        assert_eq!(report.diverged, 0, "counters must re-converge");
+        let ids = read_ids_in_file_order(&path);
+        assert!(ids.iter().any(|id| id.contains("drop@0.01")), "{ids:?}");
+        assert!(ids.iter().any(|id| id.contains("bit-flip@0.01")), "{ids:?}");
         std::fs::remove_file(&path).unwrap();
     }
 

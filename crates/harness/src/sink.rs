@@ -36,6 +36,24 @@ pub fn encode_row(out: &JobOutput, timing: bool) -> String {
         .f64("ipc", r.ipc)
         .f64("avg_fill_latency_ns", r.avg_fill_latency_ns)
         .f64("avg_request_gap_ns", r.avg_request_gap_ns);
+    // Fault-grid fields appear only on faulty jobs, so fault-free sweep
+    // output stays byte-identical to pre-fault harness versions.
+    if let Some((kind, rate)) = spec.fault {
+        obj = obj
+            .string("fault_kind", kind.name())
+            .f64("fault_rate", rate)
+            .u64("fault_seed", spec.fault_seed);
+    }
+    if let Some(rec) = &out.recovery {
+        obj = obj
+            .u64("faults_injected", rec.faults_injected)
+            .u64("retransmits", rec.retransmits)
+            .u64("resyncs", rec.resyncs)
+            .u64("rekeys", rec.rekeys)
+            .u64("quarantines", rec.quarantines)
+            .u64("unrecovered", rec.unrecovered)
+            .u64("counters_converged", rec.counters_converged as u64);
+    }
     if timing {
         obj = obj.f64("wall_ms", out.wall_ms);
     }
@@ -131,6 +149,8 @@ mod tests {
             instructions: 5_000,
             replicate: 0,
             seed,
+            fault: None,
+            fault_seed: 0,
         })
     }
 
@@ -138,6 +158,32 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("obfusmem-sink-{name}-{}", std::process::id()));
         p
+    }
+
+    #[test]
+    fn fault_rows_carry_recovery_fields_and_clean_rows_do_not() {
+        use obfusmem_core::link::FaultKind;
+        let id = JobSpec::make_fault_id("micro", Scheme::ObfusmemAuth, 1, FaultKind::Drop, 0.01, 0);
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            instructions: 10_000,
+            replicate: 0,
+            seed: derive_seed(1, &id),
+            fault: Some((FaultKind::Drop, 0.01)),
+            fault_seed: derive_seed(2, &id),
+        });
+        let row = encode_row(&out, false);
+        assert!(row.contains(r#""fault_kind":"drop""#), "{row}");
+        assert!(row.contains(r#""fault_rate":0.01"#), "{row}");
+        assert!(row.contains(r#""unrecovered":0"#), "{row}");
+        assert!(row.contains(r#""counters_converged":1"#), "{row}");
+
+        let clean = encode_row(&sample_output(), false);
+        assert!(!clean.contains("fault_kind"), "{clean}");
+        assert!(!clean.contains("retransmits"), "{clean}");
     }
 
     #[test]

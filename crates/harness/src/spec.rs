@@ -20,6 +20,7 @@
 //! instructions = 2000000
 //! ```
 
+use obfusmem_core::link::FaultKind;
 use obfusmem_cpu::workload::table1_workloads;
 
 use crate::job::{derive_seed, JobSpec};
@@ -40,6 +41,14 @@ pub struct SweepSpec {
     pub master_seed: u64,
     /// Instruction budget per job.
     pub instructions: u64,
+    /// Fault kinds to sweep. Empty (the default) runs every point
+    /// fault-free, exactly as before this axis existed.
+    pub fault_kinds: Vec<FaultKind>,
+    /// Per-packet fault rates, crossed with `fault_kinds`.
+    pub fault_rates: Vec<f64>,
+    /// Master seed for the fault-injection streams (kept separate from
+    /// `master_seed` so turning faults on does not perturb workloads).
+    pub fault_seed: u64,
 }
 
 impl Default for SweepSpec {
@@ -56,6 +65,9 @@ impl Default for SweepSpec {
             replicates: 1,
             master_seed: 0x0B_F0_5E_ED,
             instructions: 2_000_000,
+            fault_kinds: Vec::new(),
+            fault_rates: vec![1e-3],
+            fault_seed: 0xFA_017,
         }
     }
 }
@@ -79,7 +91,35 @@ fn err(msg: impl Into<String>) -> SpecError {
 impl SweepSpec {
     /// Number of jobs the grid expands to.
     pub fn job_count(&self) -> usize {
-        self.workloads.len() * self.schemes.len() * self.channels.len() * self.replicates as usize
+        self.workloads.len()
+            * self.schemes.len()
+            * self.channels.len()
+            * self.fault_point_count()
+            * self.replicates as usize
+    }
+
+    /// Fault-grid points per `(workload, scheme, channels)` cell: the
+    /// kinds × rates cross, or 1 for the fault-free sweep.
+    fn fault_point_count(&self) -> usize {
+        if self.fault_kinds.is_empty() {
+            1
+        } else {
+            self.fault_kinds.len() * self.fault_rates.len()
+        }
+    }
+
+    /// The fault axis values in canonical order (`None` = fault-free).
+    fn fault_points(&self) -> Vec<Option<(FaultKind, f64)>> {
+        if self.fault_kinds.is_empty() {
+            return vec![None];
+        }
+        let mut points = Vec::with_capacity(self.fault_point_count());
+        for &kind in &self.fault_kinds {
+            for &rate in &self.fault_rates {
+                points.push(Some((kind, rate)));
+            }
+        }
+        points
     }
 
     /// Validates the axes and expands the grid in canonical order.
@@ -109,22 +149,55 @@ impl SweepSpec {
                 return Err(err(format!("channels must be a power of two, got {c}")));
             }
         }
+        if !self.fault_kinds.is_empty() {
+            if self.fault_rates.is_empty() {
+                return Err(err("fault kinds given but no fault rates"));
+            }
+            for &r in &self.fault_rates {
+                if !(r.is_finite() && r > 0.0 && r <= 1.0) {
+                    return Err(err(format!("fault rate must be in (0, 1], got {r}")));
+                }
+            }
+            for &scheme in &self.schemes {
+                // Unprotected/EncryptOnly bypass the obfuscated link and
+                // the ORAM model replaces the memory path entirely — a
+                // fault sweep there would silently inject nothing.
+                if !matches!(scheme, Scheme::Obfusmem | Scheme::ObfusmemAuth) {
+                    return Err(err(format!(
+                        "scheme {scheme} has no ObfusMem link to inject faults into"
+                    )));
+                }
+            }
+        }
         let mut jobs = Vec::with_capacity(self.job_count());
         for workload in &self.workloads {
             for &scheme in &self.schemes {
                 for &channels in &self.channels {
-                    for replicate in 0..self.replicates {
-                        let id = JobSpec::make_id(workload, scheme, channels, replicate);
-                        let seed = derive_seed(self.master_seed, &id);
-                        jobs.push(JobSpec {
-                            id,
-                            workload: workload.clone(),
-                            scheme,
-                            channels,
-                            instructions: self.instructions,
-                            replicate,
-                            seed,
-                        });
+                    for fault in self.fault_points() {
+                        for replicate in 0..self.replicates {
+                            let id = match fault {
+                                None => JobSpec::make_id(workload, scheme, channels, replicate),
+                                Some((kind, rate)) => JobSpec::make_fault_id(
+                                    workload, scheme, channels, kind, rate, replicate,
+                                ),
+                            };
+                            let seed = derive_seed(self.master_seed, &id);
+                            let fault_seed = match fault {
+                                None => 0,
+                                Some(_) => derive_seed(self.fault_seed, &id),
+                            };
+                            jobs.push(JobSpec {
+                                id,
+                                workload: workload.clone(),
+                                scheme,
+                                channels,
+                                instructions: self.instructions,
+                                replicate,
+                                seed,
+                                fault,
+                                fault_seed,
+                            });
+                        }
                     }
                 }
             }
@@ -162,6 +235,16 @@ impl SweepSpec {
                         .map_err(|_| err(format!("bad replicates {value:?}")))?
                 }
                 "master_seed" => spec.master_seed = parse_u64(value)?,
+                "fault_kinds" => spec.fault_kinds = parse_fault_kinds(value)?,
+                "fault_rates" => {
+                    spec.fault_rates = split_list(value)
+                        .map(|v| {
+                            v.parse::<f64>()
+                                .map_err(|_| err(format!("bad fault rate {v:?}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+                "fault_seed" => spec.fault_seed = parse_u64(value)?,
                 "instructions" => {
                     spec.instructions = value
                         .replace('_', "")
@@ -189,6 +272,16 @@ pub fn parse_workloads(value: &str) -> Vec<String> {
     } else {
         split_list(value).map(str::to_string).collect()
     }
+}
+
+/// Comma list of fault-kind names (`all` → every kind).
+pub fn parse_fault_kinds(value: &str) -> Result<Vec<FaultKind>, SpecError> {
+    if value == "all" {
+        return Ok(obfusmem_core::link::ALL_FAULT_KINDS.to_vec());
+    }
+    split_list(value)
+        .map(|v| FaultKind::parse(v).ok_or_else(|| err(format!("unknown fault kind {v:?}"))))
+        .collect()
 }
 
 /// Comma list of scheme names (`all` → every scheme).
@@ -223,6 +316,7 @@ mod tests {
             replicates: 2,
             master_seed: 11,
             instructions: 1000,
+            ..SweepSpec::default()
         }
     }
 
@@ -315,5 +409,54 @@ mod tests {
     fn all_expands_to_table1() {
         assert_eq!(parse_workloads("all").len(), 15);
         assert_eq!(parse_schemes("all").unwrap(), Scheme::ALL.to_vec());
+        assert_eq!(parse_fault_kinds("all").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn fault_axes_cross_into_the_grid() {
+        let mut s = tiny();
+        s.schemes = vec![Scheme::ObfusmemAuth];
+        s.fault_kinds = vec![FaultKind::BitFlip, FaultKind::Drop];
+        s.fault_rates = vec![0.001, 0.01];
+        let jobs = s.expand().unwrap();
+        assert_eq!(jobs.len(), s.job_count());
+        // workloads × schemes × channels × (kinds × rates) × replicates
+        assert_eq!(jobs.len(), 2 * 2 * (2 * 2) * 2);
+        assert_eq!(jobs[0].id, "micro/obfusmem-auth/c1/bit-flip@0.001/r0");
+        assert_eq!(jobs[0].fault, Some((FaultKind::BitFlip, 0.001)));
+        assert_ne!(jobs[0].fault_seed, 0);
+        assert_ne!(
+            jobs[0].fault_seed, jobs[1].fault_seed,
+            "fault streams differ per replicate"
+        );
+        let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn fault_axes_reject_bad_values() {
+        let mut s = tiny();
+        s.fault_kinds = vec![FaultKind::Drop];
+        s.fault_rates = vec![0.0];
+        assert!(s.expand().is_err(), "rate 0 is not a fault sweep");
+        s.fault_rates = vec![1.5];
+        assert!(s.expand().is_err());
+        s.fault_rates = vec![0.01];
+        s.schemes = vec![Scheme::OramModel];
+        assert!(s.expand().is_err(), "the ORAM model has no link");
+        assert!(SweepSpec::parse("fault_kinds = cosmic-ray").is_err());
+    }
+
+    #[test]
+    fn fault_keys_parse_from_text() {
+        let spec = SweepSpec::parse(
+            "fault_kinds = bit-flip, drop\nfault_rates = 0.001, 0.01\nfault_seed = 0xFA",
+        )
+        .unwrap();
+        assert_eq!(spec.fault_kinds, vec![FaultKind::BitFlip, FaultKind::Drop]);
+        assert_eq!(spec.fault_rates, vec![0.001, 0.01]);
+        assert_eq!(spec.fault_seed, 0xFA);
     }
 }

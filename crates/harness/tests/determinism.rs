@@ -23,6 +23,7 @@ fn grid() -> SweepSpec {
         replicates: 2,
         master_seed: 0xD5EE_D001,
         instructions: 10_000,
+        ..SweepSpec::default()
     }
 }
 
@@ -62,7 +63,9 @@ fn single_and_multi_thread_runs_are_byte_identical() {
         SweepReport {
             total: 12,
             ran: 12,
-            resumed: 0
+            resumed: 0,
+            unrecovered: 0,
+            diverged: 0,
         }
     );
     assert_eq!(r1, rn);
@@ -92,7 +95,9 @@ fn killed_then_resumed_sweep_matches_an_uninterrupted_one() {
         SweepReport {
             total: 12,
             ran: 7,
-            resumed: 5
+            resumed: 5,
+            unrecovered: 0,
+            diverged: 0,
         }
     );
 
@@ -109,6 +114,21 @@ fn killed_then_resumed_sweep_matches_an_uninterrupted_one() {
     want.sort_unstable();
     got.sort_unstable();
     assert_eq!(got, want, "resume must complete the identical result set");
+}
+
+#[test]
+fn fault_sweeps_are_byte_identical_across_thread_counts() {
+    let mut spec = grid();
+    spec.schemes = vec![Scheme::ObfusmemAuth];
+    spec.fault_kinds = vec![obfusmem_core::link::FaultKind::Drop];
+    spec.fault_rates = vec![0.005];
+    let (serial, r1) = sweep_to_string(&spec, "fault-serial", 1);
+    let (parallel, rn) = sweep_to_string(&spec, "fault-parallel", 8);
+    assert_eq!(serial, parallel, "fault streams must be schedule-free");
+    assert_eq!(r1, rn);
+    assert_eq!(r1.unrecovered, 0);
+    assert_eq!(r1.diverged, 0);
+    assert!(serial.contains(r#""fault_kind":"drop""#));
 }
 
 #[test]

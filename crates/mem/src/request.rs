@@ -35,13 +35,15 @@ impl AccessKind {
         }
     }
 
-    /// Inverse of [`AccessKind::encode`]; any nonzero byte decodes as a
-    /// write (the decrypted byte of a tampered packet can be anything).
-    pub fn decode(byte: u8) -> AccessKind {
-        if byte == 0 {
-            AccessKind::Read
-        } else {
-            AccessKind::Write
+    /// Inverse of [`AccessKind::encode`]. Only the two defined encodings
+    /// parse; any other byte is `None` — the decrypted byte of a tampered
+    /// packet can be anything, and mapping garbage to `Write` would turn
+    /// an undetected corruption into a silently misinterpreted request.
+    pub fn decode(byte: u8) -> Option<AccessKind> {
+        match byte {
+            0 => Some(AccessKind::Read),
+            1 => Some(AccessKind::Write),
+            _ => None,
         }
     }
 }
@@ -117,9 +119,15 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         for kind in [AccessKind::Read, AccessKind::Write] {
-            assert_eq!(AccessKind::decode(kind.encode()), kind);
+            assert_eq!(AccessKind::decode(kind.encode()), Some(kind));
         }
-        assert_eq!(AccessKind::decode(0xFF), AccessKind::Write);
+    }
+
+    #[test]
+    fn decode_rejects_undefined_encodings() {
+        for byte in [2u8, 0x7F, 0xFF] {
+            assert_eq!(AccessKind::decode(byte), None);
+        }
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub fn request_type_accuracy(events: &[BusEvent]) -> f64 {
         let guess = if plaintext_header {
             // Unencrypted header: the attacker just reads the type byte
             // (probability ≈ 2^-56 of a CTR header looking like this).
-            AccessKind::decode(h[0])
+            AccessKind::decode(h[0]).unwrap_or(majority)
         } else {
             // Encrypted header: does another packet share this wire slot
             // (the pairing convention)? A paired slot always shows both

@@ -135,3 +135,103 @@ fn multi_channel_traffic_is_balanced_with_injection() {
     let imbalance = leakage::channel_imbalance(&obs, 4);
     assert!(imbalance < 1.0, "injection must mask the skew: {imbalance}");
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection link layer: recovery end to end.
+//
+// The backend's read path asserts internally (debug builds) that every
+// bus round trip is lossless — each read returns exactly the block the
+// memory holds — so simply completing a faulty run is itself a readback
+// correctness check. The assertions below add the protocol-level
+// guarantees: counters re-converge, recovery counters move, nothing is
+// left unrecovered, and quarantine re-steers without losing traffic.
+// ---------------------------------------------------------------------
+
+fn faulty_cfg(kind: obfusmem::core::link::FaultKind, rate: f64, seed: u64) -> ObfusMemConfig {
+    ObfusMemConfig {
+        faults: obfusmem::core::config::FaultPlan::single(kind, rate, seed),
+        ..ObfusMemConfig::paper_default()
+    }
+}
+
+#[test]
+fn seeded_fault_campaign_recovers_every_fault_end_to_end() {
+    use obfusmem::core::link::ALL_FAULT_KINDS;
+    for kind in ALL_FAULT_KINDS {
+        let cfg = faulty_cfg(kind, 0.05, 0xE2E0 ^ kind as u64);
+        let mut b = ObfusMemBackend::new(cfg, MemConfig::table2().with_channels(2), 13);
+        let mut t = Time::ZERO;
+        for i in 0..120u64 {
+            t = b.read(t, BlockAddr::from_index(i % 32));
+            if i % 4 == 0 {
+                b.write(t, BlockAddr::from_index(i % 32));
+            }
+        }
+        let stats = b.link_stats().expect("fault plan active → link engaged");
+        assert!(
+            stats.faults_injected.get() > 0,
+            "{kind:?}: campaign must inject faults"
+        );
+        assert_eq!(
+            stats.unrecovered.get(),
+            0,
+            "{kind:?}: every fault must be recovered within the retry budget"
+        );
+        assert!(
+            b.counters_converged(),
+            "{kind:?}: CTR counters must re-converge after recovery"
+        );
+    }
+}
+
+#[test]
+fn counters_reconverge_through_resync_not_teardown() {
+    // Bit flips land in headers/tags often enough to force NACK→resync
+    // cycles; the session must repair its counters in place.
+    let cfg = faulty_cfg(obfusmem::core::link::FaultKind::BitFlip, 0.1, 99);
+    let mut b = ObfusMemBackend::new(cfg, MemConfig::table2().with_channels(2), 17);
+    let mut t = Time::ZERO;
+    for i in 0..200u64 {
+        t = b.read(t, BlockAddr::from_index(i % 64));
+    }
+    let stats = b.link_stats().expect("link active");
+    assert!(stats.retransmits.get() > 0, "flips must force retransmits");
+    assert!(
+        stats.resyncs.get() > 0,
+        "header/tag corruption must exercise the resync handshake"
+    );
+    assert_eq!(stats.unrecovered.get(), 0);
+    assert!(b.counters_converged());
+}
+
+#[test]
+fn quarantine_fires_after_failure_budget_and_resteers() {
+    // A brutal flip rate with tight escalation thresholds: the first
+    // channel to accumulate failures is quarantined and its traffic
+    // re-steered; the survivor (last healthy) refuses quarantine, so
+    // the run completes with correct data throughout.
+    let mut cfg = faulty_cfg(obfusmem::core::link::FaultKind::BitFlip, 0.9, 3);
+    cfg.link.rekey_threshold = 1;
+    cfg.link.quarantine_threshold = 2;
+    cfg.link.max_retries = 64;
+    let mut b = ObfusMemBackend::new(cfg, MemConfig::table2().with_channels(2), 19);
+    let mut t = Time::ZERO;
+    for i in 0..40u64 {
+        t = b.read(t, BlockAddr::from_index(i));
+    }
+    let stats = b.link_stats().expect("link active");
+    assert!(
+        stats.quarantines.get() >= 1,
+        "the failure budget must trip quarantine"
+    );
+    assert!(
+        b.resteered_channels() >= 1,
+        "quarantined traffic must be re-steered"
+    );
+    let link = b.link().expect("link active");
+    assert!(
+        link.first_healthy().is_some(),
+        "the last healthy channel must refuse quarantine"
+    );
+    assert!(b.counters_converged());
+}
