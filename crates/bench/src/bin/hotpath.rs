@@ -6,7 +6,8 @@
 //!
 //! Measures the three overhauled hot paths — T-table AES vs the scalar
 //! reference, batched CTR pad generation, and the four-ary event queue —
-//! plus an end-to-end Figure 4 sweep A/B (scalar-forced vs T-table), and
+//! plus an end-to-end Figure 4 sweep A/B (scalar-forced vs T-table) and a
+//! no-op-recorder A/B (plain run vs disabled observability layer), and
 //! writes the numbers to `BENCH_hotpath.json` (override with `--out`).
 //!
 //! The binary doubles as the CI divergence gate: it exits nonzero if the
@@ -27,6 +28,8 @@ use obfusmem_bench::quick::measure_ns_budget;
 use obfusmem_crypto::aes::{set_force_scalar, Aes128, Block};
 use obfusmem_crypto::ctr::CtrStream;
 use obfusmem_harness::jsonl::JsonObject;
+use obfusmem_harness::measure::{run_point, run_point_observed, PointSpec, Scheme};
+use obfusmem_obs::trace::TraceHandle;
 use obfusmem_sim::event::EventQueue;
 use obfusmem_sim::rng::SplitMix64;
 use obfusmem_sim::time::Time;
@@ -283,6 +286,38 @@ fn main() {
     }
     let avg = fig4_average(&rows_ttable);
 
+    // --- observability off-switch: plain run vs disabled recorder ---
+    // The recorder trait's no-op default must make an untraced run free.
+    // Best-of-3 wall clocks on one fig4 point; the gate is bit-identity,
+    // the overhead number is tracked so a regression shows in the diff.
+    eprintln!("# hotpath: no-op recorder A/B");
+    let point = PointSpec::paper(
+        obfusmem_cpu::workload::by_name("bwaves").expect("Table 1 workload"),
+        Scheme::ObfusmemAuth,
+        opts.instructions,
+        opts.seed,
+    );
+    let mut plain_ms = f64::INFINITY;
+    let mut plain = None;
+    let mut noop_ms = f64::INFINITY;
+    let mut noop = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = run_point(&point);
+        plain_ms = plain_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        plain = Some(r);
+        let t0 = Instant::now();
+        let (r, _) = run_point_observed(&point, &TraceHandle::disabled());
+        noop_ms = noop_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        noop = Some(r);
+    }
+    let (plain, noop) = (plain.unwrap(), noop.unwrap());
+    if plain.exec_time != noop.exec_time || plain.misses != noop.misses {
+        eprintln!("FAIL: disabled recorder perturbed the simulation");
+        std::process::exit(1);
+    }
+    let noop_overhead_pct = 100.0 * (noop_ms - plain_ms) / plain_ms;
+
     let json = JsonObject::new()
         .string("schema", "obfusmem.bench_hotpath.v1")
         .string("mode", if opts.quick { "quick" } else { "full" })
@@ -305,6 +340,10 @@ fn main() {
         .f64("fig4_ttable_ms", round3(fig4_ttable_ms))
         .f64("fig4_speedup", round3(fig4_scalar_ms / fig4_ttable_ms))
         .u64("fig4_rows_identical", 1)
+        .f64("point_untraced_ms", round3(plain_ms))
+        .f64("point_noop_recorder_ms", round3(noop_ms))
+        .f64("noop_recorder_overhead_pct", round3(noop_overhead_pct))
+        .u64("noop_recorder_identical", 1)
         .f64("fig4_avg_encrypt_only_pct", round3(avg.encrypt_only))
         .f64("fig4_avg_obfusmem_pct", round3(avg.obfusmem))
         .f64("fig4_avg_obfusmem_auth_pct", round3(avg.obfusmem_auth))
@@ -338,6 +377,9 @@ fn main() {
     println!(
         "fig4 sweep wall-clock        scalar {fig4_scalar_ms:8.1} ms   ttable {fig4_ttable_ms:8.1} ms   {:.2}x",
         fig4_scalar_ms / fig4_ttable_ms
+    );
+    println!(
+        "no-op recorder (bwaves)      plain  {plain_ms:8.1} ms   no-op  {noop_ms:8.1} ms   {noop_overhead_pct:+.1}%"
     );
     println!("baseline written             {}", opts.out);
 }

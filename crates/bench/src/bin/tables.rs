@@ -4,8 +4,14 @@
 //! tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]
 //!
 //! experiments: config table1 table3 fig4 fig5 energy table4
-//!              ablation-dummy ablation-mac ablation-stash all
+//!              ablation-dummy ablation-mac ablation-stash trace all
 //! ```
+//!
+//! `trace` runs one Figure 4 point (bwaves, ObfusMem+Auth) with the span
+//! recorder attached and writes `trace_fig4.json` (Chrome `trace_event`
+//! format — open in Perfetto or `chrome://tracing`) and
+//! `trace_fig4_metrics.json` (the whole-stack metrics snapshot) to the
+//! working directory. It is not part of `all` because it writes files.
 
 use obfusmem_bench::{experiments, render, DEFAULT_INSTRUCTIONS, DEFAULT_SEED};
 
@@ -120,8 +126,40 @@ fn main() {
                     render::ablation_stash(&experiments::ablation_oram_stash(seed))
                 )
             }
+            "trace" => run_trace(instructions, seed),
             other => usage(&format!("unknown experiment {other:?}")),
         }
+    }
+}
+
+fn run_trace(instructions: u64, seed: u64) {
+    let spec = obfusmem_cpu::workload::by_name("bwaves").expect("Table 1 workload");
+    let report = experiments::trace_point(spec, instructions, seed);
+    let trace_path = "trace_fig4.json";
+    let metrics_path = "trace_fig4_metrics.json";
+    if let Err(e) = std::fs::write(trace_path, &report.chrome_json) {
+        eprintln!("error: cannot write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(metrics_path, &report.metrics_json) {
+        eprintln!("error: cannot write {metrics_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("Traced fig4 point: {}/{}", report.workload, report.scheme);
+    println!("  exec time        : {} ps", report.exec_time_ps);
+    println!(
+        "  matches untraced : {}",
+        if report.matches_untraced { "yes" } else { "NO" }
+    );
+    println!(
+        "  events / tracks  : {} spans+instants on {} tracks",
+        report.events, report.tracks
+    );
+    println!("  chrome trace     : {trace_path} (open in Perfetto)");
+    println!("  metrics snapshot : {metrics_path}");
+    if !report.matches_untraced {
+        eprintln!("error: tracing perturbed the simulation");
+        std::process::exit(1);
     }
 }
 
@@ -164,7 +202,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]\n\
          experiments: config table1 table3 fig4 fig5 energy table4 oram-variants oram-detailed\n\
-         \u{20}            ablation-dummy ablation-mac ablation-pairing ablation-mapping\n\u{20}            ablation-typehiding ablation-stash all"
+         \u{20}            ablation-dummy ablation-mac ablation-pairing ablation-mapping\n\u{20}            ablation-typehiding ablation-stash trace all"
     );
     std::process::exit(2);
 }

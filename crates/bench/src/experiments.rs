@@ -7,9 +7,11 @@ use obfusmem_core::config::{
 use obfusmem_core::system::{System, SystemConfig};
 use obfusmem_cpu::core::MemoryBackend;
 use obfusmem_cpu::workload::{by_name, table1_workloads, WorkloadSpec};
-use obfusmem_harness::measure::{run_point, PointSpec, Scheme};
+use obfusmem_harness::measure::{run_point, run_point_observed, PointSpec, Scheme};
 use obfusmem_mem::config::MemConfig;
 use obfusmem_mem::energy::EnergyModel;
+use obfusmem_obs::chrome::{chrome_trace_json, distinct_tracks};
+use obfusmem_obs::trace::TraceHandle;
 use obfusmem_oram::path_oram::{OramConfig, PathOram};
 use obfusmem_sec::table4::{measure_obfusmem, measure_oram, SchemeColumn};
 use obfusmem_sim::rng::SplitMix64;
@@ -263,6 +265,51 @@ pub fn fig5(instructions: u64, seed: u64) -> Vec<Fig5Point> {
         }
     }
     points
+}
+
+/// One fully-traced Figure 4 point: the simulation result plus the two
+/// observability artifacts (Chrome trace + metrics snapshot) and the
+/// cross-check that recording did not perturb the simulation.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Workload that ran.
+    pub workload: &'static str,
+    /// Scheme that ran (ObfusMem+Auth — the fig4 headline bar).
+    pub scheme: Scheme,
+    /// Execution time of the traced run, ps.
+    pub exec_time_ps: u64,
+    /// Whether the traced run is bit-identical to the untraced one.
+    pub matches_untraced: bool,
+    /// Chrome `trace_event` JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// Whole-stack metrics snapshot, rendered as JSON.
+    pub metrics_json: String,
+    /// Distinct tracks in the trace (engine, crypto, bus, banks, …).
+    pub tracks: usize,
+    /// Recorded span/instant events.
+    pub events: usize,
+}
+
+/// Runs one Figure 4 point (ObfusMem+Auth) with the recorder attached and
+/// packages the artifacts. The untraced point is re-run alongside so the
+/// report can attest that observation was free.
+pub fn trace_point(spec: WorkloadSpec, instructions: u64, seed: u64) -> TraceReport {
+    let point = PointSpec::paper(spec, Scheme::ObfusmemAuth, instructions, seed);
+    let plain = run_point(&point);
+    let obs = TraceHandle::recording();
+    let (traced, metrics) = run_point_observed(&point, &obs);
+    let events = obs.finish();
+    let name = format!("{}/{}", point.workload.name, point.scheme.name());
+    TraceReport {
+        workload: point.workload.name,
+        scheme: point.scheme,
+        exec_time_ps: traced.exec_time.as_ps(),
+        matches_untraced: plain.exec_time == traced.exec_time && plain.misses == traced.misses,
+        tracks: distinct_tracks(&events).len(),
+        events: events.len(),
+        chrome_json: chrome_trace_json(&[(name, events)]),
+        metrics_json: metrics.to_json(),
+    }
 }
 
 /// The §5.2 energy/lifetime comparison, measured + analytic.
@@ -895,6 +942,21 @@ mod tests {
             rows[1].overhead,
             rows[0].overhead
         );
+    }
+
+    #[test]
+    fn traced_fig4_point_is_free_and_covers_the_stack() {
+        let report = trace_point(by_name("bwaves").unwrap(), 20_000, 1);
+        assert!(report.matches_untraced, "observation must be passive");
+        assert!(
+            report.tracks >= 4,
+            "engine, crypto, bus, and bank tracks at minimum: {}",
+            report.tracks
+        );
+        assert!(report.events > 0);
+        assert!(report.chrome_json.contains("\"traceEvents\""));
+        assert!(report.metrics_json.contains("\"engine\""));
+        assert!(report.metrics_json.contains("\"mem\""));
     }
 
     #[test]

@@ -20,6 +20,8 @@ use obfusmem_mem::channel::Lane;
 use obfusmem_mem::config::MemConfig;
 use obfusmem_mem::device::PcmMemory;
 use obfusmem_mem::request::{AccessKind, BlockAddr, BlockData};
+use obfusmem_obs::metrics::{MetricsNode, Observable};
+use obfusmem_obs::trace::{TraceHandle, Track};
 use obfusmem_sim::rng::SplitMix64;
 use obfusmem_sim::time::{Duration, Time};
 
@@ -82,6 +84,10 @@ pub struct ObfusMemBackend {
     /// engines carry `home`'s traffic. Identity until a quarantine
     /// re-steers a channel's traffic onto a healthy one.
     steer: Vec<usize>,
+    /// Simulated-time span recorder. Disabled by default; recording is
+    /// passive (spans reuse times the timing model already computed),
+    /// so traced and untraced runs are bit-identical.
+    obs: TraceHandle,
 }
 
 impl std::fmt::Debug for ObfusMemBackend {
@@ -148,7 +154,13 @@ impl ObfusMemBackend {
             pending_writes: std::collections::VecDeque::new(),
             link,
             steer: (0..channels).collect(),
+            obs: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a span recorder for simulated-time tracing.
+    pub fn set_trace_handle(&mut self, obs: TraceHandle) {
+        self.obs = obs;
     }
 
     /// Starts recording bus events (for the security analyses).
@@ -223,6 +235,42 @@ impl ObfusMemBackend {
                 .map(|c| c == self.mem_engines[ch].counter())
                 .unwrap_or(false)
         })
+    }
+
+    /// Snapshots every counter in the backend — obfuscation engine,
+    /// crypto plane, memory device, and (when active) the
+    /// fault-injecting link — into one deterministic metrics tree.
+    pub fn observe_metrics(&self, out: &mut MetricsNode) {
+        let engine = out.child("engine");
+        engine.set_counter("real_reads", self.stats.real_reads);
+        engine.set_counter("real_writes", self.stats.real_writes);
+        engine.set_counter("paired_dummies", self.stats.paired_dummies);
+        engine.set_counter("channel_dummies", self.stats.channel_dummies);
+        engine.set_counter("substituted_pairs", self.stats.substituted_pairs);
+        engine.set_counter("dummy_array_writes", self.stats.dummy_array_writes);
+        engine.set_counter("resteered_channels", self.resteered_channels() as u64);
+        let crypto = out.child("crypto");
+        crypto.set_counter("pad_stall_ps", self.stats.pad_stall_ps);
+        crypto.set_counter("counter_misses", self.stats.counter_misses);
+        crypto.set_counter("counter_writebacks", self.stats.counter_writebacks);
+        crypto.set_gauge("counter_cache_hit_ratio", self.counter_cache_hit_ratio());
+        self.mem.observe(out.child("mem"));
+        if let Some(link) = &self.link {
+            let node = out.child("link");
+            link.observe(node);
+            node.set_counter("counters_converged", self.counters_converged() as u64);
+        }
+    }
+
+    /// The bank-level track an address's array accesses land on. Bank
+    /// indices are flattened rank-major to match
+    /// [`PcmMemory::bank_stats`].
+    fn bank_track(&self, addr: u64) -> Track {
+        let d = self.mem.decode(addr);
+        Track::Bank {
+            channel: d.channel,
+            bank: d.rank * self.mem.config().banks_per_rank + d.bank,
+        }
     }
 
     /// The session-plane channel that carries `home`'s traffic.
@@ -627,6 +675,44 @@ impl ObfusMemBackend {
         };
         let counter_done = self.counter_ready(at, addr.as_u64());
         let reply_lat = self.cfg.latencies.xor + self.mem_side_latency();
+        if self.obs.is_enabled() {
+            self.obs.span(Track::Engine, "encrypt", at, at + proc_lat);
+            if pair.pad_stall_ps > 0 {
+                let stall = Duration::from_ps(pair.pad_stall_ps);
+                self.obs.span(Track::Crypto, "pad-stall", at, at + stall);
+            }
+            self.obs.span(
+                Track::Channel(channel),
+                "request-wire",
+                send_at,
+                real_arrived,
+            );
+            let bank = self.bank_track(addr.as_u64());
+            self.obs
+                .span(bank, "array-read", request_at, array.complete_at);
+            if reply_done > array.complete_at {
+                self.obs.span(
+                    Track::Channel(channel),
+                    "reply-wire",
+                    array.complete_at,
+                    reply_done,
+                );
+            }
+            if counter_done > at + COUNTER_CACHE_HIT {
+                self.obs
+                    .span(Track::Crypto, "counter-fetch", at, counter_done);
+            }
+            let recovery = req_delay + reply_delay;
+            if recovery.as_ps() > 0 {
+                let fill_done = reply_done.max(counter_done) + reply_lat;
+                self.obs.span(
+                    Track::Link(channel),
+                    "recovery",
+                    fill_done,
+                    fill_done + recovery,
+                );
+            }
+        }
         // Link recovery time (retransmits, resyncs, re-keys) extends the
         // fill's critical path; zero on clean deliveries.
         reply_done.max(counter_done) + reply_lat + req_delay + reply_delay
@@ -713,13 +799,31 @@ impl ObfusMemBackend {
             .mem
             .bus_transfer_bytes(send_at, channel, wire, Lane::Request);
         let request_at = arrived + mem_lat;
-        self.mem
+        let array = self
+            .mem
             .access(request_at, addr.as_u64(), AccessKind::Write);
         self.service_paired_dummy(request_at, &pair.dummy_header);
         self.inject_channels(request_at, channel);
         // The paired dummy read's random-data reply rides the response lane.
         self.mem
             .bus_transfer_bytes(request_at, channel, 72, Lane::Response);
+        if self.obs.is_enabled() {
+            self.obs.span(Track::Engine, "encrypt", at, at + proc_lat);
+            if pair.pad_stall_ps > 0 {
+                let stall = Duration::from_ps(pair.pad_stall_ps);
+                self.obs.span(Track::Crypto, "pad-stall", at, at + stall);
+            }
+            if req_delay.as_ps() > 0 {
+                let aligned = self.align_to_slot(at + proc_lat);
+                self.obs
+                    .span(Track::Link(channel), "recovery", aligned, send_at);
+            }
+            self.obs
+                .span(Track::Channel(channel), "request-wire", send_at, arrived);
+            let bank = self.bank_track(addr.as_u64());
+            self.obs
+                .span(bank, "array-write", request_at, array.complete_at);
+        }
     }
 }
 
@@ -856,7 +960,8 @@ impl ObfusMemBackend {
         );
         let request_at = read_arrived + mem_lat;
         let array = self.mem.access(request_at, addr.as_u64(), AccessKind::Read);
-        self.mem
+        let wb_array = self
+            .mem
             .access(write_arrived + mem_lat, wb.as_u64(), AccessKind::Write);
         self.inject_channels(request_at, channel);
         let reply_overhead = reply_wire.saturating_sub(64);
@@ -867,6 +972,52 @@ impl ObfusMemBackend {
             array.complete_at
         };
         let counter_done = self.counter_ready(at, addr.as_u64());
+        if self.obs.is_enabled() {
+            self.obs.span(Track::Engine, "encrypt", at, at + proc_lat);
+            if pair.pad_stall_ps > 0 {
+                let stall = Duration::from_ps(pair.pad_stall_ps);
+                self.obs.span(Track::Crypto, "pad-stall", at, at + stall);
+            }
+            self.obs.span(
+                Track::Channel(channel),
+                "request-wire",
+                send_at,
+                write_arrived,
+            );
+            let bank = self.bank_track(addr.as_u64());
+            self.obs
+                .span(bank, "array-read", request_at, array.complete_at);
+            let wb_bank = self.bank_track(wb.as_u64());
+            self.obs.span(
+                wb_bank,
+                "array-write",
+                write_arrived + mem_lat,
+                wb_array.complete_at,
+            );
+            if reply_done > array.complete_at {
+                self.obs.span(
+                    Track::Channel(channel),
+                    "reply-wire",
+                    array.complete_at,
+                    reply_done,
+                );
+            }
+            if counter_done > at + COUNTER_CACHE_HIT {
+                self.obs
+                    .span(Track::Crypto, "counter-fetch", at, counter_done);
+            }
+            let recovery = req_delay + reply_delay;
+            if recovery.as_ps() > 0 {
+                let fill_done =
+                    reply_done.max(counter_done) + self.cfg.latencies.xor + self.mem_side_latency();
+                self.obs.span(
+                    Track::Link(channel),
+                    "recovery",
+                    fill_done,
+                    fill_done + recovery,
+                );
+            }
+        }
         reply_done.max(counter_done)
             + self.cfg.latencies.xor
             + self.mem_side_latency()
@@ -972,6 +1123,37 @@ impl ObfusMemBackend {
             array.complete_at
         };
         let counter_done = self.counter_ready(at, addr.as_u64());
+        if self.obs.is_enabled() {
+            self.obs.span(Track::Engine, "encrypt", at, at + proc_lat);
+            self.obs
+                .span(Track::Channel(channel), "request-wire", send_at, arrived);
+            let bank = self.bank_track(addr.as_u64());
+            self.obs
+                .span(bank, "array-read", request_at, array.complete_at);
+            if reply_done > array.complete_at {
+                self.obs.span(
+                    Track::Channel(channel),
+                    "reply-wire",
+                    array.complete_at,
+                    reply_done,
+                );
+            }
+            if counter_done > at + COUNTER_CACHE_HIT {
+                self.obs
+                    .span(Track::Crypto, "counter-fetch", at, counter_done);
+            }
+            let recovery = req_delay + reply_delay;
+            if recovery.as_ps() > 0 {
+                let fill_done =
+                    reply_done.max(counter_done) + self.cfg.latencies.xor + self.mem_side_latency();
+                self.obs.span(
+                    Track::Link(channel),
+                    "recovery",
+                    fill_done,
+                    fill_done + recovery,
+                );
+            }
+        }
         reply_done.max(counter_done)
             + self.cfg.latencies.xor
             + self.mem_side_latency()
@@ -1043,12 +1225,26 @@ impl ObfusMemBackend {
             Lane::Request,
         );
         let request_at = arrived + mem_lat;
-        self.mem
+        let array = self
+            .mem
             .access(request_at, addr.as_u64(), AccessKind::Write);
         self.inject_channels(request_at, channel);
         // Mandatory shape-matching reply for the write.
         self.mem
             .bus_transfer_bytes(request_at, channel, 88, Lane::Response);
+        if self.obs.is_enabled() {
+            self.obs.span(Track::Engine, "encrypt", at, at + proc_lat);
+            if req_delay.as_ps() > 0 {
+                let aligned = self.align_to_slot(at + proc_lat);
+                self.obs
+                    .span(Track::Link(channel), "recovery", aligned, send_at);
+            }
+            self.obs
+                .span(Track::Channel(channel), "request-wire", send_at, arrived);
+            let bank = self.bank_track(addr.as_u64());
+            self.obs
+                .span(bank, "array-write", request_at, array.complete_at);
+        }
     }
 }
 
@@ -1074,9 +1270,12 @@ impl MemoryBackend for ObfusMemBackend {
                     },
                     None,
                 );
-                self.mem
-                    .access(at, addr.as_u64(), AccessKind::Read)
-                    .complete_at
+                let array = self.mem.access(at, addr.as_u64(), AccessKind::Read);
+                if self.obs.is_enabled() {
+                    let bank = self.bank_track(addr.as_u64());
+                    self.obs.span(bank, "array-read", at, array.complete_at);
+                }
+                array.complete_at
             }
             SecurityLevel::EncryptOnly => {
                 self.record_plain(
@@ -1090,6 +1289,14 @@ impl MemoryBackend for ObfusMemBackend {
                 );
                 let array = self.mem.access(at, addr.as_u64(), AccessKind::Read);
                 let counter_done = self.counter_ready(at, addr.as_u64());
+                if self.obs.is_enabled() {
+                    let bank = self.bank_track(addr.as_u64());
+                    self.obs.span(bank, "array-read", at, array.complete_at);
+                    if counter_done > at + COUNTER_CACHE_HIT {
+                        self.obs
+                            .span(Track::Crypto, "counter-fetch", at, counter_done);
+                    }
+                }
                 array.complete_at.max(counter_done) + self.cfg.latencies.xor
             }
             SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth => match self.cfg.type_hiding {
@@ -1125,7 +1332,11 @@ impl MemoryBackend for ObfusMemBackend {
                     },
                     Some(self.mem.read_block(addr)),
                 );
-                self.mem.access(at, addr.as_u64(), AccessKind::Write);
+                let array = self.mem.access(at, addr.as_u64(), AccessKind::Write);
+                if self.obs.is_enabled() {
+                    let bank = self.bank_track(addr.as_u64());
+                    self.obs.span(bank, "array-write", at, array.complete_at);
+                }
             }
             SecurityLevel::EncryptOnly => {
                 let plaintext = synth_block(&mut self.rng);
@@ -1142,7 +1353,11 @@ impl MemoryBackend for ObfusMemBackend {
                 let _ =
                     self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
                 self.mem.write_block(addr, at_rest);
-                self.mem.access(at, addr.as_u64(), AccessKind::Write);
+                let array = self.mem.access(at, addr.as_u64(), AccessKind::Write);
+                if self.obs.is_enabled() {
+                    let bank = self.bank_track(addr.as_u64());
+                    self.obs.span(bank, "array-write", at, array.complete_at);
+                }
             }
             SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth => match self.cfg.type_hiding {
                 TypeHiding::UniformPackets => self.uniform_write(at, addr),
@@ -1487,6 +1702,74 @@ mod tests {
             b > a,
             "write-then-read must delay fills behind the dummy write (§3.3): {a:?} vs {b:?}"
         );
+    }
+
+    #[test]
+    fn tracing_is_passive_and_covers_the_request_path() {
+        let drive = |traced: bool| {
+            let mut b = backend(SecurityLevel::ObfuscateAuth);
+            let obs = if traced {
+                TraceHandle::recording()
+            } else {
+                TraceHandle::disabled()
+            };
+            b.set_trace_handle(obs.clone());
+            let mut t = Time::ZERO;
+            for i in 0..40u64 {
+                b.write(t, BlockAddr::containing(0x20_0000 + i * 64));
+                t = b.read(t, BlockAddr::containing(i * 4096));
+            }
+            (t, obs.finish())
+        };
+        let (untraced_t, none) = drive(false);
+        let (traced_t, events) = drive(true);
+        assert!(none.is_empty());
+        assert_eq!(untraced_t, traced_t, "recording must not perturb timing");
+        let names: std::collections::HashSet<String> = crate::backend::tests::track_names(&events);
+        assert!(names.contains("engine"), "tracks: {names:?}");
+        assert!(names.contains("bus.ch0"));
+        assert!(names.iter().any(|n| n.starts_with("bank.ch0.b")));
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                obfusmem_obs::trace::TraceEvent::Span {
+                    name: "array-read",
+                    ..
+                }
+            )),
+            "bank service spans must be present"
+        );
+    }
+
+    fn track_names(
+        events: &[obfusmem_obs::trace::TraceEvent],
+    ) -> std::collections::HashSet<String> {
+        events.iter().map(|e| e.track().name()).collect()
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_engine_crypto_and_per_bank_counters() {
+        let mut b = backend(SecurityLevel::ObfuscateAuth);
+        let mut t = Time::ZERO;
+        for i in 0..100u64 {
+            t = b.read(t, BlockAddr::containing(i * 4096));
+        }
+        let mut snap = MetricsNode::new();
+        b.observe_metrics(&mut snap);
+        assert_eq!(snap.counter("engine.real_reads"), Some(100));
+        assert_eq!(snap.counter("engine.paired_dummies"), Some(100));
+        assert!(snap.counter("crypto.counter_misses").is_some());
+        assert!(
+            snap.counter("mem.ch0.reads").unwrap_or(0) > 0,
+            "per-channel device counters must be present"
+        );
+        let ch0 = snap.get_child("mem").and_then(|m| m.get_child("ch0"));
+        assert!(
+            ch0.is_some_and(|c| c.children().any(|(name, _)| name.starts_with("bank"))),
+            "per-bank counters must be present"
+        );
+        // Fault-free backends carry no link subtree at all.
+        assert!(snap.get_child("link").is_none());
     }
 
     #[test]

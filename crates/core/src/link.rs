@@ -49,6 +49,7 @@
 //! [`deliver`]: FaultyLink::deliver
 
 use obfusmem_mem::request::BlockData;
+use obfusmem_obs::metrics::{MetricsNode, Observable};
 use obfusmem_sim::event::EventQueue;
 use obfusmem_sim::rng::SplitMix64;
 use obfusmem_sim::stats::{Counter, Histogram};
@@ -155,7 +156,7 @@ pub struct DeliveryOutcome {
     pub delay: Duration,
 }
 
-/// Per-channel recovery counters and latency distribution.
+/// Aggregate recovery counters and latency distribution (all channels).
 #[derive(Debug, Clone, Default)]
 pub struct LinkStats {
     /// Faults the injector actually fired.
@@ -180,6 +181,31 @@ pub struct LinkStats {
     /// Recovery latency (ns beyond the fault-free path) per recovered
     /// delivery.
     pub recovery_latency_ns: Histogram,
+}
+
+/// Per-channel ARQ counters: the slice of [`LinkStats`] attributable to
+/// one channel, so the observability snapshot can show *which* channel's
+/// link is degrading before quarantine re-steers its traffic.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelArqStats {
+    /// Faults injected on this channel's frames.
+    pub faults_injected: Counter,
+    /// Data frames retransmitted.
+    pub retransmits: Counter,
+    /// Memory-side NACKs.
+    pub nacks: Counter,
+    /// Authenticated counter-resynchronizations.
+    pub resyncs: Counter,
+    /// Session re-keys.
+    pub rekeys: Counter,
+    /// Quarantine events (0 or 1 per channel).
+    pub quarantines: Counter,
+    /// Frames discarded by the link CRC.
+    pub crc_drops: Counter,
+    /// Stale-sequence frames discarded.
+    pub stale_discards: Counter,
+    /// Force-reset deliveries.
+    pub unrecovered: Counter,
 }
 
 /// Per-channel link protocol state.
@@ -266,6 +292,7 @@ pub struct FaultyLink {
     rng: SplitMix64,
     channels: Vec<ChannelLinkState>,
     stats: LinkStats,
+    ch_stats: Vec<ChannelArqStats>,
 }
 
 impl FaultyLink {
@@ -277,12 +304,23 @@ impl FaultyLink {
             rng: SplitMix64::new(plan.seed).split_named("faulty-link"),
             channels: vec![ChannelLinkState::new(); channels],
             stats: LinkStats::default(),
+            ch_stats: vec![ChannelArqStats::default(); channels],
         }
     }
 
     /// Aggregate recovery counters.
     pub fn stats(&self) -> &LinkStats {
         &self.stats
+    }
+
+    /// Per-channel ARQ counters.
+    pub fn channel_stats(&self, channel: usize) -> &ChannelArqStats {
+        &self.ch_stats[channel]
+    }
+
+    /// Number of channels the link spans.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
     }
 
     /// True when `channel` has been quarantined.
@@ -317,7 +355,7 @@ impl FaultyLink {
     /// campaigns are reproducible; the first process to fire wins, which
     /// keeps single-fault campaigns exact and mixed campaigns
     /// approximately additive at the small rates used.
-    fn sample_fate(&mut self) -> Fate {
+    fn sample_fate(&mut self, channel: usize) -> Fate {
         let fate = if self.rng.chance(self.plan.bit_flip) {
             Fate::Flip
         } else if self.rng.chance(self.plan.drop) {
@@ -340,6 +378,7 @@ impl FaultyLink {
         };
         if !matches!(fate, Fate::Intact) {
             self.stats.faults_injected.incr();
+            self.ch_stats[channel].faults_injected.incr();
         }
         fate
     }
@@ -351,13 +390,15 @@ impl FaultyLink {
     /// discarded like a drop anyway); they remain subject to loss and
     /// delay. Returns `None` when lost, or the extra delay when
     /// delivered.
-    fn control_fate(&mut self) -> Option<Duration> {
+    fn control_fate(&mut self, channel: usize) -> Option<Duration> {
         if self.rng.chance(self.plan.drop) {
             self.stats.faults_injected.incr();
+            self.ch_stats[channel].faults_injected.incr();
             return None;
         }
         if self.rng.chance(self.plan.delay_burst) || self.rng.chance(self.plan.reorder) {
             self.stats.faults_injected.incr();
+            self.ch_stats[channel].faults_injected.incr();
             let bursts = 1 + self.rng.below(2);
             return Some(Duration::from_ps(self.cfg.ack_timeout.as_ps() * bursts));
         }
@@ -385,7 +426,7 @@ impl FaultyLink {
     ) {
         let arrive = t + self.cfg.frame_latency;
         let crc = frame_crc(&pair.real, &pair.dummy);
-        match self.sample_fate() {
+        match self.sample_fate(channel) {
             Fate::Intact => q.push(
                 arrive,
                 Ev::Data {
@@ -469,8 +510,8 @@ impl FaultyLink {
     }
 
     /// Sends a control frame, subject to [`Self::control_fate`].
-    fn send_control(&mut self, q: &mut EventQueue<Ev>, t: Time, ev: Ev) {
-        if let Some(extra) = self.control_fate() {
+    fn send_control(&mut self, q: &mut EventQueue<Ev>, t: Time, channel: usize, ev: Ev) {
+        if let Some(extra) = self.control_fate(channel) {
             q.push(t + self.cfg.frame_latency + extra, ev);
         }
     }
@@ -488,6 +529,7 @@ impl FaultyLink {
         }
         self.channels[channel].quarantined = true;
         self.stats.quarantines.incr();
+        self.ch_stats[channel].quarantines.incr();
         true
     }
 
@@ -547,6 +589,7 @@ impl FaultyLink {
                     // heals the loss.
                     if frame_crc(&real, &dummy) != crc {
                         self.stats.crc_drops.incr();
+                        self.ch_stats[channel].crc_drops.incr();
                         continue;
                     }
                     if fseq != self.channels[channel].expected_seq {
@@ -554,14 +597,15 @@ impl FaultyLink {
                         // touching the CTR stream; re-ACK so a sender
                         // whose ACK was lost can still complete.
                         self.stats.stale_discards.incr();
-                        self.send_control(&mut q, t, Ev::Ack { seq: fseq });
+                        self.ch_stats[channel].stale_discards.incr();
+                        self.send_control(&mut q, t, channel, Ev::Ack { seq: fseq });
                         continue;
                     }
                     match receive_for(mem, delivery, &real, &dummy) {
                         Ok(out) => {
                             self.channels[channel].expected_seq = fseq + 1;
                             decoded = Some(out);
-                            self.send_control(&mut q, t, Ev::Ack { seq: fseq });
+                            self.send_control(&mut q, t, channel, Ev::Ack { seq: fseq });
                         }
                         Err(_) => {
                             // MAC or parse failure: the memory counter is
@@ -569,7 +613,8 @@ impl FaultyLink {
                             // repair it.
                             self.channels[channel].integrity_failures += 1;
                             self.stats.nacks.incr();
-                            self.send_control(&mut q, t, Ev::Nack { seq: fseq });
+                            self.ch_stats[channel].nacks.incr();
+                            self.send_control(&mut q, t, channel, Ev::Nack { seq: fseq });
                         }
                     }
                 }
@@ -602,6 +647,7 @@ impl FaultyLink {
                         let epoch = st.epoch;
                         let rekeys = st.rekeys;
                         self.stats.rekeys.incr();
+                        self.ch_stats[channel].rekeys.incr();
                         if rekeys >= self.cfg.quarantine_threshold && self.quarantine(channel) {
                             return Err(ObfusMemError::ChannelQuarantined { channel });
                         }
@@ -610,6 +656,7 @@ impl FaultyLink {
                         pair = obfuscate_for(proc, now, channel, delivery)?;
                         attempt += 1;
                         self.stats.retransmits.incr();
+                        self.ch_stats[channel].retransmits.incr();
                         let resume = t + self.cfg.rekey_latency;
                         self.send_data(&mut q, resume, channel, seq, &pair);
                         q.push(
@@ -623,11 +670,13 @@ impl FaultyLink {
                         // > frame_latency) so the stream is repaired
                         // before the data arrives again.
                         self.stats.resyncs.incr();
+                        self.ch_stats[channel].resyncs.incr();
                         let target = pair.base_counter;
                         let tag = proc.resync_tag(channel, seq, target)?;
-                        self.send_control(&mut q, t, Ev::Resync { seq, target, tag });
+                        self.send_control(&mut q, t, channel, Ev::Resync { seq, target, tag });
                         attempt += 1;
                         self.stats.retransmits.incr();
+                        self.ch_stats[channel].retransmits.incr();
                         let resume = t + self.cfg.resync_latency;
                         self.send_data(&mut q, resume, channel, seq, &pair);
                         q.push(
@@ -646,6 +695,7 @@ impl FaultyLink {
                     // resync must not rewind the stream again.
                     if rseq != self.channels[channel].expected_seq {
                         self.stats.stale_discards.incr();
+                        self.ch_stats[channel].stale_discards.incr();
                         continue;
                     }
                     // A forged/corrupt tag is rejected inside (and
@@ -666,6 +716,7 @@ impl FaultyLink {
                     }
                     attempt += 1;
                     self.stats.retransmits.incr();
+                    self.ch_stats[channel].retransmits.incr();
                     self.send_data(&mut q, t, channel, seq, &pair);
                     q.push(t + self.timeout_after(attempt), Ev::Timeout { attempt });
                 }
@@ -706,6 +757,7 @@ impl FaultyLink {
         delivery: Delivery<'_>,
     ) -> Result<(Time, (DecodedRequest, Option<DecodedRequest>)), ObfusMemError> {
         self.stats.unrecovered.incr();
+        self.ch_stats[channel].unrecovered.incr();
         let target = pair.base_counter;
         let tag = proc.resync_tag(channel, seq, target)?;
         mem.apply_resync(seq, target, &tag)
@@ -742,7 +794,7 @@ impl FaultyLink {
         let mut accepted: Option<(Time, BusPacket)> = None;
 
         let mut q: EventQueue<REv> = EventQueue::new();
-        self.send_reply(&mut q, now, &reply);
+        self.send_reply(&mut q, now, channel, &reply);
         q.push(now + self.timeout_after(attempt), REv::Timeout { attempt });
 
         while let Some((t, ev)) = q.pop() {
@@ -753,6 +805,7 @@ impl FaultyLink {
                 REv::Reply { packet, crc } => {
                     if reply_crc(&packet) != crc {
                         self.stats.crc_drops.incr();
+                        self.ch_stats[channel].crc_drops.incr();
                         continue;
                     }
                     match proc.verify_reply(channel, base_counter, &packet) {
@@ -762,7 +815,8 @@ impl FaultyLink {
                             // for a resend (its reply generation is
                             // stateless).
                             self.stats.nacks.incr();
-                            if let Some(extra) = self.control_fate() {
+                            self.ch_stats[channel].nacks.incr();
+                            if let Some(extra) = self.control_fate(channel) {
                                 q.push(t + self.cfg.frame_latency + extra, REv::Poll);
                             }
                         }
@@ -772,12 +826,14 @@ impl FaultyLink {
                     if attempt >= self.cfg.max_retries {
                         accepted = Some((t, reply.clone()));
                         self.stats.unrecovered.incr();
+                        self.ch_stats[channel].unrecovered.incr();
                         continue;
                     }
                     attempt += 1;
                     self.stats.retransmits.incr();
+                    self.ch_stats[channel].retransmits.incr();
                     let regenerated = mem.encrypt_reply(base_counter, stored);
-                    self.send_reply(&mut q, t, &regenerated);
+                    self.send_reply(&mut q, t, channel, &regenerated);
                     q.push(t + self.timeout_after(attempt), REv::Timeout { attempt });
                 }
                 REv::Timeout { attempt: ta } => {
@@ -788,12 +844,14 @@ impl FaultyLink {
                         // Forced clean: accept the pristine reply.
                         accepted = Some((t, reply.clone()));
                         self.stats.unrecovered.incr();
+                        self.ch_stats[channel].unrecovered.incr();
                         continue;
                     }
                     attempt += 1;
                     self.stats.retransmits.incr();
+                    self.ch_stats[channel].retransmits.incr();
                     let regenerated = mem.encrypt_reply(base_counter, stored);
-                    self.send_reply(&mut q, t, &regenerated);
+                    self.send_reply(&mut q, t, channel, &regenerated);
                     q.push(t + self.timeout_after(attempt), REv::Timeout { attempt });
                 }
             }
@@ -812,10 +870,10 @@ impl FaultyLink {
     }
 
     /// Transmits (or mis-transmits) a reply frame.
-    fn send_reply(&mut self, q: &mut EventQueue<REv>, t: Time, reply: &BusPacket) {
+    fn send_reply(&mut self, q: &mut EventQueue<REv>, t: Time, channel: usize, reply: &BusPacket) {
         let arrive = t + self.cfg.frame_latency;
         let crc = reply_crc(reply);
-        match self.sample_fate() {
+        match self.sample_fate(channel) {
             Fate::Intact => q.push(
                 arrive,
                 REv::Reply {
@@ -861,6 +919,37 @@ impl FaultyLink {
                     },
                 );
             }
+        }
+    }
+}
+
+impl Observable for FaultyLink {
+    /// Reports the aggregate ARQ counters plus the per-channel breakdown
+    /// under `ch<N>` (including each channel's quarantine flag).
+    fn observe(&self, out: &mut MetricsNode) {
+        let s = &self.stats;
+        out.set_counter("faults_injected", s.faults_injected.get());
+        out.set_counter("retransmits", s.retransmits.get());
+        out.set_counter("nacks", s.nacks.get());
+        out.set_counter("resyncs", s.resyncs.get());
+        out.set_counter("rekeys", s.rekeys.get());
+        out.set_counter("quarantines", s.quarantines.get());
+        out.set_counter("crc_drops", s.crc_drops.get());
+        out.set_counter("stale_discards", s.stale_discards.get());
+        out.set_counter("unrecovered", s.unrecovered.get());
+        out.set_histogram("recovery_latency_ns", &s.recovery_latency_ns);
+        for (i, (ch, st)) in self.ch_stats.iter().zip(self.channels.iter()).enumerate() {
+            let node = out.child(&format!("ch{i}"));
+            node.set_counter("faults_injected", ch.faults_injected.get());
+            node.set_counter("retransmits", ch.retransmits.get());
+            node.set_counter("nacks", ch.nacks.get());
+            node.set_counter("resyncs", ch.resyncs.get());
+            node.set_counter("rekeys", ch.rekeys.get());
+            node.set_counter("quarantines", ch.quarantines.get());
+            node.set_counter("crc_drops", ch.crc_drops.get());
+            node.set_counter("stale_discards", ch.stale_discards.get());
+            node.set_counter("unrecovered", ch.unrecovered.get());
+            node.set_counter("quarantined", st.quarantined as u64);
         }
     }
 }
@@ -1236,6 +1325,48 @@ mod tests {
             now = now + Duration::from_ns(1_000) + out.delay;
         }
         assert_eq!(link.stats().unrecovered.get(), 0);
+    }
+
+    #[test]
+    fn per_channel_counters_sum_to_aggregate() {
+        // One channel: the per-channel slice must equal the aggregate.
+        let plan = plan_single(FaultKind::BitFlip, 0.3, 42);
+        let mut cfg = cfg_with(plan);
+        cfg.link.max_retries = 16;
+        let (mut proc, mut mem) = one_channel(cfg);
+        let mut link = FaultyLink::new(cfg.link, plan, 1);
+        let mut now = Time::ZERO;
+        for i in 0..120usize {
+            let data = [i as u8; 64];
+            let out = link
+                .deliver(
+                    now,
+                    0,
+                    &mut proc,
+                    &mut mem,
+                    Delivery::Pair {
+                        header: write_req(64 * i as u64),
+                        data: Some(&data),
+                    },
+                )
+                .unwrap();
+            now = now + Duration::from_ns(1_000) + out.delay;
+        }
+        let agg = link.stats();
+        let ch = link.channel_stats(0);
+        assert!(agg.faults_injected.get() > 0);
+        assert_eq!(ch.faults_injected.get(), agg.faults_injected.get());
+        assert_eq!(ch.retransmits.get(), agg.retransmits.get());
+        assert_eq!(ch.nacks.get(), agg.nacks.get());
+        assert_eq!(ch.resyncs.get(), agg.resyncs.get());
+        assert_eq!(ch.crc_drops.get(), agg.crc_drops.get());
+        assert_eq!(ch.unrecovered.get(), agg.unrecovered.get());
+
+        let mut snap = MetricsNode::new();
+        link.observe(&mut snap);
+        assert_eq!(snap.counter("retransmits"), Some(agg.retransmits.get()));
+        assert_eq!(snap.counter("ch0.retransmits"), Some(agg.retransmits.get()));
+        assert_eq!(snap.counter("ch0.quarantined"), Some(0));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use obfusmem_cpu::core::{RunResult, TraceDrivenCore};
 use obfusmem_cpu::workload::WorkloadSpec;
 use obfusmem_mem::config::MemConfig;
+use obfusmem_obs::metrics::MetricsNode;
+use obfusmem_obs::trace::TraceHandle;
 
 use crate::backend::ObfusMemBackend;
 use crate::config::{ObfusMemConfig, SecurityLevel};
@@ -69,6 +71,28 @@ impl System {
     /// Runs `instructions` of `spec`, deterministically under `seed`.
     pub fn run(&mut self, spec: &WorkloadSpec, instructions: u64, seed: u64) -> RunResult {
         self.core.run(spec, instructions, &mut self.backend, seed)
+    }
+
+    /// [`System::run`] with observability attached: core and backend both
+    /// record spans through `obs`, and core-side metrics land in
+    /// `metrics`. Recording is passive, so results are bit-identical to
+    /// [`System::run`] — pass [`TraceHandle::disabled`] to collect only
+    /// metrics.
+    pub fn run_observed(
+        &mut self,
+        spec: &WorkloadSpec,
+        instructions: u64,
+        seed: u64,
+        obs: &TraceHandle,
+        metrics: &mut MetricsNode,
+    ) -> RunResult {
+        self.backend.set_trace_handle(obs.clone());
+        let result =
+            self.core
+                .run_observed(spec, instructions, &mut self.backend, seed, obs, metrics);
+        self.backend.set_trace_handle(TraceHandle::disabled());
+        self.backend.observe_metrics(metrics);
+        result
     }
 
     /// The backend, for stats/trace inspection.
@@ -148,6 +172,35 @@ mod tests {
         assert!(
             full > 0.5 && full < 100.0,
             "ObfusMem+Auth overhead {full}% out of band"
+        );
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_snapshots_whole_stack() {
+        let plain = {
+            let mut sys = System::new(SystemConfig::default());
+            sys.run(&micro_test_workload(), 50_000, 9)
+        };
+        let mut sys = System::new(SystemConfig::default());
+        let obs = obfusmem_obs::trace::TraceHandle::recording();
+        let mut metrics = MetricsNode::new();
+        let observed = sys.run_observed(&micro_test_workload(), 50_000, 9, &obs, &mut metrics);
+        assert_eq!(plain.exec_time, observed.exec_time);
+        assert_eq!(plain.misses, observed.misses);
+        // The snapshot spans core, engine, crypto, and device subtrees.
+        assert_eq!(metrics.counter("core.misses"), Some(observed.misses));
+        assert_eq!(
+            metrics.counter("engine.real_reads"),
+            Some(sys.backend().stats().real_reads)
+        );
+        assert!(metrics.counter("mem.ch0.reads").unwrap_or(0) > 0);
+        // The trace covers ≥ 4 distinct tracks (core, engine, bus, bank).
+        let events = obs.finish();
+        let tracks = obfusmem_obs::chrome::distinct_tracks(&events);
+        assert!(
+            tracks.len() >= 4,
+            "only {} tracks: {tracks:?}",
+            tracks.len()
         );
     }
 

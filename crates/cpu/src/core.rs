@@ -16,7 +16,9 @@
 
 use obfusmem_cache::mshr::MshrFile;
 use obfusmem_mem::request::BlockAddr;
-use obfusmem_sim::stats::RunningStats;
+use obfusmem_obs::metrics::MetricsNode;
+use obfusmem_obs::trace::{TraceHandle, Track};
+use obfusmem_sim::stats::{Histogram, RunningStats};
 use obfusmem_sim::time::{Clock, Duration, Time};
 
 use crate::stream::MissStream;
@@ -106,11 +108,37 @@ impl TraceDrivenCore {
         backend: &mut dyn MemoryBackend,
         seed: u64,
     ) -> RunResult {
+        self.run_observed(
+            spec,
+            instructions,
+            backend,
+            seed,
+            &TraceHandle::disabled(),
+            &mut MetricsNode::new(),
+        )
+    }
+
+    /// [`run`](Self::run) plus observability: spans for every fill /
+    /// MSHR stall land on `obs`'s core track, and the core's metrics
+    /// (fill-latency and request-gap distributions, MSHR pressure) are
+    /// written under `metrics`. Recording is passive — results are
+    /// bit-identical to [`run`](Self::run) whether or not `obs` carries
+    /// a recorder.
+    pub fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        instructions: u64,
+        backend: &mut dyn MemoryBackend,
+        seed: u64,
+        obs: &TraceHandle,
+        metrics: &mut MetricsNode,
+    ) -> RunResult {
         let misses = spec.misses_for(instructions).max(1);
         let mut stream = MissStream::new(spec.clone(), seed);
         let mut mshrs = MshrFile::new(spec.mlp);
         let mut now = Time::ZERO;
         let mut fill_latency = RunningStats::new();
+        let mut fill_latency_hist = Histogram::new();
         let mut writebacks = 0u64;
         let mut last_request_at = Time::ZERO;
         let mut request_gaps = RunningStats::new();
@@ -121,11 +149,17 @@ impl TraceDrivenCore {
             now += event.gap;
 
             // Demand fill: issue, run ahead under the MSHR budget.
+            let issued_at = now;
             let completes = backend.read(now, event.fill);
             fill_latency.record(completes.since(now).as_ns_f64());
+            fill_latency_hist.record(completes.since(now).as_ns());
             request_gaps.record(now.since(last_request_at).as_ns_f64());
             last_request_at = now;
             now = mshrs.allocate(now, event.fill.as_u64(), completes);
+            obs.span(Track::Core, "fill", issued_at, completes);
+            if now > issued_at {
+                obs.span(Track::Core, "mshr-stall", issued_at, now);
+            }
 
             // Posted write-back, issued after the fill (LLC victim path).
             if let Some(wb) = event.writeback {
@@ -133,12 +167,28 @@ impl TraceDrivenCore {
                 writebacks += 1;
                 request_gaps.record(now.since(last_request_at).as_ns_f64());
                 last_request_at = now;
+                obs.instant(Track::Core, "writeback", now);
             }
         }
         // Drain outstanding misses.
         if let Some(drain) = mshrs.drain_time() {
+            if drain > now {
+                obs.span(Track::Core, "drain", now, drain);
+            }
             now = now.max(drain);
         }
+
+        let (mshr_merged, mshr_stalls) = mshrs.pressure_stats();
+        let core_node = metrics.child("core");
+        core_node.set_counter("misses", misses);
+        core_node.set_counter("writebacks", writebacks);
+        core_node.set_histogram("fill_latency_ns", &fill_latency_hist);
+        core_node.set_stats("fill_latency_ns_stats", &fill_latency);
+        core_node.set_stats("request_gap_ns", &request_gaps);
+        let mshr_node = metrics.child("cache").child("mshr");
+        mshr_node.set_counter("capacity", spec.mlp as u64);
+        mshr_node.set_counter("merged", mshr_merged);
+        mshr_node.set_counter("stalls", mshr_stalls);
 
         let exec_time = now.since(Time::ZERO);
         let cycles = self.clock.duration_to_cycles(exec_time).max(1);
@@ -263,6 +313,39 @@ mod tests {
         let overhead = slow.overhead_vs(&base);
         assert!(overhead > 0.0);
         assert!((slow.slowdown_vs(&base) - (1.0 + overhead / 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_reports_metrics() {
+        let spec = micro_test_workload();
+        let core = TraceDrivenCore::new();
+        let mut b1 = FixedLatencyBackend::new("test", Duration::from_ns(100));
+        let plain = core.run(&spec, 50_000, &mut b1, 9);
+
+        let obs = TraceHandle::recording();
+        let mut metrics = MetricsNode::new();
+        let mut b2 = FixedLatencyBackend::new("test", Duration::from_ns(100));
+        let traced = core.run_observed(&spec, 50_000, &mut b2, 9, &obs, &mut metrics);
+
+        assert_eq!(plain.exec_time, traced.exec_time);
+        assert_eq!(plain.misses, traced.misses);
+        assert_eq!(plain.ipc, traced.ipc);
+        assert_eq!(plain.avg_fill_latency_ns, traced.avg_fill_latency_ns);
+
+        assert_eq!(metrics.counter("core.misses"), Some(traced.misses));
+        assert_eq!(
+            metrics.counter("cache.mshr.capacity"),
+            Some(spec.mlp as u64)
+        );
+        let events = obs.finish();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                obfusmem_obs::trace::TraceEvent::Span { name: "fill", .. }
+            )),
+            "fills must produce core spans"
+        );
+        assert_eq!(events.iter().map(|e| e.track()).next(), Some(Track::Core));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! ```text
 //! sweep [--spec FILE] [--workloads LIST|all] [--schemes LIST|all]
 //!       [--channels LIST] [--replicates N] [--master-seed SEED]
-//!       [-n/--instructions N] [--out FILE] [--threads N] [--fresh]
-//!       [--no-timing] [--dry-run] [--quiet]
+//!       [-n/--instructions N] [--out FILE] [--metrics-out FILE]
+//!       [--trace-out FILE] [--threads N] [--fresh] [--no-timing]
+//!       [--dry-run] [--quiet]
 //! ```
 //!
 //! With no flags it runs the paper's Table 3 acceptance grid (15
@@ -44,9 +45,14 @@ fn main() -> ExitCode {
     }
 
     if cli.fresh {
-        if let Err(e) = remove_if_exists(&cli.out) {
-            eprintln!("sweep: cannot remove {}: {e}", cli.out.display());
-            return ExitCode::FAILURE;
+        let mut stale = vec![&cli.out];
+        stale.extend(cli.opts.metrics_out.as_ref());
+        stale.extend(cli.opts.trace_out.as_ref());
+        for path in stale {
+            if let Err(e) = remove_if_exists(path) {
+                eprintln!("sweep: cannot remove {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
 
@@ -115,6 +121,9 @@ usage: sweep [options]
   --fault-seed SEED    master seed for fault-injection streams
   -n, --instructions N instruction budget per job
   --out FILE           JSONL results/checkpoint file (default sweep.jsonl)
+  --metrics-out FILE   write per-job metrics snapshots (JSONL) to FILE
+  --trace-out FILE     record spans and write a Chrome trace_event JSON
+                       (load in Perfetto / chrome://tracing) to FILE
   --threads N          worker threads (default: all cores)
   --fresh              delete the output file first instead of resuming
   --no-timing          omit host wall_ms from rows (byte-stable output)
@@ -189,6 +198,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 cli.spec.instructions = parse_u64(&v).map_err(|e| e.to_string())?;
             }
             "--out" => cli.out = PathBuf::from(next_value("--out", &mut args)?),
+            "--metrics-out" => {
+                cli.opts.metrics_out = Some(PathBuf::from(next_value("--metrics-out", &mut args)?));
+            }
+            "--trace-out" => {
+                cli.opts.trace_out = Some(PathBuf::from(next_value("--trace-out", &mut args)?));
+            }
             "--threads" => {
                 let v = next_value("--threads", &mut args)?;
                 cli.opts.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;

@@ -13,9 +13,11 @@ use obfusmem_core::config::FaultPlan;
 use obfusmem_core::link::FaultKind;
 use obfusmem_cpu::core::RunResult;
 use obfusmem_mem::config::MemConfig;
+use obfusmem_obs::metrics::MetricsNode;
+use obfusmem_obs::trace::{TraceEvent, TraceHandle};
 use obfusmem_sim::rng::SplitMix64;
 
-use crate::measure::{run_point_with_recovery, workload_by_name, PointSpec, RecoveryStats, Scheme};
+use crate::measure::{run_point_observed, workload_by_name, PointSpec, Scheme};
 
 /// One schedulable simulation job.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,18 +78,30 @@ pub fn derive_seed(master_seed: u64, job_id: &str) -> u64 {
     SplitMix64::new(master_seed).split_named(job_id).next_u64()
 }
 
-/// A completed job: the spec it ran, the simulation result, and how long
-/// the simulation took on the wall clock.
+/// A completed job: the spec it ran, the simulation result, the metrics
+/// snapshot, and how long the simulation took on the wall clock.
 #[derive(Debug, Clone)]
 pub struct JobOutput {
     /// The spec that ran.
     pub spec: JobSpec,
     /// Simulation result.
     pub result: RunResult,
-    /// Link recovery counters (`Some` only when the job injected faults).
-    pub recovery: Option<RecoveryStats>,
+    /// Whole-stack metrics snapshot (core, engine, crypto, memory, and —
+    /// only when the job injected faults — the `link` subtree with the
+    /// per-channel ARQ recovery counters).
+    pub metrics: MetricsNode,
+    /// Recorded spans (non-empty only for [`run_job_traced`] jobs).
+    pub trace: Vec<TraceEvent>,
     /// Host wall-clock milliseconds spent simulating.
     pub wall_ms: f64,
+}
+
+impl JobOutput {
+    /// The link-layer recovery subtree; `None` when the job ran
+    /// fault-free (the link stays disengaged).
+    pub fn recovery(&self) -> Option<&MetricsNode> {
+        self.metrics.get_child("link")
+    }
 }
 
 /// Runs one job. Pure with respect to the spec (the wall-clock field is
@@ -98,6 +112,17 @@ pub struct JobOutput {
 /// Panics if the workload name does not resolve; [`crate::spec::SweepSpec::expand`]
 /// validates names before any job is scheduled.
 pub fn run_job(spec: &JobSpec) -> JobOutput {
+    run_job_with(spec, &TraceHandle::disabled())
+}
+
+/// [`run_job`] with span recording enabled: the recorded events land in
+/// [`JobOutput::trace`], ready for the Chrome-trace exporter. The
+/// simulation result is bit-identical to the untraced run's.
+pub fn run_job_traced(spec: &JobSpec) -> JobOutput {
+    run_job_with(spec, &TraceHandle::recording())
+}
+
+fn run_job_with(spec: &JobSpec, obs: &TraceHandle) -> JobOutput {
     let workload = workload_by_name(&spec.workload)
         .unwrap_or_else(|| panic!("job {}: unknown workload {:?}", spec.id, spec.workload));
     let mut point = PointSpec {
@@ -108,11 +133,12 @@ pub fn run_job(spec: &JobSpec) -> JobOutput {
         point.obfus.faults = FaultPlan::single(kind, rate, spec.fault_seed);
     }
     let started = Instant::now();
-    let (result, recovery) = run_point_with_recovery(&point);
+    let (result, metrics) = run_point_observed(&point, obs);
     JobOutput {
         spec: spec.clone(),
         result,
-        recovery,
+        metrics,
+        trace: obs.finish(),
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -175,10 +201,17 @@ mod tests {
             fault: Some((FaultKind::BitFlip, 0.01)),
             fault_seed: derive_seed(0xFA_017, &id),
         });
-        let rec = out.recovery.expect("faulty job must harvest link stats");
-        assert!(rec.faults_injected > 0, "1% flips over 20k instructions");
-        assert_eq!(rec.unrecovered, 0);
-        assert!(rec.counters_converged);
+        let rec = out.recovery().expect("faulty job must harvest link stats");
+        assert!(
+            rec.counter("faults_injected").unwrap_or(0) > 0,
+            "1% flips over 20k instructions"
+        );
+        assert_eq!(rec.counter("unrecovered"), Some(0));
+        assert_eq!(rec.counter("counters_converged"), Some(1));
+        assert!(
+            rec.counter("ch0.retransmits").is_some(),
+            "per-channel ARQ counters must be in the snapshot"
+        );
     }
 
     #[test]
@@ -195,7 +228,35 @@ mod tests {
             fault: None,
             fault_seed: 0,
         });
-        assert!(out.recovery.is_none(), "link must stay disengaged");
+        assert!(out.recovery().is_none(), "link must stay disengaged");
+        assert!(out.trace.is_empty(), "untraced jobs record no spans");
+    }
+
+    #[test]
+    fn traced_jobs_match_untraced_results_and_carry_spans() {
+        let id = JobSpec::make_id("micro", Scheme::ObfusmemAuth, 1, 0);
+        let spec = JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            instructions: 10_000,
+            replicate: 0,
+            seed: derive_seed(7, &id),
+            fault: None,
+            fault_seed: 0,
+        };
+        let plain = run_job(&spec);
+        let traced = run_job_traced(&spec);
+        assert_eq!(plain.result.exec_time, traced.result.exec_time);
+        assert_eq!(plain.result.misses, traced.result.misses);
+        assert!(plain.trace.is_empty());
+        assert!(!traced.trace.is_empty());
+        assert_eq!(
+            plain.metrics.to_json(),
+            traced.metrics.to_json(),
+            "metric snapshots must not depend on tracing"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ use obfusmem_core::system::{System, SystemConfig};
 use obfusmem_cpu::core::{RunResult, TraceDrivenCore};
 use obfusmem_cpu::workload::{by_name, micro_test_workload, WorkloadSpec};
 use obfusmem_mem::config::MemConfig;
+use obfusmem_obs::metrics::{MetricsNode, Observable};
+use obfusmem_obs::trace::TraceHandle;
 use obfusmem_oram::model::OramModel;
 
 /// A protection scheme column — the axis swept in Table 3 and Figure 4.
@@ -126,69 +128,65 @@ pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
     by_name(name)
 }
 
-/// Link-layer recovery counters harvested from a faulty run's backend.
-/// `None` when the point ran fault-free (the link is not engaged) or on
-/// the ORAM model (which has no ObfusMem link at all).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RecoveryStats {
-    /// Faults the injector fired.
-    pub faults_injected: u64,
-    /// Data frames retransmitted.
-    pub retransmits: u64,
-    /// Authenticated counter resynchronizations.
-    pub resyncs: u64,
-    /// Session re-keys.
-    pub rekeys: u64,
-    /// Channels quarantined.
-    pub quarantines: u64,
-    /// Deliveries that exhausted the retry budget (campaign acceptance
-    /// requires zero).
-    pub unrecovered: u64,
-    /// Whether every healthy channel's CTR counters agree at run end.
-    pub counters_converged: bool,
-}
-
 /// Runs one simulation point. Pure: identical specs produce identical
 /// results regardless of thread, process, or ordering.
 pub fn run_point(p: &PointSpec) -> RunResult {
-    run_point_with_recovery(p).0
-}
-
-/// [`run_point`] plus the link-layer recovery counters, for fault-grid
-/// sweeps that must assert every injected fault was healed.
-pub fn run_point_with_recovery(p: &PointSpec) -> (RunResult, Option<RecoveryStats>) {
     match p.scheme.security() {
-        Some(security) => {
-            let cfg = SystemConfig {
-                security,
-                obfus: p.obfus,
-                mem: p.mem.clone(),
-            };
-            let mut sys = match p.backend_seed {
-                None => System::new(cfg),
-                Some(seed) => System::with_seed(cfg, seed),
-            };
-            let result = sys.run(&p.workload, p.instructions, p.seed);
-            let backend = sys.backend();
-            let recovery = backend.link_stats().map(|s| RecoveryStats {
-                faults_injected: s.faults_injected.get(),
-                retransmits: s.retransmits.get(),
-                resyncs: s.resyncs.get(),
-                rekeys: s.rekeys.get(),
-                quarantines: s.quarantines.get(),
-                unrecovered: s.unrecovered.get(),
-                counters_converged: backend.counters_converged(),
-            });
-            (result, recovery)
-        }
+        Some(security) => build_system(p, security).run(&p.workload, p.instructions, p.seed),
         None => {
             let core = TraceDrivenCore::new();
             let mut model = OramModel::paper();
-            (
-                core.run(&p.workload, p.instructions, &mut model, p.seed),
-                None,
-            )
+            core.run(&p.workload, p.instructions, &mut model, p.seed)
         }
+    }
+}
+
+/// [`run_point`] with the unified observability layer attached: spans go
+/// to `obs` and the returned [`MetricsNode`] holds the whole stack's
+/// counters — `core.*`, `engine.*`, `crypto.*`, `mem.ch<N>.bank<M>.*`,
+/// and `link.ch<N>.*` (or `oram.*` for the ORAM model). Recording is
+/// passive, so the [`RunResult`] is bit-identical to [`run_point`]'s.
+///
+/// The `link` subtree exists exactly when the fault-injecting link was
+/// engaged; fault-grid sweeps read their recovery counters from it.
+pub fn run_point_observed(p: &PointSpec, obs: &TraceHandle) -> (RunResult, MetricsNode) {
+    let mut metrics = MetricsNode::new();
+    let result = match p.scheme.security() {
+        Some(security) => build_system(p, security).run_observed(
+            &p.workload,
+            p.instructions,
+            p.seed,
+            obs,
+            &mut metrics,
+        ),
+        None => {
+            let core = TraceDrivenCore::new();
+            let mut model = OramModel::paper();
+            model.set_trace_handle(obs.clone());
+            let result = core.run_observed(
+                &p.workload,
+                p.instructions,
+                &mut model,
+                p.seed,
+                obs,
+                &mut metrics,
+            );
+            model.observe(metrics.child("oram"));
+            result
+        }
+    };
+    (result, metrics)
+}
+
+fn build_system(p: &PointSpec, security: SecurityLevel) -> System {
+    let cfg = SystemConfig {
+        security,
+        obfus: p.obfus,
+        mem: p.mem.clone(),
+    };
+    match p.backend_seed {
+        None => System::new(cfg),
+        Some(seed) => System::with_seed(cfg, seed),
     }
 }
 
@@ -219,6 +217,27 @@ mod tests {
         let base = mk(Scheme::Unprotected);
         let oram = mk(Scheme::OramModel);
         assert!(oram.exec_time > base.exec_time);
+    }
+
+    #[test]
+    fn observed_point_matches_plain_point() {
+        let p = PointSpec::paper(micro_test_workload(), Scheme::ObfusmemAuth, 20_000, 9);
+        let plain = run_point(&p);
+        let obs = TraceHandle::recording();
+        let (observed, metrics) = run_point_observed(&p, &obs);
+        assert_eq!(plain.exec_time, observed.exec_time);
+        assert_eq!(metrics.counter("core.misses"), Some(plain.misses));
+        assert!(metrics.get_child("link").is_none(), "fault-free: no link");
+        assert!(!obs.finish().is_empty());
+    }
+
+    #[test]
+    fn oram_point_reports_oram_subtree() {
+        let p = PointSpec::paper(micro_test_workload(), Scheme::OramModel, 20_000, 9);
+        let (result, metrics) = run_point_observed(&p, &TraceHandle::disabled());
+        assert!(metrics.counter("oram.accesses").unwrap_or(0) > 0);
+        assert!(metrics.counter("oram.blocks_read").unwrap_or(0) > 0);
+        assert_eq!(metrics.counter("core.misses"), Some(result.misses));
     }
 
     #[test]

@@ -76,13 +76,22 @@ impl Progress {
 
     /// Remaining × mean-cost estimate over this run's completions.
     fn eta_seconds(&self) -> Option<f64> {
-        if self.done == 0 {
-            return None;
-        }
-        let remaining = self.total - self.done - self.skipped;
-        let per_job = self.started.elapsed().as_secs_f64() / self.done as f64;
-        Some(remaining as f64 * per_job)
+        eta_seconds(self.total, self.done, self.skipped, self.started.elapsed())
     }
+}
+
+/// The ETA estimate as a pure function of the counters: remaining jobs ×
+/// mean seconds per job completed this run. `None` until the first
+/// completion (no data), `Some(0.0)` once everything is accounted for.
+/// Skipped (checkpoint-restored) jobs count toward *remaining*'s
+/// denominator but never toward the per-job cost — they were free.
+pub fn eta_seconds(total: usize, done: usize, skipped: usize, elapsed: Duration) -> Option<f64> {
+    if done == 0 {
+        return None;
+    }
+    let remaining = total.saturating_sub(done + skipped);
+    let per_job = elapsed.as_secs_f64() / done as f64;
+    Some(remaining as f64 * per_job)
 }
 
 fn fmt_eta(seconds: f64) -> String {
@@ -109,6 +118,22 @@ mod tests {
         // 4 remaining (10 - 2 done - 4 skipped); must be finite and >= 0.
         let eta = p.eta_seconds().unwrap();
         assert!(eta >= 0.0 && eta.is_finite());
+    }
+
+    #[test]
+    fn eta_math_is_remaining_times_mean_cost() {
+        let secs = Duration::from_secs;
+        // 10 jobs, 2 done in 6s (3s each), 4 skipped → 4 left → 12s.
+        assert_eq!(eta_seconds(10, 2, 4, secs(6)), Some(12.0));
+        // Skipped jobs are free: same completions, no checkpoint → 8 left.
+        assert_eq!(eta_seconds(10, 2, 0, secs(6)), Some(24.0));
+        // No completions yet → no estimate, however much time has passed.
+        assert_eq!(eta_seconds(10, 0, 4, secs(100)), None);
+        // Everything accounted for → zero, not negative.
+        assert_eq!(eta_seconds(10, 6, 4, secs(6)), Some(0.0));
+        // A stale checkpoint claiming more jobs than the grid holds must
+        // saturate rather than wrap the remaining count.
+        assert_eq!(eta_seconds(10, 8, 4, secs(8)), Some(0.0));
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! index and drains the ready prefix after every arrival.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use crate::job::{run_job, JobOutput, JobSpec};
+use obfusmem_obs::chrome::write_chrome_trace;
+use obfusmem_obs::trace::TraceEvent;
+
+use crate::job::{run_job, run_job_traced, JobOutput, JobSpec};
 use crate::pool::run_jobs;
 use crate::progress::Progress;
-use crate::sink::{completed_ids, JsonlSink};
+use crate::sink::{completed_ids, encode_metrics_row, JsonlSink};
 use crate::spec::{SpecError, SweepSpec};
 
 /// Knobs for one sweep invocation (everything the CLI exposes that is
@@ -27,6 +30,14 @@ pub struct RunOptions {
     pub timing: bool,
     /// Suppress per-job progress lines.
     pub quiet: bool,
+    /// Per-job metrics-snapshot JSONL destination (`--metrics-out`).
+    /// Rows land in canonical grid order, one per job run this
+    /// invocation; resumed jobs keep the rows a previous run wrote.
+    pub metrics_out: Option<PathBuf>,
+    /// Chrome `trace_event` JSON destination (`--trace-out`). Setting it
+    /// records spans on every job (one Perfetto process per job);
+    /// results stay bit-identical to an untraced sweep.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -35,6 +46,8 @@ impl Default for RunOptions {
             threads: 0,
             timing: true,
             quiet: false,
+            metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -106,8 +119,17 @@ pub fn run_sweep(
     let ran = pending.len();
 
     let mut sink = JsonlSink::append(out, opts.timing)?;
+    let mut metrics_sink = match &opts.metrics_out {
+        Some(path) => Some(JsonlSink::append(path, false)?),
+        None => None,
+    };
     let mut progress = Progress::new(total, resumed, opts.quiet);
     let threads = effective_threads(opts.threads);
+    let worker = if opts.trace_out.is_some() {
+        run_job_traced
+    } else {
+        run_job
+    };
 
     // Ordered emission: hold completions until every earlier grid index
     // has been written, then flush the contiguous ready prefix.
@@ -116,22 +138,32 @@ pub fn run_sweep(
     let mut io_error: Option<std::io::Error> = None;
     let mut unrecovered = 0u64;
     let mut diverged = 0usize;
+    let mut traces: Vec<(String, Vec<TraceEvent>)> = Vec::new();
 
-    run_jobs(pending, threads, run_job, |index, _spec, output| {
+    run_jobs(pending, threads, worker, |index, _spec, output| {
         if io_error.is_some() {
             return; // drain remaining completions without writing
         }
-        if let Some(rec) = &output.recovery {
-            unrecovered += rec.unrecovered;
-            if !rec.counters_converged {
+        if let Some(rec) = output.recovery() {
+            unrecovered += rec.counter("unrecovered").unwrap_or(0);
+            if rec.counter("counters_converged") == Some(0) {
                 diverged += 1;
             }
         }
         ready.insert(index, output);
-        while let Some(output) = ready.remove(&next_emit) {
+        while let Some(mut output) = ready.remove(&next_emit) {
             if let Err(e) = sink.write(&output) {
                 io_error = Some(e);
                 return;
+            }
+            if let Some(ms) = metrics_sink.as_mut() {
+                if let Err(e) = ms.write_line(&encode_metrics_row(&output)) {
+                    io_error = Some(e);
+                    return;
+                }
+            }
+            if opts.trace_out.is_some() {
+                traces.push((output.spec.id.clone(), std::mem::take(&mut output.trace)));
             }
             progress.tick(&output.spec.id);
             next_emit += 1;
@@ -139,6 +171,9 @@ pub fn run_sweep(
     });
     if let Some(e) = io_error {
         return Err(SweepRunError::Io(e));
+    }
+    if let Some(path) = &opts.trace_out {
+        write_chrome_trace(path, &traces)?;
     }
     progress.finish();
     Ok(SweepReport {
@@ -201,6 +236,7 @@ mod tests {
             threads: 4,
             timing: false,
             quiet: true,
+            ..RunOptions::default()
         };
         let report = run_sweep(&spec, &path, &opts).unwrap();
         assert_eq!(
@@ -227,6 +263,7 @@ mod tests {
             threads: 2,
             timing: false,
             quiet: true,
+            ..RunOptions::default()
         };
         run_sweep(&spec, &path, &opts).unwrap();
         let before = std::fs::read_to_string(&path).unwrap();
@@ -264,6 +301,7 @@ mod tests {
             threads: 2,
             timing: false,
             quiet: true,
+            ..RunOptions::default()
         };
         let report = run_sweep(&spec, &path, &opts).unwrap();
         assert_eq!(report.ran, 2);
@@ -273,6 +311,62 @@ mod tests {
         assert!(ids.iter().any(|id| id.contains("drop@0.01")), "{ids:?}");
         assert!(ids.iter().any(|id| id.contains("bit-flip@0.01")), "{ids:?}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn observed_sweeps_emit_metrics_and_chrome_trace_without_changing_rows() {
+        let results = temp_path("obs-rows");
+        let metrics = temp_path("obs-metrics");
+        let trace = temp_path("obs-trace");
+        for p in [&results, &metrics, &trace] {
+            let _ = std::fs::remove_file(p);
+        }
+        let spec = micro_spec();
+
+        // Baseline rows from a plain (untraced, unobserved) sweep.
+        let plain = RunOptions {
+            threads: 2,
+            timing: false,
+            quiet: true,
+            ..RunOptions::default()
+        };
+        run_sweep(&spec, &results, &plain).unwrap();
+        let baseline = std::fs::read_to_string(&results).unwrap();
+        std::fs::remove_file(&results).unwrap();
+
+        let observed = RunOptions {
+            metrics_out: Some(metrics.clone()),
+            trace_out: Some(trace.clone()),
+            ..plain.clone()
+        };
+        run_sweep(&spec, &results, &observed).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&results).unwrap(),
+            baseline,
+            "tracing must not perturb result rows"
+        );
+
+        let expected: Vec<String> = spec.expand().unwrap().into_iter().map(|j| j.id).collect();
+        assert_eq!(
+            read_ids_in_file_order(&metrics),
+            expected,
+            "one metrics row per job, canonical order"
+        );
+        let metric_rows = std::fs::read_to_string(&metrics).unwrap();
+        assert!(metric_rows.contains("\"mem\":{"), "per-bank counters");
+
+        let chrome = std::fs::read_to_string(&trace).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("micro/obfusmem/c1/r0"), "job process names");
+
+        // Resume: already-complete sweeps append nothing to the metrics
+        // file and rewrite the (empty-this-run) trace.
+        run_sweep(&spec, &results, &observed).unwrap();
+        assert_eq!(std::fs::read_to_string(&metrics).unwrap(), metric_rows);
+
+        for p in [&results, &metrics, &trace] {
+            std::fs::remove_file(p).unwrap();
+        }
     }
 
     #[test]

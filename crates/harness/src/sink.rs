@@ -44,20 +44,37 @@ pub fn encode_row(out: &JobOutput, timing: bool) -> String {
             .f64("fault_rate", rate)
             .u64("fault_seed", spec.fault_seed);
     }
-    if let Some(rec) = &out.recovery {
+    // Recovery counters come out of the unified metrics registry (the
+    // `link` subtree exists exactly when the link was engaged); the field
+    // names predate the registry and are part of the stable row schema.
+    if let Some(rec) = out.recovery() {
+        let c = |name: &str| rec.counter(name).unwrap_or(0);
         obj = obj
-            .u64("faults_injected", rec.faults_injected)
-            .u64("retransmits", rec.retransmits)
-            .u64("resyncs", rec.resyncs)
-            .u64("rekeys", rec.rekeys)
-            .u64("quarantines", rec.quarantines)
-            .u64("unrecovered", rec.unrecovered)
-            .u64("counters_converged", rec.counters_converged as u64);
+            .u64("faults_injected", c("faults_injected"))
+            .u64("retransmits", c("retransmits"))
+            .u64("resyncs", c("resyncs"))
+            .u64("rekeys", c("rekeys"))
+            .u64("quarantines", c("quarantines"))
+            .u64("unrecovered", c("unrecovered"))
+            .u64("counters_converged", c("counters_converged"));
     }
     if timing {
         obj = obj.f64("wall_ms", out.wall_ms);
     }
     obj.finish()
+}
+
+/// Serialises one job's whole-stack metrics snapshot as a JSONL row:
+/// `{"id":"...","metrics":{...}}`. The metrics object is the registry's
+/// deterministic rendering, so two bit-identical runs produce
+/// byte-identical rows.
+pub fn encode_metrics_row(out: &JobOutput) -> String {
+    let mut row = String::from("{\"id\":");
+    obfusmem_obs::json::push_string(&mut row, &out.spec.id);
+    row.push_str(",\"metrics\":");
+    row.push_str(&out.metrics.to_json());
+    row.push('}');
+    row
 }
 
 /// Reads the ids of jobs already completed in `path`. Missing file means
@@ -125,9 +142,16 @@ impl JsonlSink {
     /// Appends one result row and flushes it to the OS. Row and newline
     /// go down in a single write so a kill cannot split them.
     pub fn write(&mut self, out: &JobOutput) -> std::io::Result<()> {
-        let mut row = encode_row(out, self.timing);
-        row.push('\n');
-        self.writer.write_all(row.as_bytes())?;
+        let row = encode_row(out, self.timing);
+        self.write_line(&row)
+    }
+
+    /// Appends one pre-encoded JSONL row (e.g. [`encode_metrics_row`])
+    /// with the same single-write + flush durability as [`write`].
+    pub fn write_line(&mut self, row: &str) -> std::io::Result<()> {
+        let mut line = row.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
         self.writer.flush()
     }
 }
@@ -184,6 +208,33 @@ mod tests {
         let clean = encode_row(&sample_output(), false);
         assert!(!clean.contains("fault_kind"), "{clean}");
         assert!(!clean.contains("retransmits"), "{clean}");
+    }
+
+    #[test]
+    fn metrics_rows_are_reproducible_and_resume_compatible() {
+        let out = sample_output();
+        let row = encode_metrics_row(&out);
+        assert!(row.starts_with(&format!("{{\"id\":\"{}\",\"metrics\":{{", out.spec.id)));
+        assert!(row.contains("\"core\":{"), "{row}");
+        assert!(row.contains("\"mem\":{"), "{row}");
+        let again = run_job(&out.spec);
+        assert_eq!(row, encode_metrics_row(&again));
+
+        // A metrics file is itself a valid checkpoint surface: complete
+        // rows yield their ids, torn rows do not.
+        let path = temp_path("metrics");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = JsonlSink::append(&path, false).unwrap();
+        sink.write_line(&row).unwrap();
+        drop(sink);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&row.replace("/r0", "/r1").as_bytes()[..row.len() / 2])
+            .unwrap();
+        drop(f);
+        let ids = completed_ids(&path).unwrap();
+        assert!(ids.contains(&out.spec.id));
+        assert_eq!(ids.len(), 1, "torn metrics row must not count");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn opts(threads: usize) -> RunOptions {
         threads,
         timing: false,
         quiet: true,
+        ..RunOptions::default()
     }
 }
 

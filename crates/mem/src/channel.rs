@@ -43,6 +43,22 @@ pub struct ChannelStats {
     pub bus_busy_ps: Counter,
 }
 
+/// Per-bank row-buffer statistics — the bank-scheduler view the channel
+/// aggregate hides. Locality (and therefore obfuscation-induced row
+/// thrashing) is a per-bank phenomenon, so the observability snapshot
+/// reports these alongside [`ChannelStats`].
+#[derive(Debug, Clone, Default)]
+pub struct BankStats {
+    /// Accesses serviced by this bank (reads + writes).
+    pub accesses: Counter,
+    /// Row-buffer hits.
+    pub row_hits: Counter,
+    /// Row-buffer misses with clean eviction.
+    pub row_misses_clean: Counter,
+    /// Row-buffer misses that wrote dirty data to PCM cells.
+    pub row_misses_dirty: Counter,
+}
+
 /// Result of a channel access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelAccess {
@@ -61,6 +77,7 @@ pub struct Channel {
     request_lane_free: Time,
     response_lane_free: Time,
     stats: ChannelStats,
+    bank_stats: Vec<BankStats>,
 }
 
 impl Channel {
@@ -73,6 +90,7 @@ impl Channel {
             request_lane_free: Time::ZERO,
             response_lane_free: Time::ZERO,
             stats: ChannelStats::default(),
+            bank_stats: vec![BankStats::default(); cfg.ranks_per_channel * cfg.banks_per_rank],
         }
     }
 
@@ -91,6 +109,12 @@ impl Channel {
     /// Accumulated statistics.
     pub fn stats(&self) -> &ChannelStats {
         &self.stats
+    }
+
+    /// Per-bank row-buffer statistics, indexed by flat bank index
+    /// (`rank * banks_per_rank + bank`).
+    pub fn bank_stats(&self) -> &[BankStats] {
+        &self.bank_stats
     }
 
     /// Occupies the request lane for one 64 B burst without touching any
@@ -158,10 +182,21 @@ impl Channel {
             AccessKind::Read => self.stats.reads.incr(),
             AccessKind::Write => self.stats.writes.incr(),
         }
+        let per_bank = &mut self.bank_stats[bank_index];
+        per_bank.accesses.incr();
         match outcome {
-            RowBufferOutcome::Hit => self.stats.row_hits.incr(),
-            RowBufferOutcome::MissClean => self.stats.row_misses_clean.incr(),
-            RowBufferOutcome::MissDirty => self.stats.row_misses_dirty.incr(),
+            RowBufferOutcome::Hit => {
+                self.stats.row_hits.incr();
+                per_bank.row_hits.incr();
+            }
+            RowBufferOutcome::MissClean => {
+                self.stats.row_misses_clean.incr();
+                per_bank.row_misses_clean.incr();
+            }
+            RowBufferOutcome::MissDirty => {
+                self.stats.row_misses_dirty.incr();
+                per_bank.row_misses_dirty.incr();
+            }
         }
         self.stats.bus_busy_ps.add(cfg.t_burst.as_ps());
 
@@ -242,6 +277,28 @@ mod tests {
         assert_eq!(ch.stats().writes.get(), 1);
         assert_eq!(ch.stats().row_hits.get(), 1);
         assert_eq!(ch.stats().row_misses_clean.get(), 1);
+    }
+
+    #[test]
+    fn bank_stats_track_row_buffer_outcomes() {
+        let c = cfg();
+        let mut ch = Channel::new(&c);
+        let d0 = decode(&c, 0);
+        let a = ch.access(&c, Time::ZERO, d0, AccessKind::Read);
+        ch.access(&c, a.complete_at, decode(&c, 64), AccessKind::Read);
+        let flat = d0.rank * c.banks_per_rank + d0.bank;
+        let bank = &ch.bank_stats()[flat];
+        assert_eq!(bank.accesses.get(), 2);
+        assert_eq!(bank.row_misses_clean.get(), 1);
+        assert_eq!(bank.row_hits.get(), 1);
+        let untouched = ch
+            .bank_stats()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != flat);
+        for (_, s) in untouched {
+            assert_eq!(s.accesses.get(), 0);
+        }
     }
 
     #[test]

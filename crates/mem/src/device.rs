@@ -14,8 +14,10 @@ use std::collections::HashMap;
 
 use obfusmem_sim::time::Time;
 
+use obfusmem_obs::metrics::{MetricsNode, Observable};
+
 use crate::addr::{decode, DecodedAddr};
-use crate::channel::{Channel, ChannelAccess, ChannelStats};
+use crate::channel::{BankStats, Channel, ChannelAccess, ChannelStats};
 use crate::config::MemConfig;
 use crate::energy::{EnergyModel, WearTracker};
 use crate::request::{AccessKind, BlockAddr, BlockData, BLOCK_BYTES};
@@ -150,6 +152,12 @@ impl PcmMemory {
         self.channels[channel].stats()
     }
 
+    /// Per-bank row-buffer statistics for `channel`, indexed by flat
+    /// bank index (`rank * banks_per_rank + bank`).
+    pub fn bank_stats(&self, channel: usize) -> &[BankStats] {
+        self.channels[channel].bank_stats()
+    }
+
     /// When `channel`'s bus frees up (for idle-channel dummy injection).
     pub fn channel_busy_until(&self, channel: usize) -> Time {
         self.channels[channel].busy_until()
@@ -186,6 +194,40 @@ impl PcmMemory {
     /// Number of distinct blocks ever written (functional footprint).
     pub fn blocks_stored(&self) -> usize {
         self.store.len()
+    }
+}
+
+impl Observable for PcmMemory {
+    /// Reports device-level counters plus, per channel, the bus/row-buffer
+    /// aggregates and the per-bank row-buffer breakdown (`ch<N>.bank<M>`).
+    fn observe(&self, out: &mut MetricsNode) {
+        let (array_reads, array_writes) = self.array_ops();
+        out.set_counter("array_reads", array_reads);
+        out.set_counter("array_writes", array_writes);
+        out.set_gauge("array_energy", self.array_energy());
+        out.set_counter("blocks_stored", self.blocks_stored() as u64);
+        for (ch_index, channel) in self.channels.iter().enumerate() {
+            let node = out.child(&format!("ch{ch_index}"));
+            let s = channel.stats();
+            node.set_counter("reads", s.reads.get());
+            node.set_counter("writes", s.writes.get());
+            node.set_counter("row_hits", s.row_hits.get());
+            node.set_counter("row_misses_clean", s.row_misses_clean.get());
+            node.set_counter("row_misses_dirty", s.row_misses_dirty.get());
+            node.set_counter("bus_busy_ps", s.bus_busy_ps.get());
+            for (bank_index, b) in channel.bank_stats().iter().enumerate() {
+                // Idle banks stay out of the snapshot so wide geometries
+                // don't bury the active ones.
+                if b.accesses.get() == 0 {
+                    continue;
+                }
+                let bank = node.child(&format!("bank{bank_index}"));
+                bank.set_counter("accesses", b.accesses.get());
+                bank.set_counter("row_hits", b.row_hits.get());
+                bank.set_counter("row_misses_clean", b.row_misses_clean.get());
+                bank.set_counter("row_misses_dirty", b.row_misses_dirty.get());
+            }
+        }
     }
 }
 
@@ -290,6 +332,24 @@ mod tests {
         let r = m.access(Time::ZERO, 0, AccessKind::Read);
         assert!(!m.channel_idle_at(0, Time::ZERO));
         assert!(m.channel_idle_at(0, r.complete_at));
+    }
+
+    #[test]
+    fn snapshot_reports_per_bank_row_buffer_counters() {
+        let mut m = mem();
+        let a = m.access(Time::ZERO, 0, AccessKind::Read);
+        m.access(a.complete_at, 64, AccessKind::Read);
+        let mut snap = MetricsNode::new();
+        m.observe(&mut snap);
+        assert_eq!(snap.counter("ch0.reads"), Some(2));
+        assert_eq!(snap.counter("ch0.row_hits"), Some(1));
+        let flat = {
+            let d = m.decode(0);
+            d.rank * m.config().banks_per_rank + d.bank
+        };
+        assert_eq!(snap.counter(&format!("ch0.bank{flat}.accesses")), Some(2));
+        assert_eq!(snap.counter(&format!("ch0.bank{flat}.row_hits")), Some(1));
+        assert_eq!(snap.counter("array_reads"), Some(1));
     }
 
     proptest::proptest! {

@@ -1,0 +1,179 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Renders recorded [`TraceEvent`]s into the JSON object format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: one *process* per job, one *thread* (track) per logical
+//! resource — core, engine, crypto, and per-channel/per-bank lanes — so
+//! a request's life (issue → encrypt → wire → bank → reply) reads as a
+//! waterfall across tracks.
+//!
+//! Timestamps are simulated time converted to microseconds (the
+//! format's native unit); wall-clock time never appears, so the export
+//! is deterministic.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::{push_f64, push_string};
+use crate::trace::{TraceEvent, Track};
+
+fn push_ts(buf: &mut String, ps: u64) {
+    push_f64(buf, ps as f64 / 1e6);
+}
+
+/// The distinct tracks present in `events`, sorted.
+pub fn distinct_tracks(events: &[TraceEvent]) -> Vec<Track> {
+    let mut tracks: Vec<Track> = events.iter().map(|e| e.track()).collect();
+    tracks.sort();
+    tracks.dedup();
+    tracks
+}
+
+/// Renders one or more jobs' event streams as a Chrome trace JSON
+/// document. Each `(name, events)` pair becomes its own process so
+/// several sweep points can share a single Perfetto view without their
+/// simulated timelines overlapping.
+pub fn chrome_trace_json(jobs: &[(String, Vec<TraceEvent>)]) -> String {
+    let mut buf = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let emit = |buf: &mut String, first: &mut bool| {
+        if !*first {
+            buf.push(',');
+        }
+        *first = false;
+    };
+    for (job_index, (job_name, events)) in jobs.iter().enumerate() {
+        let pid = job_index + 1;
+        emit(&mut buf, &mut first);
+        buf.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":"
+        ));
+        push_string(&mut buf, job_name);
+        buf.push_str("}}");
+        let tracks = distinct_tracks(events);
+        let tid_of = |track: Track| tracks.binary_search(&track).expect("track is present") + 1;
+        for (i, track) in tracks.iter().enumerate() {
+            let tid = i + 1;
+            emit(&mut buf, &mut first);
+            buf.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":"
+            ));
+            push_string(&mut buf, &track.name());
+            buf.push_str("}}");
+            emit(&mut buf, &mut first);
+            buf.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{tid}}}}}"
+            ));
+        }
+        for event in events {
+            emit(&mut buf, &mut first);
+            match event {
+                TraceEvent::Span {
+                    track,
+                    name,
+                    start,
+                    end,
+                } => {
+                    let tid = tid_of(*track);
+                    buf.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"cat\":\"sim\",\"name\":"
+                    ));
+                    push_string(&mut buf, name);
+                    buf.push_str(",\"ts\":");
+                    push_ts(&mut buf, start.as_ps());
+                    buf.push_str(",\"dur\":");
+                    push_ts(&mut buf, end.as_ps().saturating_sub(start.as_ps()));
+                    buf.push('}');
+                }
+                TraceEvent::Instant { track, name, at } => {
+                    let tid = tid_of(*track);
+                    buf.push_str(&format!(
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"cat\":\"sim\",\"s\":\"t\",\"name\":"
+                    ));
+                    push_string(&mut buf, name);
+                    buf.push_str(",\"ts\":");
+                    push_ts(&mut buf, at.as_ps());
+                    buf.push('}');
+                }
+            }
+        }
+    }
+    buf.push_str("]}");
+    buf
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+pub fn write_chrome_trace(path: &Path, jobs: &[(String, Vec<TraceEvent>)]) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace_json(jobs).as_bytes())?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfusmem_sim::time::Time;
+
+    fn t(ns: u64) -> Time {
+        Time::from_ps(ns * 1000)
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Instant {
+                track: Track::Core,
+                name: "issue",
+                at: t(0),
+            },
+            TraceEvent::Span {
+                track: Track::Engine,
+                name: "encrypt",
+                start: t(0),
+                end: t(40),
+            },
+            TraceEvent::Span {
+                track: Track::Channel(0),
+                name: "request-wire",
+                start: t(40),
+                end: t(52),
+            },
+            TraceEvent::Span {
+                track: Track::Bank {
+                    channel: 0,
+                    bank: 3,
+                },
+                name: "array-read",
+                start: t(52),
+                end: t(112),
+            },
+        ]
+    }
+
+    #[test]
+    fn export_names_every_track() {
+        let json = chrome_trace_json(&[("micro/obfusmem/c1/r0".into(), sample_events())]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        for name in ["core", "engine", "bus.ch0", "bank.ch0.b3"] {
+            assert!(json.contains(&format!("\"args\":{{\"name\":\"{name}\"}}")));
+        }
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert_eq!(distinct_tracks(&sample_events()).len(), 4);
+    }
+
+    #[test]
+    fn spans_convert_ps_to_us() {
+        let json = chrome_trace_json(&[("p".into(), sample_events())]);
+        // engine encrypt: 0 ns .. 40 ns = 0.04 us duration.
+        assert!(json.contains("\"name\":\"encrypt\",\"ts\":0.0,\"dur\":0.04"));
+    }
+
+    #[test]
+    fn multiple_jobs_get_distinct_pids() {
+        let json =
+            chrome_trace_json(&[("a".into(), sample_events()), ("b".into(), sample_events())]);
+        assert!(json.contains("\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"a\"}"));
+        assert!(json.contains("\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"b\"}"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Observability layer for the ObfusMem reproduction.
+//!
+//! Two orthogonal facilities, both keyed to *simulated* time and both
+//! deterministic so instrumented runs stay reproducible:
+//!
+//! - a **metrics registry** ([`metrics::MetricsNode`]): named counters,
+//!   gauges, [`RunningStats`](obfusmem_sim::stats::RunningStats) and
+//!   [`Histogram`](obfusmem_sim::stats::Histogram) values organised as a
+//!   tree by component (engine, per-channel link ARQ, ORAM stash, bank
+//!   scheduler, cache/MSHR, crypto pad pipeline) and snapshotted into one
+//!   deterministic, serializable JSON document;
+//! - **span tracing** ([`trace`]): begin/end spans and instant events at
+//!   `sim::time` ticks, recorded through the [`trace::Recorder`] trait.
+//!   The disabled path is a single `Option` check
+//!   ([`trace::TraceHandle::disabled`]), recorders are passive observers
+//!   (they never touch simulation state, RNG streams, or timing), and so
+//!   untraced runs are bit-identical to uninstrumented ones.
+//!
+//! Exporters: [`chrome`] renders spans as Chrome `trace_event` JSON
+//! (loadable in `chrome://tracing` / Perfetto, one track per
+//! channel/bank/core), and [`metrics::MetricsNode::to_json`] renders the
+//! registry for the harness's per-job JSONL metric snapshots.
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use metrics::{MetricValue, MetricsNode, Observable};
+pub use trace::{NullRecorder, Recorder, SpanBuffer, TraceEvent, TraceHandle, Track};

@@ -1,0 +1,331 @@
+//! The metrics registry: a deterministic tree of named metric values.
+//!
+//! Components register what they measured into a [`MetricsNode`] — the
+//! engine under `engine`, each link channel under `link.ch<N>`, each
+//! memory bank under `mem.ch<N>.bank<M>`, and so on. Because the tree is
+//! backed by `BTreeMap`s, iteration and the JSON rendering are fully
+//! deterministic: two bit-identical runs serialize to byte-identical
+//! snapshots regardless of thread, process, or insertion order.
+//!
+//! Snapshots from parallel workers [`merge`](MetricsNode::merge) into one
+//! aggregate: counters add, gauges keep the maximum (high-water
+//! semantics), and distribution values merge through
+//! [`RunningStats::merge`] / [`Histogram::merge`].
+
+use std::collections::BTreeMap;
+
+use obfusmem_sim::stats::{Histogram, RunningStats};
+
+use crate::json::{push_f64, push_string};
+
+/// One leaf value in the registry.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A monotonically increasing event count.
+    Counter(u64),
+    /// A point-in-time reading (merges by maximum: high-water semantics).
+    Gauge(f64),
+    /// A running mean/min/max/variance accumulator.
+    Stats(RunningStats),
+    /// A power-of-two-bucket latency distribution (boxed: the bucket
+    /// array dwarfs every other variant).
+    Histogram(Box<Histogram>),
+}
+
+/// A component that can report itself into the registry.
+pub trait Observable {
+    /// Writes this component's metrics under `out`.
+    fn observe(&self, out: &mut MetricsNode);
+}
+
+/// A node in the metrics tree: named child nodes plus named leaf values.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsNode {
+    children: BTreeMap<String, MetricsNode>,
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsNode {
+    /// Creates an empty node.
+    pub fn new() -> Self {
+        MetricsNode::default()
+    }
+
+    /// True when the node holds no values and no children.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty() && self.values.is_empty()
+    }
+
+    /// Returns (creating if needed) the child node `name`.
+    pub fn child(&mut self, name: &str) -> &mut MetricsNode {
+        self.children.entry(name.to_string()).or_default()
+    }
+
+    /// Looks up an existing child node.
+    pub fn get_child(&self, name: &str) -> Option<&MetricsNode> {
+        self.children.get(name)
+    }
+
+    /// Iterates child nodes in deterministic (sorted) order.
+    pub fn children(&self) -> impl Iterator<Item = (&str, &MetricsNode)> {
+        self.children.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates leaf values in deterministic (sorted) order.
+    pub fn values(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sets counter `name` to `v` (overwriting any previous value).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.values
+            .insert(name.to_string(), MetricValue::Counter(v));
+    }
+
+    /// Adds `v` to counter `name`, creating it at zero first.
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        match self.values.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += v,
+            _ => self.set_counter(name, v),
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.values.insert(name.to_string(), MetricValue::Gauge(v));
+    }
+
+    /// Records a [`RunningStats`] snapshot under `name`.
+    pub fn set_stats(&mut self, name: &str, s: &RunningStats) {
+        self.values
+            .insert(name.to_string(), MetricValue::Stats(s.clone()));
+    }
+
+    /// Records a [`Histogram`] snapshot under `name`.
+    pub fn set_histogram(&mut self, name: &str, h: &Histogram) {
+        self.values.insert(
+            name.to_string(),
+            MetricValue::Histogram(Box::new(h.clone())),
+        );
+    }
+
+    /// Looks up a value by dotted path, e.g. `link.ch0.retransmits`.
+    /// Segment names must not themselves contain `.`.
+    pub fn value(&self, path: &str) -> Option<&MetricValue> {
+        let mut node = self;
+        let mut rest = path;
+        while let Some(dot) = rest.find('.') {
+            node = node.children.get(&rest[..dot])?;
+            rest = &rest[dot + 1..];
+        }
+        node.values.get(rest)
+    }
+
+    /// Looks up a counter by dotted path.
+    pub fn counter(&self, path: &str) -> Option<u64> {
+        match self.value(path)? {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Looks up a gauge by dotted path.
+    pub fn gauge(&self, path: &str) -> Option<f64> {
+        match self.value(path)? {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Merges another snapshot into this one. Counters add, gauges keep
+    /// the maximum, distributions merge; values only present on one side
+    /// are kept as-is. Mismatched kinds under the same name keep `self`'s
+    /// value (snapshots from the same build never disagree on kind).
+    pub fn merge(&mut self, other: &MetricsNode) {
+        for (name, theirs) in &other.values {
+            match (self.values.get_mut(name), theirs) {
+                (None, v) => {
+                    self.values.insert(name.clone(), v.clone());
+                }
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = a.max(*b),
+                (Some(MetricValue::Stats(a)), MetricValue::Stats(b)) => a.merge(b),
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (Some(_), _) => {}
+            }
+        }
+        for (name, child) in &other.children {
+            self.child(name).merge(child);
+        }
+    }
+
+    /// Renders the subtree as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut buf = String::new();
+        self.render(&mut buf);
+        buf
+    }
+
+    fn render(&self, buf: &mut String) {
+        buf.push('{');
+        let mut first = true;
+        for (name, value) in &self.values {
+            if !first {
+                buf.push(',');
+            }
+            first = false;
+            push_string(buf, name);
+            buf.push(':');
+            render_value(buf, value);
+        }
+        for (name, child) in &self.children {
+            if !first {
+                buf.push(',');
+            }
+            first = false;
+            push_string(buf, name);
+            buf.push(':');
+            child.render(buf);
+        }
+        buf.push('}');
+    }
+}
+
+fn render_value(buf: &mut String, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(c) => buf.push_str(&c.to_string()),
+        MetricValue::Gauge(g) => push_f64(buf, *g),
+        MetricValue::Stats(s) => {
+            buf.push_str("{\"count\":");
+            buf.push_str(&s.count().to_string());
+            buf.push_str(",\"mean\":");
+            push_f64(buf, s.mean());
+            buf.push_str(",\"std_dev\":");
+            push_f64(buf, s.std_dev());
+            buf.push_str(",\"min\":");
+            push_f64(buf, s.min().unwrap_or(0.0));
+            buf.push_str(",\"max\":");
+            push_f64(buf, s.max().unwrap_or(0.0));
+            buf.push('}');
+        }
+        MetricValue::Histogram(h) => {
+            buf.push_str("{\"count\":");
+            buf.push_str(&h.count().to_string());
+            buf.push_str(",\"p50\":");
+            match h.quantile(0.5) {
+                Some(v) => buf.push_str(&v.to_string()),
+                None => buf.push_str("null"),
+            }
+            buf.push_str(",\"p99\":");
+            match h.quantile(0.99) {
+                Some(v) => buf.push_str(&v.to_string()),
+                None => buf.push_str("null"),
+            }
+            buf.push_str(",\"buckets\":{");
+            let mut first = true;
+            for (i, c) in h.nonzero_buckets() {
+                if !first {
+                    buf.push(',');
+                }
+                first = false;
+                buf.push('"');
+                buf.push_str(&i.to_string());
+                buf.push_str("\":");
+                buf.push_str(&c.to_string());
+            }
+            buf.push_str("}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsNode {
+        let mut root = MetricsNode::new();
+        root.set_counter("reads", 7);
+        root.set_gauge("hit_ratio", 0.5);
+        let link = root.child("link");
+        link.set_counter("retransmits", 3);
+        link.child("ch0").set_counter("retransmits", 3);
+        root
+    }
+
+    #[test]
+    fn dotted_paths_resolve() {
+        let m = sample();
+        assert_eq!(m.counter("reads"), Some(7));
+        assert_eq!(m.counter("link.retransmits"), Some(3));
+        assert_eq!(m.counter("link.ch0.retransmits"), Some(3));
+        assert_eq!(m.counter("link.ch1.retransmits"), None);
+        assert_eq!(m.gauge("hit_ratio"), Some(0.5));
+        assert_eq!(m.counter("hit_ratio"), None, "kind must match");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let a = sample().to_json();
+        // Rebuild in a different insertion order.
+        let mut root = MetricsNode::new();
+        root.child("link")
+            .child("ch0")
+            .set_counter("retransmits", 3);
+        root.child("link").set_counter("retransmits", 3);
+        root.set_gauge("hit_ratio", 0.5);
+        root.set_counter("reads", 7);
+        assert_eq!(a, root.to_json());
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"reads\":7"));
+        assert!(a.contains("\"hit_ratio\":0.5"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("reads"), Some(14));
+        assert_eq!(a.counter("link.ch0.retransmits"), Some(6));
+        assert_eq!(a.gauge("hit_ratio"), Some(0.5));
+    }
+
+    #[test]
+    fn merge_carries_distributions() {
+        let mut h1 = Histogram::new();
+        h1.record(4);
+        let mut h2 = Histogram::new();
+        h2.record(900);
+        let mut s1 = RunningStats::new();
+        s1.record(1.0);
+        let mut s2 = RunningStats::new();
+        s2.record(3.0);
+
+        let mut a = MetricsNode::new();
+        a.set_histogram("lat", &h1);
+        a.set_stats("gap", &s1);
+        let mut b = MetricsNode::new();
+        b.set_histogram("lat", &h2);
+        b.set_stats("gap", &s2);
+        a.merge(&b);
+        match a.value("lat") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        match a.value("gap") {
+            Some(MetricValue::Stats(s)) => {
+                assert_eq!(s.count(), 2);
+                assert!((s.mean() - 2.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_counter_accumulates() {
+        let mut m = MetricsNode::new();
+        m.add_counter("x", 2);
+        m.add_counter("x", 3);
+        assert_eq!(m.counter("x"), Some(5));
+    }
+}

@@ -1,0 +1,257 @@
+//! Simulated-time span tracing.
+//!
+//! Instrumentation sites report *what the simulator already computed* —
+//! a request-wire transfer from `send_at` to `arrived`, a bank access
+//! from `request_at` to `complete_at` — through a [`TraceHandle`]. The
+//! handle is either disabled (the default: one `Option` check and no
+//! allocation, so untraced runs stay bit-identical and
+//! benchmark-neutral) or carries a shared [`Recorder`].
+//!
+//! Recorders are passive: they receive times, they never produce them.
+//! Nothing downstream of a recorder call can alter simulation state, so
+//! enabling tracing cannot perturb results — the traced/untraced
+//! divergence gate in CI holds this invariant.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use obfusmem_sim::time::Time;
+
+/// Where an event belongs in the timeline view: one track per logical
+/// resource, mirroring the machine diagram (core, engine, crypto pad
+/// pipeline, per-channel link + bus, per-bank array, ORAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// The trace-driven core (miss issue, MSHR stalls, fills).
+    Core,
+    /// The processor-side ObfusMem engine (encrypt/decrypt, pairing).
+    Engine,
+    /// The counter-mode pad pipeline (pad stalls, counter misses).
+    Crypto,
+    /// The fault-tolerant link layer of one channel (ARQ recovery).
+    Link(usize),
+    /// One memory channel's bus (request/response wire transfers).
+    Channel(usize),
+    /// One bank's cell array (row activation + access service).
+    Bank {
+        /// Channel the bank sits on.
+        channel: usize,
+        /// Flat bank index within the channel (`rank * banks_per_rank + bank`).
+        bank: usize,
+    },
+    /// The Path ORAM baseline model.
+    Oram,
+}
+
+impl Track {
+    /// Stable human-readable track name (the Chrome trace thread name).
+    pub fn name(&self) -> String {
+        match self {
+            Track::Core => "core".into(),
+            Track::Engine => "engine".into(),
+            Track::Crypto => "crypto".into(),
+            Track::Link(ch) => format!("link.ch{ch}"),
+            Track::Channel(ch) => format!("bus.ch{ch}"),
+            Track::Bank { channel, bank } => format!("bank.ch{channel}.b{bank}"),
+            Track::Oram => "oram".into(),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A duration: something occupied `track` from `start` to `end`.
+    Span {
+        /// Resource the span occupied.
+        track: Track,
+        /// Static event name (e.g. `"array-read"`).
+        name: &'static str,
+        /// Simulated start time.
+        start: Time,
+        /// Simulated end time.
+        end: Time,
+    },
+    /// A point event at `at`.
+    Instant {
+        /// Resource the event belongs to.
+        track: Track,
+        /// Static event name.
+        name: &'static str,
+        /// Simulated time of the event.
+        at: Time,
+    },
+}
+
+impl TraceEvent {
+    /// The event's track.
+    pub fn track(&self) -> Track {
+        match self {
+            TraceEvent::Span { track, .. } | TraceEvent::Instant { track, .. } => *track,
+        }
+    }
+}
+
+/// The recording sink. The default methods are no-ops, so a recorder
+/// only pays for what it overrides; [`NullRecorder`] is the trivial
+/// implementation.
+pub trait Recorder {
+    /// Records a completed span on `track`.
+    fn span(&mut self, _track: Track, _name: &'static str, _start: Time, _end: Time) {}
+
+    /// Records an instant event on `track`.
+    fn instant(&mut self, _track: Track, _name: &'static str, _at: Time) {}
+
+    /// Takes everything recorded so far (empty for non-buffering sinks).
+    fn finish(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// A recorder that drops everything (the explicit no-op).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// The standard in-memory recorder: buffers events for export.
+#[derive(Debug, Clone, Default)]
+pub struct SpanBuffer {
+    events: Vec<TraceEvent>,
+}
+
+impl Recorder for SpanBuffer {
+    fn span(&mut self, track: Track, name: &'static str, start: Time, end: Time) {
+        self.events.push(TraceEvent::Span {
+            track,
+            name,
+            start,
+            end,
+        });
+    }
+
+    fn instant(&mut self, track: Track, name: &'static str, at: Time) {
+        self.events.push(TraceEvent::Instant { track, name, at });
+    }
+
+    fn finish(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// A cloneable handle the instrumented components hold. Clones share the
+/// same underlying recorder, so the core, the backend, and the memory
+/// device all append to one timeline.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<Rc<RefCell<dyn Recorder>>>,
+}
+
+impl TraceHandle {
+    /// The disabled handle: every call is a single `None` check.
+    pub fn disabled() -> Self {
+        TraceHandle { inner: None }
+    }
+
+    /// A handle recording into a fresh [`SpanBuffer`].
+    pub fn recording() -> Self {
+        TraceHandle::with_recorder(SpanBuffer::default())
+    }
+
+    /// A handle recording through a custom [`Recorder`].
+    pub fn with_recorder<R: Recorder + 'static>(recorder: R) -> Self {
+        TraceHandle {
+            inner: Some(Rc::new(RefCell::new(recorder))),
+        }
+    }
+
+    /// True when a recorder is attached. Instrumentation sites that need
+    /// extra work to *derive* an event (e.g. an address decode) gate on
+    /// this so the disabled path stays free.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a completed span.
+    pub fn span(&self, track: Track, name: &'static str, start: Time, end: Time) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().span(track, name, start, end);
+        }
+    }
+
+    /// Records an instant event.
+    pub fn instant(&self, track: Track, name: &'static str, at: Time) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().instant(track, name, at);
+        }
+    }
+
+    /// Drains the recorded events (empty when disabled).
+    pub fn finish(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(rec) => rec.borrow_mut().finish(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_ps(ns * 1000)
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        h.span(Track::Core, "fill", t(0), t(10));
+        h.instant(Track::Engine, "issue", t(1));
+        assert!(h.finish().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let h = TraceHandle::recording();
+        let h2 = h.clone();
+        h.span(Track::Core, "fill", t(0), t(10));
+        h2.instant(Track::Channel(0), "inject", t(5));
+        let events = h.finish();
+        assert_eq!(events.len(), 2);
+        assert!(h2.finish().is_empty(), "finish drains the shared buffer");
+    }
+
+    #[test]
+    fn track_names_are_stable() {
+        assert_eq!(Track::Core.name(), "core");
+        assert_eq!(Track::Link(2).name(), "link.ch2");
+        assert_eq!(Track::Channel(0).name(), "bus.ch0");
+        assert_eq!(
+            Track::Bank {
+                channel: 1,
+                bank: 3
+            }
+            .name(),
+            "bank.ch1.b3"
+        );
+    }
+
+    #[test]
+    fn null_recorder_is_a_recorder() {
+        let h = TraceHandle::with_recorder(NullRecorder);
+        assert!(h.is_enabled());
+        h.span(Track::Oram, "access", t(0), t(2));
+        assert!(h.finish().is_empty());
+    }
+}

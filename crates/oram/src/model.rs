@@ -14,6 +14,8 @@
 use obfusmem_cpu::core::MemoryBackend;
 use obfusmem_mem::energy::EnergyModel;
 use obfusmem_mem::request::BlockAddr;
+use obfusmem_obs::metrics::{MetricsNode, Observable};
+use obfusmem_obs::trace::{TraceHandle, Track};
 use obfusmem_sim::time::{Duration, Time};
 
 use crate::path_oram::OramConfig;
@@ -25,6 +27,7 @@ pub struct OramModel {
     geometry: OramConfig,
     accesses: u64,
     writebacks: u64,
+    obs: TraceHandle,
 }
 
 impl OramModel {
@@ -40,7 +43,13 @@ impl OramModel {
             geometry,
             accesses: 0,
             writebacks: 0,
+            obs: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a span recorder; each fill becomes an `oram` track span.
+    pub fn set_trace_handle(&mut self, obs: TraceHandle) {
+        self.obs = obs;
     }
 
     /// Logical accesses served (fills + write-backs).
@@ -70,9 +79,20 @@ impl OramModel {
     }
 }
 
+impl Observable for OramModel {
+    fn observe(&self, out: &mut MetricsNode) {
+        out.set_counter("accesses", self.accesses());
+        out.set_counter("blocks_read", self.blocks_read());
+        out.set_counter("blocks_written", self.blocks_written());
+        out.set_counter("pads_consumed", self.pads_consumed());
+    }
+}
+
 impl MemoryBackend for OramModel {
     fn read(&mut self, at: Time, _addr: BlockAddr) -> Time {
         self.accesses += 1;
+        self.obs
+            .span(Track::Oram, "path-access", at, at + self.latency);
         at + self.latency
     }
 

@@ -410,6 +410,19 @@ impl PathOram {
     }
 }
 
+impl obfusmem_obs::metrics::Observable for PathOram {
+    fn observe(&self, out: &mut obfusmem_obs::metrics::MetricsNode) {
+        let m = &self.metrics;
+        out.set_counter("accesses", m.accesses);
+        out.set_counter("blocks_read", m.blocks_read);
+        out.set_counter("blocks_written", m.blocks_written);
+        out.set_counter("dummy_writes", m.dummy_writes);
+        out.set_counter("stash_soft_overflows", m.stash_soft_overflows);
+        out.set_counter("background_evictions", m.background_evictions);
+        out.set_gauge("stash_high_water", self.stash_high_water() as f64);
+    }
+}
+
 /// Domain-separation salt for the ORAM's internal randomness.
 const SEED_SALT: u64 = 0x0BAD_5EED_00AA_0001;
 

@@ -344,6 +344,18 @@ impl RingOram {
     }
 }
 
+impl obfusmem_obs::metrics::Observable for RingOram {
+    fn observe(&self, out: &mut obfusmem_obs::metrics::MetricsNode) {
+        let m = self.metrics();
+        out.set_counter("accesses", m.accesses);
+        out.set_counter("online_blocks", m.online_blocks);
+        out.set_counter("evict_blocks", m.evict_blocks);
+        out.set_counter("reshuffle_blocks", m.reshuffle_blocks);
+        out.set_counter("background_evictions", m.background_evictions);
+        out.set_gauge("stash_high_water", self.stash_high_water() as f64);
+    }
+}
+
 /// Cap on back-to-back relief passes per access (see Path ORAM's
 /// equivalent: past a handful of passes the pressure is structural).
 const MAX_BACKGROUND_PASSES: usize = 4;

@@ -169,6 +169,26 @@ impl Histogram {
         self.buckets[i]
     }
 
+    /// Iterates `(bucket index, count)` over non-empty buckets, in order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Merges another histogram into this one (parallel aggregation
+    /// parity with [`RunningStats::merge`]): buckets add elementwise, so
+    /// recording a stream split across accumulators and merging is
+    /// indistinguishable from recording it sequentially.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.total += other.total;
+    }
+
     /// The value below which `q` (0..=1) of samples fall, resolved to the
     /// upper edge of the containing bucket. `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
@@ -180,7 +200,13 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return Some(if i == 0 { 0 } else { 1u64 << i });
+                // Bucket 64 holds values in [2^63, u64::MAX]; its upper
+                // edge saturates instead of overflowing the shift.
+                return Some(match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => 1u64 << i,
+                });
             }
         }
         Some(u64::MAX)
@@ -336,6 +362,35 @@ mod tests {
                 h.record(v);
             }
             proptest::prop_assert_eq!(h.count(), values.len() as u64);
+        }
+
+        #[test]
+        fn histogram_merge_matches_sequential(values: Vec<u64>, split_hint: u64) {
+            let split = if values.is_empty() {
+                0
+            } else {
+                (split_hint % (values.len() as u64 + 1)) as usize
+            };
+            let mut whole = Histogram::new();
+            for &v in &values {
+                whole.record(v);
+            }
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for &v in &values[..split] {
+                a.record(v);
+            }
+            for &v in &values[split..] {
+                b.record(v);
+            }
+            a.merge(&b);
+            proptest::prop_assert_eq!(a.count(), whole.count());
+            for i in 0..65 {
+                proptest::prop_assert_eq!(a.bucket(i), whole.bucket(i));
+            }
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                proptest::prop_assert_eq!(a.quantile(q), whole.quantile(q));
+            }
         }
     }
 }

@@ -21,6 +21,7 @@
 //! | [`cpu`] | `obfusmem-cpu` | trace-driven core + Table 1 workloads |
 //! | [`sec`] | `obfusmem-sec` | leakage analyses, tamper campaigns, Table 4 |
 //! | [`sim`] | `obfusmem-sim` | event kernel, deterministic RNG, stats |
+//! | [`obs`] | `obfusmem-obs` | metrics registry, sim-time tracing, Chrome-trace exporter |
 //!
 //! # Quick start
 //!
@@ -48,6 +49,7 @@ pub use obfusmem_core as core;
 pub use obfusmem_cpu as cpu;
 pub use obfusmem_crypto as crypto;
 pub use obfusmem_mem as mem;
+pub use obfusmem_obs as obs;
 pub use obfusmem_oram as oram;
 pub use obfusmem_sec as sec;
 pub use obfusmem_sim as sim;
