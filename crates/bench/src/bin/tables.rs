@@ -3,7 +3,7 @@
 //! ```text
 //! tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]
 //!
-//! experiments: config table1 table3 fig4 fig5 energy table4
+//! experiments: config table1 table3 fig4 fig5 energy table4 backends
 //!              ablation-dummy ablation-mac ablation-stash trace all
 //! ```
 //!
@@ -48,6 +48,7 @@ fn main() {
             "fig5",
             "energy",
             "table4",
+            "backends",
             "oram-variants",
             "oram-detailed",
             "ablation-dummy",
@@ -85,6 +86,10 @@ fn main() {
                 let (oram, obfus) = experiments::table4();
                 println!("{}", render::table4(&oram, &obfus));
             }
+            "backends" => println!(
+                "{}",
+                render::backends_study(&experiments::backends_study(instructions, seed))
+            ),
             "oram-variants" => {
                 println!(
                     "{}",
@@ -201,7 +206,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]\n\
-         experiments: config table1 table3 fig4 fig5 energy table4 oram-variants oram-detailed\n\
+         experiments: config table1 table3 fig4 fig5 energy table4 backends oram-variants\n\
+         \u{20}            oram-detailed\n\
          \u{20}            ablation-dummy ablation-mac ablation-pairing ablation-mapping\n\u{20}            ablation-typehiding ablation-stash trace all"
     );
     std::process::exit(2);

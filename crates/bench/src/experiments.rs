@@ -599,6 +599,72 @@ pub fn oram_detailed(seed: u64) -> Vec<DetailedOramRow> {
         .collect()
 }
 
+/// One controller-fidelity row: the same `(workload, scheme)` point timed
+/// under both memory-controller models.
+#[derive(Debug, Clone)]
+pub struct BackendRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// ObfusMem+Auth overhead vs unprotected, reservation model, %.
+    pub reservation_overhead: f64,
+    /// ObfusMem+Auth overhead vs unprotected, queued FR-FCFS model, %.
+    pub queued_overhead: f64,
+    /// Protected-run exec-time divergence, queued vs reservation, %
+    /// (positive: the queued controller is slower).
+    pub divergence: f64,
+    /// Row-buffer hit rate the FR-FCFS scheduler observed, %.
+    pub row_hit_rate: f64,
+    /// Requests issued out of arrival order (FR-FCFS reorders).
+    pub reordered: u64,
+    /// Adaptive early precharges.
+    pub adaptive_closes: u64,
+}
+
+/// Reservation-vs-queued fidelity study (EXPERIMENTS.md): runs a
+/// memory-bound / compute-bound spread under both controller models and
+/// reports where the simpler reservation approximation diverges from the
+/// real FR-FCFS schedulers, alongside the queued model's row-hit /
+/// reorder telemetry.
+pub fn backends_study(instructions: u64, seed: u64) -> Vec<BackendRow> {
+    use obfusmem_mem::config::BackendKind;
+    ["bwaves", "mcf", "milc", "omnetpp", "astar"]
+        .into_iter()
+        .map(|name| {
+            let spec = by_name(name).expect("Table 1 workload");
+            let run = |security, backend| {
+                let mut sys = System::new(SystemConfig {
+                    security,
+                    mem: MemConfig::table2().with_backend(backend),
+                    ..SystemConfig::default()
+                });
+                let r = sys.run(&spec, instructions, seed);
+                (r, sys)
+            };
+            let (base_r, _) = run(SecurityLevel::Unprotected, BackendKind::Reservation);
+            let (prot_r, _) = run(SecurityLevel::ObfuscateAuth, BackendKind::Reservation);
+            let (base_q, _) = run(SecurityLevel::Unprotected, BackendKind::Queued);
+            let (prot_q, sys_q) = run(SecurityLevel::ObfuscateAuth, BackendKind::Queued);
+            let sched = sys_q
+                .backend()
+                .memory()
+                .scheduler_stats()
+                .expect("queued backend exposes scheduler stats");
+            let serviced = sched.serviced.get().max(1);
+            BackendRow {
+                name: spec.name,
+                reservation_overhead: prot_r.overhead_vs(&base_r),
+                queued_overhead: prot_q.overhead_vs(&base_q),
+                divergence: 100.0
+                    * (prot_q.exec_time.as_ps() as f64 - prot_r.exec_time.as_ps() as f64)
+                    / prot_r.exec_time.as_ps() as f64,
+                row_hit_rate: 100.0 * sched.row_hits.get() as f64 / serviced as f64,
+                reordered: sched.reordered.get(),
+                adaptive_closes: sched.adaptive_closes.get(),
+            }
+        })
+        .collect()
+}
+
 /// One type-hiding ablation row (§3.3's design comparison).
 #[derive(Debug, Clone)]
 pub struct TypeHidingRow {
@@ -833,6 +899,30 @@ mod tests {
             )
         };
         assert!(rows.0 <= rows.1 + 0.5 && rows.1 <= rows.2 + 0.5, "{rows:?}");
+    }
+
+    #[test]
+    fn backends_study_reports_divergence_and_scheduler_telemetry() {
+        let rows = backends_study(N, 5);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(
+                row.reservation_overhead.is_finite() && row.queued_overhead.is_finite(),
+                "{row:?}"
+            );
+            assert!(row.divergence.is_finite(), "{row:?}");
+            assert!(
+                (0.0..=100.0).contains(&row.row_hit_rate),
+                "{}: row-hit {}",
+                row.name,
+                row.row_hit_rate
+            );
+        }
+        // Memory-bound points must actually exercise the scheduler: the
+        // queued model has to see traffic, hit rows, and close banks.
+        let bwaves = &rows[0];
+        assert!(bwaves.row_hit_rate > 0.0, "{bwaves:?}");
+        assert!(bwaves.adaptive_closes > 0, "{bwaves:?}");
     }
 
     #[test]

@@ -17,8 +17,8 @@
 
 use obfusmem_cpu::core::MemoryBackend;
 use obfusmem_mem::channel::Lane;
-use obfusmem_mem::config::MemConfig;
-use obfusmem_mem::device::PcmMemory;
+use obfusmem_mem::config::{BackendKind, MemConfig};
+use obfusmem_mem::device::{AccessResult, PcmMemory};
 use obfusmem_mem::request::{AccessKind, BlockAddr, BlockData};
 use obfusmem_obs::metrics::{MetricsNode, Observable};
 use obfusmem_obs::trace::{TraceHandle, Track};
@@ -386,7 +386,7 @@ impl ObfusMemBackend {
         let lookup = self.memenc.lookup_counter_op(addr, op);
         if let Some(victim) = lookup.victim_writeback {
             // Dirty counter block spills to memory: posted write traffic.
-            self.mem.access(at, victim, AccessKind::Write);
+            self.mem.access_posted(at, victim, AccessKind::Write);
             self.stats.counter_writebacks += 1;
         }
         if lookup.hit {
@@ -410,12 +410,38 @@ impl ObfusMemBackend {
         match self.cfg.dummy_policy {
             DummyAddressPolicy::Fixed => {}
             DummyAddressPolicy::Original | DummyAddressPolicy::Random => {
-                self.mem.access(at, dummy.addr, dummy.kind);
+                self.mem.access_posted(at, dummy.addr, dummy.kind);
                 if dummy.kind == AccessKind::Write {
                     self.stats.dummy_array_writes += 1;
                 }
             }
         }
+    }
+
+    /// Issues an array write nobody on the critical path waits for.
+    ///
+    /// Under the reservation backend the write completes synchronously
+    /// and its [`AccessResult`] feeds the observability span — byte-for-
+    /// byte the historical behavior. Under the queued backend the write
+    /// is posted into the per-channel FR-FCFS controller where demand
+    /// reads may jump it; its completion time is unknown at issue, so no
+    /// span can be recorded (tracing must never change timing).
+    fn post_array_write(&mut self, at: Time, addr: u64) -> Option<AccessResult> {
+        match self.mem.config().backend {
+            BackendKind::Reservation => Some(self.mem.access(at, addr, AccessKind::Write)),
+            BackendKind::Queued => {
+                self.mem.access_posted(at, addr, AccessKind::Write);
+                None
+            }
+        }
+    }
+
+    /// Flushes writes still parked in the queued controller. A no-op for
+    /// the reservation backend. [`crate::system::System`] calls this after
+    /// the trace-driven core retires so the wear/energy/stat totals cover
+    /// every posted write.
+    pub fn drain_posted(&mut self) {
+        self.mem.drain_queued();
     }
 
     /// Cross-channel injection (§3.4): dummy pairs are always of the
@@ -799,9 +825,7 @@ impl ObfusMemBackend {
             .mem
             .bus_transfer_bytes(send_at, channel, wire, Lane::Request);
         let request_at = arrived + mem_lat;
-        let array = self
-            .mem
-            .access(request_at, addr.as_u64(), AccessKind::Write);
+        let array = self.post_array_write(request_at, addr.as_u64());
         self.service_paired_dummy(request_at, &pair.dummy_header);
         self.inject_channels(request_at, channel);
         // The paired dummy read's random-data reply rides the response lane.
@@ -820,9 +844,11 @@ impl ObfusMemBackend {
             }
             self.obs
                 .span(Track::Channel(channel), "request-wire", send_at, arrived);
-            let bank = self.bank_track(addr.as_u64());
-            self.obs
-                .span(bank, "array-write", request_at, array.complete_at);
+            if let Some(array) = array {
+                let bank = self.bank_track(addr.as_u64());
+                self.obs
+                    .span(bank, "array-write", request_at, array.complete_at);
+            }
         }
     }
 }
@@ -960,9 +986,7 @@ impl ObfusMemBackend {
         );
         let request_at = read_arrived + mem_lat;
         let array = self.mem.access(request_at, addr.as_u64(), AccessKind::Read);
-        let wb_array = self
-            .mem
-            .access(write_arrived + mem_lat, wb.as_u64(), AccessKind::Write);
+        let wb_array = self.post_array_write(write_arrived + mem_lat, wb.as_u64());
         self.inject_channels(request_at, channel);
         let reply_overhead = reply_wire.saturating_sub(64);
         let reply_done = if reply_overhead > 0 {
@@ -987,13 +1011,15 @@ impl ObfusMemBackend {
             let bank = self.bank_track(addr.as_u64());
             self.obs
                 .span(bank, "array-read", request_at, array.complete_at);
-            let wb_bank = self.bank_track(wb.as_u64());
-            self.obs.span(
-                wb_bank,
-                "array-write",
-                write_arrived + mem_lat,
-                wb_array.complete_at,
-            );
+            if let Some(wb_array) = wb_array {
+                let wb_bank = self.bank_track(wb.as_u64());
+                self.obs.span(
+                    wb_bank,
+                    "array-write",
+                    write_arrived + mem_lat,
+                    wb_array.complete_at,
+                );
+            }
             if reply_done > array.complete_at {
                 self.obs.span(
                     Track::Channel(channel),
@@ -1225,9 +1251,7 @@ impl ObfusMemBackend {
             Lane::Request,
         );
         let request_at = arrived + mem_lat;
-        let array = self
-            .mem
-            .access(request_at, addr.as_u64(), AccessKind::Write);
+        let array = self.post_array_write(request_at, addr.as_u64());
         self.inject_channels(request_at, channel);
         // Mandatory shape-matching reply for the write.
         self.mem
@@ -1241,9 +1265,11 @@ impl ObfusMemBackend {
             }
             self.obs
                 .span(Track::Channel(channel), "request-wire", send_at, arrived);
-            let bank = self.bank_track(addr.as_u64());
-            self.obs
-                .span(bank, "array-write", request_at, array.complete_at);
+            if let Some(array) = array {
+                let bank = self.bank_track(addr.as_u64());
+                self.obs
+                    .span(bank, "array-write", request_at, array.complete_at);
+            }
         }
     }
 }
@@ -1332,8 +1358,8 @@ impl MemoryBackend for ObfusMemBackend {
                     },
                     Some(self.mem.read_block(addr)),
                 );
-                let array = self.mem.access(at, addr.as_u64(), AccessKind::Write);
-                if self.obs.is_enabled() {
+                let array = self.post_array_write(at, addr.as_u64());
+                if let Some(array) = array.filter(|_| self.obs.is_enabled()) {
                     let bank = self.bank_track(addr.as_u64());
                     self.obs.span(bank, "array-write", at, array.complete_at);
                 }
@@ -1353,8 +1379,8 @@ impl MemoryBackend for ObfusMemBackend {
                 let _ =
                     self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
                 self.mem.write_block(addr, at_rest);
-                let array = self.mem.access(at, addr.as_u64(), AccessKind::Write);
-                if self.obs.is_enabled() {
+                let array = self.post_array_write(at, addr.as_u64());
+                if let Some(array) = array.filter(|_| self.obs.is_enabled()) {
                     let bank = self.bank_track(addr.as_u64());
                     self.obs.span(bank, "array-write", at, array.complete_at);
                 }

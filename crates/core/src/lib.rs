@@ -53,3 +53,7 @@ pub mod trust;
 mod error;
 
 pub use error::ObfusMemError;
+/// Controller-model selector, re-exported so full-system callers (the
+/// harness sweep grid, the bench binaries) need not depend on
+/// `obfusmem-mem` directly.
+pub use obfusmem_mem::config::BackendKind;

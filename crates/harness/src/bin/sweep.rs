@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sweep [--spec FILE] [--workloads LIST|all] [--schemes LIST|all]
-//!       [--channels LIST] [--replicates N] [--master-seed SEED]
+//!       [--channels LIST] [--backend LIST|all]
+//!       [--replicates N] [--master-seed SEED]
 //!       [-n/--instructions N] [--out FILE] [--metrics-out FILE]
 //!       [--trace-out FILE] [--threads N] [--fresh] [--no-timing]
 //!       [--dry-run] [--quiet]
@@ -19,7 +20,7 @@ use std::process::ExitCode;
 
 use obfusmem_harness::runner::{effective_threads, run_sweep, RunOptions};
 use obfusmem_harness::spec::{
-    parse_fault_kinds, parse_schemes, parse_u64, parse_workloads, SweepSpec,
+    parse_backends, parse_fault_kinds, parse_schemes, parse_u64, parse_workloads, SweepSpec,
 };
 
 struct Cli {
@@ -113,6 +114,8 @@ usage: sweep [options]
   --schemes LIST       comma list of unprotected|encrypt-only|obfusmem|
                        obfusmem-auth|oram, or `all`
   --channels LIST      comma list of power-of-two channel counts
+  --backend LIST       comma list of reservation|queued controller models,
+                       or `all` (default reservation)
   --replicates N       seeds per grid point (default 1)
   --master-seed SEED   master seed, decimal or 0x-hex
   --fault-kinds LIST   comma list of bit-flip|drop|duplicate|replay|
@@ -167,6 +170,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     .filter(|s| !s.is_empty())
                     .map(|s| s.parse().map_err(|_| format!("bad channel count {s:?}")))
                     .collect::<Result<_, _>>()?;
+            }
+            "--backend" | "--backends" => {
+                cli.spec.backends = parse_backends(&next_value("--backend", &mut args)?)
+                    .map_err(|e| e.to_string())?;
             }
             "--replicates" => {
                 let v = next_value("--replicates", &mut args)?;

@@ -12,7 +12,7 @@ use std::time::Instant;
 use obfusmem_core::config::FaultPlan;
 use obfusmem_core::link::FaultKind;
 use obfusmem_cpu::core::RunResult;
-use obfusmem_mem::config::MemConfig;
+use obfusmem_mem::config::{BackendKind, MemConfig};
 use obfusmem_obs::metrics::MetricsNode;
 use obfusmem_obs::trace::{TraceEvent, TraceHandle};
 use obfusmem_sim::rng::SplitMix64;
@@ -31,6 +31,9 @@ pub struct JobSpec {
     pub scheme: Scheme,
     /// Memory channels.
     pub channels: usize,
+    /// Memory-controller model ([`BackendKind::Reservation`] is the
+    /// historical default; `Queued` runs the sharded FR-FCFS controllers).
+    pub backend: BackendKind,
     /// Instruction budget.
     pub instructions: u64,
     /// Replicate index (seed variation within one grid point).
@@ -65,6 +68,32 @@ impl JobSpec {
             "{workload}/{}/c{channels}/{}@{rate}/r{replicate}",
             scheme.name(),
             kind.name()
+        )
+    }
+
+    /// Builds the stable id for any grid point. A non-default backend
+    /// contributes a segment right after the channel count; the default
+    /// reservation backend contributes nothing, so every pre-backend
+    /// sweep id (and hence every checkpoint file) remains valid.
+    pub fn make_full_id(
+        workload: &str,
+        scheme: Scheme,
+        channels: usize,
+        backend: BackendKind,
+        fault: Option<(FaultKind, f64)>,
+        replicate: u32,
+    ) -> String {
+        let backend_seg = match backend {
+            BackendKind::Reservation => String::new(),
+            other => format!("/{}", other.name()),
+        };
+        let fault_seg = match fault {
+            None => String::new(),
+            Some((kind, rate)) => format!("/{}@{rate}", kind.name()),
+        };
+        format!(
+            "{workload}/{}/c{channels}{backend_seg}{fault_seg}/r{replicate}",
+            scheme.name()
         )
     }
 }
@@ -102,6 +131,13 @@ impl JobOutput {
     pub fn recovery(&self) -> Option<&MetricsNode> {
         self.metrics.get_child("link")
     }
+
+    /// The queued-controller scheduler subtree (`mem.queued`); `None`
+    /// when the job ran on the reservation backend (or the ORAM model,
+    /// which has no memory controller at all).
+    pub fn queued_sched(&self) -> Option<&MetricsNode> {
+        self.metrics.get_child("mem")?.get_child("queued")
+    }
 }
 
 /// Runs one job. Pure with respect to the spec (the wall-clock field is
@@ -126,7 +162,9 @@ fn run_job_with(spec: &JobSpec, obs: &TraceHandle) -> JobOutput {
     let workload = workload_by_name(&spec.workload)
         .unwrap_or_else(|| panic!("job {}: unknown workload {:?}", spec.id, spec.workload));
     let mut point = PointSpec {
-        mem: MemConfig::table2().with_channels(spec.channels),
+        mem: MemConfig::table2()
+            .with_channels(spec.channels)
+            .with_backend(spec.backend),
         ..PointSpec::paper(workload, spec.scheme, spec.instructions, spec.seed)
     };
     if let Some((kind, rate)) = spec.fault {
@@ -166,6 +204,7 @@ mod tests {
             workload: "micro".into(),
             scheme: Scheme::Obfusmem,
             channels: 1,
+            backend: BackendKind::Reservation,
             instructions: 20_000,
             replicate: 0,
             seed: derive_seed(7, "micro/obfusmem/c1/r0"),
@@ -195,6 +234,7 @@ mod tests {
             workload: "micro".into(),
             scheme: Scheme::ObfusmemAuth,
             channels: 1,
+            backend: BackendKind::Reservation,
             instructions: 20_000,
             replicate: 0,
             seed: derive_seed(7, &id),
@@ -222,6 +262,7 @@ mod tests {
             workload: "micro".into(),
             scheme: Scheme::ObfusmemAuth,
             channels: 1,
+            backend: BackendKind::Reservation,
             instructions: 5_000,
             replicate: 0,
             seed: derive_seed(7, &id),
@@ -240,6 +281,7 @@ mod tests {
             workload: "micro".into(),
             scheme: Scheme::ObfusmemAuth,
             channels: 1,
+            backend: BackendKind::Reservation,
             instructions: 10_000,
             replicate: 0,
             seed: derive_seed(7, &id),
@@ -260,6 +302,84 @@ mod tests {
     }
 
     #[test]
+    fn full_ids_collapse_to_the_legacy_forms_on_default_axes() {
+        assert_eq!(
+            JobSpec::make_full_id(
+                "mcf",
+                Scheme::Obfusmem,
+                4,
+                BackendKind::Reservation,
+                None,
+                2
+            ),
+            JobSpec::make_id("mcf", Scheme::Obfusmem, 4, 2),
+        );
+        assert_eq!(
+            JobSpec::make_full_id(
+                "mcf",
+                Scheme::ObfusmemAuth,
+                1,
+                BackendKind::Reservation,
+                Some((FaultKind::Drop, 0.01)),
+                0,
+            ),
+            JobSpec::make_fault_id("mcf", Scheme::ObfusmemAuth, 1, FaultKind::Drop, 0.01, 0),
+        );
+        assert_eq!(
+            JobSpec::make_full_id("mcf", Scheme::Obfusmem, 2, BackendKind::Queued, None, 1),
+            "mcf/obfusmem/c2/queued/r1",
+        );
+    }
+
+    #[test]
+    fn queued_jobs_rerun_identically_and_snapshot_the_scheduler() {
+        let id = JobSpec::make_full_id(
+            "micro",
+            Scheme::ObfusmemAuth,
+            2,
+            BackendKind::Queued,
+            None,
+            0,
+        );
+        let spec = JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 2,
+            backend: BackendKind::Queued,
+            instructions: 20_000,
+            replicate: 0,
+            seed: derive_seed(7, &id),
+            fault: None,
+            fault_seed: 0,
+        };
+        let a = run_job(&spec);
+        let b = run_job(&spec);
+        assert_eq!(a.result.exec_time, b.result.exec_time);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        let sched = a.queued_sched().expect("queued jobs expose mem.queued");
+        assert!(sched.counter("serviced").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn reservation_jobs_carry_no_scheduler_subtree() {
+        let id = JobSpec::make_id("micro", Scheme::ObfusmemAuth, 1, 0);
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            backend: BackendKind::Reservation,
+            instructions: 5_000,
+            replicate: 0,
+            seed: derive_seed(7, &id),
+            fault: None,
+            fault_seed: 0,
+        });
+        assert!(out.queued_sched().is_none());
+    }
+
+    #[test]
     fn replicates_differ_via_seed_only() {
         let mk = |r: u32| {
             let id = JobSpec::make_id("micro", Scheme::Unprotected, 1, r);
@@ -269,6 +389,7 @@ mod tests {
                 workload: "micro".into(),
                 scheme: Scheme::Unprotected,
                 channels: 1,
+                backend: BackendKind::Reservation,
                 instructions: 20_000,
                 replicate: r,
                 seed,

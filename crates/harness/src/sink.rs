@@ -12,6 +12,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use obfusmem_mem::config::BackendKind;
+
 use crate::job::JobOutput;
 use crate::jsonl::{extract_string_field, JsonObject};
 
@@ -36,6 +38,20 @@ pub fn encode_row(out: &JobOutput, timing: bool) -> String {
         .f64("ipc", r.ipc)
         .f64("avg_fill_latency_ns", r.avg_fill_latency_ns)
         .f64("avg_request_gap_ns", r.avg_request_gap_ns);
+    // Backend-axis fields appear only on non-default (queued) jobs, so
+    // reservation sweep output stays byte-identical to pre-backend
+    // harness versions — the same discipline the fault fields follow.
+    if spec.backend != BackendKind::Reservation {
+        obj = obj.string("backend", spec.backend.name());
+    }
+    if let Some(sched) = out.queued_sched() {
+        let c = |name: &str| sched.counter(name).unwrap_or(0);
+        obj = obj
+            .u64("sched_serviced", c("serviced"))
+            .u64("sched_row_hits", c("row_hits"))
+            .u64("sched_reordered", c("reordered"))
+            .u64("sched_adaptive_closes", c("adaptive_closes"));
+    }
     // Fault-grid fields appear only on faulty jobs, so fault-free sweep
     // output stays byte-identical to pre-fault harness versions.
     if let Some((kind, rate)) = spec.fault {
@@ -170,6 +186,7 @@ mod tests {
             workload: "micro".into(),
             scheme: Scheme::Unprotected,
             channels: 1,
+            backend: BackendKind::Reservation,
             instructions: 5_000,
             replicate: 0,
             seed,
@@ -193,6 +210,7 @@ mod tests {
             workload: "micro".into(),
             scheme: Scheme::ObfusmemAuth,
             channels: 1,
+            backend: BackendKind::Reservation,
             instructions: 10_000,
             replicate: 0,
             seed: derive_seed(1, &id),
@@ -208,6 +226,40 @@ mod tests {
         let clean = encode_row(&sample_output(), false);
         assert!(!clean.contains("fault_kind"), "{clean}");
         assert!(!clean.contains("retransmits"), "{clean}");
+    }
+
+    #[test]
+    fn queued_rows_carry_scheduler_fields_and_reservation_rows_do_not() {
+        let id = JobSpec::make_full_id(
+            "micro",
+            Scheme::ObfusmemAuth,
+            1,
+            BackendKind::Queued,
+            None,
+            0,
+        );
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            backend: BackendKind::Queued,
+            instructions: 10_000,
+            replicate: 0,
+            seed: derive_seed(1, &id),
+            fault: None,
+            fault_seed: 0,
+        });
+        let row = encode_row(&out, false);
+        assert!(row.contains(r#""backend":"queued""#), "{row}");
+        assert!(row.contains(r#""sched_serviced":"#), "{row}");
+        assert!(row.contains(r#""sched_row_hits":"#), "{row}");
+        assert!(row.contains(r#""sched_reordered":"#), "{row}");
+        assert!(row.contains(r#""sched_adaptive_closes":"#), "{row}");
+
+        let clean = encode_row(&sample_output(), false);
+        assert!(!clean.contains("backend"), "{clean}");
+        assert!(!clean.contains("sched_"), "{clean}");
     }
 
     #[test]

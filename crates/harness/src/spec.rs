@@ -22,6 +22,7 @@
 
 use obfusmem_core::link::FaultKind;
 use obfusmem_cpu::workload::table1_workloads;
+use obfusmem_mem::config::BackendKind;
 
 use crate::job::{derive_seed, JobSpec};
 use crate::measure::{workload_by_name, Scheme};
@@ -35,6 +36,10 @@ pub struct SweepSpec {
     pub schemes: Vec<Scheme>,
     /// Channel counts (powers of two).
     pub channels: Vec<usize>,
+    /// Memory-controller models to sweep. The default is the single
+    /// reservation backend, which contributes no id segment — so sweeps
+    /// written before this axis existed expand to the same job list.
+    pub backends: Vec<BackendKind>,
     /// Seeds per grid point.
     pub replicates: u32,
     /// Master seed every job seed derives from.
@@ -62,6 +67,7 @@ impl Default for SweepSpec {
                 .collect(),
             schemes: Scheme::TABLE3.to_vec(),
             channels: vec![1],
+            backends: vec![BackendKind::Reservation],
             replicates: 1,
             master_seed: 0x0B_F0_5E_ED,
             instructions: 2_000_000,
@@ -94,6 +100,7 @@ impl SweepSpec {
         self.workloads.len()
             * self.schemes.len()
             * self.channels.len()
+            * self.backends.len()
             * self.fault_point_count()
             * self.replicates as usize
     }
@@ -149,6 +156,17 @@ impl SweepSpec {
                 return Err(err(format!("channels must be a power of two, got {c}")));
             }
         }
+        if self.backends.is_empty() {
+            return Err(err("no backends"));
+        }
+        if self.backends.contains(&BackendKind::Queued) && self.schemes.contains(&Scheme::OramModel)
+        {
+            // The ORAM model replaces the memory path entirely; a queued
+            // point there would silently run no controller at all.
+            return Err(err(
+                "the oram scheme has no memory controller to run the queued backend on",
+            ));
+        }
         if !self.fault_kinds.is_empty() {
             if self.fault_rates.is_empty() {
                 return Err(err("fault kinds given but no fault rates"));
@@ -173,30 +191,30 @@ impl SweepSpec {
         for workload in &self.workloads {
             for &scheme in &self.schemes {
                 for &channels in &self.channels {
-                    for fault in self.fault_points() {
-                        for replicate in 0..self.replicates {
-                            let id = match fault {
-                                None => JobSpec::make_id(workload, scheme, channels, replicate),
-                                Some((kind, rate)) => JobSpec::make_fault_id(
-                                    workload, scheme, channels, kind, rate, replicate,
-                                ),
-                            };
-                            let seed = derive_seed(self.master_seed, &id);
-                            let fault_seed = match fault {
-                                None => 0,
-                                Some(_) => derive_seed(self.fault_seed, &id),
-                            };
-                            jobs.push(JobSpec {
-                                id,
-                                workload: workload.clone(),
-                                scheme,
-                                channels,
-                                instructions: self.instructions,
-                                replicate,
-                                seed,
-                                fault,
-                                fault_seed,
-                            });
+                    for &backend in &self.backends {
+                        for fault in self.fault_points() {
+                            for replicate in 0..self.replicates {
+                                let id = JobSpec::make_full_id(
+                                    workload, scheme, channels, backend, fault, replicate,
+                                );
+                                let seed = derive_seed(self.master_seed, &id);
+                                let fault_seed = match fault {
+                                    None => 0,
+                                    Some(_) => derive_seed(self.fault_seed, &id),
+                                };
+                                jobs.push(JobSpec {
+                                    id,
+                                    workload: workload.clone(),
+                                    scheme,
+                                    channels,
+                                    backend,
+                                    instructions: self.instructions,
+                                    replicate,
+                                    seed,
+                                    fault,
+                                    fault_seed,
+                                });
+                            }
                         }
                     }
                 }
@@ -229,6 +247,7 @@ impl SweepSpec {
                         })
                         .collect::<Result<_, _>>()?
                 }
+                "backends" => spec.backends = parse_backends(value)?,
                 "replicates" => {
                     spec.replicates = value
                         .parse()
@@ -281,6 +300,16 @@ pub fn parse_fault_kinds(value: &str) -> Result<Vec<FaultKind>, SpecError> {
     }
     split_list(value)
         .map(|v| FaultKind::parse(v).ok_or_else(|| err(format!("unknown fault kind {v:?}"))))
+        .collect()
+}
+
+/// Comma list of backend names (`all` → every controller model).
+pub fn parse_backends(value: &str) -> Result<Vec<BackendKind>, SpecError> {
+    if value == "all" {
+        return Ok(BackendKind::ALL.to_vec());
+    }
+    split_list(value)
+        .map(|v| BackendKind::parse(v).ok_or_else(|| err(format!("unknown backend {v:?}"))))
         .collect()
 }
 
@@ -447,6 +476,58 @@ mod tests {
         s.schemes = vec![Scheme::OramModel];
         assert!(s.expand().is_err(), "the ORAM model has no link");
         assert!(SweepSpec::parse("fault_kinds = cosmic-ray").is_err());
+    }
+
+    #[test]
+    fn backend_axis_crosses_into_the_grid_after_channels() {
+        let mut s = tiny();
+        s.schemes = vec![Scheme::Unprotected, Scheme::ObfusmemAuth];
+        s.backends = BackendKind::ALL.to_vec();
+        let jobs = s.expand().unwrap();
+        assert_eq!(jobs.len(), s.job_count());
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2 * 2);
+        // Reservation points keep the legacy id; queued points add a
+        // segment between the channel count and the replicate.
+        assert_eq!(jobs[0].id, "micro/unprotected/c1/r0");
+        assert_eq!(jobs[2].id, "micro/unprotected/c1/queued/r0");
+        assert_eq!(jobs[2].backend, BackendKind::Queued);
+        let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn default_backend_axis_leaves_legacy_grids_untouched() {
+        let jobs = tiny().expand().unwrap();
+        assert!(
+            jobs.iter().all(|j| j.backend == BackendKind::Reservation),
+            "the default axis is the historical reservation model"
+        );
+        assert!(
+            jobs.iter().all(|j| !j.id.contains("reservation")),
+            "the default backend must not perturb checkpoint ids"
+        );
+    }
+
+    #[test]
+    fn queued_backend_rejects_the_oram_scheme() {
+        let mut s = tiny(); // tiny() includes Scheme::OramModel
+        s.backends = vec![BackendKind::Queued];
+        assert!(s.expand().is_err(), "oram has no controller to swap");
+        s.schemes = vec![Scheme::ObfusmemAuth];
+        assert!(s.expand().is_ok());
+        s.backends = Vec::new();
+        assert!(s.expand().is_err(), "no backends is unsatisfiable");
+    }
+
+    #[test]
+    fn backend_keys_parse_from_text() {
+        let spec = SweepSpec::parse("backends = queued").unwrap();
+        assert_eq!(spec.backends, vec![BackendKind::Queued]);
+        let spec = SweepSpec::parse("backends = all").unwrap();
+        assert_eq!(spec.backends, BackendKind::ALL.to_vec());
+        assert!(SweepSpec::parse("backends = warp-drive").is_err());
     }
 
     #[test]

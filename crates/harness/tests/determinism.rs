@@ -133,6 +133,35 @@ fn fault_sweeps_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn queued_backend_sweeps_are_byte_identical_across_thread_counts() {
+    let mut spec = grid();
+    // Drop the ORAM model (no memory controller) and sweep both
+    // controller models so reservation and queued rows interleave.
+    spec.schemes = vec![Scheme::Unprotected, Scheme::ObfusmemAuth];
+    spec.backends = obfusmem_mem::config::BackendKind::ALL.to_vec();
+    spec.channels = vec![2];
+    let (serial, r1) = sweep_to_string(&spec, "queued-serial", 1);
+    let (parallel, rn) = sweep_to_string(&spec, "queued-parallel", 8);
+    assert_eq!(serial, parallel, "queued rows must be schedule-free");
+    assert_eq!(r1, rn);
+    assert_eq!(serial.lines().count(), 16);
+    // Queued rows carry the backend tag and the scheduler counters…
+    let queued: Vec<&str> = serial
+        .lines()
+        .filter(|l| l.contains(r#""backend":"queued""#))
+        .collect();
+    assert_eq!(queued.len(), 8);
+    assert!(queued
+        .iter()
+        .all(|l| l.contains(r#""sched_serviced":"#) && l.contains(r#""sched_row_hits":"#)));
+    // …and reservation rows stay byte-compatible with pre-backend sweeps.
+    assert!(serial
+        .lines()
+        .filter(|l| !l.contains("queued"))
+        .all(|l| !l.contains("backend") && !l.contains("sched_")));
+}
+
+#[test]
 fn master_seed_changes_every_replicated_row() {
     let mut spec = grid();
     let (a, _) = sweep_to_string(&spec, "seed-a", 4);

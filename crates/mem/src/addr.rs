@@ -94,13 +94,54 @@ pub fn decode(cfg: &MemConfig, addr: u64) -> DecodedAddr {
     }
 }
 
-fn take(addr: &mut u64, bits: u32) -> u64 {
-    let v = *addr & ((1u64 << bits) - 1);
-    *addr >>= bits;
+/// Splits the low `bits` off `addr`, shifting the remainder down.
+///
+/// Total over the full `bits` range: `bits == 0` returns 0 and leaves
+/// `addr` untouched, `bits >= 64` consumes the whole value. The naive
+/// `(1u64 << bits) - 1` mask is undefined for `bits >= 64` (and the old
+/// `bits == 0` special case ran *after* the mask had already been
+/// computed), so the mask is built with checked shifts instead.
+pub(crate) fn take(addr: &mut u64, bits: u32) -> u64 {
     if bits == 0 {
-        0
-    } else {
-        v
+        return 0;
+    }
+    let mask = match 1u64.checked_shl(bits) {
+        Some(m) => m - 1,
+        None => u64::MAX, // bits >= 64: the whole value
+    };
+    let v = *addr & mask;
+    *addr = addr.checked_shr(bits).unwrap_or(0);
+    v
+}
+
+/// Re-composes a [`DecodedAddr`] into the physical address it decodes
+/// from — the exact inverse of [`decode`] for in-range fields. Property
+/// tests use the round trip to prove decode injectivity on arbitrary
+/// (including extreme) geometries.
+pub fn encode(cfg: &MemConfig, d: &DecodedAddr) -> u64 {
+    let col_bits = cfg.row_buffer_bytes.trailing_zeros();
+    let ch_bits = cfg.channels.trailing_zeros();
+    let ba_bits = cfg.banks_per_rank.trailing_zeros();
+    let ra_bits = cfg.ranks_per_channel.trailing_zeros();
+    match cfg.mapping {
+        AddressMapping::RoRaBaChCo => {
+            let mut a = d.row;
+            a = (a << ra_bits) | d.rank as u64;
+            a = (a << ba_bits) | d.bank as u64;
+            a = (a << ch_bits) | d.channel as u64;
+            (a << col_bits) | d.column
+        }
+        AddressMapping::RoBaRaCoCh => {
+            let block_bits = crate::request::BLOCK_BYTES.trailing_zeros();
+            let block_off = d.column & (crate::request::BLOCK_BYTES as u64 - 1);
+            let col_blocks = d.column >> block_bits;
+            let mut a = d.row;
+            a = (a << ba_bits) | d.bank as u64;
+            a = (a << ra_bits) | d.rank as u64;
+            a = (a << (col_bits - block_bits)) | col_blocks;
+            a = (a << ch_bits) | d.channel as u64;
+            (a << block_bits) | block_off
+        }
     }
 }
 
@@ -179,6 +220,70 @@ mod tests {
             let cfg = MemConfig::table2().with_channels(2);
             if a != b {
                 proptest::prop_assert_ne!(decode(&cfg, a), decode(&cfg, b));
+            }
+        }
+    }
+
+    #[test]
+    fn take_is_total_over_bit_widths() {
+        // bits == 0: nothing consumed, address untouched.
+        let mut a = 0xDEAD_BEEF_u64;
+        assert_eq!(take(&mut a, 0), 0);
+        assert_eq!(a, 0xDEAD_BEEF);
+        // bits == 64: the whole value, remainder zero. The old
+        // `(1u64 << bits) - 1` mask was UB here.
+        let mut a = u64::MAX;
+        assert_eq!(take(&mut a, 64), u64::MAX);
+        assert_eq!(a, 0);
+        // bits > 64 behaves like 64.
+        let mut a = 0x1234;
+        assert_eq!(take(&mut a, 200), 0x1234);
+        assert_eq!(a, 0);
+        // Interior widths split cleanly.
+        let mut a = 0xAB_CD;
+        assert_eq!(take(&mut a, 8), 0xCD);
+        assert_eq!(a, 0xAB);
+    }
+
+    /// Every power-of-two geometry this sweep visits includes degenerate
+    /// axes (one channel, one rank, one bank, minimal 64 B row buffer)
+    /// and the full-capacity single-bank extreme where the row field
+    /// swallows nearly all 33 address bits.
+    fn extreme_configs() -> Vec<MemConfig> {
+        let mut cfgs = Vec::new();
+        for mapping in [AddressMapping::RoRaBaChCo, AddressMapping::RoBaRaCoCh] {
+            for (ch, ra, ba, rb) in [
+                (1usize, 1usize, 1usize, 64u64),
+                (8, 1, 1, 64),
+                (1, 4, 16, 1024),
+                (8, 4, 16, 8192),
+                (2, 2, 8, 1024),
+            ] {
+                let mut c = MemConfig::table2();
+                c.channels = ch;
+                c.ranks_per_channel = ra;
+                c.banks_per_rank = ba;
+                c.row_buffer_bytes = rb;
+                c.mapping = mapping;
+                c.validate();
+                cfgs.push(c);
+            }
+        }
+        cfgs
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn encode_inverts_decode_on_extreme_geometries(a in 0u64..) {
+            for cfg in extreme_configs() {
+                let addr = a % cfg.capacity_bytes;
+                let d = decode(&cfg, addr);
+                proptest::prop_assert!(d.channel < cfg.channels);
+                proptest::prop_assert!(d.rank < cfg.ranks_per_channel);
+                proptest::prop_assert!(d.bank < cfg.banks_per_rank);
+                proptest::prop_assert!(d.row < cfg.rows_per_bank());
+                proptest::prop_assert!(d.column < cfg.row_buffer_bytes);
+                proptest::prop_assert_eq!(encode(&cfg, &d), addr);
             }
         }
     }

@@ -4,6 +4,90 @@ use obfusmem_sim::time::Duration;
 
 use crate::addr::AddressMapping;
 
+/// How the device turns decoded requests into completion times.
+///
+/// The paper's Table 2 machine is an FR-FCFS, open-adaptive controller;
+/// the *reservation* model approximates it (banks and lanes are reserved
+/// in arrival order), while the *queued* model runs the real per-channel
+/// FR-FCFS schedulers from [`crate::scheduler`]. EXPERIMENTS.md
+/// quantifies where the two diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Resource reservation in arrival order (the historical model).
+    #[default]
+    Reservation,
+    /// Sharded per-channel FR-FCFS controllers with the open-adaptive
+    /// page policy; posted writes queue and demand reads may jump them.
+    Queued,
+}
+
+impl BackendKind {
+    /// Every backend, in canonical sweep order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Reservation, BackendKind::Queued];
+
+    /// Stable CLI / JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Reservation => "reservation",
+            BackendKind::Queued => "queued",
+        }
+    }
+
+    /// Parses a CLI / spec-file name.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|b| b.name() == s)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An internally inconsistent [`MemConfig`].
+///
+/// The decoder derives field widths with `trailing_zeros()`, so any
+/// non-power-of-two axis would silently alias: with `channels = 3` every
+/// address decodes to channel 0 while capacity still counts three
+/// channels, breaking decode injectivity. Validation turns that silent
+/// corruption into a loud, typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemConfigError {
+    /// A geometry axis that must be a power of two is not.
+    NotPowerOfTwo {
+        /// Which field (`channels`, `banks_per_rank`, ...).
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Capacity and geometry imply zero rows per bank.
+    ZeroRows,
+    /// The row buffer cannot hold even one 64-byte block.
+    RowBufferTooSmall,
+}
+
+impl std::fmt::Display for MemConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemConfigError::NotPowerOfTwo { field, value } => write!(
+                f,
+                "{field} must be a power of two (got {value}): non-power-of-two \
+                 geometries alias in the trailing_zeros address decode"
+            ),
+            MemConfigError::ZeroRows => {
+                write!(
+                    f,
+                    "geometry implies zero rows per bank (capacity too small)"
+                )
+            }
+            MemConfigError::RowBufferTooSmall => write!(f, "row buffer smaller than a block"),
+        }
+    }
+}
+
+impl std::error::Error for MemConfigError {}
+
 /// Full configuration of the simulated PCM main memory.
 ///
 /// [`MemConfig::table2`] reproduces the paper's machine; builder-style
@@ -34,6 +118,8 @@ pub struct MemConfig {
     pub t_burst: Duration,
     /// How physical addresses map onto channel/rank/bank/row/column.
     pub mapping: AddressMapping,
+    /// Which controller model services requests.
+    pub backend: BackendKind,
 }
 
 impl MemConfig {
@@ -50,6 +136,7 @@ impl MemConfig {
             t_cl: Duration::from_ns_f64(13.75),
             t_burst: Duration::from_ns(5),
             mapping: AddressMapping::RoRaBaChCo,
+            backend: BackendKind::Reservation,
         }
     }
 
@@ -64,6 +151,12 @@ impl MemConfig {
             "channels must be a power of two"
         );
         self.channels = channels;
+        self
+    }
+
+    /// Same machine with a different controller model.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -88,41 +181,43 @@ impl MemConfig {
         self.capacity_bytes / (self.total_banks() as u64 * self.row_buffer_bytes)
     }
 
+    /// Validates internal consistency, returning a typed error.
+    ///
+    /// Every axis the address decoder width-derives must be a power of
+    /// two; anything else would alias silently (see [`MemConfigError`]).
+    pub fn try_validate(&self) -> Result<(), MemConfigError> {
+        let pow2 = |field: &'static str, value: u64| {
+            if value > 0 && value.is_power_of_two() {
+                Ok(())
+            } else {
+                Err(MemConfigError::NotPowerOfTwo { field, value })
+            }
+        };
+        pow2("capacity_bytes", self.capacity_bytes)?;
+        pow2("row_buffer_bytes", self.row_buffer_bytes)?;
+        pow2("channels", self.channels as u64)?;
+        pow2("ranks_per_channel", self.ranks_per_channel as u64)?;
+        pow2("banks_per_rank", self.banks_per_rank as u64)?;
+        if self.rows_per_bank() < 1 {
+            return Err(MemConfigError::ZeroRows);
+        }
+        if self.blocks_per_row() < 1 {
+            return Err(MemConfigError::RowBufferTooSmall);
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
     /// Panics (with a description) on an inconsistent geometry; called by
-    /// the device constructor.
+    /// the device constructor. Fallible callers use
+    /// [`MemConfig::try_validate`].
     pub fn validate(&self) {
-        assert!(
-            self.capacity_bytes.is_power_of_two(),
-            "capacity must be a power of two"
-        );
-        assert!(
-            self.row_buffer_bytes.is_power_of_two(),
-            "row buffer must be a power of two"
-        );
-        assert!(
-            self.channels.is_power_of_two(),
-            "channels must be a power of two"
-        );
-        assert!(
-            self.ranks_per_channel.is_power_of_two(),
-            "ranks must be a power of two"
-        );
-        assert!(
-            self.banks_per_rank.is_power_of_two(),
-            "banks must be a power of two"
-        );
-        assert!(
-            self.rows_per_bank() >= 1,
-            "geometry implies zero rows per bank (capacity too small)"
-        );
-        assert!(
-            self.blocks_per_row() >= 1,
-            "row buffer smaller than a block"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -168,5 +263,63 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_odd_channel_counts() {
         let _ = MemConfig::table2().with_channels(3);
+    }
+
+    #[test]
+    fn try_validate_rejects_aliasing_geometries() {
+        // channels = 3 would put every address on channel 0 while
+        // capacity still counts three channels — decode injectivity gone.
+        let cfg = MemConfig {
+            channels: 3,
+            ..MemConfig::table2()
+        };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(MemConfigError::NotPowerOfTwo {
+                field: "channels",
+                value: 3
+            })
+        );
+        for (field, cfg) in [
+            (
+                "banks_per_rank",
+                MemConfig {
+                    banks_per_rank: 6,
+                    ..MemConfig::table2()
+                },
+            ),
+            (
+                "ranks_per_channel",
+                MemConfig {
+                    ranks_per_channel: 0,
+                    ..MemConfig::table2()
+                },
+            ),
+            (
+                "row_buffer_bytes",
+                MemConfig {
+                    row_buffer_bytes: 1000,
+                    ..MemConfig::table2()
+                },
+            ),
+        ] {
+            match cfg.try_validate() {
+                Err(MemConfigError::NotPowerOfTwo { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("{field}: expected NotPowerOfTwo, got {other:?}"),
+            }
+        }
+        assert!(MemConfig::table2().try_validate().is_ok());
+    }
+
+    #[test]
+    fn backend_kind_names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("warp-drive"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Reservation);
+        let cfg = MemConfig::table2().with_backend(BackendKind::Queued);
+        assert_eq!(cfg.backend, BackendKind::Queued);
+        cfg.validate();
     }
 }

@@ -9,6 +9,18 @@
 //!   writes before they reach [`PcmMemory::access`], and forwards real
 //!   requests;
 //! * **Path ORAM** reads and evicts whole tree paths through it.
+//!
+//! Two interchangeable timing fabrics sit behind the same API, selected
+//! by [`MemConfig::backend`]:
+//!
+//! * [`BackendKind::Reservation`] — each bank and lane tracks
+//!   `busy_until`; requests are serviced synchronously in arrival order.
+//! * [`BackendKind::Queued`] — the sharded per-channel FR-FCFS
+//!   controllers from [`crate::scheduler`]. Demand accesses drive their
+//!   channel until they complete (other queued work may legally jump
+//!   them); [`PcmMemory::access_posted`] work merely enqueues, opening
+//!   the reorder window a real controller has. Call
+//!   [`PcmMemory::drain_queued`] at end of run to flush posted work.
 
 use std::collections::HashMap;
 
@@ -17,10 +29,12 @@ use obfusmem_sim::time::Time;
 use obfusmem_obs::metrics::{MetricsNode, Observable};
 
 use crate::addr::{decode, DecodedAddr};
-use crate::channel::{BankStats, Channel, ChannelAccess, ChannelStats};
-use crate::config::MemConfig;
+use crate::bank::RowBufferOutcome;
+use crate::channel::{BankStats, Channel, ChannelAccess, ChannelStats, Lane};
+use crate::config::{BackendKind, MemConfig};
 use crate::energy::{EnergyModel, WearTracker};
 use crate::request::{AccessKind, BlockAddr, BlockData, BLOCK_BYTES};
+use crate::scheduler::{Completion, ShardedFrFcfs};
 
 /// Result of a device access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +47,30 @@ pub struct AccessResult {
     pub row_hit: bool,
 }
 
+/// The timing fabric behind the device API (see [`BackendKind`]).
+#[derive(Debug)]
+enum Fabric {
+    /// Arrival-order resource reservation: one [`Channel`] per channel.
+    Reservation(Vec<Channel>),
+    /// Sharded per-channel FR-FCFS controllers.
+    Queued(ShardedFrFcfs),
+}
+
+/// Indexes a channel with invariant context instead of an opaque
+/// out-of-bounds panic (a bad index here means a decode from a different
+/// configuration reached this device).
+fn channel_slot(channels: &mut [Channel], channel: usize) -> &mut Channel {
+    let count = channels.len();
+    channels
+        .get_mut(channel)
+        .unwrap_or_else(|| panic!("channel {channel} out of range ({count} channels)"))
+}
+
 /// The simulated PCM main memory.
 #[derive(Debug)]
 pub struct PcmMemory {
     cfg: MemConfig,
-    channels: Vec<Channel>,
+    fabric: Fabric,
     store: HashMap<BlockAddr, BlockData>,
     /// Row activations per (channel-qualified bank, row) — the signal a
     /// thermal side channel integrates (ObfusMem paper §6.2).
@@ -57,10 +90,15 @@ impl PcmMemory {
     /// (see [`MemConfig::validate`]).
     pub fn new(cfg: MemConfig) -> Self {
         cfg.validate();
-        let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
+        let fabric = match cfg.backend {
+            BackendKind::Reservation => {
+                Fabric::Reservation((0..cfg.channels).map(|_| Channel::new(&cfg)).collect())
+            }
+            BackendKind::Queued => Fabric::Queued(ShardedFrFcfs::new(cfg.clone())),
+        };
         PcmMemory {
             cfg,
-            channels,
+            fabric,
             store: HashMap::new(),
             activations: HashMap::new(),
             wear: WearTracker::new(),
@@ -80,48 +118,143 @@ impl PcmMemory {
         decode(&self.cfg, addr)
     }
 
+    /// The channel-qualified bank key used for wear and activation
+    /// accounting.
+    fn bank_key(&self, channel: usize, d: &DecodedAddr) -> usize {
+        channel * 100 + d.rank * self.cfg.banks_per_rank + d.bank
+    }
+
     /// Timing access: returns completion time and updates all state.
+    ///
+    /// Under the queued backend this is a *demand* access: it enqueues
+    /// and then drives its channel's scheduler until this request
+    /// completes — FR-FCFS may legally service other queued work first.
     pub fn access(&mut self, at: Time, addr: u64, kind: AccessKind) -> AccessResult {
+        if matches!(self.fabric, Fabric::Queued(_)) {
+            return self.access_queued(at, addr, kind);
+        }
         let decoded = self.decode(addr);
+        let Fabric::Reservation(channels) = &mut self.fabric else {
+            unreachable!("queued handled above")
+        };
         let ChannelAccess {
             complete_at,
             outcome,
             cell_write_row,
-        } = self.channels[decoded.channel].access(&self.cfg, at, decoded, kind);
+        } = channel_slot(channels, decoded.channel).access(&self.cfg, at, decoded, kind);
         if let Some((bank, row)) = cell_write_row {
             self.wear.record_write(decoded.channel * 100 + bank, row);
             self.array_writes += 1;
         }
-        if outcome != crate::bank::RowBufferOutcome::Hit {
+        if outcome != RowBufferOutcome::Hit {
             self.array_reads += 1; // row activation reads the array
-            let bank =
-                decoded.channel * 100 + decoded.rank * self.cfg.banks_per_rank + decoded.bank;
+            let bank = self.bank_key(decoded.channel, &decoded);
             *self.activations.entry((bank, decoded.row)).or_insert(0) += 1;
         }
         AccessResult {
             complete_at,
             channel: decoded.channel,
-            row_hit: outcome == crate::bank::RowBufferOutcome::Hit,
+            row_hit: outcome == RowBufferOutcome::Hit,
         }
+    }
+
+    /// Fire-and-forget timing access whose completion nobody waits on
+    /// (write-backs, dummy services, posted stores).
+    ///
+    /// Reservation backend: performed synchronously, bit-identical to
+    /// calling [`PcmMemory::access`] and dropping the result. Queued
+    /// backend: the request only *enqueues* — later demand accesses may
+    /// jump it, which is the reorder window a real FR-FCFS controller
+    /// has. Posted work still queued at end of run is flushed by
+    /// [`PcmMemory::drain_queued`].
+    pub fn access_posted(&mut self, at: Time, addr: u64, kind: AccessKind) {
+        match &mut self.fabric {
+            Fabric::Reservation(_) => {
+                self.access(at, addr, kind);
+            }
+            Fabric::Queued(q) => {
+                q.enqueue(at, addr, kind);
+            }
+        }
+    }
+
+    /// Completes all posted work still queued. No-op on the reservation
+    /// backend (nothing is ever left pending there).
+    pub fn drain_queued(&mut self) {
+        if let Fabric::Queued(q) = &mut self.fabric {
+            q.run_until(Time::from_ps(u64::MAX));
+            self.collect_queued_events();
+        }
+    }
+
+    /// Pending queued-backend requests (0 on the reservation backend).
+    pub fn pending_requests(&self) -> usize {
+        match &self.fabric {
+            Fabric::Reservation(_) => 0,
+            Fabric::Queued(q) => q.queue_depth(),
+        }
+    }
+
+    fn access_queued(&mut self, at: Time, addr: u64, kind: AccessKind) -> AccessResult {
+        let Fabric::Queued(q) = &mut self.fabric else {
+            unreachable!("caller checked the backend")
+        };
+        let (channel, id) = q.enqueue(at, addr, kind);
+        q.run_until_completed(channel, id);
+        let completions = self.collect_queued_events();
+        let done = completions
+            .iter()
+            .find(|(_, c)| c.id == id)
+            .map(|(_, c)| *c)
+            .unwrap_or_else(|| panic!("request {id:?} serviced without a completion record"));
+        AccessResult {
+            complete_at: done.at,
+            channel,
+            row_hit: done.row_hit,
+        }
+    }
+
+    /// Drains scheduler completions and adaptive-close cell writes,
+    /// folding them into wear, activation, and array-op accounting.
+    fn collect_queued_events(&mut self) -> Vec<(usize, Completion)> {
+        let (completions, cell_writes) = match &mut self.fabric {
+            Fabric::Queued(q) => (q.take_completions(), q.take_cell_writes()),
+            Fabric::Reservation(_) => return Vec::new(),
+        };
+        for (channel, c) in &completions {
+            if let Some(row) = c.evicted_row {
+                self.wear
+                    .record_write(self.bank_key(*channel, &c.decoded), row);
+                self.array_writes += 1;
+            }
+            if c.outcome != RowBufferOutcome::Hit {
+                self.array_reads += 1;
+                let bank = self.bank_key(*channel, &c.decoded);
+                *self.activations.entry((bank, c.decoded.row)).or_insert(0) += 1;
+            }
+        }
+        for (channel, bank, row) in cell_writes {
+            self.wear.record_write(channel * 100 + bank, row);
+            self.array_writes += 1;
+        }
+        completions
     }
 
     /// Occupies `channel`'s data bus for one burst without any array
     /// access (dropped-dummy traffic). Returns when the bus frees.
     pub fn bus_transfer(&mut self, at: Time, channel: usize) -> Time {
-        let cfg = self.cfg.clone();
-        self.channels[channel].bus_transfer(&cfg, at)
+        self.bus_transfer_bytes(at, channel, BLOCK_BYTES as u64, Lane::Request)
     }
 
     /// Occupies `channel`'s `lane` for `bytes` of packet traffic.
-    pub fn bus_transfer_bytes(
-        &mut self,
-        at: Time,
-        channel: usize,
-        bytes: u64,
-        lane: crate::channel::Lane,
-    ) -> Time {
+    pub fn bus_transfer_bytes(&mut self, at: Time, channel: usize, bytes: u64, lane: Lane) -> Time {
         let cfg = self.cfg.clone();
-        self.channels[channel].bus_transfer_bytes(&cfg, at, bytes, lane)
+        match &mut self.fabric {
+            Fabric::Reservation(channels) => {
+                channel_slot(channels, channel).bus_transfer_bytes(&cfg, at, bytes, lane)
+            }
+            Fabric::Queued(q) => q.shard_mut(channel).bus_transfer_bytes(at, bytes, lane),
+        }
     }
 
     /// Functional read of a block (zero-filled if never written).
@@ -147,25 +280,70 @@ impl PcmMemory {
         r
     }
 
-    /// Per-channel statistics.
+    /// Per-channel statistics (both backends report the same schema).
     pub fn channel_stats(&self, channel: usize) -> &ChannelStats {
-        self.channels[channel].stats()
+        match &self.fabric {
+            Fabric::Reservation(channels) => {
+                let count = channels.len();
+                channels
+                    .get(channel)
+                    .unwrap_or_else(|| panic!("channel {channel} out of range ({count} channels)"))
+                    .stats()
+            }
+            Fabric::Queued(q) => q.shard(channel).channel_stats(),
+        }
     }
 
     /// Per-bank row-buffer statistics for `channel`, indexed by flat
     /// bank index (`rank * banks_per_rank + bank`).
     pub fn bank_stats(&self, channel: usize) -> &[BankStats] {
-        self.channels[channel].bank_stats()
+        match &self.fabric {
+            Fabric::Reservation(channels) => {
+                let count = channels.len();
+                channels
+                    .get(channel)
+                    .unwrap_or_else(|| panic!("channel {channel} out of range ({count} channels)"))
+                    .bank_stats()
+            }
+            Fabric::Queued(q) => q.shard(channel).bank_stats(),
+        }
+    }
+
+    /// Scheduler statistics when running the queued backend.
+    pub fn scheduler_stats(&self) -> Option<crate::scheduler::SchedulerStats> {
+        match &self.fabric {
+            Fabric::Reservation(_) => None,
+            Fabric::Queued(q) => Some(q.stats()),
+        }
     }
 
     /// When `channel`'s bus frees up (for idle-channel dummy injection).
     pub fn channel_busy_until(&self, channel: usize) -> Time {
-        self.channels[channel].busy_until()
+        match &self.fabric {
+            Fabric::Reservation(channels) => {
+                let count = channels.len();
+                channels
+                    .get(channel)
+                    .unwrap_or_else(|| panic!("channel {channel} out of range ({count} channels)"))
+                    .busy_until()
+            }
+            Fabric::Queued(q) => q.shard(channel).busy_until(),
+        }
     }
 
-    /// True if `channel` is idle at `now`.
+    /// True if `channel` is idle at `now` (no transfer in flight; under
+    /// the queued backend also nothing pending).
     pub fn channel_idle_at(&self, channel: usize, now: Time) -> bool {
-        self.channels[channel].is_idle_at(now)
+        match &self.fabric {
+            Fabric::Reservation(channels) => {
+                let count = channels.len();
+                channels
+                    .get(channel)
+                    .unwrap_or_else(|| panic!("channel {channel} out of range ({count} channels)"))
+                    .is_idle_at(now)
+            }
+            Fabric::Queued(q) => q.shard(channel).is_idle_at(now),
+        }
     }
 
     /// Wear tracker (PCM array writes by row).
@@ -200,22 +378,25 @@ impl PcmMemory {
 impl Observable for PcmMemory {
     /// Reports device-level counters plus, per channel, the bus/row-buffer
     /// aggregates and the per-bank row-buffer breakdown (`ch<N>.bank<M>`).
+    /// The queued backend additionally reports a `queued` subtree with
+    /// the scheduler's reorder/adaptive-close counters and per-channel
+    /// queue-depth histograms.
     fn observe(&self, out: &mut MetricsNode) {
         let (array_reads, array_writes) = self.array_ops();
         out.set_counter("array_reads", array_reads);
         out.set_counter("array_writes", array_writes);
         out.set_gauge("array_energy", self.array_energy());
         out.set_counter("blocks_stored", self.blocks_stored() as u64);
-        for (ch_index, channel) in self.channels.iter().enumerate() {
+        for ch_index in 0..self.cfg.channels {
             let node = out.child(&format!("ch{ch_index}"));
-            let s = channel.stats();
+            let s = self.channel_stats(ch_index);
             node.set_counter("reads", s.reads.get());
             node.set_counter("writes", s.writes.get());
             node.set_counter("row_hits", s.row_hits.get());
             node.set_counter("row_misses_clean", s.row_misses_clean.get());
             node.set_counter("row_misses_dirty", s.row_misses_dirty.get());
             node.set_counter("bus_busy_ps", s.bus_busy_ps.get());
-            for (bank_index, b) in channel.bank_stats().iter().enumerate() {
+            for (bank_index, b) in self.bank_stats(ch_index).iter().enumerate() {
                 // Idle banks stay out of the snapshot so wide geometries
                 // don't bury the active ones.
                 if b.accesses.get() == 0 {
@@ -228,6 +409,20 @@ impl Observable for PcmMemory {
                 bank.set_counter("row_misses_dirty", b.row_misses_dirty.get());
             }
         }
+        if let Fabric::Queued(q) = &self.fabric {
+            let node = out.child("queued");
+            let total = q.stats();
+            node.set_counter("serviced", total.serviced.get());
+            node.set_counter("reordered", total.reordered.get());
+            node.set_counter("adaptive_closes", total.adaptive_closes.get());
+            node.set_counter("row_hits", total.row_hits.get());
+            for shard in q.shards() {
+                let ch = node.child(&format!("ch{}", shard.channel()));
+                ch.set_counter("reordered", shard.stats().reordered.get());
+                ch.set_counter("adaptive_closes", shard.stats().adaptive_closes.get());
+                ch.set_histogram("queue_depth", shard.depth_histogram());
+            }
+        }
     }
 }
 
@@ -238,6 +433,10 @@ mod tests {
 
     fn mem() -> PcmMemory {
         PcmMemory::new(MemConfig::table2())
+    }
+
+    fn queued_mem() -> PcmMemory {
+        PcmMemory::new(MemConfig::table2().with_backend(BackendKind::Queued))
     }
 
     #[test]
@@ -352,7 +551,156 @@ mod tests {
         assert_eq!(snap.counter("array_reads"), Some(1));
     }
 
+    #[test]
+    fn queued_demand_access_matches_reservation_latency() {
+        let mut q = queued_mem();
+        let r = q.access(Time::ZERO, 0, AccessKind::Read);
+        assert_eq!(r.complete_at.as_ps(), 78_750);
+        let hit = q.access(r.complete_at, 64, AccessKind::Read);
+        assert!(hit.row_hit);
+        assert_eq!(hit.complete_at.since(r.complete_at).as_ps(), 18_750);
+    }
+
+    #[test]
+    fn posted_writes_stay_queued_until_drained() {
+        let mut q = queued_mem();
+        q.access_posted(Time::ZERO, 0, AccessKind::Write);
+        q.access_posted(Time::ZERO, 1 << 24, AccessKind::Write);
+        assert_eq!(q.pending_requests(), 2);
+        assert_eq!(q.channel_stats(0).writes.get(), 0, "nothing serviced yet");
+        q.drain_queued();
+        assert_eq!(q.pending_requests(), 0);
+        assert_eq!(q.channel_stats(0).writes.get(), 2);
+        // The second write evicted the first's dirty row: one cell write.
+        assert_eq!(q.wear().total_writes(), 1);
+    }
+
+    #[test]
+    fn demand_read_can_jump_posted_writes() {
+        // Open ROW_A with a demand read; while the bank is busy, post a
+        // ROW_B write (older) and then demand-read ROW_A again (newer).
+        // When the bank frees both can start at the same instant, so
+        // FR-FCFS gives the row hit priority: the demand read jumps the
+        // posted write — the reorder window the reservation model lacks.
+        let mut q = queued_mem();
+        let opener = q.access(Time::ZERO, 0, AccessKind::Read);
+        assert_eq!(opener.complete_at.as_ps(), 78_750);
+        q.access_posted(Time::from_ps(10_000), 1 << 24, AccessKind::Write);
+        let hit = q.access(Time::from_ps(11_000), 64, AccessKind::Read);
+        assert!(hit.row_hit, "demand hit must jump the posted miss");
+        assert_eq!(q.pending_requests(), 1, "posted write still queued");
+        q.drain_queued();
+        let stats = q.scheduler_stats().unwrap();
+        assert_eq!(stats.reordered.get(), 1);
+        assert_eq!(stats.serviced.get(), 3);
+    }
+
+    #[test]
+    fn queued_observe_reports_scheduler_subtree() {
+        let mut q = queued_mem();
+        let a = q.access(Time::ZERO, 0, AccessKind::Read);
+        q.access(a.complete_at, 64, AccessKind::Read);
+        q.drain_queued();
+        let mut snap = MetricsNode::new();
+        q.observe(&mut snap);
+        assert_eq!(snap.counter("queued.serviced"), Some(2));
+        assert_eq!(snap.counter("queued.row_hits"), Some(1));
+        assert_eq!(snap.counter("queued.reordered"), Some(0));
+        assert_eq!(snap.counter("ch0.reads"), Some(2));
+        assert!(
+            matches!(
+                snap.value("queued.ch0.queue_depth"),
+                Some(obfusmem_obs::metrics::MetricValue::Histogram(h)) if h.count() == 2
+            ),
+            "queue-depth histogram must sample each enqueue"
+        );
+    }
+
+    #[test]
+    fn reservation_has_no_queued_subtree() {
+        let mut m = mem();
+        m.access(Time::ZERO, 0, AccessKind::Read);
+        let mut snap = MetricsNode::new();
+        m.observe(&mut snap);
+        assert!(snap.get_child("queued").is_none());
+        assert_eq!(m.pending_requests(), 0);
+        assert!(m.scheduler_stats().is_none());
+    }
+
+    /// Row stride for channel-0/rank-0/bank-0 addresses under Table 2:
+    /// 10 column bits + 0 channel bits + 3 bank bits + 1 rank bit.
+    const ROW_STRIDE: u64 = 1 << 14;
+
     proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Differential: on a single-bank, in-order, demand-only
+        /// workload the queued backend must be *bit-identical* to the
+        /// reservation backend — the queue never holds more than the one
+        /// request being serviced, so FR-FCFS degenerates to FCFS, the
+        /// adaptive close never fires, and the lane math matches.
+        #[test]
+        fn queued_matches_reservation_single_bank_in_order(
+            ops in proptest::collection::vec((0u64..4, 0u64..16, proptest::bool::ANY), 1..50)
+        ) {
+            let mut res = PcmMemory::new(MemConfig::table2());
+            let mut que = queued_mem();
+            let mut t_res = Time::ZERO;
+            let mut t_que = Time::ZERO;
+            for (row, col, is_write) in ops {
+                let addr = row * ROW_STRIDE + col * 64;
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                let a = res.access(t_res, addr, kind);
+                let b = que.access(t_que, addr, kind);
+                proptest::prop_assert_eq!(a, b);
+                t_res = a.complete_at;
+                t_que = b.complete_at;
+            }
+            que.drain_queued();
+            proptest::prop_assert_eq!(res.array_ops(), que.array_ops());
+            proptest::prop_assert_eq!(res.wear().total_writes(), que.wear().total_writes());
+            let (rs, qs) = (res.channel_stats(0), que.channel_stats(0));
+            proptest::prop_assert_eq!(rs.reads.get(), qs.reads.get());
+            proptest::prop_assert_eq!(rs.writes.get(), qs.writes.get());
+            proptest::prop_assert_eq!(rs.row_hits.get(), qs.row_hits.get());
+            proptest::prop_assert_eq!(rs.row_misses_dirty.get(), qs.row_misses_dirty.get());
+        }
+
+        /// Conservation: on arbitrary mixed demand/posted workloads both
+        /// backends service every request exactly once — same read and
+        /// write counts per channel even when timings diverge.
+        #[test]
+        fn both_backends_service_every_request_exactly_once(
+            ops in proptest::collection::vec(
+                (0u64..(1 << 26), proptest::bool::ANY, proptest::bool::ANY, 0u64..2000),
+                1..50
+            )
+        ) {
+            let cfg = MemConfig::table2().with_channels(2);
+            let mut res = PcmMemory::new(cfg.clone());
+            let mut que = PcmMemory::new(cfg.with_backend(BackendKind::Queued));
+            for &(addr, is_write, is_posted, at_ns) in &ops {
+                let addr = addr & !63;
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                let at = Time::from_ps(at_ns * 1000);
+                for m in [&mut res, &mut que] {
+                    if is_posted {
+                        m.access_posted(at, addr, kind);
+                    } else {
+                        m.access(at, addr, kind);
+                    }
+                }
+            }
+            res.drain_queued();
+            que.drain_queued();
+            proptest::prop_assert_eq!(que.pending_requests(), 0);
+            for ch in 0..2 {
+                let (rs, qs) = (res.channel_stats(ch), que.channel_stats(ch));
+                proptest::prop_assert_eq!(rs.reads.get(), qs.reads.get());
+                proptest::prop_assert_eq!(rs.writes.get(), qs.writes.get());
+            }
+        }
+
         #[test]
         fn store_behaves_like_a_map(ops in proptest::collection::vec((0u64..1 << 20, 0u8..), 1..64)) {
             let mut m = mem();

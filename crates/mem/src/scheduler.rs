@@ -1,28 +1,44 @@
-//! A queued memory controller with FR-FCFS scheduling and the
+//! Queued memory controllers with FR-FCFS scheduling and the
 //! open-adaptive page policy (both named in the paper's Table 2).
 //!
 //! The resource-reservation model in [`crate::device`] services requests
 //! in arrival order; real controllers *reorder*: First-Ready FCFS picks
 //! row-buffer hits over older misses, which is what makes streaming
 //! workloads fast and what ObfusMem's fixed-address dummies deliberately
-//! avoid disturbing. This module provides that controller for studies
-//! where reorder fidelity matters; the full-system backend keeps the
-//! cheaper reservation model (EXPERIMENTS.md quantifies the difference).
+//! avoid disturbing. Selecting [`crate::config::BackendKind::Queued`]
+//! routes the full system through this module; EXPERIMENTS.md quantifies
+//! where the two models diverge.
+//!
+//! Two layers:
+//!
+//! * [`FrFcfsScheduler`] — the controller for **one channel**: per-bank
+//!   sub-queues (so candidate selection, adaptive-close scans, and
+//!   dequeues touch only the affected bank instead of the whole queue),
+//!   plus the channel's request/response lanes so data transfers contend
+//!   exactly as in [`crate::channel::Channel`].
+//! * [`ShardedFrFcfs`] — the channel demux: decodes each address once,
+//!   routes it to the owning channel's controller, and allocates
+//!   device-global [`RequestId`]s. Sharding is also the channel-aliasing
+//!   fix: the old single-queue controller dropped
+//!   [`DecodedAddr::channel`] from its bank index, so same-bank rows on
+//!   *different* channels shared one row buffer and falsely row-hit.
 //!
 //! **Open-adaptive policy**: after issuing a request, the row is left
 //! open if another queued request targets it; if a queued request wants a
 //! *different* row of the same bank, the controller precharges early
 //! (adaptive close) to hide the PCM write-back behind queueing time.
 
-use obfusmem_sim::stats::Counter;
+use obfusmem_sim::stats::{Counter, Histogram};
 use obfusmem_sim::time::Time;
 
 use crate::addr::{decode, DecodedAddr};
-use crate::bank::Bank;
+use crate::bank::{Bank, RowBufferOutcome};
+use crate::channel::{BankStats, ChannelStats, Lane};
 use crate::config::MemConfig;
 use crate::request::AccessKind;
 
-/// Identifier for a queued request.
+/// Identifier for a queued request. Unique per controller; the sharded
+/// demux allocates them globally so ids stay unique across channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(u64);
 
@@ -34,7 +50,8 @@ struct QueueEntry {
     arrival: Time,
 }
 
-/// A completed request.
+/// A completed request, with everything the device needs to account for
+/// it (stats, wear, activations) at service time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The request.
@@ -43,6 +60,14 @@ pub struct Completion {
     pub at: Time,
     /// Whether it hit an open row.
     pub row_hit: bool,
+    /// What the request was.
+    pub kind: AccessKind,
+    /// Where it went.
+    pub decoded: DecodedAddr,
+    /// Row-buffer outcome at the bank.
+    pub outcome: RowBufferOutcome,
+    /// Row whose PCM cells absorbed a dirty eviction during this access.
+    pub evicted_row: Option<u64>,
 }
 
 /// Scheduler statistics.
@@ -58,31 +83,142 @@ pub struct SchedulerStats {
     pub row_hits: Counter,
 }
 
+impl SchedulerStats {
+    fn absorb(&mut self, other: &SchedulerStats) {
+        self.serviced.add(other.serviced.get());
+        self.reordered.add(other.reordered.get());
+        self.adaptive_closes.add(other.adaptive_closes.get());
+        self.row_hits.add(other.row_hits.get());
+    }
+}
+
+/// The FR-FCFS issue choice for one bank, cached until the bank changes.
+///
+/// A pick only mutates its own bank (busy window, open row, queue), so
+/// every other bank's best candidate stays valid — re-evaluating just the
+/// touched bank replaces the old whole-queue rescan per pick.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    slot: usize,
+    start: Time,
+    row_hit: bool,
+    arrival: Time,
+    id: RequestId,
+}
+
+impl Candidate {
+    /// FR-FCFS priority: earlier start wins; ties prefer row hits, then
+    /// age, then enqueue order (ids are allocated in enqueue order).
+    fn beats(&self, other: &Candidate) -> bool {
+        (self.start, !self.row_hit, self.arrival, self.id)
+            < (other.start, !other.row_hit, other.arrival, other.id)
+    }
+}
+
+/// One bank plus its private sub-queue.
+#[derive(Debug)]
+struct BankQueue {
+    bank: Bank,
+    /// Pending requests sorted by (arrival, id).
+    pending: Vec<QueueEntry>,
+    /// Cached best candidate; recomputed only when `dirty`.
+    best: Option<Candidate>,
+    dirty: bool,
+}
+
+impl BankQueue {
+    fn new() -> Self {
+        BankQueue {
+            bank: Bank::new(),
+            pending: Vec::new(),
+            best: None,
+            dirty: false,
+        }
+    }
+
+    fn refresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let mut best: Option<Candidate> = None;
+        for (slot, e) in self.pending.iter().enumerate() {
+            let candidate = Candidate {
+                slot,
+                start: e.arrival.max(self.bank.busy_until()),
+                row_hit: self.bank.open_row() == Some(e.decoded.row),
+                arrival: e.arrival,
+                id: e.id,
+            };
+            best = Some(match best {
+                Some(b) if !candidate.beats(&b) => b,
+                _ => candidate,
+            });
+        }
+        self.best = best;
+    }
+}
+
 /// A queued FR-FCFS controller for one channel.
 #[derive(Debug)]
 pub struct FrFcfsScheduler {
     cfg: MemConfig,
-    banks: Vec<Bank>,
-    queue: Vec<QueueEntry>,
+    channel: usize,
+    banks: Vec<BankQueue>,
+    pending_count: usize,
     next_id: u64,
+    request_lane_free: Time,
+    response_lane_free: Time,
     completions: Vec<Completion>,
+    /// Cell writes from adaptive-close dirty evictions, as
+    /// (channel-local flat bank, row); drain with
+    /// [`FrFcfsScheduler::take_cell_writes`].
+    cell_writes: Vec<(usize, u64)>,
     stats: SchedulerStats,
+    channel_stats: ChannelStats,
+    bank_stats: Vec<BankStats>,
+    depth_hist: Histogram,
 }
 
 impl FrFcfsScheduler {
-    /// Creates a controller for one channel of `cfg`.
+    /// Creates a controller for channel 0 of `cfg` (the standalone-study
+    /// configuration; multi-channel systems use [`ShardedFrFcfs`]).
     pub fn new(cfg: MemConfig) -> Self {
-        let banks = (0..cfg.ranks_per_channel * cfg.banks_per_rank)
-            .map(|_| Bank::new())
-            .collect();
+        Self::for_channel(cfg, 0)
+    }
+
+    /// Creates the controller for channel `channel` of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range for the configuration.
+    pub fn for_channel(cfg: MemConfig, channel: usize) -> Self {
+        assert!(
+            channel < cfg.channels,
+            "channel {channel} out of range for a {}-channel configuration",
+            cfg.channels
+        );
+        let bank_count = cfg.ranks_per_channel * cfg.banks_per_rank;
         FrFcfsScheduler {
             cfg,
-            banks,
-            queue: Vec::new(),
+            channel,
+            banks: (0..bank_count).map(|_| BankQueue::new()).collect(),
+            pending_count: 0,
             next_id: 0,
+            request_lane_free: Time::ZERO,
+            response_lane_free: Time::ZERO,
             completions: Vec::new(),
+            cell_writes: Vec::new(),
             stats: SchedulerStats::default(),
+            channel_stats: ChannelStats::default(),
+            bank_stats: vec![BankStats::default(); bank_count],
+            depth_hist: Histogram::new(),
         }
+    }
+
+    /// Which channel this controller serves.
+    pub fn channel(&self) -> usize {
+        self.channel
     }
 
     /// Statistics so far.
@@ -90,124 +226,374 @@ impl FrFcfsScheduler {
         &self.stats
     }
 
-    /// Pending queue depth.
-    pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+    /// Channel-level bus/row-buffer aggregates, shaped exactly like the
+    /// reservation model's so observability consumers see one schema.
+    pub fn channel_stats(&self) -> &ChannelStats {
+        &self.channel_stats
     }
 
-    /// Enqueues a request; returns its id. Call [`FrFcfsScheduler::run_until`]
-    /// to make progress.
+    /// Per-bank row-buffer statistics, indexed by channel-local flat bank
+    /// index (`rank * banks_per_rank + bank`).
+    pub fn bank_stats(&self) -> &[BankStats] {
+        &self.bank_stats
+    }
+
+    /// Queue depths sampled at every enqueue.
+    pub fn depth_histogram(&self) -> &Histogram {
+        &self.depth_hist
+    }
+
+    /// Pending queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.pending_count
+    }
+
+    /// When the channel's lanes next free up (max over both lanes).
+    pub fn busy_until(&self) -> Time {
+        self.request_lane_free.max(self.response_lane_free)
+    }
+
+    /// True if neither lane has a transfer in flight at `now`.
+    pub fn is_idle_at(&self, now: Time) -> bool {
+        self.request_lane_free <= now && self.response_lane_free <= now && self.pending_count == 0
+    }
+
+    /// The bank sub-queue a decoded address steers to, with context on
+    /// the invariant violation instead of an opaque index panic.
+    fn bank_queue_mut(&mut self, d: &DecodedAddr) -> (usize, &mut BankQueue) {
+        assert_eq!(
+            d.channel, self.channel,
+            "request decoded to channel {} reached channel {}'s scheduler \
+             (demux routing bug or decode from a different configuration)",
+            d.channel, self.channel
+        );
+        let index = d.rank * self.cfg.banks_per_rank + d.bank;
+        let count = self.banks.len();
+        let bq = self.banks.get_mut(index).unwrap_or_else(|| {
+            panic!(
+                "decoded rank {} / bank {} maps to bank index {index}, \
+                 outside this channel's {count} banks",
+                d.rank, d.bank
+            )
+        });
+        (index, bq)
+    }
+
+    /// Enqueues a request; returns its id. Call
+    /// [`FrFcfsScheduler::run_until`] to make progress.
     pub fn enqueue(&mut self, at: Time, addr: u64, kind: AccessKind) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.queue.push(QueueEntry {
-            id,
-            decoded: decode(&self.cfg, addr),
-            kind,
-            arrival: at,
-        });
+        self.enqueue_with_id(id, at, decode(&self.cfg, addr), kind);
         id
     }
 
-    fn bank_index(&self, d: &DecodedAddr) -> usize {
-        d.rank * self.cfg.banks_per_rank + d.bank
+    /// Enqueues a pre-decoded request under a caller-allocated id (the
+    /// sharded demux allocates ids globally across channels).
+    pub fn enqueue_with_id(
+        &mut self,
+        id: RequestId,
+        at: Time,
+        decoded: DecodedAddr,
+        kind: AccessKind,
+    ) {
+        let (_, bq) = self.bank_queue_mut(&decoded);
+        let entry = QueueEntry {
+            id,
+            decoded,
+            kind,
+            arrival: at,
+        };
+        let pos = bq
+            .pending
+            .partition_point(|e| (e.arrival, e.id) <= (entry.arrival, entry.id));
+        bq.pending.insert(pos, entry);
+        bq.dirty = true;
+        self.pending_count += 1;
+        self.depth_hist.record(self.pending_count as u64);
     }
 
-    /// Services queued requests until no request can complete at or before
-    /// `until`. Returns completions in issue order (drain with
-    /// [`FrFcfsScheduler::take_completions`]).
+    /// Services queued requests until no request can start at or before
+    /// `until`. Drain results with [`FrFcfsScheduler::take_completions`].
     pub fn run_until(&mut self, until: Time) {
-        // The controller clock advances to the earliest instant something
-        // can happen — max of arrival and bank availability for the pick.
-        while let Some(pick) = self.pick_earliest(until) {
-            let entry = self.queue.remove(pick.index);
-            let bank_index = self.bank_index(&entry.decoded);
+        while self.service_next(until).is_some() {}
+    }
 
-            // FIFO-violation accounting: did an older request remain?
-            if self.queue.iter().any(|e| e.arrival < entry.arrival) {
-                self.stats.reordered.incr();
-            }
-
-            let (done, outcome) =
-                self.banks[bank_index].access(&self.cfg, pick.start, entry.decoded.row, entry.kind);
-            let complete = done + self.cfg.t_burst;
-            let row_hit = outcome == crate::bank::RowBufferOutcome::Hit;
-            if row_hit {
-                self.stats.row_hits.incr();
-            }
-            self.stats.serviced.incr();
-            self.completions.push(Completion {
-                id: entry.id,
-                at: complete,
-                row_hit,
-            });
-
-            // Open-adaptive: if a queued request wants a different row of
-            // this bank (and none wants the now-open row), precharge early.
-            let open_row = self.banks[bank_index].open_row();
-            let same_row_waiting = self.queue.iter().any(|e| {
-                self.bank_index(&e.decoded) == bank_index && Some(e.decoded.row) == open_row
-            });
-            let other_row_waiting = self.queue.iter().any(|e| {
-                self.bank_index(&e.decoded) == bank_index && Some(e.decoded.row) != open_row
-            });
-            if !same_row_waiting && other_row_waiting {
-                self.banks[bank_index].close(&self.cfg, complete);
-                self.stats.adaptive_closes.incr();
+    /// Services requests (in FR-FCFS order, which may put others first)
+    /// until `id` completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not pending — drive-to-completion on a request
+    /// this controller never saw is a caller bug.
+    pub fn run_until_completed(&mut self, id: RequestId) {
+        // Horizon only bounds pick *starts*, so the far value is safe.
+        let horizon = Time::from_ps(u64::MAX);
+        while let Some(serviced) = self.service_next(horizon) {
+            if serviced == id {
+                return;
             }
         }
+        panic!(
+            "request {id:?} never completed: it was not pending on channel {}",
+            self.channel
+        );
     }
 
-    /// Finds the pick whose issue can start earliest, if that start is at
-    /// or before `until`.
-    fn pick_earliest(&self, until: Time) -> Option<Pick> {
-        // Candidate start time: max(arrival, bank free). Evaluate the
-        // FR-FCFS choice at that instant.
-        let mut best: Option<Pick> = None;
-        for (i, e) in self.queue.iter().enumerate() {
-            let bank = &self.banks[self.bank_index(&e.decoded)];
-            let start = e.arrival.max(bank.busy_until());
-            if start > until {
+    /// Issues the single best-priority request startable at or before
+    /// `until`, returning its id.
+    fn service_next(&mut self, until: Time) -> Option<RequestId> {
+        // Refresh stale per-bank candidates, then take the global best.
+        let mut best: Option<(usize, Candidate)> = None;
+        for (index, bq) in self.banks.iter_mut().enumerate() {
+            bq.refresh();
+            let Some(c) = bq.best else { continue };
+            if c.start > until {
                 continue;
             }
-            let row_hit = bank.open_row() == Some(e.decoded.row);
-            let candidate = Pick {
-                index: i,
-                start,
-                row_hit,
-                arrival: e.arrival,
-            };
             best = Some(match best {
-                None => candidate,
-                Some(b) => {
-                    // Earlier start wins; ties prefer row hits, then age.
-                    if candidate.start < b.start
-                        || (candidate.start == b.start
-                            && (candidate.row_hit && !b.row_hit
-                                || candidate.row_hit == b.row_hit && candidate.arrival < b.arrival))
-                    {
-                        candidate
-                    } else {
-                        b
-                    }
-                }
+                Some((bi, b)) if !c.beats(&b) => (bi, b),
+                _ => (index, c),
             });
         }
-        best
+        let (bank_index, pick) = best?;
+
+        let entry = self.banks[bank_index].pending.remove(pick.slot);
+        self.banks[bank_index].dirty = true;
+        self.pending_count -= 1;
+
+        // FIFO-violation accounting: did an older request remain? Queues
+        // are arrival-sorted, so each bank's front is its oldest.
+        let older_remains = self.banks.iter().any(|bq| {
+            bq.pending
+                .first()
+                .is_some_and(|e| e.arrival < entry.arrival)
+        });
+        if older_remains {
+            self.stats.reordered.incr();
+        }
+
+        let bq = &mut self.banks[bank_index];
+        let (bank_done, outcome) =
+            bq.bank
+                .access(&self.cfg, pick.start, entry.decoded.row, entry.kind);
+        let evicted_row = bq.bank.take_evicted_row();
+
+        // The data transfer needs its lane: read data returns on the
+        // response lane, write data arrives on the request lane — the
+        // same contention the reservation channel models.
+        let lane_free = match entry.kind {
+            AccessKind::Read => &mut self.response_lane_free,
+            AccessKind::Write => &mut self.request_lane_free,
+        };
+        let transfer_start = bank_done.max(*lane_free);
+        let complete = transfer_start + self.cfg.t_burst;
+        *lane_free = complete;
+
+        let row_hit = outcome == RowBufferOutcome::Hit;
+        self.stats.serviced.incr();
+        if row_hit {
+            self.stats.row_hits.incr();
+        }
+        match entry.kind {
+            AccessKind::Read => self.channel_stats.reads.incr(),
+            AccessKind::Write => self.channel_stats.writes.incr(),
+        }
+        let per_bank = &mut self.bank_stats[bank_index];
+        per_bank.accesses.incr();
+        match outcome {
+            RowBufferOutcome::Hit => {
+                self.channel_stats.row_hits.incr();
+                per_bank.row_hits.incr();
+            }
+            RowBufferOutcome::MissClean => {
+                self.channel_stats.row_misses_clean.incr();
+                per_bank.row_misses_clean.incr();
+            }
+            RowBufferOutcome::MissDirty => {
+                self.channel_stats.row_misses_dirty.incr();
+                per_bank.row_misses_dirty.incr();
+            }
+        }
+        self.channel_stats.bus_busy_ps.add(self.cfg.t_burst.as_ps());
+
+        self.completions.push(Completion {
+            id: entry.id,
+            at: complete,
+            row_hit,
+            kind: entry.kind,
+            decoded: entry.decoded,
+            outcome,
+            evicted_row,
+        });
+
+        // Open-adaptive: if queued work wants a different row of this
+        // bank (and none wants the now-open row), precharge early. Only
+        // this bank's sub-queue needs scanning.
+        let bq = &mut self.banks[bank_index];
+        let open_row = bq.bank.open_row();
+        let same_row_waiting = bq.pending.iter().any(|e| Some(e.decoded.row) == open_row);
+        let other_row_waiting = bq.pending.iter().any(|e| Some(e.decoded.row) != open_row);
+        if !same_row_waiting && other_row_waiting {
+            bq.bank.close(&self.cfg, complete);
+            bq.dirty = true;
+            if let Some(row) = bq.bank.take_evicted_row() {
+                self.cell_writes.push((bank_index, row));
+            }
+            self.stats.adaptive_closes.incr();
+        }
+
+        Some(entry.id)
     }
 
-    /// Drains accumulated completions.
+    /// Occupies a link lane for a transfer of `bytes` (packetized
+    /// command/dummy traffic that never reaches a bank), mirroring
+    /// [`crate::channel::Channel::bus_transfer_bytes`].
+    pub fn bus_transfer_bytes(&mut self, at: Time, bytes: u64, lane: Lane) -> Time {
+        let occupancy_ps =
+            (self.cfg.t_burst.as_ps() * bytes).div_ceil(crate::request::BLOCK_BYTES as u64);
+        let lane_free = match lane {
+            Lane::Request => &mut self.request_lane_free,
+            Lane::Response => &mut self.response_lane_free,
+        };
+        let start = at.max(*lane_free);
+        let done = start + obfusmem_sim::time::Duration::from_ps(occupancy_ps);
+        *lane_free = done;
+        self.channel_stats.bus_busy_ps.add(occupancy_ps);
+        done
+    }
+
+    /// Drains accumulated completions (in service order).
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
     }
+
+    /// Drains PCM cell writes caused by adaptive-close dirty evictions,
+    /// as (channel-local flat bank index, row).
+    pub fn take_cell_writes(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.cell_writes)
+    }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Pick {
-    index: usize,
-    start: Time,
-    row_hit: bool,
-    arrival: Time,
+/// The channel demux: per-channel FR-FCFS controllers behind one facade.
+///
+/// Each address is decoded once and routed to the controller owning its
+/// channel; ids are allocated globally so a `(RequestId)` is unique
+/// device-wide. This sharding is what fixes the channel-aliasing bug: two
+/// same-rank/bank/row addresses on different channels now hit *different*
+/// [`Bank`] state machines and cannot falsely row-hit each other.
+#[derive(Debug)]
+pub struct ShardedFrFcfs {
+    cfg: MemConfig,
+    shards: Vec<FrFcfsScheduler>,
+    next_id: u64,
+}
+
+impl ShardedFrFcfs {
+    /// Builds one controller per channel of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent
+    /// (see [`MemConfig::validate`]).
+    pub fn new(cfg: MemConfig) -> Self {
+        cfg.validate();
+        let shards = (0..cfg.channels)
+            .map(|ch| FrFcfsScheduler::for_channel(cfg.clone(), ch))
+            .collect();
+        ShardedFrFcfs {
+            cfg,
+            shards,
+            next_id: 0,
+        }
+    }
+
+    /// The configuration the demux was built for.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// The controller for `channel`, with invariant context on a bad
+    /// index.
+    pub fn shard(&self, channel: usize) -> &FrFcfsScheduler {
+        let count = self.shards.len();
+        self.shards
+            .get(channel)
+            .unwrap_or_else(|| panic!("channel {channel} out of range ({count} channels)"))
+    }
+
+    /// Mutable access to the controller for `channel`.
+    pub fn shard_mut(&mut self, channel: usize) -> &mut FrFcfsScheduler {
+        let count = self.shards.len();
+        self.shards
+            .get_mut(channel)
+            .unwrap_or_else(|| panic!("channel {channel} out of range ({count} channels)"))
+    }
+
+    /// All shards, in channel order.
+    pub fn shards(&self) -> &[FrFcfsScheduler] {
+        &self.shards
+    }
+
+    /// Total pending requests across all channels.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth()).sum()
+    }
+
+    /// Statistics aggregated over all channels.
+    pub fn stats(&self) -> SchedulerStats {
+        let mut total = SchedulerStats::default();
+        for s in &self.shards {
+            total.absorb(s.stats());
+        }
+        total
+    }
+
+    /// Routes a request to its channel's controller; returns the channel
+    /// and the globally unique id.
+    pub fn enqueue(&mut self, at: Time, addr: u64, kind: AccessKind) -> (usize, RequestId) {
+        let decoded = decode(&self.cfg, addr);
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let channel = decoded.channel;
+        self.shard_mut(channel)
+            .enqueue_with_id(id, at, decoded, kind);
+        (channel, id)
+    }
+
+    /// Runs every channel forward to `until`.
+    pub fn run_until(&mut self, until: Time) {
+        for s in &mut self.shards {
+            s.run_until(until);
+        }
+    }
+
+    /// Drives `channel` until `id` completes (see
+    /// [`FrFcfsScheduler::run_until_completed`]).
+    pub fn run_until_completed(&mut self, channel: usize, id: RequestId) {
+        self.shard_mut(channel).run_until_completed(id);
+    }
+
+    /// Drains completions from every channel, tagged with their channel,
+    /// in (channel, service) order — deterministic for a deterministic
+    /// enqueue sequence.
+    pub fn take_completions(&mut self) -> Vec<(usize, Completion)> {
+        let mut out = Vec::new();
+        for (ch, s) in self.shards.iter_mut().enumerate() {
+            out.extend(s.take_completions().into_iter().map(|c| (ch, c)));
+        }
+        out
+    }
+
+    /// Drains adaptive-close cell writes from every channel, as
+    /// (channel, channel-local flat bank, row).
+    pub fn take_cell_writes(&mut self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (ch, s) in self.shards.iter_mut().enumerate() {
+            out.extend(s.take_cell_writes().into_iter().map(|(b, r)| (ch, b, r)));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +623,8 @@ mod tests {
         assert_eq!(done[0].id, id);
         assert_eq!(done[0].at.as_ps(), 78_750); // tRCD + tCL + tBURST
         assert!(!done[0].row_hit);
+        assert_eq!(done[0].outcome, RowBufferOutcome::MissClean);
+        assert_eq!(done[0].evicted_row, None);
     }
 
     #[test]
@@ -341,6 +729,132 @@ mod tests {
         assert_eq!(s.take_completions().len(), 1);
     }
 
+    #[test]
+    fn channel_stats_mirror_the_reservation_schema() {
+        let mut s = sched();
+        s.enqueue(t(0), ROW_A, AccessKind::Read);
+        s.enqueue(t(1), ROW_A + 64, AccessKind::Write);
+        s.run_until(t(10_000));
+        assert_eq!(s.channel_stats().reads.get(), 1);
+        assert_eq!(s.channel_stats().writes.get(), 1);
+        assert_eq!(s.channel_stats().row_hits.get(), 1);
+        assert_eq!(s.channel_stats().row_misses_clean.get(), 1);
+        let flat = {
+            let d = decode(&MemConfig::table2(), ROW_A);
+            d.rank * MemConfig::table2().banks_per_rank + d.bank
+        };
+        assert_eq!(s.bank_stats()[flat].accesses.get(), 2);
+        assert_eq!(s.bank_stats()[flat].row_hits.get(), 1);
+    }
+
+    #[test]
+    fn depth_histogram_samples_every_enqueue() {
+        let mut s = sched();
+        for i in 0..5 {
+            s.enqueue(t(i), ROW_A + i * 64, AccessKind::Read);
+        }
+        assert_eq!(s.depth_histogram().count(), 5);
+        assert_eq!(s.queue_depth(), 5);
+        s.run_until(t(100_000));
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    #[test]
+    fn run_until_completed_services_the_target() {
+        let mut s = sched();
+        let a = s.enqueue(t(0), ROW_A, AccessKind::Read);
+        let b = s.enqueue(t(1), ROW_B, AccessKind::Read);
+        s.run_until_completed(b);
+        let done = s.take_completions();
+        // FR-FCFS still services `a` first (it is older, bank was free).
+        assert_eq!(done[0].id, a);
+        assert_eq!(done.last().unwrap().id, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "reached channel")]
+    fn cross_channel_enqueue_panics_with_context() {
+        // Under a 2-channel config, address `row_buffer_bytes` decodes to
+        // channel 1; channel 0's controller must refuse it loudly instead
+        // of aliasing it onto its own banks (the old bug).
+        let cfg = MemConfig::table2().with_channels(2);
+        let mut s = FrFcfsScheduler::for_channel(cfg.clone(), 0);
+        s.enqueue(Time::ZERO, cfg.row_buffer_bytes, AccessKind::Read);
+    }
+
+    /// The headline regression: two same-rank/bank/row addresses on
+    /// *different* channels must not row-hit each other. The old
+    /// single-queue controller computed its bank index as
+    /// `rank * banks_per_rank + bank`, dropping the channel, so the
+    /// second access below landed on the first's open row and was
+    /// (falsely) counted a hit.
+    #[test]
+    fn different_channels_must_not_row_hit() {
+        let cfg = MemConfig::table2().with_channels(2);
+        let a0 = 0u64;
+        let a1 = cfg.row_buffer_bytes; // next row-buffer chunk: channel 1
+        let d0 = decode(&cfg, a0);
+        let d1 = decode(&cfg, a1);
+        assert_eq!((d0.rank, d0.bank, d0.row), (d1.rank, d1.bank, d1.row));
+        assert_ne!(d0.channel, d1.channel, "test needs distinct channels");
+
+        let mut s = ShardedFrFcfs::new(cfg);
+        let (ch0, first) = s.enqueue(t(0), a0, AccessKind::Read);
+        s.run_until_completed(ch0, first);
+        let (ch1, second) = s.enqueue(t(200), a1, AccessKind::Read);
+        s.run_until_completed(ch1, second);
+
+        let done = s.take_completions();
+        assert_eq!(done.len(), 2);
+        for (_, c) in &done {
+            assert!(
+                !c.row_hit,
+                "cross-channel aliasing: {:?} row-hit a row opened on another channel",
+                c.id
+            );
+        }
+        assert_eq!(s.stats().row_hits.get(), 0);
+        assert_eq!(s.stats().serviced.get(), 2);
+    }
+
+    #[test]
+    fn sharded_channels_service_in_parallel() {
+        let cfg = MemConfig::table2().with_channels(4);
+        let mut s = ShardedFrFcfs::new(cfg.clone());
+        // One cold read per channel, all at t=0: independent controllers
+        // must not serialize.
+        let mut ids = Vec::new();
+        for ch in 0..4u64 {
+            ids.push(s.enqueue(Time::ZERO, ch * cfg.row_buffer_bytes, AccessKind::Read));
+        }
+        s.run_until(t(1000));
+        let done = s.take_completions();
+        assert_eq!(done.len(), 4);
+        for (_, c) in &done {
+            assert_eq!(c.at.as_ps(), 78_750);
+        }
+        // Global ids are unique across channels.
+        let unique: std::collections::HashSet<_> = ids.iter().map(|(_, id)| *id).collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn adaptive_close_dirty_eviction_reports_cell_write() {
+        let mut s = sched();
+        // Dirty ROW_A, then queue conflicting ROW_B work so the adaptive
+        // close writes ROW_A's cells back.
+        s.enqueue(t(0), ROW_A, AccessKind::Write);
+        s.enqueue(t(1), ROW_B, AccessKind::Read);
+        s.run_until(t(100_000));
+        let writes = s.take_cell_writes();
+        let row_a = decode(&MemConfig::table2(), ROW_A).row;
+        assert!(
+            writes.iter().any(|(_, row)| *row == row_a),
+            "adaptive close of a dirty row must surface the cell write: {writes:?}"
+        );
+        assert!(s.stats().adaptive_closes.get() >= 1);
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
         #[test]
@@ -358,6 +872,26 @@ mod tests {
             proptest::prop_assert_eq!(done.len(), ids.len());
             let completed: std::collections::HashSet<_> = done.iter().map(|c| c.id).collect();
             proptest::prop_assert_eq!(completed, ids);
+        }
+
+        #[test]
+        fn sharded_requests_complete_exactly_once_across_channels(
+            reqs in proptest::collection::vec((0u64..(1 << 26), proptest::bool::ANY, 0u64..2000), 1..40)
+        ) {
+            let cfg = MemConfig::table2().with_channels(4);
+            let mut s = ShardedFrFcfs::new(cfg);
+            let mut ids = std::collections::HashSet::new();
+            for (addr, is_write, arrive_ns) in reqs {
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                let (_, id) = s.enqueue(t(arrive_ns), addr & !63, kind);
+                ids.insert(id);
+            }
+            s.run_until(t(10_000_000));
+            let done = s.take_completions();
+            proptest::prop_assert_eq!(done.len(), ids.len());
+            let completed: std::collections::HashSet<_> = done.iter().map(|(_, c)| c.id).collect();
+            proptest::prop_assert_eq!(completed, ids);
+            proptest::prop_assert_eq!(s.queue_depth(), 0);
         }
     }
 }
