@@ -1,7 +1,7 @@
 //! Hot-path microbenchmarks with a machine-readable baseline.
 //!
 //! ```text
-//! hotpath [--quick] [--out PATH] [-n INSTRUCTIONS] [-s SEED]
+//! hotpath [--quick] [--out PATH] [--gate BASELINE] [-n INSTRUCTIONS] [-s SEED]
 //! ```
 //!
 //! Measures the three overhauled hot paths — T-table AES vs the scalar
@@ -18,6 +18,13 @@
 //!
 //! `--quick` shrinks measurement budgets and the sweep size for CI smoke
 //! runs; committed baselines use the full mode defaults.
+//!
+//! `--gate BASELINE` additionally compares the freshly measured speedups
+//! and throughputs against a committed baseline JSON (normally the
+//! checked-in `BENCH_hotpath.json`) and exits nonzero on a regression.
+//! Tolerances are relative to the baseline and mode-dependent: full runs
+//! fail on a >10% drop, `--quick` runs (CI smoke on noisy shared VMs)
+//! only on a >50% drop.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -37,6 +44,7 @@ use obfusmem_sim::time::Time;
 struct Options {
     quick: bool,
     out: String,
+    gate: Option<String>,
     instructions: u64,
     seed: u64,
 }
@@ -45,6 +53,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
         out: String::from("BENCH_hotpath.json"),
+        gate: None,
         instructions: 0,
         seed: 1,
     };
@@ -53,6 +62,9 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--out" => opts.out = args.next().unwrap_or_else(|| usage("missing --out value")),
+            "--gate" => {
+                opts.gate = Some(args.next().unwrap_or_else(|| usage("missing --gate value")));
+            }
             "-n" => {
                 opts.instructions = args
                     .next()
@@ -79,8 +91,59 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: hotpath [--quick] [--out PATH] [-n INSTRUCTIONS] [-s SEED]");
+    eprintln!(
+        "usage: hotpath [--quick] [--out PATH] [--gate BASELINE] [-n INSTRUCTIONS] [-s SEED]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Extracts a top-level `"key":number` value from a flat JSON object
+/// (the only shape the baseline file takes) without a JSON dependency.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// One gated metric: a higher-is-better number from the baseline row.
+struct GateMetric {
+    key: &'static str,
+    current: f64,
+}
+
+/// Compares `metrics` against the baseline file; returns the list of
+/// regression messages (empty = gate passes).
+fn gate_against(baseline_path: &str, metrics: &[GateMetric], max_drop: f64) -> Vec<String> {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read baseline {baseline_path}: {e}")],
+    };
+    let mut failures = Vec::new();
+    for m in metrics {
+        let Some(base) = json_number(&text, m.key) else {
+            failures.push(format!("baseline {baseline_path} lacks key {:?}", m.key));
+            continue;
+        };
+        if base <= 0.0 {
+            // A non-positive baseline can't anchor a relative drop; skip
+            // rather than divide by it.
+            continue;
+        }
+        let floor = base * (1.0 - max_drop);
+        if m.current < floor {
+            failures.push(format!(
+                "{}: {:.3} is below the gate floor {:.3} (baseline {:.3}, allowed drop {:.0}%)",
+                m.key,
+                m.current,
+                floor,
+                base,
+                max_drop * 100.0
+            ));
+        }
+    }
+    failures
 }
 
 /// FIPS-197 Appendix B + random differential: the scalar and T-table
@@ -382,6 +445,51 @@ fn main() {
         "no-op recorder (bwaves)      plain  {plain_ms:8.1} ms   no-op  {noop_ms:8.1} ms   {noop_overhead_pct:+.1}%"
     );
     println!("baseline written             {}", opts.out);
+
+    if let Some(baseline) = &opts.gate {
+        // Gate on relative numbers only (speedups and per-byte
+        // throughput): wall-clock milliseconds vary with the host, but a
+        // speedup ratio collapsing means an optimization actually broke.
+        let max_drop = if opts.quick { 0.50 } else { 0.10 };
+        let metrics = [
+            GateMetric {
+                key: "aes_block_speedup",
+                current: aes_scalar_ns / aes_ttable_ns,
+            },
+            GateMetric {
+                key: "keystream_speedup",
+                current: ks_scalar_ns / ks_ttable_ns,
+            },
+            GateMetric {
+                key: "keystream_ttable_gbps",
+                current: ks_bytes / ks_ttable_ns,
+            },
+            GateMetric {
+                key: "six_pads_speedup",
+                current: six_seq_ns / six_batch_ns,
+            },
+            GateMetric {
+                key: "event_queue_speedup",
+                current: q_heap_ns / q_ours_ns,
+            },
+            GateMetric {
+                key: "fig4_speedup",
+                current: fig4_scalar_ms / fig4_ttable_ms,
+            },
+        ];
+        let failures = gate_against(baseline, &metrics, max_drop);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: bench gate: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "bench gate                   pass ({} metric(s) within {:.0}% of {baseline})",
+            metrics.len(),
+            max_drop * 100.0
+        );
+    }
 }
 
 /// Three decimals is plenty for a tracked baseline and keeps diffs tame.

@@ -95,6 +95,23 @@ impl ProcessorEngine {
         self.dummies_generated
     }
 
+    /// Adds a session lane (key + nonce) with its own pad bank and
+    /// returns its channel index. Every per-channel method — obfuscate,
+    /// decrypt_reply, rekey_channel — addresses the new lane like any
+    /// bootstrap-time channel; the multi-tenant fabric grows the table
+    /// one lane per tenant handshake.
+    pub fn add_lane(&mut self, key: [u8; 16], nonce: u64) -> usize {
+        let lane = self.sessions.add_session(key, nonce);
+        let lat = self.cfg.latencies;
+        self.pad_buffers.push(PadBuffer::new(
+            lat.pad_buffer.max(PADS_PER_REQUEST),
+            lat.aes_per_pad.as_ps(),
+            lat.aes_fill.as_ps(),
+        ));
+        debug_assert_eq!(lane + 1, self.pad_buffers.len());
+        lane
+    }
+
     /// Validates a channel index before any per-channel state is touched,
     /// so a bad index surfaces as a typed error instead of an
     /// out-of-bounds panic on the request path.

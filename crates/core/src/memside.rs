@@ -31,24 +31,66 @@ pub struct DecodedRequest {
 }
 
 /// The memory-side engine for one channel.
+///
+/// Session state is an indexed *table* of lanes, not a singleton: the
+/// classic System wires one lane per engine (lane 0, which every legacy
+/// method addresses implicitly), while the multi-tenant session fabric
+/// parks many tenants' sessions on one engine and addresses them with
+/// the `*_on(lane, ..)` variants. Lane 0 through the legacy methods is
+/// bit-identical to the pre-table engine.
 #[derive(Debug)]
 pub struct MemoryEngine {
     cfg: ObfusMemConfig,
-    session: ChannelSession,
+    sessions: Vec<ChannelSession>,
     rng: SplitMix64,
     dummies_dropped: u64,
     tampers_detected: u64,
 }
 
 impl MemoryEngine {
-    /// Builds the engine with this channel's established session.
+    /// Builds a single-lane engine with this channel's established
+    /// session (the classic one-session-per-channel shape).
     pub fn new(cfg: ObfusMemConfig, session: ChannelSession, seed: u64) -> Self {
+        MemoryEngine::with_sessions(cfg, vec![session], seed)
+    }
+
+    /// Builds an engine whose session table starts with `sessions`
+    /// (lane i = `sessions[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sessions` is empty: every engine needs a lane 0 for
+    /// the legacy single-session API to address.
+    pub fn with_sessions(cfg: ObfusMemConfig, sessions: Vec<ChannelSession>, seed: u64) -> Self {
+        assert!(!sessions.is_empty(), "memory engine needs at least lane 0");
         MemoryEngine {
             cfg,
-            session,
+            sessions,
             rng: SplitMix64::new(seed),
             dummies_dropped: 0,
             tampers_detected: 0,
+        }
+    }
+
+    /// Appends a lane and returns its index.
+    pub fn add_lane(&mut self, session: ChannelSession) -> usize {
+        self.sessions.push(session);
+        self.sessions.len() - 1
+    }
+
+    /// Number of session lanes.
+    pub fn lanes(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn check_lane(&self, lane: usize) -> Result<(), ObfusMemError> {
+        if lane < self.sessions.len() {
+            Ok(())
+        } else {
+            Err(ObfusMemError::NoSuchChannel {
+                channel: lane,
+                channels: self.sessions.len(),
+            })
         }
     }
 
@@ -62,9 +104,15 @@ impl MemoryEngine {
         self.tampers_detected
     }
 
-    /// Current counter (for desync diagnostics).
+    /// Current lane-0 counter (for desync diagnostics).
     pub fn counter(&self) -> u64 {
-        self.session.stream().counter()
+        self.sessions[0].stream().counter()
+    }
+
+    /// Current counter of `lane`.
+    pub fn counter_on(&self, lane: usize) -> Result<u64, ObfusMemError> {
+        self.check_lane(lane)?;
+        Ok(self.sessions[lane].stream().counter())
     }
 
     /// Applies an authenticated counter-resynchronization request: after
@@ -85,8 +133,19 @@ impl MemoryEngine {
         target: u64,
         tag: &[u8; 8],
     ) -> Result<(), ObfusMemError> {
-        let ok = self
-            .session
+        self.apply_resync_on(0, seq, target, tag)
+    }
+
+    /// [`apply_resync`](MemoryEngine::apply_resync) addressed to `lane`.
+    pub fn apply_resync_on(
+        &mut self,
+        lane: usize,
+        seq: u64,
+        target: u64,
+        tag: &[u8; 8],
+    ) -> Result<(), ObfusMemError> {
+        self.check_lane(lane)?;
+        let ok = self.sessions[lane]
             .mac()
             .verify(&[b"resync", &seq.to_le_bytes(), &target.to_le_bytes()], tag);
         if !ok {
@@ -95,15 +154,22 @@ impl MemoryEngine {
                 detail: format!("resync MAC mismatch (seq {seq}, target {target})"),
             });
         }
-        self.session.stream_mut().seek(target);
+        self.sessions[lane].stream_mut().seek(target);
         Ok(())
     }
 
-    /// Re-keys this end's session (link-layer escalation); must be called
+    /// Re-keys lane 0's session (link-layer escalation); must be called
     /// with the same `epoch` the processor used so both ends derive the
     /// same key.
     pub fn rekey(&mut self, epoch: u64) {
-        self.session.rekey(epoch);
+        self.sessions[0].rekey(epoch);
+    }
+
+    /// Re-keys `lane`'s session.
+    pub fn rekey_on(&mut self, lane: usize, epoch: u64) -> Result<(), ObfusMemError> {
+        self.check_lane(lane)?;
+        self.sessions[lane].rekey(epoch);
+        Ok(())
     }
 
     /// Processes a primary/companion packet pair arriving from the bus.
@@ -126,22 +192,33 @@ impl MemoryEngine {
         real: &BusPacket,
         dummy: &BusPacket,
     ) -> Result<(DecodedRequest, Option<DecodedRequest>), ObfusMemError> {
-        let base_counter = self.session.stream().counter();
+        self.receive_pair_on(0, real, dummy)
+    }
+
+    /// [`receive_pair`](MemoryEngine::receive_pair) addressed to `lane`.
+    pub fn receive_pair_on(
+        &mut self,
+        lane: usize,
+        real: &BusPacket,
+        dummy: &BusPacket,
+    ) -> Result<(DecodedRequest, Option<DecodedRequest>), ObfusMemError> {
+        self.check_lane(lane)?;
+        let base_counter = self.sessions[lane].stream().counter();
 
         // Decrypt headers (pads base, base+1 — mirroring the processor).
         // Both header pads are consumed *before* either parse result is
         // inspected, so every failure mode — malformed header or MAC
         // mismatch — leaves the counter uniformly at base+2, the state
         // the link layer's resync handshake repairs.
-        let real_parse = self.decrypt_header(&real.header_ct);
-        let companion_parse = self.decrypt_header(&dummy.header_ct);
+        let real_parse = self.decrypt_header(lane, &real.header_ct);
+        let companion_parse = self.decrypt_header(lane, &dummy.header_ct);
         let real_header = self.note_malformed(real_parse)?;
         let companion_header = self.note_malformed(companion_parse)?;
 
         // Verify MACs before acting on anything (§3.5).
         if self.cfg.security.authenticates() {
-            self.verify_tag(real, &real_header, base_counter)?;
-            self.verify_tag(dummy, &companion_header, base_counter + 1)?;
+            self.verify_tag(lane, real, &real_header, base_counter)?;
+            self.verify_tag(lane, dummy, &companion_header, base_counter + 1)?;
         }
 
         // Pads base+2..=5 decrypt the pair's (at most one) meaningful
@@ -153,11 +230,11 @@ impl MemoryEngine {
         let mut data = None;
         let mut companion_data = None;
         match (&real.data_ct, &dummy.data_ct) {
-            (Some(ct), _) => data = Some(self.decrypt_data(ct)),
+            (Some(ct), _) => data = Some(self.decrypt_data(lane, ct)),
             (None, Some(ct)) if !companion_is_dummy => {
-                companion_data = Some(self.decrypt_data(ct));
+                companion_data = Some(self.decrypt_data(lane, ct));
             }
-            _ => self.session.stream_mut().skip_pads(4),
+            _ => self.sessions[lane].stream_mut().skip_pads(4),
         }
 
         // Companion disposition (§3.3).
@@ -193,19 +270,30 @@ impl MemoryEngine {
     /// * [`ObfusMemError::TamperDetected`] / [`ObfusMemError::MalformedPacket`]
     ///   as for [`MemoryEngine::receive_pair`].
     pub fn receive_uniform(&mut self, packet: &BusPacket) -> Result<DecodedRequest, ObfusMemError> {
-        let base_counter = self.session.stream().counter();
-        let parse = self.decrypt_header(&packet.header_ct);
-        self.session.stream_mut().skip_pads(1); // parity with the split scheme
+        self.receive_uniform_on(0, packet)
+    }
+
+    /// [`receive_uniform`](MemoryEngine::receive_uniform) addressed to
+    /// `lane`.
+    pub fn receive_uniform_on(
+        &mut self,
+        lane: usize,
+        packet: &BusPacket,
+    ) -> Result<DecodedRequest, ObfusMemError> {
+        self.check_lane(lane)?;
+        let base_counter = self.sessions[lane].stream().counter();
+        let parse = self.decrypt_header(lane, &packet.header_ct);
+        self.sessions[lane].stream_mut().skip_pads(1); // parity with the split scheme
         let header = self.note_malformed(parse)?;
 
         if self.cfg.security.authenticates() {
-            self.verify_tag(packet, &header, base_counter)?;
+            self.verify_tag(lane, packet, &header, base_counter)?;
         }
 
         let payload = match &packet.data_ct {
-            Some(ct) => Some(self.decrypt_data(ct)),
+            Some(ct) => Some(self.decrypt_data(lane, ct)),
             None => {
-                self.session.stream_mut().skip_pads(4);
+                self.sessions[lane].stream_mut().skip_pads(4);
                 None
             }
         };
@@ -221,9 +309,9 @@ impl MemoryEngine {
         })
     }
 
-    fn decrypt_data(&mut self, ct: &BlockData) -> BlockData {
+    fn decrypt_data(&mut self, lane: usize, ct: &BlockData) -> BlockData {
         let mut out = *ct;
-        let pads = self.session.stream_mut().next_pads::<4>();
+        let pads = self.sessions[lane].stream_mut().next_pads::<4>();
         for (chunk, pad) in out.chunks_mut(16).zip(pads.iter()) {
             for (d, p) in chunk.iter_mut().zip(pad.iter()) {
                 *d ^= p;
@@ -232,10 +320,14 @@ impl MemoryEngine {
         out
     }
 
-    fn decrypt_header(&mut self, header_ct: &[u8; 16]) -> Result<RequestHeader, ObfusMemError> {
+    fn decrypt_header(
+        &mut self,
+        lane: usize,
+        header_ct: &[u8; 16],
+    ) -> Result<RequestHeader, ObfusMemError> {
         match self.cfg.address_mode {
             AddressCipherMode::Ctr => {
-                let pad = self.session.stream_mut().next_pad();
+                let pad = self.sessions[lane].stream_mut().next_pad();
                 let mut pt = *header_ct;
                 for (d, p) in pt.iter_mut().zip(pad.iter()) {
                     *d ^= p;
@@ -243,8 +335,8 @@ impl MemoryEngine {
                 RequestHeader::from_bytes(&pt)
             }
             AddressCipherMode::Ecb => {
-                self.session.stream_mut().skip_pads(1); // keep counters in step
-                RequestHeader::from_bytes(&self.session.ecb_decrypt(header_ct))
+                self.sessions[lane].stream_mut().skip_pads(1); // keep counters in step
+                RequestHeader::from_bytes(&self.sessions[lane].ecb_decrypt(header_ct))
             }
         }
     }
@@ -262,6 +354,7 @@ impl MemoryEngine {
 
     fn verify_tag(
         &mut self,
+        lane: usize,
         packet: &BusPacket,
         header: &RequestHeader,
         counter: u64,
@@ -274,14 +367,14 @@ impl MemoryEngine {
             MacScheme::EncryptAndMac => {
                 // β = H(r ‖ a ‖ c) with the memory's own counter: detects
                 // modification (r'/a'), drops/replays (c mismatch).
-                self.session
+                self.sessions[lane]
                     .mac()
                     .command_tag(header.kind.encode(), header.addr, counter)
                     == tag
             }
             MacScheme::EncryptThenMac => {
                 let data_slice: &[u8] = packet.data_ct.as_ref().map_or(&[], |d| &d[..]);
-                self.session
+                self.sessions[lane]
                     .mac()
                     .verify(&[&packet.header_ct, data_slice], &tag)
             }
@@ -303,9 +396,24 @@ impl MemoryEngine {
     /// Builds the encrypted read-reply packet for a decoded request, using
     /// the pair's reserved data pads.
     pub fn encrypt_reply(&self, base_counter: u64, data: &BlockData) -> BusPacket {
+        self.encrypt_reply_lane(0, base_counter, data)
+    }
+
+    /// [`encrypt_reply`](MemoryEngine::encrypt_reply) addressed to `lane`.
+    pub fn encrypt_reply_on(
+        &self,
+        lane: usize,
+        base_counter: u64,
+        data: &BlockData,
+    ) -> Result<BusPacket, ObfusMemError> {
+        self.check_lane(lane)?;
+        Ok(self.encrypt_reply_lane(lane, base_counter, data))
+    }
+
+    fn encrypt_reply_lane(&self, lane: usize, base_counter: u64, data: &BlockData) -> BusPacket {
         let mut ct = *data;
         let mut pads = [[0u8; 16]; 4];
-        self.session
+        self.sessions[lane]
             .stream()
             .pads_at_into(base_counter + 2, &mut pads);
         for (chunk, pad) in ct.chunks_mut(16).zip(pads.iter()) {
@@ -314,7 +422,7 @@ impl MemoryEngine {
             }
         }
         let tag = self.cfg.security.authenticates().then(|| {
-            self.session
+            self.sessions[lane]
                 .mac()
                 .tag(&[b"reply", &base_counter.to_le_bytes(), &ct])
         });
@@ -572,6 +680,76 @@ mod tests {
             let (decoded, _) = mems[ch].receive_pair(&pkts.real, &pkts.dummy).unwrap();
             assert_eq!(decoded.header, hdr, "channel {ch} desynced at step {i}");
         }
+    }
+
+    #[test]
+    fn lanes_are_independent_sessions() {
+        let cfg = ObfusMemConfig::paper_default();
+        let mut proc = crate::engine::ProcessorEngine::new(
+            cfg,
+            crate::session::SessionKeyTable::new(vec![([9; 16], 0)]),
+            7,
+        );
+        let mut mem = MemoryEngine::new(cfg, ChannelSession::new([9; 16], 0), 0);
+        let lane = proc.add_lane([10; 16], 5000);
+        assert_eq!(mem.add_lane(ChannelSession::new([10; 16], 5000)), lane);
+        assert_eq!(mem.lanes(), 2);
+        // Interleave traffic across lanes: each lane's counter discipline
+        // holds independently of the global order.
+        for i in 0..8u64 {
+            let l = (i % 2) as usize;
+            let hdr = read_header(i * 64);
+            let pkts = proc.obfuscate(Time::ZERO, l, hdr, None).unwrap();
+            let (decoded, _) = mem.receive_pair_on(l, &pkts.real, &pkts.dummy).unwrap();
+            assert_eq!(decoded.header, hdr, "lane {l} desynced at step {i}");
+        }
+        // Lane-0 traffic replayed onto lane 1 must fail authentication.
+        let pkts = proc
+            .obfuscate(Time::ZERO, 0, read_header(0x40), None)
+            .unwrap();
+        assert!(mem.receive_pair_on(1, &pkts.real, &pkts.dummy).is_err());
+        // Out-of-range lanes get a typed error, not a panic.
+        assert!(matches!(
+            mem.receive_pair_on(9, &pkts.real, &pkts.dummy),
+            Err(ObfusMemError::NoSuchChannel {
+                channel: 9,
+                channels: 2
+            })
+        ));
+        assert!(mem.counter_on(9).is_err());
+        assert!(mem.rekey_on(9, 1).is_err());
+    }
+
+    #[test]
+    fn legacy_methods_are_lane_zero() {
+        let cfg = ObfusMemConfig::paper_default();
+        let mk = || {
+            let proc = crate::engine::ProcessorEngine::new(
+                cfg,
+                crate::session::SessionKeyTable::new(vec![([4; 16], 17)]),
+                3,
+            );
+            let mem = MemoryEngine::new(cfg, ChannelSession::new([4; 16], 17), 5);
+            (proc, mem)
+        };
+        let (mut p_legacy, mut m_legacy) = mk();
+        let (mut p_lane, mut m_lane) = mk();
+        for i in 0..20u64 {
+            let hdr = read_header(i * 64);
+            let a = p_legacy.obfuscate(Time::ZERO, 0, hdr, None).unwrap();
+            let b = p_lane.obfuscate(Time::ZERO, 0, hdr, None).unwrap();
+            assert_eq!(a.real, b.real);
+            let (da, _) = m_legacy.receive_pair(&a.real, &a.dummy).unwrap();
+            let (db, _) = m_lane.receive_pair_on(0, &b.real, &b.dummy).unwrap();
+            assert_eq!(da, db);
+            let stored = [i as u8; 64];
+            let ra = m_legacy.encrypt_reply(da.base_counter, &stored);
+            let rb = m_lane
+                .encrypt_reply_on(0, db.base_counter, &stored)
+                .unwrap();
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(m_legacy.counter(), m_lane.counter_on(0).unwrap());
     }
 
     #[test]

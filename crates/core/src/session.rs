@@ -82,6 +82,19 @@ impl ChannelSession {
     }
 }
 
+impl Drop for ChannelSession {
+    /// Scrubs the raw session key (the expanded schedules inside the CTR
+    /// stream and ECB cipher scrub themselves — `Aes128` zeroizes on
+    /// drop). Re-keying replaces `*self`, so retired keys pass through
+    /// here too.
+    fn drop(&mut self) {
+        for b in self.key.iter_mut() {
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
 /// The processor's Session Key Table: one session per channel.
 #[derive(Debug)]
 pub struct SessionKeyTable {
@@ -102,6 +115,14 @@ impl SessionKeyTable {
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Appends a session lane and returns its index. The classic system
+    /// sizes the table once at bootstrap; the multi-tenant fabric grows
+    /// it as tenants hand-shake in.
+    pub fn add_session(&mut self, key: [u8; 16], nonce: u64) -> usize {
+        self.sessions.push(ChannelSession::new(key, nonce));
+        self.sessions.len() - 1
     }
 
     /// The session for `channel`.

@@ -201,6 +201,15 @@ impl std::fmt::Debug for Aes128 {
     }
 }
 
+impl Drop for Aes128 {
+    /// Key hygiene: an expanded schedule is equivalent to the key itself
+    /// (the first round key *is* the key), so scrub it before the memory
+    /// is reused. Session teardown and re-key both route through here.
+    fn drop(&mut self) {
+        self.zeroize();
+    }
+}
+
 impl Aes128 {
     /// Expands `key` into the full round-key schedule.
     pub fn new(key: &[u8; 16]) -> Self {
@@ -263,6 +272,26 @@ impl Aes128 {
     /// True when this instance runs the scalar reference path.
     pub fn is_scalar(&self) -> bool {
         self.use_scalar
+    }
+
+    /// Scrubs the expanded schedule in place. Called by `Drop`; exposed
+    /// so owners that keep an `Aes128` inside a longer-lived struct can
+    /// retire a key early.
+    pub fn zeroize(&mut self) {
+        // Volatile stores keep the compiler from eliding the scrub as a
+        // dead write into soon-to-be-freed memory.
+        for rk in self.round_keys.iter_mut() {
+            for b in rk.iter_mut() {
+                unsafe { std::ptr::write_volatile(b, 0) };
+            }
+        }
+        for w in self.ek.iter_mut() {
+            unsafe { std::ptr::write_volatile(w, 0) };
+        }
+        for w in self.dk.iter_mut() {
+            unsafe { std::ptr::write_volatile(w, 0) };
+        }
+        std::sync::atomic::compiler_fence(Ordering::SeqCst);
     }
 
     /// Encrypts one 16-byte block.
@@ -723,6 +752,44 @@ mod tests {
         assert!(
             !s.contains("ab"),
             "debug output must not contain key bytes: {s}"
+        );
+    }
+
+    fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+        haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    #[test]
+    fn drop_scrubs_key_schedule_byte_image() {
+        // A recognizable key that will not appear in the image by chance.
+        let key: [u8; 16] = [
+            0xC1, 0x0C, 0xF8, 0x5C, 0x4B, 0xA9, 0x17, 0x3E, 0xD2, 0x60, 0x8F, 0x75, 0xE4, 0x2A,
+            0x9D, 0x33,
+        ];
+        let mut slot = std::mem::ManuallyDrop::new(Aes128::new(&key));
+        let ptr = (&*slot as *const Aes128).cast::<u8>();
+        let len = std::mem::size_of::<Aes128>();
+        let before: Vec<u8> = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
+        assert!(
+            contains_subslice(&before, &key),
+            "round key 0 is the raw key; it must be visible pre-drop"
+        );
+        unsafe { std::mem::ManuallyDrop::drop(&mut slot) };
+        let after: Vec<u8> = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
+        assert!(
+            !contains_subslice(&after, &key),
+            "raw key survived drop in the struct byte image"
+        );
+        // Stronger: no 4-byte run of any expanded round key survives.
+        let mut zeros = 0usize;
+        for chunk in after.chunks(4) {
+            if chunk.iter().all(|&b| b == 0) {
+                zeros += 1;
+            }
+        }
+        assert!(
+            zeros >= (16 * 11 + 44 * 4 + 44 * 4) / 4,
+            "expanded schedule not scrubbed: only {zeros} zero words"
         );
     }
 

@@ -133,6 +133,19 @@ impl BigUint {
         }
     }
 
+    /// Scrubs the limb buffer with volatile stores and leaves the value
+    /// zero. The allocation is retained (so the cleared bytes can be
+    /// inspected by tests and are not immediately handed back to the
+    /// allocator still holding secret material). Secret exponents — DH
+    /// private keys — call this from their owners' `Drop`.
+    pub fn zeroize(&mut self) {
+        for limb in self.limbs.iter_mut() {
+            unsafe { std::ptr::write_volatile(limb, 0) };
+        }
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+        self.limbs.clear();
+    }
+
     /// Parses a big-endian hex string (case-insensitive, no prefix).
     ///
     /// # Errors
@@ -563,6 +576,19 @@ fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
 mod tests {
     use super::*;
     use obfusmem_testkit as proptest;
+
+    #[test]
+    fn zeroize_scrubs_heap_limbs_in_place() {
+        let mut x = BigUint::from_hex("deadbeefcafef00d0123456789abcdef55aa55aa").unwrap();
+        let ptr = x.limbs.as_ptr();
+        let cap = x.limbs.capacity();
+        assert!(cap > 0);
+        x.zeroize();
+        assert!(x.is_zero());
+        // The allocation is retained; every former limb slot reads zero.
+        let raw = unsafe { std::slice::from_raw_parts(ptr, cap) };
+        assert!(raw.iter().all(|&l| l == 0), "limb buffer not scrubbed");
+    }
 
     fn n(v: u64) -> BigUint {
         BigUint::from(v)

@@ -14,6 +14,7 @@
 //! tell when a burst outruns the AES pipeline.
 
 use crate::aes::{Aes128, Block};
+use crate::error::CryptoError;
 
 /// How many 128-bit pads one obfuscated request consumes (paper §3.2):
 /// 1 real command+address, 1 dummy command+address, 4 for 64 B of data.
@@ -214,6 +215,77 @@ impl PadBuffer {
     }
 }
 
+/// Carves the 64-bit CTR nonce space into disjoint per-lane regions.
+///
+/// A multi-tenant fabric runs many [`CtrStream`]s that may share (or
+/// rotate through related) keys; pad uniqueness then rests on no two
+/// lanes ever using the same `(nonce, counter)` IV. The partition gives
+/// lane `i` the nonce region `i << (64 - lane_bits)`, optionally offset
+/// by an epoch tag in the low bits, so every lane's IVs are disjoint by
+/// construction for any counter below 2^64.
+///
+/// The type is pure arithmetic — it holds no key material — and every
+/// out-of-range input surfaces as a typed [`CryptoError`] rather than a
+/// panic, since lane indices originate from untrusted handshake input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrSpacePartition {
+    lane_bits: u32,
+}
+
+impl CtrSpacePartition {
+    /// Creates a partition with `2^lane_bits` lanes. `lane_bits` must be
+    /// in `1..=32` (at least two lanes; at least 2^32 nonces per lane).
+    pub fn new(lane_bits: u32) -> Result<Self, CryptoError> {
+        if !(1..=32).contains(&lane_bits) {
+            return Err(CryptoError::InvalidLength {
+                expected: 32,
+                actual: lane_bits as usize,
+            });
+        }
+        Ok(CtrSpacePartition { lane_bits })
+    }
+
+    /// Smallest partition with capacity for `lanes` lanes.
+    pub fn for_lanes(lanes: u64) -> Result<Self, CryptoError> {
+        let bits = 64 - lanes.max(2).saturating_sub(1).leading_zeros();
+        CtrSpacePartition::new(bits)
+    }
+
+    /// Number of lanes this partition supports.
+    pub fn lanes(&self) -> u64 {
+        1u64 << self.lane_bits
+    }
+
+    /// Nonces available to each lane (region width).
+    pub fn nonces_per_lane(&self) -> u64 {
+        1u64 << (64 - self.lane_bits)
+    }
+
+    /// The session nonce for `lane` at re-key `epoch`: the lane tag in
+    /// the high bits, the epoch in the low bits. Distinct lanes can
+    /// never collide; distinct epochs within a lane differ until the
+    /// epoch count reaches the region width (checked).
+    pub fn nonce_for(&self, lane: u64, epoch: u64) -> Result<u64, CryptoError> {
+        if lane >= self.lanes() {
+            return Err(CryptoError::LaneOutOfRange {
+                lane,
+                lanes: self.lanes(),
+            });
+        }
+        if epoch >= self.nonces_per_lane() {
+            return Err(CryptoError::CounterSpaceExhausted { lane });
+        }
+        Ok((lane << (64 - self.lane_bits)) | epoch)
+    }
+
+    /// The lane that owns `nonce` (the inverse of [`nonce_for`]'s tag).
+    ///
+    /// [`nonce_for`]: CtrSpacePartition::nonce_for
+    pub fn lane_of(&self, nonce: u64) -> u64 {
+        nonce >> (64 - self.lane_bits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +431,44 @@ mod tests {
         let mut buf = PadBuffer::new(16, 4_000, 96_000);
         buf.consume(0, 4);
         assert_eq!(buf.available_at(1_000_000_000), 16);
+    }
+
+    #[test]
+    fn partition_lanes_are_disjoint() {
+        let p = CtrSpacePartition::new(20).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for lane in [0u64, 1, 2, 1023, p.lanes() - 1] {
+            for epoch in [0u64, 1, 7] {
+                let nonce = p.nonce_for(lane, epoch).unwrap();
+                assert!(seen.insert(nonce), "nonce collision lane {lane}");
+                assert_eq!(p.lane_of(nonce), lane);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_rejects_out_of_range() {
+        let p = CtrSpacePartition::new(8).unwrap();
+        assert_eq!(p.lanes(), 256);
+        assert!(matches!(
+            p.nonce_for(256, 0),
+            Err(CryptoError::LaneOutOfRange { lane: 256, .. })
+        ));
+        assert!(matches!(
+            p.nonce_for(3, p.nonces_per_lane()),
+            Err(CryptoError::CounterSpaceExhausted { lane: 3 })
+        ));
+        assert!(CtrSpacePartition::new(0).is_err());
+        assert!(CtrSpacePartition::new(33).is_err());
+    }
+
+    #[test]
+    fn partition_for_lanes_fits() {
+        for lanes in [2u64, 3, 64, 65, 1024, 1_000_000] {
+            let p = CtrSpacePartition::for_lanes(lanes).unwrap();
+            assert!(p.lanes() >= lanes, "{lanes} lanes need {} slots", p.lanes());
+            assert!(p.lanes() < lanes * 2 || p.lanes() == 2);
+        }
     }
 
     proptest::proptest! {

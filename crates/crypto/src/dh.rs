@@ -49,11 +49,34 @@ pub struct DhGroup {
 
 impl DhGroup {
     /// The RFC 3526 1536-bit group with generator 2.
+    ///
+    /// The `expect` here is the one deliberate panic in this module: it
+    /// guards a compile-time constant, not runtime input, and a unit test
+    /// exercises it. Externally supplied parameters go through
+    /// [`DhGroup::from_hex`] and get typed errors instead.
     pub fn rfc3526_group5() -> Self {
-        DhGroup {
-            prime: BigUint::from_hex(RFC3526_GROUP5_PRIME_HEX).expect("RFC 3526 constant parses"),
-            generator: BigUint::from(2u64),
+        DhGroup::from_hex(RFC3526_GROUP5_PRIME_HEX, 2).expect("RFC 3526 constant parses")
+    }
+
+    /// Builds a group from handshake-supplied parameters: a big-endian
+    /// hex prime and a small generator.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ParseHex`] on a malformed prime string;
+    /// [`CryptoError::InvalidDhGroup`] when the modulus is even or below
+    /// 5, or the generator falls outside `2..p-1`. Peers negotiating a
+    /// group over the bus must never be able to panic this end.
+    pub fn from_hex(prime_hex: &str, generator: u64) -> Result<Self, CryptoError> {
+        let prime = BigUint::from_hex(prime_hex)?;
+        let generator = BigUint::from(generator);
+        if prime.is_even() || prime < BigUint::from(5u64) {
+            return Err(CryptoError::InvalidDhGroup);
         }
+        if generator < BigUint::from(2u64) || generator >= prime.sub(&BigUint::one()) {
+            return Err(CryptoError::InvalidDhGroup);
+        }
+        Ok(DhGroup { prime, generator })
     }
 
     /// A deliberately tiny group for fast unit tests (p = 2^61 - 1 is NOT
@@ -148,11 +171,43 @@ impl DhKeyPair {
         {
             return Err(CryptoError::InvalidDhPublic);
         }
-        let shared = peer_public.modpow(&self.private, &self.group.prime);
+        let mut shared = peer_public.modpow(&self.private, &self.group.prime);
         let digest = Sha1::digest(&shared.to_bytes_be());
+        shared.zeroize();
         let mut key = [0u8; SESSION_KEY_LEN];
         key.copy_from_slice(&digest[..SESSION_KEY_LEN]);
         Ok(key)
+    }
+
+    /// [`session_key`](DhKeyPair::session_key) for a peer public value as
+    /// it arrives off the wire: big-endian bytes, unvalidated.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidLength`] when the value is empty or longer
+    /// than the group modulus (a peer cannot stuff an oversized bignum
+    /// into the handshake), then everything
+    /// [`session_key`](DhKeyPair::session_key) rejects.
+    pub fn session_key_from_bytes(
+        &self,
+        peer_public_be: &[u8],
+    ) -> Result<[u8; SESSION_KEY_LEN], CryptoError> {
+        let max = self.group.prime.to_bytes_be().len();
+        if peer_public_be.is_empty() || peer_public_be.len() > max {
+            return Err(CryptoError::InvalidLength {
+                expected: max,
+                actual: peer_public_be.len(),
+            });
+        }
+        self.session_key(&BigUint::from_bytes_be(peer_public_be))
+    }
+}
+
+impl Drop for DhKeyPair {
+    /// Scrubs the private exponent. The public value and group are
+    /// public by definition and are left alone.
+    fn drop(&mut self) {
+        self.private.zeroize();
     }
 }
 
@@ -222,6 +277,77 @@ mod tests {
             a.session_key(b.public()).unwrap(),
             b.session_key(a.public()).unwrap()
         );
+    }
+
+    #[test]
+    fn from_hex_rejects_malformed_group_parameters() {
+        assert!(matches!(
+            DhGroup::from_hex("not hex!", 2),
+            Err(CryptoError::ParseHex(_))
+        ));
+        // Even modulus.
+        assert_eq!(
+            DhGroup::from_hex("10", 2).unwrap_err(),
+            CryptoError::InvalidDhGroup
+        );
+        // Tiny modulus.
+        assert_eq!(
+            DhGroup::from_hex("3", 2).unwrap_err(),
+            CryptoError::InvalidDhGroup
+        );
+        // Generator outside 2..p-1.
+        assert_eq!(
+            DhGroup::from_hex("17", 1).unwrap_err(),
+            CryptoError::InvalidDhGroup
+        );
+        assert_eq!(
+            DhGroup::from_hex("17", 22).unwrap_err(),
+            CryptoError::InvalidDhGroup
+        );
+        assert!(DhGroup::from_hex("17", 5).is_ok());
+        assert_eq!(
+            DhGroup::from_hex(RFC3526_GROUP5_PRIME_HEX, 2).unwrap(),
+            DhGroup::rfc3526_group5()
+        );
+    }
+
+    #[test]
+    fn session_key_from_bytes_rejects_malformed_wire_input() {
+        let mut r = rng(11);
+        let a = DhKeyPair::generate_in(DhGroup::toy(), &mut r);
+        let b = DhKeyPair::generate_in(DhGroup::toy(), &mut r);
+        // The well-formed wire encoding round-trips to the same key.
+        assert_eq!(
+            a.session_key_from_bytes(&b.public().to_bytes_be()).unwrap(),
+            a.session_key(b.public()).unwrap()
+        );
+        assert!(matches!(
+            a.session_key_from_bytes(&[]),
+            Err(CryptoError::InvalidLength { actual: 0, .. })
+        ));
+        let oversized = vec![0xFFu8; 64];
+        assert!(matches!(
+            a.session_key_from_bytes(&oversized),
+            Err(CryptoError::InvalidLength { actual: 64, .. })
+        ));
+        assert_eq!(
+            a.session_key_from_bytes(&[0u8, 0, 1]).unwrap_err(),
+            CryptoError::InvalidDhPublic
+        );
+    }
+
+    #[test]
+    fn zeroize_is_what_drop_runs_on_the_private_exponent() {
+        // `Drop for DhKeyPair` calls `private.zeroize()` before the limb
+        // buffer is freed; the heap-scrub behavior itself is proven in
+        // `bigint::tests::zeroize_scrubs_heap_limbs_in_place`. Here we
+        // pin the ordering-visible contract: zeroizing leaves the
+        // exponent unusable.
+        let mut r = rng(21);
+        let mut kp = DhKeyPair::generate_in(DhGroup::toy(), &mut r);
+        assert!(!kp.private.is_zero());
+        kp.private.zeroize();
+        assert!(kp.private.is_zero());
     }
 
     #[test]

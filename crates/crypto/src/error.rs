@@ -17,6 +17,13 @@ pub enum CryptoError {
     ParseHex(char),
     /// A key or parameter had an invalid length.
     InvalidLength { expected: usize, actual: usize },
+    /// A Diffie–Hellman group parameter was degenerate (even / tiny
+    /// modulus, or a generator outside `2..p-1`).
+    InvalidDhGroup,
+    /// A lane index fell outside a counter-space partition.
+    LaneOutOfRange { lane: u64, lanes: u64 },
+    /// A per-lane counter region was exhausted.
+    CounterSpaceExhausted { lane: u64 },
 }
 
 impl fmt::Display for CryptoError {
@@ -29,6 +36,13 @@ impl fmt::Display for CryptoError {
             CryptoError::ParseHex(c) => write!(f, "invalid hex character {c:?}"),
             CryptoError::InvalidLength { expected, actual } => {
                 write!(f, "invalid length: expected {expected}, got {actual}")
+            }
+            CryptoError::InvalidDhGroup => write!(f, "invalid diffie-hellman group parameters"),
+            CryptoError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range for {lanes}-lane partition")
+            }
+            CryptoError::CounterSpaceExhausted { lane } => {
+                write!(f, "counter space exhausted on lane {lane}")
             }
         }
     }

@@ -14,14 +14,20 @@
 //! cores and appends one JSONL row per job to `sweep.jsonl`. If the
 //! output file already has rows, those jobs are skipped — resume after a
 //! kill by re-running the same command. See `EXPERIMENTS.md`.
+//!
+//! `sweep serve [options]` switches to the multi-tenant session-fabric
+//! serving mode (see `obfusmem_harness::serve`): one long-lived fabric
+//! per (tenant count × churn period) grid cell, one JSONL row per cell.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use obfusmem_harness::runner::{effective_threads, run_sweep, RunOptions};
+use obfusmem_harness::serve::{run_serve, verify_single, ServeSpec};
 use obfusmem_harness::spec::{
     parse_backends, parse_fault_kinds, parse_schemes, parse_u64, parse_workloads, SweepSpec,
 };
+use obfusmem_tenant::fabric::DhStrength;
 
 struct Cli {
     spec: SweepSpec,
@@ -32,7 +38,12 @@ struct Cli {
 }
 
 fn main() -> ExitCode {
-    let cli = match parse_args(std::env::args().skip(1)) {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        return serve_main(args);
+    }
+    let cli = match parse_args(args) {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("sweep: {msg}");
@@ -107,6 +118,202 @@ fn remove_if_exists(path: &std::path::Path) -> std::io::Result<()> {
     }
 }
 
+struct ServeCli {
+    spec: ServeSpec,
+    out: PathBuf,
+    fresh: bool,
+    quiet: bool,
+    verify_single: bool,
+}
+
+fn serve_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let cli = match parse_serve_args(args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("sweep serve: {msg}");
+            eprintln!("{SERVE_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.verify_single {
+        return match verify_single(cli.spec.seed, cli.spec.requests) {
+            Ok(()) => {
+                eprintln!(
+                    "sweep serve: verify-single OK ({} requests, seed 0x{:x})",
+                    cli.spec.requests, cli.spec.seed
+                );
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("sweep serve: FAIL: verify-single: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cli.fresh {
+        if let Err(e) = remove_if_exists(&cli.out) {
+            eprintln!("sweep serve: cannot remove {}: {e}", cli.out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let file = match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&cli.out)
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sweep serve: cannot open {}: {e}", cli.out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = std::io::BufWriter::new(file);
+
+    eprintln!(
+        "sweep serve: {} cell(s) -> {}",
+        cli.spec.cells().len(),
+        cli.out.display()
+    );
+    match run_serve(&cli.spec, &mut out, cli.quiet) {
+        Ok(report) => {
+            use std::io::Write as _;
+            if let Err(e) = out.flush() {
+                eprintln!("sweep serve: cannot flush {}: {e}", cli.out.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "sweep serve: {} row(s), {} request(s) served, {} auth failure(s)",
+                report.rows, report.served, report.auth_failures
+            );
+            // Isolation gate: any authentication failure in an honest run
+            // means tenant sessions crossed streams — fail loudly.
+            if report.auth_failures > 0 {
+                eprintln!("sweep serve: FAIL: auth failures in an honest run");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("sweep serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const SERVE_USAGE: &str = "\
+usage: sweep serve [options]
+  --tenants LIST       comma list of tenant counts (default 4)
+  --churn LIST         comma list of per-tenant re-key periods, 0 = never
+                       (default 0)
+  --channels N         memory channels, power of two (default 1)
+  --requests N         fill requests per tenant (default 64)
+  --storm-period N     global completions between churn storms, 0 = never
+  --storm-stride N     re-key every Nth tenant during a storm (default 4)
+  --seed SEED          master seed, decimal or 0x-hex
+  --dh toy|full        Diffie-Hellman handshake strength (default toy)
+  --workload NAME      `micro` or a Table 1 benchmark name (default micro)
+  --starvation-limit N FR-FCFS same-bank bypass budget before promotion
+  --chunk N            requests per progress chunk (default 4096)
+  --out FILE           JSONL output file (default serve.jsonl)
+  --fresh              delete the output file first
+  --verify-single      run the 1-tenant legacy-equivalence gate and exit
+  --quiet              suppress progress lines
+  -h, --help           show this help";
+
+fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, String> {
+    let mut cli = ServeCli {
+        spec: ServeSpec::default(),
+        out: PathBuf::from("serve.jsonl"),
+        fresh: false,
+        quiet: false,
+        verify_single: false,
+    };
+    let mut args = args.peekable();
+    let next_value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_list = |flag: &str, v: &str| -> Result<Vec<u64>, String> {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_u64(s).map_err(|_| format!("bad {flag} entry {s:?}")))
+            .collect()
+    };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tenants" => {
+                let v = next_value("--tenants", &mut args)?;
+                cli.spec.tenants = parse_list("--tenants", &v)?
+                    .into_iter()
+                    .map(|n| n as usize)
+                    .collect();
+            }
+            "--churn" => {
+                let v = next_value("--churn", &mut args)?;
+                cli.spec.churns = parse_list("--churn", &v)?;
+            }
+            "--channels" => {
+                let v = next_value("--channels", &mut args)?;
+                cli.spec.channels = v.parse().map_err(|_| format!("bad channel count {v:?}"))?;
+            }
+            "--requests" => {
+                let v = next_value("--requests", &mut args)?;
+                cli.spec.requests = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--storm-period" => {
+                let v = next_value("--storm-period", &mut args)?;
+                cli.spec.storm_period = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--storm-stride" => {
+                let v = next_value("--storm-stride", &mut args)?;
+                cli.spec.storm_stride = v.parse().map_err(|_| format!("bad stride {v:?}"))?;
+            }
+            "--seed" => {
+                let v = next_value("--seed", &mut args)?;
+                cli.spec.seed = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--dh" => {
+                let v = next_value("--dh", &mut args)?;
+                cli.spec.dh =
+                    DhStrength::parse(&v).ok_or_else(|| format!("bad --dh value {v:?}"))?;
+            }
+            "--workload" => {
+                cli.spec.workload = next_value("--workload", &mut args)?;
+            }
+            "--starvation-limit" => {
+                let v = next_value("--starvation-limit", &mut args)?;
+                cli.spec.starvation_limit = v
+                    .parse()
+                    .map_err(|_| format!("bad starvation limit {v:?}"))?;
+            }
+            "--chunk" => {
+                let v = next_value("--chunk", &mut args)?;
+                cli.spec.chunk = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--out" => cli.out = PathBuf::from(next_value("--out", &mut args)?),
+            "--fresh" => cli.fresh = true,
+            "--verify-single" => cli.verify_single = true,
+            "--quiet" => cli.quiet = true,
+            "-h" | "--help" => {
+                println!("{SERVE_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if cli.spec.tenants.is_empty() {
+        return Err("--tenants needs at least one count".into());
+    }
+    if cli.spec.churns.is_empty() {
+        return Err("--churn needs at least one period".into());
+    }
+    Ok(cli)
+}
+
 const USAGE: &str = "\
 usage: sweep [options]
   --spec FILE          read a `key = value` sweep spec file first
@@ -132,7 +339,11 @@ usage: sweep [options]
   --no-timing          omit host wall_ms from rows (byte-stable output)
   --dry-run            print the job list and derived seeds, run nothing
   --quiet              suppress per-job progress lines
-  -h, --help           show this help";
+  -h, --help           show this help
+
+subcommands:
+  serve                multi-tenant session-fabric serving mode
+                       (`sweep serve --help` for its options)";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {

@@ -26,5 +26,6 @@ pub mod measure;
 pub mod pool;
 pub mod progress;
 pub mod runner;
+pub mod serve;
 pub mod sink;
 pub mod spec;

@@ -1,0 +1,295 @@
+//! `serve` mode: drive the multi-tenant session fabric over a grid.
+//!
+//! Where the sweep grid measures *one workload per job*, serve mode runs
+//! the long-lived [`SessionFabric`] — many concurrent tenant sessions,
+//! churn storms, QoS classes — over a (tenant count × churn period) grid
+//! and emits one deterministic JSONL row per cell with per-tenant and
+//! per-class latency percentiles. Rows contain no wall-clock fields, so
+//! two runs of the same build and seed are byte-identical; CI runs the
+//! 64-tenant churn cell twice and `cmp`s the outputs as a determinism
+//! gate, and greps `"auth_failures":0` as an isolation gate.
+//!
+//! [`verify_single`] is the second gate: it replays the 1-tenant fabric
+//! against the hand-rolled legacy single-session path from
+//! `obfusmem-sec` and fails on any latency-sample mismatch.
+
+use std::io::Write;
+
+use obfusmem_cpu::workload::{by_name, micro_test_workload, WorkloadSpec};
+use obfusmem_sec::isolation::legacy_single_session_trace;
+use obfusmem_tenant::fabric::{DhStrength, FabricConfig, SessionFabric};
+use obfusmem_tenant::qos::TenantClass;
+
+use crate::jsonl::JsonObject;
+
+/// Declarative serve grid.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Tenant counts to run (one row per count × churn).
+    pub tenants: Vec<usize>,
+    /// Churn periods to run (0 = no re-keying).
+    pub churns: Vec<u64>,
+    /// Memory channels (power of two).
+    pub channels: usize,
+    /// Fill requests per tenant.
+    pub requests: u64,
+    /// Global churn-storm period (0 = no storms).
+    pub storm_period: u64,
+    /// Storm batch stride.
+    pub storm_stride: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Handshake strength.
+    pub dh: DhStrength,
+    /// Workload name (`micro` or a Table 1 benchmark).
+    pub workload: String,
+    /// Same-bank bypass budget before low-class promotion.
+    pub starvation_limit: u32,
+    /// Requests per progress chunk (incremental streaming granularity).
+    pub chunk: u64,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            tenants: vec![4],
+            churns: vec![0],
+            channels: 1,
+            requests: 64,
+            storm_period: 0,
+            storm_stride: 4,
+            seed: 0x0BF5_FAB0,
+            dh: DhStrength::Toy,
+            workload: "micro".into(),
+            starvation_limit: obfusmem_mem::scheduler::DEFAULT_STARVATION_LIMIT,
+            chunk: 4096,
+        }
+    }
+}
+
+impl ServeSpec {
+    /// Resolves the named workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown workload.
+    pub fn resolve_workload(&self) -> Result<WorkloadSpec, String> {
+        if self.workload == "micro" {
+            return Ok(micro_test_workload());
+        }
+        by_name(&self.workload).ok_or_else(|| format!("unknown workload {:?}", self.workload))
+    }
+
+    /// Builds the fabric configuration for one grid cell.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeSpec::resolve_workload`].
+    pub fn fabric_config(&self, tenants: usize, churn: u64) -> Result<FabricConfig, String> {
+        let workload = self.resolve_workload()?;
+        let mut cfg = FabricConfig::new(tenants);
+        cfg.requests_per_tenant = self.requests;
+        cfg.channels = self.channels;
+        cfg.churn_period = churn;
+        cfg.storm_period = self.storm_period;
+        cfg.storm_stride = self.storm_stride;
+        cfg.dh = self.dh;
+        cfg.seed = self.seed;
+        cfg.starvation_limit = self.starvation_limit;
+        cfg.workloads = vec![workload];
+        Ok(cfg)
+    }
+
+    /// Grid cells in canonical (tenants-major) order.
+    pub fn cells(&self) -> Vec<(usize, u64)> {
+        let mut out = Vec::with_capacity(self.tenants.len() * self.churns.len());
+        for &t in &self.tenants {
+            for &c in &self.churns {
+                out.push((t, c));
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of a serve grid.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Rows written, in grid order.
+    pub rows: usize,
+    /// Total fill requests served across all cells.
+    pub served: u64,
+    /// Total authentication failures (must be 0; the caller gates).
+    pub auth_failures: u64,
+}
+
+/// Runs one grid cell to completion (streaming progress to stderr unless
+/// `quiet`) and renders its JSONL row.
+///
+/// # Errors
+///
+/// Returns a message on configuration or fabric errors.
+pub fn run_cell(
+    spec: &ServeSpec,
+    tenants: usize,
+    churn: u64,
+    quiet: bool,
+) -> Result<(String, u64, u64), String> {
+    let cfg = spec.fabric_config(tenants, churn)?;
+    let total = cfg.requests_per_tenant * tenants as u64;
+    let mut fabric = SessionFabric::new(cfg).map_err(|e| e.to_string())?;
+    let mut done = 0u64;
+    loop {
+        let n = fabric.run_chunk(spec.chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        done += n;
+        if !quiet {
+            eprintln!("serve: tenants={tenants} churn={churn} {done}/{total} requests");
+        }
+    }
+    let report = fabric.report();
+    let (hist, stats) = fabric.aggregate_latency();
+    let span_ns = report.span.as_ns();
+    let throughput_mrps = if span_ns > 0 {
+        report.total_served as f64 / (span_ns as f64 / 1e9) / 1e6
+    } else {
+        0.0
+    };
+    let mut row = JsonObject::new()
+        .string("mode", "serve")
+        .u64("tenants", tenants as u64)
+        .u64("churn", churn)
+        .u64("channels", spec.channels as u64)
+        .u64("requests_per_tenant", spec.requests)
+        .u64("storm_period", spec.storm_period)
+        .u64("seed", spec.seed)
+        .string("dh", spec.dh.name())
+        .string("workload", &spec.workload)
+        .u64("served", report.total_served)
+        .u64("auth_failures", report.auth_failures)
+        .u64("rekeys", report.rekeys)
+        .u64("storms", report.storms)
+        .u64("writebacks", report.writebacks)
+        .u64("starvation_promotions", report.starvation_promotions)
+        .u64("span_ns", span_ns)
+        .f64("throughput_mrps", throughput_mrps)
+        .u64("p50_ns", hist.quantile(0.50).unwrap_or(0))
+        .u64("p99_ns", hist.quantile(0.99).unwrap_or(0))
+        .f64("mean_ns", stats.mean());
+    for class in TenantClass::ALL {
+        let idx = class.arb_class() as usize;
+        row = row
+            .u64(
+                &format!("{}_served", class.name()),
+                report.class_served[idx],
+            )
+            .u64(
+                &format!("{}_p99_ns", class.name()),
+                report.class_p99_ns[idx],
+            );
+    }
+    Ok((row.finish(), report.total_served, report.auth_failures))
+}
+
+/// Runs the whole grid, appending one row per cell to `out`.
+///
+/// # Errors
+///
+/// Returns a message on the first failing cell or write error.
+pub fn run_serve(
+    spec: &ServeSpec,
+    out: &mut dyn Write,
+    quiet: bool,
+) -> Result<ServeReport, String> {
+    let mut report = ServeReport::default();
+    for (tenants, churn) in spec.cells() {
+        let (row, served, auth_failures) = run_cell(spec, tenants, churn, quiet)?;
+        writeln!(out, "{row}").map_err(|e| format!("cannot write row: {e}"))?;
+        report.rows += 1;
+        report.served += served;
+        report.auth_failures += auth_failures;
+    }
+    Ok(report)
+}
+
+/// The legacy-equivalence gate: runs a 1-tenant, 1-channel fabric and the
+/// hand-rolled pre-fabric single-session path on the same seed, and
+/// demands bit-identical latency traces.
+///
+/// # Errors
+///
+/// Returns a message describing the first divergence.
+pub fn verify_single(seed: u64, requests: u64) -> Result<(), String> {
+    let mut cfg = FabricConfig::new(1);
+    cfg.requests_per_tenant = requests;
+    cfg.seed = seed;
+    let legacy = legacy_single_session_trace(&cfg).map_err(|e| e.to_string())?;
+    let mut fabric = SessionFabric::new(cfg).map_err(|e| e.to_string())?;
+    fabric.run_to_completion().map_err(|e| e.to_string())?;
+    if fabric.auth_failures() != 0 {
+        return Err(format!(
+            "1-tenant fabric reported {} auth failure(s)",
+            fabric.auth_failures()
+        ));
+    }
+    let fabric_trace = fabric.latency_trace(0);
+    if fabric_trace.len() != legacy.len() {
+        return Err(format!(
+            "trace lengths diverge: fabric {} vs legacy {}",
+            fabric_trace.len(),
+            legacy.len()
+        ));
+    }
+    for (i, (f, l)) in fabric_trace.iter().zip(legacy.iter()).enumerate() {
+        if f != l {
+            return Err(format!(
+                "request {i}: fabric latency {f} ps != legacy {l} ps"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_rows_are_deterministic() {
+        let spec = ServeSpec {
+            tenants: vec![1, 3],
+            churns: vec![0, 8],
+            requests: 16,
+            channels: 2,
+            ..ServeSpec::default()
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let ra = run_serve(&spec, &mut a, true).expect("grid runs");
+        let rb = run_serve(&spec, &mut b, true).expect("grid runs");
+        assert_eq!(ra.rows, 4);
+        assert_eq!(ra.auth_failures, 0);
+        assert_eq!(rb.rows, 4);
+        assert_eq!(a, b, "serve output must be byte-identical across runs");
+        let text = String::from_utf8(a).expect("utf8");
+        assert!(text.contains("\"mode\":\"serve\""));
+        assert!(text.contains("\"auth_failures\":0"));
+        assert!(text.contains("\"interactive_p99_ns\""));
+    }
+
+    #[test]
+    fn verify_single_gate_passes() {
+        verify_single(0xC0FFEE, 48).expect("fabric must match the legacy path");
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected() {
+        let spec = ServeSpec {
+            workload: "no-such-benchmark".into(),
+            ..ServeSpec::default()
+        };
+        assert!(spec.resolve_workload().is_err());
+    }
+}

@@ -416,6 +416,7 @@ impl Observable for PcmMemory {
             node.set_counter("reordered", total.reordered.get());
             node.set_counter("adaptive_closes", total.adaptive_closes.get());
             node.set_counter("row_hits", total.row_hits.get());
+            node.set_counter("starvation_promotions", total.starvation_promotions.get());
             for shard in q.shards() {
                 let ch = node.child(&format!("ch{}", shard.channel()));
                 ch.set_counter("reordered", shard.stats().reordered.get());

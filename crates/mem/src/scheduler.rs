@@ -42,12 +42,22 @@ use crate::request::AccessKind;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(u64);
 
+/// Default same-bank bypass budget before a low-class request is
+/// promoted to class 0.
+pub const DEFAULT_STARVATION_LIMIT: u32 = 16;
+
 #[derive(Debug, Clone)]
 struct QueueEntry {
     id: RequestId,
     decoded: DecodedAddr,
     kind: AccessKind,
     arrival: Time,
+    /// Traffic class (0 = highest priority). Plain enqueues use class 0,
+    /// so single-class workloads schedule exactly as before classes
+    /// existed.
+    class: u8,
+    /// Times a same-bank pick bypassed this entry (starvation aging).
+    bypassed: u32,
 }
 
 /// A completed request, with everything the device needs to account for
@@ -81,6 +91,9 @@ pub struct SchedulerStats {
     pub adaptive_closes: Counter,
     /// Row-buffer hits.
     pub row_hits: Counter,
+    /// Low-class requests promoted to class 0 after being bypassed
+    /// `starvation_limit` times (QoS anti-starvation).
+    pub starvation_promotions: Counter,
 }
 
 impl SchedulerStats {
@@ -89,6 +102,8 @@ impl SchedulerStats {
         self.reordered.add(other.reordered.get());
         self.adaptive_closes.add(other.adaptive_closes.get());
         self.row_hits.add(other.row_hits.get());
+        self.starvation_promotions
+            .add(other.starvation_promotions.get());
     }
 }
 
@@ -102,16 +117,26 @@ struct Candidate {
     slot: usize,
     start: Time,
     row_hit: bool,
+    class: u8,
     arrival: Time,
     id: RequestId,
 }
 
 impl Candidate {
     /// FR-FCFS priority: earlier start wins; ties prefer row hits, then
-    /// age, then enqueue order (ids are allocated in enqueue order).
+    /// higher traffic class (lower number), then age, then enqueue order
+    /// (ids are allocated in enqueue order). With every request at class
+    /// 0 — all legacy call sites — the class key is inert and the order
+    /// is exactly the classic FR-FCFS one.
     fn beats(&self, other: &Candidate) -> bool {
-        (self.start, !self.row_hit, self.arrival, self.id)
-            < (other.start, !other.row_hit, other.arrival, other.id)
+        (self.start, !self.row_hit, self.class, self.arrival, self.id)
+            < (
+                other.start,
+                !other.row_hit,
+                other.class,
+                other.arrival,
+                other.id,
+            )
     }
 }
 
@@ -147,6 +172,7 @@ impl BankQueue {
                 slot,
                 start: e.arrival.max(self.bank.busy_until()),
                 row_hit: self.bank.open_row() == Some(e.decoded.row),
+                class: e.class,
                 arrival: e.arrival,
                 id: e.id,
             };
@@ -178,6 +204,9 @@ pub struct FrFcfsScheduler {
     channel_stats: ChannelStats,
     bank_stats: Vec<BankStats>,
     depth_hist: Histogram,
+    /// Same-bank bypasses a sub-class-0 request tolerates before it is
+    /// promoted to class 0 (starvation aging).
+    starvation_limit: u32,
 }
 
 impl FrFcfsScheduler {
@@ -213,7 +242,15 @@ impl FrFcfsScheduler {
             channel_stats: ChannelStats::default(),
             bank_stats: vec![BankStats::default(); bank_count],
             depth_hist: Histogram::new(),
+            starvation_limit: DEFAULT_STARVATION_LIMIT,
         }
+    }
+
+    /// Overrides the starvation-aging threshold (same-bank bypasses
+    /// before a low-class request is promoted to class 0). Irrelevant to
+    /// single-class traffic.
+    pub fn set_starvation_limit(&mut self, limit: u32) {
+        self.starvation_limit = limit.max(1);
     }
 
     /// Which channel this controller serves.
@@ -279,17 +316,28 @@ impl FrFcfsScheduler {
         (index, bq)
     }
 
-    /// Enqueues a request; returns its id. Call
+    /// Enqueues a request at class 0; returns its id. Call
     /// [`FrFcfsScheduler::run_until`] to make progress.
     pub fn enqueue(&mut self, at: Time, addr: u64, kind: AccessKind) -> RequestId {
+        self.enqueue_classed(at, addr, kind, 0)
+    }
+
+    /// Enqueues a request with an explicit traffic class (0 = highest).
+    pub fn enqueue_classed(
+        &mut self,
+        at: Time,
+        addr: u64,
+        kind: AccessKind,
+        class: u8,
+    ) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.enqueue_with_id(id, at, decode(&self.cfg, addr), kind);
+        self.enqueue_with_class(id, at, decode(&self.cfg, addr), kind, class);
         id
     }
 
-    /// Enqueues a pre-decoded request under a caller-allocated id (the
-    /// sharded demux allocates ids globally across channels).
+    /// Enqueues a pre-decoded class-0 request under a caller-allocated id
+    /// (the sharded demux allocates ids globally across channels).
     pub fn enqueue_with_id(
         &mut self,
         id: RequestId,
@@ -297,12 +345,27 @@ impl FrFcfsScheduler {
         decoded: DecodedAddr,
         kind: AccessKind,
     ) {
+        self.enqueue_with_class(id, at, decoded, kind, 0);
+    }
+
+    /// [`enqueue_with_id`](FrFcfsScheduler::enqueue_with_id) with an
+    /// explicit traffic class.
+    pub fn enqueue_with_class(
+        &mut self,
+        id: RequestId,
+        at: Time,
+        decoded: DecodedAddr,
+        kind: AccessKind,
+        class: u8,
+    ) {
         let (_, bq) = self.bank_queue_mut(&decoded);
         let entry = QueueEntry {
             id,
             decoded,
             kind,
             arrival: at,
+            class,
+            bypassed: 0,
         };
         let pos = bq
             .pending
@@ -361,6 +424,25 @@ impl FrFcfsScheduler {
         let entry = self.banks[bank_index].pending.remove(pick.slot);
         self.banks[bank_index].dirty = true;
         self.pending_count -= 1;
+
+        // Starvation aging: every older same-bank request the pick just
+        // bypassed burns one unit of its bypass budget; exhausting the
+        // budget promotes it to class 0 so class-based arbitration can
+        // never starve bulk traffic. Class-0 entries have nothing to be
+        // promoted to, so classic single-class scheduling never enters
+        // this branch.
+        let limit = self.starvation_limit;
+        let mut promotions = 0u64;
+        for e in self.banks[bank_index].pending.iter_mut() {
+            if e.class > 0 && (e.arrival, e.id) < (entry.arrival, entry.id) {
+                e.bypassed += 1;
+                if e.bypassed >= limit {
+                    e.class = 0;
+                    promotions += 1;
+                }
+            }
+        }
+        self.stats.starvation_promotions.add(promotions);
 
         // FIFO-violation accounting: did an older request remain? Queues
         // are arrival-sorted, so each bank's front is its oldest.
@@ -549,16 +631,36 @@ impl ShardedFrFcfs {
         total
     }
 
-    /// Routes a request to its channel's controller; returns the channel
-    /// and the globally unique id.
+    /// Routes a class-0 request to its channel's controller; returns the
+    /// channel and the globally unique id.
     pub fn enqueue(&mut self, at: Time, addr: u64, kind: AccessKind) -> (usize, RequestId) {
+        self.enqueue_classed(at, addr, kind, 0)
+    }
+
+    /// [`enqueue`](ShardedFrFcfs::enqueue) with an explicit traffic
+    /// class (0 = highest priority; ties between classes at the same
+    /// ready time and row-hit status go to the lower class number).
+    pub fn enqueue_classed(
+        &mut self,
+        at: Time,
+        addr: u64,
+        kind: AccessKind,
+        class: u8,
+    ) -> (usize, RequestId) {
         let decoded = decode(&self.cfg, addr);
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let channel = decoded.channel;
         self.shard_mut(channel)
-            .enqueue_with_id(id, at, decoded, kind);
+            .enqueue_with_class(id, at, decoded, kind, class);
         (channel, id)
+    }
+
+    /// Sets the starvation-aging threshold on every shard.
+    pub fn set_starvation_limit(&mut self, limit: u32) {
+        for s in &mut self.shards {
+            s.set_starvation_limit(limit);
+        }
     }
 
     /// Runs every channel forward to `until`.
@@ -836,6 +938,95 @@ mod tests {
         // Global ids are unique across channels.
         let unique: std::collections::HashSet<_> = ids.iter().map(|(_, id)| *id).collect();
         assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn class_breaks_ties_between_equally_ready_requests() {
+        // Two misses to different rows, same bank, same arrival: without
+        // classes the lower id wins; a higher class (lower number) on the
+        // younger request must flip the order.
+        let mut s = sched();
+        let bulk = s.enqueue_classed(t(0), ROW_A, AccessKind::Read, 2);
+        let interactive = s.enqueue_classed(t(0), ROW_B, AccessKind::Read, 0);
+        s.run_until(t(10_000));
+        let done = s.take_completions();
+        assert_eq!(done[0].id, interactive, "class 0 must win the tie");
+        assert_eq!(done[1].id, bulk);
+    }
+
+    #[test]
+    fn zero_class_enqueues_match_plain_enqueues_exactly() {
+        // The bit-identity guarantee: class-0 traffic through the classed
+        // API schedules identically to the legacy API.
+        let reqs: Vec<(u64, u64, AccessKind)> = (0..24)
+            .map(|i| {
+                let base = if i % 3 == 0 { ROW_B } else { ROW_A };
+                let kind = if i % 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (i * 7, base + (i % 5) * 64, kind)
+            })
+            .collect();
+        let mut plain = sched();
+        let mut classed = sched();
+        for &(ns, addr, kind) in &reqs {
+            plain.enqueue(t(ns), addr, kind);
+            classed.enqueue_classed(t(ns), addr, kind, 0);
+        }
+        plain.run_until(t(1_000_000));
+        classed.run_until(t(1_000_000));
+        assert_eq!(plain.take_completions(), classed.take_completions());
+        assert_eq!(
+            plain.stats().reordered.get(),
+            classed.stats().reordered.get()
+        );
+        assert_eq!(classed.stats().starvation_promotions.get(), 0);
+    }
+
+    #[test]
+    fn starvation_aging_promotes_bypassed_bulk_traffic() {
+        let mut s = sched();
+        s.set_starvation_limit(4);
+        // One bulk miss, then a backlog of younger interactive misses to
+        // *distinct* rows of the same bank. Every pick is a miss, so the
+        // class key decides — without aging the class-2 request would be
+        // bypassed by all twelve class-0 requests and finish dead last.
+        let bulk = s.enqueue_classed(t(0), ROW_B, AccessKind::Read, 2);
+        for i in 0..12u64 {
+            s.enqueue_classed(t(i), (i + 2) << 24, AccessKind::Read, 0);
+        }
+        s.run_until(t(1_000_000));
+        let done = s.take_completions();
+        assert_eq!(done.len(), 13);
+        assert!(
+            s.stats().starvation_promotions.get() >= 1,
+            "bulk request should have been promoted: {:?}",
+            s.stats()
+        );
+        // After `limit` bypasses the promoted request's age wins the next
+        // all-miss tie, so it completes mid-pack, not last.
+        let bulk_pos = done.iter().position(|c| c.id == bulk).unwrap();
+        assert!(
+            bulk_pos < done.len() - 1,
+            "promoted bulk request still finished last (position {bulk_pos})"
+        );
+    }
+
+    #[test]
+    fn sharded_classed_enqueue_routes_and_arbitrates() {
+        let cfg = MemConfig::table2().with_channels(2);
+        let mut s = ShardedFrFcfs::new(cfg.clone());
+        s.set_starvation_limit(8);
+        let (ch_a, a) = s.enqueue_classed(t(0), 0, AccessKind::Read, 1);
+        let (ch_b, b) = s.enqueue_classed(t(0), cfg.row_buffer_bytes, AccessKind::Read, 0);
+        assert_ne!(ch_a, ch_b, "addresses chosen to hit distinct channels");
+        s.run_until(t(10_000));
+        let done = s.take_completions();
+        assert_eq!(done.len(), 2);
+        let ids: std::collections::HashSet<_> = done.iter().map(|(_, c)| c.id).collect();
+        assert!(ids.contains(&a) && ids.contains(&b));
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   pair, scored by detection rate (paper §3.5's scenarios).
 //! * [`table4`] — programmatic regeneration of Table 4's comparison of
 //!   ORAM and ObfusMem.
+//! * [`isolation`] — multi-tenant isolation proofs for the session
+//!   fabric: cross-tenant timing invisibility, and bit-identity of the
+//!   1-tenant fabric with the legacy single-session path.
 
+pub mod isolation;
 pub mod leakage;
 pub mod observer;
 pub mod table4;

@@ -1,0 +1,94 @@
+//! Tenant traffic classes.
+//!
+//! The class-aware FR-FCFS in `obfusmem-mem` breaks scheduling ties by an
+//! 8-bit class (0 = highest priority) after row-hit preference. The fabric
+//! exposes three named tiers on top of that — enough to express the usual
+//! serving split (latency-sensitive front ends, ordinary tenants, batch
+//! scrubbers) while keeping the arbitration encoding trivial. Starvation
+//! aging in the scheduler bounds how long a bulk request can be bypassed,
+//! so the tiers shift tail latency rather than deny service.
+
+use std::fmt;
+
+/// QoS tier of a tenant's memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TenantClass {
+    /// Latency-sensitive tenants; arbitration class 0 (highest).
+    Interactive,
+    /// Ordinary tenants; arbitration class 1.
+    Standard,
+    /// Throughput-oriented background tenants; arbitration class 2.
+    Bulk,
+}
+
+impl TenantClass {
+    /// All classes, in priority order.
+    pub const ALL: [TenantClass; 3] = [
+        TenantClass::Interactive,
+        TenantClass::Standard,
+        TenantClass::Bulk,
+    ];
+
+    /// The scheduler's arbitration class (0 = highest priority).
+    pub fn arb_class(self) -> u8 {
+        match self {
+            TenantClass::Interactive => 0,
+            TenantClass::Standard => 1,
+            TenantClass::Bulk => 2,
+        }
+    }
+
+    /// Stable lowercase label (metric names, JSONL fields).
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantClass::Interactive => "interactive",
+            TenantClass::Standard => "standard",
+            TenantClass::Bulk => "bulk",
+        }
+    }
+
+    /// Deterministic default class assignment: tenants cycle through the
+    /// tiers so every run exercises all three without configuration.
+    pub fn for_tenant(tenant: usize) -> TenantClass {
+        Self::ALL[tenant % Self::ALL.len()]
+    }
+
+    /// Parses a label produced by [`TenantClass::name`].
+    pub fn parse(s: &str) -> Option<TenantClass> {
+        Self::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl fmt::Display for TenantClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arb_classes_are_priority_ordered() {
+        assert_eq!(TenantClass::Interactive.arb_class(), 0);
+        assert_eq!(TenantClass::Standard.arb_class(), 1);
+        assert_eq!(TenantClass::Bulk.arb_class(), 2);
+    }
+
+    #[test]
+    fn assignment_cycles_through_all_tiers() {
+        assert_eq!(TenantClass::for_tenant(0), TenantClass::Interactive);
+        assert_eq!(TenantClass::for_tenant(1), TenantClass::Standard);
+        assert_eq!(TenantClass::for_tenant(2), TenantClass::Bulk);
+        assert_eq!(TenantClass::for_tenant(3), TenantClass::Interactive);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for class in TenantClass::ALL {
+            assert_eq!(TenantClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(TenantClass::parse("premium"), None);
+    }
+}
