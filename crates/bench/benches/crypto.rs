@@ -30,6 +30,20 @@ fn bench_aes(c: &mut Criterion) {
             std::hint::black_box(blocks[0][0]);
         })
     });
+    // A full pass of the bitsliced wide path (32 blocks saturates every
+    // tier up to AVX-512).
+    group.throughput(Throughput::Bytes(32 * 16));
+    group.bench_function("encrypt_blocks_x32_bitsliced", |b| {
+        let tier = obfusmem_crypto::bitslice::best_sliced();
+        assert!(obfusmem_crypto::bitslice::set_force_tier(Some(tier)));
+        let sliced = Aes128::new(&[7; 16]);
+        let mut blocks = [[0x42u8; 16]; 32];
+        b.iter(|| {
+            sliced.encrypt_blocks(&mut blocks);
+            std::hint::black_box(blocks[0][0]);
+        });
+        obfusmem_crypto::bitslice::set_force_tier(None);
+    });
     group.throughput(Throughput::Bytes(16));
     group.bench_function("key_schedule", |b| {
         b.iter(|| std::hint::black_box(Aes128::new(std::hint::black_box(&[9; 16]))))
@@ -53,6 +67,12 @@ fn bench_ctr_pads(c: &mut Criterion) {
     group.bench_function("six_pads_batched", |b| {
         let mut stream = CtrStream::new(Aes128::new(&[1; 16]), 99);
         b.iter(|| std::hint::black_box(stream.next_pads::<6>()))
+    });
+    // One full bank refill per call: the wide-path sweet spot.
+    group.throughput(Throughput::Elements(8));
+    group.bench_function("eight_pads_batched", |b| {
+        let mut stream = CtrStream::new(Aes128::new(&[1; 16]), 99);
+        b.iter(|| std::hint::black_box(stream.next_pads::<8>()))
     });
     group.throughput(Throughput::Bytes(64));
     group.bench_function("encrypt_block_64B", |b| {

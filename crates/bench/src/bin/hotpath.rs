@@ -4,17 +4,19 @@
 //! hotpath [--quick] [--out PATH] [--gate BASELINE] [-n INSTRUCTIONS] [-s SEED]
 //! ```
 //!
-//! Measures the three overhauled hot paths — T-table AES vs the scalar
-//! reference, batched CTR pad generation, and the four-ary event queue —
-//! plus an end-to-end Figure 4 sweep A/B (scalar-forced vs T-table) and a
-//! no-op-recorder A/B (plain run vs disabled observability layer), and
-//! writes the numbers to `BENCH_hotpath.json` (override with `--out`).
+//! Measures the overhauled hot paths — the wide-block (bitsliced /
+//! AES-NI) engine against the T-table and scalar oracles, batched CTR pad
+//! generation, and the calendar event queue against a `BinaryHeap`
+//! reference — plus an end-to-end Figure 4 sweep A/B/C (scalar-forced vs
+//! T-table-forced vs wide) and a no-op-recorder A/B (plain run vs
+//! disabled observability layer), and writes the numbers to
+//! `BENCH_hotpath.json` (override with `--out`).
 //!
 //! The binary doubles as the CI divergence gate: it exits nonzero if the
-//! T-table cipher disagrees with the scalar reference on FIPS-197 vectors
-//! or random blocks, or if the end-to-end sweep results differ between
-//! the two implementations (they must be bit-identical — the AES swap is
-//! a pure performance change).
+//! three AES implementations disagree on FIPS-197 vectors or random
+//! blocks, or if the end-to-end sweep results differ between any pair of
+//! them (they must be bit-identical — the AES engine swap is a pure
+//! performance change).
 //!
 //! `--quick` shrinks measurement budgets and the sweep size for CI smoke
 //! runs; committed baselines use the full mode defaults.
@@ -32,7 +34,8 @@ use std::time::{Duration, Instant};
 
 use obfusmem_bench::experiments::{fig4, fig4_average, Fig4Row};
 use obfusmem_bench::quick::measure_ns_budget;
-use obfusmem_crypto::aes::{set_force_scalar, Aes128, Block};
+use obfusmem_crypto::aes::{set_force_scalar, set_force_ttable, Aes128, Block};
+use obfusmem_crypto::bitslice;
 use obfusmem_crypto::ctr::CtrStream;
 use obfusmem_harness::jsonl::JsonObject;
 use obfusmem_harness::measure::{run_point, run_point_observed, PointSpec, Scheme};
@@ -146,8 +149,10 @@ fn gate_against(baseline_path: &str, metrics: &[GateMetric], max_drop: f64) -> V
     failures
 }
 
-/// FIPS-197 Appendix B + random differential: the scalar and T-table
-/// paths must be bit-identical in both directions.
+/// FIPS-197 Appendix B + random differential: the wide-block engine, the
+/// T-table path, and the scalar reference must be bit-identical — on
+/// single blocks, and batch-for-batch through the block entry point the
+/// wide engine actually serves.
 fn divergence_check(random_blocks: u32) -> Result<(), String> {
     let key: [u8; 16] = [
         0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
@@ -169,25 +174,46 @@ fn divergence_check(random_blocks: u32) -> Result<(), String> {
     if fast.decrypt_block(&ct) != pt || slow.decrypt_block(&ct) != pt {
         return Err("FIPS-197 Appendix B decryption vector failed".into());
     }
+    let mut wide = [pt];
+    fast.encrypt_blocks(&mut wide);
+    if wide[0] != ct {
+        return Err("FIPS-197 Appendix B vector failed on the wide-block path".into());
+    }
 
+    // Random batches, deliberately ragged around the engine's pass
+    // widths, through all three implementations.
     let mut rng = SplitMix64::new(0x0bf0_5a1e);
-    let mut block = [0u8; 16];
     let mut k = [0u8; 16];
-    for i in 0..random_blocks {
-        if i % 64 == 0 {
-            k.iter_mut().for_each(|b| *b = rng.next_u64() as u8);
+    let mut batch = Vec::new();
+    let mut done = 0u32;
+    while done < random_blocks {
+        k.iter_mut().for_each(|b| *b = rng.next_u64() as u8);
+        let n = (1 + rng.below(67)) as usize;
+        batch.clear();
+        batch.resize(n, [0u8; 16]);
+        for block in batch.iter_mut() {
+            block.iter_mut().for_each(|b| *b = rng.next_u64() as u8);
         }
-        block.iter_mut().for_each(|b| *b = rng.next_u64() as u8);
-        let fast = Aes128::new(&k);
-        let slow = Aes128::new_scalar(&k);
-        let e_fast = fast.encrypt_block(&block);
-        let e_slow = slow.encrypt_block(&block);
-        if e_fast != e_slow {
-            return Err(format!("encrypt divergence on random block {i}"));
+        let cipher = Aes128::new(&k);
+        let scalar = Aes128::new_scalar(&k);
+        let mut via_wide = batch.clone();
+        cipher.encrypt_blocks(&mut via_wide);
+        let mut via_ttable = batch.clone();
+        cipher.encrypt_blocks_ttable(&mut via_ttable);
+        let mut via_scalar = batch.clone();
+        scalar.encrypt_blocks(&mut via_scalar);
+        if via_wide != via_ttable {
+            return Err(format!("wide/T-table divergence in batch at block {done}"));
         }
-        if fast.decrypt_block(&e_fast) != block || slow.decrypt_block(&e_slow) != block {
-            return Err(format!("decrypt divergence on random block {i}"));
+        if via_wide != via_scalar {
+            return Err(format!("wide/scalar divergence in batch at block {done}"));
         }
+        for (pt, ct) in batch.iter().zip(&via_wide) {
+            if cipher.decrypt_block(ct) != *pt {
+                return Err(format!("decrypt divergence in batch at block {done}"));
+            }
+        }
+        done += n as u32;
     }
     Ok(())
 }
@@ -195,8 +221,11 @@ fn divergence_check(random_blocks: u32) -> Result<(), String> {
 /// Standing queue depth for the churn benchmark: a loaded 8-channel
 /// simulation keeps a few hundred events in flight.
 const QUEUE_DEPTH: u64 = 256;
-/// Pop-push cycles per churn pass.
-const QUEUE_CHURN: u64 = 1024;
+/// Pop-push cycles per churn pass: enough sustained churn that the
+/// steady state dominates each structure's one-time setup (allocating
+/// buckets / growing the heap), as it does in a real simulation where
+/// one long-lived queue carries millions of events.
+const QUEUE_CHURN: u64 = 16384;
 
 /// A memory-request-sized event record: what a channel simulation
 /// actually schedules (address, kind, pads, tags — one cache line).
@@ -286,9 +315,40 @@ fn main() {
     let aes_scalar_ns = measure_ns_budget(|| scalar.encrypt_block(&block), budget);
     let aes_ttable_ns = measure_ns_budget(|| ttable.encrypt_block(&block), budget);
 
+    // --- AES per block through the software bitsliced engine ---
+    // Pinned to the best *sliced* tier (never AES-NI): this row tracks
+    // the constant-time software path. One pass encrypts a full batch;
+    // report the per-block amortized cost.
+    let sliced_tier = bitslice::best_sliced();
+    assert!(
+        bitslice::set_force_tier(Some(sliced_tier)),
+        "best_sliced() must be supported"
+    );
+    let mut sliced_batch = [[0x42u8; 16]; 32];
+    let aes_bitsliced_batch_ns = measure_ns_budget(
+        || {
+            ttable.encrypt_blocks(&mut sliced_batch);
+            sliced_batch[0][0]
+        },
+        budget,
+    );
+    let aes_bitsliced_ns = aes_bitsliced_batch_ns / sliced_batch.len() as f64;
+
     // --- CTR keystream throughput (64 blocks = 1 KiB per call) ---
     const KS_BLOCKS: usize = 64;
     let mut buf = [[0u8; 16]; KS_BLOCKS];
+    let ks_bytes = (KS_BLOCKS * 16) as f64;
+    // Still pinned to the sliced tier from above.
+    let mut sliced_stream = CtrStream::new(Aes128::new(&key), 99);
+    let ks_bitsliced_ns = measure_ns_budget(
+        || {
+            sliced_stream.keystream_into(&mut buf);
+            buf[0][0]
+        },
+        budget,
+    );
+    bitslice::set_force_tier(None);
+
     let mut scalar_stream = CtrStream::new(Aes128::new_scalar(&key), 99);
     let ks_scalar_ns = measure_ns_budget(
         || {
@@ -297,6 +357,7 @@ fn main() {
         },
         budget,
     );
+    set_force_ttable(true);
     let mut ttable_stream = CtrStream::new(Aes128::new(&key), 99);
     let ks_ttable_ns = measure_ns_budget(
         || {
@@ -305,9 +366,19 @@ fn main() {
         },
         budget,
     );
-    let ks_bytes = (KS_BLOCKS * 16) as f64;
+    set_force_ttable(false);
+    // Auto-detected best tier: what production streams actually use
+    // (AES-NI where the host has it, the sliced path elsewhere).
+    let mut wide_stream = CtrStream::new(Aes128::new(&key), 99);
+    let ks_wide_ns = measure_ns_budget(
+        || {
+            wide_stream.keystream_into(&mut buf);
+            buf[0][0]
+        },
+        budget,
+    );
 
-    // --- six pads per request: sequential vs batched ---
+    // --- pads per request: sequential vs batched ---
     let mut seq_stream = CtrStream::new(Aes128::new(&key), 99);
     let six_seq_ns = measure_ns_budget(
         || {
@@ -319,6 +390,18 @@ fn main() {
     );
     let mut batch_stream = CtrStream::new(Aes128::new(&key), 99);
     let six_batch_ns = measure_ns_budget(|| batch_stream.next_pads::<6>(), budget);
+    // Eight pads: one full wide-block pass, the batch the engines bank.
+    let mut eight_seq_stream = CtrStream::new(Aes128::new(&key), 99);
+    let eight_seq_ns = measure_ns_budget(
+        || {
+            for _ in 0..8 {
+                std::hint::black_box(eight_seq_stream.next_pad());
+            }
+        },
+        budget,
+    );
+    let mut eight_batch_stream = CtrStream::new(Aes128::new(&key), 99);
+    let eight_batch_ns = measure_ns_budget(|| eight_batch_stream.next_pads::<8>(), budget);
 
     // --- event queue churn ---
     assert_eq!(
@@ -329,9 +412,9 @@ fn main() {
     let q_heap_ns = measure_ns_budget(queue_churn_binaryheap, budget);
     let q_ours_ns = measure_ns_budget(queue_churn_ours, budget);
 
-    // --- end-to-end Figure 4 sweep A/B ---
+    // --- end-to-end Figure 4 sweep A/B/C ---
     eprintln!(
-        "# hotpath: fig4 sweep A/B (n={}, seed={})",
+        "# hotpath: fig4 sweep A/B/C (n={}, seed={})",
         opts.instructions, opts.seed
     );
     set_force_scalar(true);
@@ -339,15 +422,24 @@ fn main() {
     let rows_scalar = fig4(opts.instructions, opts.seed);
     let fig4_scalar_ms = t0.elapsed().as_secs_f64() * 1e3;
     set_force_scalar(false);
+    set_force_ttable(true);
     let t0 = Instant::now();
     let rows_ttable = fig4(opts.instructions, opts.seed);
     let fig4_ttable_ms = t0.elapsed().as_secs_f64() * 1e3;
+    set_force_ttable(false);
+    let t0 = Instant::now();
+    let rows_wide = fig4(opts.instructions, opts.seed);
+    let fig4_wide_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     if !rows_identical(&rows_scalar, &rows_ttable) {
         eprintln!("FAIL: fig4 results differ between scalar and T-table AES");
         std::process::exit(1);
     }
-    let avg = fig4_average(&rows_ttable);
+    if !rows_identical(&rows_ttable, &rows_wide) {
+        eprintln!("FAIL: fig4 results differ between T-table and wide-block AES");
+        std::process::exit(1);
+    }
+    let avg = fig4_average(&rows_wide);
 
     // --- observability off-switch: plain run vs disabled recorder ---
     // The recorder trait's no-op default must make an untraced run free.
@@ -382,26 +474,38 @@ fn main() {
     let noop_overhead_pct = 100.0 * (noop_ms - plain_ms) / plain_ms;
 
     let json = JsonObject::new()
-        .string("schema", "obfusmem.bench_hotpath.v1")
+        .string("schema", "obfusmem.bench_hotpath.v2")
         .string("mode", if opts.quick { "quick" } else { "full" })
         .u64("instructions", opts.instructions)
         .u64("seed", opts.seed)
         .string("divergence", "none")
+        .string("bitsliced_tier", sliced_tier.name())
+        .string("wide_tier", bitslice::detect_best().name())
         .f64("aes_block_scalar_ns", round3(aes_scalar_ns))
         .f64("aes_block_ttable_ns", round3(aes_ttable_ns))
+        .f64("aes_block_bitsliced_ns", round3(aes_bitsliced_ns))
         .f64("aes_block_speedup", round3(aes_scalar_ns / aes_ttable_ns))
         .f64("keystream_scalar_gbps", round3(ks_bytes / ks_scalar_ns))
         .f64("keystream_ttable_gbps", round3(ks_bytes / ks_ttable_ns))
-        .f64("keystream_speedup", round3(ks_scalar_ns / ks_ttable_ns))
+        .f64(
+            "keystream_bitsliced_gbps",
+            round3(ks_bytes / ks_bitsliced_ns),
+        )
+        .f64("keystream_wide_gbps", round3(ks_bytes / ks_wide_ns))
+        .f64("keystream_speedup", round3(ks_scalar_ns / ks_wide_ns))
         .f64("six_pads_sequential_ns", round3(six_seq_ns))
         .f64("six_pads_batched_ns", round3(six_batch_ns))
         .f64("six_pads_speedup", round3(six_seq_ns / six_batch_ns))
+        .f64("eight_pads_sequential_ns", round3(eight_seq_ns))
+        .f64("eight_pads_batched_ns", round3(eight_batch_ns))
+        .f64("eight_pads_speedup", round3(eight_seq_ns / eight_batch_ns))
         .f64("event_queue_binaryheap_ns", round3(q_heap_ns))
-        .f64("event_queue_fourary_ns", round3(q_ours_ns))
+        .f64("event_queue_calendar_ns", round3(q_ours_ns))
         .f64("event_queue_speedup", round3(q_heap_ns / q_ours_ns))
         .f64("fig4_scalar_ms", round3(fig4_scalar_ms))
         .f64("fig4_ttable_ms", round3(fig4_ttable_ms))
-        .f64("fig4_speedup", round3(fig4_scalar_ms / fig4_ttable_ms))
+        .f64("fig4_wide_ms", round3(fig4_wide_ms))
+        .f64("fig4_speedup", round3(fig4_scalar_ms / fig4_wide_ms))
         .u64("fig4_rows_identical", 1)
         .f64("point_untraced_ms", round3(plain_ms))
         .f64("point_noop_recorder_ms", round3(noop_ms))
@@ -417,29 +521,39 @@ fn main() {
     });
 
     println!(
-        "divergence gate              pass (FIPS-197 + {random_blocks} random blocks + fig4 A/B)"
+        "divergence gate              pass (FIPS-197 + {random_blocks} random blocks x3 paths + fig4 A/B/C)"
     );
     println!(
         "aes encrypt_block            scalar {aes_scalar_ns:8.1} ns   ttable {aes_ttable_ns:8.1} ns   {:.2}x",
         aes_scalar_ns / aes_ttable_ns
     );
     println!(
-        "ctr keystream (1 KiB)        scalar {:8.3} GB/s  ttable {:8.3} GB/s  {:.2}x",
-        ks_bytes / ks_scalar_ns,
+        "aes per block, {:<12} sliced {aes_bitsliced_ns:8.1} ns   vs ttable        {:.2}x",
+        sliced_tier.name(),
+        aes_ttable_ns / aes_bitsliced_ns
+    );
+    println!(
+        "ctr keystream (1 KiB)        ttable {:8.3} GB/s  sliced {:8.3} GB/s  wide[{}] {:.3} GB/s",
         ks_bytes / ks_ttable_ns,
-        ks_scalar_ns / ks_ttable_ns
+        ks_bytes / ks_bitsliced_ns,
+        bitslice::detect_best().name(),
+        ks_bytes / ks_wide_ns,
     );
     println!(
         "six pads per request         loop   {six_seq_ns:8.1} ns   batch  {six_batch_ns:8.1} ns   {:.2}x",
         six_seq_ns / six_batch_ns
     );
     println!(
-        "event queue churn            binheap{q_heap_ns:8.1} ns   4-ary  {q_ours_ns:8.1} ns   {:.2}x",
+        "eight pads (one wide pass)   loop   {eight_seq_ns:8.1} ns   batch  {eight_batch_ns:8.1} ns   {:.2}x",
+        eight_seq_ns / eight_batch_ns
+    );
+    println!(
+        "event queue churn            binheap{q_heap_ns:8.1} ns   calndr {q_ours_ns:8.1} ns   {:.2}x",
         q_heap_ns / q_ours_ns
     );
     println!(
-        "fig4 sweep wall-clock        scalar {fig4_scalar_ms:8.1} ms   ttable {fig4_ttable_ms:8.1} ms   {:.2}x",
-        fig4_scalar_ms / fig4_ttable_ms
+        "fig4 sweep wall-clock        scalar {fig4_scalar_ms:8.1} ms   wide   {fig4_wide_ms:8.1} ms   {:.2}x",
+        fig4_scalar_ms / fig4_wide_ms
     );
     println!(
         "no-op recorder (bwaves)      plain  {plain_ms:8.1} ms   no-op  {noop_ms:8.1} ms   {noop_overhead_pct:+.1}%"
@@ -458,15 +572,27 @@ fn main() {
             },
             GateMetric {
                 key: "keystream_speedup",
-                current: ks_scalar_ns / ks_ttable_ns,
+                current: ks_scalar_ns / ks_wide_ns,
             },
             GateMetric {
                 key: "keystream_ttable_gbps",
                 current: ks_bytes / ks_ttable_ns,
             },
             GateMetric {
+                key: "keystream_bitsliced_gbps",
+                current: ks_bytes / ks_bitsliced_ns,
+            },
+            GateMetric {
+                key: "keystream_wide_gbps",
+                current: ks_bytes / ks_wide_ns,
+            },
+            GateMetric {
                 key: "six_pads_speedup",
                 current: six_seq_ns / six_batch_ns,
+            },
+            GateMetric {
+                key: "eight_pads_speedup",
+                current: eight_seq_ns / eight_batch_ns,
             },
             GateMetric {
                 key: "event_queue_speedup",
@@ -474,7 +600,7 @@ fn main() {
             },
             GateMetric {
                 key: "fig4_speedup",
-                current: fig4_scalar_ms / fig4_ttable_ms,
+                current: fig4_scalar_ms / fig4_wide_ms,
             },
         ];
         let failures = gate_against(baseline, &metrics, max_drop);

@@ -16,7 +16,7 @@
 //! Both ends then advance their shared counter by six.
 
 use obfusmem_crypto::aes::Block;
-use obfusmem_crypto::ctr::{PadBuffer, PADS_PER_REQUEST};
+use obfusmem_crypto::ctr::{PadBuffer, PADS_PER_REQUEST, PAD_BATCH};
 use obfusmem_mem::request::{AccessKind, BlockData};
 use obfusmem_sim::rng::SplitMix64;
 use obfusmem_sim::time::Time;
@@ -67,10 +67,11 @@ impl ProcessorEngine {
         let pad_buffers = (0..sessions.channels())
             .map(|_| {
                 // A fresh channel pre-generates at least one full
-                // request's worth of pads during boot, so the first
-                // request never faults them in one by one.
+                // wide-block pass of pads during boot (covering a whole
+                // request with two to spare), so the first request never
+                // faults them in one by one.
                 PadBuffer::new(
-                    lat.pad_buffer.max(PADS_PER_REQUEST),
+                    lat.pad_buffer.max(PAD_BATCH as u64),
                     lat.aes_per_pad.as_ps(),
                     lat.aes_fill.as_ps(),
                 )
@@ -104,7 +105,7 @@ impl ProcessorEngine {
         let lane = self.sessions.add_session(key, nonce);
         let lat = self.cfg.latencies;
         self.pad_buffers.push(PadBuffer::new(
-            lat.pad_buffer.max(PADS_PER_REQUEST),
+            lat.pad_buffer.max(PAD_BATCH as u64),
             lat.aes_per_pad.as_ps(),
             lat.aes_fill.as_ps(),
         ));
@@ -143,7 +144,7 @@ impl ProcessorEngine {
         self.sessions.session_mut(channel)?.rekey(epoch);
         let lat = self.cfg.latencies;
         self.pad_buffers[channel] = PadBuffer::new(
-            lat.pad_buffer.max(PADS_PER_REQUEST),
+            lat.pad_buffer.max(PAD_BATCH as u64),
             lat.aes_per_pad.as_ps(),
             lat.aes_fill.as_ps(),
         );
@@ -695,17 +696,18 @@ mod tests {
     }
 
     #[test]
-    fn cold_channel_has_six_pads_banked() {
+    fn cold_channel_has_a_full_pass_of_pads_banked() {
         // Even with an undersized configured buffer, a fresh channel must
-        // hold one full request's worth of pads: the first request pays
-        // zero stall instead of faulting pads in one by one.
+        // hold one full wide-block pass of pads (eight — a whole request
+        // plus two): the first request pays zero stall instead of
+        // faulting pads in one by one.
         let mut cfg = ObfusMemConfig::paper_default();
         cfg.latencies.pad_buffer = 1;
         let mut e = engine(cfg);
         let first = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
         assert_eq!(first.pad_stall_ps, 0, "cold start must be pre-warmed");
         // The clamp is a floor, not a free lunch: an immediate second
-        // request finds the tiny buffer drained and stalls.
+        // request finds only the two leftover pads and stalls.
         let second = e.obfuscate(Time::ZERO, 0, read_header(), None).unwrap();
         assert!(second.pad_stall_ps > 0);
     }

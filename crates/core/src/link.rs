@@ -26,7 +26,7 @@
 //!   session down — and then retransmits;
 //! * retransmissions back off exponentially in simulated time
 //!   (`ack_timeout << attempt`, capped), scheduled on the repo's
-//!   four-ary [`EventQueue`];
+//!   calendar [`EventQueue`];
 //! * repeated integrity failures escalate to a session re-key (both
 //!   ends derive the next key from the current one and the rekey
 //!   epoch), and repeated re-keys quarantine the channel: [`deliver`]
@@ -534,7 +534,7 @@ impl FaultyLink {
     }
 
     /// Carries one obfuscated request over the faulty bus, running the
-    /// full recovery protocol as a micro-simulation on a four-ary
+    /// full recovery protocol as a micro-simulation on a calendar
     /// [`EventQueue`] in simulated time.
     ///
     /// On success both engines have consumed exactly one request's pads

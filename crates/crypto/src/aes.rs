@@ -6,21 +6,27 @@
 //! for that pipeline lives in `obfusmem-core`, while this module provides
 //! the actual transformation so the simulated bus carries real ciphertext.
 //!
-//! Two implementations share one key schedule:
+//! Three implementations share one key schedule:
 //!
-//! * **T-table** (default): the SubBytes/ShiftRows/MixColumns round
-//!   collapsed into four 256-entry 32-bit lookup tables per direction,
-//!   the classic software rendering of the round function (four table
-//!   reads and three XORs per column). This is what every hot path uses.
+//! * **Wide-block** (default for batches): the constant-time bitsliced /
+//!   AES-NI engine in [`crate::bitslice`], consuming 8–32 counter blocks
+//!   per pass. [`Aes128::encrypt_blocks`] and [`Aes128::ctr_blocks`]
+//!   route here unless a narrower oracle is forced.
+//! * **T-table**: the SubBytes/ShiftRows/MixColumns round collapsed into
+//!   four 256-entry 32-bit lookup tables per direction, the classic
+//!   software rendering of the round function (four table reads and three
+//!   XORs per column). Single-block calls use it; force it for batches
+//!   process-wide with [`set_force_ttable`] or build-wide with the
+//!   `ttable-aes` cargo feature.
 //! * **Scalar**: the original byte-oriented rendering of the
 //!   specification, kept as the readable reference implementation and as
 //!   the differential-testing oracle. Select it per-instance with
 //!   [`Aes128::new_scalar`], process-wide with [`set_force_scalar`], or
 //!   build-wide with the `scalar-aes` cargo feature.
 //!
-//! The two paths are bit-identical by construction and the test suite
-//! (plus the `hotpath` bench gate in CI) enforces it on the FIPS-197
-//! vectors and thousands of random blocks.
+//! The three paths are bit-identical by construction and the test suite
+//! (plus the `hotpath` bench gate in CI) enforces it on the FIPS-197 and
+//! SP 800-38A vectors and thousands of random blocks.
 //!
 //! # Example
 //!
@@ -35,6 +41,7 @@
 //! assert_eq!(aes.decrypt_block(&ct), pt);
 //! ```
 
+use crate::bitslice::{self, SlicedKeys};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -164,6 +171,25 @@ pub fn scalar_forced() -> bool {
     cfg!(feature = "scalar-aes") || FORCE_SCALAR.load(Ordering::SeqCst)
 }
 
+/// Process-wide switch pinning *subsequently constructed* instances' batch
+/// entry points ([`Aes128::encrypt_blocks`] / [`Aes128::ctr_blocks`]) to the
+/// per-block T-table loop instead of the wide-block engine. Single-block
+/// calls already use the T-tables; this exists so benchmarks and
+/// differential gates can A/B the pre-bitslicing batch path end to end.
+static FORCE_TTABLE: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the per-block T-table batch path for ciphers
+/// constructed after this call. Benchmarking/differential testing only.
+pub fn set_force_ttable(on: bool) {
+    FORCE_TTABLE.store(on, Ordering::SeqCst);
+}
+
+/// True when [`set_force_ttable`] (or the `ttable-aes` feature) is in
+/// effect for new instances.
+pub fn ttable_forced() -> bool {
+    cfg!(feature = "ttable-aes") || FORCE_TTABLE.load(Ordering::SeqCst)
+}
+
 thread_local! {
     static KEY_EXPANSIONS: Cell<u64> = const { Cell::new(0) };
 }
@@ -191,7 +217,11 @@ pub struct Aes128 {
     /// Equivalent-inverse-cipher round keys (InvMixColumns folded into
     /// the middle rounds).
     dk: [u32; 44],
+    /// Round keys pre-transposed into the bitsliced bit-plane layout for
+    /// the wide-block engine.
+    sliced: SlicedKeys,
     use_scalar: bool,
+    use_ttable_blocks: bool,
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -265,13 +295,22 @@ impl Aes128 {
             round_keys,
             ek,
             dk,
+            sliced: SlicedKeys::expand(&round_keys),
             use_scalar,
+            use_ttable_blocks: ttable_forced(),
         }
     }
 
     /// True when this instance runs the scalar reference path.
     pub fn is_scalar(&self) -> bool {
         self.use_scalar
+    }
+
+    /// The expanded round keys as raw bytes (round 0 is the key itself).
+    /// Crate-internal: the wide-block engine's hardware tier consumes them
+    /// directly.
+    pub(crate) fn round_key_bytes(&self) -> &[[u8; 16]; 11] {
+        &self.round_keys
     }
 
     /// Scrubs the expanded schedule in place. Called by `Drop`; exposed
@@ -290,6 +329,11 @@ impl Aes128 {
         }
         for w in self.dk.iter_mut() {
             unsafe { std::ptr::write_volatile(w, 0) };
+        }
+        for round in self.sliced.0.iter_mut() {
+            for w in round.iter_mut() {
+                unsafe { std::ptr::write_volatile(w, 0) };
+            }
         }
         std::sync::atomic::compiler_fence(Ordering::SeqCst);
     }
@@ -312,18 +356,46 @@ impl Aes128 {
         }
     }
 
-    /// Encrypts a run of blocks in place. One schedule read, straight-line
-    /// per-block loops the compiler can interleave — the building block of
-    /// the batched counter-mode keystream.
+    /// Encrypts a run of blocks in place. On the default path this is one
+    /// wide-block pass per 8–32 blocks through the constant-time engine in
+    /// [`crate::bitslice`]; the scalar/T-table oracles fall back to
+    /// straight-line per-block loops.
     pub fn encrypt_blocks(&self, blocks: &mut [Block]) {
         if self.use_scalar {
             for b in blocks {
                 *b = self.encrypt_block_scalar(b);
             }
+        } else if self.use_ttable_blocks {
+            self.encrypt_blocks_ttable(blocks);
         } else {
-            for b in blocks {
-                *b = self.encrypt_block_ttable(b);
+            bitslice::encrypt_blocks_wide(&self.sliced, self.round_key_bytes(), blocks);
+        }
+    }
+
+    /// The per-block T-table rendering of [`Aes128::encrypt_blocks`], kept
+    /// callable as a differential oracle against the wide-block engine.
+    pub fn encrypt_blocks_ttable(&self, blocks: &mut [Block]) {
+        for b in blocks {
+            *b = self.encrypt_block_ttable(b);
+        }
+    }
+
+    /// Generates CTR keystream blocks for counters
+    /// `counter .. counter + out.len()` under the IV layout
+    /// `nonce (8B, BE) || counter (8B, BE)`, overwriting `out`.
+    ///
+    /// The wide path packs the counters straight into the bitsliced state
+    /// without materializing IV bytes; the scalar/T-table oracles build the
+    /// IVs explicitly and encrypt per block. Counters wrap modulo 2^64.
+    pub fn ctr_blocks(&self, nonce: u64, counter: u64, out: &mut [Block]) {
+        if self.use_scalar || self.use_ttable_blocks {
+            for (i, block) in out.iter_mut().enumerate() {
+                block[..8].copy_from_slice(&nonce.to_be_bytes());
+                block[8..].copy_from_slice(&counter.wrapping_add(i as u64).to_be_bytes());
             }
+            self.encrypt_blocks(out);
+        } else {
+            bitslice::ctr_blocks_wide(&self.sliced, self.round_key_bytes(), nonce, counter, out);
         }
     }
 

@@ -20,13 +20,25 @@ use crate::error::CryptoError;
 /// 1 real command+address, 1 dummy command+address, 4 for 64 B of data.
 pub const PADS_PER_REQUEST: u64 = 6;
 
+/// Pads generated per wide-block cipher pass. Single-pad and ragged-tail
+/// demand is served from a bank refilled one pass at a time, so consumers
+/// that size buffers in multiples of `PAD_BATCH` never pay a partial pass.
+pub const PAD_BATCH: usize = 8;
+
 /// A counter-mode keystream: `pad_i = AES_K(nonce_hi || ctr_i)`.
 ///
 /// Both ends of an ObfusMem channel hold an identical `CtrStream`; staying
 /// synchronized (consuming the same number of pads for every message) is
 /// what makes decryption — and tamper detection via counter mismatch —
 /// work.
-#[derive(Debug, Clone)]
+///
+/// Pads are produced through the wide-block engine [`PAD_BATCH`] at a time:
+/// single-pad calls drain a small bank of pre-generated pads (refilling it
+/// with one cipher pass when empty), and batch calls stream full passes
+/// straight into the caller's buffer. The counter always reads as the next
+/// *unserved* pad index — banked pads are an implementation detail and
+/// never visible in the synchronization discipline.
+#[derive(Clone)]
 pub struct CtrStream {
     cipher: Aes128,
     /// Upper 64 bits of the IV; fixed per session (a nonce).
@@ -34,6 +46,37 @@ pub struct CtrStream {
     /// Lower 64 bits: the running counter. A 64-bit counter will not
     /// overflow for millennia at memory-bus rates (paper §3.2).
     counter: u64,
+    /// Pre-generated pads for counters `counter..counter + bank_len -
+    /// bank_pos` (keystream material — scrubbed on drop, hidden from
+    /// `Debug`). Invalidated by `seek` and overrun by `skip_pads`.
+    bank: [Block; PAD_BATCH],
+    bank_pos: u8,
+    bank_len: u8,
+}
+
+impl std::fmt::Debug for CtrStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CtrStream")
+            .field("cipher", &self.cipher)
+            .field("nonce", &self.nonce)
+            .field("counter", &self.counter)
+            .field("banked", &self.banked())
+            .finish()
+    }
+}
+
+impl Drop for CtrStream {
+    /// Banked pads are keystream material: XORing one with an observed
+    /// ciphertext recovers plaintext, so scrub them like key bytes (the
+    /// cipher scrubs its own schedule).
+    fn drop(&mut self) {
+        for pad in self.bank.iter_mut() {
+            for b in pad.iter_mut() {
+                unsafe { std::ptr::write_volatile(b, 0) };
+            }
+        }
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+    }
 }
 
 impl CtrStream {
@@ -44,6 +87,9 @@ impl CtrStream {
             cipher,
             nonce,
             counter: 0,
+            bank: [[0u8; 16]; PAD_BATCH],
+            bank_pos: 0,
+            bank_len: 0,
         }
     }
 
@@ -52,26 +98,50 @@ impl CtrStream {
         self.counter
     }
 
+    /// Number of pre-generated pads currently banked for the upcoming
+    /// counter values.
+    fn banked(&self) -> usize {
+        (self.bank_len - self.bank_pos) as usize
+    }
+
+    /// One wide-block pass: fill the bank with pads for
+    /// `counter..counter + PAD_BATCH`.
+    fn refill_bank(&mut self) {
+        self.cipher
+            .ctr_blocks(self.nonce, self.counter, &mut self.bank);
+        self.bank_pos = 0;
+        self.bank_len = PAD_BATCH as u8;
+    }
+
     /// Forces the counter to `value`.
     ///
     /// Used by tamper-recovery tests and by the memory-side engine when
     /// re-synchronizing after a detected desync; normal operation never
-    /// calls this.
+    /// calls this. Discards any banked pads (they belong to the old
+    /// counter window).
     pub fn seek(&mut self, value: u64) {
         self.counter = value;
+        self.bank_pos = 0;
+        self.bank_len = 0;
     }
 
     /// Produces the pad for the current counter and advances by one.
+    /// Served from the bank; one wide-block pass refills it every
+    /// [`PAD_BATCH`] calls.
     pub fn next_pad(&mut self) -> Block {
-        let pad = self.pad_at(self.counter);
+        if self.banked() == 0 {
+            self.refill_bank();
+        }
+        let pad = self.bank[self.bank_pos as usize];
+        self.bank_pos += 1;
         self.counter += 1;
         pad
     }
 
     /// Produces the next `N` pads as one batch, advancing the counter by
-    /// `N`. Equivalent to `N` calls to [`CtrStream::next_pad`] but builds
-    /// the IVs in one pass and hands the cipher a straight run of blocks
-    /// — the shape every six-pads-per-request consumer wants.
+    /// `N`. Equivalent to `N` calls to [`CtrStream::next_pad`] but drains
+    /// the bank and streams whole wide-block passes straight into the
+    /// output — the shape every six/eight-pads-per-request consumer wants.
     pub fn next_pads<const N: usize>(&mut self) -> [Block; N] {
         let mut out = [[0u8; 16]; N];
         self.keystream_into(&mut out);
@@ -80,10 +150,34 @@ impl CtrStream {
 
     /// Fills `out` with the pads for the next `out.len()` counter values
     /// and advances the counter past them. No allocation: callers bring
-    /// the buffer.
+    /// the buffer. Banked pads are served first, full [`PAD_BATCH`] spans
+    /// are generated directly into `out`, and a ragged tail refills the
+    /// bank so the leftovers stay pre-generated for the next call.
     pub fn keystream_into(&mut self, out: &mut [Block]) {
-        self.pads_at_into(self.counter, out);
-        self.counter += out.len() as u64;
+        let take = self.banked().min(out.len());
+        if take > 0 {
+            let pos = self.bank_pos as usize;
+            out[..take].copy_from_slice(&self.bank[pos..pos + take]);
+            self.bank_pos += take as u8;
+            self.counter += take as u64;
+        }
+        let rest = &mut out[take..];
+        if rest.is_empty() {
+            return;
+        }
+        let full = rest.len() - rest.len() % PAD_BATCH;
+        if full > 0 {
+            self.cipher
+                .ctr_blocks(self.nonce, self.counter, &mut rest[..full]);
+            self.counter += full as u64;
+        }
+        let tail = &mut rest[full..];
+        if !tail.is_empty() {
+            self.refill_bank();
+            tail.copy_from_slice(&self.bank[..tail.len()]);
+            self.bank_pos = tail.len() as u8;
+            self.counter += tail.len() as u64;
+        }
     }
 
     /// Advances the counter by `n` without generating the pads.
@@ -92,8 +186,15 @@ impl CtrStream {
     /// not a given slot's pad is ever XORed with anything (a read request
     /// reserves its reply pads but does not use them until the reply
     /// arrives, via [`CtrStream::pad_at`]). Skipping keeps the counter
-    /// discipline without burning AES work on discarded pads.
+    /// discipline without burning AES work on discarded pads; already
+    /// banked pads are consumed (or discarded, past the bank) for free.
     pub fn skip_pads(&mut self, n: u64) {
+        if n < self.banked() as u64 {
+            self.bank_pos += n as u8;
+        } else {
+            self.bank_pos = 0;
+            self.bank_len = 0;
+        }
         self.counter += n;
     }
 
@@ -110,13 +211,11 @@ impl CtrStream {
     /// Fills `out` with pads for counters `counter..counter + out.len()`
     /// without advancing — the batch form of [`CtrStream::pad_at`], used
     /// to regenerate a request's reserved reply-pad window in one call.
+    /// Routed through the cipher's counter-mode entry point so the wide
+    /// engine packs the IVs itself instead of reading them back from
+    /// bytes.
     pub fn pads_at_into(&self, counter: u64, out: &mut [Block]) {
-        let nonce = self.nonce.to_be_bytes();
-        for (i, iv) in out.iter_mut().enumerate() {
-            iv[..8].copy_from_slice(&nonce);
-            iv[8..].copy_from_slice(&(counter + i as u64).to_be_bytes());
-        }
-        self.cipher.encrypt_blocks(out);
+        self.cipher.ctr_blocks(self.nonce, counter, out);
     }
 
     /// Encrypts (or decrypts — XOR is symmetric) `data` in place, consuming
@@ -384,6 +483,120 @@ mod tests {
         }
     }
 
+    /// NIST SP 800-38A F.5.1 (CTR-AES128.Encrypt): the standard initial
+    /// counter block `f0f1..feff` split across our `nonce ‖ counter`
+    /// layout. Exercises the wide-block engine end to end through the
+    /// stream's banked path.
+    #[test]
+    fn sp800_38a_ctr_aes128_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut s = CtrStream::new(Aes128::new(&key), 0xf0f1_f2f3_f4f5_f6f7);
+        s.seek(0xf8f9_fafb_fcfd_feff);
+        let pt = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac,
+            0x45, 0xaf, 0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb,
+            0xc1, 0x19, 0x1a, 0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17,
+            0xad, 0x2b, 0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10,
+        ];
+        let ct = [
+            0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99, 0x0d,
+            0xb6, 0xce, 0x98, 0x06, 0xf6, 0x6b, 0x79, 0x70, 0xfd, 0xff, 0x86, 0x17, 0x18, 0x7b,
+            0xb9, 0xff, 0xfd, 0xff, 0x5a, 0xe4, 0xdf, 0x3e, 0xdb, 0xd5, 0xd3, 0x5e, 0x5b, 0x4f,
+            0x09, 0x02, 0x0d, 0xb0, 0x3e, 0xab, 0x1e, 0x03, 0x1d, 0xda, 0x2f, 0xbe, 0x03, 0xd1,
+            0x79, 0x21, 0x70, 0xa0, 0xf3, 0x00, 0x9c, 0xee,
+        ];
+        assert_eq!(s.xor_copy(&pt), ct.to_vec());
+    }
+
+    #[test]
+    fn single_pads_are_banked_one_pass_at_a_time() {
+        let mut s = stream();
+        assert_eq!(s.banked(), 0);
+        let first = s.next_pad();
+        assert_eq!(first, stream().pad_at(0));
+        assert_eq!(s.banked(), PAD_BATCH - 1, "one pass banks the rest");
+        assert_eq!(s.counter(), 1, "banked pads are not consumed pads");
+    }
+
+    #[test]
+    fn seek_discards_banked_pads() {
+        let mut s = stream();
+        s.next_pad(); // banks pads for counters 1..8
+        s.seek(100);
+        assert_eq!(s.next_pad(), stream().pad_at(100));
+    }
+
+    #[test]
+    fn skip_consumes_banked_pads_then_discards() {
+        let oracle = stream();
+        // Skip shorter than the bank: remaining banked pads still valid.
+        let mut s = stream();
+        s.next_pad();
+        s.skip_pads(3);
+        assert_eq!(s.next_pad(), oracle.pad_at(4));
+        // Skip past the bank: next pad comes from a fresh pass.
+        let mut s = stream();
+        s.next_pad();
+        s.skip_pads(50);
+        assert_eq!(s.counter(), 51);
+        assert_eq!(s.next_pad(), oracle.pad_at(51));
+    }
+
+    #[test]
+    fn debug_does_not_print_banked_pads() {
+        let mut s = stream();
+        let pad = s.next_pad();
+        let next_banked = s.pad_at(1);
+        let rendered = format!("{s:?}");
+        for leak in [&pad, &next_banked] {
+            let hexed: String = leak.iter().map(|b| format!("{b:02x}")).collect();
+            assert!(!rendered.contains(&hexed));
+            assert!(!rendered.contains(&format!("{:?}", &leak[..4])));
+        }
+        assert!(rendered.contains("banked"));
+    }
+
+    #[test]
+    fn batches_at_non_multiple_of_eight_offsets_match_oracle() {
+        let oracle = stream();
+        for offset in [0u64, 1, 3, 5, 7, 9, 13, 100, 1 << 33] {
+            for len in [1usize, 5, 6, 7, 8, 9, 12, 17, 24, 31] {
+                let mut s = stream();
+                s.seek(offset);
+                let mut got = vec![[0u8; 16]; len];
+                s.keystream_into(&mut got);
+                for (i, pad) in got.iter().enumerate() {
+                    assert_eq!(
+                        *pad,
+                        oracle.pad_at(offset + i as u64),
+                        "offset {offset} len {len} pad {i}"
+                    );
+                }
+                assert_eq!(s.counter(), offset + len as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_partition_lanes_never_share_pads() {
+        let p = CtrSpacePartition::new(4).unwrap();
+        let key = [9u8; 16];
+        let mut seen = std::collections::HashSet::new();
+        for lane in [0u64, 1, 2, 15] {
+            let nonce = p.nonce_for(lane, 0).unwrap();
+            let mut s = CtrStream::new(Aes128::new(&key), nonce);
+            // Straddle a batch boundary from a ragged offset.
+            s.seek(3);
+            for pad in s.next_pads::<13>() {
+                assert!(seen.insert(pad), "pad collision across lanes at {lane}");
+            }
+        }
+    }
+
     #[test]
     fn pad_at_matches_sequential_generation() {
         let mut s = stream();
@@ -478,6 +691,50 @@ mod tests {
             let mut b = CtrStream::new(Aes128::new(&key), nonce);
             let ct = a.xor_copy(&data);
             proptest::prop_assert_eq!(b.xor_copy(&ct), data);
+        }
+
+        /// Differential gate for the banked wide-block path: any
+        /// interleaving of seek / skip / single-pad / ragged-batch calls
+        /// must produce exactly the pads the per-block oracle
+        /// ([`CtrStream::pad_at`], which routes through the T-table
+        /// single-block path) predicts, with the counter tracking the
+        /// next unserved index throughout.
+        #[test]
+        fn interleaved_ops_match_per_block_oracle(ops: Vec<(u8, u8)>, key: [u8; 16], lane: u64) {
+            let part = CtrSpacePartition::new(6).unwrap();
+            let nonce = part.nonce_for(lane % part.lanes(), 1).unwrap();
+            let mut s = CtrStream::new(Aes128::new(&key), nonce);
+            let oracle = CtrStream::new(Aes128::new(&key), nonce);
+            let mut c: u64 = 0;
+            for (op, arg) in ops.into_iter().take(64) {
+                match op % 4 {
+                    0 => {
+                        proptest::prop_assert_eq!(s.next_pad(), oracle.pad_at(c));
+                        c += 1;
+                    }
+                    1 => {
+                        // Batch lengths straddle the PAD_BATCH boundary.
+                        let n = (arg % (2 * PAD_BATCH as u8 + 5)) as usize;
+                        let mut out = vec![[0u8; 16]; n];
+                        s.keystream_into(&mut out);
+                        for (i, pad) in out.iter().enumerate() {
+                            proptest::prop_assert_eq!(*pad, oracle.pad_at(c + i as u64));
+                        }
+                        c += n as u64;
+                    }
+                    2 => {
+                        let n = (arg % 13) as u64;
+                        s.skip_pads(n);
+                        c += n;
+                    }
+                    _ => {
+                        // Jump anywhere, including ragged offsets.
+                        c = (c << 5) ^ (arg as u64);
+                        s.seek(c);
+                    }
+                }
+                proptest::prop_assert_eq!(s.counter(), c);
+            }
         }
     }
 }

@@ -38,6 +38,7 @@
 
 pub mod aes;
 pub mod bigint;
+pub mod bitslice;
 pub mod ctr;
 pub mod dh;
 pub mod identity;

@@ -1,42 +1,93 @@
 //! Deterministic event queue.
 //!
-//! A four-ary implicit min-heap keyed on `(time, sequence)` where the
-//! sequence number is a monotonically increasing push counter: events
-//! scheduled for the same instant pop in FIFO order, which keeps
-//! multi-channel simulations deterministic regardless of heap internals.
+//! A **calendar queue** keyed on simulated picoseconds: the near future is
+//! a circular array of power-of-two-width time buckets (indexed by shift
+//! and mask, never division), and events beyond the bucketed window wait
+//! in an ordered overflow tier. Events scheduled for the same instant pop
+//! in FIFO order — ordering is by `(time, sequence)` where the sequence
+//! number is a monotonically increasing push counter — which keeps
+//! multi-channel simulations deterministic regardless of queue internals.
 //!
 //! # Layout
 //!
-//! The heap itself stores only small `Copy` keys (`HeapEntry`: timestamp,
-//! sequence number, slot index — 24 bytes); payloads live in an
-//! index-stable slab and never move during sift operations. A four-ary
-//! branching factor halves the tree depth relative to a binary heap, and
-//! the four child keys of a node sit in adjacent memory, so the sift-down
-//! comparison loop stays inside one or two cache lines. For the shallow
-//! queue depths typical of a memory-channel simulation (tens of in-flight
-//! events) this beats `BinaryHeap<(Time, u64, E)>`, which drags the
-//! payload through every compare-and-swap.
+//! All tiers store only small `Copy` keys (`Entry`: timestamp, sequence
+//! number, slot index — 24 bytes); payloads live in an index-stable slab
+//! and never move while keys shuffle. The bucketed tier is a **sliding
+//! window** of exactly `buckets.len() << shift` picoseconds ending at
+//! `year_end_ps`: bucket `(at >> shift) & (len - 1)` holds every windowed
+//! event, and because the window is exactly one lap of the circular array
+//! each bucket maps to a single time interval — no generation tags or
+//! per-entry year checks. A push lands in its bucket when `at` falls
+//! inside the window, or in a `BinaryHeap` overflow tier when it does
+//! not. A pop finds the first occupied bucket circularly from the clock's
+//! bucket through a bitmask (one trailing-zeros scan per 64 buckets) and
+//! takes the `(time, seq)`-minimum of that bucket — buckets hold only a
+//! few entries when the width matches the event density, so the scan is
+//! one or two cache lines.
+//!
+//! The simulation clock only moves forward, so each pop first *slides*
+//! the window up to the clock's bucket: buckets behind the clock are
+//! provably empty (nothing can be scheduled in the past) and become the
+//! freshly exposed top of the window, with any overflow events that now
+//! fit drained into them. In the steady state of a loaded simulation —
+//! pushes a bounded horizon ahead of pops — the window slides forever and
+//! **nothing is ever migrated or rebuilt**. A full rebuild (re-anchor the
+//! window, re-size the bucket count to the queue length and the bucket
+//! width to the pending span) happens only when the shape of the schedule
+//! actually changes: the bucketed tier runs dry with events still in
+//! overflow (sparse schedule / big time jump), a push lands behind the
+//! window (only possible right after a rebuild anchored ahead of the
+//! clock), or the queue outgrows two entries per bucket. Far-future
+//! outliers beyond the clamped window simply wait in the overflow heap;
+//! they cost `O(log n)` once instead of distorting the bucket width.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::time::Time;
 
-/// Heap key: everything ordering needs, nothing else. Payloads stay put
+/// Ordering key: everything a tier needs, nothing else. Payloads stay put
 /// in the slab while these small records shuffle.
 #[derive(Clone, Copy)]
-struct HeapEntry {
+struct Entry {
     at: Time,
     seq: u64,
     slot: u32,
 }
 
-impl HeapEntry {
+impl Entry {
     #[inline]
     fn key(&self) -> (Time, u64) {
         (self.at, self.seq)
     }
 }
 
-/// Children of heap index `i` are `4i+1 ..= 4i+4`.
-const ARITY: usize = 4;
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Fewest buckets a window is ever built with (one occupancy word).
+const MIN_BUCKETS: usize = 64;
+/// Most buckets a window is ever built with (1 MiB of entry headroom is
+/// plenty for any simulated channel population).
+const MAX_BUCKETS: usize = 1 << 16;
+/// Widest bucket the adaptive rebuild will pick: 2^20 ps ≈ 1 µs. Events
+/// farther out than `MAX_BUCKETS` of these wait in the overflow heap
+/// rather than stretching every bucket to cover them.
+const MAX_SHIFT: u32 = 20;
 
 /// A time-ordered queue of simulation events.
 ///
@@ -54,8 +105,24 @@ const ARITY: usize = 4;
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
 pub struct EventQueue<E> {
-    heap: Vec<HeapEntry>,
-    /// Index-stable payload storage; `HeapEntry::slot` indexes here.
+    /// The circular bucketed window: an event at `at` lives in bucket
+    /// `(at >> shift) & (buckets.len() - 1)`. The window covers exactly
+    /// one lap, `year_end_ps - (buckets.len() << shift) .. year_end_ps`,
+    /// so each bucket maps to a single time interval.
+    buckets: Vec<Vec<Entry>>,
+    /// One bit per bucket: set while the bucket is non-empty.
+    occupied: Vec<u64>,
+    /// End of the bucketed window (exclusive), always bucket-aligned and
+    /// saturating: a window parked at the top of the time range treats
+    /// everything representable as in range.
+    year_end_ps: u64,
+    /// log2 of the bucket width in picoseconds.
+    shift: u32,
+    /// Events at or beyond `year_end_ps`, ordered by `(time, seq)`.
+    overflow: BinaryHeap<Reverse<Entry>>,
+    /// Entries across both tiers.
+    len: usize,
+    /// Index-stable payload storage; `Entry::slot` indexes here.
     slab: Vec<Option<E>>,
     /// Vacated slab slots available for reuse.
     free: Vec<u32>,
@@ -72,8 +139,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len)
             .field("now", &self.now)
+            .field("buckets", &self.buckets.len())
+            .field("bucket_width_ps", &(1u64 << self.shift))
+            .field("overflow", &self.overflow.len())
             .finish()
     }
 }
@@ -82,12 +152,44 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: Vec::new(),
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: vec![0; MIN_BUCKETS / 64],
+            year_end_ps: (MIN_BUCKETS as u64) << 4,
+            // 16 ps buckets: the right ballpark for a loaded channel
+            // simulation; the first rebuild adapts it to the real density.
+            shift: 4,
+            overflow: BinaryHeap::new(),
+            len: 0,
             slab: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
             now: Time::ZERO,
         }
+    }
+
+    /// Width of the bucketed window in picoseconds (one circular lap).
+    #[inline]
+    fn window_len_ps(&self) -> u64 {
+        (self.buckets.len() as u64) << self.shift
+    }
+
+    /// Start of the bucketed window (inclusive) in picoseconds.
+    #[inline]
+    fn window_start_ps(&self) -> u64 {
+        self.year_end_ps.saturating_sub(self.window_len_ps())
+    }
+
+    /// Circular bucket index for an in-window timestamp.
+    #[inline]
+    fn bucket_of(&self, at_ps: u64) -> usize {
+        ((at_ps >> self.shift) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Bucket the earliest pending event could occupy: every pending
+    /// event is at or after both the clock and the window start.
+    #[inline]
+    fn cursor(&self) -> usize {
+        self.bucket_of(self.now.as_ps().max(self.window_start_ps()))
     }
 
     /// Schedules `payload` at absolute time `at`.
@@ -113,59 +215,194 @@ impl<E> EventQueue<E> {
                 slot
             }
         };
-        let entry = HeapEntry {
+        let entry = Entry {
             at,
             seq: self.next_seq,
             slot,
         };
         self.next_seq += 1;
-        self.heap.push(entry);
-        self.sift_up(self.heap.len() - 1);
+        self.len += 1;
+        if self.len == 1 {
+            // Empty queue: re-anchor the window for free so the event
+            // lands in the bucketed tier regardless of how far the clock
+            // ran (buckets are all empty, so no migration is needed).
+            let aligned = (at.as_ps() >> self.shift) << self.shift;
+            self.year_end_ps = aligned.saturating_add(self.window_len_ps());
+        }
+        self.insert(entry);
+        // Keep roughly two entries per bucket: once the queue outgrows
+        // that, re-size. `rebuild` picks a bucket count at or above the
+        // queue length, so triggers are geometrically spaced and the
+        // rebuild cost amortises to O(1) per push.
+        if self.len > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(entry.at);
+        }
+    }
+
+    /// Routes an entry to its bucket or the overflow tier. The window is
+    /// rebuilt first if the entry precedes it (only possible right after
+    /// a rebuild anchored on then-pending events later than `now`).
+    fn insert(&mut self, entry: Entry) {
+        let at_ps = entry.at.as_ps();
+        if at_ps < self.window_start_ps() {
+            self.rebuild(entry.at);
+        }
+        // A saturated window end means the window covers everything
+        // representable at or after its start.
+        if at_ps >= self.year_end_ps && self.year_end_ps != u64::MAX {
+            self.overflow.push(Reverse(entry));
+        } else {
+            let idx = self.bucket_of(at_ps);
+            self.buckets[idx].push(entry);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+        }
     }
 
     /// Removes and returns the earliest event, advancing the queue clock.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let root = *self.heap.first()?;
-        let last = self.heap.pop().expect("non-empty");
-        if !self.heap.is_empty() {
-            // Floyd's bottom-up deletion: walk the min-child path down to
-            // a leaf (one child scan per level, no compare against
-            // `last`), then place the displaced tail entry there and sift
-            // it up — it came from the bottom, so it rarely moves far.
-            let len = self.heap.len();
-            let mut idx = 0;
-            loop {
-                let first_child = ARITY * idx + 1;
-                if first_child >= len {
+        if self.len == 0 {
+            return None;
+        }
+        self.slide_window();
+        let entry = match self.take_earliest_bucketed() {
+            Some(entry) => entry,
+            None => {
+                // Bucketed tier ran dry with events still pending beyond
+                // the window: rebuild around what is left.
+                let &Reverse(head) = self.overflow.peek().expect("len > 0 with empty buckets");
+                self.rebuild(head.at);
+                self.take_earliest_bucketed()
+                    .expect("rebuild seeds the window")
+            }
+        };
+        self.len -= 1;
+        let payload = self.slab[entry.slot as usize]
+            .take()
+            .expect("queue entry pointed at an empty slab slot");
+        self.free.push(entry.slot);
+        self.now = entry.at;
+        Some((entry.at, payload))
+    }
+
+    /// Slides the window end up to one lap past the clock's bucket. The
+    /// buckets this recycles (between the old window start and the
+    /// clock's bucket) are provably empty — every event they could hold
+    /// would be before `now`, and nothing schedules in the past — so the
+    /// only work is draining overflow events that the wider window now
+    /// covers. In the steady state this is the *entire* maintenance cost
+    /// of the calendar: two shifts, a compare, and usually no drain.
+    fn slide_window(&mut self) {
+        let aligned_now = (self.now.as_ps() >> self.shift) << self.shift;
+        let desired = aligned_now.saturating_add(self.window_len_ps());
+        if desired > self.year_end_ps {
+            self.year_end_ps = desired;
+            while let Some(&Reverse(head)) = self.overflow.peek() {
+                if head.at.as_ps() >= desired {
                     break;
                 }
-                let last_child = (first_child + ARITY).min(len);
-                let mut best = first_child;
-                let mut best_key = self.heap[first_child].key();
-                for child in first_child + 1..last_child {
-                    let k = self.heap[child].key();
-                    if k < best_key {
-                        best = child;
-                        best_key = k;
-                    }
-                }
-                self.heap[idx] = self.heap[best];
-                idx = best;
+                let Reverse(head) = self.overflow.pop().expect("peeked entry vanished");
+                self.insert(head);
             }
-            self.heap[idx] = last;
-            self.sift_up(idx);
         }
-        let payload = self.slab[root.slot as usize]
-            .take()
-            .expect("heap entry pointed at an empty slab slot");
-        self.free.push(root.slot);
-        self.now = root.at;
-        Some((root.at, payload))
+    }
+
+    /// Takes the `(time, seq)`-minimum of the first occupied bucket
+    /// circularly at or after the clock's bucket, or `None` when every
+    /// bucket is empty. Correct because the window is exactly one lap:
+    /// circular position from the cursor increases monotonically with
+    /// time, and the overflow tier holds only times at or past the
+    /// window's end.
+    fn take_earliest_bucketed(&mut self) -> Option<Entry> {
+        let idx = self.first_occupied_from(self.cursor())?;
+        let bucket = &mut self.buckets[idx];
+        let best = bucket
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.key())
+            .map(|(i, _)| i)
+            .expect("occupancy bit set on an empty bucket");
+        let entry = bucket.swap_remove(best);
+        if bucket.is_empty() {
+            self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        Some(entry)
+    }
+
+    /// First occupied bucket in circular order starting at `cursor`:
+    /// the cursor's occupancy word masked below the cursor bit, then
+    /// whole words wrapping around the ring.
+    fn first_occupied_from(&self, cursor: usize) -> Option<usize> {
+        let nw = self.occupied.len();
+        let (cw, cb) = (cursor / 64, cursor % 64);
+        let masked = self.occupied[cw] & (!0u64 << cb);
+        if masked != 0 {
+            return Some(cw * 64 + masked.trailing_zeros() as usize);
+        }
+        for step in 1..=nw {
+            // `nw` is a power of two (bucket counts are), so the wrap is
+            // a mask. The final step re-checks the cursor's word: only
+            // its low bits can match, and those are circularly last.
+            let wi = (cw + step) & (nw - 1);
+            let word = self.occupied[wi];
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the window anchored at or before `anchor`: gathers every
+    /// entry from both tiers, adapts the bucket count to the queue length
+    /// and the bucket width to the pending time span (clamped — far
+    /// outliers stay in the overflow tier), then redistributes.
+    fn rebuild(&mut self, anchor: Time) {
+        let mut scratch: Vec<Entry> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            scratch.append(bucket);
+        }
+        scratch.extend(self.overflow.drain().map(|Reverse(e)| e));
+
+        let mut lo = anchor.as_ps();
+        let mut hi = anchor.as_ps();
+        for e in &scratch {
+            lo = lo.min(e.at.as_ps());
+            hi = hi.max(e.at.as_ps());
+        }
+
+        let nb = self
+            .len
+            .max(1)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        // Smallest width whose window covers the span, up to the clamp.
+        let span = hi - lo;
+        let mut shift = 0u32;
+        while shift < MAX_SHIFT && (span >> shift) >= nb as u64 {
+            shift += 1;
+        }
+
+        self.buckets.resize_with(nb, Vec::new);
+        self.occupied.clear();
+        self.occupied.resize(nb / 64, 0);
+        self.shift = shift;
+        self.year_end_ps = ((lo >> shift) << shift).saturating_add((nb as u64) << shift);
+        for entry in scratch {
+            self.insert(entry);
+        }
     }
 
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.first().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        // Every bucketed event is before the window's end and every
+        // overflow event at or after it, so the bucketed tier always
+        // holds the minimum when it is non-empty.
+        match self.first_occupied_from(self.cursor()) {
+            Some(idx) => self.buckets[idx].iter().map(|e| e.at).min(),
+            None => self.overflow.peek().map(|&Reverse(e)| e.at),
+        }
     }
 
     /// The time of the most recently popped event.
@@ -175,26 +412,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Moves the entry at `idx` up until its parent is no larger.
-    fn sift_up(&mut self, mut idx: usize) {
-        let entry = self.heap[idx];
-        while idx > 0 {
-            let parent = (idx - 1) / ARITY;
-            if self.heap[parent].key() <= entry.key() {
-                break;
-            }
-            self.heap[idx] = self.heap[parent];
-            idx = parent;
-        }
-        self.heap[idx] = entry;
+        self.len == 0
     }
 }
 
@@ -247,6 +470,15 @@ mod tests {
     }
 
     #[test]
+    fn empty_queue_is_inert() {
+        let mut q = EventQueue::<u32>::new();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn interleaved_push_pop() {
         let mut q = EventQueue::new();
         q.push(Time::from_ps(10), "a");
@@ -275,6 +507,47 @@ mod tests {
             "slab grew to {} slots for a queue that never held more than 2",
             q.slab.len()
         );
+    }
+
+    #[test]
+    fn far_future_events_ride_the_overflow_tier() {
+        let mut q = EventQueue::new();
+        // A refresh-timer-style outlier far beyond any sane window, plus
+        // a dense near-term band.
+        q.push(Time::from_ps(1 << 44), "refresh");
+        for i in 0..100u64 {
+            q.push(Time::from_ps(10 + i * 3), "near");
+        }
+        assert!(
+            !q.overflow.is_empty(),
+            "outlier must not stretch the window"
+        );
+        assert_eq!(q.peek_time(), Some(Time::from_ps(10)));
+        let mut last = Time::ZERO;
+        for _ in 0..100 {
+            let (t, tag) = q.pop().unwrap();
+            assert_eq!(tag, "near");
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.pop(), Some((Time::from_ps(1 << 44), "refresh")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_rebuild_adapts_bucket_count_and_width() {
+        let mut q = EventQueue::new();
+        // Deep queue spread over a wide span: the initial 64×16 ps window
+        // cannot hold it, so by the time it fully drains (in order) at
+        // least one rebuild has re-sized buckets to the density.
+        for i in 0..4096u64 {
+            q.push(Time::from_ps(i * 1000), i);
+        }
+        for i in 0..4096u64 {
+            let (t, v) = q.pop().unwrap();
+            assert_eq!((t, v), (Time::from_ps(i * 1000), i));
+        }
+        assert!(q.buckets.len() > MIN_BUCKETS, "rebuild must scale buckets");
     }
 
     proptest::proptest! {
@@ -337,6 +610,40 @@ mod tests {
                 popped += 1;
             }
             proptest::prop_assert_eq!(popped, pushed);
+        }
+
+        #[test]
+        fn differential_shadow_against_binaryheap(seed: u64, gaps: Vec<u16>) {
+            // A BinaryHeap<Reverse<(time, seq, id)>> is a trivially
+            // correct (time, seq)-ordered queue; the calendar queue must
+            // agree with it pop for pop across interleaved push/pop
+            // churn, including far-future outliers that exercise the
+            // overflow tier and rebuilds.
+            let mut rng = proptest::TestRng::for_case("shadow", seed as u32);
+            let mut q = EventQueue::new();
+            let mut shadow: std::collections::BinaryHeap<Reverse<(Time, u64, usize)>> =
+                std::collections::BinaryHeap::new();
+            for (id, gap) in gaps.into_iter().enumerate() {
+                // Mostly near-future, occasionally very far out.
+                let horizon = if gap % 7 == 0 { 1u64 << 40 } else { 2_000 };
+                let at = q.now() + Duration::from_ps(gap as u64 % 3 + rng.below(horizon));
+                q.push(at, id);
+                shadow.push(Reverse((at, id as u64, id)));
+                if rng.below(3) == 0 {
+                    let got = q.pop();
+                    let want = shadow.pop().map(|Reverse((t, _, i))| (t, i));
+                    proptest::prop_assert_eq!(got, want);
+                }
+                proptest::prop_assert_eq!(q.len(), shadow.len());
+                proptest::prop_assert_eq!(
+                    q.peek_time(),
+                    shadow.peek().map(|&Reverse((t, _, _))| t)
+                );
+            }
+            while let Some(Reverse((t, _, i))) = shadow.pop() {
+                proptest::prop_assert_eq!(q.pop(), Some((t, i)));
+            }
+            proptest::prop_assert!(q.pop().is_none());
         }
     }
 }
