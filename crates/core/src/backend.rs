@@ -16,10 +16,11 @@
 //!   configured scheme.
 
 use obfusmem_cpu::core::MemoryBackend;
+use obfusmem_mem::addr::{encode, DecodedAddr};
 use obfusmem_mem::channel::Lane;
 use obfusmem_mem::config::{BackendKind, MemConfig};
 use obfusmem_mem::device::{AccessResult, PcmMemory};
-use obfusmem_mem::request::{AccessKind, BlockAddr, BlockData};
+use obfusmem_mem::request::{AccessKind, BlockAddr, BlockData, BLOCK_BYTES};
 use obfusmem_obs::metrics::{MetricsNode, Observable};
 use obfusmem_obs::trace::{TraceHandle, Track};
 use obfusmem_sim::rng::SplitMix64;
@@ -32,11 +33,18 @@ use crate::engine::{ProcessorEngine, FIXED_DUMMY_ADDR};
 use crate::link::{Delivery, DeliveryOutcome, FaultyLink, LinkStats};
 use crate::memenc::MemoryEncryption;
 use crate::memside::MemoryEngine;
+use crate::recovery::{IntegrityFault, MigrationRecord, RecoveryController};
 use crate::session::{ChannelSession, SessionKeyTable};
 use crate::ObfusMemError;
 
 /// Counter-cache hit latency: 5 cycles at 2 GHz (Table 2).
 const COUNTER_CACHE_HIT: Duration = Duration::from_ps(2500);
+
+/// Block-retirement attempts before a confined fault is reclassified as
+/// wide damage and escalated to bank quarantine. A retirement landing on
+/// another bad slot is rare (the spare cursor moves monotonically), so a
+/// streak this long is stronger evidence of a sick region than bad luck.
+const MAX_RETIREMENTS: usize = 4;
 
 /// Traffic and stall accounting for one run.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +88,11 @@ pub struct ObfusMemBackend {
     /// plan is all-zero: the engines then talk directly and every code
     /// path is byte-identical to the pre-link backend.
     link: Option<FaultyLink>,
+    /// Device-fault recovery controller (retry → resync → bank
+    /// quarantine + spare remap). `None` when the device fault plan is
+    /// all-zero: reads then skip the ladder entirely and stay
+    /// byte-identical to pre-recovery builds.
+    recovery: Option<RecoveryController>,
     /// Session-plane steering: `steer[home]` is the channel whose
     /// engines carry `home`'s traffic. Identity until a quarantine
     /// re-steers a channel's traffic onto a healthy one.
@@ -141,10 +154,14 @@ impl ObfusMemBackend {
             .faults
             .is_active()
             .then(|| FaultyLink::new(cfg.link, cfg.faults, channels));
+        let recovery = cfg
+            .device_faults
+            .is_active()
+            .then(|| RecoveryController::new(cfg.recovery, mem_cfg.clone()));
         ObfusMemBackend {
             chan_obf: ChannelObfuscator::new(cfg.channel_strategy),
             cfg,
-            mem: PcmMemory::new(mem_cfg),
+            mem: PcmMemory::new(mem_cfg).with_fault_plan(cfg.device_faults),
             memenc: MemoryEncryption::new(enc_key),
             proc,
             mem_engines,
@@ -153,6 +170,7 @@ impl ObfusMemBackend {
             rng,
             pending_writes: std::collections::VecDeque::new(),
             link,
+            recovery,
             steer: (0..channels).collect(),
             obs: TraceHandle::disabled(),
         }
@@ -208,6 +226,12 @@ impl ObfusMemBackend {
         self.link.as_ref()
     }
 
+    /// The device-fault recovery controller, when the device fault plan
+    /// is active (quarantine/remap/journal diagnostics).
+    pub fn recovery(&self) -> Option<&RecoveryController> {
+        self.recovery.as_ref()
+    }
+
     /// Channels whose traffic was re-steered away from their home
     /// (nonzero only after a quarantine).
     pub fn resteered_channels(&self) -> usize {
@@ -259,6 +283,9 @@ impl ObfusMemBackend {
             let node = out.child("link");
             link.observe(node);
             node.set_counter("counters_converged", self.counters_converged() as u64);
+        }
+        if let Some(rc) = &self.recovery {
+            rc.observe(out.child("recovery"));
         }
     }
 
@@ -550,6 +577,322 @@ impl ObfusMemBackend {
         });
     }
 
+    /// Functional store read through the device-fault recovery ladder.
+    ///
+    /// With recovery inactive this is exactly `read_block` (byte- and
+    /// state-identical to pre-recovery builds). With it active, the
+    /// demand readout goes through the fault overlay and is checked
+    /// against the block's expected at-rest digest; a mismatch raises a
+    /// typed [`IntegrityFault`] and runs the ladder. Returns the
+    /// recovered bytes plus the simulated recovery time that extends the
+    /// fill's critical path (zero on clean reads).
+    fn load_block(&mut self, addr: BlockAddr) -> (BlockData, Duration) {
+        if self.recovery.is_none() {
+            return (self.mem.read_block(addr), Duration::ZERO);
+        }
+        let logical = addr.as_u64();
+        let rc = self.recovery.as_mut().expect("checked above");
+        let phys = match rc.remap_mut().translate(logical) {
+            Ok(p) => p,
+            Err(_) => {
+                rc.stats.unrecovered += 1;
+                logical
+            }
+        };
+        let phys_addr = BlockAddr::containing(phys);
+        let (data, observed) = self.mem.read_block_faulty(phys_addr);
+        // The corrected (ECC-margin) readout is the detection oracle and
+        // recovery ground truth: the integrity substrate (counters +
+        // Merkle roots, modeled as per-block digests) says what the
+        // array *should* hold.
+        let corrected = self.mem.read_block(phys_addr);
+        let rc = self.recovery.as_mut().expect("checked above");
+        if rc.verify(logical, &data, &corrected) {
+            return (data, Duration::ZERO);
+        }
+        let flat_bank = {
+            let d = self.mem.decode(phys);
+            d.flat_bank(self.mem.config()) as u64
+        };
+        let fault = IntegrityFault {
+            addr: logical,
+            phys,
+            flat_bank,
+            observed,
+        };
+        self.recover(fault, corrected)
+    }
+
+    /// Runs the recovery ladder for a detected [`IntegrityFault`]:
+    /// bounded re-reads with exponential simulated-time backoff (heals
+    /// transients), escalation to a counter/Merkle resync, and — for
+    /// persistent faults — bank quarantine with re-encrypt-and-migrate
+    /// of the surviving blocks (cascading across banks when a spare
+    /// slot turns out to be dead too). Unrecoverable faults degrade to the
+    /// corrected readout (the run continues, mirroring the link layer's
+    /// `force_clean`) and bump `unrecovered`.
+    fn recover(&mut self, fault: IntegrityFault, corrected: BlockData) -> (BlockData, Duration) {
+        let phys_addr = BlockAddr::containing(fault.phys);
+        let cfg = *self.recovery.as_ref().expect("recovery active").cfg();
+        self.recovery
+            .as_mut()
+            .expect("recovery active")
+            .stats
+            .detected += 1;
+        let mut delay = Duration::ZERO;
+        // Phase 1: re-read with backoff. Transient flips redraw per read
+        // and clear; persistent corruption reads back identically.
+        for attempt in 0..cfg.max_retries {
+            delay += cfg.retry_delay(attempt);
+            self.recovery
+                .as_mut()
+                .expect("recovery active")
+                .stats
+                .retried += 1;
+            let (again, _) = self.mem.read_block_faulty(phys_addr);
+            let rc = self.recovery.as_mut().expect("recovery active");
+            if rc.verify(fault.addr, &again, &corrected) {
+                return (again, delay);
+            }
+        }
+        // Phase 2: counter/Merkle resync (PR 3's escalation applied to
+        // the at-rest tree): rebuild the block's trust state from the
+        // corrected readout, then probe the demand path once more.
+        delay += cfg.resync_latency;
+        self.recovery
+            .as_mut()
+            .expect("recovery active")
+            .stats
+            .resynced += 1;
+        let (probe, _) = self.mem.read_block_faulty(phys_addr);
+        if self
+            .recovery
+            .as_mut()
+            .expect("recovery active")
+            .verify(fault.addr, &probe, &corrected)
+        {
+            return (probe, delay);
+        }
+        // Phase 2b: classify the damage radius before reaching for the
+        // bank fuse. Two neighbourhood probes — the next column of the
+        // same row and the next row of the same bank — distinguish a
+        // fault confined to the demand block (a stuck cell: retire just
+        // that slot to a spare) from row/bank-scale damage (quarantine).
+        // Without this rung, high stuck-cell rates fuse out bank after
+        // bank until none remain.
+        if !self.neighborhood_corrupt(fault.phys) {
+            let encrypts = self.cfg.security.encrypts_memory();
+            let mut from = fault.phys;
+            for _ in 0..MAX_RETIREMENTS {
+                let rc = self.recovery.as_mut().expect("recovery active");
+                let to = match rc.remap_mut().retarget(fault.addr) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        rc.stats.unrecovered += 1;
+                        return (corrected, delay);
+                    }
+                };
+                // Same journaled re-encrypt discipline as a cohort
+                // migration: the spare never reuses the dead slot's pad.
+                let moved = if encrypts {
+                    let plaintext = self.memenc.decrypt_block(fault.addr, &corrected);
+                    let (ct, _) = self.memenc.encrypt_block(fault.addr, &plaintext);
+                    ct
+                } else {
+                    corrected
+                };
+                let rc = self.recovery.as_mut().expect("recovery active");
+                rc.note_write(fault.addr, &moved);
+                rc.record_migration(MigrationRecord {
+                    logical: fault.addr,
+                    from,
+                    to,
+                });
+                self.mem.write_block(BlockAddr::containing(to), moved);
+                delay += cfg.migrate_per_block;
+                let (data, _) = self.mem.read_block_faulty(BlockAddr::containing(to));
+                let rc = self.recovery.as_mut().expect("recovery active");
+                if rc.verify(fault.addr, &data, &moved) {
+                    return (data, delay);
+                }
+                from = to;
+            }
+            // Several spare slots in a row read corrupt: treat it as
+            // wide damage after all and fall through to quarantine.
+        }
+        // Phase 3: persistent fault — fuse out the bank and migrate its
+        // surviving blocks to spare slots. A spare slot can itself sit
+        // in a bank that is dead but not yet discovered, so the
+        // quarantine cascades: each failed post-migration probe fuses
+        // out the spare's bank too, until the block verifies from a
+        // healthy slot or no healthy bank remains. The loop terminates
+        // because every iteration quarantines a distinct bank (the
+        // remap only hands out slots in non-quarantined banks) and the
+        // remap refuses to quarantine the last healthy one.
+        let mut bad_bank = fault.flat_bank;
+        loop {
+            match self.quarantine_and_migrate(bad_bank) {
+                None => {
+                    // Last healthy bank (or spare region exhausted):
+                    // degrade to the corrected readout and keep serving.
+                    self.recovery
+                        .as_mut()
+                        .expect("recovery active")
+                        .stats
+                        .unrecovered += 1;
+                    return (corrected, delay);
+                }
+                Some(migrated) => {
+                    delay = delay
+                        + cfg.quarantine_latency
+                        + Duration::from_ps(cfg.migrate_per_block.as_ps() * migrated as u64);
+                }
+            }
+            // Re-read through the new mapping.
+            let rc = self.recovery.as_mut().expect("recovery active");
+            let newphys = match rc.remap_mut().translate(fault.addr) {
+                Ok(p) => p,
+                Err(_) => {
+                    rc.stats.unrecovered += 1;
+                    return (corrected, delay);
+                }
+            };
+            let new_addr = BlockAddr::containing(newphys);
+            let (data, _) = self.mem.read_block_faulty(new_addr);
+            let moved = self.mem.read_block(new_addr);
+            let rc = self.recovery.as_mut().expect("recovery active");
+            if rc.verify(fault.addr, &data, &moved) {
+                return (data, delay);
+            }
+            bad_bank = {
+                let d = self.mem.decode(newphys);
+                d.flat_bank(self.mem.config()) as u64
+            };
+        }
+    }
+
+    /// Probes the two nearest neighbours of `phys` — the next column of
+    /// its row and the next row of its bank — and reports whether either
+    /// reads corrupt. Corruption beyond the demand block itself is the
+    /// ladder's evidence of row/bank-scale damage.
+    fn neighborhood_corrupt(&mut self, phys: u64) -> bool {
+        let cfg = self.mem.config().clone();
+        let d = self.mem.decode(phys);
+        let row_bytes = cfg.blocks_per_row() * BLOCK_BYTES as u64;
+        let sibling = DecodedAddr {
+            column: (d.column + BLOCK_BYTES as u64) % row_bytes,
+            ..d
+        };
+        let next_row = DecodedAddr {
+            row: (d.row + 1) % cfg.rows_per_bank(),
+            ..d
+        };
+        [sibling, next_row].iter().any(|n| {
+            let a = BlockAddr::containing(encode(&cfg, n));
+            self.mem.read_block_faulty(a).1.is_some()
+        })
+    }
+
+    /// Quarantines `flat_bank` and journals a re-encrypt-and-migrate of
+    /// every surviving stored block: corrected readout → decrypt under
+    /// the logical address → re-encrypt with a fresh counter bump →
+    /// write to a spare slot in a healthy bank. Returns the number of
+    /// blocks migrated, `Some(0)` when the bank was already fused out,
+    /// or `None` when quarantine was refused (last healthy bank).
+    fn quarantine_and_migrate(&mut self, flat_bank: u64) -> Option<usize> {
+        {
+            let rc = self.recovery.as_mut().expect("recovery active");
+            match rc.remap_mut().quarantine(flat_bank) {
+                Ok(true) => rc.stats.quarantined += 1,
+                Ok(false) => return Some(0),
+                Err(_) => return None,
+            }
+        }
+        let victims: Vec<BlockAddr> = self
+            .mem
+            .stored_addrs()
+            .into_iter()
+            .filter(|a| {
+                let d = self.mem.decode(a.as_u64());
+                d.flat_bank(self.mem.config()) as u64 == flat_bank
+            })
+            .collect();
+        let encrypts = self.cfg.security.encrypts_memory();
+        let mut migrated = 0usize;
+        for phys in victims {
+            let logical = self
+                .recovery
+                .as_ref()
+                .expect("recovery active")
+                .remap()
+                .logical_of(phys.as_u64());
+            // The dead bank's demand path reads garbage; the corrected
+            // (ECC-margin) readout recovers the true stored bytes.
+            let corrected = self.mem.read_block(phys);
+            let moved = if encrypts {
+                // Fresh counter bump: the spare slot never reuses the
+                // dead slot's pad stream.
+                let plaintext = self.memenc.decrypt_block(logical, &corrected);
+                let (ct, _) = self.memenc.encrypt_block(logical, &plaintext);
+                ct
+            } else {
+                corrected
+            };
+            let rc = self.recovery.as_mut().expect("recovery active");
+            let to = match rc.remap_mut().retarget(logical) {
+                Ok(t) => t,
+                Err(_) => {
+                    rc.stats.unrecovered += 1;
+                    continue;
+                }
+            };
+            rc.note_write(logical, &moved);
+            rc.record_migration(MigrationRecord {
+                logical,
+                from: phys.as_u64(),
+                to,
+            });
+            self.mem.write_block(BlockAddr::containing(to), moved);
+            migrated += 1;
+        }
+        Some(migrated)
+    }
+
+    /// Functional store write through the quarantine remap (identity
+    /// when recovery is inactive), keeping the at-rest digest current.
+    fn store_block(&mut self, addr: BlockAddr, data: BlockData) {
+        match &mut self.recovery {
+            None => self.mem.write_block(addr, data),
+            Some(rc) => {
+                let logical = addr.as_u64();
+                let phys = match rc.remap_mut().translate(logical) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        rc.stats.unrecovered += 1;
+                        logical
+                    }
+                };
+                rc.note_write(logical, &data);
+                self.mem.write_block(BlockAddr::containing(phys), data);
+            }
+        }
+    }
+
+    /// Ladder-free translated read of the current stored bytes (trace
+    /// bookkeeping only — never advances the fault overlay).
+    fn peek_block(&mut self, addr: BlockAddr) -> BlockData {
+        match &mut self.recovery {
+            None => self.mem.read_block(addr),
+            Some(rc) => {
+                let phys = rc
+                    .remap_mut()
+                    .translate(addr.as_u64())
+                    .unwrap_or(addr.as_u64());
+                self.mem.read_block(BlockAddr::containing(phys))
+            }
+        }
+    }
+
     fn obfuscated_read(&mut self, at: Time, addr: BlockAddr) -> Time {
         let home = self.mem.decode(addr.as_u64()).channel;
         let header = RequestHeader {
@@ -583,7 +926,7 @@ impl ObfusMemBackend {
         let mem_lat = self.mem_side_latency();
 
         debug_assert_eq!(decoded.header, header);
-        let at_rest = self.mem.read_block(addr);
+        let (at_rest, dev_delay) = self.load_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
         let (bus_data, reply_delay) = match self.link.as_mut() {
@@ -738,10 +1081,16 @@ impl ObfusMemBackend {
                     fill_done + recovery,
                 );
             }
+            if dev_delay.as_ps() > 0 {
+                let bank = self.bank_track(addr.as_u64());
+                self.obs
+                    .span(bank, "recovery", request_at, request_at + dev_delay);
+            }
         }
-        // Link recovery time (retransmits, resyncs, re-keys) extends the
-        // fill's critical path; zero on clean deliveries.
-        reply_done.max(counter_done) + reply_lat + req_delay + reply_delay
+        // Link and device recovery time (retransmits, resyncs, re-keys,
+        // re-reads, migrations) extends the fill's critical path; zero
+        // on clean deliveries.
+        reply_done.max(counter_done) + reply_lat + req_delay + reply_delay + dev_delay
     }
 
     fn obfuscated_write(&mut self, at: Time, addr: BlockAddr) {
@@ -784,7 +1133,7 @@ impl ObfusMemBackend {
         let mem_lat = self.mem_side_latency();
 
         debug_assert_eq!(decoded.data, Some(at_rest));
-        self.mem.write_block(addr, at_rest);
+        self.store_block(addr, at_rest);
 
         // Recovery time delays the write's arrival on the wire.
         let send_at = self.align_to_slot(at + proc_lat) + req_delay;
@@ -906,9 +1255,9 @@ impl ObfusMemBackend {
         debug_assert_eq!(decoded.header, read_header);
         let companion = companion.expect("substituted write must surface");
         debug_assert_eq!(companion.header, write_header);
-        self.mem
-            .write_block(wb, companion.data.expect("write carries data"));
-        let at_rest = self.mem.read_block(addr);
+        let wb_data = companion.data.expect("write carries data");
+        self.store_block(wb, wb_data);
+        let (at_rest, dev_delay) = self.load_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
         let (bus_data, reply_delay) = match self.link.as_mut() {
@@ -1043,12 +1392,18 @@ impl ObfusMemBackend {
                     fill_done + recovery,
                 );
             }
+            if dev_delay.as_ps() > 0 {
+                let bank = self.bank_track(addr.as_u64());
+                self.obs
+                    .span(bank, "recovery", request_at, request_at + dev_delay);
+            }
         }
         reply_done.max(counter_done)
             + self.cfg.latencies.xor
             + self.mem_side_latency()
             + req_delay
             + reply_delay
+            + dev_delay
     }
 
     /// A read under the uniform-packet alternative: one 88-byte packet
@@ -1081,7 +1436,7 @@ impl ObfusMemBackend {
         let mem_lat = self.mem_side_latency();
 
         debug_assert_eq!(decoded.header, header);
-        let at_rest = self.mem.read_block(addr);
+        let (at_rest, dev_delay) = self.load_block(addr);
         let reply = self.mem_engines[channel].encrypt_reply(decoded.base_counter, &at_rest);
         let reply_wire = reply.wire_bytes() as u64;
         let (bus_data, reply_delay) = match self.link.as_mut() {
@@ -1179,12 +1534,18 @@ impl ObfusMemBackend {
                     fill_done + recovery,
                 );
             }
+            if dev_delay.as_ps() > 0 {
+                let bank = self.bank_track(addr.as_u64());
+                self.obs
+                    .span(bank, "recovery", request_at, request_at + dev_delay);
+            }
         }
         reply_done.max(counter_done)
             + self.cfg.latencies.xor
             + self.mem_side_latency()
             + req_delay
             + reply_delay
+            + dev_delay
     }
 
     /// A write under the uniform-packet alternative: the mandatory data
@@ -1227,7 +1588,7 @@ impl ObfusMemBackend {
         let mem_lat = self.mem_side_latency();
 
         debug_assert_eq!(decoded.data, Some(at_rest));
-        self.mem.write_block(addr, at_rest);
+        self.store_block(addr, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat) + req_delay;
         if self.trace.is_some() {
@@ -1296,12 +1657,23 @@ impl MemoryBackend for ObfusMemBackend {
                     },
                     None,
                 );
+                // The at-rest integrity check (modeled ECC) still runs
+                // without encryption; zero cost when recovery is off.
+                let (_at_rest, dev_delay) = self.load_block(addr);
                 let array = self.mem.access(at, addr.as_u64(), AccessKind::Read);
                 if self.obs.is_enabled() {
                     let bank = self.bank_track(addr.as_u64());
                     self.obs.span(bank, "array-read", at, array.complete_at);
+                    if dev_delay.as_ps() > 0 {
+                        self.obs.span(
+                            bank,
+                            "recovery",
+                            array.complete_at,
+                            array.complete_at + dev_delay,
+                        );
+                    }
                 }
-                array.complete_at
+                array.complete_at + dev_delay
             }
             SecurityLevel::EncryptOnly => {
                 self.record_plain(
@@ -1313,6 +1685,7 @@ impl MemoryBackend for ObfusMemBackend {
                     },
                     None,
                 );
+                let (_at_rest, dev_delay) = self.load_block(addr);
                 let array = self.mem.access(at, addr.as_u64(), AccessKind::Read);
                 let counter_done = self.counter_ready(at, addr.as_u64());
                 if self.obs.is_enabled() {
@@ -1322,8 +1695,16 @@ impl MemoryBackend for ObfusMemBackend {
                         self.obs
                             .span(Track::Crypto, "counter-fetch", at, counter_done);
                     }
+                    if dev_delay.as_ps() > 0 {
+                        self.obs.span(
+                            bank,
+                            "recovery",
+                            array.complete_at,
+                            array.complete_at + dev_delay,
+                        );
+                    }
                 }
-                array.complete_at.max(counter_done) + self.cfg.latencies.xor
+                array.complete_at.max(counter_done) + self.cfg.latencies.xor + dev_delay
             }
             SecurityLevel::Obfuscate | SecurityLevel::ObfuscateAuth => match self.cfg.type_hiding {
                 TypeHiding::UniformPackets => self.uniform_read(at, addr),
@@ -1349,6 +1730,7 @@ impl MemoryBackend for ObfusMemBackend {
         self.stats.real_writes += 1;
         match self.cfg.security {
             SecurityLevel::Unprotected => {
+                let current = self.peek_block(addr);
                 self.record_plain(
                     at,
                     self.mem.decode(addr.as_u64()).channel,
@@ -1356,7 +1738,7 @@ impl MemoryBackend for ObfusMemBackend {
                         kind: AccessKind::Write,
                         addr: addr.as_u64(),
                     },
-                    Some(self.mem.read_block(addr)),
+                    Some(current),
                 );
                 let array = self.post_array_write(at, addr.as_u64());
                 if let Some(array) = array.filter(|_| self.obs.is_enabled()) {
@@ -1378,7 +1760,7 @@ impl MemoryBackend for ObfusMemBackend {
                 );
                 let _ =
                     self.counter_ready_op(at, addr.as_u64(), obfusmem_cache::cache::CacheOp::Write);
-                self.mem.write_block(addr, at_rest);
+                self.store_block(addr, at_rest);
                 let array = self.post_array_write(at, addr.as_u64());
                 if let Some(array) = array.filter(|_| self.obs.is_enabled()) {
                     let bank = self.bank_track(addr.as_u64());
@@ -1413,6 +1795,7 @@ impl MemoryBackend for ObfusMemBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obfusmem_testkit as proptest;
 
     fn backend(security: SecurityLevel) -> ObfusMemBackend {
         let cfg = ObfusMemConfig {
@@ -1510,6 +1893,194 @@ mod tests {
         // And the read path decrypts it without desync (debug asserts
         // inside obfuscated_read verify the round trip).
         b.read(Time::from_ps(10_000_000), addr);
+    }
+
+    fn device_backend(
+        security: SecurityLevel,
+        plan: obfusmem_mem::fault::DeviceFaultPlan,
+    ) -> ObfusMemBackend {
+        let cfg = ObfusMemConfig {
+            security,
+            device_faults: plan,
+            ..ObfusMemConfig::paper_default()
+        };
+        ObfusMemBackend::new(cfg, MemConfig::table2(), 42)
+    }
+
+    #[test]
+    fn inactive_device_plan_builds_no_recovery_state() {
+        use crate::recovery::RecoveryConfig;
+        let mut b = backend(SecurityLevel::ObfuscateAuth);
+        assert!(b.recovery().is_none());
+        assert!(b.memory().fault_state().is_none());
+        // Recovery knobs are inert while the plan is inactive: fills are
+        // time-identical whatever the ladder costs are set to.
+        let cfg = ObfusMemConfig {
+            recovery: RecoveryConfig {
+                max_retries: 99,
+                ..RecoveryConfig::default()
+            },
+            ..ObfusMemConfig::paper_default()
+        };
+        let mut tweaked = ObfusMemBackend::new(cfg, MemConfig::table2(), 42);
+        let mut t_a = Time::ZERO;
+        let mut t_b = Time::ZERO;
+        for i in 0..50u64 {
+            let addr = BlockAddr::containing(i * (1 << 20));
+            t_a = b.read(t_a, addr);
+            t_b = tweaked.read(t_b, addr);
+            assert_eq!(t_a, t_b);
+        }
+        let mut m = MetricsNode::new();
+        b.observe_metrics(&mut m);
+        assert!(
+            m.get_child("recovery").is_none(),
+            "subtree only when active"
+        );
+    }
+
+    #[test]
+    fn transient_flips_heal_by_retry() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
+        let mut b = device_backend(
+            SecurityLevel::ObfuscateAuth,
+            DeviceFaultPlan::single(DeviceFaultKind::BitFlip, 0.05, 7),
+        );
+        let mut t = Time::ZERO;
+        for i in 0..200u64 {
+            let addr = BlockAddr::containing(i * (1 << 18));
+            b.write(t, addr);
+            t = b.read(t, addr);
+        }
+        let stats = b.recovery().expect("active plan").stats;
+        assert!(stats.detected > 0, "some reads must flip");
+        assert!(stats.retried > 0);
+        assert_eq!(stats.quarantined, 0, "transients never escalate");
+        assert_eq!(stats.unrecovered, 0);
+        let mut m = MetricsNode::new();
+        b.observe_metrics(&mut m);
+        assert_eq!(m.counter("recovery.detected"), Some(stats.detected));
+        assert_eq!(m.counter("recovery.unrecovered"), Some(0));
+    }
+
+    #[test]
+    fn dead_banks_quarantine_and_migrate_survivors() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan, DeviceFaultState};
+        let banks = MemConfig::table2().total_banks() as u64;
+        // Fault draws are pure functions of (seed, location): scan for a
+        // seed where some banks fail and at least one stays healthy.
+        let seed = (1..200u64)
+            .find(|&s| {
+                let st = DeviceFaultState::new(DeviceFaultPlan::single(
+                    DeviceFaultKind::BankFail,
+                    0.25,
+                    s,
+                ));
+                let failed = (0..banks).filter(|&f| st.bank_failed(f)).count() as u64;
+                failed >= 1 && failed < banks
+            })
+            .expect("a quarter-rate plan fails some bank for some seed");
+        let mut b = device_backend(
+            SecurityLevel::ObfuscateAuth,
+            DeviceFaultPlan::single(DeviceFaultKind::BankFail, 0.25, seed),
+        );
+        let total_banks = b.memory().config().total_banks();
+        let mut t = Time::ZERO;
+        // Stride of one row buffer walks the bank bits, touching every
+        // flat bank (RoRaBaChCo puts bank/rank just above the column).
+        let addrs: Vec<BlockAddr> = (0..64u64)
+            .map(|i| BlockAddr::containing(i * 1024))
+            .collect();
+        for &addr in &addrs {
+            b.write(t, addr);
+        }
+        for &addr in &addrs {
+            t = b.read(t, addr);
+        }
+        // Re-read everything: remapped blocks must stay stable.
+        for &addr in &addrs {
+            t = b.read(t, addr);
+        }
+        let rc = b.recovery().expect("active plan");
+        let stats = rc.stats;
+        assert!(stats.detected > 0, "dead banks must surface");
+        assert!(stats.resynced > 0, "persistent faults pass through resync");
+        assert!(stats.quarantined > 0, "dead banks get fused out");
+        assert!(stats.migrated > 0, "stored blocks evacuate");
+        assert_eq!(stats.unrecovered, 0, "every fault must resolve");
+        assert_eq!(rc.journal().len() as u64, stats.migrated);
+        assert!(rc.remap().healthy_banks() < total_banks);
+        assert!(rc.remap().remapped_blocks() > 0);
+    }
+
+    #[test]
+    fn stuck_cells_escalate_past_retry() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
+        let mut b = device_backend(
+            SecurityLevel::ObfuscateAuth,
+            DeviceFaultPlan::single(DeviceFaultKind::StuckCell, 0.10, 11),
+        );
+        let mut t = Time::ZERO;
+        for i in 0..128u64 {
+            let addr = BlockAddr::containing(i * (1 << 19));
+            b.write(t, addr);
+            t = b.read(t, addr);
+        }
+        let stats = b.recovery().expect("active plan").stats;
+        assert!(stats.detected > 0, "stuck cells must surface");
+        assert!(stats.quarantined > 0, "retries cannot heal a frozen bit");
+        assert_eq!(stats.unrecovered, 0);
+    }
+
+    #[test]
+    fn isolated_stuck_blocks_retire_without_bank_quarantine() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
+        // Scan seeds for a map where the demand block is stuck but its
+        // neighbourhood reads clean; fault draws are pure in (seed,
+        // location), so the scan is deterministic.
+        let addr = BlockAddr::containing(0x40);
+        let mut hit = None;
+        for seed in 1..200u64 {
+            let mut b = device_backend(
+                SecurityLevel::ObfuscateAuth,
+                DeviceFaultPlan::single(DeviceFaultKind::StuckCell, 0.05, seed),
+            );
+            b.write(Time::ZERO, addr);
+            b.read(Time::from_ps(1_000_000), addr);
+            let stats = b.recovery().expect("active plan").stats;
+            assert_eq!(stats.unrecovered, 0, "seed {seed}");
+            if stats.detected > 0 && stats.quarantined == 0 && stats.migrated > 0 {
+                let rc = b.recovery().expect("active plan");
+                assert_eq!(rc.journal().len() as u64, stats.migrated);
+                // The retired slot keeps serving: a re-read is clean.
+                b.read(Time::from_ps(2_000_000), addr);
+                let after = b.recovery().expect("active plan").stats;
+                assert_eq!(after.detected, stats.detected, "retired slot is clean");
+                assert_eq!(after.quarantined, 0, "no bank was fused");
+                hit = Some(seed);
+                break;
+            }
+        }
+        assert!(
+            hit.is_some(),
+            "some seed must exercise pure block retirement"
+        );
+    }
+
+    #[test]
+    fn unprotected_scheme_still_detects_and_recovers() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
+        let mut b = device_backend(
+            SecurityLevel::Unprotected,
+            DeviceFaultPlan::single(DeviceFaultKind::BitFlip, 0.10, 13),
+        );
+        let mut t = Time::ZERO;
+        for i in 0..100u64 {
+            t = b.read(t, BlockAddr::containing(i * (1 << 18)));
+        }
+        let stats = b.recovery().expect("active plan").stats;
+        assert!(stats.detected > 0, "modeled ECC sees flips without crypto");
+        assert_eq!(stats.unrecovered, 0);
     }
 
     #[test]
@@ -1813,5 +2384,96 @@ mod tests {
             b > a,
             "encrypt-then-MAC must serialize MAC latency (Observation 4)"
         );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        /// Re-encrypt-and-migrate must be lossless at the plaintext level:
+        /// for random engine seeds and random bank-failure maps, every
+        /// stored block decrypts to exactly the bytes it held before the
+        /// quarantine — while migrated blocks change address *and*
+        /// ciphertext (the spare slot never reuses the dead slot's pad).
+        #[test]
+        fn migration_re_encrypts_yet_round_trips_plaintext_bit_exactly(
+            engine_seed: u64,
+            fault_salt in 0u64..500
+        ) {
+            use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan, DeviceFaultState};
+            let banks = MemConfig::table2().total_banks() as u64;
+            // Fault draws are pure in (seed, location): scan from the
+            // drawn salt for a map that kills some banks but not all.
+            let fault_seed = (0..400u64)
+                .map(|d| fault_salt * 400 + d + 1)
+                .find(|&s| {
+                    let st = DeviceFaultState::new(DeviceFaultPlan::single(
+                        DeviceFaultKind::BankFail,
+                        0.25,
+                        s,
+                    ));
+                    let failed = (0..banks).filter(|&f| st.bank_failed(f)).count() as u64;
+                    failed >= 1 && failed < banks
+                })
+                .expect("a quarter-rate plan fails some bank for some seed");
+            let cfg = ObfusMemConfig {
+                device_faults: DeviceFaultPlan::single(DeviceFaultKind::BankFail, 0.25, fault_seed),
+                ..ObfusMemConfig::paper_default()
+            };
+            let mut b = ObfusMemBackend::new(cfg, MemConfig::table2(), engine_seed);
+
+            // Row-buffer stride walks every flat bank (RoRaBaChCo).
+            let addrs: Vec<BlockAddr> = (0..64u64)
+                .map(|i| BlockAddr::containing(i * 1024))
+                .collect();
+            let mut t = Time::ZERO;
+            for &addr in &addrs {
+                b.write(t, addr);
+            }
+            // Pre-quarantine snapshot: at-rest ciphertext and the
+            // plaintext it protects, per logical block.
+            let mut pre_ct = std::collections::HashMap::new();
+            let mut pre_pt = std::collections::HashMap::new();
+            for &addr in &addrs {
+                let ct = b.peek_block(addr);
+                pre_pt.insert(addr.as_u64(), b.memenc.decrypt_block(addr.as_u64(), &ct));
+                pre_ct.insert(addr.as_u64(), ct);
+            }
+
+            // Demand reads hit the dead banks and run the full ladder.
+            for &addr in &addrs {
+                t = b.read(t, addr);
+            }
+            let rc = b.recovery().expect("active plan");
+            proptest::prop_assert!(rc.stats.quarantined > 0, "dead banks must fuse out");
+            proptest::prop_assert!(rc.stats.migrated > 0, "stored blocks must evacuate");
+            proptest::prop_assert_eq!(rc.stats.unrecovered, 0, "every fault must resolve");
+            let moves: Vec<MigrationRecord> = rc.journal().to_vec();
+            proptest::prop_assert_eq!(moves.len() as u64, rc.stats.migrated);
+
+            // Bit-exact round trip: every logical block still decrypts to
+            // its pre-quarantine plaintext through the new mapping.
+            for &addr in &addrs {
+                let ct = b.peek_block(addr);
+                let pt = b.memenc.decrypt_block(addr.as_u64(), &ct);
+                proptest::prop_assert_eq!(
+                    pt,
+                    pre_pt[&addr.as_u64()],
+                    "block {:#x} plaintext must survive migration",
+                    addr.as_u64()
+                );
+            }
+            // Migrated blocks moved and were freshly encrypted: same
+            // plaintext, different slot, different ciphertext.
+            for m in &moves {
+                proptest::prop_assert_ne!(m.from, m.to, "migration must relocate");
+                if let Some(old_ct) = pre_ct.get(&m.logical) {
+                    let new_ct = b.peek_block(BlockAddr::containing(m.logical));
+                    proptest::prop_assert_ne!(
+                        &new_ct,
+                        old_ct,
+                        "spare slot must not reuse the dead slot's pad"
+                    );
+                }
+            }
+        }
     }
 }

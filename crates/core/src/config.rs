@@ -333,6 +333,11 @@ pub struct ObfusMemConfig {
     pub faults: FaultPlan,
     /// Link recovery protocol parameters.
     pub link: LinkConfig,
+    /// Injected device (array) fault processes (all-zero = recovery
+    /// subsystem disabled and fault-free runs stay byte-identical).
+    pub device_faults: obfusmem_mem::fault::DeviceFaultPlan,
+    /// Device-fault recovery ladder parameters.
+    pub recovery: crate::recovery::RecoveryConfig,
 }
 
 impl ObfusMemConfig {

@@ -46,6 +46,7 @@ pub mod link;
 pub mod memenc;
 pub mod memside;
 pub mod merkle;
+pub mod recovery;
 pub mod session;
 pub mod system;
 pub mod trust;

@@ -25,7 +25,8 @@ use std::process::ExitCode;
 use obfusmem_harness::runner::{effective_threads, run_sweep, RunOptions};
 use obfusmem_harness::serve::{run_serve, verify_single, ServeSpec};
 use obfusmem_harness::spec::{
-    parse_backends, parse_fault_kinds, parse_schemes, parse_u64, parse_workloads, SweepSpec,
+    parse_backends, parse_device_fault_kinds, parse_fault_kinds, parse_schemes, parse_u64,
+    parse_workloads, SweepSpec,
 };
 use obfusmem_tenant::fabric::DhStrength;
 
@@ -194,6 +195,15 @@ fn serve_main(args: impl Iterator<Item = String>) -> ExitCode {
                 eprintln!("sweep serve: FAIL: auth failures in an honest run");
                 return ExitCode::FAILURE;
             }
+            // Chaos gate: graceful degradation means every injected
+            // device fault must clear through the recovery ladder.
+            if report.unrecovered > 0 {
+                eprintln!(
+                    "sweep serve: FAIL: {} unrecovered device fault(s)",
+                    report.unrecovered
+                );
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(msg) => {
@@ -217,6 +227,12 @@ usage: sweep serve [options]
   --workload NAME      `micro` or a Table 1 benchmark name (default micro)
   --starvation-limit N FR-FCFS same-bank bypass budget before promotion
   --chunk N            requests per progress chunk (default 4096)
+  --device-fault KIND@RATE
+                       device-fault overlay on every cell's array:
+                       bit-flip|stuck-cell|row-fail|bank-fail at a rate
+                       in (0, 1], e.g. bit-flip@0.002
+  --device-fault-seed SEED
+                       master seed for device-fault streams
   --out FILE           JSONL output file (default serve.jsonl)
   --fresh              delete the output file first
   --verify-single      run the 1-tenant legacy-equivalence gate and exit
@@ -294,6 +310,22 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, Stri
                 let v = next_value("--chunk", &mut args)?;
                 cli.spec.chunk = parse_u64(&v).map_err(|e| e.to_string())?;
             }
+            "--device-fault" => {
+                let v = next_value("--device-fault", &mut args)?;
+                let (kind, rate) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("expected KIND@RATE, got {v:?}"))?;
+                let kind = obfusmem_mem::fault::DeviceFaultKind::parse(kind)
+                    .ok_or_else(|| format!("unknown device fault kind {kind:?}"))?;
+                let rate: f64 = rate
+                    .parse()
+                    .map_err(|_| format!("bad device fault rate {rate:?}"))?;
+                cli.spec.device_fault = Some((kind, rate));
+            }
+            "--device-fault-seed" => {
+                let v = next_value("--device-fault-seed", &mut args)?;
+                cli.spec.device_fault_seed = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
             "--out" => cli.out = PathBuf::from(next_value("--out", &mut args)?),
             "--fresh" => cli.fresh = true,
             "--verify-single" => cli.verify_single = true,
@@ -329,6 +361,13 @@ usage: sweep [options]
                        reorder|delay-burst, or `all` (fault campaign)
   --fault-rates LIST   comma list of per-packet fault rates in (0, 1]
   --fault-seed SEED    master seed for fault-injection streams
+  --device-fault-kinds LIST
+                       comma list of bit-flip|stuck-cell|row-fail|
+                       bank-fail, or `all` (device chaos campaign)
+  --device-fault-rates LIST
+                       comma list of device fault rates in (0, 1]
+  --device-fault-seed SEED
+                       master seed for device-fault streams
   -n, --instructions N instruction budget per job
   --out FILE           JSONL results/checkpoint file (default sweep.jsonl)
   --metrics-out FILE   write per-job metrics snapshots (JSONL) to FILE
@@ -410,6 +449,27 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--fault-seed" => {
                 let v = next_value("--fault-seed", &mut args)?;
                 cli.spec.fault_seed = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--device-fault-kinds" => {
+                cli.spec.device_fault_kinds =
+                    parse_device_fault_kinds(&next_value("--device-fault-kinds", &mut args)?)
+                        .map_err(|e| e.to_string())?;
+            }
+            "--device-fault-rates" => {
+                let v = next_value("--device-fault-rates", &mut args)?;
+                cli.spec.device_fault_rates = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| format!("bad device fault rate {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--device-fault-seed" => {
+                let v = next_value("--device-fault-seed", &mut args)?;
+                cli.spec.device_fault_seed = parse_u64(&v).map_err(|e| e.to_string())?;
             }
             "-n" | "--instructions" => {
                 let v = next_value("--instructions", &mut args)?;

@@ -13,6 +13,7 @@ use obfusmem_core::config::FaultPlan;
 use obfusmem_core::link::FaultKind;
 use obfusmem_cpu::core::RunResult;
 use obfusmem_mem::config::{BackendKind, MemConfig};
+use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
 use obfusmem_obs::metrics::MetricsNode;
 use obfusmem_obs::trace::{TraceEvent, TraceHandle};
 use obfusmem_sim::rng::SplitMix64;
@@ -46,6 +47,12 @@ pub struct JobSpec {
     pub fault: Option<(FaultKind, f64)>,
     /// Derived fault-injection stream seed (0 when fault-free).
     pub fault_seed: u64,
+    /// Device (array) fault axis: `(kind, rate)`. `None` keeps the
+    /// device fault overlay and the recovery ladder disengaged (output
+    /// byte-identical to pre-device-fault harness versions).
+    pub device_fault: Option<(DeviceFaultKind, f64)>,
+    /// Derived device-fault stream seed (0 when device-fault-free).
+    pub device_fault_seed: u64,
 }
 
 impl JobSpec {
@@ -83,6 +90,23 @@ impl JobSpec {
         fault: Option<(FaultKind, f64)>,
         replicate: u32,
     ) -> String {
+        Self::make_chaos_id(workload, scheme, channels, backend, fault, None, replicate)
+    }
+
+    /// [`JobSpec::make_full_id`] plus the device-fault axis. A device
+    /// fault point contributes a `dram-{kind}@{rate}` segment after the
+    /// link-fault segment (the `dram-` prefix keeps the two axes' ids
+    /// disjoint — both have a `bit-flip`); `None` contributes nothing,
+    /// so every pre-device-fault sweep id stays valid.
+    pub fn make_chaos_id(
+        workload: &str,
+        scheme: Scheme,
+        channels: usize,
+        backend: BackendKind,
+        fault: Option<(FaultKind, f64)>,
+        device_fault: Option<(DeviceFaultKind, f64)>,
+        replicate: u32,
+    ) -> String {
         let backend_seg = match backend {
             BackendKind::Reservation => String::new(),
             other => format!("/{}", other.name()),
@@ -91,8 +115,12 @@ impl JobSpec {
             None => String::new(),
             Some((kind, rate)) => format!("/{}@{rate}", kind.name()),
         };
+        let device_seg = match device_fault {
+            None => String::new(),
+            Some((kind, rate)) => format!("/dram-{}@{rate}", kind.name()),
+        };
         format!(
-            "{workload}/{}/c{channels}{backend_seg}{fault_seg}/r{replicate}",
+            "{workload}/{}/c{channels}{backend_seg}{fault_seg}{device_seg}/r{replicate}",
             scheme.name()
         )
     }
@@ -132,6 +160,12 @@ impl JobOutput {
         self.metrics.get_child("link")
     }
 
+    /// The device-fault recovery subtree (`recovery.*`); `None` when the
+    /// job ran with the device fault overlay disengaged.
+    pub fn device_recovery(&self) -> Option<&MetricsNode> {
+        self.metrics.get_child("recovery")
+    }
+
     /// The queued-controller scheduler subtree (`mem.queued`); `None`
     /// when the job ran on the reservation backend (or the ORAM model,
     /// which has no memory controller at all).
@@ -169,6 +203,9 @@ fn run_job_with(spec: &JobSpec, obs: &TraceHandle) -> JobOutput {
     };
     if let Some((kind, rate)) = spec.fault {
         point.obfus.faults = FaultPlan::single(kind, rate, spec.fault_seed);
+    }
+    if let Some((kind, rate)) = spec.device_fault {
+        point.obfus.device_faults = DeviceFaultPlan::single(kind, rate, spec.device_fault_seed);
     }
     let started = Instant::now();
     let (result, metrics) = run_point_observed(&point, obs);
@@ -210,6 +247,8 @@ mod tests {
             seed: derive_seed(7, "micro/obfusmem/c1/r0"),
             fault: None,
             fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
         };
         let a = run_job(&spec);
         let b = run_job(&spec);
@@ -240,6 +279,8 @@ mod tests {
             seed: derive_seed(7, &id),
             fault: Some((FaultKind::BitFlip, 0.01)),
             fault_seed: derive_seed(0xFA_017, &id),
+            device_fault: None,
+            device_fault_seed: 0,
         });
         let rec = out.recovery().expect("faulty job must harvest link stats");
         assert!(
@@ -252,6 +293,47 @@ mod tests {
             rec.counter("ch0.retransmits").is_some(),
             "per-channel ARQ counters must be in the snapshot"
         );
+    }
+
+    #[test]
+    fn device_fault_jobs_report_recovery_counters_and_stay_deterministic() {
+        let id = JobSpec::make_chaos_id(
+            "micro",
+            Scheme::ObfusmemAuth,
+            1,
+            BackendKind::Reservation,
+            None,
+            Some((DeviceFaultKind::BitFlip, 0.02)),
+            0,
+        );
+        assert_eq!(id, "micro/obfusmem-auth/c1/dram-bit-flip@0.02/r0");
+        let spec = JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            backend: BackendKind::Reservation,
+            instructions: 20_000,
+            replicate: 0,
+            seed: derive_seed(7, &id),
+            fault: None,
+            fault_seed: 0,
+            device_fault: Some((DeviceFaultKind::BitFlip, 0.02)),
+            device_fault_seed: derive_seed(0xD_F0_17, &id),
+        };
+        let out = run_job(&spec);
+        let rec = out
+            .device_recovery()
+            .expect("device-faulty job must harvest recovery stats");
+        assert!(
+            rec.counter("detected").unwrap_or(0) > 0,
+            "2% transient flips over 20k instructions must surface"
+        );
+        assert_eq!(rec.counter("unrecovered"), Some(0), "ladder must recover");
+        assert!(out.recovery().is_none(), "link axis stays disengaged");
+        let again = run_job(&spec);
+        assert_eq!(out.result.exec_time, again.result.exec_time);
+        assert_eq!(out.metrics.to_json(), again.metrics.to_json());
     }
 
     #[test]
@@ -268,6 +350,8 @@ mod tests {
             seed: derive_seed(7, &id),
             fault: None,
             fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
         });
         assert!(out.recovery().is_none(), "link must stay disengaged");
         assert!(out.trace.is_empty(), "untraced jobs record no spans");
@@ -287,6 +371,8 @@ mod tests {
             seed: derive_seed(7, &id),
             fault: None,
             fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
         };
         let plain = run_job(&spec);
         let traced = run_job_traced(&spec);
@@ -352,6 +438,8 @@ mod tests {
             seed: derive_seed(7, &id),
             fault: None,
             fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
         };
         let a = run_job(&spec);
         let b = run_job(&spec);
@@ -375,6 +463,8 @@ mod tests {
             seed: derive_seed(7, &id),
             fault: None,
             fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
         });
         assert!(out.queued_sched().is_none());
     }
@@ -395,6 +485,8 @@ mod tests {
                 seed,
                 fault: None,
                 fault_seed: 0,
+                device_fault: None,
+                device_fault_seed: 0,
             })
         };
         let r0 = mk(0);

@@ -150,6 +150,9 @@ pub fn run_sweep(
                 diverged += 1;
             }
         }
+        if let Some(rec) = output.device_recovery() {
+            unrecovered += rec.counter("unrecovered").unwrap_or(0);
+        }
         ready.insert(index, output);
         while let Some(mut output) = ready.remove(&next_emit) {
             if let Err(e) = sink.write(&output) {

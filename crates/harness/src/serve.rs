@@ -13,14 +13,45 @@
 //! against the hand-rolled legacy single-session path from
 //! `obfusmem-sec` and fails on any latency-sample mismatch.
 
+use std::fmt;
 use std::io::Write;
 
 use obfusmem_cpu::workload::{by_name, micro_test_workload, WorkloadSpec};
+use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
 use obfusmem_sec::isolation::legacy_single_session_trace;
 use obfusmem_tenant::fabric::{DhStrength, FabricConfig, SessionFabric};
 use obfusmem_tenant::qos::TenantClass;
 
 use crate::jsonl::JsonObject;
+
+/// Why a serve grid was refused or failed. Every CLI misuse lands in
+/// [`ServeError::Config`] *before* any cell runs — a bad flag used to
+/// surface as a deep fabric panic (`--tenants 0`) or a silently empty
+/// row (`--chunk 0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Structurally invalid spec, caught by [`ServeSpec::validate`].
+    Config(String),
+    /// The named workload does not exist.
+    UnknownWorkload(String),
+    /// A fabric cell failed mid-run.
+    Fabric(String),
+    /// The output sink could not be written.
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid serve spec: {msg}"),
+            ServeError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            ServeError::Fabric(msg) => write!(f, "fabric error: {msg}"),
+            ServeError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Declarative serve grid.
 #[derive(Debug, Clone)]
@@ -47,6 +78,11 @@ pub struct ServeSpec {
     pub starvation_limit: u32,
     /// Requests per progress chunk (incremental streaming granularity).
     pub chunk: u64,
+    /// Device-fault overlay for every cell's fabric (`None` = pristine
+    /// array, rows byte-identical to pre-chaos builds).
+    pub device_fault: Option<(DeviceFaultKind, f64)>,
+    /// Seed for the device-fault streams.
+    pub device_fault_seed: u64,
 }
 
 impl Default for ServeSpec {
@@ -63,21 +99,66 @@ impl Default for ServeSpec {
             workload: "micro".into(),
             starvation_limit: obfusmem_mem::scheduler::DEFAULT_STARVATION_LIMIT,
             chunk: 4096,
+            device_fault: None,
+            device_fault_seed: 0xD_F0_17,
         }
     }
 }
 
 impl ServeSpec {
+    /// Rejects structurally unusable grids before any cell runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] naming the first offending field, or
+    /// [`ServeError::UnknownWorkload`].
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let bad = |msg: String| Err(ServeError::Config(msg));
+        if self.tenants.is_empty() {
+            return bad("no tenant counts".into());
+        }
+        if let Some(&t) = self.tenants.iter().find(|&&t| t == 0) {
+            return bad(format!("tenant count must be at least 1, got {t}"));
+        }
+        if self.churns.is_empty() {
+            return bad("no churn periods".into());
+        }
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return bad(format!(
+                "channels must be a power of two, got {}",
+                self.channels
+            ));
+        }
+        if self.requests == 0 {
+            return bad("requests per tenant must be at least 1".into());
+        }
+        if self.storm_stride == 0 {
+            return bad("storm stride must be positive".into());
+        }
+        if self.chunk == 0 {
+            // run_chunk(0) serves nothing, so the cell loop would write a
+            // zero-request row without ever touching the fabric.
+            return bad("chunk must be at least 1".into());
+        }
+        if let Some((_, rate)) = self.device_fault {
+            if !(rate.is_finite() && rate > 0.0 && rate <= 1.0) {
+                return bad(format!("device fault rate must be in (0, 1], got {rate}"));
+            }
+        }
+        self.resolve_workload()?;
+        Ok(())
+    }
+
     /// Resolves the named workload.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the unknown workload.
-    pub fn resolve_workload(&self) -> Result<WorkloadSpec, String> {
+    /// [`ServeError::UnknownWorkload`].
+    pub fn resolve_workload(&self) -> Result<WorkloadSpec, ServeError> {
         if self.workload == "micro" {
             return Ok(micro_test_workload());
         }
-        by_name(&self.workload).ok_or_else(|| format!("unknown workload {:?}", self.workload))
+        by_name(&self.workload).ok_or_else(|| ServeError::UnknownWorkload(self.workload.clone()))
     }
 
     /// Builds the fabric configuration for one grid cell.
@@ -85,7 +166,7 @@ impl ServeSpec {
     /// # Errors
     ///
     /// As for [`ServeSpec::resolve_workload`].
-    pub fn fabric_config(&self, tenants: usize, churn: u64) -> Result<FabricConfig, String> {
+    pub fn fabric_config(&self, tenants: usize, churn: u64) -> Result<FabricConfig, ServeError> {
         let workload = self.resolve_workload()?;
         let mut cfg = FabricConfig::new(tenants);
         cfg.requests_per_tenant = self.requests;
@@ -97,6 +178,9 @@ impl ServeSpec {
         cfg.seed = self.seed;
         cfg.starvation_limit = self.starvation_limit;
         cfg.workloads = vec![workload];
+        if let Some((kind, rate)) = self.device_fault {
+            cfg.device_faults = DeviceFaultPlan::single(kind, rate, self.device_fault_seed);
+        }
         Ok(cfg)
     }
 
@@ -121,6 +205,22 @@ pub struct ServeReport {
     pub served: u64,
     /// Total authentication failures (must be 0; the caller gates).
     pub auth_failures: u64,
+    /// Device faults the recovery ladder could not clear (must be 0 on
+    /// chaos campaigns; the caller gates).
+    pub unrecovered: u64,
+}
+
+/// One cell's outputs: the rendered row plus the gate counters.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The rendered JSONL row.
+    pub row: String,
+    /// Requests served.
+    pub served: u64,
+    /// Authentication failures.
+    pub auth_failures: u64,
+    /// Device faults the ladder could not clear.
+    pub unrecovered: u64,
 }
 
 /// Runs one grid cell to completion (streaming progress to stderr unless
@@ -128,19 +228,21 @@ pub struct ServeReport {
 ///
 /// # Errors
 ///
-/// Returns a message on configuration or fabric errors.
+/// Configuration or fabric errors, typed.
 pub fn run_cell(
     spec: &ServeSpec,
     tenants: usize,
     churn: u64,
     quiet: bool,
-) -> Result<(String, u64, u64), String> {
+) -> Result<CellOutcome, ServeError> {
     let cfg = spec.fabric_config(tenants, churn)?;
     let total = cfg.requests_per_tenant * tenants as u64;
-    let mut fabric = SessionFabric::new(cfg).map_err(|e| e.to_string())?;
+    let mut fabric = SessionFabric::new(cfg).map_err(|e| ServeError::Fabric(e.to_string()))?;
     let mut done = 0u64;
     loop {
-        let n = fabric.run_chunk(spec.chunk).map_err(|e| e.to_string())?;
+        let n = fabric
+            .run_chunk(spec.chunk)
+            .map_err(|e| ServeError::Fabric(e.to_string()))?;
         if n == 0 {
             break;
         }
@@ -190,26 +292,54 @@ pub fn run_cell(
                 report.class_p99_ns[idx],
             );
     }
-    Ok((row.finish(), report.total_served, report.auth_failures))
+    // Chaos fields appear only on device-fault rows, so clean serve
+    // output stays byte-identical to pre-chaos builds.
+    let mut unrecovered = 0;
+    if let Some((kind, rate)) = spec.device_fault {
+        row = row
+            .string("device_fault_kind", kind.name())
+            .f64("device_fault_rate", rate)
+            .u64("device_fault_seed", spec.device_fault_seed);
+        if let Some(stats) = fabric.recovery_stats() {
+            unrecovered = stats.unrecovered;
+            row = row
+                .u64("recovery_detected", stats.detected)
+                .u64("recovery_retried", stats.retried)
+                .u64("recovery_resynced", stats.resynced)
+                .u64("recovery_quarantined", stats.quarantined)
+                .u64("recovery_migrated", stats.migrated)
+                .u64("recovery_unrecovered", stats.unrecovered);
+        }
+    }
+    Ok(CellOutcome {
+        row: row.finish(),
+        served: report.total_served,
+        auth_failures: report.auth_failures,
+        unrecovered,
+    })
 }
 
-/// Runs the whole grid, appending one row per cell to `out`.
+/// Runs the whole grid, appending one row per cell to `out`. The spec is
+/// validated up front so nothing is written on a bad grid.
 ///
 /// # Errors
 ///
-/// Returns a message on the first failing cell or write error.
+/// The first failing validation, cell, or write error, typed.
 pub fn run_serve(
     spec: &ServeSpec,
     out: &mut dyn Write,
     quiet: bool,
-) -> Result<ServeReport, String> {
+) -> Result<ServeReport, ServeError> {
+    spec.validate()?;
     let mut report = ServeReport::default();
     for (tenants, churn) in spec.cells() {
-        let (row, served, auth_failures) = run_cell(spec, tenants, churn, quiet)?;
-        writeln!(out, "{row}").map_err(|e| format!("cannot write row: {e}"))?;
+        let cell = run_cell(spec, tenants, churn, quiet)?;
+        writeln!(out, "{}", cell.row)
+            .map_err(|e| ServeError::Io(format!("cannot write row: {e}")))?;
         report.rows += 1;
-        report.served += served;
-        report.auth_failures += auth_failures;
+        report.served += cell.served;
+        report.auth_failures += cell.auth_failures;
+        report.unrecovered += cell.unrecovered;
     }
     Ok(report)
 }
@@ -220,33 +350,34 @@ pub fn run_serve(
 ///
 /// # Errors
 ///
-/// Returns a message describing the first divergence.
-pub fn verify_single(seed: u64, requests: u64) -> Result<(), String> {
+/// [`ServeError::Fabric`] describing the first divergence.
+pub fn verify_single(seed: u64, requests: u64) -> Result<(), ServeError> {
+    let fab = |msg: String| ServeError::Fabric(msg);
     let mut cfg = FabricConfig::new(1);
     cfg.requests_per_tenant = requests;
     cfg.seed = seed;
-    let legacy = legacy_single_session_trace(&cfg).map_err(|e| e.to_string())?;
-    let mut fabric = SessionFabric::new(cfg).map_err(|e| e.to_string())?;
-    fabric.run_to_completion().map_err(|e| e.to_string())?;
+    let legacy = legacy_single_session_trace(&cfg).map_err(|e| fab(e.to_string()))?;
+    let mut fabric = SessionFabric::new(cfg).map_err(|e| fab(e.to_string()))?;
+    fabric.run_to_completion().map_err(|e| fab(e.to_string()))?;
     if fabric.auth_failures() != 0 {
-        return Err(format!(
+        return Err(fab(format!(
             "1-tenant fabric reported {} auth failure(s)",
             fabric.auth_failures()
-        ));
+        )));
     }
     let fabric_trace = fabric.latency_trace(0);
     if fabric_trace.len() != legacy.len() {
-        return Err(format!(
+        return Err(fab(format!(
             "trace lengths diverge: fabric {} vs legacy {}",
             fabric_trace.len(),
             legacy.len()
-        ));
+        )));
     }
     for (i, (f, l)) in fabric_trace.iter().zip(legacy.iter()).enumerate() {
         if f != l {
-            return Err(format!(
+            return Err(fab(format!(
                 "request {i}: fabric latency {f} ps != legacy {l} ps"
-            ));
+            )));
         }
     }
     Ok(())
@@ -290,6 +421,121 @@ mod tests {
             workload: "no-such-benchmark".into(),
             ..ServeSpec::default()
         };
-        assert!(spec.resolve_workload().is_err());
+        assert!(matches!(
+            spec.resolve_workload(),
+            Err(ServeError::UnknownWorkload(_))
+        ));
+        assert!(matches!(
+            spec.validate(),
+            Err(ServeError::UnknownWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn bad_serve_specs_are_rejected_before_any_cell_runs() {
+        let cases: Vec<(&str, ServeSpec)> = vec![
+            (
+                "zero tenants",
+                ServeSpec {
+                    tenants: vec![4, 0],
+                    ..ServeSpec::default()
+                },
+            ),
+            (
+                "empty tenants",
+                ServeSpec {
+                    tenants: vec![],
+                    ..ServeSpec::default()
+                },
+            ),
+            (
+                "empty churns",
+                ServeSpec {
+                    churns: vec![],
+                    ..ServeSpec::default()
+                },
+            ),
+            (
+                "non-power-of-two channels",
+                ServeSpec {
+                    channels: 3,
+                    ..ServeSpec::default()
+                },
+            ),
+            (
+                "zero requests",
+                ServeSpec {
+                    requests: 0,
+                    ..ServeSpec::default()
+                },
+            ),
+            (
+                "zero chunk",
+                ServeSpec {
+                    chunk: 0,
+                    ..ServeSpec::default()
+                },
+            ),
+            (
+                "zero storm stride",
+                ServeSpec {
+                    storm_stride: 0,
+                    ..ServeSpec::default()
+                },
+            ),
+            (
+                "out-of-range device fault rate",
+                ServeSpec {
+                    device_fault: Some((DeviceFaultKind::BitFlip, 1.5)),
+                    ..ServeSpec::default()
+                },
+            ),
+        ];
+        for (what, spec) in cases {
+            assert!(
+                matches!(spec.validate(), Err(ServeError::Config(_))),
+                "{what} must be a typed config error"
+            );
+            let mut sink = Vec::new();
+            assert!(run_serve(&spec, &mut sink, true).is_err(), "{what}");
+            assert!(sink.is_empty(), "{what}: nothing may be written");
+        }
+        assert!(ServeSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn device_fault_rows_carry_recovery_fields_and_stay_deterministic() {
+        let spec = ServeSpec {
+            tenants: vec![3],
+            requests: 32,
+            device_fault: Some((DeviceFaultKind::BitFlip, 0.05)),
+            ..ServeSpec::default()
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let ra = run_serve(&spec, &mut a, true).expect("chaos grid runs");
+        run_serve(&spec, &mut b, true).expect("chaos grid runs");
+        assert_eq!(a, b, "chaos rows must be byte-identical across runs");
+        assert_eq!(ra.auth_failures, 0, "device faults never break auth");
+        assert_eq!(ra.unrecovered, 0, "the ladder must recover");
+        let text = String::from_utf8(a).expect("utf8");
+        assert!(text.contains(r#""device_fault_kind":"bit-flip""#), "{text}");
+        assert!(text.contains(r#""recovery_detected":"#), "{text}");
+        assert!(text.contains(r#""recovery_unrecovered":0"#), "{text}");
+
+        let mut clean = Vec::new();
+        run_serve(
+            &ServeSpec {
+                tenants: vec![3],
+                requests: 32,
+                ..ServeSpec::default()
+            },
+            &mut clean,
+            true,
+        )
+        .expect("clean grid runs");
+        let clean = String::from_utf8(clean).expect("utf8");
+        assert!(!clean.contains("device_fault_kind"), "{clean}");
+        assert!(!clean.contains("recovery_detected"), "{clean}");
     }
 }

@@ -74,6 +74,24 @@ pub fn encode_row(out: &JobOutput, timing: bool) -> String {
             .u64("unrecovered", c("unrecovered"))
             .u64("counters_converged", c("counters_converged"));
     }
+    // Device-fault fields follow the same discipline: present only when
+    // the device axis is engaged, so clean sweeps stay byte-identical.
+    if let Some((kind, rate)) = spec.device_fault {
+        obj = obj
+            .string("device_fault_kind", kind.name())
+            .f64("device_fault_rate", rate)
+            .u64("device_fault_seed", spec.device_fault_seed);
+    }
+    if let Some(rec) = out.device_recovery() {
+        let c = |name: &str| rec.counter(name).unwrap_or(0);
+        obj = obj
+            .u64("dev_detected", c("detected"))
+            .u64("dev_retried", c("retried"))
+            .u64("dev_resynced", c("resynced"))
+            .u64("dev_quarantined", c("quarantined"))
+            .u64("dev_migrated", c("migrated"))
+            .u64("dev_unrecovered", c("unrecovered"));
+    }
     if timing {
         obj = obj.f64("wall_ms", out.wall_ms);
     }
@@ -192,6 +210,8 @@ mod tests {
             seed,
             fault: None,
             fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
         })
     }
 
@@ -216,6 +236,8 @@ mod tests {
             seed: derive_seed(1, &id),
             fault: Some((FaultKind::Drop, 0.01)),
             fault_seed: derive_seed(2, &id),
+            device_fault: None,
+            device_fault_seed: 0,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""fault_kind":"drop""#), "{row}");
@@ -226,6 +248,43 @@ mod tests {
         let clean = encode_row(&sample_output(), false);
         assert!(!clean.contains("fault_kind"), "{clean}");
         assert!(!clean.contains("retransmits"), "{clean}");
+    }
+
+    #[test]
+    fn device_fault_rows_carry_dev_recovery_fields_and_clean_rows_do_not() {
+        use obfusmem_mem::fault::DeviceFaultKind;
+        let id = JobSpec::make_chaos_id(
+            "micro",
+            Scheme::ObfusmemAuth,
+            1,
+            BackendKind::Reservation,
+            None,
+            Some((DeviceFaultKind::BitFlip, 0.02)),
+            0,
+        );
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::ObfusmemAuth,
+            channels: 1,
+            backend: BackendKind::Reservation,
+            instructions: 10_000,
+            replicate: 0,
+            seed: derive_seed(1, &id),
+            fault: None,
+            fault_seed: 0,
+            device_fault: Some((DeviceFaultKind::BitFlip, 0.02)),
+            device_fault_seed: derive_seed(3, &id),
+        });
+        let row = encode_row(&out, false);
+        assert!(row.contains(r#""device_fault_kind":"bit-flip""#), "{row}");
+        assert!(row.contains(r#""device_fault_rate":0.02"#), "{row}");
+        assert!(row.contains(r#""dev_detected":"#), "{row}");
+        assert!(row.contains(r#""dev_unrecovered":0"#), "{row}");
+
+        let clean = encode_row(&sample_output(), false);
+        assert!(!clean.contains("device_fault_kind"), "{clean}");
+        assert!(!clean.contains("dev_detected"), "{clean}");
     }
 
     #[test]
@@ -249,6 +308,8 @@ mod tests {
             seed: derive_seed(1, &id),
             fault: None,
             fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""backend":"queued""#), "{row}");

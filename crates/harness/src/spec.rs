@@ -23,6 +23,7 @@
 use obfusmem_core::link::FaultKind;
 use obfusmem_cpu::workload::table1_workloads;
 use obfusmem_mem::config::BackendKind;
+use obfusmem_mem::fault::DeviceFaultKind;
 
 use crate::job::{derive_seed, JobSpec};
 use crate::measure::{workload_by_name, Scheme};
@@ -54,6 +55,14 @@ pub struct SweepSpec {
     /// Master seed for the fault-injection streams (kept separate from
     /// `master_seed` so turning faults on does not perturb workloads).
     pub fault_seed: u64,
+    /// Device (array) fault kinds to sweep. Empty (the default) runs
+    /// every point with the device fault overlay disengaged, exactly as
+    /// before this axis existed.
+    pub device_fault_kinds: Vec<DeviceFaultKind>,
+    /// Device fault rates, crossed with `device_fault_kinds`.
+    pub device_fault_rates: Vec<f64>,
+    /// Master seed for the device-fault streams.
+    pub device_fault_seed: u64,
 }
 
 impl Default for SweepSpec {
@@ -74,6 +83,9 @@ impl Default for SweepSpec {
             fault_kinds: Vec::new(),
             fault_rates: vec![1e-3],
             fault_seed: 0xFA_017,
+            device_fault_kinds: Vec::new(),
+            device_fault_rates: vec![1e-3],
+            device_fault_seed: 0xD_F0_17,
         }
     }
 }
@@ -102,6 +114,7 @@ impl SweepSpec {
             * self.channels.len()
             * self.backends.len()
             * self.fault_point_count()
+            * self.device_point_count()
             * self.replicates as usize
     }
 
@@ -123,6 +136,29 @@ impl SweepSpec {
         let mut points = Vec::with_capacity(self.fault_point_count());
         for &kind in &self.fault_kinds {
             for &rate in &self.fault_rates {
+                points.push(Some((kind, rate)));
+            }
+        }
+        points
+    }
+
+    /// Device-fault points per grid cell, or 1 for the clean sweep.
+    fn device_point_count(&self) -> usize {
+        if self.device_fault_kinds.is_empty() {
+            1
+        } else {
+            self.device_fault_kinds.len() * self.device_fault_rates.len()
+        }
+    }
+
+    /// The device-fault axis values (`None` = pristine array).
+    fn device_points(&self) -> Vec<Option<(DeviceFaultKind, f64)>> {
+        if self.device_fault_kinds.is_empty() {
+            return vec![None];
+        }
+        let mut points = Vec::with_capacity(self.device_point_count());
+        for &kind in &self.device_fault_kinds {
+            for &rate in &self.device_fault_rates {
                 points.push(Some((kind, rate)));
             }
         }
@@ -187,33 +223,65 @@ impl SweepSpec {
                 }
             }
         }
+        if !self.device_fault_kinds.is_empty() {
+            if self.device_fault_rates.is_empty() {
+                return Err(err("device fault kinds given but no device fault rates"));
+            }
+            for &r in &self.device_fault_rates {
+                if !(r.is_finite() && r > 0.0 && r <= 1.0) {
+                    return Err(err(format!("device fault rate must be in (0, 1], got {r}")));
+                }
+            }
+            // Unlike link faults, device faults live in the array itself,
+            // so every scheme with a real memory path can host them. Only
+            // the ORAM model — which replaces the memory path — cannot.
+            if self.schemes.contains(&Scheme::OramModel) {
+                return Err(err(
+                    "the oram scheme has no memory array to inject device faults into",
+                ));
+            }
+        }
         let mut jobs = Vec::with_capacity(self.job_count());
         for workload in &self.workloads {
             for &scheme in &self.schemes {
                 for &channels in &self.channels {
                     for &backend in &self.backends {
                         for fault in self.fault_points() {
-                            for replicate in 0..self.replicates {
-                                let id = JobSpec::make_full_id(
-                                    workload, scheme, channels, backend, fault, replicate,
-                                );
-                                let seed = derive_seed(self.master_seed, &id);
-                                let fault_seed = match fault {
-                                    None => 0,
-                                    Some(_) => derive_seed(self.fault_seed, &id),
-                                };
-                                jobs.push(JobSpec {
-                                    id,
-                                    workload: workload.clone(),
-                                    scheme,
-                                    channels,
-                                    backend,
-                                    instructions: self.instructions,
-                                    replicate,
-                                    seed,
-                                    fault,
-                                    fault_seed,
-                                });
+                            for device_fault in self.device_points() {
+                                for replicate in 0..self.replicates {
+                                    let id = JobSpec::make_chaos_id(
+                                        workload,
+                                        scheme,
+                                        channels,
+                                        backend,
+                                        fault,
+                                        device_fault,
+                                        replicate,
+                                    );
+                                    let seed = derive_seed(self.master_seed, &id);
+                                    let fault_seed = match fault {
+                                        None => 0,
+                                        Some(_) => derive_seed(self.fault_seed, &id),
+                                    };
+                                    let device_fault_seed = match device_fault {
+                                        None => 0,
+                                        Some(_) => derive_seed(self.device_fault_seed, &id),
+                                    };
+                                    jobs.push(JobSpec {
+                                        id,
+                                        workload: workload.clone(),
+                                        scheme,
+                                        channels,
+                                        backend,
+                                        instructions: self.instructions,
+                                        replicate,
+                                        seed,
+                                        fault,
+                                        fault_seed,
+                                        device_fault,
+                                        device_fault_seed,
+                                    });
+                                }
                             }
                         }
                     }
@@ -264,6 +332,16 @@ impl SweepSpec {
                         .collect::<Result<_, _>>()?
                 }
                 "fault_seed" => spec.fault_seed = parse_u64(value)?,
+                "device_fault_kinds" => spec.device_fault_kinds = parse_device_fault_kinds(value)?,
+                "device_fault_rates" => {
+                    spec.device_fault_rates = split_list(value)
+                        .map(|v| {
+                            v.parse::<f64>()
+                                .map_err(|_| err(format!("bad device fault rate {v:?}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+                "device_fault_seed" => spec.device_fault_seed = parse_u64(value)?,
                 "instructions" => {
                     spec.instructions = value
                         .replace('_', "")
@@ -300,6 +378,18 @@ pub fn parse_fault_kinds(value: &str) -> Result<Vec<FaultKind>, SpecError> {
     }
     split_list(value)
         .map(|v| FaultKind::parse(v).ok_or_else(|| err(format!("unknown fault kind {v:?}"))))
+        .collect()
+}
+
+/// Comma list of device-fault-kind names (`all` → every kind).
+pub fn parse_device_fault_kinds(value: &str) -> Result<Vec<DeviceFaultKind>, SpecError> {
+    if value == "all" {
+        return Ok(obfusmem_mem::fault::ALL_DEVICE_FAULT_KINDS.to_vec());
+    }
+    split_list(value)
+        .map(|v| {
+            DeviceFaultKind::parse(v).ok_or_else(|| err(format!("unknown device fault kind {v:?}")))
+        })
         .collect()
 }
 
@@ -476,6 +566,87 @@ mod tests {
         s.schemes = vec![Scheme::OramModel];
         assert!(s.expand().is_err(), "the ORAM model has no link");
         assert!(SweepSpec::parse("fault_kinds = cosmic-ray").is_err());
+    }
+
+    #[test]
+    fn device_fault_axes_cross_into_the_grid() {
+        let mut s = tiny();
+        s.schemes = vec![Scheme::ObfusmemAuth];
+        s.device_fault_kinds = vec![DeviceFaultKind::BitFlip, DeviceFaultKind::BankFail];
+        s.device_fault_rates = vec![0.002];
+        let jobs = s.expand().unwrap();
+        assert_eq!(jobs.len(), s.job_count());
+        // workloads × schemes × channels × kinds (one rate) × replicates
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+        assert_eq!(jobs[0].id, "micro/obfusmem-auth/c1/dram-bit-flip@0.002/r0");
+        assert_eq!(
+            jobs[0].device_fault,
+            Some((DeviceFaultKind::BitFlip, 0.002))
+        );
+        assert_ne!(jobs[0].device_fault_seed, 0);
+        assert_ne!(
+            jobs[0].device_fault_seed, jobs[1].device_fault_seed,
+            "device fault streams differ per replicate"
+        );
+        let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn device_fault_axis_allows_unprotected_but_not_oram() {
+        let mut s = tiny();
+        s.schemes = vec![Scheme::Unprotected, Scheme::EncryptOnly];
+        s.device_fault_kinds = vec![DeviceFaultKind::StuckCell];
+        assert!(
+            s.expand().is_ok(),
+            "device faults live in the array, not the link"
+        );
+        s.schemes = vec![Scheme::OramModel];
+        assert!(s.expand().is_err(), "the ORAM model has no memory array");
+        s.schemes = vec![Scheme::Obfusmem];
+        s.device_fault_rates = vec![0.0];
+        assert!(s.expand().is_err(), "rate 0 is not a device fault sweep");
+        s.device_fault_rates = vec![2.0];
+        assert!(s.expand().is_err());
+    }
+
+    #[test]
+    fn link_and_device_axes_compose_with_disjoint_id_segments() {
+        let mut s = tiny();
+        s.schemes = vec![Scheme::ObfusmemAuth];
+        s.channels = vec![1];
+        s.replicates = 1;
+        s.fault_kinds = vec![FaultKind::BitFlip];
+        s.fault_rates = vec![0.001];
+        s.device_fault_kinds = vec![DeviceFaultKind::BitFlip];
+        s.device_fault_rates = vec![0.002];
+        let jobs = s.expand().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[0].id, "micro/obfusmem-auth/c1/bit-flip@0.001/dram-bit-flip@0.002/r0",
+            "the dram- prefix keeps the two bit-flip axes distinguishable"
+        );
+        assert!(jobs[0].fault.is_some() && jobs[0].device_fault.is_some());
+    }
+
+    #[test]
+    fn device_fault_keys_parse_from_text() {
+        let spec = SweepSpec::parse(
+            "device_fault_kinds = stuck-cell, bank-fail\n\
+             device_fault_rates = 0.002, 0.01\n\
+             device_fault_seed = 0xBEEF",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.device_fault_kinds,
+            vec![DeviceFaultKind::StuckCell, DeviceFaultKind::BankFail]
+        );
+        assert_eq!(spec.device_fault_rates, vec![0.002, 0.01]);
+        assert_eq!(spec.device_fault_seed, 0xBEEF);
+        assert_eq!(parse_device_fault_kinds("all").unwrap().len(), 4);
+        assert!(SweepSpec::parse("device_fault_kinds = gamma-ray").is_err());
     }
 
     #[test]

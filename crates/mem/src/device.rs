@@ -33,6 +33,7 @@ use crate::bank::RowBufferOutcome;
 use crate::channel::{BankStats, Channel, ChannelAccess, ChannelStats, Lane};
 use crate::config::{BackendKind, MemConfig};
 use crate::energy::{EnergyModel, WearTracker};
+use crate::fault::{DeviceFaultKind, DeviceFaultPlan, DeviceFaultState};
 use crate::request::{AccessKind, BlockAddr, BlockData, BLOCK_BYTES};
 use crate::scheduler::{Completion, ShardedFrFcfs};
 
@@ -72,6 +73,9 @@ pub struct PcmMemory {
     cfg: MemConfig,
     fabric: Fabric,
     store: HashMap<BlockAddr, BlockData>,
+    /// Device-fault overlay; `None` (the fault-free default) keeps every
+    /// read on the pristine path, byte-identical to pre-fault builds.
+    faults: Option<DeviceFaultState>,
     /// Row activations per (channel-qualified bank, row) — the signal a
     /// thermal side channel integrates (ObfusMem paper §6.2).
     activations: HashMap<(usize, u64), u64>,
@@ -100,6 +104,7 @@ impl PcmMemory {
             cfg,
             fabric,
             store: HashMap::new(),
+            faults: None,
             activations: HashMap::new(),
             wear: WearTracker::new(),
             energy: EnergyModel::paper_relative(),
@@ -258,6 +263,11 @@ impl PcmMemory {
     }
 
     /// Functional read of a block (zero-filled if never written).
+    ///
+    /// This is the *corrected* readout: what the array cells hold, after
+    /// the ECC margin read a controller performs during recovery. The
+    /// fault overlay never touches it — [`PcmMemory::read_block_faulty`]
+    /// is the raw, corruptible path demand fills take.
     pub fn read_block(&self, addr: BlockAddr) -> BlockData {
         self.store.get(&addr).copied().unwrap_or([0u8; BLOCK_BYTES])
     }
@@ -265,6 +275,46 @@ impl PcmMemory {
     /// Functional write of a block.
     pub fn write_block(&mut self, addr: BlockAddr, data: BlockData) {
         self.store.insert(addr, data);
+    }
+
+    /// Engages the device-fault overlay. An inactive plan is a no-op, so
+    /// unconditional callers stay byte-identical when fault-free.
+    pub fn with_fault_plan(mut self, plan: DeviceFaultPlan) -> Self {
+        if plan.is_active() {
+            self.faults = Some(DeviceFaultState::new(plan));
+        }
+        self
+    }
+
+    /// The fault overlay, when engaged.
+    pub fn fault_state(&self) -> Option<&DeviceFaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Functional read through the fault overlay: the bytes a demand
+    /// fill actually observes, plus the fault process that corrupted
+    /// them (if any). Without an engaged overlay this is exactly
+    /// [`PcmMemory::read_block`].
+    pub fn read_block_faulty(&mut self, addr: BlockAddr) -> (BlockData, Option<DeviceFaultKind>) {
+        let mut data = self.read_block(addr);
+        let kind = match &mut self.faults {
+            None => None,
+            Some(f) => {
+                let d = decode(&self.cfg, addr.as_u64());
+                f.corrupt(addr, d.flat_bank(&self.cfg) as u64, d.row, &mut data)
+            }
+        };
+        (data, kind)
+    }
+
+    /// Every block address the functional store holds, sorted — the
+    /// deterministic enumeration quarantine migration walks (HashMap
+    /// iteration order would make migration order, and thus re-encrypt
+    /// counters, nondeterministic).
+    pub fn stored_addrs(&self) -> Vec<BlockAddr> {
+        let mut addrs: Vec<BlockAddr> = self.store.keys().copied().collect();
+        addrs.sort_unstable_by_key(|a| a.as_u64());
+        addrs
     }
 
     /// Combined timing + functional read.
@@ -626,6 +676,44 @@ mod tests {
         assert!(snap.get_child("queued").is_none());
         assert_eq!(m.pending_requests(), 0);
         assert!(m.scheduler_stats().is_none());
+    }
+
+    #[test]
+    fn fault_overlay_corrupts_reads_but_not_the_array() {
+        let mut m = PcmMemory::new(MemConfig::table2()).with_fault_plan(DeviceFaultPlan::single(
+            DeviceFaultKind::BankFail,
+            1.0,
+            5,
+        ));
+        let addr = BlockAddr::containing(0x400);
+        let data = [0x3Cu8; 64];
+        m.write_block(addr, data);
+        let (seen, kind) = m.read_block_faulty(addr);
+        assert_eq!(kind, Some(DeviceFaultKind::BankFail));
+        assert_ne!(seen, data, "dead bank must read as garbage");
+        assert_eq!(m.read_block(addr), data, "corrected readout stays pristine");
+        let (again, _) = m.read_block_faulty(addr);
+        assert_eq!(seen, again, "persistent corruption is stable");
+        assert_eq!(m.fault_state().unwrap().injected(), 2);
+    }
+
+    #[test]
+    fn inactive_plan_leaves_the_device_untouched() {
+        let mut m = PcmMemory::new(MemConfig::table2()).with_fault_plan(DeviceFaultPlan::default());
+        assert!(m.fault_state().is_none());
+        let addr = BlockAddr::containing(0x80);
+        m.write_block(addr, [9u8; 64]);
+        assert_eq!(m.read_block_faulty(addr), ([9u8; 64], None));
+    }
+
+    #[test]
+    fn stored_addrs_enumerate_sorted() {
+        let mut m = mem();
+        for a in [0x1000u64, 0x40, 0x8000, 0x0] {
+            m.write_block(BlockAddr::containing(a), [1u8; 64]);
+        }
+        let addrs: Vec<u64> = m.stored_addrs().iter().map(|a| a.as_u64()).collect();
+        assert_eq!(addrs, vec![0x0, 0x40, 0x1000, 0x8000]);
     }
 
     /// Row stride for channel-0/rank-0/bank-0 addresses under Table 2:

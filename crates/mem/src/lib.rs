@@ -47,5 +47,6 @@ pub mod channel;
 pub mod config;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod request;
 pub mod scheduler;

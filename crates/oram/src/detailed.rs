@@ -72,8 +72,13 @@ impl DetailedOram {
         let start = at.max(self.busy_until);
 
         // Functional access first (remaps and reshuffles), observing the
-        // leaf whose path the device must now move.
-        let (_, leaf) = self.oram.read_traced(logical_block).expect("id in range");
+        // leaf whose path the device must now move. Callers reduce ids
+        // modulo `blocks`, so a failure here can only mean stash
+        // overflow under a hard bound — degrade to an untimed no-op
+        // instead of panicking mid-simulation.
+        let Ok((_, leaf)) = self.oram.read_traced(logical_block) else {
+            return start;
+        };
         let z = self.oram.config().bucket_size;
 
         // Phase 1: read every slot of every bucket on the path. Banks

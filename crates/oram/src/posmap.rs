@@ -78,8 +78,8 @@ mod tests {
         for b in 0..pm.len() {
             counts[pm.leaf_of(b) as usize] += 1;
         }
-        let max = *counts.iter().max().unwrap();
-        let min = *counts.iter().min().unwrap();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
         assert!(
             max < 100 && min > 5,
             "leaf distribution skewed: {min}..{max}"

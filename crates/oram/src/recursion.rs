@@ -28,12 +28,20 @@ pub const ON_CHIP_LIMIT: u64 = 256;
 
 fn get_entry(block: &BlockData, slot: u64) -> u64 {
     let i = slot as usize * 4;
-    u32::from_le_bytes(block[i..i + 4].try_into().expect("4 bytes")) as u64
+    // Slots come from `% ENTRIES_PER_BLOCK`, so the range is always in
+    // bounds; an out-of-range slot reads as 0 rather than panicking.
+    let mut bytes = [0u8; 4];
+    if let Some(src) = block.get(i..i + 4) {
+        bytes.copy_from_slice(src);
+    }
+    u32::from_le_bytes(bytes) as u64
 }
 
 fn set_entry(block: &mut BlockData, slot: u64, value: u64) {
     let i = slot as usize * 4;
-    block[i..i + 4].copy_from_slice(&(value as u32).to_le_bytes());
+    if let Some(dst) = block.get_mut(i..i + 4) {
+        dst.copy_from_slice(&(value as u32).to_le_bytes());
+    }
 }
 
 /// A Path ORAM whose position map is itself stored in recursively smaller
@@ -292,6 +300,21 @@ mod tests {
             flat.physical_blocks_per_access()
         );
         assert_eq!(deep.accesses(), 300);
+    }
+
+    /// Regression for the unwrap audit: a slot beyond the 16 packed
+    /// entries must read as zero and write as a no-op — never panic and
+    /// never clobber neighbouring entries.
+    #[test]
+    fn packed_entry_accessors_tolerate_out_of_range_slots() {
+        let mut block: BlockData = [0xAA; 64];
+        for slot in ENTRIES_PER_BLOCK..ENTRIES_PER_BLOCK + 4 {
+            assert_eq!(get_entry(&block, slot), 0, "slot {slot} must read 0");
+            set_entry(&mut block, slot, 0xDEAD_BEEF);
+        }
+        assert_eq!(block, [0xAA; 64], "out-of-range writes must not land");
+        set_entry(&mut block, ENTRIES_PER_BLOCK - 1, 0x0102_0304);
+        assert_eq!(get_entry(&block, ENTRIES_PER_BLOCK - 1), 0x0102_0304);
     }
 
     #[test]

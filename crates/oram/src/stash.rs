@@ -154,6 +154,32 @@ mod tests {
         assert_eq!(taken[0].id, 10);
     }
 
+    /// Regression: every stash operation must be a harmless no-op on an
+    /// empty stash — eviction passes run against it constantly.
+    #[test]
+    fn empty_stash_operations_are_safe() {
+        let mut s = Stash::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.max_occupancy(), 0);
+        assert!(s.get(0).is_none());
+        assert!(s.get_mut(0).is_none());
+        assert!(s.iter().next().is_none());
+        assert!(s.take_eligible(4, |_| true).is_empty());
+        assert!(s.take_eligible(0, |_| true).is_empty());
+        assert!(s.check_bound(0).is_ok());
+    }
+
+    /// Regression: a zero-budget eviction pass must leave the stash
+    /// untouched rather than underflowing or panicking.
+    #[test]
+    fn zero_budget_take_is_a_no_op() {
+        let mut s = Stash::new();
+        s.insert(block(1, 0));
+        assert!(s.take_eligible(0, |_| true).is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
     #[test]
     fn occupancy_tracking_and_bound() {
         let mut s = Stash::new();

@@ -214,6 +214,41 @@ mod tests {
         );
     }
 
+    /// Chaos extension of the tentpole claim: with the device-fault
+    /// overlay active (faults firing, the recovery ladder engaged), a
+    /// cross-channel victim's latency trace is still bit-identical under
+    /// an aggressor swap. Fault draws are pure functions of (seed,
+    /// location) and the ladder's cost lands on the faulting request
+    /// alone, so device chaos opens no cross-tenant timing channel.
+    #[test]
+    fn device_chaos_does_not_leak_across_channels() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
+        let plan = DeviceFaultPlan::single(DeviceFaultKind::BitFlip, 0.05, 0xFA11);
+        let run = |aggressor: WorkloadSpec| {
+            let mut cfg = FabricConfig::new(2);
+            cfg.requests_per_tenant = 48;
+            cfg.channels = 2;
+            cfg.seed = 0xA11CE;
+            cfg.workloads = vec![aggressor, micro_test_workload()];
+            cfg.device_faults = plan;
+            let mut fabric = SessionFabric::new(cfg).expect("fabric builds");
+            fabric.run_to_completion().expect("run completes");
+            assert_eq!(fabric.auth_failures(), 0, "chaos must never break auth");
+            let stats = *fabric.recovery_stats().expect("overlay engaged");
+            (fabric.latency_trace(1).to_vec(), stats)
+        };
+        let (a, stats_a) = run(streaming_aggressor());
+        let (b, stats_b) = run(pointer_chasing_aggressor());
+        assert!(stats_a.detected > 0, "the overlay must actually fire");
+        assert!(stats_b.detected > 0);
+        assert_eq!(stats_a.unrecovered, 0, "every fault must clear");
+        assert_eq!(stats_b.unrecovered, 0);
+        assert_eq!(
+            a, b,
+            "device chaos must not create a cross-channel timing channel"
+        );
+    }
+
     /// The legacy-equivalence gate: a 1-tenant fabric reproduces the
     /// pre-fabric single-session path bit for bit.
     #[test]

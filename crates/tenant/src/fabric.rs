@@ -31,13 +31,14 @@
 //! seed.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 
 use obfusmem_core::busmsg::RequestHeader;
 use obfusmem_core::config::ObfusMemConfig;
 use obfusmem_core::engine::ProcessorEngine;
 use obfusmem_core::memside::MemoryEngine;
+use obfusmem_core::recovery::{RecoveryConfig, RecoveryStats, SpareRemap};
 use obfusmem_core::session::{ChannelSession, SessionKeyTable};
 use obfusmem_core::ObfusMemError;
 use obfusmem_cpu::stream::{MissEvent, MissStream};
@@ -45,9 +46,10 @@ use obfusmem_cpu::workload::{micro_test_workload, WorkloadSpec};
 use obfusmem_crypto::ctr::CtrSpacePartition;
 use obfusmem_crypto::dh::{DhGroup, DhKeyPair};
 use obfusmem_crypto::CryptoError;
-use obfusmem_mem::addr::{decode, encode};
+use obfusmem_mem::addr::{decode, encode, DecodedAddr};
 use obfusmem_mem::config::MemConfig;
-use obfusmem_mem::request::{AccessKind, BlockData};
+use obfusmem_mem::fault::{DeviceFaultPlan, DeviceFaultState};
+use obfusmem_mem::request::{AccessKind, BlockAddr, BlockData, BLOCK_BYTES};
 use obfusmem_mem::scheduler::{ShardedFrFcfs, DEFAULT_STARVATION_LIMIT};
 use obfusmem_obs::MetricsNode;
 use obfusmem_sim::rng::SplitMix64;
@@ -168,6 +170,14 @@ pub struct FabricConfig {
     /// Workloads assigned round-robin (tenant `t` runs
     /// `workloads[t % len]`).
     pub workloads: Vec<WorkloadSpec>,
+    /// Device-fault overlay for the shared array. Inactive (the
+    /// default) leaves the serving path byte-identical to pre-chaos
+    /// builds; active plans degrade to latency only — never corruption,
+    /// never cross-tenant leakage.
+    pub device_faults: DeviceFaultPlan,
+    /// Recovery-ladder costs and bounds (used only when the overlay is
+    /// active).
+    pub recovery: RecoveryConfig,
 }
 
 impl FabricConfig {
@@ -185,6 +195,8 @@ impl FabricConfig {
             seed: 0x0BF5_FAB0,
             starvation_limit: DEFAULT_STARVATION_LIMIT,
             workloads: vec![micro_test_workload()],
+            device_faults: DeviceFaultPlan::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -382,6 +394,191 @@ pub struct FabricReport {
     pub class_p99_ns: [u64; 3],
 }
 
+/// Device-fault overlay for the fabric's shared array: the same retry →
+/// resync → quarantine ladder the single-tenant backend runs, applied at
+/// serving granularity. The fabric's store is synthetic (reply blocks
+/// are drawn from per-tenant streams), so the overlay models the
+/// *detection and repair cost* of array faults — every fault degrades to
+/// extra latency on the affected request only. Reply bytes always come
+/// from the corrected readout, so tenants never observe corruption and
+/// `auth_failures` stays untouched by device chaos.
+/// Block-retirement attempts before a confined fault is reclassified as
+/// wide damage and escalated to bank quarantine (mirrors the backend
+/// ladder's constant).
+const MAX_RETIREMENTS: usize = 4;
+
+#[derive(Debug)]
+struct FabricChaos {
+    faults: DeviceFaultState,
+    recovery: RecoveryConfig,
+    remap: SpareRemap,
+    /// Blocks served at least once, per flat bank — the migration cohort
+    /// when that bank is quarantined.
+    touched: BTreeMap<u64, BTreeSet<u64>>,
+    stats: RecoveryStats,
+}
+
+impl FabricChaos {
+    fn new(cfg: &FabricConfig, mem_cfg: &MemConfig) -> Self {
+        FabricChaos {
+            faults: DeviceFaultState::new(cfg.device_faults),
+            recovery: cfg.recovery,
+            remap: SpareRemap::new(mem_cfg.clone()),
+            touched: BTreeMap::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// One modeled array readout of `phys`: true when the device overlay
+    /// corrupted it (each probe advances the transient draw sequence).
+    fn probe(&mut self, phys: u64, flat_bank: u64, row: u64) -> bool {
+        let mut scratch: BlockData = [0u8; 64];
+        self.faults
+            .corrupt(BlockAddr::containing(phys), flat_bank, row, &mut scratch)
+            .is_some()
+    }
+
+    /// Serves one array access for logical block `addr`, running the
+    /// recovery ladder when the readout is corrupt. Returns the extra
+    /// simulated latency charged to this request (zero on the vast
+    /// majority of accesses).
+    fn access(&mut self, addr: u64) -> Duration {
+        let Ok(phys) = self.remap.translate(addr) else {
+            self.stats.unrecovered += 1;
+            return Duration::ZERO;
+        };
+        let cfg = self.remap.mem_cfg().clone();
+        let d = decode(&cfg, phys);
+        let fb = d.flat_bank(&cfg) as u64;
+        let row = d.row;
+        self.touched.entry(fb).or_default().insert(addr);
+        if !self.probe(phys, fb, row) {
+            return Duration::ZERO;
+        }
+        self.stats.detected += 1;
+        let rc = self.recovery;
+        let mut delay = Duration::ZERO;
+        // Rung 1: bounded re-reads with exponential backoff (clears
+        // transients, which redraw per probe).
+        for attempt in 0..rc.max_retries {
+            delay += rc.retry_delay(attempt);
+            self.stats.retried += 1;
+            if !self.probe(phys, fb, row) {
+                return delay;
+            }
+        }
+        // Rung 2: counter/Merkle resync, then one more probe.
+        delay += rc.resync_latency;
+        self.stats.resynced += 1;
+        if !self.probe(phys, fb, row) {
+            return delay;
+        }
+        // Rung 2b: classify the damage radius with two neighbourhood
+        // probes (next column of the row, next row of the bank). A
+        // fault confined to the block itself (a stuck cell) retires
+        // just that slot; wider corruption falls through to the bank
+        // fuse. Without this rung, high stuck-cell rates would burn
+        // through every bank.
+        let row_bytes = cfg.blocks_per_row() * BLOCK_BYTES as u64;
+        let sibling = DecodedAddr {
+            column: (d.column + BLOCK_BYTES as u64) % row_bytes,
+            ..d
+        };
+        let next_row = DecodedAddr {
+            row: (d.row + 1) % cfg.rows_per_bank(),
+            ..d
+        };
+        let wide = self.probe(encode(&cfg, &sibling), fb, sibling.row)
+            || self.probe(encode(&cfg, &next_row), fb, next_row.row);
+        if !wide {
+            let mut cur_fb = fb;
+            for _ in 0..MAX_RETIREMENTS {
+                match self.remap.retarget(addr) {
+                    Ok(np) => {
+                        self.stats.migrated += 1;
+                        delay += rc.migrate_per_block;
+                        if let Some(set) = self.touched.get_mut(&cur_fb) {
+                            set.remove(&addr);
+                        }
+                        let nd = decode(&cfg, np);
+                        let nfb = nd.flat_bank(&cfg) as u64;
+                        self.touched.entry(nfb).or_default().insert(addr);
+                        if !self.probe(np, nfb, nd.row) {
+                            return delay;
+                        }
+                        cur_fb = nfb;
+                    }
+                    Err(_) => {
+                        self.stats.unrecovered += 1;
+                        return delay;
+                    }
+                }
+            }
+            // A streak of bad spare slots: treat as wide damage.
+        }
+        // Rung 3: quarantine the bank and migrate its served cohort. A
+        // spare slot can itself sit in a bank that is dead but not yet
+        // discovered, so the quarantine cascades — each still-corrupt
+        // re-read fuses out the spare's bank too — until the readout
+        // clears from a healthy slot or no healthy bank remains. The
+        // loop terminates because the remap only hands out slots in
+        // non-quarantined banks and refuses to fuse the last one.
+        let mut bad_bank = fb;
+        loop {
+            match self.remap.quarantine(bad_bank) {
+                Ok(true) => {
+                    self.stats.quarantined += 1;
+                    delay += rc.quarantine_latency;
+                    let cohort: Vec<u64> = self
+                        .touched
+                        .remove(&bad_bank)
+                        .map(|s| s.into_iter().collect())
+                        .unwrap_or_default();
+                    for logical in cohort {
+                        match self.remap.retarget(logical) {
+                            Ok(np) => {
+                                self.stats.migrated += 1;
+                                delay += rc.migrate_per_block;
+                                let nfb = decode(&cfg, np).flat_bank(&cfg) as u64;
+                                self.touched.entry(nfb).or_default().insert(logical);
+                            }
+                            Err(_) => self.stats.unrecovered += 1,
+                        }
+                    }
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    // Last healthy bank: run degrades to corrected readouts.
+                    self.stats.unrecovered += 1;
+                    return delay;
+                }
+            }
+            // Re-read through the new mapping.
+            let Ok(np) = self.remap.translate(addr) else {
+                self.stats.unrecovered += 1;
+                return delay;
+            };
+            let nd = decode(&cfg, np);
+            let nfb = nd.flat_bank(&cfg) as u64;
+            if !self.probe(np, nfb, nd.row) {
+                return delay;
+            }
+            bad_bank = nfb;
+        }
+    }
+
+    fn observe(&self, out: &mut MetricsNode) {
+        self.stats.observe(out);
+        let total = self.remap.mem_cfg().total_banks();
+        out.set_counter(
+            "quarantined_banks",
+            (total - self.remap.healthy_banks()) as u64,
+        );
+        out.set_counter("remapped_blocks", self.remap.remapped_blocks() as u64);
+        out.set_counter("faults_injected", self.faults.injected());
+    }
+}
+
 /// The serving fabric (see the module docs for the architecture).
 #[derive(Debug)]
 pub struct SessionFabric {
@@ -405,6 +602,9 @@ pub struct SessionFabric {
     writebacks: u64,
     span: Time,
     drained: bool,
+    /// Device-fault overlay; `None` whenever the plan is inactive, so
+    /// clean runs build no recovery state and stay byte-identical.
+    chaos: Option<FabricChaos>,
 }
 
 impl SessionFabric {
@@ -483,6 +683,10 @@ impl SessionFabric {
             .collect();
         let mut sched = ShardedFrFcfs::new(mem_cfg.clone());
         sched.set_starvation_limit(cfg.starvation_limit);
+        let chaos = cfg
+            .device_faults
+            .is_active()
+            .then(|| FabricChaos::new(&cfg, &mem_cfg));
         Ok(SessionFabric {
             cfg,
             mem_cfg,
@@ -500,12 +704,19 @@ impl SessionFabric {
             writebacks: 0,
             span: Time::ZERO,
             drained: false,
+            chaos,
         })
     }
 
     /// The fabric's configuration.
     pub fn config(&self) -> &FabricConfig {
         &self.cfg
+    }
+
+    /// Device-fault recovery counters; `None` when the overlay is
+    /// inactive (clean runs build no recovery state at all).
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.chaos.as_ref().map(|c| &c.stats)
     }
 
     /// Authentication failures observed so far.
@@ -567,6 +778,12 @@ impl SessionFabric {
 
         // Fill read: full obfuscation round trip on this tenant's lane.
         let fill_addr = steer_to_channel(&self.mem_cfg, ev.fill.as_u64(), channel);
+        // Device-fault overlay: the recovery ladder's cost lands on this
+        // request alone (graceful degradation — latency, never data).
+        let dev_delay = match self.chaos.as_mut() {
+            Some(chaos) => chaos.access(fill_addr),
+            None => Duration::ZERO,
+        };
         let header = RequestHeader {
             kind: AccessKind::Read,
             addr: fill_addr,
@@ -612,7 +829,9 @@ impl SessionFabric {
                     if !authed {
                         self.auth_failures += 1;
                     }
-                    done + self.roundtrip_overhead + Duration::from_ps(pair.pad_stall_ps)
+                    done + self.roundtrip_overhead
+                        + Duration::from_ps(pair.pad_stall_ps)
+                        + dev_delay
                 }
                 Err(_) => {
                     self.auth_failures += 1;
@@ -796,6 +1015,11 @@ impl SessionFabric {
         f.set_counter("storms", report.storms);
         f.set_counter("writebacks", report.writebacks);
         f.set_counter("span_ns", report.span.as_ns());
+        // The recovery subtree exists exactly when the device overlay is
+        // engaged — clean runs keep their metrics snapshot unchanged.
+        if let Some(chaos) = &self.chaos {
+            chaos.observe(f.child("recovery"));
+        }
 
         let sched_stats = self.sched.stats();
         let qos = f.child("qos");
@@ -942,6 +1166,98 @@ mod tests {
         assert_eq!(root.counter("fabric.auth_failures"), Some(0));
         assert!(root.counter("fabric.qos.serviced").unwrap_or(0) > 0);
         assert!(root.counter("fabric.tenant0000.served").is_some());
+    }
+
+    #[test]
+    fn device_faults_degrade_latency_only_and_never_auth() {
+        use obfusmem_mem::fault::DeviceFaultKind;
+        let mut cfg = small_cfg();
+        cfg.device_faults = DeviceFaultPlan::single(DeviceFaultKind::BitFlip, 0.05, 0xC4A0);
+        let mut faulty = SessionFabric::new(cfg).expect("fabric builds");
+        faulty.run_to_completion().expect("run completes");
+        let mut clean = SessionFabric::new(small_cfg()).expect("fabric builds");
+        clean.run_to_completion().expect("run completes");
+
+        let stats = *faulty.recovery_stats().expect("overlay engaged");
+        assert!(stats.detected > 0, "5% flips over 144 fills must surface");
+        assert!(stats.retried > 0, "transients clear via re-read");
+        assert_eq!(stats.unrecovered, 0, "the ladder must recover");
+        let fr = faulty.report();
+        let cr = clean.report();
+        assert_eq!(fr.auth_failures, 0, "device faults must never break auth");
+        assert_eq!(fr.total_served, cr.total_served, "every request is served");
+        assert!(
+            fr.span >= cr.span,
+            "recovery can only add latency, never remove it"
+        );
+    }
+
+    #[test]
+    fn dead_banks_quarantine_and_the_fabric_keeps_serving() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultState};
+        let banks = MemConfig::table2().with_channels(2).total_banks() as u64;
+        // Pick a seed where some but not all banks fail (fault draws are
+        // pure functions of (seed, location), so this scan is exact).
+        let seed = (1..200u64)
+            .find(|&s| {
+                let st = DeviceFaultState::new(DeviceFaultPlan::single(
+                    DeviceFaultKind::BankFail,
+                    0.25,
+                    s,
+                ));
+                let failed = (0..banks).filter(|&f| st.bank_failed(f)).count() as u64;
+                failed >= 1 && failed < banks
+            })
+            .expect("some seed under 200 fails a strict subset of banks");
+        let mut cfg = small_cfg();
+        cfg.device_faults = DeviceFaultPlan::single(DeviceFaultKind::BankFail, 0.25, seed);
+        let mut fabric = SessionFabric::new(cfg.clone()).expect("fabric builds");
+        fabric.run_to_completion().expect("run completes");
+        let stats = *fabric.recovery_stats().expect("overlay engaged");
+        assert!(stats.detected > 0, "dead banks must surface");
+        assert!(stats.quarantined > 0, "persistent failures escalate");
+        assert_eq!(stats.unrecovered, 0);
+        let report = fabric.report();
+        assert_eq!(report.total_served, 6 * 24, "degraded, never dropped");
+        assert_eq!(report.auth_failures, 0);
+        // Deterministic under replay.
+        let mut again = SessionFabric::new(cfg).expect("fabric builds");
+        again.run_to_completion().expect("run completes");
+        assert_eq!(*again.recovery_stats().expect("overlay engaged"), stats);
+        assert_eq!(again.report(), report);
+    }
+
+    #[test]
+    fn inactive_device_plan_builds_no_recovery_state() {
+        let mut cfg = small_cfg();
+        // Tweaked ladder knobs must be inert while the plan is inactive.
+        cfg.recovery.max_retries = 99;
+        cfg.recovery.quarantine_latency = Duration::from_ns(1_000_000);
+        let mut fabric = SessionFabric::new(cfg).expect("fabric builds");
+        fabric.run_to_completion().expect("run completes");
+        assert!(fabric.recovery_stats().is_none(), "no overlay, no state");
+        let mut baseline = SessionFabric::new(small_cfg()).expect("fabric builds");
+        baseline.run_to_completion().expect("run completes");
+        assert_eq!(fabric.report(), baseline.report());
+        let (mut a, mut b) = (MetricsNode::new(), MetricsNode::new());
+        fabric.observe_metrics(&mut a);
+        baseline.observe_metrics(&mut b);
+        assert_eq!(a.to_json(), b.to_json(), "snapshots must be identical");
+        assert!(!a.to_json().contains("\"recovery\""));
+    }
+
+    #[test]
+    fn chaos_metrics_land_under_the_fabric_recovery_subtree() {
+        use obfusmem_mem::fault::DeviceFaultKind;
+        let mut cfg = small_cfg();
+        cfg.device_faults = DeviceFaultPlan::single(DeviceFaultKind::StuckCell, 0.10, 0x57);
+        let mut fabric = SessionFabric::new(cfg).expect("fabric builds");
+        fabric.run_to_completion().expect("run completes");
+        let mut root = MetricsNode::new();
+        fabric.observe_metrics(&mut root);
+        assert!(root.counter("fabric.recovery.detected").unwrap_or(0) > 0);
+        assert_eq!(root.counter("fabric.recovery.unrecovered"), Some(0));
+        assert!(root.counter("fabric.recovery.faults_injected").is_some());
     }
 
     #[test]
