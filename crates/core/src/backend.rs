@@ -592,11 +592,32 @@ impl ObfusMemBackend {
         }
         let logical = addr.as_u64();
         let rc = self.recovery.as_mut().expect("checked above");
+        if rc.is_degraded(logical) {
+            // Already declared unrecoverable: serve the corrected
+            // readout directly. Re-entering the ladder would re-detect
+            // the same permanent fault and re-pay retries + resync on
+            // every access while inflating the counters.
+            let phys = rc.remap_mut().translate(logical).unwrap_or(logical);
+            return (
+                self.mem.read_block(BlockAddr::containing(phys)),
+                Duration::ZERO,
+            );
+        }
+        let rc = self.recovery.as_mut().expect("checked above");
         let phys = match rc.remap_mut().translate(logical) {
             Ok(p) => p,
             Err(_) => {
-                rc.stats.unrecovered += 1;
-                logical
+                // Spare region exhausted: the untranslated slot sits in
+                // a quarantined bank, so the demand path can never
+                // verify again. Degrade this block permanently and
+                // serve the corrected readout.
+                if rc.mark_degraded(logical) {
+                    rc.stats.unrecovered += 1;
+                }
+                return (
+                    self.mem.read_block(BlockAddr::containing(logical)),
+                    Duration::ZERO,
+                );
             }
         };
         let phys_addr = BlockAddr::containing(phys);
@@ -688,7 +709,9 @@ impl ObfusMemBackend {
                 let to = match rc.remap_mut().retarget(fault.addr) {
                     Ok(t) => t,
                     Err(_) => {
-                        rc.stats.unrecovered += 1;
+                        if rc.mark_degraded(fault.addr) {
+                            rc.stats.unrecovered += 1;
+                        }
                         return (corrected, delay);
                     }
                 };
@@ -709,6 +732,9 @@ impl ObfusMemBackend {
                     to,
                 });
                 self.mem.write_block(BlockAddr::containing(to), moved);
+                // Evacuate the retired slot: a stale copy would be
+                // re-enumerated by a later quarantine of its bank.
+                self.mem.remove_block(BlockAddr::containing(from));
                 delay += cfg.migrate_per_block;
                 let (data, _) = self.mem.read_block_faulty(BlockAddr::containing(to));
                 let rc = self.recovery.as_mut().expect("recovery active");
@@ -734,12 +760,15 @@ impl ObfusMemBackend {
             match self.quarantine_and_migrate(bad_bank) {
                 None => {
                     // Last healthy bank (or spare region exhausted):
-                    // degrade to the corrected readout and keep serving.
-                    self.recovery
-                        .as_mut()
-                        .expect("recovery active")
-                        .stats
-                        .unrecovered += 1;
+                    // degrade this block to direct corrected readouts
+                    // and keep serving. The fault is persistent (it
+                    // survived retries and a resync), so re-running the
+                    // ladder on later accesses could only repeat this
+                    // refusal.
+                    let rc = self.recovery.as_mut().expect("recovery active");
+                    if rc.mark_degraded(fault.addr) {
+                        rc.stats.unrecovered += 1;
+                    }
                     return (corrected, delay);
                 }
                 Some(migrated) => {
@@ -753,7 +782,9 @@ impl ObfusMemBackend {
             let newphys = match rc.remap_mut().translate(fault.addr) {
                 Ok(p) => p,
                 Err(_) => {
-                    rc.stats.unrecovered += 1;
+                    if rc.mark_degraded(fault.addr) {
+                        rc.stats.unrecovered += 1;
+                    }
                     return (corrected, delay);
                 }
             };
@@ -789,7 +820,11 @@ impl ObfusMemBackend {
         };
         [sibling, next_row].iter().any(|n| {
             let a = BlockAddr::containing(encode(&cfg, n));
-            self.mem.read_block_faulty(a).1.is_some()
+            // A transient flip on the probe itself must not masquerade
+            // as wide damage (it would escalate a confined stuck cell
+            // straight to bank quarantine): transients redraw per read,
+            // so only a corrupt readout that *repeats* counts.
+            self.mem.read_block_faulty(a).1.is_some() && self.mem.read_block_faulty(a).1.is_some()
         })
     }
 
@@ -820,12 +855,22 @@ impl ObfusMemBackend {
         let encrypts = self.cfg.security.encrypts_memory();
         let mut migrated = 0usize;
         for phys in victims {
-            let logical = self
-                .recovery
-                .as_ref()
-                .expect("recovery active")
-                .remap()
-                .logical_of(phys.as_u64());
+            let (logical, live) = {
+                let r = self.recovery.as_ref().expect("recovery active").remap();
+                (
+                    r.logical_of(phys.as_u64()),
+                    r.is_current_home(phys.as_u64()),
+                )
+            };
+            // Only migrate a block's *current* home. A stale identity
+            // copy (left by a retirement before stale-slot evacuation
+            // existed) would otherwise be mistaken for live data:
+            // retarget() would drop the live logical→spare mapping and
+            // the dead bytes would silently replace the block.
+            if !live {
+                self.mem.remove_block(phys);
+                continue;
+            }
             // The dead bank's demand path reads garbage; the corrected
             // (ECC-margin) readout recovers the true stored bytes.
             let corrected = self.mem.read_block(phys);
@@ -842,7 +887,9 @@ impl ObfusMemBackend {
             let to = match rc.remap_mut().retarget(logical) {
                 Ok(t) => t,
                 Err(_) => {
-                    rc.stats.unrecovered += 1;
+                    if rc.mark_degraded(logical) {
+                        rc.stats.unrecovered += 1;
+                    }
                     continue;
                 }
             };
@@ -853,6 +900,7 @@ impl ObfusMemBackend {
                 to,
             });
             self.mem.write_block(BlockAddr::containing(to), moved);
+            self.mem.remove_block(phys);
             migrated += 1;
         }
         Some(migrated)
@@ -2065,6 +2113,64 @@ mod tests {
             hit.is_some(),
             "some seed must exercise pure block retirement"
         );
+    }
+
+    #[test]
+    fn quarantine_walk_skips_stale_identity_copies() {
+        use obfusmem_mem::fault::{DeviceFaultKind, DeviceFaultPlan};
+        // Active-but-quiet plan: the recovery machinery is live, but no
+        // fault ever fires, so every store/remap move below is ours.
+        let mut b = device_backend(
+            SecurityLevel::ObfuscateAuth,
+            DeviceFaultPlan::single(DeviceFaultKind::StuckCell, 1e-12, 1),
+        );
+        let cfg = b.mem.config().clone();
+        let logical = (0..1u64 << 20)
+            .step_by(64)
+            .find(|&a| {
+                let d = b.mem.decode(a);
+                d.flat_bank(&cfg) as u64 == 1
+            })
+            .expect("some block decodes into bank 1");
+        // Reconstruct the pre-fix hazard: a block retired to a spare
+        // slot (in bank 0 — the cursor's first candidate) whose stale
+        // identity copy was left behind in bank 1.
+        let stale = [0xDEu8; BLOCK_BYTES];
+        let live = [0xABu8; BLOCK_BYTES];
+        b.mem.write_block(BlockAddr::containing(logical), stale);
+        let rc = b.recovery.as_mut().expect("active plan");
+        let spare = rc.remap_mut().retarget(logical).expect("spare available");
+        assert_ne!(
+            b.mem.decode(spare).flat_bank(&cfg) as u64,
+            1,
+            "spare must land outside the bank under test"
+        );
+        rc.note_write(logical, &live);
+        b.mem.write_block(BlockAddr::containing(spare), live);
+        // Quarantining bank 1 must not treat the stale identity copy as
+        // a victim: doing so would drop the live logical→spare mapping
+        // and silently serve dead bytes.
+        b.quarantine_and_migrate(1)
+            .expect("not the last healthy bank");
+        let rc = b.recovery.as_mut().expect("active plan");
+        assert_eq!(
+            rc.remap_mut().translate(logical).expect("still mapped"),
+            spare,
+            "live mapping survives the quarantine walk"
+        );
+        assert_eq!(
+            b.mem.read_block(BlockAddr::containing(spare)),
+            live,
+            "live bytes untouched"
+        );
+        assert_eq!(
+            b.mem.read_block(BlockAddr::containing(logical)),
+            [0u8; BLOCK_BYTES],
+            "stale copy evacuated from the store"
+        );
+        let stats = b.recovery.as_ref().expect("active plan").stats;
+        assert_eq!(stats.unrecovered, 0);
+        assert_eq!(stats.migrated, 0, "nothing live lived in bank 1");
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! inactive `DeviceFaultPlan` never constructs a controller and stays
 //! byte-identical to pre-fault builds.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use obfusmem_crypto::sha1::{Sha1, DIGEST_LEN};
 use obfusmem_mem::addr::{decode, encode, DecodedAddr};
@@ -166,11 +166,6 @@ pub struct MigrationRecord {
     pub to: u64,
 }
 
-// Upper bound on candidate slots scanned per spare assignment. The scan
-// only skips quarantined banks, so with B total banks at most B-1
-// consecutive candidates can be rejected; a full extra lap is ample.
-const SPARE_SCAN_SLACK: u64 = 2;
-
 /// Bank-quarantine state plus the logical→spare block remap.
 ///
 /// Spare slots are enumerated by a monotone cursor: slot `s` lands in
@@ -179,6 +174,14 @@ const SPARE_SCAN_SLACK: u64 = 2;
 /// spare slot is handed out twice and the map stays injective. A spare
 /// target can itself be quarantined later; migration then retargets the
 /// block to a fresh slot.
+///
+/// Spares are carved from the top rows on the *assumption* that
+/// workloads live at the bottom of the address space — but the remap
+/// does not trust it: every identity translation is recorded, the
+/// cursor skips slots that collide with an identity-served address, and
+/// an identity address that aliases an already-assigned spare is
+/// displaced to a spare of its own. Injectivity holds for any workload
+/// footprint, not just low addresses.
 #[derive(Debug, Clone)]
 pub struct SpareRemap {
     cfg: MemConfig,
@@ -188,6 +191,10 @@ pub struct SpareRemap {
     map: BTreeMap<u64, u64>,
     /// spare physical → logical (the inverse, for migration walks).
     rev: BTreeMap<u64, u64>,
+    /// Addresses served at identity at least once — slots the spare
+    /// cursor must never hand out (a workload block can legitimately
+    /// decode into the spare region).
+    identity_live: BTreeSet<u64>,
     next_spare: u64,
 }
 
@@ -201,6 +208,7 @@ impl SpareRemap {
             healthy: banks,
             map: BTreeMap::new(),
             rev: BTreeMap::new(),
+            identity_live: BTreeSet::new(),
             next_spare: 0,
         }
     }
@@ -262,7 +270,13 @@ impl SpareRemap {
             return self.retarget(addr);
         }
         let d = decode(&self.cfg, addr);
-        if !self.quarantined[d.flat_bank(&self.cfg)] {
+        // Identity home — unless this address was already handed out as
+        // another block's spare (a workload block can decode into the
+        // spare region): sharing the slot would break injectivity and
+        // cross-corrupt the two blocks' digests, so displace this block
+        // to a spare of its own instead.
+        if !self.quarantined[d.flat_bank(&self.cfg)] && !self.rev.contains_key(&addr) {
+            self.identity_live.insert(addr);
             return Ok(addr);
         }
         self.assign_spare(addr)
@@ -274,6 +288,15 @@ impl SpareRemap {
         self.rev.get(&phys).copied().unwrap_or(phys)
     }
 
+    /// True when physical slot `phys` is the *current* home of the block
+    /// it holds: either an assigned spare, or an identity slot whose
+    /// block has not been displaced. False for the stale identity slot
+    /// of a block that was retired/migrated to a spare — migration walks
+    /// must skip those rather than resurrect their dead bytes.
+    pub fn is_current_home(&self, phys: u64) -> bool {
+        self.rev.contains_key(&phys) || !self.map.contains_key(&phys)
+    }
+
     /// Drops `logical`'s current spare (if any) and assigns a fresh one —
     /// used when the bank holding its spare slot is itself quarantined.
     pub fn retarget(&mut self, logical: u64) -> Result<u64, RecoveryError> {
@@ -283,12 +306,16 @@ impl SpareRemap {
         self.assign_spare(logical)
     }
 
-    /// Hands out the next unused spare slot in a healthy bank.
+    /// Hands out the next unused spare slot in a healthy bank, skipping
+    /// slots whose address is live at identity. Terminates because at
+    /// least one bank is always healthy (quarantine refuses the last
+    /// one) and that bank's candidate rows run out at `row_back >=
+    /// rows`; the cap is a defensive backstop at the full slot space.
     fn assign_spare(&mut self, logical: u64) -> Result<u64, RecoveryError> {
         let banks = self.cfg.total_banks() as u64;
         let per_row = self.cfg.blocks_per_row();
         let rows = self.cfg.rows_per_bank();
-        let scanned_cap = banks * SPARE_SCAN_SLACK + 1;
+        let scanned_cap = banks.saturating_mul(per_row.saturating_mul(rows)) + banks;
         let mut scanned = 0;
         loop {
             let seq = self.next_spare;
@@ -314,6 +341,9 @@ impl SpareRemap {
                 column: (slot % per_row) * BLOCK_BYTES as u64,
             };
             let phys = encode(&self.cfg, &d);
+            if self.identity_live.contains(&phys) {
+                continue;
+            }
             self.map.insert(logical, phys);
             self.rev.insert(phys, logical);
             return Ok(phys);
@@ -333,6 +363,13 @@ pub struct RecoveryController {
     /// check, updated on every store and migration.
     digests: HashMap<u64, [u8; DIGEST_LEN]>,
     journal: Vec<MigrationRecord>,
+    /// Logical blocks the ladder permanently failed (spare region
+    /// exhausted or last healthy bank refused): served from the
+    /// corrected readout without re-entering the ladder, so one
+    /// unrecoverable fault counts once instead of re-detecting (and
+    /// re-paying retries + resync + a refused quarantine) on every
+    /// subsequent access.
+    degraded: BTreeSet<u64>,
     /// Per-phase counters (`recovery.*`).
     pub stats: RecoveryStats,
 }
@@ -345,6 +382,7 @@ impl RecoveryController {
             remap: SpareRemap::new(mem_cfg),
             digests: HashMap::new(),
             journal: Vec::new(),
+            degraded: BTreeSet::new(),
             stats: RecoveryStats::default(),
         }
     }
@@ -395,6 +433,19 @@ impl RecoveryController {
         self.journal.push(rec);
     }
 
+    /// True when logical `addr` was declared unrecoverable and degraded
+    /// to direct corrected readouts.
+    pub fn is_degraded(&self, addr: u64) -> bool {
+        self.degraded.contains(&addr)
+    }
+
+    /// Marks logical `addr` permanently degraded. Returns true when
+    /// newly marked — callers bump `unrecovered` exactly once per
+    /// block, not once per access.
+    pub fn mark_degraded(&mut self, addr: u64) -> bool {
+        self.degraded.insert(addr)
+    }
+
     /// Emits the `recovery.*` metrics subtree.
     pub fn observe(&self, out: &mut MetricsNode) {
         self.stats.observe(out);
@@ -404,6 +455,7 @@ impl RecoveryController {
         );
         out.set_counter("remapped_blocks", self.remap.remapped_blocks() as u64);
         out.set_counter("journal_len", self.journal.len() as u64);
+        out.set_counter("degraded_blocks", self.degraded.len() as u64);
     }
 }
 
@@ -509,6 +561,87 @@ mod tests {
         assert_eq!(r.logical_of(second), victim);
     }
 
+    /// First slot the spare cursor would hand out in `flat_bank` (top
+    /// row, column 0) — the collision point for workload addresses that
+    /// decode into the spare region.
+    fn first_spare_slot(cfg: &MemConfig, flat_bank: usize) -> u64 {
+        let d = DecodedAddr {
+            channel: flat_bank / (cfg.ranks_per_channel * cfg.banks_per_rank),
+            rank: (flat_bank / cfg.banks_per_rank) % cfg.ranks_per_channel,
+            bank: flat_bank % cfg.banks_per_rank,
+            row: cfg.rows_per_bank() - 1,
+            column: 0,
+        };
+        encode(cfg, &d)
+    }
+
+    #[test]
+    fn assign_spare_skips_identity_live_addresses() {
+        let cfg = small_cfg();
+        let mut r = SpareRemap::new(cfg.clone());
+        // Serve the cursor's first candidate slot (top row of bank 0)
+        // at identity *before* any spare is handed out.
+        let top = first_spare_slot(&cfg, 0);
+        assert_eq!(r.translate(top).unwrap(), top);
+        // Quarantine a different bank and displace one of its blocks:
+        // the spare must skip the identity-live slot.
+        let victim = (0..0x10000u64)
+            .step_by(64)
+            .find(|&a| decode(&cfg, a).flat_bank(&cfg) == 1)
+            .unwrap();
+        r.quarantine(1).unwrap();
+        let spare = r.translate(victim).unwrap();
+        assert_ne!(spare, top, "spare cursor must not reuse a live slot");
+        assert_eq!(r.translate(top).unwrap(), top, "identity block unmoved");
+        assert_eq!(r.logical_of(spare), victim);
+    }
+
+    #[test]
+    fn identity_address_aliasing_an_assigned_spare_is_displaced() {
+        let cfg = small_cfg();
+        let mut r = SpareRemap::new(cfg.clone());
+        let victim = (0..0x10000u64)
+            .step_by(64)
+            .find(|&a| decode(&cfg, a).flat_bank(&cfg) == 1)
+            .unwrap();
+        r.quarantine(1).unwrap();
+        let spare = r.translate(victim).unwrap();
+        // A workload block whose address *is* the handed-out spare slot
+        // arrives afterwards: it must not share the slot.
+        let t = r.translate(spare).unwrap();
+        assert_ne!(t, spare, "identity alias of a spare must be displaced");
+        assert_eq!(r.logical_of(t), spare);
+        assert_eq!(r.logical_of(spare), victim, "original mapping intact");
+        assert_eq!(r.translate(victim).unwrap(), spare);
+    }
+
+    #[test]
+    fn stale_identity_slots_are_not_current_homes() {
+        let cfg = small_cfg();
+        let mut r = SpareRemap::new(cfg.clone());
+        let victim = (0..0x10000u64)
+            .step_by(64)
+            .find(|&a| decode(&cfg, a).flat_bank(&cfg) == 0)
+            .unwrap();
+        r.quarantine(0).unwrap();
+        let spare = r.translate(victim).unwrap();
+        assert!(r.is_current_home(spare), "assigned spare is the home");
+        assert!(
+            !r.is_current_home(victim),
+            "displaced block's identity slot is stale"
+        );
+        assert!(r.is_current_home(victim + 64 * 1024), "untouched identity");
+    }
+
+    #[test]
+    fn degraded_marking_is_idempotent() {
+        let mut rc = RecoveryController::new(RecoveryConfig::default(), small_cfg());
+        assert!(!rc.is_degraded(0x40));
+        assert!(rc.mark_degraded(0x40), "first mark is new");
+        assert!(!rc.mark_degraded(0x40), "only the first mark counts");
+        assert!(rc.is_degraded(0x40));
+    }
+
     #[test]
     fn retry_delay_backs_off_exponentially_and_caps() {
         let cfg = RecoveryConfig::default();
@@ -555,7 +688,11 @@ mod tests {
         #[test]
         fn remap_is_a_bijection_off_quarantined_banks(
             dead in proptest::collection::vec(0u64..8, 4),
-            blocks in proptest::collection::vec(0u64..4096, 64)
+            // Spans the whole address space — including the top rows the
+            // spare cursor carves from, so identity blocks colliding
+            // with the spare region are exercised, not just the
+            // "workloads live at the bottom" happy path.
+            blocks in proptest::collection::vec(0u64..(1u64 << 18), 64)
         ) {
             let cfg = small_cfg();
             let mut r = SpareRemap::new(cfg.clone());

@@ -277,6 +277,14 @@ impl PcmMemory {
         self.store.insert(addr, data);
     }
 
+    /// Drops a block from the functional store. Migration and block
+    /// retirement evacuate slots with this: a stale copy left behind
+    /// would be re-enumerated by a later quarantine walk and migrated
+    /// over the live mapping as if it were current data.
+    pub fn remove_block(&mut self, addr: BlockAddr) {
+        self.store.remove(&addr);
+    }
+
     /// Engages the device-fault overlay. An inactive plan is a no-op, so
     /// unconditional callers stay byte-identical when fault-free.
     pub fn with_fault_plan(mut self, plan: DeviceFaultPlan) -> Self {

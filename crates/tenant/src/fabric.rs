@@ -253,6 +253,7 @@ const SALT_HANDSHAKE: u64 = 0x7E4A_17F0_5E55_10B1;
 const SALT_STREAM: u64 = 0x7E4A_17F0_5E55_10B2;
 const SALT_DATA: u64 = 0x7E4A_17F0_5E55_10B3;
 const SALT_ENGINE: u64 = 0x7E4A_17F0_5E55_10B4;
+const SALT_PROBE: u64 = 0x7E4A_17F0_5E55_10B5;
 
 fn derived_seed(seed: u64, salt: u64, label: u64) -> u64 {
     SplitMix64::new(seed ^ salt).split(label).next_u64()
@@ -431,8 +432,21 @@ impl FabricChaos {
 
     /// One modeled array readout of `phys`: true when the device overlay
     /// corrupted it (each probe advances the transient draw sequence).
+    ///
+    /// The scratch pattern is location-keyed and non-degenerate: an
+    /// all-zero scratch would hide every stuck-at-*low* cell (the
+    /// stored bit already matches the frozen value), halving stuck-cell
+    /// detection relative to the backend ladder and making fabric chaos
+    /// stats incomparable with single-tenant runs. Keying the pattern
+    /// by slot keeps each stuck cell's outcome persistent per location,
+    /// exactly like real stored bytes.
     fn probe(&mut self, phys: u64, flat_bank: u64, row: u64) -> bool {
         let mut scratch: BlockData = [0u8; 64];
+        let mut pat = SplitMix64::new(SALT_PROBE).split(phys);
+        for chunk in scratch.chunks_mut(8) {
+            let v = pat.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
         self.faults
             .corrupt(BlockAddr::containing(phys), flat_bank, row, &mut scratch)
             .is_some()
@@ -488,8 +502,14 @@ impl FabricChaos {
             row: (d.row + 1) % cfg.rows_per_bank(),
             ..d
         };
-        let wide = self.probe(encode(&cfg, &sibling), fb, sibling.row)
-            || self.probe(encode(&cfg, &next_row), fb, next_row.row);
+        // Mirror the backend ladder: a corrupt neighbour probe only
+        // counts as wide damage when it repeats — a transient flip on
+        // the probe itself redraws per read and must not escalate a
+        // confined fault to bank quarantine.
+        let sib = encode(&cfg, &sibling);
+        let nxt = encode(&cfg, &next_row);
+        let wide = (self.probe(sib, fb, sibling.row) && self.probe(sib, fb, sibling.row))
+            || (self.probe(nxt, fb, next_row.row) && self.probe(nxt, fb, next_row.row));
         if !wide {
             let mut cur_fb = fb;
             for _ in 0..MAX_RETIREMENTS {
