@@ -3,7 +3,7 @@
 //! ```text
 //! tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]
 //!
-//! experiments: config table1 table3 fig4 fig5 energy table4 backends
+//! experiments: config table1 table3 fig4 fig5 energy table4 backends leakage
 //!              ablation-dummy ablation-mac ablation-stash trace all
 //! ```
 //!
@@ -49,6 +49,7 @@ fn main() {
             "energy",
             "table4",
             "backends",
+            "leakage",
             "oram-variants",
             "oram-detailed",
             "ablation-dummy",
@@ -86,6 +87,10 @@ fn main() {
                 let (oram, obfus) = experiments::table4();
                 println!("{}", render::table4(&oram, &obfus));
             }
+            "leakage" => println!(
+                "{}",
+                render::leakage(&experiments::leakage_matrix(instructions, seed))
+            ),
             "backends" => println!(
                 "{}",
                 render::backends_study(&experiments::backends_study(instructions, seed))
@@ -206,7 +211,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]\n\
-         experiments: config table1 table3 fig4 fig5 energy table4 backends oram-variants\n\
+         experiments: config table1 table3 fig4 fig5 energy table4 backends leakage\n\
+         \u{20}            oram-variants\n\
          \u{20}            oram-detailed\n\
          \u{20}            ablation-dummy ablation-mac ablation-pairing ablation-mapping\n\u{20}            ablation-typehiding ablation-stash trace all"
     );

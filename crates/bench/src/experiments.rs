@@ -843,6 +843,65 @@ pub fn ablation_oram_stash(seed: u64) -> Vec<StashRow> {
         .collect()
 }
 
+/// One leakage-observatory row: what the Membuster-style bus attacker
+/// recovered from one scheme's wire traffic.
+#[derive(Debug, Clone)]
+pub struct LeakageRow {
+    /// Scheme under attack.
+    pub scheme: Scheme,
+    /// Estimated bits leaked per real memory access (all estimators).
+    pub bits_per_access: f64,
+    /// Address-trace component (MI between wire symbols and pages).
+    pub addr_bits: f64,
+    /// Read/write-classification component.
+    pub kind_bits: f64,
+    /// Payload-linkage component (repeated ciphertexts).
+    pub data_bits: f64,
+    /// Fraction of the truth's hottest addresses the attacker's
+    /// whitelist recovered, 0..1.
+    pub crit_recovery: f64,
+    /// Analysis windows closed.
+    pub windows: u64,
+    /// Wire packets that were dummies (cover traffic the attacker paid
+    /// to sift through).
+    pub dummy_packets: u64,
+}
+
+/// The per-scheme leakage report (EXPERIMENTS.md): attacks every scheme's
+/// bus with the streaming observatory and condenses each trace into a
+/// bits-leaked estimate. Expected ordering: plain ≫ encrypt-only >
+/// obfusmem ≈ obfusmem-auth ≈ oram ≈ 0.
+pub fn leakage_matrix(instructions: u64, seed: u64) -> Vec<LeakageRow> {
+    use obfusmem_harness::measure::{
+        leakage_summary_from_metrics, run_point_attacked, workload_by_name, LeakagePoint,
+    };
+    let spec = workload_by_name("micro").expect("built-in workload");
+    let leak = LeakagePoint {
+        window: 128,
+        squeeze: 1.0,
+    };
+    Scheme::ALL
+        .into_iter()
+        .map(|scheme| {
+            let point = PointSpec::paper(spec.clone(), scheme, instructions, seed);
+            let obs = TraceHandle::disabled();
+            let (_, metrics) = run_point_attacked(&point, &obs, leak);
+            let s = leakage_summary_from_metrics(&metrics)
+                .expect("attacked runs always publish a leakage subtree");
+            LeakageRow {
+                scheme,
+                bits_per_access: s.bits_per_access(),
+                addr_bits: s.addr_bits_per_access,
+                kind_bits: s.kind_bits_per_access,
+                data_bits: s.data_bits_per_access,
+                crit_recovery: s.crit_recovery,
+                windows: s.windows,
+                dummy_packets: s.dummy_packets,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -202,6 +202,34 @@ pub fn backends_study(rows: &[crate::experiments::BackendRow]) -> String {
     out
 }
 
+/// Renders the per-scheme leakage report.
+pub fn leakage(rows: &[crate::experiments::LeakageRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Leakage observatory: Membuster bus attacker, bits recovered per access\n");
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>9} {:>9} {:>9} {:>9} | {:>7} {:>9}\n",
+        "scheme", "bits/acc", "addr", "kind", "data", "crit", "windows", "dummies"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>8.0}% | {:>7} {:>9}\n",
+            r.scheme.name(),
+            r.bits_per_access,
+            r.addr_bits,
+            r.kind_bits,
+            r.data_bits,
+            100.0 * r.crit_recovery,
+            r.windows,
+            r.dummy_packets
+        ));
+    }
+    out.push_str(
+        "(expected ordering: unprotected \u{226b} encrypt-only > obfusmem \u{2248}\n\
+         obfusmem-auth \u{2248} oram \u{2248} 0; crit = hottest-address recovery rate)\n",
+    );
+    out
+}
+
 /// Renders the dummy-policy ablation.
 pub fn ablation_dummy(rows: &[DummyPolicyRow]) -> String {
     let mut out = String::new();

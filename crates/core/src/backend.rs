@@ -35,6 +35,7 @@ use crate::memenc::MemoryEncryption;
 use crate::memside::MemoryEngine;
 use crate::recovery::{IntegrityFault, MigrationRecord, RecoveryController};
 use crate::session::{ChannelSession, SessionKeyTable};
+use crate::tap::BusTapHandle;
 use crate::ObfusMemError;
 
 /// Counter-cache hit latency: 5 cycles at 2 GHz (Table 2).
@@ -101,6 +102,10 @@ pub struct ObfusMemBackend {
     /// passive (spans reuse times the timing model already computed),
     /// so traced and untraced runs are bit-identical.
     obs: TraceHandle,
+    /// Streaming bus-event tap (the leakage observatory). Disabled by
+    /// default; when disabled, event construction is skipped entirely
+    /// and runs are byte-identical to tap-less builds.
+    tap: BusTapHandle,
 }
 
 impl std::fmt::Debug for ObfusMemBackend {
@@ -173,12 +178,27 @@ impl ObfusMemBackend {
             recovery,
             steer: (0..channels).collect(),
             obs: TraceHandle::disabled(),
+            tap: BusTapHandle::disabled(),
         }
     }
 
     /// Installs a span recorder for simulated-time tracing.
     pub fn set_trace_handle(&mut self, obs: TraceHandle) {
         self.obs = obs;
+    }
+
+    /// Installs a streaming bus-event tap (the leakage observatory).
+    /// Events flow to the tap as they are recorded; the batch trace
+    /// buffer ([`Self::enable_trace`]) is independent and stays off
+    /// unless separately enabled.
+    pub fn set_bus_tap(&mut self, tap: BusTapHandle) {
+        self.tap = tap;
+    }
+
+    /// Whether bus events need to be constructed at all — true when
+    /// either the batch trace buffer or a streaming tap is listening.
+    fn tracing(&self) -> bool {
+        self.trace.is_some() || self.tap.is_enabled()
     }
 
     /// Starts recording bus events (for the security analyses).
@@ -346,6 +366,7 @@ impl ObfusMemBackend {
     }
 
     fn record(&mut self, event: BusEvent) {
+        self.tap.deliver(&event);
         if let Some(trace) = &mut self.trace {
             trace.push(event);
         }
@@ -493,7 +514,7 @@ impl ObfusMemBackend {
             // 72 B random reply for the dummy read back.
             self.mem.bus_transfer_bytes(at, ch, 24 + 88, Lane::Request);
             self.mem.bus_transfer_bytes(at, ch, 72, Lane::Response);
-            if self.trace.is_some() {
+            if self.tracing() {
                 self.record_injected_dummy(at, ch);
             }
         }
@@ -556,7 +577,7 @@ impl ObfusMemBackend {
         header: RequestHeader,
         data: Option<BlockData>,
     ) {
-        if self.trace.is_none() {
+        if !self.tracing() {
             return;
         }
         let packet = BusPacket {
@@ -1009,7 +1030,7 @@ impl ObfusMemBackend {
         // overhead rides back alongside the data burst.
         let send_at = self.align_to_slot(at + proc_lat);
 
-        if self.trace.is_some() {
+        if self.tracing() {
             // Events are stamped with the wire time (what probes observe).
             let truth = GroundTruth {
                 real: true,
@@ -1186,7 +1207,7 @@ impl ObfusMemBackend {
         // Recovery time delays the write's arrival on the wire.
         let send_at = self.align_to_slot(at + proc_lat) + req_delay;
 
-        if self.trace.is_some() {
+        if self.tracing() {
             // Wire order is read-then-write (§3.3): the dummy *read*
             // precedes the real write, so packet order carries no
             // information about which half is real. Events are stamped
@@ -1334,7 +1355,7 @@ impl ObfusMemBackend {
         debug_assert_eq!(bus_data, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat);
-        if self.trace.is_some() {
+        if self.tracing() {
             let read_truth = GroundTruth {
                 real: true,
                 kind: AccessKind::Read,
@@ -1513,7 +1534,7 @@ impl ObfusMemBackend {
         debug_assert_eq!(bus_data, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat);
-        if self.trace.is_some() {
+        if self.tracing() {
             let truth = GroundTruth {
                 real: true,
                 kind: AccessKind::Read,
@@ -1639,7 +1660,7 @@ impl ObfusMemBackend {
         self.store_block(addr, at_rest);
 
         let send_at = self.align_to_slot(at + proc_lat) + req_delay;
-        if self.trace.is_some() {
+        if self.tracing() {
             self.record(BusEvent {
                 at: send_at,
                 channel,

@@ -49,6 +49,7 @@ pub mod merkle;
 pub mod recovery;
 pub mod session;
 pub mod system;
+pub mod tap;
 pub mod trust;
 
 mod error;

@@ -6,6 +6,8 @@
 //!       [--replicates N] [--master-seed SEED]
 //!       [-n/--instructions N] [--out FILE] [--metrics-out FILE]
 //!       [--trace-out FILE] [--threads N] [--fresh] [--no-timing]
+//!       [--leakage-windows LIST] [--leakage-squeezes LIST]
+//!       [--leak-ceiling BITS] [--leak-floor BITS]
 //!       [--dry-run] [--quiet]
 //! ```
 //!
@@ -84,6 +86,16 @@ fn main() -> ExitCode {
                 eprintln!(
                     "sweep: FAIL: {} unrecovered fault(s), {} diverged job(s)",
                     report.unrecovered, report.diverged
+                );
+                return ExitCode::FAILURE;
+            }
+            // Leakage campaigns gate in both directions: protected
+            // schemes must stay dark AND the attacker must still read
+            // the plaintext bus (else the observatory regressed).
+            if report.leak_ceiling_violations > 0 || report.leak_floor_violations > 0 {
+                eprintln!(
+                    "sweep: FAIL: {} leak-ceiling violation(s), {} leak-floor violation(s)",
+                    report.leak_ceiling_violations, report.leak_floor_violations
                 );
                 return ExitCode::FAILURE;
             }
@@ -368,6 +380,17 @@ usage: sweep [options]
                        comma list of device fault rates in (0, 1]
   --device-fault-seed SEED
                        master seed for device-fault streams
+  --leakage-windows LIST
+                       comma list of attacker analysis windows (real
+                       accesses per window) — attaches the Membuster
+                       observatory and adds leak_* fields to each row
+  --leakage-squeezes LIST
+                       comma list of cache-squeeze factors >= 1.0 that
+                       multiply the workload's LLC MPKI (default 1.0)
+  --leak-ceiling BITS  max bits/access a protected scheme may leak before
+                       the sweep fails (default 0.5)
+  --leak-floor BITS    min bits/access the unprotected scheme must leak
+                       before the sweep fails (default 1.0)
   -n, --instructions N instruction budget per job
   --out FILE           JSONL results/checkpoint file (default sweep.jsonl)
   --metrics-out FILE   write per-job metrics snapshots (JSONL) to FILE
@@ -470,6 +493,32 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--device-fault-seed" => {
                 let v = next_value("--device-fault-seed", &mut args)?;
                 cli.spec.device_fault_seed = parse_u64(&v).map_err(|e| e.to_string())?;
+            }
+            "--leakage-windows" => {
+                let v = next_value("--leakage-windows", &mut args)?;
+                cli.spec.leakage_windows = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|_| format!("bad leakage window {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--leakage-squeezes" => {
+                let v = next_value("--leakage-squeezes", &mut args)?;
+                cli.spec.leakage_squeezes = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|_| format!("bad leakage squeeze {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--leak-ceiling" => {
+                let v = next_value("--leak-ceiling", &mut args)?;
+                cli.opts.leak_ceiling = v.parse().map_err(|_| format!("bad leak ceiling {v:?}"))?;
+            }
+            "--leak-floor" => {
+                let v = next_value("--leak-floor", &mut args)?;
+                cli.opts.leak_floor = v.parse().map_err(|_| format!("bad leak floor {v:?}"))?;
             }
             "-n" | "--instructions" => {
                 let v = next_value("--instructions", &mut args)?;

@@ -18,7 +18,9 @@ use obfusmem_obs::metrics::MetricsNode;
 use obfusmem_obs::trace::{TraceEvent, TraceHandle};
 use obfusmem_sim::rng::SplitMix64;
 
-use crate::measure::{run_point_observed, workload_by_name, PointSpec, Scheme};
+use crate::measure::{
+    run_point_attacked, run_point_observed, workload_by_name, LeakagePoint, PointSpec, Scheme,
+};
 
 /// One schedulable simulation job.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +55,10 @@ pub struct JobSpec {
     pub device_fault: Option<(DeviceFaultKind, f64)>,
     /// Derived device-fault stream seed (0 when device-fault-free).
     pub device_fault_seed: u64,
+    /// Leakage axis: the Membuster attacker's window/squeeze setting.
+    /// `None` runs unobserved (the bus tap stays disengaged and output
+    /// is byte-identical to pre-observatory harness versions).
+    pub leakage: Option<LeakagePoint>,
 }
 
 impl JobSpec {
@@ -107,6 +113,34 @@ impl JobSpec {
         device_fault: Option<(DeviceFaultKind, f64)>,
         replicate: u32,
     ) -> String {
+        Self::make_attack_id(
+            workload,
+            scheme,
+            channels,
+            backend,
+            fault,
+            device_fault,
+            None,
+            replicate,
+        )
+    }
+
+    /// [`JobSpec::make_chaos_id`] plus the leakage axis. An
+    /// attacker-active point contributes a `leak-w{window}` segment
+    /// (with an `x{squeeze}` suffix when cache squeezing is on) just
+    /// before the replicate; `None` contributes nothing, so every
+    /// pre-observatory sweep id stays valid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn make_attack_id(
+        workload: &str,
+        scheme: Scheme,
+        channels: usize,
+        backend: BackendKind,
+        fault: Option<(FaultKind, f64)>,
+        device_fault: Option<(DeviceFaultKind, f64)>,
+        leakage: Option<LeakagePoint>,
+        replicate: u32,
+    ) -> String {
         let backend_seg = match backend {
             BackendKind::Reservation => String::new(),
             other => format!("/{}", other.name()),
@@ -119,8 +153,13 @@ impl JobSpec {
             None => String::new(),
             Some((kind, rate)) => format!("/dram-{}@{rate}", kind.name()),
         };
+        let leak_seg = match leakage {
+            None => String::new(),
+            Some(leak) if leak.squeeze == 1.0 => format!("/leak-w{}", leak.window),
+            Some(leak) => format!("/leak-w{}x{}", leak.window, leak.squeeze),
+        };
         format!(
-            "{workload}/{}/c{channels}{backend_seg}{fault_seg}{device_seg}/r{replicate}",
+            "{workload}/{}/c{channels}{backend_seg}{fault_seg}{device_seg}{leak_seg}/r{replicate}",
             scheme.name()
         )
     }
@@ -172,6 +211,12 @@ impl JobOutput {
     pub fn queued_sched(&self) -> Option<&MetricsNode> {
         self.metrics.get_child("mem")?.get_child("queued")
     }
+
+    /// The leakage-observatory subtree (`leakage.*`); `None` when the
+    /// job ran without the attacker attached.
+    pub fn leakage(&self) -> Option<&MetricsNode> {
+        self.metrics.get_child("leakage")
+    }
 }
 
 /// Runs one job. Pure with respect to the spec (the wall-clock field is
@@ -208,7 +253,10 @@ fn run_job_with(spec: &JobSpec, obs: &TraceHandle) -> JobOutput {
         point.obfus.device_faults = DeviceFaultPlan::single(kind, rate, spec.device_fault_seed);
     }
     let started = Instant::now();
-    let (result, metrics) = run_point_observed(&point, obs);
+    let (result, metrics) = match spec.leakage {
+        Some(leak) => run_point_attacked(&point, obs, leak),
+        None => run_point_observed(&point, obs),
+    };
     JobOutput {
         spec: spec.clone(),
         result,
@@ -249,6 +297,7 @@ mod tests {
             fault_seed: 0,
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         };
         let a = run_job(&spec);
         let b = run_job(&spec);
@@ -281,6 +330,7 @@ mod tests {
             fault_seed: derive_seed(0xFA_017, &id),
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         });
         let rec = out.recovery().expect("faulty job must harvest link stats");
         assert!(
@@ -320,6 +370,7 @@ mod tests {
             fault_seed: 0,
             device_fault: Some((DeviceFaultKind::BitFlip, 0.02)),
             device_fault_seed: derive_seed(0xD_F0_17, &id),
+            leakage: None,
         };
         let out = run_job(&spec);
         let rec = out
@@ -352,6 +403,7 @@ mod tests {
             fault_seed: 0,
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         });
         assert!(out.recovery().is_none(), "link must stay disengaged");
         assert!(out.trace.is_empty(), "untraced jobs record no spans");
@@ -373,6 +425,7 @@ mod tests {
             fault_seed: 0,
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         };
         let plain = run_job(&spec);
         let traced = run_job_traced(&spec);
@@ -440,6 +493,7 @@ mod tests {
             fault_seed: 0,
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         };
         let a = run_job(&spec);
         let b = run_job(&spec);
@@ -465,6 +519,7 @@ mod tests {
             fault_seed: 0,
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         });
         assert!(out.queued_sched().is_none());
     }
@@ -487,6 +542,7 @@ mod tests {
                 fault_seed: 0,
                 device_fault: None,
                 device_fault_seed: 0,
+                leakage: None,
             })
         };
         let r0 = mk(0);

@@ -8,12 +8,19 @@
 
 use obfusmem_core::config::{ObfusMemConfig, SecurityLevel};
 use obfusmem_core::system::{System, SystemConfig};
-use obfusmem_cpu::core::{RunResult, TraceDrivenCore};
+use obfusmem_core::tap::BusTapHandle;
+use obfusmem_cpu::core::{MemoryBackend, RunResult, TraceDrivenCore};
 use obfusmem_cpu::workload::{by_name, micro_test_workload, WorkloadSpec};
 use obfusmem_mem::config::MemConfig;
+use obfusmem_mem::request::BlockAddr;
 use obfusmem_obs::metrics::{MetricsNode, Observable};
 use obfusmem_obs::trace::TraceHandle;
 use obfusmem_oram::model::OramModel;
+use obfusmem_oram::path_oram::{OramConfig, PathOram};
+use obfusmem_sec::observatory::{
+    synthetic_oram_event, AttackConfig, LeakageObservatory, LeakageSummary,
+};
+use obfusmem_sim::time::Time;
 
 /// A protection scheme column — the axis swept in Table 3 and Figure 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -141,6 +148,27 @@ pub fn run_point(p: &PointSpec) -> RunResult {
     }
 }
 
+/// [`run_point`] with an inert bus tap attached: every bus event is
+/// built and delivered to a [`NullBusTap`](obfusmem_core::tap::NullBusTap)
+/// that discards it. Results are bit-identical to [`run_point`]; the
+/// hotpath bench uses the wall-clock delta to price the streaming tap
+/// machinery the leakage observatory rides on. The ORAM model has no
+/// bus to tap, so that scheme just delegates to [`run_point`].
+pub fn run_point_nulltap(p: &PointSpec) -> RunResult {
+    match p.scheme.security() {
+        Some(security) => {
+            let mut system = build_system(p, security);
+            system
+                .backend_mut()
+                .set_bus_tap(BusTapHandle::attached(std::rc::Rc::new(
+                    std::cell::RefCell::new(obfusmem_core::tap::NullBusTap),
+                )));
+            system.run(&p.workload, p.instructions, p.seed)
+        }
+        None => run_point(p),
+    }
+}
+
 /// [`run_point`] with the unified observability layer attached: spans go
 /// to `obs` and the returned [`MetricsNode`] holds the whole stack's
 /// counters — `core.*`, `engine.*`, `crypto.*`, `mem.ch<N>.bank<M>.*`,
@@ -176,6 +204,166 @@ pub fn run_point_observed(p: &PointSpec, obs: &TraceHandle) -> (RunResult, Metri
         }
     };
     (result, metrics)
+}
+
+/// One attacker setting on the leakage axis: analysis window (real
+/// accesses per Membuster recovery window) and cache-squeeze factor
+/// (multiplies the workload's LLC miss rate, the statistical equivalent
+/// of shrinking the enclave's usable cache to force traffic onto the
+/// bus).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakagePoint {
+    /// Real accesses per analysis window.
+    pub window: usize,
+    /// Miss-rate amplification factor (1.0 = no squeezing).
+    pub squeeze: f64,
+}
+
+impl LeakagePoint {
+    /// The full attack configuration for this point. `seed` drives the
+    /// estimator's deterministic shuffle-null baseline.
+    pub fn attack_config(&self, seed: u64) -> AttackConfig {
+        AttackConfig {
+            window: self.window,
+            squeeze: self.squeeze,
+            seed,
+            ..AttackConfig::default()
+        }
+    }
+}
+
+/// Replay geometry for the ORAM attack lane: a functional Path ORAM
+/// that the miss stream is replayed through so the attacker observes a
+/// genuine leaf sequence. Kept small (L=14, ~65k blocks) — the paper's
+/// L=24 tree would allocate gigabytes for no extra statistical power;
+/// program addresses alias onto the logical block space by modulo.
+fn replay_oram(seed: u64) -> Result<PathOram, obfusmem_oram::OramError> {
+    let levels = 14;
+    let bucket_size = 4;
+    let physical = ((1u64 << (levels + 1)) - 1) * bucket_size as u64;
+    PathOram::new(
+        OramConfig {
+            levels,
+            bucket_size,
+            blocks: physical / 2,
+        },
+        seed,
+    )
+}
+
+/// The ORAM timing model with a leakage tap riding alongside: timing
+/// and metrics come from the fixed-latency [`OramModel`] exactly as in
+/// [`run_point_observed`]; each access is also replayed through a
+/// functional [`PathOram`] whose touched leaf becomes the attacker's
+/// observable.
+struct TappedOramModel {
+    model: OramModel,
+    oram: PathOram,
+    observatory: std::rc::Rc<std::cell::RefCell<LeakageObservatory>>,
+}
+
+impl MemoryBackend for TappedOramModel {
+    fn read(&mut self, at: Time, addr: BlockAddr) -> Time {
+        self.tap_access(at, addr);
+        self.model.read(at, addr)
+    }
+
+    fn write(&mut self, at: Time, addr: BlockAddr) {
+        self.tap_access(at, addr);
+        self.model.write(at, addr)
+    }
+
+    fn label(&self) -> String {
+        self.model.label()
+    }
+}
+
+impl TappedOramModel {
+    fn tap_access(&mut self, at: Time, addr: BlockAddr) {
+        let id = (addr.as_u64() / 64) % self.oram.config().blocks;
+        // A write also walks (and re-randomizes) a full path, so the
+        // leaf observable is identical for both kinds.
+        if let Ok((_, leaf)) = self.oram.read_traced(id) {
+            self.observatory
+                .borrow_mut()
+                .observe(&synthetic_oram_event(at, leaf, addr.as_u64()));
+        }
+    }
+}
+
+/// [`run_point_observed`] with the Membuster attacker attached: bus
+/// events stream into a [`LeakageObservatory`] (via the backend tap for
+/// `System` schemes, via a functional Path ORAM replay for the ORAM
+/// model) and the run summary lands in the returned metrics under
+/// `leakage.*`. Cache squeezing scales the workload's miss rate before
+/// the run, so the timing result is *not* comparable to an un-attacked
+/// point unless `squeeze == 1.0`.
+pub fn run_point_attacked(
+    p: &PointSpec,
+    obs: &TraceHandle,
+    leak: LeakagePoint,
+) -> (RunResult, MetricsNode) {
+    let mut workload = p.workload.clone();
+    if leak.squeeze != 1.0 {
+        workload.llc_mpki *= leak.squeeze;
+        workload.validate();
+    }
+    let attack_seed = p.seed ^ p.backend_seed.unwrap_or(0).rotate_left(17);
+    let cfg = leak.attack_config(attack_seed);
+    let mut metrics = MetricsNode::new();
+    let (result, summary) = match p.scheme.security() {
+        Some(security) => {
+            let mut system = build_system(p, security);
+            let observatory = LeakageObservatory::shared(cfg, obs.clone());
+            system
+                .backend_mut()
+                .set_bus_tap(BusTapHandle::attached(observatory.clone()));
+            let result = system.run_observed(&workload, p.instructions, p.seed, obs, &mut metrics);
+            let summary = observatory.borrow_mut().finish();
+            (result, summary)
+        }
+        None => {
+            let core = TraceDrivenCore::new();
+            let observatory = LeakageObservatory::shared(cfg, obs.clone());
+            let mut model = TappedOramModel {
+                model: OramModel::paper(),
+                oram: replay_oram(attack_seed).expect("replay geometry is statically valid"),
+                observatory: observatory.clone(),
+            };
+            model.model.set_trace_handle(obs.clone());
+            let result = core.run_observed(
+                &workload,
+                p.instructions,
+                &mut model,
+                p.seed,
+                obs,
+                &mut metrics,
+            );
+            model.model.observe(metrics.child("oram"));
+            let summary = observatory.borrow_mut().finish();
+            (result, summary)
+        }
+    };
+    summary.publish(metrics.child("leakage"));
+    (result, metrics)
+}
+
+/// Reads a published `leakage.*` subtree back into a summary (sweep
+/// gating and renderers consume JSONL/metrics, not live observatories).
+pub fn leakage_summary_from_metrics(metrics: &MetricsNode) -> Option<LeakageSummary> {
+    let node = metrics.get_child("leakage")?;
+    Some(LeakageSummary {
+        windows: node.counter("windows").unwrap_or(0),
+        packets: node.counter("packets").unwrap_or(0),
+        real_accesses: node.counter("real_accesses").unwrap_or(0),
+        dummy_packets: node.counter("dummy_packets").unwrap_or(0),
+        addr_bits_per_access: node.gauge("addr_bits_per_access").unwrap_or(0.0),
+        kind_bits_per_access: node.gauge("kind_bits_per_access").unwrap_or(0.0),
+        data_bits_per_access: node.gauge("data_bits_per_access").unwrap_or(0.0),
+        crit_recovery: node.gauge("crit_recovery").unwrap_or(0.0),
+        squeeze: node.gauge("squeeze").unwrap_or(1.0),
+        window: node.counter("window").unwrap_or(0),
+    })
 }
 
 fn build_system(p: &PointSpec, security: SecurityLevel) -> System {
@@ -238,6 +426,85 @@ mod tests {
         assert!(metrics.counter("oram.accesses").unwrap_or(0) > 0);
         assert!(metrics.counter("oram.blocks_read").unwrap_or(0) > 0);
         assert_eq!(metrics.counter("core.misses"), Some(result.misses));
+    }
+
+    #[test]
+    fn attacker_separates_schemes() {
+        let leak = LeakagePoint {
+            window: 128,
+            squeeze: 1.0,
+        };
+        let bits = |scheme| {
+            let p = PointSpec::paper(micro_test_workload(), scheme, 60_000, 5);
+            let (_, metrics) = run_point_attacked(&p, &TraceHandle::disabled(), leak);
+            leakage_summary_from_metrics(&metrics).expect("leakage subtree published")
+        };
+        let plain = bits(Scheme::Unprotected);
+        let enc = bits(Scheme::EncryptOnly);
+        let obf = bits(Scheme::Obfusmem);
+        let auth = bits(Scheme::ObfusmemAuth);
+        let oram = bits(Scheme::OramModel);
+        assert!(
+            plain.bits_per_access() > 2.0 * enc.bits_per_access(),
+            "plain must dwarf encrypt-only: {} vs {}",
+            plain.bits_per_access(),
+            enc.bits_per_access()
+        );
+        assert!(
+            enc.bits_per_access() > 1.0,
+            "encrypt-only still leaks the address trace: {}",
+            enc.bits_per_access()
+        );
+        for (name, s) in [("obfusmem", obf), ("obfusmem-auth", auth), ("oram", oram)] {
+            assert!(
+                s.bits_per_access() < 0.5,
+                "{name} must stay ≈0: {}",
+                s.bits_per_access()
+            );
+            assert_eq!(s.crit_recovery, 0.0, "{name} whitelist recovery");
+        }
+        assert_eq!(plain.crit_recovery, 1.0);
+        assert_eq!(enc.crit_recovery, 1.0);
+        assert!(obf.dummy_packets > 0, "pairing emits dummies");
+    }
+
+    #[test]
+    fn attack_is_passive_in_simulated_time() {
+        // The tap changes what is *constructed*, never what is *timed*:
+        // an attacked run must report the same timing as a plain run.
+        for scheme in [Scheme::EncryptOnly, Scheme::ObfusmemAuth] {
+            let p = PointSpec::paper(micro_test_workload(), scheme, 40_000, 11);
+            let plain = run_point(&p);
+            let leak = LeakagePoint {
+                window: 128,
+                squeeze: 1.0,
+            };
+            let (attacked, _) = run_point_attacked(&p, &TraceHandle::disabled(), leak);
+            assert_eq!(plain.exec_time, attacked.exec_time, "{scheme}");
+            assert_eq!(plain.misses, attacked.misses, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn cache_squeeze_amplifies_observed_traffic() {
+        let p = PointSpec::paper(micro_test_workload(), Scheme::EncryptOnly, 40_000, 11);
+        let mk = |squeeze| {
+            let leak = LeakagePoint {
+                window: 128,
+                squeeze,
+            };
+            let (_, metrics) = run_point_attacked(&p, &TraceHandle::disabled(), leak);
+            leakage_summary_from_metrics(&metrics).expect("leakage subtree")
+        };
+        let base = mk(1.0);
+        let squeezed = mk(4.0);
+        assert!(
+            squeezed.real_accesses > 3 * base.real_accesses,
+            "squeeze must multiply bus traffic: {} vs {}",
+            squeezed.real_accesses,
+            base.real_accesses
+        );
+        assert_eq!(squeezed.squeeze, 4.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use obfusmem_obs::chrome::write_chrome_trace;
 use obfusmem_obs::trace::TraceEvent;
 
 use crate::job::{run_job, run_job_traced, JobOutput, JobSpec};
+use crate::measure::Scheme;
 use crate::pool::run_jobs;
 use crate::progress::Progress;
 use crate::sink::{completed_ids, encode_metrics_row, JsonlSink};
@@ -38,6 +39,15 @@ pub struct RunOptions {
     /// records spans on every job (one Perfetto process per job);
     /// results stay bit-identical to an untraced sweep.
     pub trace_out: Option<PathBuf>,
+    /// Most bits/access an obfuscated scheme (obfusmem, obfusmem-auth,
+    /// oram) may leak on an attacker-active row before it counts as a
+    /// ceiling violation. The default gives the MI estimators' residual
+    /// noise floor some headroom while staying far below any real leak.
+    pub leak_ceiling: f64,
+    /// Fewest bits/access the unprotected scheme must leak on an
+    /// attacker-active row — if the attacker stops recovering plaintext
+    /// traffic, the observatory itself has regressed.
+    pub leak_floor: f64,
 }
 
 impl Default for RunOptions {
@@ -48,6 +58,8 @@ impl Default for RunOptions {
             quiet: false,
             metrics_out: None,
             trace_out: None,
+            leak_ceiling: 0.5,
+            leak_floor: 1.0,
         }
     }
 }
@@ -67,6 +79,14 @@ pub struct SweepReport {
     pub unrecovered: u64,
     /// Jobs this invocation ran whose CTR counters failed to re-converge.
     pub diverged: usize,
+    /// Attacker-active jobs where a protected scheme leaked more than
+    /// `leak_ceiling` bits/access. Leakage campaigns must exit nonzero
+    /// when this is nonzero.
+    pub leak_ceiling_violations: usize,
+    /// Attacker-active jobs where the unprotected scheme leaked less
+    /// than `leak_floor` bits/access (the attacker went blind — a
+    /// regression in the observatory, not a security win).
+    pub leak_floor_violations: usize,
 }
 
 /// Errors a sweep can hit: a bad spec up front, or I/O on the sink.
@@ -138,6 +158,8 @@ pub fn run_sweep(
     let mut io_error: Option<std::io::Error> = None;
     let mut unrecovered = 0u64;
     let mut diverged = 0usize;
+    let mut leak_ceiling_violations = 0usize;
+    let mut leak_floor_violations = 0usize;
     let mut traces: Vec<(String, Vec<TraceEvent>)> = Vec::new();
 
     run_jobs(pending, threads, worker, |index, _spec, output| {
@@ -152,6 +174,27 @@ pub fn run_sweep(
         }
         if let Some(rec) = output.device_recovery() {
             unrecovered += rec.counter("unrecovered").unwrap_or(0);
+        }
+        if output.spec.leakage.is_some() {
+            let bits = output
+                .metrics
+                .gauge("leakage.bits_per_access")
+                .unwrap_or(0.0);
+            match output.spec.scheme {
+                Scheme::Obfusmem | Scheme::ObfusmemAuth | Scheme::OramModel => {
+                    if bits > opts.leak_ceiling {
+                        leak_ceiling_violations += 1;
+                    }
+                }
+                Scheme::Unprotected => {
+                    if bits < opts.leak_floor {
+                        leak_floor_violations += 1;
+                    }
+                }
+                // EncryptOnly sits between the fences by design: it hides
+                // data but not the address trace, so neither gate applies.
+                Scheme::EncryptOnly => {}
+            }
         }
         ready.insert(index, output);
         while let Some(mut output) = ready.remove(&next_emit) {
@@ -185,6 +228,8 @@ pub fn run_sweep(
         resumed,
         unrecovered,
         diverged,
+        leak_ceiling_violations,
+        leak_floor_violations,
     })
 }
 
@@ -250,6 +295,8 @@ mod tests {
                 resumed: 0,
                 unrecovered: 0,
                 diverged: 0,
+                leak_ceiling_violations: 0,
+                leak_floor_violations: 0,
             }
         );
         let expected: Vec<String> = spec.expand().unwrap().into_iter().map(|j| j.id).collect();
@@ -279,6 +326,8 @@ mod tests {
                 resumed: 4,
                 unrecovered: 0,
                 diverged: 0,
+                leak_ceiling_violations: 0,
+                leak_floor_violations: 0,
             }
         );
         assert_eq!(
@@ -370,6 +419,48 @@ mod tests {
         for p in [&results, &metrics, &trace] {
             std::fs::remove_file(p).unwrap();
         }
+    }
+
+    #[test]
+    fn leakage_sweeps_gate_both_directions() {
+        let path = temp_path("leak-gates");
+        let _ = std::fs::remove_file(&path);
+        let mut spec = micro_spec();
+        spec.schemes = vec![Scheme::Unprotected, Scheme::ObfusmemAuth];
+        spec.replicates = 1;
+        spec.instructions = 40_000;
+        spec.leakage_windows = vec![128];
+        let opts = RunOptions {
+            threads: 2,
+            timing: false,
+            quiet: true,
+            ..RunOptions::default()
+        };
+        let report = run_sweep(&spec, &path, &opts).unwrap();
+        assert_eq!(report.ran, 2);
+        assert_eq!(
+            report.leak_ceiling_violations, 0,
+            "obfusmem-auth must stay under the ceiling"
+        );
+        assert_eq!(
+            report.leak_floor_violations, 0,
+            "the attacker must still read the plaintext bus"
+        );
+        std::fs::remove_file(&path).unwrap();
+
+        // Impossible fences trip both gates: a ceiling of 0 is violated
+        // by estimator residue, and a floor above the recoverable total
+        // is violated by the plaintext row.
+        let _ = std::fs::remove_file(&path);
+        let strict = RunOptions {
+            leak_ceiling: -1.0,
+            leak_floor: 1e9,
+            ..opts
+        };
+        let report = run_sweep(&spec, &path, &strict).unwrap();
+        assert_eq!(report.leak_ceiling_violations, 1);
+        assert_eq!(report.leak_floor_violations, 1);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

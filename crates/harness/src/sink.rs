@@ -92,6 +92,26 @@ pub fn encode_row(out: &JobOutput, timing: bool) -> String {
             .u64("dev_migrated", c("migrated"))
             .u64("dev_unrecovered", c("unrecovered"));
     }
+    // Leakage fields appear only on attacker-active rows (same
+    // byte-identity discipline as the fault axes).
+    if let Some(leak) = spec.leakage {
+        obj = obj
+            .u64("leak_window", leak.window as u64)
+            .f64("leak_squeeze", leak.squeeze);
+    }
+    if let Some(node) = out.leakage() {
+        let g = |name: &str| node.gauge(name).unwrap_or(0.0);
+        let c = |name: &str| node.counter(name).unwrap_or(0);
+        obj = obj
+            .f64("leak_bits_per_access", g("bits_per_access"))
+            .f64("leak_addr_bits", g("addr_bits_per_access"))
+            .f64("leak_kind_bits", g("kind_bits_per_access"))
+            .f64("leak_data_bits", g("data_bits_per_access"))
+            .f64("leak_crit_recovery", g("crit_recovery"))
+            .u64("leak_windows", c("windows"))
+            .u64("leak_real_accesses", c("real_accesses"))
+            .u64("leak_dummy_packets", c("dummy_packets"));
+    }
     if timing {
         obj = obj.f64("wall_ms", out.wall_ms);
     }
@@ -212,6 +232,7 @@ mod tests {
             fault_seed: 0,
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         })
     }
 
@@ -238,6 +259,7 @@ mod tests {
             fault_seed: derive_seed(2, &id),
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""fault_kind":"drop""#), "{row}");
@@ -275,6 +297,7 @@ mod tests {
             fault_seed: 0,
             device_fault: Some((DeviceFaultKind::BitFlip, 0.02)),
             device_fault_seed: derive_seed(3, &id),
+            leakage: None,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""device_fault_kind":"bit-flip""#), "{row}");
@@ -285,6 +308,49 @@ mod tests {
         let clean = encode_row(&sample_output(), false);
         assert!(!clean.contains("device_fault_kind"), "{clean}");
         assert!(!clean.contains("dev_detected"), "{clean}");
+    }
+
+    #[test]
+    fn leakage_rows_carry_leak_fields_and_clean_rows_do_not() {
+        use crate::measure::LeakagePoint;
+        let leak = LeakagePoint {
+            window: 128,
+            squeeze: 1.0,
+        };
+        let id = JobSpec::make_attack_id(
+            "micro",
+            Scheme::Unprotected,
+            1,
+            BackendKind::Reservation,
+            None,
+            None,
+            Some(leak),
+            0,
+        );
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::Unprotected,
+            channels: 1,
+            backend: BackendKind::Reservation,
+            instructions: 20_000,
+            replicate: 0,
+            seed: derive_seed(1, &id),
+            fault: None,
+            fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
+            leakage: Some(leak),
+        });
+        let row = encode_row(&out, false);
+        assert!(row.contains(r#""leak_window":128"#), "{row}");
+        assert!(row.contains(r#""leak_squeeze":1"#), "{row}");
+        assert!(row.contains(r#""leak_bits_per_access":"#), "{row}");
+        assert!(row.contains(r#""leak_crit_recovery":"#), "{row}");
+        assert!(row.contains(r#""leak_windows":"#), "{row}");
+
+        let clean = encode_row(&sample_output(), false);
+        assert!(!clean.contains("leak_"), "{clean}");
     }
 
     #[test]
@@ -310,6 +376,7 @@ mod tests {
             fault_seed: 0,
             device_fault: None,
             device_fault_seed: 0,
+            leakage: None,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""backend":"queued""#), "{row}");

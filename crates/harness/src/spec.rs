@@ -26,7 +26,7 @@ use obfusmem_mem::config::BackendKind;
 use obfusmem_mem::fault::DeviceFaultKind;
 
 use crate::job::{derive_seed, JobSpec};
-use crate::measure::{workload_by_name, Scheme};
+use crate::measure::{workload_by_name, LeakagePoint, Scheme};
 
 /// A cartesian sweep over the design space.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +63,13 @@ pub struct SweepSpec {
     pub device_fault_rates: Vec<f64>,
     /// Master seed for the device-fault streams.
     pub device_fault_seed: u64,
+    /// Leakage-attacker analysis windows (real accesses per Membuster
+    /// recovery window). Empty (the default) runs every point without
+    /// the attacker, exactly as before this axis existed.
+    pub leakage_windows: Vec<usize>,
+    /// Cache-squeeze factors, crossed with `leakage_windows` (1.0 = no
+    /// squeezing).
+    pub leakage_squeezes: Vec<f64>,
 }
 
 impl Default for SweepSpec {
@@ -86,6 +93,8 @@ impl Default for SweepSpec {
             device_fault_kinds: Vec::new(),
             device_fault_rates: vec![1e-3],
             device_fault_seed: 0xD_F0_17,
+            leakage_windows: Vec::new(),
+            leakage_squeezes: vec![1.0],
         }
     }
 }
@@ -115,6 +124,7 @@ impl SweepSpec {
             * self.backends.len()
             * self.fault_point_count()
             * self.device_point_count()
+            * self.leakage_point_count()
             * self.replicates as usize
     }
 
@@ -160,6 +170,30 @@ impl SweepSpec {
         for &kind in &self.device_fault_kinds {
             for &rate in &self.device_fault_rates {
                 points.push(Some((kind, rate)));
+            }
+        }
+        points
+    }
+
+    /// Leakage-attacker points per grid cell, or 1 for the unobserved
+    /// sweep.
+    fn leakage_point_count(&self) -> usize {
+        if self.leakage_windows.is_empty() {
+            1
+        } else {
+            self.leakage_windows.len() * self.leakage_squeezes.len()
+        }
+    }
+
+    /// The leakage axis values (`None` = no attacker attached).
+    fn leakage_points(&self) -> Vec<Option<LeakagePoint>> {
+        if self.leakage_windows.is_empty() {
+            return vec![None];
+        }
+        let mut points = Vec::with_capacity(self.leakage_point_count());
+        for &window in &self.leakage_windows {
+            for &squeeze in &self.leakage_squeezes {
+                points.push(Some(LeakagePoint { window, squeeze }));
             }
         }
         points
@@ -241,6 +275,21 @@ impl SweepSpec {
                 ));
             }
         }
+        if !self.leakage_windows.is_empty() {
+            for &w in &self.leakage_windows {
+                if w == 0 {
+                    return Err(err("leakage window must be at least 1"));
+                }
+            }
+            if self.leakage_squeezes.is_empty() {
+                return Err(err("leakage windows given but no leakage squeezes"));
+            }
+            for &s in &self.leakage_squeezes {
+                if !(s.is_finite() && s >= 1.0) {
+                    return Err(err(format!("leakage squeeze must be >= 1.0, got {s}")));
+                }
+            }
+        }
         let mut jobs = Vec::with_capacity(self.job_count());
         for workload in &self.workloads {
             for &scheme in &self.schemes {
@@ -248,39 +297,43 @@ impl SweepSpec {
                     for &backend in &self.backends {
                         for fault in self.fault_points() {
                             for device_fault in self.device_points() {
-                                for replicate in 0..self.replicates {
-                                    let id = JobSpec::make_chaos_id(
-                                        workload,
-                                        scheme,
-                                        channels,
-                                        backend,
-                                        fault,
-                                        device_fault,
-                                        replicate,
-                                    );
-                                    let seed = derive_seed(self.master_seed, &id);
-                                    let fault_seed = match fault {
-                                        None => 0,
-                                        Some(_) => derive_seed(self.fault_seed, &id),
-                                    };
-                                    let device_fault_seed = match device_fault {
-                                        None => 0,
-                                        Some(_) => derive_seed(self.device_fault_seed, &id),
-                                    };
-                                    jobs.push(JobSpec {
-                                        id,
-                                        workload: workload.clone(),
-                                        scheme,
-                                        channels,
-                                        backend,
-                                        instructions: self.instructions,
-                                        replicate,
-                                        seed,
-                                        fault,
-                                        fault_seed,
-                                        device_fault,
-                                        device_fault_seed,
-                                    });
+                                for leakage in self.leakage_points() {
+                                    for replicate in 0..self.replicates {
+                                        let id = JobSpec::make_attack_id(
+                                            workload,
+                                            scheme,
+                                            channels,
+                                            backend,
+                                            fault,
+                                            device_fault,
+                                            leakage,
+                                            replicate,
+                                        );
+                                        let seed = derive_seed(self.master_seed, &id);
+                                        let fault_seed = match fault {
+                                            None => 0,
+                                            Some(_) => derive_seed(self.fault_seed, &id),
+                                        };
+                                        let device_fault_seed = match device_fault {
+                                            None => 0,
+                                            Some(_) => derive_seed(self.device_fault_seed, &id),
+                                        };
+                                        jobs.push(JobSpec {
+                                            id,
+                                            workload: workload.clone(),
+                                            scheme,
+                                            channels,
+                                            backend,
+                                            instructions: self.instructions,
+                                            replicate,
+                                            seed,
+                                            fault,
+                                            fault_seed,
+                                            device_fault,
+                                            device_fault_seed,
+                                            leakage,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -342,6 +395,22 @@ impl SweepSpec {
                         .collect::<Result<_, _>>()?
                 }
                 "device_fault_seed" => spec.device_fault_seed = parse_u64(value)?,
+                "leakage_windows" => {
+                    spec.leakage_windows = split_list(value)
+                        .map(|v| {
+                            v.parse::<usize>()
+                                .map_err(|_| err(format!("bad leakage window {v:?}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+                "leakage_squeezes" => {
+                    spec.leakage_squeezes = split_list(value)
+                        .map(|v| {
+                            v.parse::<f64>()
+                                .map_err(|_| err(format!("bad leakage squeeze {v:?}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
                 "instructions" => {
                     spec.instructions = value
                         .replace('_', "")
@@ -647,6 +716,74 @@ mod tests {
         assert_eq!(spec.device_fault_seed, 0xBEEF);
         assert_eq!(parse_device_fault_kinds("all").unwrap().len(), 4);
         assert!(SweepSpec::parse("device_fault_kinds = gamma-ray").is_err());
+    }
+
+    #[test]
+    fn leakage_axis_crosses_into_the_grid() {
+        let mut s = tiny();
+        s.leakage_windows = vec![256];
+        let jobs = s.expand().unwrap();
+        assert_eq!(jobs.len(), s.job_count());
+        // Every scheme is leakage-capable, so the grid just doubles in
+        // depth per window (one default squeeze).
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+        assert_eq!(jobs[0].id, "micro/unprotected/c1/leak-w256/r0");
+        assert_eq!(
+            jobs[0].leakage,
+            Some(LeakagePoint {
+                window: 256,
+                squeeze: 1.0
+            })
+        );
+        // A non-unit squeeze shows up in the id.
+        s.leakage_squeezes = vec![1.0, 4.0];
+        let jobs = s.expand().unwrap();
+        assert_eq!(jobs[0].id, "micro/unprotected/c1/leak-w256/r0");
+        assert_eq!(jobs[2].id, "micro/unprotected/c1/leak-w256x4/r0");
+        let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn default_leakage_axis_leaves_legacy_grids_untouched() {
+        let jobs = tiny().expand().unwrap();
+        assert!(
+            jobs.iter().all(|j| j.leakage.is_none()),
+            "no attacker unless the axis is set"
+        );
+        assert!(
+            jobs.iter().all(|j| !j.id.contains("leak")),
+            "the default leakage axis must not perturb checkpoint ids"
+        );
+    }
+
+    #[test]
+    fn leakage_axis_rejects_bad_values() {
+        let mut s = tiny();
+        s.leakage_windows = vec![0];
+        assert!(s.expand().is_err(), "a zero window closes no windows");
+        s.leakage_windows = vec![128];
+        s.leakage_squeezes = vec![0.5];
+        assert!(s.expand().is_err(), "squeezing below 1x would drop traffic");
+        s.leakage_squeezes = vec![f64::NAN];
+        assert!(s.expand().is_err());
+        s.leakage_squeezes = Vec::new();
+        assert!(s.expand().is_err(), "windows without squeezes is a typo");
+    }
+
+    #[test]
+    fn leakage_keys_parse_from_text() {
+        let spec = SweepSpec::parse(
+            "leakage_windows = 128, 256\n\
+             leakage_squeezes = 1.0, 4.0",
+        )
+        .unwrap();
+        assert_eq!(spec.leakage_windows, vec![128, 256]);
+        assert_eq!(spec.leakage_squeezes, vec![1.0, 4.0]);
+        assert!(SweepSpec::parse("leakage_windows = soon").is_err());
+        assert!(SweepSpec::parse("leakage_squeezes = tight").is_err());
     }
 
     #[test]

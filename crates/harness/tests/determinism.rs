@@ -67,6 +67,8 @@ fn single_and_multi_thread_runs_are_byte_identical() {
             resumed: 0,
             unrecovered: 0,
             diverged: 0,
+            leak_ceiling_violations: 0,
+            leak_floor_violations: 0,
         }
     );
     assert_eq!(r1, rn);
@@ -99,6 +101,8 @@ fn killed_then_resumed_sweep_matches_an_uninterrupted_one() {
             resumed: 5,
             unrecovered: 0,
             diverged: 0,
+            leak_ceiling_violations: 0,
+            leak_floor_violations: 0,
         }
     );
 
@@ -159,6 +163,40 @@ fn queued_backend_sweeps_are_byte_identical_across_thread_counts() {
         .lines()
         .filter(|l| !l.contains("queued"))
         .all(|l| !l.contains("backend") && !l.contains("sched_")));
+}
+
+#[test]
+fn leakage_sweeps_are_byte_identical_across_thread_counts() {
+    let mut spec = grid();
+    spec.instructions = 20_000;
+    spec.leakage_windows = vec![128];
+    let (serial, r1) = sweep_to_string(&spec, "leak-serial", 1);
+    let (parallel, rn) = sweep_to_string(&spec, "leak-parallel", 8);
+    assert_eq!(serial, parallel, "attack analysis must be schedule-free");
+    assert_eq!(r1, rn);
+    assert_eq!(r1.leak_ceiling_violations, 0);
+    assert_eq!(r1.leak_floor_violations, 0);
+    // Every row is attacker-active and carries the leak fields.
+    assert!(serial
+        .lines()
+        .all(|l| l.contains(r#""leak_window":128"#) && l.contains(r#""leak_bits_per_access":"#)));
+    // The scheme ordering the paper claims shows up in the rows: the
+    // plaintext bus leaks, the obfuscated ones do not.
+    let bits = |line: &str| {
+        let key = r#""leak_bits_per_access":"#;
+        let rest = &line[line.find(key).unwrap() + key.len()..];
+        rest.split(',').next().unwrap().parse::<f64>().unwrap()
+    };
+    let of = |scheme: &str| {
+        serial
+            .lines()
+            .find(|l| l.contains(&format!("/{scheme}/")))
+            .map(bits)
+            .unwrap()
+    };
+    assert!(of("unprotected") > 1.0, "plaintext rows must leak");
+    assert!(of("obfusmem-auth") < 0.5, "obfuscated rows must not");
+    assert!(of("oram") < 0.5, "oram rows must not");
 }
 
 #[test]

@@ -42,6 +42,8 @@ pub enum Track {
     },
     /// The Path ORAM baseline model.
     Oram,
+    /// The passive bus attacker (leakage-observatory analysis phases).
+    Attack,
 }
 
 impl Track {
@@ -55,6 +57,7 @@ impl Track {
             Track::Channel(ch) => format!("bus.ch{ch}"),
             Track::Bank { channel, bank } => format!("bank.ch{channel}.b{bank}"),
             Track::Oram => "oram".into(),
+            Track::Attack => "attack".into(),
         }
     }
 }
@@ -245,6 +248,7 @@ mod tests {
             .name(),
             "bank.ch1.b3"
         );
+        assert_eq!(Track::Attack.name(), "attack");
     }
 
     #[test]

@@ -124,11 +124,17 @@ pub fn legacy_single_session_trace(cfg: &FabricConfig) -> Result<Vec<u64>, Fabri
         let stored = synthetic_block(&mut data_rng);
         let reply = mem.encrypt_reply(decoded.base_counter, &stored);
         proc.verify_reply(0, pair.base_counter, &reply)?;
-        let ct = reply
-            .data_ct
-            .expect("read reply always carries its payload");
+        let Some(ct) = reply.data_ct else {
+            return Err(FabricError::Config(
+                "read reply arrived without its payload".into(),
+            ));
+        };
         let plaintext = proc.decrypt_reply(0, pair.base_counter, &ct)?;
-        assert_eq!(plaintext, stored, "legacy reply must round-trip losslessly");
+        if plaintext != stored {
+            return Err(FabricError::Config(
+                "legacy reply failed to round-trip losslessly".into(),
+            ));
+        }
 
         let reply_ready = done + roundtrip_overhead + Duration::from_ps(pair.pad_stall_ps);
         trace.push(reply_ready.since(now).as_ps());

@@ -190,6 +190,12 @@ pub fn hot_set_recovery(events: &[BusEvent]) -> f64 {
     recovered as f64 / hot.len() as f64
 }
 
+/// The address field of the public plaintext header layout, read without
+/// any fallible slicing (the header is a fixed 16-byte array).
+fn header_addr_bytes(h: &[u8; 16]) -> u64 {
+    u64::from_le_bytes([h[1], h[2], h[3], h[4], h[5], h[6], h[7], h[8]])
+}
+
 /// Spatial leakage: among consecutive request pairs whose *true*
 /// addresses are sequential (+64 B), the fraction the attacker detects by
 /// parsing the observed header as the known plaintext layout
@@ -206,8 +212,8 @@ pub fn spatial_leakage(events: &[BusEvent]) -> f64 {
     for w in requests.windows(2) {
         if w[1].truth.addr == w[0].truth.addr + 64 {
             sequential_truth += 1;
-            let a = u64::from_le_bytes(w[0].packet.header_ct[1..9].try_into().expect("8 bytes"));
-            let b = u64::from_le_bytes(w[1].packet.header_ct[1..9].try_into().expect("8 bytes"));
+            let a = header_addr_bytes(&w[0].packet.header_ct);
+            let b = header_addr_bytes(&w[1].packet.header_ct);
             if b == a + 64 {
                 detected += 1;
             }
@@ -225,7 +231,10 @@ pub fn spatial_leakage(events: &[BusEvent]) -> f64 {
 /// across channels (§3.4) needs imbalance or phase structure; injection
 /// drives this toward 0.
 pub fn channel_imbalance(packets: &[ObservedPacket], channels: usize) -> f64 {
-    assert!(channels > 0, "need at least one channel");
+    // Zero channels observe zero traffic: no imbalance, not a panic.
+    if channels == 0 {
+        return 0.0;
+    }
     let mut counts = vec![0f64; channels];
     for p in packets {
         if p.direction == Direction::ToMemory && p.channel < channels {
@@ -248,7 +257,10 @@ pub fn channel_imbalance(packets: &[ObservedPacket], channels: usize) -> f64 {
 /// pins; coarse (row-granularity) interleaving keeps runs on one channel
 /// and defeats this particular inference.
 pub fn channel_step_predictability(events: &[BusEvent], channels: usize) -> f64 {
-    assert!(channels > 0, "need at least one channel");
+    // Zero channels carry zero sequential pairs: nothing to predict.
+    if channels == 0 {
+        return 0.0;
+    }
     let requests: Vec<&BusEvent> = events
         .iter()
         .filter(|e| e.direction == Direction::ToMemory && e.truth.real)

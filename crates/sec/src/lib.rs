@@ -21,6 +21,7 @@
 
 pub mod isolation;
 pub mod leakage;
+pub mod observatory;
 pub mod observer;
 pub mod table4;
 pub mod tamper;

@@ -1,0 +1,718 @@
+//! The leakage observatory: a streaming Membuster-style bus attacker.
+//!
+//! [`crate::leakage`] holds one-shot estimators that need a fully
+//! materialised trace; this module promotes the passive observer to a
+//! [`BusTap`] that folds packets into per-window statistics *during* a
+//! run, so leakage becomes a quantity every sweep point can measure.
+//!
+//! The attack ladder follows Membuster ("An Off-Chip Attack on Hardware
+//! Enclaves via the Memory Bus"):
+//!
+//! 1. **Windowed address-trace recovery** — requests are chopped into
+//!    tumbling windows of `window` real accesses; per window the
+//!    attacker's observed header symbols are scored against the true
+//!    address trace with a shuffle-corrected mutual-information
+//!    estimate (`addr_bits`).
+//! 2. **Cache squeezing** — the harness shrinks the simulated LLC
+//!    (scales the workload's miss rate by `squeeze`) so more of the
+//!    access stream reaches the bus; the factor is echoed in the
+//!    published metrics.
+//! 3. **Critical-address whitelisting** — per window the `whitelist_k`
+//!    hottest true addresses form the critical set; `crit_recovery` is
+//!    the fraction the attacker's plaintext-parse heuristic recovers.
+//!
+//! Everything condenses into `bits_leaked` per access:
+//! `addr_bits + kind_bits + data_bits`, where each term is an empirical
+//! mutual information I(observed symbol; truth) minus a deterministic
+//! shuffle-null baseline. The null subtracts the estimator's small-sample
+//! bias: single-use ciphertext makes every observed symbol a singleton,
+//! which drives the *naive* MI to H(truth); the shuffled pairing scores
+//! identically there, so the corrected estimate is ≈ 0 — while a
+//! plaintext bus keeps its full H(truth) because shuffling destroys the
+//! genuine correspondence.
+//!
+//! Truth is used only to *score* (same contract as [`crate::observer`]);
+//! the attacker's inputs are the wire observables alone.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use obfusmem_core::busmsg::{BusEvent, BusPacket, Direction, GroundTruth};
+use obfusmem_core::tap::BusTap;
+use obfusmem_mem::request::AccessKind;
+use obfusmem_obs::metrics::MetricsNode;
+use obfusmem_obs::trace::{TraceHandle, Track};
+use obfusmem_sim::rng::SplitMix64;
+use obfusmem_sim::time::Time;
+
+/// Marker byte for synthetic ORAM observations: makes the header fail
+/// the attacker's plaintext-parse heuristic (a real plaintext header has
+/// a 0/1 kind byte), exactly as a leaf id on a side channel would.
+const ORAM_HEADER_MARKER: u8 = 0xFF;
+
+/// Address-trace recovery granularity: 4 KB pages (Membuster observes
+/// DRAM rows; a page is the comparable unit in our block addressing).
+const PAGE_SHIFT: u32 = 12;
+
+/// Attack configuration for one observed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// Real accesses per analysis window.
+    pub window: usize,
+    /// Cache-squeeze factor applied upstream to the workload miss rate
+    /// (1.0 = no squeezing). Echoed into the published metrics.
+    pub squeeze: f64,
+    /// Size of the per-window critical-address whitelist.
+    pub whitelist_k: usize,
+    /// Seed for the deterministic shuffle-null baseline.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            window: 256,
+            squeeze: 1.0,
+            whitelist_k: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// One captured packet with its scoring truth.
+#[derive(Debug, Clone)]
+struct Sample {
+    at: Time,
+    channel: usize,
+    header: [u8; 16],
+    has_data: bool,
+    has_tag: bool,
+    payload: Option<[u8; 64]>,
+    real: bool,
+    kind: AccessKind,
+    addr: u64,
+}
+
+/// Per-window attack scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowReport {
+    /// Real accesses scored in this window.
+    pub accesses: usize,
+    /// Shuffle-corrected MI between header symbol and true address.
+    pub addr_bits: f64,
+    /// Shuffle-corrected MI between access shape and true request kind.
+    pub kind_bits: f64,
+    /// Payload-linkage bits (repeated same-address payload bytes).
+    pub data_bits: f64,
+    /// Fraction of the critical (hot) address set the attacker recovers.
+    pub crit_recovery: f64,
+}
+
+impl WindowReport {
+    /// Total estimated bits leaked per access in this window.
+    pub fn bits_per_access(&self) -> f64 {
+        self.addr_bits + self.kind_bits + self.data_bits
+    }
+}
+
+/// Run-level summary: window means weighted by window size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LeakageSummary {
+    /// Analysis windows closed.
+    pub windows: u64,
+    /// Total packets observed (both directions, real and dummy).
+    pub packets: u64,
+    /// Real request packets scored.
+    pub real_accesses: u64,
+    /// Dummy packets seen on the request lanes.
+    pub dummy_packets: u64,
+    /// Mean address bits leaked per access.
+    pub addr_bits_per_access: f64,
+    /// Mean request-kind bits leaked per access.
+    pub kind_bits_per_access: f64,
+    /// Mean data-payload bits leaked per access.
+    pub data_bits_per_access: f64,
+    /// Mean critical-set recovery rate.
+    pub crit_recovery: f64,
+    /// Cache-squeeze factor the run was captured under.
+    pub squeeze: f64,
+    /// Window size the analysis used.
+    pub window: u64,
+}
+
+impl LeakageSummary {
+    /// Total estimated bits leaked per real access.
+    pub fn bits_per_access(&self) -> f64 {
+        self.addr_bits_per_access + self.kind_bits_per_access + self.data_bits_per_access
+    }
+
+    /// Publishes the summary under a metrics node (callers pass
+    /// `metrics.child("leakage")`).
+    pub fn publish(&self, node: &mut MetricsNode) {
+        node.set_counter("windows", self.windows);
+        node.set_counter("packets", self.packets);
+        node.set_counter("real_accesses", self.real_accesses);
+        node.set_counter("dummy_packets", self.dummy_packets);
+        node.set_gauge("addr_bits_per_access", self.addr_bits_per_access);
+        node.set_gauge("kind_bits_per_access", self.kind_bits_per_access);
+        node.set_gauge("data_bits_per_access", self.data_bits_per_access);
+        node.set_gauge("bits_per_access", self.bits_per_access());
+        node.set_gauge("crit_recovery", self.crit_recovery);
+        node.set_gauge("squeeze", self.squeeze);
+        node.set_counter("window", self.window);
+    }
+}
+
+/// Streaming bus attacker. Attach with
+/// [`obfusmem_core::backend::ObfusMemBackend::set_bus_tap`], run, then
+/// call [`LeakageObservatory::finish`].
+pub struct LeakageObservatory {
+    cfg: AttackConfig,
+    obs: TraceHandle,
+    buffer: Vec<Sample>,
+    real_in_buffer: usize,
+    window_index: u64,
+    packets: u64,
+    dummy_packets: u64,
+    reports: Vec<WindowReport>,
+}
+
+impl std::fmt::Debug for LeakageObservatory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeakageObservatory")
+            .field("cfg", &self.cfg)
+            .field("packets", &self.packets)
+            .field("windows", &self.reports.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BusTap for LeakageObservatory {
+    fn on_event(&mut self, event: &BusEvent) {
+        self.observe(event);
+    }
+}
+
+impl LeakageObservatory {
+    /// A fresh observatory. `obs` carries attack-phase spans onto the
+    /// `attack` trace track; pass `TraceHandle::disabled()` when no
+    /// Chrome trace is wanted.
+    pub fn new(cfg: AttackConfig, obs: TraceHandle) -> Self {
+        LeakageObservatory {
+            cfg,
+            obs,
+            buffer: Vec::new(),
+            real_in_buffer: 0,
+            window_index: 0,
+            packets: 0,
+            dummy_packets: 0,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Wraps an observatory for sharing between the backend tap and the
+    /// caller that reads the summary back out.
+    pub fn shared(cfg: AttackConfig, obs: TraceHandle) -> Rc<std::cell::RefCell<Self>> {
+        Rc::new(std::cell::RefCell::new(Self::new(cfg, obs)))
+    }
+
+    /// Folds one bus event into the current window.
+    pub fn observe(&mut self, event: &BusEvent) {
+        self.packets += 1;
+        if event.direction != Direction::ToMemory {
+            return; // replies carry no request-pattern information here
+        }
+        if !event.truth.real {
+            self.dummy_packets += 1;
+        }
+        self.buffer.push(Sample {
+            at: event.at,
+            channel: event.channel,
+            header: event.packet.header_ct,
+            has_data: event.packet.data_ct.is_some(),
+            has_tag: event.packet.tag.is_some(),
+            payload: event.packet.data_ct,
+            real: event.truth.real,
+            kind: event.truth.kind,
+            addr: event.truth.addr,
+        });
+        if event.truth.real {
+            self.real_in_buffer += 1;
+            if self.real_in_buffer >= self.cfg.window {
+                self.close_window();
+            }
+        }
+    }
+
+    /// Closes any partial window and returns the run summary.
+    pub fn finish(&mut self) -> LeakageSummary {
+        // A tiny tail window would produce a noisy estimate; fold it in
+        // only when it carries enough samples to mean something.
+        if self.real_in_buffer >= 16.min(self.cfg.window) {
+            self.close_window();
+        }
+        self.buffer.clear();
+        self.real_in_buffer = 0;
+        let total_accesses: usize = self.reports.iter().map(|r| r.accesses).sum();
+        let mut summary = LeakageSummary {
+            windows: self.reports.len() as u64,
+            packets: self.packets,
+            real_accesses: total_accesses as u64,
+            dummy_packets: self.dummy_packets,
+            squeeze: self.cfg.squeeze,
+            window: self.cfg.window as u64,
+            ..LeakageSummary::default()
+        };
+        if total_accesses == 0 {
+            return summary;
+        }
+        let n = total_accesses as f64;
+        for r in &self.reports {
+            let w = r.accesses as f64 / n;
+            summary.addr_bits_per_access += w * r.addr_bits;
+            summary.kind_bits_per_access += w * r.kind_bits;
+            summary.data_bits_per_access += w * r.data_bits;
+            summary.crit_recovery += w * r.crit_recovery;
+        }
+        summary
+    }
+
+    /// Per-window reports (for tests and detailed renderers).
+    pub fn window_reports(&self) -> &[WindowReport] {
+        &self.reports
+    }
+
+    fn close_window(&mut self) {
+        let samples = std::mem::take(&mut self.buffer);
+        self.real_in_buffer = 0;
+        let report = analyze_window(&samples, &self.cfg, self.window_index);
+        if let (Some(first), Some(last)) = (samples.first(), samples.last()) {
+            self.obs.span(Track::Attack, "capture", first.at, last.at);
+            self.obs.instant(Track::Attack, "recover", last.at);
+        }
+        self.window_index += 1;
+        self.reports.push(report);
+    }
+}
+
+/// Builds a synthetic bus event for an ORAM access: the observable is
+/// the leaf the access touched (what a bus probe on the ORAM's memory
+/// channel correlates across accesses), the truth is the program
+/// address. Lets the ORAM baseline ride the same attack ladder even
+/// though its model has no packetised bus.
+pub fn synthetic_oram_event(at: Time, leaf: u64, addr: u64) -> BusEvent {
+    let mut header = [0u8; 16];
+    header[0] = ORAM_HEADER_MARKER;
+    header[1..9].copy_from_slice(&leaf.to_le_bytes());
+    BusEvent {
+        at,
+        channel: 0,
+        direction: Direction::ToMemory,
+        packet: BusPacket {
+            header_ct: header,
+            data_ct: None,
+            tag: None,
+        },
+        truth: GroundTruth {
+            real: true,
+            kind: AccessKind::Read,
+            addr,
+        },
+    }
+}
+
+fn analyze_window(samples: &[Sample], cfg: &AttackConfig, window_index: u64) -> WindowReport {
+    let reals: Vec<&Sample> = samples.iter().filter(|s| s.real).collect();
+    let accesses = reals.len();
+    if accesses == 0 {
+        return WindowReport {
+            accesses: 0,
+            addr_bits: 0.0,
+            kind_bits: 0.0,
+            data_bits: 0.0,
+            crit_recovery: 0.0,
+        };
+    }
+
+    // Address-trace recovery at page granularity (Membuster's
+    // observable is the DRAM row/page, not the cache block). The
+    // attacker preprocesses each header with the plaintext-parse
+    // heuristic: a parsed header becomes its page id — a stable,
+    // recurring symbol; an unparseable one stays a raw hash, which a
+    // single-use pad makes unique per packet.
+    let addr_pairs: Vec<(u64, u64)> = reals
+        .iter()
+        .map(|s| {
+            let symbol = match parse_plain_addr(&s.header) {
+                Some(addr) => fnv64(&(addr >> PAGE_SHIFT).to_le_bytes()),
+                None => fnv64(&s.header),
+            };
+            (symbol, s.addr >> PAGE_SHIFT)
+        })
+        .collect();
+    let addr_bits = corrected_mi_bits(&addr_pairs, cfg.seed, window_index, 0);
+
+    // Kind recovery: the attacker sees the *shape* of everything that
+    // crossed the wire together with the request (the dummy pairing
+    // emits both kinds at the same instant on the same channel, which
+    // is exactly what makes the shape uninformative there).
+    let mut groups: BTreeMap<(Time, usize), Vec<(bool, bool)>> = BTreeMap::new();
+    for s in samples {
+        groups
+            .entry((s.at, s.channel))
+            .or_default()
+            .push((s.has_data, s.has_tag));
+    }
+    let mut shape_symbols: BTreeMap<(Time, usize), u64> = BTreeMap::new();
+    for (key, shapes) in &mut groups {
+        shapes.sort_unstable();
+        let mut bytes = Vec::with_capacity(shapes.len() * 2);
+        for (d, t) in shapes.iter() {
+            bytes.push(u8::from(*d));
+            bytes.push(u8::from(*t));
+        }
+        shape_symbols.insert(*key, fnv64(&bytes));
+    }
+    let kind_pairs: Vec<(u64, u64)> = reals
+        .iter()
+        .map(|s| (shape_symbols[&(s.at, s.channel)], s.kind as u64))
+        .collect();
+    let kind_bits = corrected_mi_bits(&kind_pairs, cfg.seed, window_index, 1);
+
+    // Payload linkage: same-address data-carrying packets repeating the
+    // exact payload bytes reveal stored content (a plaintext bus repeats
+    // it; a single-use ciphertext never does).
+    let mut seen: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut repeats = 0usize;
+    let mut carriers = 0usize;
+    for s in &reals {
+        if let Some(payload) = &s.payload {
+            carriers += 1;
+            let h = fnv64(payload);
+            let prior = seen.entry(s.addr).or_default();
+            if prior.contains(&h) {
+                repeats += 1;
+            } else {
+                prior.push(h);
+            }
+        }
+    }
+    let linkage = if carriers > 1 {
+        repeats as f64 / (carriers - 1) as f64
+    } else {
+        0.0
+    };
+    let data_bits = linkage * 512.0 * (carriers as f64 / accesses as f64);
+
+    // Critical-address whitelisting: the k hottest true addresses are
+    // the critical set; the attacker's guesses come from the
+    // plaintext-parse heuristic on observed headers.
+    let crit_recovery = whitelist_recovery(&reals, cfg.whitelist_k);
+
+    WindowReport {
+        accesses,
+        addr_bits,
+        kind_bits,
+        data_bits,
+        crit_recovery,
+    }
+}
+
+/// Top-k recovery of the hot address set via plaintext header parsing.
+fn whitelist_recovery(reals: &[&Sample], k: usize) -> f64 {
+    if reals.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut truth_counts: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut guess_counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for s in reals {
+        *truth_counts.entry(s.addr).or_default() += 1;
+        if let Some(addr) = parse_plain_addr(&s.header) {
+            *guess_counts.entry(addr).or_default() += 1;
+        }
+    }
+    let truth_top = top_k(&truth_counts, k);
+    if truth_top.is_empty() {
+        return 0.0;
+    }
+    let guess_top = top_k(&guess_counts, k);
+    let hits = truth_top.iter().filter(|a| guess_top.contains(a)).count();
+    hits as f64 / truth_top.len() as f64
+}
+
+/// The attacker's plaintext-header heuristic: a genuine plaintext header
+/// is a valid kind byte, a little-endian block address, and zero
+/// padding. Ciphertext virtually never parses.
+fn parse_plain_addr(header: &[u8; 16]) -> Option<u64> {
+    if header[0] > 1 || header[9..].iter().any(|&b| b != 0) {
+        return None;
+    }
+    let mut le = [0u8; 8];
+    le.copy_from_slice(&header[1..9]);
+    Some(u64::from_le_bytes(le))
+}
+
+fn top_k(counts: &BTreeMap<u64, usize>, k: usize) -> Vec<u64> {
+    let mut by_count: Vec<(&u64, &usize)> = counts.iter().collect();
+    // Sort by descending count, ascending address for determinism.
+    by_count.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    by_count.into_iter().take(k).map(|(a, _)| *a).collect()
+}
+
+/// Empirical mutual information minus a deterministic shuffle-null
+/// baseline, clamped at zero. The null re-pairs symbols with a
+/// Fisher-Yates-permuted copy of the truth column; whatever MI survives
+/// the permutation is estimator bias (singleton symbols, small-sample
+/// effects), not leakage.
+fn corrected_mi_bits(pairs: &[(u64, u64)], seed: u64, window_index: u64, lane: u64) -> f64 {
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let observed = empirical_mi_bits(pairs.iter().copied());
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15)
+        .split(window_index)
+        .split(lane);
+    let mut shuffled_truth: Vec<u64> = pairs.iter().map(|&(_, t)| t).collect();
+    rng.shuffle(&mut shuffled_truth);
+    let null = empirical_mi_bits(
+        pairs
+            .iter()
+            .zip(shuffled_truth.iter())
+            .map(|(&(s, _), &t)| (s, t)),
+    );
+    (observed - null).max(0.0)
+}
+
+/// I(S;T) = H(S) + H(T) − H(S,T) over empirical counts, in bits.
+fn empirical_mi_bits(pairs: impl Iterator<Item = (u64, u64)>) -> f64 {
+    let mut s_counts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut t_counts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut joint: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut n = 0u64;
+    for (s, t) in pairs {
+        *s_counts.entry(s).or_default() += 1;
+        *t_counts.entry(t).or_default() += 1;
+        *joint.entry((s, t)).or_default() += 1;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    entropy_bits(s_counts.values(), n) + entropy_bits(t_counts.values(), n)
+        - entropy_bits(joint.values(), n)
+}
+
+fn entropy_bits<'a>(counts: impl Iterator<Item = &'a u64>, n: u64) -> f64 {
+    let n = n as f64;
+    counts
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Stable 64-bit FNV-1a over arbitrary bytes (symbol hashing).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_ps: u64, header: [u8; 16], addr: u64, kind: AccessKind, real: bool) -> BusEvent {
+        BusEvent {
+            at: Time::from_ps(at_ps),
+            channel: 0,
+            direction: Direction::ToMemory,
+            packet: BusPacket {
+                header_ct: header,
+                data_ct: None,
+                tag: None,
+            },
+            truth: GroundTruth { real, kind, addr },
+        }
+    }
+
+    fn plain_header(kind: AccessKind, addr: u64) -> [u8; 16] {
+        let mut h = [0u8; 16];
+        h[0] = kind as u8;
+        h[1..9].copy_from_slice(&addr.to_le_bytes());
+        h
+    }
+
+    #[test]
+    fn plaintext_headers_leak_address_bits() {
+        let cfg = AttackConfig {
+            window: 64,
+            ..AttackConfig::default()
+        };
+        let mut obsv = LeakageObservatory::new(cfg, TraceHandle::disabled());
+        let mut rng = SplitMix64::new(7);
+        for i in 0..256 {
+            let addr = rng.below(8) * 4096; // 8 hot pages
+            obsv.observe(&sample(
+                i * 10,
+                plain_header(AccessKind::Read, addr),
+                addr,
+                AccessKind::Read,
+                true,
+            ));
+        }
+        let summary = obsv.finish();
+        assert!(summary.windows >= 4);
+        assert!(
+            summary.addr_bits_per_access > 2.0,
+            "plaintext bus must leak most of H(addr): {summary:?}"
+        );
+        assert!(
+            summary.crit_recovery > 0.9,
+            "whitelist recovery should be near-perfect on plaintext: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn single_use_ciphertext_leaks_nothing() {
+        let cfg = AttackConfig {
+            window: 64,
+            ..AttackConfig::default()
+        };
+        let mut obsv = LeakageObservatory::new(cfg, TraceHandle::disabled());
+        let mut rng = SplitMix64::new(7);
+        for i in 0..256 {
+            let addr = rng.below(8) * 64;
+            // Fresh pseudo-random header every packet: single-use pads.
+            let mut header = [0u8; 16];
+            header[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+            header[8..].copy_from_slice(&rng.next_u64().to_le_bytes());
+            obsv.observe(&sample(i * 10, header, addr, AccessKind::Read, true));
+        }
+        let summary = obsv.finish();
+        assert!(
+            summary.addr_bits_per_access < 0.2,
+            "single-use ciphertext must score ≈0 addr bits: {summary:?}"
+        );
+        assert_eq!(summary.crit_recovery, 0.0);
+        assert!(summary.bits_per_access() < 0.5, "{summary:?}");
+    }
+
+    #[test]
+    fn oram_leaf_events_stay_dark() {
+        let cfg = AttackConfig {
+            window: 64,
+            ..AttackConfig::default()
+        };
+        let mut obsv = LeakageObservatory::new(cfg, TraceHandle::disabled());
+        let mut rng = SplitMix64::new(9);
+        for i in 0..256 {
+            let addr = rng.below(8) * 64;
+            let leaf = rng.below(1 << 12); // fresh random leaf per access
+            obsv.observe(&synthetic_oram_event(Time::from_ps(i * 10), leaf, addr));
+        }
+        let summary = obsv.finish();
+        assert!(summary.addr_bits_per_access < 0.3, "{summary:?}");
+        assert_eq!(summary.crit_recovery, 0.0);
+    }
+
+    use obfusmem_testkit as proptest;
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// The estimator's separating power is not an artifact of one
+        /// lucky seed: for random workload seeds, hot-page counts, and
+        /// inter-arrival jitter, a plaintext bus always scores well
+        /// above the protected ceiling and keeps whitelist recovery
+        /// near its ideal.
+        #[test]
+        fn plaintext_ideal_holds_for_random_traces(
+            seed: u64,
+            pages in 2u64..16,
+            gap in 1u64..1000
+        ) {
+            let cfg = AttackConfig { window: 64, ..AttackConfig::default() };
+            let mut obsv = LeakageObservatory::new(cfg, TraceHandle::disabled());
+            let mut rng = SplitMix64::new(seed);
+            for i in 0..256u64 {
+                let addr = rng.below(pages) * 4096;
+                obsv.observe(&sample(
+                    i * gap,
+                    plain_header(AccessKind::Read, addr),
+                    addr,
+                    AccessKind::Read,
+                    true,
+                ));
+            }
+            let summary = obsv.finish();
+            proptest::prop_assert!(
+                summary.addr_bits_per_access > 0.5,
+                "plaintext must leak for seed {seed}, {pages} pages: {summary:?}"
+            );
+            proptest::prop_assert!(
+                summary.crit_recovery > 0.9,
+                "whitelist must recover hot plaintext addrs: {summary:?}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Dual ideal: single-use ciphertext headers (what CTR with a
+        /// fresh counter produces) score ≈0 on every estimator lane for
+        /// random seeds — the shuffle-null correction must cancel the
+        /// singleton-symbol bias at any trace shape.
+        #[test]
+        fn ciphertext_ideal_holds_for_random_traces(
+            seed: u64,
+            pages in 2u64..16,
+            gap in 1u64..1000
+        ) {
+            let cfg = AttackConfig { window: 64, ..AttackConfig::default() };
+            let mut obsv = LeakageObservatory::new(cfg, TraceHandle::disabled());
+            let mut rng = SplitMix64::new(seed);
+            for i in 0..256u64 {
+                let addr = rng.below(pages) * 4096;
+                let mut header = [0u8; 16];
+                header[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                header[8..].copy_from_slice(&rng.next_u64().to_le_bytes());
+                obsv.observe(&sample(i * gap, header, addr, AccessKind::Read, true));
+            }
+            let summary = obsv.finish();
+            proptest::prop_assert!(
+                summary.addr_bits_per_access < 0.3,
+                "ciphertext must stay dark for seed {seed}: {summary:?}"
+            );
+            proptest::prop_assert_eq!(summary.crit_recovery, 0.0);
+            proptest::prop_assert!(
+                summary.bits_per_access() < 0.6,
+                "all lanes together must stay under the gate: {summary:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_roundtrips_through_metrics() {
+        let cfg = AttackConfig::default();
+        let mut obsv = LeakageObservatory::new(cfg, TraceHandle::disabled());
+        for i in 0..64 {
+            let addr = (i % 4) * 64;
+            obsv.observe(&sample(
+                i * 10,
+                plain_header(AccessKind::Write, addr),
+                addr,
+                AccessKind::Write,
+                true,
+            ));
+        }
+        let summary = obsv.finish();
+        let mut metrics = MetricsNode::new();
+        summary.publish(metrics.child("leakage"));
+        assert_eq!(metrics.counter("leakage.real_accesses"), Some(64));
+        assert!(metrics.gauge("leakage.bits_per_access").is_some());
+    }
+}
