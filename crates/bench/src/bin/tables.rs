@@ -4,6 +4,7 @@
 //! tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]
 //!
 //! experiments: config table1 table3 fig4 fig5 energy table4 backends leakage
+//!              oram-variants oram-detailed oram-codesign
 //!              ablation-dummy ablation-mac ablation-stash trace all
 //! ```
 //!
@@ -52,6 +53,7 @@ fn main() {
             "leakage",
             "oram-variants",
             "oram-detailed",
+            "oram-codesign",
             "ablation-dummy",
             "ablation-mac",
             "ablation-pairing",
@@ -107,6 +109,10 @@ fn main() {
                     render::oram_detailed(&experiments::oram_detailed(seed))
                 )
             }
+            "oram-codesign" => println!(
+                "{}",
+                render::oram_codesign(&experiments::oram_codesign_study(instructions, seed))
+            ),
             "ablation-dummy" => println!(
                 "{}",
                 render::ablation_dummy(&experiments::ablation_dummy_policy(instructions, seed))
@@ -213,7 +219,7 @@ fn usage(msg: &str) -> ! {
         "usage: tables [-n INSTRUCTIONS] [-s SEED] [EXPERIMENT...]\n\
          experiments: config table1 table3 fig4 fig5 energy table4 backends leakage\n\
          \u{20}            oram-variants\n\
-         \u{20}            oram-detailed\n\
+         \u{20}            oram-detailed oram-codesign\n\
          \u{20}            ablation-dummy ablation-mac ablation-pairing ablation-mapping\n\u{20}            ablation-typehiding ablation-stash trace all"
     );
     std::process::exit(2);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sweep [--spec FILE] [--workloads LIST|all] [--schemes LIST|all]
-//!       [--channels LIST] [--backend LIST|all]
+//!       [--channels LIST] [--backend LIST|all] [--oram-mode LIST|all]
 //!       [--replicates N] [--master-seed SEED]
 //!       [-n/--instructions N] [--out FILE] [--metrics-out FILE]
 //!       [--trace-out FILE] [--threads N] [--fresh] [--no-timing]
@@ -27,8 +27,8 @@ use std::process::ExitCode;
 use obfusmem_harness::runner::{effective_threads, run_sweep, RunOptions};
 use obfusmem_harness::serve::{run_serve, verify_single, ServeSpec};
 use obfusmem_harness::spec::{
-    parse_backends, parse_device_fault_kinds, parse_fault_kinds, parse_schemes, parse_u64,
-    parse_workloads, SweepSpec,
+    parse_backends, parse_device_fault_kinds, parse_fault_kinds, parse_oram_modes, parse_schemes,
+    parse_u64, parse_workloads, SweepSpec,
 };
 use obfusmem_tenant::fabric::DhStrength;
 
@@ -367,6 +367,9 @@ usage: sweep [options]
   --channels LIST      comma list of power-of-two channel counts
   --backend LIST       comma list of reservation|queued controller models,
                        or `all` (default reservation)
+  --oram-mode LIST     comma list of fixed|serial|codesign ORAM backends,
+                       or `all` (default fixed; fans out the oram scheme
+                       only — `fixed` rows keep their legacy ids)
   --replicates N       seeds per grid point (default 1)
   --master-seed SEED   master seed, decimal or 0x-hex
   --fault-kinds LIST   comma list of bit-flip|drop|duplicate|replay|
@@ -446,6 +449,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             }
             "--backend" | "--backends" => {
                 cli.spec.backends = parse_backends(&next_value("--backend", &mut args)?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--oram-mode" | "--oram-modes" => {
+                cli.spec.oram_modes = parse_oram_modes(&next_value("--oram-mode", &mut args)?)
                     .map_err(|e| e.to_string())?;
             }
             "--replicates" => {
@@ -547,4 +554,60 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         }
     }
     Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfusmem_harness::measure::OramMode;
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn oram_mode_flag_parses_lists_and_all() {
+        let cli = parse_args(argv(&[
+            "--schemes",
+            "oram",
+            "--oram-mode",
+            "serial,codesign",
+        ]))
+        .expect("valid mode list");
+        assert_eq!(
+            cli.spec.oram_modes,
+            vec![OramMode::Serial, OramMode::Codesign]
+        );
+
+        let cli = parse_args(argv(&["--oram-mode", "all"])).expect("`all` expands");
+        assert_eq!(cli.spec.oram_modes, OramMode::ALL.to_vec());
+    }
+
+    /// Malformed `--oram-mode` values surface a typed spec error message,
+    /// not a panic or a silently-ignored axis.
+    #[test]
+    fn oram_mode_flag_rejects_malformed_values() {
+        let err = parse_args(argv(&["--oram-mode", "palermo"]))
+            .err()
+            .expect("unknown mode must be rejected");
+        assert!(err.contains("unknown oram mode"), "got: {err}");
+
+        let err = parse_args(argv(&["--oram-mode"]))
+            .err()
+            .expect("missing value must be rejected");
+        assert!(err.contains("needs a value"), "got: {err}");
+    }
+
+    /// A malformed axis must also fail at expansion time when it sneaks in
+    /// through a spec value the flag parser accepts (empty list).
+    #[test]
+    fn empty_oram_mode_axis_fails_expansion_with_a_typed_error() {
+        let mut cli = parse_args(argv(&["--schemes", "oram"])).unwrap();
+        cli.spec.oram_modes.clear();
+        let err = cli.spec.expand().unwrap_err();
+        assert!(err.to_string().contains("no oram modes"), "got: {err}");
+    }
 }

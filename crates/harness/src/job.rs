@@ -19,7 +19,8 @@ use obfusmem_obs::trace::{TraceEvent, TraceHandle};
 use obfusmem_sim::rng::SplitMix64;
 
 use crate::measure::{
-    run_point_attacked, run_point_observed, workload_by_name, LeakagePoint, PointSpec, Scheme,
+    run_point_attacked, run_point_observed, workload_by_name, LeakagePoint, OramMode, PointSpec,
+    Scheme,
 };
 
 /// One schedulable simulation job.
@@ -59,6 +60,11 @@ pub struct JobSpec {
     /// `None` runs unobserved (the bus tap stays disengaged and output
     /// is byte-identical to pre-observatory harness versions).
     pub leakage: Option<LeakagePoint>,
+    /// ORAM backend mode. Only meaningful for [`Scheme::OramModel`]
+    /// points; the default ([`OramMode::Fixed`]) keeps the historical
+    /// fixed-latency model and contributes no id segment, so every
+    /// pre-mode sweep id (and checkpoint) stays valid.
+    pub oram_mode: OramMode,
 }
 
 impl JobSpec {
@@ -125,15 +131,15 @@ impl JobSpec {
         )
     }
 
-    /// [`JobSpec::make_chaos_id`] plus the leakage axis. An
-    /// attacker-active point contributes a `leak-w{window}` segment
-    /// (with an `x{squeeze}` suffix when cache squeezing is on) just
-    /// before the replicate; `None` contributes nothing, so every
-    /// pre-observatory sweep id stays valid.
+    /// [`JobSpec::make_attack_id`] plus the ORAM-mode axis. A non-default
+    /// mode contributes an `oram-{mode}` segment right after the channel
+    /// count; [`OramMode::Fixed`] contributes nothing, so every pre-mode
+    /// sweep id stays valid.
     #[allow(clippy::too_many_arguments)]
-    pub fn make_attack_id(
+    pub fn make_mode_id(
         workload: &str,
         scheme: Scheme,
+        oram_mode: OramMode,
         channels: usize,
         backend: BackendKind,
         fault: Option<(FaultKind, f64)>,
@@ -141,6 +147,10 @@ impl JobSpec {
         leakage: Option<LeakagePoint>,
         replicate: u32,
     ) -> String {
+        let mode_seg = match oram_mode {
+            OramMode::Fixed => String::new(),
+            other => format!("/oram-{}", other.name()),
+        };
         let backend_seg = match backend {
             BackendKind::Reservation => String::new(),
             other => format!("/{}", other.name()),
@@ -159,8 +169,37 @@ impl JobSpec {
             Some(leak) => format!("/leak-w{}x{}", leak.window, leak.squeeze),
         };
         format!(
-            "{workload}/{}/c{channels}{backend_seg}{fault_seg}{device_seg}{leak_seg}/r{replicate}",
+            "{workload}/{}/c{channels}{mode_seg}{backend_seg}{fault_seg}{device_seg}{leak_seg}/r{replicate}",
             scheme.name()
+        )
+    }
+
+    /// [`JobSpec::make_chaos_id`] plus the leakage axis. An
+    /// attacker-active point contributes a `leak-w{window}` segment
+    /// (with an `x{squeeze}` suffix when cache squeezing is on) just
+    /// before the replicate; `None` contributes nothing, so every
+    /// pre-observatory sweep id stays valid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn make_attack_id(
+        workload: &str,
+        scheme: Scheme,
+        channels: usize,
+        backend: BackendKind,
+        fault: Option<(FaultKind, f64)>,
+        device_fault: Option<(DeviceFaultKind, f64)>,
+        leakage: Option<LeakagePoint>,
+        replicate: u32,
+    ) -> String {
+        Self::make_mode_id(
+            workload,
+            scheme,
+            OramMode::Fixed,
+            channels,
+            backend,
+            fault,
+            device_fault,
+            leakage,
+            replicate,
         )
     }
 }
@@ -244,6 +283,7 @@ fn run_job_with(spec: &JobSpec, obs: &TraceHandle) -> JobOutput {
         mem: MemConfig::table2()
             .with_channels(spec.channels)
             .with_backend(spec.backend),
+        oram_mode: spec.oram_mode,
         ..PointSpec::paper(workload, spec.scheme, spec.instructions, spec.seed)
     };
     if let Some((kind, rate)) = spec.fault {
@@ -298,6 +338,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         };
         let a = run_job(&spec);
         let b = run_job(&spec);
@@ -331,6 +372,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         });
         let rec = out.recovery().expect("faulty job must harvest link stats");
         assert!(
@@ -371,6 +413,7 @@ mod tests {
             device_fault: Some((DeviceFaultKind::BitFlip, 0.02)),
             device_fault_seed: derive_seed(0xD_F0_17, &id),
             leakage: None,
+            oram_mode: OramMode::Fixed,
         };
         let out = run_job(&spec);
         let rec = out
@@ -404,6 +447,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         });
         assert!(out.recovery().is_none(), "link must stay disengaged");
         assert!(out.trace.is_empty(), "untraced jobs record no spans");
@@ -426,6 +470,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         };
         let plain = run_job(&spec);
         let traced = run_job_traced(&spec);
@@ -471,6 +516,99 @@ mod tests {
     }
 
     #[test]
+    fn mode_ids_collapse_to_legacy_forms_on_the_default_mode() {
+        assert_eq!(
+            JobSpec::make_mode_id(
+                "mcf",
+                Scheme::OramModel,
+                OramMode::Fixed,
+                1,
+                BackendKind::Reservation,
+                None,
+                None,
+                None,
+                0,
+            ),
+            JobSpec::make_id("mcf", Scheme::OramModel, 1, 0),
+        );
+        assert_eq!(
+            JobSpec::make_mode_id(
+                "mcf",
+                Scheme::OramModel,
+                OramMode::Codesign,
+                2,
+                BackendKind::Reservation,
+                None,
+                None,
+                None,
+                1,
+            ),
+            "mcf/oram/c2/oram-codesign/r1",
+        );
+        assert_eq!(
+            JobSpec::make_mode_id(
+                "micro",
+                Scheme::OramModel,
+                OramMode::Serial,
+                1,
+                BackendKind::Reservation,
+                None,
+                None,
+                None,
+                0,
+            ),
+            "micro/oram/c1/oram-serial/r0",
+        );
+    }
+
+    /// The fixed-seed determinism gate for `--oram-mode codesign` rows:
+    /// identical specs reproduce identical timing and metrics, and the
+    /// serial mode is measurably slower on the same stream.
+    #[test]
+    fn oram_mode_jobs_rerun_identically_and_codesign_beats_serial() {
+        let mk = |mode: OramMode| {
+            let id = JobSpec::make_mode_id(
+                "micro",
+                Scheme::OramModel,
+                mode,
+                1,
+                BackendKind::Reservation,
+                None,
+                None,
+                None,
+                0,
+            );
+            JobSpec {
+                id: id.clone(),
+                workload: "micro".into(),
+                scheme: Scheme::OramModel,
+                channels: 1,
+                backend: BackendKind::Reservation,
+                instructions: 20_000,
+                replicate: 0,
+                seed: derive_seed(7, &id),
+                fault: None,
+                fault_seed: 0,
+                device_fault: None,
+                device_fault_seed: 0,
+                leakage: None,
+                oram_mode: mode,
+            }
+        };
+        let codesign = mk(OramMode::Codesign);
+        let a = run_job(&codesign);
+        let b = run_job(&codesign);
+        assert_eq!(a.result.exec_time, b.result.exec_time);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert!(a.metrics.counter("oram.accesses").unwrap_or(0) > 0);
+        let serial = run_job(&mk(OramMode::Serial));
+        assert!(
+            a.result.exec_time < serial.result.exec_time,
+            "codesign rows must be faster than serial rows"
+        );
+    }
+
+    #[test]
     fn queued_jobs_rerun_identically_and_snapshot_the_scheduler() {
         let id = JobSpec::make_full_id(
             "micro",
@@ -494,6 +632,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         };
         let a = run_job(&spec);
         let b = run_job(&spec);
@@ -520,6 +659,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         });
         assert!(out.queued_sched().is_none());
     }
@@ -543,6 +683,7 @@ mod tests {
                 device_fault: None,
                 device_fault_seed: 0,
                 leakage: None,
+                oram_mode: OramMode::Fixed,
             })
         };
         let r0 = mk(0);

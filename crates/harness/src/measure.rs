@@ -15,8 +15,12 @@ use obfusmem_mem::config::MemConfig;
 use obfusmem_mem::request::BlockAddr;
 use obfusmem_obs::metrics::{MetricsNode, Observable};
 use obfusmem_obs::trace::TraceHandle;
+use obfusmem_oram::codesign::CodesignOram;
+use obfusmem_oram::detailed::DetailedOram;
 use obfusmem_oram::model::OramModel;
 use obfusmem_oram::path_oram::{OramConfig, PathOram};
+
+pub use obfusmem_oram::codesign::OramMode;
 use obfusmem_sec::observatory::{
     synthetic_oram_event, AttackConfig, LeakageObservatory, LeakageSummary,
 };
@@ -109,6 +113,11 @@ pub struct PointSpec {
     /// numbers match the historical `tables` output; sweeps that want the
     /// backend's dummy scheduling to vary per job set it explicitly.
     pub backend_seed: Option<u64>,
+    /// How the ORAM scheme's memory path is modelled. Only consulted when
+    /// `scheme == Scheme::OramModel`; the default ([`OramMode::Fixed`])
+    /// keeps the historical fixed-2500 ns model so legacy rows are
+    /// byte-identical.
+    pub oram_mode: OramMode,
 }
 
 impl PointSpec {
@@ -122,8 +131,27 @@ impl PointSpec {
             instructions,
             seed,
             backend_seed: None,
+            oram_mode: OramMode::Fixed,
         }
     }
+}
+
+/// The geometry the `serial` / `codesign` ORAM modes simulate: L = 12,
+/// Z = 4, 4096 logical blocks — small enough for sweep-scale runs, large
+/// enough that the position map needs an off-chip recursion level.
+fn detailed_oram_geometry() -> OramConfig {
+    OramConfig {
+        levels: 12,
+        bucket_size: 4,
+        blocks: 4096,
+    }
+}
+
+/// Seed for the detailed/codesign functional ORAM: derived from the
+/// point's seeds so replicates get independent trees while identical
+/// specs stay bit-identical.
+fn oram_backend_seed(p: &PointSpec) -> u64 {
+    p.seed ^ p.backend_seed.unwrap_or(0).rotate_left(23)
 }
 
 /// Resolves a workload name: any Table 1 benchmark, or `micro` (the fast
@@ -142,8 +170,31 @@ pub fn run_point(p: &PointSpec) -> RunResult {
         Some(security) => build_system(p, security).run(&p.workload, p.instructions, p.seed),
         None => {
             let core = TraceDrivenCore::new();
-            let mut model = OramModel::paper();
-            core.run(&p.workload, p.instructions, &mut model, p.seed)
+            match p.oram_mode {
+                OramMode::Fixed => {
+                    let mut model = OramModel::paper();
+                    core.run(&p.workload, p.instructions, &mut model, p.seed)
+                }
+                OramMode::Serial => {
+                    let mut oram = DetailedOram::new(
+                        detailed_oram_geometry(),
+                        p.mem.clone(),
+                        oram_backend_seed(p),
+                    )
+                    .expect("static serial-mode geometry is valid")
+                    .with_posmap_chain();
+                    core.run(&p.workload, p.instructions, &mut oram, p.seed)
+                }
+                OramMode::Codesign => {
+                    let mut oram = CodesignOram::new(
+                        detailed_oram_geometry(),
+                        p.mem.clone(),
+                        oram_backend_seed(p),
+                    )
+                    .expect("static codesign-mode geometry is valid");
+                    core.run(&p.workload, p.instructions, &mut oram, p.seed)
+                }
+            }
         }
     }
 }
@@ -189,18 +240,64 @@ pub fn run_point_observed(p: &PointSpec, obs: &TraceHandle) -> (RunResult, Metri
         ),
         None => {
             let core = TraceDrivenCore::new();
-            let mut model = OramModel::paper();
-            model.set_trace_handle(obs.clone());
-            let result = core.run_observed(
-                &p.workload,
-                p.instructions,
-                &mut model,
-                p.seed,
-                obs,
-                &mut metrics,
-            );
-            model.observe(metrics.child("oram"));
-            result
+            match p.oram_mode {
+                OramMode::Fixed => {
+                    let mut model = OramModel::paper();
+                    model.set_trace_handle(obs.clone());
+                    let result = core.run_observed(
+                        &p.workload,
+                        p.instructions,
+                        &mut model,
+                        p.seed,
+                        obs,
+                        &mut metrics,
+                    );
+                    model.observe(metrics.child("oram"));
+                    result
+                }
+                OramMode::Serial => {
+                    let mut oram = DetailedOram::new(
+                        detailed_oram_geometry(),
+                        p.mem.clone(),
+                        oram_backend_seed(p),
+                    )
+                    .expect("static serial-mode geometry is valid")
+                    .with_posmap_chain();
+                    let result = core.run_observed(
+                        &p.workload,
+                        p.instructions,
+                        &mut oram,
+                        p.seed,
+                        obs,
+                        &mut metrics,
+                    );
+                    let node = metrics.child("oram");
+                    oram.oram().observe(node);
+                    node.set_gauge("mean_access_ns", oram.mean_access_ns());
+                    result
+                }
+                OramMode::Codesign => {
+                    let mut oram = CodesignOram::new(
+                        detailed_oram_geometry(),
+                        p.mem.clone(),
+                        oram_backend_seed(p),
+                    )
+                    .expect("static codesign-mode geometry is valid");
+                    let result = core.run_observed(
+                        &p.workload,
+                        p.instructions,
+                        &mut oram,
+                        p.seed,
+                        obs,
+                        &mut metrics,
+                    );
+                    oram.drain_posted();
+                    let node = metrics.child("oram");
+                    oram.oram().observe(node);
+                    node.set_gauge("mean_access_ns", oram.mean_access_ns());
+                    result
+                }
+            }
         }
     };
     (result, metrics)
@@ -417,6 +514,42 @@ mod tests {
         assert_eq!(metrics.counter("core.misses"), Some(plain.misses));
         assert!(metrics.get_child("link").is_none(), "fault-free: no link");
         assert!(!obs.finish().is_empty());
+    }
+
+    #[test]
+    fn oram_modes_are_pure_and_codesign_is_faster() {
+        let mk = |mode| {
+            let mut p = PointSpec::paper(micro_test_workload(), Scheme::OramModel, 30_000, 7);
+            p.oram_mode = mode;
+            (run_point(&p), run_point(&p))
+        };
+        let (serial_a, serial_b) = mk(OramMode::Serial);
+        assert_eq!(serial_a.exec_time, serial_b.exec_time, "serial purity");
+        let (codesign_a, codesign_b) = mk(OramMode::Codesign);
+        assert_eq!(
+            codesign_a.exec_time, codesign_b.exec_time,
+            "codesign purity"
+        );
+        assert_eq!(serial_a.misses, codesign_a.misses, "same workload stream");
+        assert!(
+            codesign_a.exec_time < serial_a.exec_time,
+            "co-design must beat the serialized port: {:?} vs {:?}",
+            codesign_a.exec_time,
+            serial_a.exec_time
+        );
+    }
+
+    #[test]
+    fn detailed_oram_modes_report_oram_subtree() {
+        for mode in [OramMode::Serial, OramMode::Codesign] {
+            let mut p = PointSpec::paper(micro_test_workload(), Scheme::OramModel, 20_000, 9);
+            p.oram_mode = mode;
+            let (result, metrics) = run_point_observed(&p, &TraceHandle::disabled());
+            assert!(metrics.counter("oram.accesses").unwrap_or(0) > 0);
+            assert!(metrics.counter("oram.blocks_read").unwrap_or(0) > 0);
+            assert!(metrics.gauge("oram.mean_access_ns").unwrap_or(0.0) > 0.0);
+            assert_eq!(metrics.counter("core.misses"), Some(result.misses));
+        }
     }
 
     #[test]

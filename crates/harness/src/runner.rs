@@ -421,6 +421,55 @@ mod tests {
         }
     }
 
+    /// The fixed-seed determinism gate for `--oram-mode codesign` rows:
+    /// two runs of the same grid are byte-identical, default rows carry
+    /// no mode field, and codesign rows do.
+    #[test]
+    fn oram_mode_sweeps_are_byte_stable_and_tag_only_nondefault_rows() {
+        use crate::measure::OramMode;
+        let path = temp_path("oram-modes");
+        let _ = std::fs::remove_file(&path);
+        let mut spec = micro_spec();
+        spec.schemes = vec![Scheme::Unprotected, Scheme::OramModel];
+        spec.replicates = 1;
+        spec.instructions = 10_000;
+        spec.oram_modes = vec![OramMode::Fixed, OramMode::Codesign];
+        let opts = RunOptions {
+            threads: 2,
+            timing: false,
+            quiet: true,
+            ..RunOptions::default()
+        };
+        let report = run_sweep(&spec, &path, &opts).unwrap();
+        assert_eq!(report.ran, 3, "1 unprotected + 2 oram-mode rows");
+        let first = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        run_sweep(&spec, &path, &opts).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            first,
+            "codesign rows must be bit-reproducible"
+        );
+        let ids = read_ids_in_file_order(&path);
+        assert_eq!(
+            ids,
+            vec![
+                "micro/unprotected/c1/r0",
+                "micro/oram/c1/r0",
+                "micro/oram/c1/oram-codesign/r0",
+            ]
+        );
+        for line in first.lines() {
+            let tagged = line.contains(r#""oram_mode":"codesign""#);
+            assert_eq!(
+                tagged,
+                line.contains("oram-codesign"),
+                "exactly the non-default rows carry the mode field: {line}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
     #[test]
     fn leakage_sweeps_gate_both_directions() {
         let path = temp_path("leak-gates");

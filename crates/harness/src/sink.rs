@@ -16,6 +16,7 @@ use obfusmem_mem::config::BackendKind;
 
 use crate::job::JobOutput;
 use crate::jsonl::{extract_string_field, JsonObject};
+use crate::measure::OramMode;
 
 /// Serialises one completed job as a flat JSON object.
 ///
@@ -43,6 +44,19 @@ pub fn encode_row(out: &JobOutput, timing: bool) -> String {
     // harness versions — the same discipline the fault fields follow.
     if spec.backend != BackendKind::Reservation {
         obj = obj.string("backend", spec.backend.name());
+    }
+    // ORAM-mode fields appear only on non-default (serial/codesign) rows
+    // — same byte-identity discipline. The mean path latency is the
+    // number the mode exists to measure, so it rides along.
+    if spec.oram_mode != OramMode::Fixed {
+        obj = obj.string("oram_mode", spec.oram_mode.name());
+        if let Some(ns) = out
+            .metrics
+            .get_child("oram")
+            .and_then(|n| n.gauge("mean_access_ns"))
+        {
+            obj = obj.f64("oram_mean_access_ns", ns);
+        }
     }
     if let Some(sched) = out.queued_sched() {
         let c = |name: &str| sched.counter(name).unwrap_or(0);
@@ -233,6 +247,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         })
     }
 
@@ -260,6 +275,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""fault_kind":"drop""#), "{row}");
@@ -298,6 +314,7 @@ mod tests {
             device_fault: Some((DeviceFaultKind::BitFlip, 0.02)),
             device_fault_seed: derive_seed(3, &id),
             leakage: None,
+            oram_mode: OramMode::Fixed,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""device_fault_kind":"bit-flip""#), "{row}");
@@ -341,6 +358,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: Some(leak),
+            oram_mode: OramMode::Fixed,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""leak_window":128"#), "{row}");
@@ -377,6 +395,7 @@ mod tests {
             device_fault: None,
             device_fault_seed: 0,
             leakage: None,
+            oram_mode: OramMode::Fixed,
         });
         let row = encode_row(&out, false);
         assert!(row.contains(r#""backend":"queued""#), "{row}");
@@ -388,6 +407,45 @@ mod tests {
         let clean = encode_row(&sample_output(), false);
         assert!(!clean.contains("backend"), "{clean}");
         assert!(!clean.contains("sched_"), "{clean}");
+    }
+
+    #[test]
+    fn oram_mode_rows_carry_mode_fields_and_default_rows_do_not() {
+        let id = JobSpec::make_mode_id(
+            "micro",
+            Scheme::OramModel,
+            OramMode::Codesign,
+            1,
+            BackendKind::Reservation,
+            None,
+            None,
+            None,
+            0,
+        );
+        assert_eq!(id, "micro/oram/c1/oram-codesign/r0");
+        let out = run_job(&JobSpec {
+            id: id.clone(),
+            workload: "micro".into(),
+            scheme: Scheme::OramModel,
+            channels: 1,
+            backend: BackendKind::Reservation,
+            instructions: 10_000,
+            replicate: 0,
+            seed: derive_seed(1, &id),
+            fault: None,
+            fault_seed: 0,
+            device_fault: None,
+            device_fault_seed: 0,
+            leakage: None,
+            oram_mode: OramMode::Codesign,
+        });
+        let row = encode_row(&out, false);
+        assert!(row.contains(r#""oram_mode":"codesign""#), "{row}");
+        assert!(row.contains(r#""oram_mean_access_ns":"#), "{row}");
+
+        let clean = encode_row(&sample_output(), false);
+        assert!(!clean.contains("oram_mode"), "{clean}");
+        assert!(!clean.contains("oram_mean_access_ns"), "{clean}");
     }
 
     #[test]

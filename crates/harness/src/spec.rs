@@ -26,7 +26,7 @@ use obfusmem_mem::config::BackendKind;
 use obfusmem_mem::fault::DeviceFaultKind;
 
 use crate::job::{derive_seed, JobSpec};
-use crate::measure::{workload_by_name, LeakagePoint, Scheme};
+use crate::measure::{workload_by_name, LeakagePoint, OramMode, Scheme};
 
 /// A cartesian sweep over the design space.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +70,12 @@ pub struct SweepSpec {
     /// Cache-squeeze factors, crossed with `leakage_windows` (1.0 = no
     /// squeezing).
     pub leakage_squeezes: Vec<f64>,
+    /// ORAM backend modes to sweep. Only the `oram` scheme fans out over
+    /// this axis — other schemes always expand to a single row. The
+    /// default (`[fixed]`) keeps the historical fixed-latency model and
+    /// contributes no id segment, so pre-mode sweeps expand to the same
+    /// job list byte for byte.
+    pub oram_modes: Vec<OramMode>,
 }
 
 impl Default for SweepSpec {
@@ -95,6 +101,7 @@ impl Default for SweepSpec {
             device_fault_seed: 0xD_F0_17,
             leakage_windows: Vec::new(),
             leakage_squeezes: vec![1.0],
+            oram_modes: vec![OramMode::Fixed],
         }
     }
 }
@@ -116,16 +123,31 @@ fn err(msg: impl Into<String>) -> SpecError {
 }
 
 impl SweepSpec {
-    /// Number of jobs the grid expands to.
+    /// Number of jobs the grid expands to. Only the `oram` scheme fans
+    /// out over the ORAM-mode axis, so the scheme axis contributes
+    /// `non-oram schemes + oram_modes per oram scheme` rows.
     pub fn job_count(&self) -> usize {
+        let scheme_rows: usize = self.schemes.iter().map(|&s| self.modes_for(s).len()).sum();
         self.workloads.len()
-            * self.schemes.len()
+            * scheme_rows
             * self.channels.len()
             * self.backends.len()
             * self.fault_point_count()
             * self.device_point_count()
             * self.leakage_point_count()
             * self.replicates as usize
+    }
+
+    /// The ORAM-mode axis values a scheme fans out over: the full axis
+    /// for the `oram` scheme, the single default mode for everything
+    /// else (a non-ORAM scheme has no ORAM path to re-model).
+    fn modes_for(&self, scheme: Scheme) -> &[OramMode] {
+        if scheme == Scheme::OramModel {
+            &self.oram_modes
+        } else {
+            const FIXED: [OramMode; 1] = [OramMode::Fixed];
+            &FIXED
+        }
     }
 
     /// Fault-grid points per `(workload, scheme, channels)` cell: the
@@ -237,6 +259,25 @@ impl SweepSpec {
                 "the oram scheme has no memory controller to run the queued backend on",
             ));
         }
+        if self.oram_modes.is_empty() {
+            return Err(err("no oram modes"));
+        }
+        let has_detailed_mode = self.oram_modes.iter().any(|&m| m != OramMode::Fixed);
+        if has_detailed_mode && !self.schemes.contains(&Scheme::OramModel) {
+            // Every non-oram scheme ignores the mode, so the axis would
+            // silently sweep nothing.
+            return Err(err(
+                "oram modes other than `fixed` require the oram scheme in the grid",
+            ));
+        }
+        if has_detailed_mode && !self.leakage_windows.is_empty() {
+            // The attacker's ORAM lane replays through its own tree tied
+            // to the fixed model; a detailed-mode leakage row would
+            // silently measure the wrong machine.
+            return Err(err(
+                "the leakage attacker only supports the fixed oram mode",
+            ));
+        }
         if !self.fault_kinds.is_empty() {
             if self.fault_rates.is_empty() {
                 return Err(err("fault kinds given but no fault rates"));
@@ -293,46 +334,50 @@ impl SweepSpec {
         let mut jobs = Vec::with_capacity(self.job_count());
         for workload in &self.workloads {
             for &scheme in &self.schemes {
-                for &channels in &self.channels {
-                    for &backend in &self.backends {
-                        for fault in self.fault_points() {
-                            for device_fault in self.device_points() {
-                                for leakage in self.leakage_points() {
-                                    for replicate in 0..self.replicates {
-                                        let id = JobSpec::make_attack_id(
-                                            workload,
-                                            scheme,
-                                            channels,
-                                            backend,
-                                            fault,
-                                            device_fault,
-                                            leakage,
-                                            replicate,
-                                        );
-                                        let seed = derive_seed(self.master_seed, &id);
-                                        let fault_seed = match fault {
-                                            None => 0,
-                                            Some(_) => derive_seed(self.fault_seed, &id),
-                                        };
-                                        let device_fault_seed = match device_fault {
-                                            None => 0,
-                                            Some(_) => derive_seed(self.device_fault_seed, &id),
-                                        };
-                                        jobs.push(JobSpec {
-                                            id,
-                                            workload: workload.clone(),
-                                            scheme,
-                                            channels,
-                                            backend,
-                                            instructions: self.instructions,
-                                            replicate,
-                                            seed,
-                                            fault,
-                                            fault_seed,
-                                            device_fault,
-                                            device_fault_seed,
-                                            leakage,
-                                        });
+                for &oram_mode in self.modes_for(scheme) {
+                    for &channels in &self.channels {
+                        for &backend in &self.backends {
+                            for fault in self.fault_points() {
+                                for device_fault in self.device_points() {
+                                    for leakage in self.leakage_points() {
+                                        for replicate in 0..self.replicates {
+                                            let id = JobSpec::make_mode_id(
+                                                workload,
+                                                scheme,
+                                                oram_mode,
+                                                channels,
+                                                backend,
+                                                fault,
+                                                device_fault,
+                                                leakage,
+                                                replicate,
+                                            );
+                                            let seed = derive_seed(self.master_seed, &id);
+                                            let fault_seed = match fault {
+                                                None => 0,
+                                                Some(_) => derive_seed(self.fault_seed, &id),
+                                            };
+                                            let device_fault_seed = match device_fault {
+                                                None => 0,
+                                                Some(_) => derive_seed(self.device_fault_seed, &id),
+                                            };
+                                            jobs.push(JobSpec {
+                                                id,
+                                                workload: workload.clone(),
+                                                scheme,
+                                                channels,
+                                                backend,
+                                                instructions: self.instructions,
+                                                replicate,
+                                                seed,
+                                                fault,
+                                                fault_seed,
+                                                device_fault,
+                                                device_fault_seed,
+                                                leakage,
+                                                oram_mode,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -369,6 +414,7 @@ impl SweepSpec {
                         .collect::<Result<_, _>>()?
                 }
                 "backends" => spec.backends = parse_backends(value)?,
+                "oram_modes" => spec.oram_modes = parse_oram_modes(value)?,
                 "replicates" => {
                     spec.replicates = value
                         .parse()
@@ -469,6 +515,16 @@ pub fn parse_backends(value: &str) -> Result<Vec<BackendKind>, SpecError> {
     }
     split_list(value)
         .map(|v| BackendKind::parse(v).ok_or_else(|| err(format!("unknown backend {v:?}"))))
+        .collect()
+}
+
+/// Comma list of ORAM-mode names (`all` → every mode).
+pub fn parse_oram_modes(value: &str) -> Result<Vec<OramMode>, SpecError> {
+    if value == "all" {
+        return Ok(OramMode::ALL.to_vec());
+    }
+    split_list(value)
+        .map(|v| OramMode::parse(v).ok_or_else(|| err(format!("unknown oram mode {v:?}"))))
         .collect()
 }
 
@@ -784,6 +840,80 @@ mod tests {
         assert_eq!(spec.leakage_squeezes, vec![1.0, 4.0]);
         assert!(SweepSpec::parse("leakage_windows = soon").is_err());
         assert!(SweepSpec::parse("leakage_squeezes = tight").is_err());
+    }
+
+    #[test]
+    fn oram_mode_axis_fans_out_only_the_oram_scheme() {
+        let mut s = tiny(); // schemes: Unprotected, OramModel
+        s.oram_modes = OramMode::ALL.to_vec();
+        let jobs = s.expand().unwrap();
+        assert_eq!(jobs.len(), s.job_count());
+        // (1 unprotected row + 3 oram rows) per workload × channels × reps
+        assert_eq!(jobs.len(), 2 * (1 + 3) * 2 * 2);
+        // Fixed rows keep the legacy id; detailed modes add a segment
+        // right after the channel count.
+        assert_eq!(jobs[4].id, "micro/oram/c1/r0");
+        assert_eq!(jobs[8].id, "micro/oram/c1/oram-serial/r0");
+        assert_eq!(jobs[8].oram_mode, OramMode::Serial);
+        assert_eq!(jobs[12].id, "micro/oram/c1/oram-codesign/r0");
+        assert_eq!(jobs[12].oram_mode, OramMode::Codesign);
+        assert!(
+            jobs.iter()
+                .filter(|j| j.scheme != Scheme::OramModel)
+                .all(|j| j.oram_mode == OramMode::Fixed),
+            "non-oram schemes never fan out over the mode axis"
+        );
+        let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn default_oram_mode_axis_leaves_legacy_grids_untouched() {
+        let jobs = tiny().expand().unwrap();
+        assert!(
+            jobs.iter().all(|j| j.oram_mode == OramMode::Fixed),
+            "the default axis is the historical fixed model"
+        );
+        assert!(
+            jobs.iter().all(|j| !j.id.contains("oram-")),
+            "the default mode must not perturb checkpoint ids"
+        );
+    }
+
+    #[test]
+    fn oram_mode_axis_rejects_malformed_grids() {
+        let mut s = tiny();
+        s.oram_modes = Vec::new();
+        assert!(s.expand().is_err(), "no modes is unsatisfiable");
+        let mut s = tiny();
+        s.schemes = vec![Scheme::Unprotected];
+        s.oram_modes = vec![OramMode::Codesign];
+        assert!(
+            s.expand().is_err(),
+            "detailed modes without the oram scheme sweep nothing"
+        );
+        let mut s = tiny();
+        s.oram_modes = vec![OramMode::Fixed, OramMode::Codesign];
+        s.leakage_windows = vec![128];
+        assert!(
+            s.expand().is_err(),
+            "the attacker only understands the fixed model"
+        );
+    }
+
+    #[test]
+    fn oram_mode_keys_parse_from_text() {
+        let spec = SweepSpec::parse("oram_modes = fixed, codesign").unwrap();
+        assert_eq!(spec.oram_modes, vec![OramMode::Fixed, OramMode::Codesign]);
+        let spec = SweepSpec::parse("oram_modes = all").unwrap();
+        assert_eq!(spec.oram_modes, OramMode::ALL.to_vec());
+        assert!(
+            SweepSpec::parse("oram_modes = warp-speed").is_err(),
+            "a typo silently ignored would silently change a sweep"
+        );
+        assert!(SweepSpec::parse("oram_modes = ").unwrap().expand().is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use obfusmem_mem::request::{AccessKind, BlockAddr};
 use obfusmem_sim::stats::RunningStats;
 use obfusmem_sim::time::Time;
 
+use crate::codesign;
 use crate::path_oram::{OramConfig, PathOram};
 use crate::OramError;
 
@@ -25,6 +26,11 @@ use crate::OramError;
 pub struct DetailedOram {
     oram: PathOram,
     mem: PcmMemory,
+    /// Position-map recursion levels serialized in front of the data
+    /// path (empty unless [`DetailedOram::with_posmap_chain`] was used).
+    chain: Vec<OramConfig>,
+    /// `bases[0]` is the data tree; `bases[1..]` the posmap levels.
+    bases: Vec<u64>,
     /// The single ORAM controller port: accesses serialize behind it.
     busy_until: Time,
     latency: RunningStats,
@@ -39,11 +45,29 @@ impl DetailedOram {
     /// Propagates [`OramError::BadConfig`] from the ORAM geometry.
     pub fn new(cfg: OramConfig, mem_cfg: MemConfig, seed: u64) -> Result<Self, OramError> {
         Ok(DetailedOram {
+            bases: codesign::region_bases(&cfg, &[]),
             oram: PathOram::new(cfg, seed)?,
             mem: PcmMemory::new(mem_cfg),
+            chain: Vec::new(),
             busy_until: Time::ZERO,
             latency: RunningStats::new(),
         })
+    }
+
+    /// Serializes the Freecursive-style position-map recursion chain in
+    /// front of every data-path access — the fully pessimistic port
+    /// model the co-designed controller ([`codesign::CodesignOram`])
+    /// overlaps away.
+    #[must_use]
+    pub fn with_posmap_chain(mut self) -> Self {
+        self.chain = codesign::posmap_chain(self.oram.config());
+        self.bases = codesign::region_bases(self.oram.config(), &self.chain);
+        self
+    }
+
+    /// Posmap recursion levels charged to the critical path.
+    pub fn chain_depth(&self) -> usize {
+        self.chain.len()
     }
 
     /// The functional ORAM (metrics, stash, invariants).
@@ -81,26 +105,50 @@ impl DetailedOram {
         };
         let z = self.oram.config().bucket_size;
 
-        // Phase 1: read every slot of every bucket on the path. Banks
-        // overlap; the phase ends when the last block arrives.
-        let path = self.oram.tree().path_nodes(leaf);
-        let mut reads_done = start;
-        for &node in &path {
-            for slot in 0..z {
-                let addr = self.oram.tree().slot_address(node, slot);
-                let r = self.mem.access(start, addr, AccessKind::Read);
-                reads_done = reads_done.max(r.complete_at);
+        // Position-map recursion first: each level's path is read and
+        // written back through the same port, fully serialized in front
+        // of the data path (the strawman the co-design removes).
+        let mut t = start;
+        for (k, ccfg) in self.chain.iter().enumerate() {
+            let base = self.bases[k + 1];
+            let chain_leaf = leaf % (1u64 << ccfg.levels);
+            let addrs: Vec<u64> = codesign::path_nodes(ccfg.levels, chain_leaf)
+                .into_iter()
+                .flat_map(|node| {
+                    (0..ccfg.bucket_size)
+                        .map(move |slot| base + (node * ccfg.bucket_size as u64 + slot as u64) * 64)
+                })
+                .collect();
+            let mut reads = t;
+            for r in self.mem.access_batch(t, &addrs, AccessKind::Read) {
+                reads = reads.max(r.complete_at);
             }
+            let mut writes = reads;
+            for w in self.mem.access_batch(reads, &addrs, AccessKind::Write) {
+                writes = writes.max(w.complete_at);
+            }
+            t = writes;
+        }
+
+        // Phase 1: read every slot of every bucket on the path. The
+        // serialized latency is derived from the actual bucket count —
+        // (L+1)·Z slot reads — never an opaque per-access constant.
+        let tree = self.oram.tree();
+        let path = tree.path_nodes(leaf);
+        let addrs: Vec<u64> = path
+            .iter()
+            .flat_map(|&node| (0..z).map(move |slot| tree.slot_address(node, slot)))
+            .collect();
+        debug_assert_eq!(addrs.len(), path.len() * z);
+        let mut reads_done = t;
+        for r in self.mem.access_batch(t, &addrs, AccessKind::Read) {
+            reads_done = reads_done.max(r.complete_at);
         }
 
         // Phase 2: evict — write every slot of the path back.
         let mut writes_done = reads_done;
-        for &node in &path {
-            for slot in 0..z {
-                let addr = self.oram.tree().slot_address(node, slot);
-                let w = self.mem.access(reads_done, addr, AccessKind::Write);
-                writes_done = writes_done.max(w.complete_at);
-            }
+        for w in self.mem.access_batch(reads_done, &addrs, AccessKind::Write) {
+            writes_done = writes_done.max(w.complete_at);
         }
 
         self.busy_until = writes_done;
@@ -181,6 +229,49 @@ mod tests {
             "deeper trees must cost more: {} vs {}",
             deep.mean_access_ns(),
             shallow.mean_access_ns()
+        );
+    }
+
+    /// Regression for the accounting bug: the serialized-mode latency is
+    /// derived from the actual bucket count, so a deeper tree must cost
+    /// *proportionally* more — not collapse to one opaque per-access
+    /// constant the way the fixed 2500 ns model does.
+    #[test]
+    fn latency_scales_with_bucket_count() {
+        let mut shallow = detailed(8); // 9 buckets on a path
+        let mut deep = detailed(16); // 17 buckets on a path
+        let mut rng = SplitMix64::new(9);
+        let mut ts = Time::ZERO;
+        let mut td = Time::ZERO;
+        for _ in 0..40 {
+            ts = shallow.read(ts, BlockAddr::from_index(rng.below(256)));
+            td = deep.read(td, BlockAddr::from_index(rng.below(256)));
+        }
+        let ratio = deep.mean_access_ns() / shallow.mean_access_ns();
+        let buckets = 17.0 / 9.0;
+        assert!(
+            ratio > buckets * 0.55 && ratio < buckets * 1.8,
+            "latency must track bucket count (expected ~{buckets:.2}×, got {ratio:.2}×)"
+        );
+    }
+
+    #[test]
+    fn serialized_posmap_chain_lengthens_the_critical_path() {
+        let mut flat = detailed(12);
+        let mut chained = detailed(12).with_posmap_chain();
+        assert!(chained.chain_depth() > 0, "4096 blocks need off-chip maps");
+        let mut rng = SplitMix64::new(10);
+        let mut tf = Time::ZERO;
+        let mut tc = Time::ZERO;
+        for _ in 0..30 {
+            tf = flat.read(tf, BlockAddr::from_index(rng.below(4096)));
+            tc = chained.read(tc, BlockAddr::from_index(rng.below(4096)));
+        }
+        assert!(
+            chained.mean_access_ns() > flat.mean_access_ns() * 1.2,
+            "serialized recursion must cost: {} vs {} ns",
+            chained.mean_access_ns(),
+            flat.mean_access_ns()
         );
     }
 

@@ -29,6 +29,7 @@
 //! # Ok::<(), obfusmem_oram::OramError>(())
 //! ```
 
+pub mod codesign;
 pub mod detailed;
 pub mod model;
 pub mod path_oram;

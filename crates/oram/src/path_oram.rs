@@ -104,6 +104,20 @@ impl OramMetrics {
     }
 }
 
+/// The physical work one Path ORAM access implies, as a batch a
+/// co-designed controller can fan out (see
+/// [`PathOram::access_path_concurrent`]).
+#[derive(Debug, Clone)]
+pub struct PathBatch {
+    /// The logical block's data after the access.
+    pub data: BlockData,
+    /// The leaf whose path was touched (what a bus observer sees).
+    pub leaf: u64,
+    /// Physical slot addresses of every bucket slot on the path —
+    /// `(L+1)·Z` entries, each read once and written back once.
+    pub slot_addrs: Vec<u64>,
+}
+
 /// A functional Path ORAM.
 #[derive(Debug)]
 pub struct PathOram {
@@ -233,6 +247,53 @@ impl PathOram {
     /// capacity.
     pub fn write(&mut self, id: u64, data: BlockData) -> Result<(), OramError> {
         self.access(id, Some(data)).map(|_| ())
+    }
+
+    /// One access expressed as a physical batch plan: performs the
+    /// functional access (remap, path read, serve, evict) exactly as
+    /// [`PathOram::read`] would — consuming the same randomness, so a
+    /// serial and a concurrent controller driving the same seed stay
+    /// bit-identical — and returns the `(L+1)·Z` slot addresses a
+    /// co-designed memory controller fans out across its per-bank
+    /// queues (each slot is read in phase 1 and written back in
+    /// phase 2).
+    ///
+    /// The functional stash update and eviction happen atomically here,
+    /// *before* any physical timing is modeled: a controller must
+    /// barrier on all phase-1 reads before acting on the result, which
+    /// is exactly the ordering this API enforces by construction (an
+    /// out-of-order bucket read can never evict against a stale stash
+    /// snapshot, because eviction is not exposed as a separate step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::BlockOutOfRange`] for ids beyond the logical
+    /// capacity, or [`OramError::StashOverflow`] under a hard bound.
+    pub fn access_path_concurrent(
+        &mut self,
+        id: u64,
+        write: Option<BlockData>,
+    ) -> Result<PathBatch, OramError> {
+        if id >= self.cfg.blocks {
+            return Err(OramError::BlockOutOfRange {
+                block: id,
+                capacity: self.cfg.blocks,
+            });
+        }
+        let observed_leaf = self.posmap.leaf_of(id);
+        let data = self.access(id, write)?;
+        let mut slot_addrs =
+            Vec::with_capacity((self.cfg.levels as usize + 1) * self.cfg.bucket_size);
+        for &node in &self.tree.path_nodes(observed_leaf) {
+            for slot in 0..self.cfg.bucket_size {
+                slot_addrs.push(self.tree.slot_address(node, slot));
+            }
+        }
+        Ok(PathBatch {
+            data,
+            leaf: observed_leaf,
+            slot_addrs,
+        })
     }
 
     /// The unified access: read path, remap, serve, evict path.
